@@ -1,0 +1,136 @@
+(* Bench harness.
+
+   Running with no arguments regenerates every table and figure of the
+   paper (Figure 1, Tables 4a/4b/4c, Figure 3 + the Section 4.3 sensitivity
+   comparison, Table 7, the Section 5 profiler statistics and the sampling
+   ablation), printing PASS/FAIL shape checks against the paper's
+   qualitative findings, and then runs Bechamel micro-benchmarks of the
+   analysis engines.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- <id> ...     -- selected experiments
+                                                 (fig1 table4a table4b table4c
+                                                  fig3 table7 profstats ablation)
+     dune exec bench/main.exe -- micro        -- only the micro-benchmarks
+*)
+
+module Runner = Icost_experiments.Runner
+module Drive = Icost_experiments.Drive
+module Workload = Icost_workloads.Workload
+module Config = Icost_uarch.Config
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Ooo = Icost_sim.Ooo
+module Build = Icost_depgraph.Build
+module Graph = Icost_depgraph.Graph
+module Profile = Icost_profiler.Profile
+
+(* ------------------------------------------------------------------ *)
+(* paper artifacts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments ids =
+  let settings = Runner.default_settings in
+  let reports =
+    match ids with
+    | [] -> Drive.all_reports ~settings ()
+    | ids ->
+      let prepared = Runner.prepare_all settings in
+      let t7 =
+        List.filter
+          (fun (p : Runner.prepared) ->
+            List.mem p.name Icost_experiments.Exp_table7.default_benches)
+          prepared
+      in
+      List.map
+        (function
+          | "fig1" -> Drive.fig1 prepared
+          | "table4a" -> Drive.table4a prepared
+          | "table4b" -> Drive.table4b prepared
+          | "table4c" -> Drive.table4c prepared
+          | "fig3" -> Drive.fig3 prepared
+          | "table7" -> Drive.table7 t7
+          | "profstats" -> Drive.profstats t7
+          | "ablation" -> Drive.ablation t7
+          | "prefetch" -> Drive.prefetch ~settings ()
+          | "conclusion" -> Drive.conclusion ~settings ()
+          | "advisor" -> Drive.advisor prepared
+          | other -> failwith (Printf.sprintf "unknown experiment %S" other))
+        ids
+  in
+  List.iter Drive.print_report reports;
+  let checks = List.concat_map (fun (r : Drive.report) -> r.checks) reports in
+  let failed = List.filter (fun (_, ok) -> not ok) checks in
+  Printf.printf "shape checks: %d/%d passed\n"
+    (List.length checks - List.length failed)
+    (List.length checks);
+  List.iter (fun (d, _) -> Printf.printf "  FAILED: %s\n" d) failed
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the analysis machinery                 *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  (* one mid-size prepared workload shared by all engine benchmarks *)
+  let settings =
+    { Runner.default_settings with benches = [ "gcc" ]; measure = 10_000 }
+  in
+  let p = List.hd (Runner.prepare_all settings) in
+  let cfg = Config.loop_dl1 in
+  let result = Runner.baseline_run cfg p in
+  let graph = Build.of_sim cfg p.trace p.evts result in
+  let dl1_win = Category.Set.pair Category.Dl1 Category.Win in
+  Test.make_grouped ~name:"engines"
+    [
+      Test.make ~name:"sim-10k-instrs"
+        (Staged.stage (fun () -> ignore (Ooo.cycles cfg p.trace p.evts)));
+      Test.make ~name:"graph-build-10k"
+        (Staged.stage (fun () -> ignore (Build.of_sim cfg p.trace p.evts result)));
+      Test.make ~name:"graph-eval-baseline"
+        (Staged.stage (fun () -> ignore (Graph.critical_length graph)));
+      Test.make ~name:"graph-eval-idealized"
+        (Staged.stage (fun () -> ignore (Graph.critical_length ~ideal:dl1_win graph)));
+      Test.make ~name:"icost-pair-graph-oracle"
+        (Staged.stage (fun () ->
+             let oracle = Build.oracle graph in
+             ignore (Cost.icost_pair oracle Category.Dl1 Category.Win)));
+      Test.make ~name:"profiler-end-to-end"
+        (Staged.stage (fun () ->
+             ignore (Profile.profile cfg p.program p.trace p.evts result)));
+    ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg_b = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg_b instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  Printf.printf "\nmicro-benchmarks (time per call):\n";
+  Hashtbl.iter
+    (fun _clock tbl ->
+      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl [] in
+      List.sort (fun (a, _) (b, _) -> compare a b) rows
+      |> List.iter (fun (name, r) ->
+             match Analyze.OLS.estimates r with
+             | Some [ est ] -> Printf.printf "  %-36s %10.3f ms/run\n" name (est /. 1e6)
+             | _ -> Printf.printf "  %-36s (no estimate)\n" name))
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "micro" ] -> run_micro ()
+  | [] ->
+    run_experiments [];
+    run_micro ()
+  | ids ->
+    run_experiments (List.filter (fun i -> i <> "micro") ids);
+    if List.mem "micro" ids then run_micro ()

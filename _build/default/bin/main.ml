@@ -1,0 +1,243 @@
+(* icost — command-line driver for the interaction-cost library.
+
+   Subcommands:
+     list         available workloads
+     breakdown    parallelism-aware breakdown for one workload
+     icost        costs/icosts of chosen category sets
+     graph        dump a dependence graph (text or DOT)
+     experiment   regenerate a paper table/figure (or "all")
+*)
+
+module Workload = Icost_workloads.Workload
+module Config = Icost_uarch.Config
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Breakdown = Icost_core.Breakdown
+module Runner = Icost_experiments.Runner
+module Drive = Icost_experiments.Drive
+module Graph = Icost_depgraph.Graph
+open Cmdliner
+
+(* --- common options --- *)
+
+let bench_arg =
+  let doc = "Workload to analyze (see `icost list`)." in
+  Arg.(value & opt string "gcc" & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let benches_arg =
+  let doc = "Comma-separated workloads (default: the full suite)." in
+  Arg.(value & opt (some string) None & info [ "benches" ] ~docv:"NAMES" ~doc)
+
+let measure_arg =
+  let doc = "Instructions to measure after warm-up." in
+  Arg.(value & opt int Runner.default_settings.measure & info [ "n"; "measure" ] ~doc)
+
+let warmup_arg =
+  let doc = "Warm-up instructions (caches and predictors train, not timed)." in
+  Arg.(value & opt int Runner.default_settings.warmup & info [ "warmup" ] ~doc)
+
+let variant_arg =
+  let doc = "Machine variant: base, dl1 (4-cycle L1), wakeup (2-cycle \
+             issue-wakeup) or bmisp (15-cycle mispredict loop)." in
+  Arg.(value & opt (enum [ ("base", `Base); ("dl1", `Dl1); ("wakeup", `Wakeup); ("bmisp", `Bmisp) ]) `Base
+       & info [ "variant" ] ~doc)
+
+let oracle_arg =
+  let doc = "Cost oracle: graph, multisim or profiler." in
+  Arg.(value
+       & opt (enum [ ("graph", Runner.Fullgraph); ("multisim", Runner.Multisim);
+                     ("profiler", Runner.Profiler) ]) Runner.Fullgraph
+       & info [ "oracle" ] ~doc)
+
+let config_of_variant = function
+  | `Base -> Config.default
+  | `Dl1 -> Config.loop_dl1
+  | `Wakeup -> Config.loop_wakeup
+  | `Bmisp -> Config.loop_bmisp
+
+let settings ~warmup ~measure ~benches =
+  let benches =
+    match benches with
+    | None -> Workload.names
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+  in
+  { Runner.warmup; measure; benches }
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workload.t) -> Printf.printf "%-8s  %s\n" w.name w.description)
+      Workload.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const run $ const ())
+
+(* --- breakdown --- *)
+
+let breakdown_cmd =
+  let focus_arg =
+    let doc = "Focus category for the interaction rows." in
+    Arg.(value & opt string "dl1" & info [ "focus" ] ~doc)
+  in
+  let run bench variant oracle focus warmup measure =
+    let cfg = config_of_variant variant in
+    let focus_cat =
+      match Category.of_name focus with
+      | Some c -> c
+      | None -> failwith (Printf.sprintf "unknown category %S" focus)
+    in
+    let s = settings ~warmup ~measure ~benches:(Some bench) in
+    let p = Runner.prepare s (Workload.find_exn bench) in
+    let o = Runner.oracle_of_kind oracle cfg p in
+    let bd = Breakdown.focus ~oracle:o ~focus_cat in
+    Printf.printf "%s on %s machine (%s oracle), %.0f cycles baseline:\n" bench
+      (match variant with `Base -> "base" | `Dl1 -> "4-cycle-dl1"
+       | `Wakeup -> "2-cycle-wakeup" | `Bmisp -> "15-cycle-bmisp")
+      (Runner.oracle_kind_name oracle) bd.baseline_cycles;
+    List.iter
+      (fun (row : Breakdown.row) ->
+        Printf.printf "  %-12s %7.1f%%\n" (Breakdown.row_label row) row.percent)
+      bd.rows;
+    Printf.printf "  %-12s %7.1f%%\n" "Total" (Breakdown.total bd)
+  in
+  Cmd.v
+    (Cmd.info "breakdown" ~doc:"Parallelism-aware breakdown for one workload")
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ focus_arg $ warmup_arg $ measure_arg)
+
+(* --- icost --- *)
+
+let icost_cmd =
+  let sets_arg =
+    let doc = "Category set, e.g. 'dl1,win'. Repeatable; costs and the \
+               interaction cost of each set are reported." in
+    Arg.(value & opt_all string [ "dl1,win" ] & info [ "s"; "set" ] ~docv:"CATS" ~doc)
+  in
+  let run bench variant oracle sets warmup measure =
+    let cfg = config_of_variant variant in
+    let s = settings ~warmup ~measure ~benches:(Some bench) in
+    let p = Runner.prepare s (Workload.find_exn bench) in
+    let o = Cost.memoize (Runner.oracle_of_kind oracle cfg p) in
+    let base = o Category.Set.empty in
+    Printf.printf "%s: baseline %.0f cycles\n" bench base;
+    List.iter
+      (fun spec ->
+        let cats =
+          String.split_on_char ',' spec
+          |> List.map (fun n ->
+                 match Category.of_name (String.trim n) with
+                 | Some c -> c
+                 | None -> failwith (Printf.sprintf "unknown category %S" n))
+        in
+        let set = Category.Set.of_list cats in
+        let cost = Cost.cost o set in
+        let ic = Cost.icost_ie o set in
+        Printf.printf "  %-24s cost %8.0f cycles (%5.1f%%)  icost %+8.0f (%s)\n"
+          (Category.Set.name set) cost
+          (100. *. cost /. base)
+          ic
+          (Cost.interaction_name (Cost.classify ic)))
+      sets
+  in
+  Cmd.v
+    (Cmd.info "icost" ~doc:"Costs and interaction costs of category sets")
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ sets_arg $ warmup_arg $ measure_arg)
+
+(* --- graph --- *)
+
+let graph_cmd =
+  let dot_arg =
+    let doc = "Write Graphviz DOT to this file." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let instrs_arg =
+    let doc = "Number of instructions to include." in
+    Arg.(value & opt int 24 & info [ "instrs" ] ~doc)
+  in
+  let run bench variant dot instrs warmup =
+    let cfg = config_of_variant variant in
+    let s = settings ~warmup ~measure:instrs ~benches:(Some bench) in
+    let p = Runner.prepare s (Workload.find_exn bench) in
+    let g = Runner.graph_of cfg p in
+    Printf.printf "%s: %d instructions, %d nodes, %d edges, CP %d cycles\n\n" bench
+      instrs (Graph.num_nodes g) (Graph.num_edges g) (Graph.critical_length g);
+    Format.printf "%a@." (fun ppf () -> Graph.pp_small ppf g) ();
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Graph.to_dot g);
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      dot
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Dump a dependence-graph instance")
+    Term.(const run $ bench_arg $ variant_arg $ dot_arg $ instrs_arg $ warmup_arg)
+
+(* --- advise --- *)
+
+let advise_cmd =
+  let run bench variant oracle warmup measure =
+    let cfg = config_of_variant variant in
+    let s = settings ~warmup ~measure ~benches:(Some bench) in
+    let p = Runner.prepare s (Workload.find_exn bench) in
+    let o = Runner.oracle_of_kind oracle cfg p in
+    let r = Icost_core.Advisor.analyze o in
+    Printf.printf "%s:\n%s" bench (Icost_core.Advisor.report_to_string r)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Bottleneck / de-optimization recommendations for one workload")
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ warmup_arg $ measure_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id: fig1, table4a, table4b, table4c, fig3, table7, \
+               profstats, ablation, prefetch, advisor, or all." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run id benches warmup measure =
+    let s = settings ~warmup ~measure ~benches in
+    let reports =
+      match id with
+      | "all" -> Drive.all_reports ~settings:s ()
+      | id ->
+        let prepared = Runner.prepare_all s in
+        let t7 =
+          match benches with
+          | Some _ -> prepared
+          | None ->
+            List.filter
+              (fun (p : Runner.prepared) ->
+                List.mem p.name Icost_experiments.Exp_table7.default_benches)
+              prepared
+        in
+        (match id with
+         | "fig1" -> [ Drive.fig1 prepared ]
+         | "table4a" -> [ Drive.table4a prepared ]
+         | "table4b" -> [ Drive.table4b prepared ]
+         | "table4c" -> [ Drive.table4c prepared ]
+         | "fig3" -> [ Drive.fig3 prepared ]
+         | "table7" -> [ Drive.table7 t7 ]
+         | "profstats" -> [ Drive.profstats t7 ]
+         | "ablation" -> [ Drive.ablation t7 ]
+         | "prefetch" -> [ Drive.prefetch ~settings:s () ]
+         | "conclusion" -> [ Drive.conclusion ~settings:s () ]
+         | "advisor" -> [ Drive.advisor prepared ]
+         | other -> failwith (Printf.sprintf "unknown experiment %S" other))
+    in
+    List.iter Drive.print_report reports
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
+    Term.(const run $ id_arg $ benches_arg $ warmup_arg $ measure_arg)
+
+let () =
+  let info =
+    Cmd.info "icost" ~version:"1.0.0"
+      ~doc:"Interaction-cost bottleneck analysis (Fields et al., MICRO-36 2003)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; breakdown_cmd; icost_cmd; graph_cmd; advise_cmd; experiment_cmd ]))

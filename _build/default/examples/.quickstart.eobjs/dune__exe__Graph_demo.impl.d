@@ -1,0 +1,1 @@
+examples/graph_demo.ml: Format Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch List Printf

@@ -1,0 +1,1 @@
+examples/pipeline_tuning.ml: Float Icost_core Icost_experiments List Option Printf

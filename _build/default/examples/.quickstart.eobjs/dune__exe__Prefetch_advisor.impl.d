@@ -1,0 +1,1 @@
+examples/prefetch_advisor.ml: Icost_depgraph Icost_isa Icost_sim Icost_uarch Icost_workloads List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch Icost_workloads List Printf

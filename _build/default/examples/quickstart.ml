@@ -1,0 +1,72 @@
+(* Quickstart: measure costs and interaction costs of an execution.
+
+   Pipeline: pick a workload -> interpret it -> classify events -> simulate
+   -> build the dependence graph -> ask cost/icost questions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Workload = Icost_workloads.Workload
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Build = Icost_depgraph.Build
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Breakdown = Icost_core.Breakdown
+
+let () =
+  (* 1. a program: here the gcc-like kernel; any Icost_isa.Program.t works *)
+  let program = (Workload.find_exn "gcc").build () in
+
+  (* 2. architectural execution: the committed dynamic instruction stream *)
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 50_000 } program
+  in
+  Printf.printf "executed %d instructions of %s\n" (Trace.length trace)
+    program.name;
+
+  (* 3. classify microarchitectural events on the Table 6 machine *)
+  let cfg = Config.default in
+  let evts, summary = Events.annotate cfg trace in
+  Printf.printf "events: %d dl1 misses, %d mispredicts, %d il1 misses\n"
+    summary.dl1_misses summary.mispredicts summary.il1_misses;
+
+  (* 4. cycle-level timing *)
+  let result = Ooo.run cfg trace evts in
+  Printf.printf "baseline: %d cycles (IPC %.2f)\n" result.cycles (Ooo.ipc result);
+
+  (* 5. dependence graph + cost oracle *)
+  let graph = Build.of_sim cfg trace evts result in
+  let oracle = Cost.memoize (Build.oracle graph) in
+
+  (* individual costs: speedup from idealizing one event class *)
+  Printf.printf "\ncosts (cycles saved by idealizing each class alone):\n";
+  List.iter
+    (fun c ->
+      Printf.printf "  %-6s %6.0f cycles  (%s)\n" (Category.name c)
+        (Cost.cost oracle (Category.Set.singleton c))
+        (Category.description c))
+    Category.all;
+
+  (* interaction costs: how classes combine *)
+  Printf.printf "\nselected interaction costs:\n";
+  let show a b =
+    let v = Cost.icost_pair oracle a b in
+    Printf.printf "  icost(%s, %s) = %+.0f cycles -> %s interaction\n"
+      (Category.name a) (Category.name b) v
+      (Cost.interaction_name (Cost.classify v))
+  in
+  show Category.Dmiss Category.Bmisp;
+  show Category.Dl1 Category.Win;
+  show Category.Dl1 Category.Bw;
+
+  (* a complete parallelism-aware breakdown *)
+  let bd = Breakdown.focus ~oracle ~focus_cat:Category.Dl1 in
+  Printf.printf "\nbreakdown (focus dl1), percent of execution time:\n";
+  List.iter
+    (fun (row : Breakdown.row) ->
+      Printf.printf "  %-12s %6.1f%%\n" (Breakdown.row_label row) row.percent)
+    bd.rows;
+  Printf.printf "  %-12s %6.1f%%\n" "Total" (Breakdown.total bd)

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Buffer Category Cost Float List Printf

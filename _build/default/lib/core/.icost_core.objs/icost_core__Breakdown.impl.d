@@ -1,0 +1,1 @@
+lib/core/breakdown.ml: Category Cost List Option

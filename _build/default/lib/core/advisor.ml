@@ -1,0 +1,137 @@
+(** Optimization advisor: turn a cost oracle into design recommendations.
+
+    The paper's introduction describes the intended use of (interaction)
+    costs: "help the designer resize just the right queue, predict the most
+    critical dependence, or, conversely, economically reduce the sizes of
+    non-bottleneck resources, saving area and energy.  In short, we could
+    build more balanced machines."  This module mechanizes that reading:
+
+    - categories with large individual cost are {e bottlenecks};
+    - categories with near-zero cost AND near-zero interaction with every
+      other category are {e de-optimization candidates} (shrink the
+      resource; performance is insensitive to it);
+    - for each bottleneck, the strongest serial partner is the {e indirect
+      lever} (improving the partner also hides the bottleneck's latency),
+      and strong parallel partners must be attacked {e together}. *)
+
+type recommendation =
+  | Attack of { cat : Category.t; cost_pct : float }
+      (** a primary bottleneck worth direct optimization *)
+  | Attack_with of {
+      cat : Category.t;
+      partner : Category.t;
+      icost_pct : float;
+    }  (** parallel interaction: only a joint attack realizes the gain *)
+  | Indirect_lever of {
+      cat : Category.t;
+      partner : Category.t;
+      icost_pct : float;
+    }  (** serial interaction: improving [partner] also hides [cat] *)
+  | Deoptimize of { cat : Category.t; cost_pct : float }
+      (** near-zero cost and interactions: candidate for shrinking *)
+
+type report = {
+  baseline : float;
+  costs : (Category.t * float) list;  (** percent of baseline, descending *)
+  interactions : (Category.t * Category.t * float) list;  (** percent *)
+  recommendations : recommendation list;
+}
+
+(** Thresholds, as percent of execution time. *)
+type thresholds = {
+  bottleneck : float;  (** individual cost above this is a bottleneck *)
+  interaction : float;  (** |icost| above this is significant *)
+  negligible : float;  (** cost and interactions below this allow shrinking *)
+}
+
+let default_thresholds = { bottleneck = 10.; interaction = 2.; negligible = 1. }
+
+let analyze ?(thresholds = default_thresholds) (oracle : Cost.oracle) : report =
+  let oracle = Cost.memoize oracle in
+  let baseline = oracle Category.Set.empty in
+  let pct v = if baseline = 0. then 0. else 100. *. v /. baseline in
+  let costs =
+    List.map
+      (fun c -> (c, pct (Cost.cost oracle (Category.Set.singleton c))))
+      Category.all
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let interactions =
+    let rec pairs = function
+      | [] -> []
+      | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+    in
+    List.map (fun (a, b) -> (a, b, pct (Cost.icost_pair oracle a b))) (pairs Category.all)
+  in
+  let icost_with c =
+    List.filter_map
+      (fun (a, b, v) ->
+        if a = c then Some (b, v) else if b = c then Some (a, v) else None)
+      interactions
+  in
+  let recommendations =
+    List.concat_map
+      (fun (c, cost_pct) ->
+        if cost_pct >= thresholds.bottleneck then begin
+          let partners = icost_with c in
+          let strongest =
+            List.fold_left
+              (fun acc (p, v) ->
+                match acc with
+                | Some (_, bv) when Float.abs bv >= Float.abs v -> acc
+                | _ -> Some (p, v))
+              None partners
+          in
+          Attack { cat = c; cost_pct }
+          ::
+          (match strongest with
+           | Some (p, v) when v <= -.thresholds.interaction ->
+             [ Indirect_lever { cat = c; partner = p; icost_pct = v } ]
+           | Some (p, v) when v >= thresholds.interaction ->
+             [ Attack_with { cat = c; partner = p; icost_pct = v } ]
+           | _ -> [])
+        end
+        else if
+          cost_pct <= thresholds.negligible
+          && List.for_all
+               (fun (_, v) -> Float.abs v <= thresholds.negligible)
+               (icost_with c)
+        then [ Deoptimize { cat = c; cost_pct } ]
+        else [])
+      costs
+  in
+  { baseline; costs; interactions; recommendations }
+
+let recommendation_to_string = function
+  | Attack { cat; cost_pct } ->
+    Printf.sprintf "ATTACK %s: %.1f%% of execution time" (Category.name cat) cost_pct
+  | Attack_with { cat; partner; icost_pct } ->
+    Printf.sprintf
+      "ATTACK %s TOGETHER WITH %s: parallel interaction (%+.1f%%), optimizing \
+       one alone forfeits the shared cycles"
+      (Category.name cat) (Category.name partner) icost_pct
+  | Indirect_lever { cat; partner; icost_pct } ->
+    Printf.sprintf
+      "INDIRECT LEVER for %s: improve %s (serial interaction %+.1f%%); it also \
+       hides %s latency"
+      (Category.name cat) (Category.name partner) icost_pct (Category.name cat)
+  | Deoptimize { cat; cost_pct } ->
+    Printf.sprintf
+      "DE-OPTIMIZE %s: cost %.1f%% and no significant interactions; the \
+       resource can shrink to save area/energy"
+      (Category.name cat) cost_pct
+
+let report_to_string (r : report) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "baseline %.0f cycles; individual costs (%% of time):\n" r.baseline);
+  List.iter
+    (fun (c, v) -> Buffer.add_string buf (Printf.sprintf "  %-6s %6.1f%%\n" (Category.name c) v))
+    r.costs;
+  Buffer.add_string buf "recommendations:\n";
+  if r.recommendations = [] then Buffer.add_string buf "  (machine is balanced)\n"
+  else
+    List.iter
+      (fun rec_ -> Buffer.add_string buf ("  - " ^ recommendation_to_string rec_ ^ "\n"))
+      r.recommendations;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Optimization advisor: turn a cost oracle into design recommendations
+    (the "balanced machine" reading of the paper's introduction). *)
+
+type recommendation =
+  | Attack of { cat : Category.t; cost_pct : float }
+      (** a primary bottleneck worth direct optimization *)
+  | Attack_with of { cat : Category.t; partner : Category.t; icost_pct : float }
+      (** parallel interaction: only a joint attack realizes the gain *)
+  | Indirect_lever of { cat : Category.t; partner : Category.t; icost_pct : float }
+      (** serial interaction: improving [partner] also hides [cat] *)
+  | Deoptimize of { cat : Category.t; cost_pct : float }
+      (** near-zero cost and interactions: candidate for shrinking *)
+
+type report = {
+  baseline : float;
+  costs : (Category.t * float) list;  (** percent of baseline, descending *)
+  interactions : (Category.t * Category.t * float) list;  (** percent *)
+  recommendations : recommendation list;
+}
+
+(** Decision thresholds, as percent of execution time. *)
+type thresholds = {
+  bottleneck : float;  (** individual cost above this is a bottleneck *)
+  interaction : float;  (** |icost| above this is significant *)
+  negligible : float;  (** cost and interactions below this allow shrinking *)
+}
+
+val default_thresholds : thresholds
+(** bottleneck 10%, interaction 2%, negligible 1%. *)
+
+val analyze : ?thresholds:thresholds -> Cost.oracle -> report
+
+val recommendation_to_string : recommendation -> string
+val report_to_string : report -> string

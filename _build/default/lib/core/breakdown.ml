@@ -1,0 +1,101 @@
+(** Parallelism-aware performance breakdowns (Section 2.3).
+
+    Traditional CPI breakdowns assign each cycle to exactly one cause, which
+    is impossible in an out-of-order processor.  An icost breakdown instead
+    has one row per base category plus one row per *interaction* among the
+    displayed categories; positive rows can exceed 100% in aggregate, offset
+    by negative (serial) interaction rows, and the whole table accounts for
+    all execution time.
+
+    The paper's Table 4 displays, for a chosen focus category (the critical
+    loop under study), the eight base costs, the pairwise interactions of
+    the focus with every other category, and an "Other" row summing all
+    interaction costs not displayed.  {!focus} reproduces exactly that
+    layout; {!pairwise} gives the full pairwise matrix. *)
+
+type row_kind =
+  | Base of Category.t
+  | Pair of Category.t * Category.t  (** interaction row, focus first *)
+  | Other  (** all interaction costs not displayed *)
+
+type row = { kind : row_kind; percent : float; cycles : float }
+
+type t = {
+  baseline_cycles : float;
+  rows : row list;
+}
+
+let row_label r =
+  match r.kind with
+  | Base c -> Category.name c
+  | Pair (a, b) -> Category.name a ^ "+" ^ Category.name b
+  | Other -> "Other"
+
+(** [focus ~oracle ~focus_cat] builds a Table 4-style breakdown: base rows
+    ordered with the focus first, focus+x interaction rows, and Other
+    completing the account to exactly 100%. *)
+let focus ~(oracle : Cost.oracle) ~(focus_cat : Category.t) : t =
+  let oracle = Cost.memoize oracle in
+  let baseline = oracle Category.Set.empty in
+  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
+  let others = List.filter (fun c -> c <> focus_cat) Category.all in
+  let base_rows =
+    List.map
+      (fun c ->
+        let cyc = Cost.cost oracle (Category.Set.singleton c) in
+        { kind = Base c; percent = pct cyc; cycles = cyc })
+      (focus_cat :: others)
+  in
+  let pair_rows =
+    List.map
+      (fun c ->
+        let cyc = Cost.icost_pair oracle focus_cat c in
+        { kind = Pair (focus_cat, c); percent = pct cyc; cycles = cyc })
+      others
+  in
+  let shown = List.fold_left (fun acc r -> acc +. r.percent) 0. (base_rows @ pair_rows) in
+  let other = { kind = Other; percent = 100. -. shown; cycles = baseline *. (100. -. shown) /. 100. } in
+  { baseline_cycles = baseline; rows = base_rows @ pair_rows @ [ other ] }
+
+(** Total of all rows; 100 by construction of the Other row. *)
+let total t = List.fold_left (fun acc r -> acc +. r.percent) 0. t.rows
+
+let find_row t kind =
+  List.find_opt (fun r ->
+      match (r.kind, kind) with
+      | Base a, Base b -> a = b
+      | Pair (a, b), Pair (c, d) -> (a = c && b = d) || (a = d && b = c)
+      | Other, Other -> true
+      | _ -> false)
+    t.rows
+
+let percent_of t kind = Option.map (fun r -> r.percent) (find_row t kind)
+
+(** Full pairwise interaction matrix over all categories: entries (a, b, icost%)
+    for a < b in category order. *)
+let pairwise ~(oracle : Cost.oracle) =
+  let oracle = Cost.memoize oracle in
+  let baseline = oracle Category.Set.empty in
+  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
+  let rec pairs = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+  in
+  List.map
+    (fun (a, b) -> (a, b, pct (Cost.icost_pair oracle a b)))
+    (pairs Category.all)
+
+(** Higher-order interactions: icost of every subset of [cats] with
+    cardinality between 2 and [max_order], as percent of baseline. *)
+let higher_order ~(oracle : Cost.oracle) ~max_order cats =
+  let oracle = Cost.memoize oracle in
+  let baseline = oracle Category.Set.empty in
+  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
+  let full = Category.Set.of_list cats in
+  Category.Set.subsets full
+  |> List.filter (fun s ->
+         let k = Category.Set.cardinal s in
+         k >= 2 && k <= max_order)
+  |> List.map (fun s -> (s, pct (Cost.icost_ie oracle s)))
+  |> List.sort (fun (a, _) (b, _) ->
+         compare (Category.Set.cardinal a, a) (Category.Set.cardinal b, b))

@@ -1,0 +1,42 @@
+(** Parallelism-aware performance breakdowns (Section 2.3).
+
+    One row per base category plus one per displayed interaction; serial
+    interactions appear as negative rows, and an [Other] row completes the
+    account so the table sums to exactly 100% of execution time — the
+    paper's Table 4 layout. *)
+
+type row_kind =
+  | Base of Category.t
+  | Pair of Category.t * Category.t  (** interaction row, focus first *)
+  | Other  (** all interaction costs not displayed *)
+
+type row = { kind : row_kind; percent : float; cycles : float }
+
+type t = { baseline_cycles : float; rows : row list }
+
+val row_label : row -> string
+(** "dl1", "dl1+win", "Other", ... *)
+
+val focus : oracle:Cost.oracle -> focus_cat:Category.t -> t
+(** Table 4-style breakdown: all base rows (focus first), the focus's
+    pairwise interaction rows, and Other. *)
+
+val total : t -> float
+(** Sum of all rows; 100 by construction. *)
+
+val find_row : t -> row_kind -> row option
+(** Look a row up; [Pair] keys match in either order. *)
+
+val percent_of : t -> row_kind -> float option
+
+val pairwise : oracle:Cost.oracle -> (Category.t * Category.t * float) list
+(** The full pairwise interaction matrix (icost as percent of baseline),
+    one entry per unordered category pair. *)
+
+val higher_order :
+  oracle:Cost.oracle ->
+  max_order:int ->
+  Category.t list ->
+  (Category.Set.t * float) list
+(** icost of every subset of the given categories with cardinality in
+    [2, max_order], as percent of baseline, sorted by cardinality. *)

@@ -1,0 +1,122 @@
+(** Event categories for parallelism-aware breakdowns.
+
+    These are the eight base categories of the paper's Table 4:
+
+    - [Dl1]: level-one data-cache (hit) latency
+    - [Win]: instruction-window stalls
+    - [Bw]: processor bandwidth (fetch, issue and commit bandwidths)
+    - [Bmisp]: branch mispredictions
+    - [Dmiss]: data-cache misses (including D-TLB misses)
+    - [Shalu]: one-cycle integer operations
+    - [Lgalu]: multi-cycle integer and floating-point operations
+    - [Imiss]: instruction-cache misses (including I-TLB misses)
+
+    A {!Set.t} of categories denotes a set of events to idealize together;
+    costs and interaction costs are functions of such sets. *)
+
+type t = Dl1 | Win | Bw | Bmisp | Dmiss | Shalu | Lgalu | Imiss
+
+let all = [ Dl1; Win; Bw; Bmisp; Dmiss; Shalu; Lgalu; Imiss ]
+
+let count = List.length all
+
+let to_int = function
+  | Dl1 -> 0
+  | Win -> 1
+  | Bw -> 2
+  | Bmisp -> 3
+  | Dmiss -> 4
+  | Shalu -> 5
+  | Lgalu -> 6
+  | Imiss -> 7
+
+let of_int = function
+  | 0 -> Dl1
+  | 1 -> Win
+  | 2 -> Bw
+  | 3 -> Bmisp
+  | 4 -> Dmiss
+  | 5 -> Shalu
+  | 6 -> Lgalu
+  | 7 -> Imiss
+  | n -> invalid_arg (Printf.sprintf "Category.of_int: %d" n)
+
+let name = function
+  | Dl1 -> "dl1"
+  | Win -> "win"
+  | Bw -> "bw"
+  | Bmisp -> "bmisp"
+  | Dmiss -> "dmiss"
+  | Shalu -> "shalu"
+  | Lgalu -> "lgalu"
+  | Imiss -> "imiss"
+
+let of_name = function
+  | "dl1" -> Some Dl1
+  | "win" -> Some Win
+  | "bw" -> Some Bw
+  | "bmisp" -> Some Bmisp
+  | "dmiss" -> Some Dmiss
+  | "shalu" | "shortalu" -> Some Shalu
+  | "lgalu" | "longalu" -> Some Lgalu
+  | "imiss" -> Some Imiss
+  | _ -> None
+
+let description = function
+  | Dl1 -> "level-one data-cache access latency"
+  | Win -> "instruction window stalls"
+  | Bw -> "fetch/issue/commit bandwidth"
+  | Bmisp -> "branch mispredictions"
+  | Dmiss -> "data-cache misses"
+  | Shalu -> "one-cycle integer operations"
+  | Lgalu -> "multi-cycle integer and FP operations"
+  | Imiss -> "instruction-cache misses"
+
+(** Sets of categories, represented as bit masks.  The empty set means "no
+    idealization" (the baseline). *)
+module Set = struct
+  type cat = t
+
+  type t = int
+  (** bit [i] set iff category [of_int i] is in the set *)
+
+  let empty = 0
+  let full = (1 lsl count) - 1
+  let singleton c = 1 lsl to_int c
+  let mem c s = s land singleton c <> 0
+  let add c s = s lor singleton c
+  let remove c s = s land lnot (singleton c)
+  let union a b = a lor b
+  let inter a b = a land b
+  let diff a b = a land lnot b
+  let is_empty s = s = 0
+  let equal (a : t) (b : t) = a = b
+  let subset a b = a land b = a
+  let cardinal s =
+    let rec go acc s = if s = 0 then acc else go (acc + (s land 1)) (s lsr 1) in
+    go 0 s
+
+  let of_list cs = List.fold_left (fun s c -> add c s) empty cs
+  let to_list s = List.filter (fun c -> mem c s) all
+  let pair a b = union (singleton a) (singleton b)
+
+  (** All subsets of [s], including [empty] and [s] itself. *)
+  let subsets s =
+    (* enumerate submasks of the bitmask [s] *)
+    let rec go acc sub =
+      let acc = sub :: acc in
+      if sub = 0 then acc else go acc ((sub - 1) land s)
+    in
+    go [] s
+
+  (** Proper subsets: all subsets of [s] except [s] itself. *)
+  let proper_subsets s = List.filter (fun v -> v <> s) (subsets s)
+
+  let name s =
+    match to_list s with
+    | [] -> "(none)"
+    | cs -> String.concat "+" (List.map name cs)
+
+  let fold f s acc = List.fold_left (fun acc c -> f c acc) acc (to_list s)
+  let iter f s = List.iter f (to_list s)
+end

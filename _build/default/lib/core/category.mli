@@ -1,0 +1,78 @@
+(** Event categories for parallelism-aware breakdowns.
+
+    The eight base categories of the paper's Table 4.  A {!Set.t} of
+    categories denotes a set of event classes to idealize together; costs
+    and interaction costs ({!Cost}) are functions of such sets. *)
+
+type t =
+  | Dl1  (** level-one data-cache (hit) latency *)
+  | Win  (** instruction-window stalls *)
+  | Bw  (** processor bandwidth: fetch, issue and commit *)
+  | Bmisp  (** branch mispredictions *)
+  | Dmiss  (** data-cache misses (including D-TLB misses) *)
+  | Shalu  (** one-cycle integer operations *)
+  | Lgalu  (** multi-cycle integer and floating-point operations *)
+  | Imiss  (** instruction-cache misses (including I-TLB misses) *)
+
+val all : t list
+(** All categories, in canonical (breakdown-row) order. *)
+
+val count : int
+(** [List.length all]. *)
+
+val to_int : t -> int
+(** Stable index in [0, count). *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  @raise Invalid_argument outside [0, count). *)
+
+val name : t -> string
+(** Short name as used in the paper's tables ("dl1", "win", ...). *)
+
+val of_name : string -> t option
+(** Parse {!name} (also accepts the paper's "shortalu"/"longalu"). *)
+
+val description : t -> string
+(** One-line human description. *)
+
+(** Sets of categories, represented as bit masks (exposed as [int] so that
+    sets can serve directly as hash keys and be enumerated cheaply; treat
+    the representation as read-only). *)
+module Set : sig
+  type cat = t
+
+  type t = int
+  (** bit [to_int c] is set iff [c] is in the set *)
+
+  val empty : t
+  val full : t
+
+  val singleton : cat -> t
+  val mem : cat -> t -> bool
+  val add : cat -> t -> t
+  val remove : cat -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val is_empty : t -> bool
+  val equal : t -> t -> bool
+  val subset : t -> t -> bool
+  (** [subset a b] is true iff [a] is a subset of [b]. *)
+
+  val cardinal : t -> int
+  val of_list : cat list -> t
+  val to_list : t -> cat list
+  val pair : cat -> cat -> t
+
+  val subsets : t -> t list
+  (** All subsets, including [empty] and the set itself. *)
+
+  val proper_subsets : t -> t list
+  (** All subsets except the set itself. *)
+
+  val name : t -> string
+  (** e.g. ["dl1+win"]; [("(none)")] for the empty set. *)
+
+  val fold : (cat -> 'a -> 'a) -> t -> 'a -> 'a
+  val iter : (cat -> unit) -> t -> unit
+end

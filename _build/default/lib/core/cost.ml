@@ -1,0 +1,97 @@
+(** Costs and interaction costs (Section 2 of the paper).
+
+    The cost of a set of events [S] is the speedup obtained from idealizing
+    all events in [S] together:
+
+    {[ cost(S) = t_base - t(S idealized) ]}
+
+    This module is parameterized over a *cost oracle*: any function from a
+    category set to the execution time with that set idealized.  Three
+    oracles exist in this repository — multiple idealized simulations
+    ({!Icost_sim}), dependence-graph analysis ({!Icost_depgraph}) and the
+    shotgun profiler ({!Icost_profiler}) — and they all plug in here.
+
+    The interaction cost of a set [U] is defined recursively (the paper's
+    Section 2.2):
+
+    {[
+      icost({})  = 0
+      icost(U)   = cost(U) - sum over proper subsets V of U of icost(V)
+    ]}
+
+    which has the closed inclusion-exclusion form
+
+    {[ icost(U) = sum over subsets V of U of (-1)^(|U| - |V|) * cost(V) ]}
+
+    For two events: [icost{a,b} = cost{a,b} - cost(a) - cost(b)].  A positive
+    icost is a parallel interaction, a negative one a serial interaction,
+    zero means independence. *)
+
+(** An oracle maps a category set to the total execution time (in cycles)
+    with that set idealized.  [oracle Category.Set.empty] is the baseline
+    execution time. *)
+type oracle = Category.Set.t -> float
+
+(** Memoize an oracle.  Cost queries share many subset evaluations, and the
+    underlying measurements (a graph pass or a whole simulation) are the
+    expensive part. *)
+let memoize (f : oracle) : oracle =
+  let tbl : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  fun s ->
+    match Hashtbl.find_opt tbl s with
+    | Some v -> v
+    | None ->
+      let v = f s in
+      Hashtbl.add tbl s v;
+      v
+
+(** [cost oracle s] = baseline time minus time with [s] idealized. *)
+let cost (oracle : oracle) (s : Category.Set.t) : float =
+  oracle Category.Set.empty -. oracle s
+
+(** Interaction cost by the recursive definition. *)
+let rec icost (oracle : oracle) (u : Category.Set.t) : float =
+  if Category.Set.is_empty u then 0.
+  else
+    let subs = Category.Set.proper_subsets u in
+    cost oracle u -. List.fold_left (fun acc v -> acc +. icost oracle v) 0. subs
+
+(** Interaction cost by inclusion-exclusion (equal to {!icost}; used for
+    cross-checking and because it is cheaper for large sets). *)
+let icost_ie (oracle : oracle) (u : Category.Set.t) : float =
+  let k = Category.Set.cardinal u in
+  List.fold_left
+    (fun acc v ->
+      let sign = if (k - Category.Set.cardinal v) land 1 = 0 then 1. else -1. in
+      acc +. (sign *. cost oracle v))
+    0. (Category.Set.subsets u)
+
+(** Pairwise interaction cost. *)
+let icost_pair oracle a b =
+  if a = b then invalid_arg "Cost.icost_pair: categories must differ";
+  cost oracle (Category.Set.pair a b)
+  -. cost oracle (Category.Set.singleton a)
+  -. cost oracle (Category.Set.singleton b)
+
+(** Interaction classification (Section 2.2). *)
+type interaction = Independent | Parallel | Serial
+
+(** [classify ?tolerance icost_value] decides the interaction type.
+    [tolerance] absorbs measurement noise (default 0.5 cycles). *)
+let classify ?(tolerance = 0.5) v =
+  if v > tolerance then Parallel else if v < -.tolerance then Serial else Independent
+
+let interaction_name = function
+  | Independent -> "independent"
+  | Parallel -> "parallel"
+  | Serial -> "serial"
+
+(** Aggregate cost of every category together (used for accounting checks:
+    total time = sum of icosts over the power set of all categories plus the
+    never-removable floor). *)
+let cost_all oracle = cost oracle Category.Set.full
+
+(** Sum of icosts over the power set of [u]; by construction this telescopes
+    back to [cost u].  Exposed for property tests. *)
+let sum_icosts_powerset oracle u =
+  List.fold_left (fun acc v -> acc +. icost_ie oracle v) 0. (Category.Set.subsets u)

@@ -1,0 +1,55 @@
+(** Costs and interaction costs (Section 2 of the paper).
+
+    {[
+      cost(S)      = t_base - t(S idealized)
+      icost({})    = 0
+      icost(U)     = cost(U) - sum over proper subsets V of U of icost(V)
+    ]}
+
+    Parameterized over a {!oracle}; three interchangeable oracles exist in
+    this repository: multiple idealized simulations
+    ({!Icost_sim.Multisim.oracle}), dependence-graph re-evaluation
+    ({!Icost_depgraph.Build.oracle}) and the shotgun profiler
+    ({!Icost_profiler.Profile.oracle}). *)
+
+type oracle = Category.Set.t -> float
+(** Maps a category set to total execution time (cycles) with that set
+    idealized; [oracle Category.Set.empty] is the baseline time. *)
+
+val memoize : oracle -> oracle
+(** Cache oracle evaluations (the underlying measurement — a simulation or
+    a graph pass — is the expensive part, and cost queries share many
+    subset evaluations). *)
+
+val cost : oracle -> Category.Set.t -> float
+(** [cost oracle s] is the speedup (cycles) from idealizing [s]. *)
+
+val icost : oracle -> Category.Set.t -> float
+(** Interaction cost by the paper's recursive definition.  Exponential in
+    the set size; prefer {!icost_ie} beyond pairs. *)
+
+val icost_ie : oracle -> Category.Set.t -> float
+(** Interaction cost by inclusion-exclusion; equal to {!icost}. *)
+
+val icost_pair : oracle -> Category.t -> Category.t -> float
+(** [icost_pair oracle a b] = [cost {a,b} - cost {a} - cost {b}].
+    @raise Invalid_argument if [a = b]. *)
+
+(** How two (sets of) events relate (Section 2.2). *)
+type interaction =
+  | Independent  (** optimize each in isolation *)
+  | Parallel  (** positive icost: gains exist only when both are optimized *)
+  | Serial  (** negative icost: optimizing either one covers the other *)
+
+val classify : ?tolerance:float -> float -> interaction
+(** Classify an icost value; [tolerance] (default 0.5 cycles) absorbs
+    measurement noise. *)
+
+val interaction_name : interaction -> string
+
+val cost_all : oracle -> float
+(** Cost of idealizing every category together. *)
+
+val sum_icosts_powerset : oracle -> Category.Set.t -> float
+(** Sum of icosts over the power set of the given set; telescopes to
+    [cost] of the set by construction (exposed for property tests). *)

@@ -1,0 +1,1 @@
+lib/depgraph/build.ml: Array Builder Graph Icost_core Icost_isa Icost_sim Icost_uarch List Option Queue

@@ -1,0 +1,1 @@
+lib/depgraph/build.mli: Graph Icost_core Icost_isa Icost_sim Icost_uarch

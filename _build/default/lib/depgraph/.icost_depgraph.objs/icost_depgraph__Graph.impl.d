@@ -1,0 +1,1 @@
+lib/depgraph/graph.ml: Array Buffer Format Hashtbl Icost_core List Option Printf

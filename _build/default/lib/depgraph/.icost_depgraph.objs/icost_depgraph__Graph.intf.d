@@ -1,0 +1,1 @@
+lib/depgraph/graph.mli: Format Hashtbl Icost_core

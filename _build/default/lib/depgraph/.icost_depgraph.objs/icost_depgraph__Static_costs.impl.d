@@ -1,0 +1,1 @@
+lib/depgraph/static_costs.ml: Array Graph Hashtbl Icost_core Icost_isa Icost_uarch List Option

@@ -1,0 +1,1 @@
+lib/depgraph/static_costs.mli: Graph Hashtbl Icost_core Icost_isa Icost_uarch

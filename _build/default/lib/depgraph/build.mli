@@ -1,0 +1,63 @@
+(** Dependence-graph construction.
+
+    {!of_sim} builds the full graph of a simulated execution (dynamic
+    latencies from the baseline run, structure from the machine
+    description — the static/dynamic split of Figure 5b); {!of_infos}
+    builds a fragment from records the shotgun profiler reconstructed from
+    samples.  Both share the same edge-emission logic. *)
+
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Trace = Icost_isa.Trace
+module Ooo = Icost_sim.Ooo
+module Category = Icost_core.Category
+
+(** Everything the graph needs to know about one dynamic instruction.
+    Producer indices are sequence numbers within the same graph; producers
+    before a fragment's start must be omitted. *)
+type instr_info = {
+  reg_producers : int list;
+  mem_producer : int option;  (** forwarding store *)
+  share_src : int option;  (** load whose miss covers this load's line *)
+  exec_base : int;  (** execution latency not owned by any category *)
+  exec_components : (Category.t * int) list;
+  imiss_delay : int;  (** I-cache/I-TLB stall (owned by Imiss) *)
+  fu_wait : int;  (** issue/FU contention (owned by Bw) *)
+  store_wait : int;  (** store-bandwidth commit contention (owned by Bw) *)
+  mispredict : bool;
+  taken_branch : bool;  (** taken control transfer (fetch-group boundary) *)
+}
+
+(** Structural graph parameters (from the machine description), with the
+    Table 2 model refinements exposed for ablation. *)
+type params = {
+  window : int;
+  fetch_bw : int;
+  commit_bw : int;
+  fetch_taken_limit : int;
+  wakeup_latency : int;
+  branch_recovery : int;
+  explicit_bw : bool;
+      (** true: FBW/CBW bandwidth edges (the paper's refined model);
+          false: bandwidth as latency on DD/CC edges (previous work) *)
+  pp_edges : bool;  (** model cache-line sharing with PP edges *)
+}
+
+val params_of_config : Config.t -> params
+
+val exec_decomposition :
+  Config.t -> Trace.dyn -> Events.evt -> int * (Category.t * int) list
+(** Execution-latency decomposition (base, category components) for the EP
+    edge of an instruction. *)
+
+val info_of_sim : Config.t -> Trace.dyn -> Events.evt -> Ooo.slot -> instr_info
+
+val of_infos : params -> instr_info array -> Graph.t
+
+val of_sim : Config.t -> Trace.t -> Events.evt array -> Ooo.result -> Graph.t
+(** Build the full graph of a simulated execution.  The result must be a
+    baseline (un-idealized) run: its dynamic contention latencies label
+    the RE/CC edges. *)
+
+val oracle : Graph.t -> Icost_core.Cost.oracle
+(** Cost oracle backed by graph re-evaluation. *)

@@ -1,0 +1,343 @@
+(** The microexecution dependence-graph model (Tables 2 and 3 of the paper).
+
+    Each dynamic instruction contributes five nodes:
+
+    - [D]: dispatch into the window
+    - [R]: all data operands ready, waiting on a functional unit
+    - [E]: executing
+    - [P]: completed execution
+    - [C]: committing
+
+    and up to twelve kinds of latency-labelled dependence edges:
+
+    {v
+    DD   in-order dispatch            D(i-1)   -> D(i)   (+ I-cache miss latency)
+    FBW  finite fetch bandwidth       D(i-fbw) -> D(i)   latency 1
+    CD   finite re-order buffer       C(i-w)   -> D(i)
+    PD   control dependence           P(i-1)   -> D(i)   (mispredicted branch; recovery latency)
+    DR   execution follows dispatch   D(i)     -> R(i)
+    PR   data dependences             P(j)     -> R(i)   (register and memory)
+    RE   execute after ready          R(i)     -> E(i)   (+ FU contention)
+    EP   complete after execute       E(i)     -> P(i)   (execution latency)
+    PP   cache-line sharing           P(j)     -> P(i)   (partial misses)
+    PC   commit follows completion    P(i)     -> C(i)
+    CC   in-order commit              C(i-1)   -> C(i)
+    CBW  commit bandwidth             C(i-cbw) -> C(i)   latency 1
+    v}
+
+    Edge latencies are stored *decomposed by category* so that idealizing a
+    set of categories is a pure re-evaluation: components owned by an
+    idealized category contribute zero, and some edges (PD, CD, FBW, CBW,
+    PP) disappear entirely when their owning category is idealized.  This is
+    the "alter a bottleneck's edges" methodology of Section 3. *)
+
+module Category = Icost_core.Category
+
+type node_kind = D | R | E | P | C
+
+let node_kinds = [| D; R; E; P; C |]
+
+let kind_index = function D -> 0 | R -> 1 | E -> 2 | P -> 3 | C -> 4
+
+let kind_name = function D -> "D" | R -> "R" | E -> "E" | P -> "P" | C -> "C"
+
+type edge_kind = DD | FBW | CD | PD | DR | PR | RE | EP | PP | PC | CC | CBW
+
+let edge_kind_name = function
+  | DD -> "DD"
+  | FBW -> "FBW"
+  | CD -> "CD"
+  | PD -> "PD"
+  | DR -> "DR"
+  | PR -> "PR"
+  | RE -> "RE"
+  | EP -> "EP"
+  | PP -> "PP"
+  | PC -> "PC"
+  | CC -> "CC"
+  | CBW -> "CBW"
+
+(** A latency component owned by a category: idealizing the category zeroes
+    the component. *)
+type component = { cat : Category.t; lat : int }
+
+type edge = {
+  src : int;  (** node id *)
+  dst : int;
+  kind : edge_kind;
+  base : int;  (** latency that no idealization removes *)
+  components : component list;
+  removed_by : Category.t option;
+      (** the whole edge (constraint included) disappears when this category
+          is idealized *)
+}
+
+type t = {
+  num_instrs : int;
+  edges : edge array;  (** sorted by [dst] *)
+  first_in : int array;  (** CSR index: incoming edges of node [v] are
+                             [edges.(first_in.(v)) .. edges.(first_in.(v+1) - 1)] *)
+  floors : (int * int * component list) list;
+      (** (node, base, components): minimum arrival times for nodes with no
+          incoming edge to carry them (e.g. the first instruction's I-cache
+          stall delaying its dispatch) *)
+}
+
+let num_nodes t = 5 * t.num_instrs
+
+let node ~seq ~kind = (5 * seq) + kind_index kind
+
+let seq_of_node v = v / 5
+
+let kind_of_node v = node_kinds.(v mod 5)
+
+let node_name v = Printf.sprintf "%s%d" (kind_name (kind_of_node v)) (seq_of_node v)
+
+(** Effective latency of [e] under the idealization [s]; [None] if the edge
+    is removed entirely. *)
+let edge_latency (s : Category.Set.t) (e : edge) : int option =
+  match e.removed_by with
+  | Some c when Category.Set.mem c s -> None
+  | _ ->
+    let extra =
+      List.fold_left
+        (fun acc { cat; lat } -> if Category.Set.mem cat s then acc else acc + lat)
+        0 e.components
+    in
+    Some (e.base + extra)
+
+(* ---------- building ---------- *)
+
+module Builder = struct
+  type b = {
+    mutable edge_buf : edge list;
+    mutable n_edges : int;
+    mutable n_instrs : int;
+    mutable floors : (int * int * component list) list;
+  }
+
+  let create () = { edge_buf = []; n_edges = 0; n_instrs = 0; floors = [] }
+
+  (** Constrain [node] to arrive no earlier than [base] plus the (category
+      owned) components. *)
+  let add_floor b ~node ~base ~components =
+    b.floors <- (node, base, components) :: b.floors
+
+  let add_edge b ~src ~dst ~kind ?(base = 0) ?(components = []) ?removed_by () =
+    assert (src < dst);
+    b.edge_buf <- { src; dst; kind; base; components; removed_by } :: b.edge_buf;
+    b.n_edges <- b.n_edges + 1
+
+  let note_instr b = b.n_instrs <- b.n_instrs + 1
+
+  (** Finalize into CSR form (counting sort of edges by destination). *)
+  let finish b : t =
+    let num_instrs = b.n_instrs in
+    let n_nodes = 5 * num_instrs in
+    let counts = Array.make (n_nodes + 1) 0 in
+    List.iter (fun e -> counts.(e.dst + 1) <- counts.(e.dst + 1) + 1) b.edge_buf;
+    for v = 1 to n_nodes do
+      counts.(v) <- counts.(v) + counts.(v - 1)
+    done;
+    let first_in = Array.copy counts in
+    let dummy =
+      { src = 0; dst = 0; kind = DD; base = 0; components = []; removed_by = None }
+    in
+    let edges = Array.make b.n_edges dummy in
+    let cursor = Array.copy first_in in
+    List.iter
+      (fun e ->
+        edges.(cursor.(e.dst)) <- e;
+        cursor.(e.dst) <- cursor.(e.dst) + 1)
+      b.edge_buf;
+    { num_instrs; edges; first_in; floors = b.floors }
+end
+
+(* ---------- evaluation ---------- *)
+
+(** [eval ?ideal ?override t] computes the arrival time of every node under
+    the given idealization (default: none), in one topological pass.  All
+    edges point forward in node order, so node order is a topological
+    order.  [override], when given, may replace an edge's latency
+    (returning [None] leaves the idealized latency in force); it enables
+    finer-grained what-if queries than category idealization, e.g. zeroing
+    a single instruction's execution latency (Tune et al.'s per-instruction
+    cost). *)
+let eval ?(ideal = Category.Set.empty) ?override (t : t) : int array =
+  let n = num_nodes t in
+  let time = Array.make n 0 in
+  let floor = Hashtbl.create 4 in
+  List.iter
+    (fun (node, base, components) ->
+      let lat =
+        List.fold_left
+          (fun acc { cat; lat } ->
+            if Category.Set.mem cat ideal then acc else acc + lat)
+          base components
+      in
+      Hashtbl.replace floor node
+        (max lat (Option.value ~default:0 (Hashtbl.find_opt floor node))))
+    t.floors;
+  for v = 0 to n - 1 do
+    let lo = t.first_in.(v) and hi = t.first_in.(v + 1) in
+    let best = ref 0 in
+    for k = lo to hi - 1 do
+      let e = t.edges.(k) in
+      let lat =
+        match override with
+        | Some f -> (match f e with Some l -> Some l | None -> edge_latency ideal e)
+        | None -> edge_latency ideal e
+      in
+      match lat with
+      | None -> ()
+      | Some lat ->
+        let cand = time.(e.src) + lat in
+        if cand > !best then best := cand
+    done;
+    (match Hashtbl.find_opt floor v with
+     | Some f when f > !best -> best := f
+     | _ -> ());
+    time.(v) <- !best
+  done;
+  time
+
+(** Critical-path length: arrival time of the last C node (plus one cycle to
+    retire it), i.e. the modeled execution time. *)
+let critical_length ?ideal ?override (t : t) : int =
+  if t.num_instrs = 0 then 0
+  else
+    let time = eval ?ideal ?override t in
+    time.(node ~seq:(t.num_instrs - 1) ~kind:C) + 1
+
+(** Cost of a set of edges (Tune et al.): speedup from zeroing the latency
+    of every edge matching [pred]. *)
+let cost_of_edges ?ideal (t : t) pred : int =
+  let base = critical_length ?ideal t in
+  let zeroed = critical_length ?ideal ~override:(fun e -> if pred e then Some 0 else None) t in
+  base - zeroed
+
+(** Cost of one dynamic instruction's execution latency: zero its EP edge. *)
+let instr_cost ?ideal (t : t) ~seq : int =
+  cost_of_edges ?ideal t (fun e -> e.kind = EP && seq_of_node e.dst = seq)
+
+(** Slack of a node: how much later it could arrive without growing the
+    critical path.  Computed from forward times and backward requirement
+    times in two passes. *)
+let slacks ?(ideal = Category.Set.empty) (t : t) : int array =
+  let n = num_nodes t in
+  let time = eval ~ideal t in
+  let cp = if n = 0 then 0 else time.(n - 1) in
+  (* latest(v): latest arrival of v keeping the last C node at cp *)
+  let latest = Array.make n max_int in
+  if n > 0 then latest.(n - 1) <- cp;
+  for v = n - 1 downto 0 do
+    let lo = t.first_in.(v) and hi = t.first_in.(v + 1) in
+    for k = lo to hi - 1 do
+      let e = t.edges.(k) in
+      match edge_latency ideal e with
+      | None -> ()
+      | Some lat ->
+        if latest.(v) <> max_int && latest.(v) - lat < latest.(e.src) then
+          latest.(e.src) <- latest.(v) - lat
+    done
+  done;
+  Array.init n (fun v ->
+      if latest.(v) = max_int then max_int else latest.(v) - time.(v))
+
+(** [critical_path t] returns the node ids of one critical path, last node
+    first, together with the edge kinds taken (paired with the *downstream*
+    node).  Ties are broken toward the earliest incoming edge. *)
+let critical_path ?(ideal = Category.Set.empty) (t : t) : (int * edge_kind option) list =
+  if t.num_instrs = 0 then []
+  else begin
+    let time = eval ~ideal t in
+    let rec walk v acc =
+      let lo = t.first_in.(v) and hi = t.first_in.(v + 1) in
+      let pred = ref None in
+      for k = lo to hi - 1 do
+        let e = t.edges.(k) in
+        match edge_latency ideal e with
+        | None -> ()
+        | Some lat ->
+          if time.(e.src) + lat = time.(v) && !pred = None then pred := Some e
+      done;
+      match !pred with
+      | Some e when time.(v) > 0 -> walk e.src ((v, Some e.kind) :: acc)
+      | _ -> (v, None) :: acc
+    in
+    walk (node ~seq:(t.num_instrs - 1) ~kind:C) []
+  end
+
+(** Count of edges by kind (model statistics and tests). *)
+let edge_histogram (t : t) =
+  let tbl = Hashtbl.create 12 in
+  Array.iter
+    (fun e ->
+      Hashtbl.replace tbl e.kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e.kind)))
+    t.edges;
+  tbl
+
+let num_edges t = Array.length t.edges
+
+(** Graphviz DOT rendering (for small graphs, e.g. the Figure 2 demo).
+    Critical-path edges are drawn bold. *)
+let to_dot ?(ideal = Category.Set.empty) (t : t) : string =
+  let time = eval ~ideal t in
+  let on_cp =
+    let cp = critical_path ~ideal t in
+    let tbl = Hashtbl.create 64 in
+    let rec mark = function
+      | (v, _) :: ((w, _) :: _ as rest) ->
+        Hashtbl.replace tbl (v, w) ();
+        mark rest
+      | _ -> ()
+    in
+    mark cp;
+    fun src dst -> Hashtbl.mem tbl (src, dst)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph microexecution {\n  rankdir=LR;\n";
+  for i = 0 to t.num_instrs - 1 do
+    Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%d { label=\"i%d\";" i i);
+    Array.iter
+      (fun k ->
+        let v = node ~seq:i ~kind:k in
+        Buffer.add_string buf
+          (Printf.sprintf " n%d [label=\"%s%d\\nt=%d\"];" v (kind_name k) i time.(v)))
+      node_kinds;
+    Buffer.add_string buf " }\n"
+  done;
+  Array.iter
+    (fun e ->
+      let lat = Option.value ~default:0 (edge_latency ideal e) in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%s:%d\"%s];\n" e.src e.dst
+           (edge_kind_name e.kind) lat
+           (if on_cp e.src e.dst then " penwidth=3" else "")))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Compact text rendering of a small graph: one line per instruction with
+    node times, then the edge list. *)
+let pp_small ppf ?(ideal = Category.Set.empty) (t : t) =
+  let time = eval ~ideal t in
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to t.num_instrs - 1 do
+    Format.fprintf ppf "i%-3d" i;
+    Array.iter
+      (fun k ->
+        Format.fprintf ppf "  %s=%-4d" (kind_name k) time.(node ~seq:i ~kind:k))
+      node_kinds;
+    Format.fprintf ppf "@,"
+  done;
+  Array.iter
+    (fun e ->
+      match edge_latency ideal e with
+      | None -> ()
+      | Some lat ->
+        Format.fprintf ppf "%s -> %s  %s lat=%d@," (node_name e.src) (node_name e.dst)
+          (edge_kind_name e.kind) lat)
+    t.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,130 @@
+(** The microexecution dependence-graph model (Tables 2 and 3 of the paper).
+
+    Each dynamic instruction contributes five nodes — [D]ispatch, [R]eady,
+    [E]xecute, com[P]lete, [C]ommit — connected by latency-labelled
+    dependence edges (see {!edge_kind}).  Edge latencies are decomposed by
+    owning {!Icost_core.Category}, so idealizing a category set is a pure
+    re-evaluation of the graph: owned components contribute zero and some
+    edges (PD, CD, FBW, CBW, PP) disappear entirely. *)
+
+module Category = Icost_core.Category
+
+type node_kind = D | R | E | P | C
+
+val node_kinds : node_kind array
+val kind_index : node_kind -> int
+val kind_name : node_kind -> string
+
+(** The twelve edge kinds of Table 3. *)
+type edge_kind =
+  | DD  (** in-order dispatch (+ I-cache miss latency) *)
+  | FBW  (** finite fetch bandwidth (incl. the taken-branch limit) *)
+  | CD  (** finite re-order buffer *)
+  | PD  (** control dependence after a mispredicted branch *)
+  | DR  (** execution follows dispatch *)
+  | PR  (** data dependences (register and memory) *)
+  | RE  (** execute after ready (+ contention) *)
+  | EP  (** complete after execute (execution latency) *)
+  | PP  (** cache-line sharing between loads *)
+  | PC  (** commit follows completion *)
+  | CC  (** in-order commit (+ store bandwidth) *)
+  | CBW  (** commit bandwidth *)
+
+val edge_kind_name : edge_kind -> string
+
+(** A latency component owned by a category: idealizing the category
+    zeroes the component. *)
+type component = { cat : Category.t; lat : int }
+
+type edge = {
+  src : int;  (** node id *)
+  dst : int;
+  kind : edge_kind;
+  base : int;  (** latency no idealization removes *)
+  components : component list;
+  removed_by : Category.t option;
+      (** the edge (constraint included) disappears when this category is
+          idealized *)
+}
+
+type t = {
+  num_instrs : int;
+  edges : edge array;  (** sorted by [dst] *)
+  first_in : int array;
+      (** CSR index: incoming edges of node [v] are
+          [edges.(first_in.(v)) .. edges.(first_in.(v+1) - 1)] *)
+  floors : (int * int * component list) list;
+      (** (node, base, components): minimum arrival times for nodes whose
+          stall has no incoming edge to ride on (e.g. the first
+          instruction's I-cache miss) *)
+}
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val node : seq:int -> kind:node_kind -> int
+(** Node id of instruction [seq]'s [kind] node. *)
+
+val seq_of_node : int -> int
+val kind_of_node : int -> node_kind
+val node_name : int -> string
+
+val edge_latency : Category.Set.t -> edge -> int option
+(** Effective latency under an idealization; [None] if the edge is
+    removed. *)
+
+(** Incremental construction; see {!Build} for the high-level entry
+    points. *)
+module Builder : sig
+  type b
+
+  val create : unit -> b
+  val note_instr : b -> unit
+
+  val add_edge :
+    b ->
+    src:int ->
+    dst:int ->
+    kind:edge_kind ->
+    ?base:int ->
+    ?components:component list ->
+    ?removed_by:Category.t ->
+    unit ->
+    unit
+  (** Edges must point forward ([src < dst]); node order is then a
+      topological order. *)
+
+  val add_floor : b -> node:int -> base:int -> components:component list -> unit
+  val finish : b -> t
+end
+
+val eval : ?ideal:Category.Set.t -> ?override:(edge -> int option) -> t -> int array
+(** Arrival time of every node under the idealization (default none), in
+    one topological pass.  [override] may replace an edge's latency
+    ([None] keeps the idealized latency), enabling finer what-if queries
+    than category idealization. *)
+
+val critical_length : ?ideal:Category.Set.t -> ?override:(edge -> int option) -> t -> int
+(** Arrival of the last C node plus one retire cycle: the modeled
+    execution time. *)
+
+val cost_of_edges : ?ideal:Category.Set.t -> t -> (edge -> bool) -> int
+(** Speedup from zeroing every matching edge (Tune et al.). *)
+
+val instr_cost : ?ideal:Category.Set.t -> t -> seq:int -> int
+(** Cost of one dynamic instruction's execution latency (its EP edge). *)
+
+val slacks : ?ideal:Category.Set.t -> t -> int array
+(** Per-node slack: how much later the node could arrive without growing
+    the critical path ([max_int] for nodes with no path to the sink). *)
+
+val critical_path : ?ideal:Category.Set.t -> t -> (int * edge_kind option) list
+(** One critical path, source first; each element pairs a node with the
+    kind of the edge taken {e into} it ([None] at the source). *)
+
+val edge_histogram : t -> (edge_kind, int) Hashtbl.t
+val to_dot : ?ideal:Category.Set.t -> t -> string
+(** Graphviz rendering (small graphs); critical-path edges drawn bold. *)
+
+val pp_small : Format.formatter -> ?ideal:Category.Set.t -> t -> unit
+(** Compact text rendering: node times per instruction, then the edges. *)

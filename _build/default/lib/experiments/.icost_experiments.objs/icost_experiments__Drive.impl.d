@@ -1,0 +1,1 @@
+lib/experiments/drive.ml: Buffer Exp_fig1 Exp_fig3 Exp_prefetch Exp_profiler_stats Exp_table4 Exp_table7 Float Icost_core Icost_uarch Icost_util List Printf Runner String

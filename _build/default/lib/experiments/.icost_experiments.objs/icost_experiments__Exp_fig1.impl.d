@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Buffer Icost_core Icost_report Icost_uarch List Printf Runner

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Buffer Icost_core Icost_report Icost_sim Icost_uarch Icost_util List Printf Runner

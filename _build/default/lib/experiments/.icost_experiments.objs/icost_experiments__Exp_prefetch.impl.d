@@ -1,0 +1,1 @@
+lib/experiments/exp_prefetch.ml: Array Hashtbl Icost_core Icost_depgraph Icost_isa Icost_report Icost_sim Icost_uarch Icost_workloads List Printf Runner

@@ -1,0 +1,1 @@
+lib/experiments/exp_profiler_stats.ml: Float Icost_core Icost_profiler Icost_report Icost_uarch Icost_util List Printf Runner String

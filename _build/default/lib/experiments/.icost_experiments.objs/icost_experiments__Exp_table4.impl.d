@@ -1,0 +1,1 @@
+lib/experiments/exp_table4.ml: Float Icost_core Icost_report Icost_uarch List Printf Runner

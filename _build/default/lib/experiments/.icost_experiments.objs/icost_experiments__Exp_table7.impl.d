@@ -1,0 +1,1 @@
+lib/experiments/exp_table7.ml: Buffer Float Icost_core Icost_report Icost_uarch Icost_util List Option Printf Runner

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Icost_core Icost_depgraph Icost_isa Icost_profiler Icost_sim Icost_uarch Icost_workloads List Printf

@@ -1,0 +1,200 @@
+(** Top-level experiment driver: one entry point per paper artifact,
+    shared by the CLI ([bin/main.ml]) and the bench harness
+    ([bench/main.ml]).  Each function takes prepared workloads and returns
+    the rendered report plus machine-readable shape checks where
+    applicable. *)
+
+module Config = Icost_uarch.Config
+
+type report = { id : string; title : string; body : string; checks : (string * bool) list }
+
+let check_lines checks =
+  String.concat ""
+    (List.map
+       (fun (d, ok) -> Printf.sprintf "[%s] %s\n" (if ok then "PASS" else "FAIL") d)
+       checks)
+
+let table4 (v : Exp_table4.variant) ~id prepared : report =
+  let r = Exp_table4.compute v prepared in
+  let checks = Exp_table4.shape_checks r in
+  { id; title = v.label; body = Exp_table4.render r; checks }
+
+let table4a prepared = table4 Exp_table4.table4a ~id:"table4a" prepared
+let table4b prepared = table4 Exp_table4.table4b ~id:"table4b" prepared
+let table4c prepared = table4 Exp_table4.table4c ~id:"table4c" prepared
+
+let fig1 prepared : report =
+  let p =
+    match prepared with
+    | [] -> invalid_arg "fig1: no workloads"
+    | p :: _ -> (
+      match List.find_opt (fun (q : Runner.prepared) -> q.name = "gcc") prepared with
+      | Some q -> q
+      | None -> p)
+  in
+  let r = Exp_fig1.compute p in
+  let total =
+    List.fold_left (fun a (_, v) -> a +. v) r.other (r.base_pcts @ r.interaction_pcts)
+  in
+  {
+    id = "fig1";
+    title = "Figure 1: correctly reporting breakdowns";
+    body = Exp_fig1.render r;
+    checks =
+      [
+        ("icost breakdown accounts for 100% of cycles", Float.abs (total -. 100.) < 0.1);
+        ( "interaction categories are non-trivial",
+          List.exists (fun (_, v) -> Float.abs v > 0.5) r.interaction_pcts );
+      ];
+  }
+
+let fig3 ?(w0 = 64) ?(w1 = 128) prepared : report =
+  let r = Exp_fig3.compute prepared in
+  let ag = Exp_fig3.agreement r ~w0 ~w1 ~lat_lo:1 ~lat_hi:4 in
+  let all_agree = List.for_all (fun (_, _, _, _, a) -> a) ag in
+  let serial_exists = List.exists (fun (_, ic, _, _, _) -> ic < -1.) ag in
+  let body =
+    Exp_fig3.render r ~w0 ~w1 ^ "\n"
+    ^ Exp_fig3.render_wakeup (Exp_fig3.wakeup_corollary ~w0 ~w1 prepared)
+  in
+  {
+    id = "fig3";
+    title = "Figure 3 + Section 4.3: sensitivity study vs icost";
+    body;
+    checks =
+      [
+        ("icost sign agrees with the sensitivity study on every benchmark", all_agree);
+        ("at least one benchmark shows a serial dl1+win interaction", serial_exists);
+      ];
+  }
+
+let table7 ?profiler_opts prepared : report =
+  let r = Exp_table7.compute ?profiler_opts prepared in
+  let overall l = Icost_util.Stats.mean (List.map snd l) in
+  let eg = overall r.err_vs_graph and em = overall r.err_vs_multisim in
+  {
+    id = "table7";
+    title = "Table 7: profiler validation";
+    body = Exp_table7.render r;
+    checks =
+      [
+        (Printf.sprintf "profiler tracks the full graph (mean error %.0f%% <= 25%%)" eg, eg <= 25.);
+        (Printf.sprintf "profiler tracks multisim (mean error %.0f%% <= 40%%)" em, em <= 40.);
+      ];
+  }
+
+let profstats prepared : report =
+  let rows = Exp_profiler_stats.compute prepared in
+  let total_built =
+    List.fold_left (fun a (r : Exp_profiler_stats.bench_stats) -> a + r.stats.fragments_built) 0 rows
+  in
+  let match_ok =
+    List.for_all
+      (fun (r : Exp_profiler_stats.bench_stats) -> r.stats.match_rate >= 0.95)
+      rows
+  in
+  {
+    id = "profstats";
+    title = "Section 5: shotgun profiler statistics";
+    body = Exp_profiler_stats.render rows;
+    checks =
+      [
+        ("fragments were built for every benchmark", total_built > 0);
+        ("detailed-sample match rate >= 95% (paper: >98%)", match_ok);
+      ];
+  }
+
+let prefetch ?settings () : report =
+  let rows = Exp_prefetch.compute ?settings () in
+  {
+    id = "prefetch";
+    title = "Prefetching case study: predicted cost vs realized speedup (extension)";
+    body = Exp_prefetch.render rows;
+    checks = Exp_prefetch.checks rows;
+  }
+
+let conclusion ?settings () : report =
+  let rows = Exp_prefetch.conclusion_compute ?settings () in
+  {
+    id = "conclusion";
+    title =
+      "Conclusion case study: prefetch misses that serially interact with \
+       mispredicts (extension)";
+    body = Exp_prefetch.conclusion_render rows;
+    checks = Exp_prefetch.conclusion_checks rows;
+  }
+
+let advisor prepared : report =
+  let buf = Buffer.create 2048 in
+  let all_recs = ref [] in
+  List.iter
+    (fun (p : Runner.prepared) ->
+      let oracle = Runner.graph_oracle Config.default p in
+      let r = Icost_core.Advisor.analyze oracle in
+      all_recs := r.recommendations @ !all_recs;
+      Buffer.add_string buf (Printf.sprintf "--- %s ---\n" p.name);
+      Buffer.add_string buf (Icost_core.Advisor.report_to_string r))
+    prepared;
+  let has k = List.exists k !all_recs in
+  {
+    id = "advisor";
+    title = "Optimization advisor: balanced-machine recommendations (extension)";
+    body = Buffer.contents buf;
+    checks =
+      [
+        ("some resource is identified as a bottleneck",
+         has (function Icost_core.Advisor.Attack _ -> true | _ -> false));
+        ("some resource is a de-optimization candidate",
+         has (function Icost_core.Advisor.Deoptimize _ -> true | _ -> false));
+        ("serial interactions yield indirect levers",
+         has (function Icost_core.Advisor.Indirect_lever _ -> true | _ -> false));
+      ];
+  }
+
+let ablation prepared : report =
+  let rows = Exp_profiler_stats.ablation prepared in
+  let default_err = List.assoc "default (sig=1000 ctx=10 det=1/13)" rows in
+  let sparse_err = List.assoc "sparse detailed (det=1/53)" rows in
+  {
+    id = "ablation";
+    title = "Profiler sampling ablation";
+    body = Exp_profiler_stats.render_ablation rows;
+    checks =
+      [
+        ( "sparser detailed sampling does not beat the default",
+          sparse_err >= default_err -. 0.5 );
+      ];
+  }
+
+(** Everything, in paper order.  [heavy] selects the benchmark subsets the
+    slower experiments run on. *)
+let all_reports ?(settings = Runner.default_settings) () : report list =
+  let prepared = Runner.prepare_all settings in
+  let subset names =
+    List.filter (fun (p : Runner.prepared) -> List.mem p.name names) prepared
+  in
+  let t7 = subset Exp_table7.default_benches in
+  [
+    fig1 prepared;
+    table4a prepared;
+    table4b prepared;
+    table4c prepared;
+    fig3 prepared;
+    table7 t7;
+    profstats t7;
+    ablation t7;
+    prefetch ~settings ();
+    conclusion ~settings ();
+    advisor prepared;
+  ]
+
+let print_report (r : report) =
+  Printf.printf "==================================================================\n";
+  Printf.printf "%s [%s]\n" r.title r.id;
+  Printf.printf "==================================================================\n\n";
+  print_string r.body;
+  if r.checks <> [] then begin
+    print_newline ();
+    print_string (check_lines r.checks)
+  end;
+  print_newline ()

@@ -1,0 +1,90 @@
+(** Section 5 internals: shotgun-profiler operating statistics.
+
+    The paper reports that detailed samples are found for a looked-up PC
+    more than 98% of the time, that inferred control paths are consistent
+    60-99% of the time, and that 95-100% of errant graph walks are caught
+    by the impossible-signature check.  This experiment reports the
+    equivalent statistics for our profiler, plus an ablation over the
+    sampling parameters (signature length, context width, detailed-sample
+    density). *)
+
+module Config = Icost_uarch.Config
+module Sampler = Icost_profiler.Sampler
+module Profile = Icost_profiler.Profile
+module Construct = Icost_profiler.Construct
+module Table = Icost_report.Table
+
+type bench_stats = { bench : string; stats : Profile.stats }
+
+let compute ?(cfg = Config.default) ?opts (prepared : Runner.prepared list) :
+    bench_stats list =
+  List.map
+    (fun (p : Runner.prepared) ->
+      let prof = Runner.profiler_run ?opts cfg p in
+      { bench = p.name; stats = prof.Profile.stats })
+    prepared
+
+let render (rows : bench_stats list) : string =
+  let t =
+    Table.create
+      ~headers:
+        [ "bench"; "signatures"; "detailed"; "built"; "aborted"; "match%"; "reasons" ]
+  in
+  List.iter
+    (fun { bench; stats } ->
+      let reasons =
+        String.concat ","
+          (List.map
+             (fun (r, c) -> Printf.sprintf "%s:%d" (Construct.abort_reason_name r) c)
+             stats.aborted_by)
+      in
+      Table.add_row t
+        [ bench; string_of_int stats.num_signatures; string_of_int stats.num_detailed;
+          string_of_int stats.fragments_built; string_of_int stats.fragments_aborted;
+          Printf.sprintf "%.1f" (100. *. stats.match_rate);
+          (if reasons = "" then "-" else reasons) ])
+    rows;
+  "Shotgun profiler operating statistics (Section 5):\n" ^ Table.render t
+
+(** Ablation: error of the profiler breakdown against the full graph as the
+    sampling parameters vary.  Returns (label, mean |error| in percentage
+    points over base categories, averaged over benchmarks). *)
+let ablation ?(cfg = Config.loop_dl1) (prepared : Runner.prepared list) :
+    (string * float) list =
+  let module Cat = Icost_core.Category in
+  let module B = Icost_core.Breakdown in
+  let variants =
+    [
+      ("default (sig=1000 ctx=10 det=1/13)", Sampler.default_opts);
+      ("short signatures (sig=250)", { Sampler.default_opts with sig_len = 250; sig_period = 400 });
+      ("narrow context (ctx=2)", { Sampler.default_opts with context = 2 });
+      ("sparse detailed (det=1/53)", { Sampler.default_opts with det_period = 53 });
+      ("dense detailed (det=1/5)", { Sampler.default_opts with det_period = 5 });
+    ]
+  in
+  List.map
+    (fun (label, opts) ->
+      let errs =
+        List.concat_map
+          (fun (p : Runner.prepared) ->
+            let g = B.focus ~oracle:(Runner.graph_oracle cfg p) ~focus_cat:Cat.Dl1 in
+            let f =
+              B.focus ~oracle:(Runner.profiler_oracle ~opts cfg p) ~focus_cat:Cat.Dl1
+            in
+            List.filter_map
+              (fun c ->
+                let kind = B.Base c in
+                match (B.percent_of g kind, B.percent_of f kind) with
+                | Some a, Some b -> Some (Float.abs (a -. b))
+                | _ -> None)
+              Cat.all)
+          prepared
+      in
+      (label, Icost_util.Stats.mean errs))
+    variants
+
+let render_ablation (rows : (string * float) list) : string =
+  let t = Table.create ~headers:[ "sampling variant"; "mean |error| (pct points)" ] in
+  List.iter (fun (l, e) -> Table.add_row t [ l; Printf.sprintf "%.2f" e ]) rows;
+  "Profiler sampling ablation (error vs fullgraph, base categories):\n"
+  ^ Table.render t

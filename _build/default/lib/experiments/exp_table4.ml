@@ -1,0 +1,115 @@
+(** Tables 4a/4b/4c: CPI-contribution breakdowns for the three long-pipeline
+    case studies (Section 4).
+
+    Each variant is a machine knob plus a focus category:
+
+    - Table 4a: four-cycle level-one data cache, focus [dl1];
+    - Table 4b: two-cycle issue-wakeup loop, focus [shalu];
+    - Table 4c: fifteen-cycle branch-misprediction loop, focus [bmisp].
+
+    The breakdown shows every base category cost plus all pairwise
+    interaction costs with the focus category, in percent of execution
+    time, with an Other row completing the account to 100% — exactly the
+    layout of the paper's Table 4.  Like the paper, breakdowns are computed
+    on the dependence graph built during simulation. *)
+
+module Category = Icost_core.Category
+module Breakdown = Icost_core.Breakdown
+module Config = Icost_uarch.Config
+module Table = Icost_report.Table
+
+type variant = { label : string; cfg : Config.t; focus : Category.t }
+
+let table4a = { label = "Table 4a: four-cycle level-one data cache"; cfg = Config.loop_dl1; focus = Category.Dl1 }
+let table4b = { label = "Table 4b: two-cycle issue-wakeup loop"; cfg = Config.loop_wakeup; focus = Category.Shalu }
+let table4c = { label = "Table 4c: 15-cycle branch-mispredict loop"; cfg = Config.loop_bmisp; focus = Category.Bmisp }
+
+type result = {
+  variant : variant;
+  breakdowns : (string * Breakdown.t) list;  (** per benchmark *)
+}
+
+let compute ?(kind = Runner.Fullgraph) (v : variant)
+    (prepared : Runner.prepared list) : result =
+  let breakdowns =
+    List.map
+      (fun p ->
+        let oracle = Runner.oracle_of_kind kind v.cfg p in
+        (p.Runner.name, Breakdown.focus ~oracle ~focus_cat:v.focus))
+      prepared
+  in
+  { variant = v; breakdowns }
+
+(** Render in the paper's layout: categories as rows, benchmarks as
+    columns. *)
+let render (r : result) : string =
+  let benches = List.map fst r.breakdowns in
+  let t = Table.create ~headers:("Category" :: benches) in
+  let kinds =
+    match r.breakdowns with
+    | [] -> []
+    | (_, b) :: _ -> List.map (fun (row : Breakdown.row) -> row.kind) b.rows
+  in
+  let num_base = List.length Category.all in
+  List.iteri
+    (fun i kind ->
+      let label =
+        match kind with
+        | Breakdown.Base c -> Category.name c
+        | Breakdown.Pair (a, b) -> Category.name a ^ "+" ^ Category.name b
+        | Breakdown.Other -> "Other"
+      in
+      let signed = match kind with Breakdown.Base _ -> false | _ -> true in
+      let cells =
+        List.map
+          (fun (_, b) ->
+            match Breakdown.percent_of b kind with
+            | Some v -> Table.cell_f ~signed v
+            | None -> "-")
+          r.breakdowns
+      in
+      Table.add_row t (label :: cells);
+      if i = num_base - 1 then Table.add_separator t)
+    kinds;
+  Table.add_separator t;
+  Table.add_row t
+    ("Total" :: List.map (fun (_, b) -> Table.cell_f (Breakdown.total b)) r.breakdowns);
+  Printf.sprintf "%s\n(percent of execution time; negative = serial interaction)\n\n%s"
+    r.variant.label (Table.render t)
+
+(** Headline checks against the paper's qualitative findings; returns
+    (description, holds) pairs used by tests and EXPERIMENTS.md. *)
+let shape_checks (r : result) : (string * bool) list =
+  let pct bench kind =
+    match List.assoc_opt bench r.breakdowns with
+    | None -> None
+    | Some b -> Breakdown.percent_of b kind
+  in
+  let avg kind =
+    let vs = List.filter_map (fun (b, _) -> pct b kind) r.breakdowns in
+    if vs = [] then 0. else List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+  in
+  let focus = r.variant.focus in
+  match focus with
+  | Category.Dl1 ->
+    [
+      ("dl1 cost is significant (avg > 5%)", avg (Breakdown.Base Category.Dl1) > 5.);
+      ("dl1+win interaction is serial on average", avg (Breakdown.Pair (Category.Dl1, Category.Win)) < 0.);
+      ("dl1+shalu interaction is serial on average", avg (Breakdown.Pair (Category.Dl1, Category.Shalu)) < 0.);
+      ("dl1+bw interaction is parallel on average", avg (Breakdown.Pair (Category.Dl1, Category.Bw)) > 0.);
+      ("dl1+dmiss interaction is small (|avg| < 5%)", Float.abs (avg (Breakdown.Pair (Category.Dl1, Category.Dmiss))) < 5.);
+    ]
+  | Category.Shalu ->
+    [
+      ("shalu+win interaction is serial on average", avg (Breakdown.Pair (Category.Shalu, Category.Win)) < 0.);
+      ("shalu+bw interaction is parallel on average", avg (Breakdown.Pair (Category.Shalu, Category.Bw)) > 0.);
+    ]
+  | Category.Bmisp ->
+    [
+      ("bmisp+win interaction is parallel on average", avg (Breakdown.Pair (Category.Bmisp, Category.Win)) > 0.);
+      ( "bmisp+dmiss is serial for mcf",
+        match pct "mcf" (Breakdown.Pair (Category.Bmisp, Category.Dmiss)) with
+        | Some v -> v < 0.
+        | None -> true );
+    ]
+  | _ -> []

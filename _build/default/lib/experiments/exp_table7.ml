@@ -1,0 +1,120 @@
+(** Table 7: validating the profiler (and the graph model) against multiple
+    idealized simulations (Section 6).
+
+    For each benchmark the same Table 4a breakdown is computed three ways:
+
+    - [multisim]: one idealized simulation per breakdown entry (ground truth);
+    - [fullgraph]: the dependence graph built during simulation;
+    - [profiler]: graph fragments reconstructed by the shotgun profiler.
+
+    As in the paper, fullgraph and profiler columns are reported as
+    *absolute error* against multisim (in percentage points of total
+    execution time), and the summary errors replicate the paper's two
+    metrics: per-category error of the profiler against the full graph,
+    abs(profiler - fullgraph) / (multisim + fullgraph), and against
+    multisim, abs(profiler - multisim) / multisim, both averaged over
+    categories whose multisim share is at least 5%. *)
+
+module Category = Icost_core.Category
+module Breakdown = Icost_core.Breakdown
+module Config = Icost_uarch.Config
+module Table = Icost_report.Table
+
+type bench_rows = {
+  bench : string;
+  rows : (Breakdown.row_kind * float * float * float) list;
+      (** (row, multisim %, fullgraph %, profiler %) *)
+}
+
+type result = {
+  benches : bench_rows list;
+  err_vs_graph : (string * float) list;  (** per-bench mean % error *)
+  err_vs_multisim : (string * float) list;
+}
+
+let default_benches = [ "gcc"; "parser"; "twolf" ]
+
+let compute ?(cfg = Config.loop_dl1) ?(focus = Category.Dl1) ?profiler_opts
+    (prepared : Runner.prepared list) : result =
+  let benches =
+    List.map
+      (fun (p : Runner.prepared) ->
+        let bd kind =
+          let oracle = Runner.oracle_of_kind ?opts:profiler_opts kind cfg p in
+          Breakdown.focus ~oracle ~focus_cat:focus
+        in
+        let m = bd Runner.Multisim in
+        let g = bd Runner.Fullgraph in
+        let f = bd Runner.Profiler in
+        let rows =
+          List.filter_map
+            (fun (row : Breakdown.row) ->
+              match row.kind with
+              | Breakdown.Other -> None
+              | kind ->
+                let v b = Option.value ~default:0. (Breakdown.percent_of b kind) in
+                Some (kind, v m, v g, v f))
+            m.rows
+        in
+        { bench = p.name; rows })
+      prepared
+  in
+  (* paper's error metrics, averaged over categories with multisim >= 5% *)
+  let errors f =
+    List.map
+      (fun b ->
+        let es =
+          List.filter_map
+            (fun (_, m, g, p) -> if Float.abs m >= 5. then Some (f m g p) else None)
+            b.rows
+        in
+        (b.bench, 100. *. Icost_util.Stats.mean es))
+      benches
+  in
+  let err_vs_graph =
+    errors (fun m g p ->
+        if Float.abs (m +. g) < 1e-9 then 0. else Float.abs (p -. g) /. Float.abs (m +. g))
+  in
+  let err_vs_multisim =
+    errors (fun m _ p -> if Float.abs m < 1e-9 then 0. else Float.abs (p -. m) /. Float.abs m)
+  in
+  { benches; err_vs_graph; err_vs_multisim }
+
+let render (r : result) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Table 7: profiler accuracy vs full graph vs multiple simulations\n";
+  Buffer.add_string buf
+    "(multisim in percent of CPI; fullgraph and profiler as signed error vs multisim)\n\n";
+  List.iter
+    (fun b ->
+      let t =
+        Table.create ~headers:[ b.bench; "multisim"; "fullgraph"; "profiler" ]
+      in
+      List.iter
+        (fun (kind, m, g, p) ->
+          let label =
+            match kind with
+            | Breakdown.Base c -> Category.name c
+            | Breakdown.Pair (a, c) -> Category.name a ^ "+" ^ Category.name c
+            | Breakdown.Other -> "Other"
+          in
+          Table.add_row t
+            [ label; Table.cell_f m; Table.cell_f ~signed:true (g -. m);
+              Table.cell_f ~signed:true (p -. m) ])
+        b.rows;
+      Buffer.add_string buf (Table.render t);
+      Buffer.add_char buf '\n')
+    r.benches;
+  Buffer.add_string buf "Average per-category error (categories with multisim >= 5%):\n";
+  let t = Table.create ~headers:[ "bench"; "profiler vs fullgraph"; "profiler vs multisim" ] in
+  List.iter2
+    (fun (bench, eg) (_, em) ->
+      Table.add_row t [ bench; Printf.sprintf "%.0f%%" eg; Printf.sprintf "%.0f%%" em ])
+    r.err_vs_graph r.err_vs_multisim;
+  Buffer.add_string buf (Table.render t);
+  let overall l = Icost_util.Stats.mean (List.map snd l) in
+  Buffer.add_string buf
+    (Printf.sprintf "Overall: profiler vs fullgraph %.0f%%, profiler vs multisim %.0f%%\n"
+       (overall r.err_vs_graph) (overall r.err_vs_multisim));
+  Buffer.contents buf

@@ -1,0 +1,101 @@
+(** Shared machinery for the paper-reproduction experiments.
+
+    Each experiment prepares workloads once (interpret, annotate events,
+    slice off the warm-up) and then obtains cost oracles on top of the
+    prepared execution:
+
+    - [multisim_oracle]: re-times the trace per idealization (Section 2);
+    - [graph_oracle]: one baseline timing run, then graph re-evaluation
+      (Section 3, "fullgraph" in Table 7);
+    - [profiler_oracle]: shotgun profiling over the baseline run
+      (Section 5, "profiler" in Table 7).
+
+    Traces are architectural and machine-independent; event annotations
+    depend only on structural parameters (cache/predictor geometry), which
+    all experiment configurations share, so preparation is reused across
+    machine variants (different latencies, window sizes, bandwidths). *)
+
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Program = Icost_isa.Program
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Multisim = Icost_sim.Multisim
+module Build = Icost_depgraph.Build
+module Graph = Icost_depgraph.Graph
+module Profile = Icost_profiler.Profile
+module Sampler = Icost_profiler.Sampler
+module Workload = Icost_workloads.Workload
+module Cost = Icost_core.Cost
+
+type settings = { warmup : int; measure : int; benches : string list }
+
+let default_settings =
+  { warmup = 200_000; measure = 30_000; benches = Workload.names }
+
+type prepared = {
+  name : string;
+  program : Program.t;
+  trace : Trace.t;  (** measurement window, renumbered from 0 *)
+  evts : Events.evt array;
+}
+
+(** Interpret and annotate one workload.  Annotation uses the *structural*
+    configuration (caches, TLBs, predictor), which is identical across all
+    experiment variants. *)
+let prepare ?(structural = Config.default) (s : settings) (w : Workload.t) :
+    prepared =
+  let program = w.build () in
+  let trace =
+    Interp.run
+      ~config:{ Interp.default_config with max_instrs = s.warmup + s.measure }
+      program
+  in
+  let evts, _summary = Events.annotate structural trace in
+  let len = min s.measure (Trace.length trace - s.warmup) in
+  if len <= 0 then
+    invalid_arg
+      (Printf.sprintf "Runner.prepare: %s produced only %d instructions" w.name
+         (Trace.length trace));
+  let trace = Trace.slice trace ~start:s.warmup ~len in
+  let evts = Events.slice evts ~start:s.warmup ~len in
+  { name = w.name; program; trace; evts }
+
+let prepare_all ?structural (s : settings) : prepared list =
+  List.map (fun n -> prepare ?structural s (Workload.find_exn n)) s.benches
+
+(* --- oracles --- *)
+
+let baseline_run (cfg : Config.t) (p : prepared) : Ooo.result =
+  Ooo.run { cfg with ideal = Config.no_ideal } p.trace p.evts
+
+let multisim_oracle (cfg : Config.t) (p : prepared) : Cost.oracle =
+  Cost.memoize (Multisim.oracle cfg p.trace p.evts)
+
+let graph_of (cfg : Config.t) (p : prepared) : Graph.t =
+  let result = baseline_run cfg p in
+  Build.of_sim cfg p.trace p.evts result
+
+let graph_oracle (cfg : Config.t) (p : prepared) : Cost.oracle =
+  Cost.memoize (Build.oracle (graph_of cfg p))
+
+let profiler_run ?opts (cfg : Config.t) (p : prepared) : Profile.t =
+  let result = baseline_run cfg p in
+  Profile.profile ?opts cfg p.program p.trace p.evts result
+
+let profiler_oracle ?opts (cfg : Config.t) (p : prepared) : Cost.oracle =
+  Cost.memoize (Profile.oracle (profiler_run ?opts cfg p))
+
+type oracle_kind = Multisim | Fullgraph | Profiler
+
+let oracle_kind_name = function
+  | Multisim -> "multisim"
+  | Fullgraph -> "fullgraph"
+  | Profiler -> "profiler"
+
+let oracle_of_kind ?opts kind cfg p =
+  match kind with
+  | Multisim -> multisim_oracle cfg p
+  | Fullgraph -> graph_oracle cfg p
+  | Profiler -> profiler_oracle ?opts cfg p

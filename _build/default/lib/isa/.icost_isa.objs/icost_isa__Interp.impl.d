@@ -1,0 +1,1 @@
+lib/isa/interp.ml: Array Hashtbl Isa List Option Printf Program Trace

@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Format Isa List Printf

@@ -1,0 +1,146 @@
+(** A tiny assembler for writing workload kernels.
+
+    Instructions are emitted sequentially; control-flow targets are symbolic
+    labels resolved at [assemble] time.  The DSL keeps kernels readable:
+
+    {[
+      let a = Asm.create ~name:"loop" () in
+      Asm.label a "top";
+      Asm.load a ~rd:3 ~base:2 ~offset:0;
+      Asm.addi a ~rd:2 ~rs1:2 8;
+      Asm.addi a ~rd:4 ~rs1:4 (-1);
+      Asm.bne a ~rs1:4 ~rs2:0 "top";
+      Asm.halt a;
+      Asm.assemble a
+    ]} *)
+
+type fixup =
+  | Branch_to of { cond : Isa.cond; rs1 : Isa.reg; rs2 : Isa.reg; label : string }
+  | Jump_to of { label : string }
+  | Call_to of { label : string }
+  | Li_label of { rd : Isa.reg; label : string }
+      (** load the PC of a label into a register (for jump tables) *)
+
+type slot = Fixed of Isa.instr | Needs of fixup
+
+type mem_init = Word of int | Label_pc of string
+
+type t = {
+  name : string;
+  mutable slots : slot list;  (** reversed *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable mem_image : (int * mem_init) list;
+}
+
+let create ~name () =
+  { name; slots = []; count = 0; labels = Hashtbl.create 16; mem_image = [] }
+
+let here t = t.count
+
+let emit t i =
+  t.slots <- Fixed i :: t.slots;
+  t.count <- t.count + 1
+
+let emit_fixup t f =
+  t.slots <- Needs f :: t.slots;
+  t.count <- t.count + 1
+
+let label t name =
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "Asm.label: duplicate label %S in %s" name t.name);
+  Hashtbl.replace t.labels name t.count
+
+(** Seed the initial memory image with [value] at byte address [addr]. *)
+let init_word t ~addr ~value = t.mem_image <- (addr, Word value) :: t.mem_image
+
+(** Seed memory with the PC of [label] (resolved at assembly time), so code
+    can build jump tables in data memory. *)
+let init_label t ~addr label = t.mem_image <- (addr, Label_pc label) :: t.mem_image
+
+(* --- integer ALU --- *)
+
+let alu t op ~rd ~rs1 ~rs2 = emit t (Isa.Alu { op; rd; rs1; src2 = Reg rs2 })
+let alui t op ~rd ~rs1 imm = emit t (Isa.Alu { op; rd; rs1; src2 = Imm imm })
+let add t ~rd ~rs1 ~rs2 = alu t Isa.Add ~rd ~rs1 ~rs2
+let addi t ~rd ~rs1 imm = alui t Isa.Add ~rd ~rs1 imm
+let sub t ~rd ~rs1 ~rs2 = alu t Isa.Sub ~rd ~rs1 ~rs2
+let mul t ~rd ~rs1 ~rs2 = alu t Isa.Mul ~rd ~rs1 ~rs2
+let div t ~rd ~rs1 ~rs2 = alu t Isa.Div ~rd ~rs1 ~rs2
+let and_ t ~rd ~rs1 ~rs2 = alu t Isa.And ~rd ~rs1 ~rs2
+let andi t ~rd ~rs1 imm = alui t Isa.And ~rd ~rs1 imm
+let or_ t ~rd ~rs1 ~rs2 = alu t Isa.Or ~rd ~rs1 ~rs2
+let xor t ~rd ~rs1 ~rs2 = alu t Isa.Xor ~rd ~rs1 ~rs2
+let xori t ~rd ~rs1 imm = alui t Isa.Xor ~rd ~rs1 imm
+let shli t ~rd ~rs1 imm = alui t Isa.Shl ~rd ~rs1 imm
+let shri t ~rd ~rs1 imm = alui t Isa.Shr ~rd ~rs1 imm
+let slt t ~rd ~rs1 ~rs2 = alu t Isa.Slt ~rd ~rs1 ~rs2
+let slti t ~rd ~rs1 imm = alui t Isa.Slt ~rd ~rs1 imm
+
+(** [li t ~rd v] loads the immediate [v] into [rd] (pseudo: add rd, r0, #v). *)
+let li t ~rd v = alui t Isa.Add ~rd ~rs1:Isa.reg_zero v
+
+(** [mv t ~rd ~rs] copies a register (pseudo: add rd, rs, #0). *)
+let mv t ~rd ~rs = alui t Isa.Add ~rd ~rs1:rs 0
+
+(* --- floating point --- *)
+
+let fpu t op ~rd ~rs1 ~rs2 = emit t (Isa.Fpu { op; rd; rs1; rs2 })
+let fadd t ~rd ~rs1 ~rs2 = fpu t Isa.Fadd ~rd ~rs1 ~rs2
+let fmul t ~rd ~rs1 ~rs2 = fpu t Isa.Fmul ~rd ~rs1 ~rs2
+let fdiv t ~rd ~rs1 ~rs2 = fpu t Isa.Fdiv ~rd ~rs1 ~rs2
+
+(* --- memory --- *)
+
+let load t ~rd ~base ~offset = emit t (Isa.Load { rd; base; offset })
+let store t ~rs ~base ~offset = emit t (Isa.Store { rs; base; offset })
+
+(* --- control flow --- *)
+
+let branch t cond ~rs1 ~rs2 label = emit_fixup t (Branch_to { cond; rs1; rs2; label })
+let beq t ~rs1 ~rs2 label = branch t Isa.Eq ~rs1 ~rs2 label
+let bne t ~rs1 ~rs2 label = branch t Isa.Ne ~rs1 ~rs2 label
+let blt t ~rs1 ~rs2 label = branch t Isa.Lt ~rs1 ~rs2 label
+let bge t ~rs1 ~rs2 label = branch t Isa.Ge ~rs1 ~rs2 label
+let jmp t label = emit_fixup t (Jump_to { label })
+let call t label = emit_fixup t (Call_to { label })
+
+(** [li_label t ~rd label] loads the PC of [label] into [rd]. *)
+let li_label t ~rd label = emit_fixup t (Li_label { rd; label })
+let ret t = emit t Isa.Ret
+let jr t ~rs = emit t (Isa.Jump_reg { rs })
+let halt t = emit t Isa.Halt
+
+let resolve t name =
+  match Hashtbl.find_opt t.labels name with
+  | Some ix -> ix
+  | None -> invalid_arg (Printf.sprintf "Asm.assemble: undefined label %S in %s" name t.name)
+
+let assemble t =
+  let slots = Array.of_list (List.rev t.slots) in
+  let code =
+    Array.map
+      (function
+        | Fixed i -> i
+        | Needs (Branch_to { cond; rs1; rs2; label }) ->
+          Isa.Branch { cond; rs1; rs2; target = resolve t label }
+        | Needs (Jump_to { label }) -> Isa.Jump { target = resolve t label }
+        | Needs (Call_to { label }) -> Isa.Call { target = resolve t label }
+        | Needs (Li_label { rd; label }) ->
+          Isa.Alu
+            { op = Isa.Add; rd; rs1 = Isa.reg_zero;
+              src2 = Imm (Isa.pc_of_index (resolve t label)) })
+      slots
+  in
+  let mem_image =
+    List.rev_map
+      (fun (addr, init) ->
+        match init with
+        | Word v -> (addr, v)
+        | Label_pc l -> (addr, Isa.pc_of_index (resolve t l)))
+      t.mem_image
+  in
+  let program = Program.make ~name:t.name ~mem_image code in
+  match Program.validate program with
+  | Ok () -> program
+  | Error msg -> invalid_arg ("Asm.assemble: " ^ msg)

@@ -1,0 +1,79 @@
+(** A tiny assembler for writing workload kernels.
+
+    Instructions are emitted sequentially; control-flow targets are
+    symbolic labels resolved at {!assemble} time.  See the library's
+    workload kernels ([lib/workloads]) for idiomatic usage. *)
+
+type t
+
+val create : name:string -> unit -> t
+
+val here : t -> int
+(** Index of the next instruction to be emitted. *)
+
+val label : t -> string -> unit
+(** Define a label at the current position.
+    @raise Invalid_argument on duplicates. *)
+
+val init_word : t -> addr:int -> value:int -> unit
+(** Seed the initial memory image with [value] at byte address [addr]. *)
+
+val init_label : t -> addr:int -> string -> unit
+(** Seed memory with the PC of a label (for jump tables in data memory). *)
+
+(** {2 Integer ALU} *)
+
+val alu : t -> Isa.alu_op -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val alui : t -> Isa.alu_op -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+val add : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val addi : t -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+val sub : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val mul : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val div : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val and_ : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val andi : t -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+val or_ : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val xor : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val xori : t -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+val shli : t -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+val shri : t -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+val slt : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val slti : t -> rd:Isa.reg -> rs1:Isa.reg -> int -> unit
+
+val li : t -> rd:Isa.reg -> int -> unit
+(** Load an immediate (pseudo: [add rd, r0, #v]). *)
+
+val mv : t -> rd:Isa.reg -> rs:Isa.reg -> unit
+(** Register copy (pseudo: [add rd, rs, #0]). *)
+
+val li_label : t -> rd:Isa.reg -> string -> unit
+(** Load the PC of a label into a register. *)
+
+(** {2 Floating point} *)
+
+val fpu : t -> Isa.fpu_op -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val fadd : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val fmul : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+val fdiv : t -> rd:Isa.reg -> rs1:Isa.reg -> rs2:Isa.reg -> unit
+
+(** {2 Memory} *)
+
+val load : t -> rd:Isa.reg -> base:Isa.reg -> offset:int -> unit
+val store : t -> rs:Isa.reg -> base:Isa.reg -> offset:int -> unit
+
+(** {2 Control flow} *)
+
+val branch : t -> Isa.cond -> rs1:Isa.reg -> rs2:Isa.reg -> string -> unit
+val beq : t -> rs1:Isa.reg -> rs2:Isa.reg -> string -> unit
+val bne : t -> rs1:Isa.reg -> rs2:Isa.reg -> string -> unit
+val blt : t -> rs1:Isa.reg -> rs2:Isa.reg -> string -> unit
+val bge : t -> rs1:Isa.reg -> rs2:Isa.reg -> string -> unit
+val jmp : t -> string -> unit
+val call : t -> string -> unit
+val ret : t -> unit
+val jr : t -> rs:Isa.reg -> unit
+val halt : t -> unit
+
+val assemble : t -> Program.t
+(** Resolve all fixups and validate the program.
+    @raise Invalid_argument on undefined labels or invalid targets. *)

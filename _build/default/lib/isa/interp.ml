@@ -1,0 +1,158 @@
+(** Architectural interpreter.
+
+    Executes a {!Program.t} at the architectural level (registers + memory,
+    no timing) and records the committed dynamic instruction stream as a
+    {!Trace.t}.  The interpreter is the ground truth that both the timing
+    simulator and the shotgun profiler's reconstruction are measured
+    against. *)
+
+exception Stuck of string
+
+type config = {
+  max_instrs : int;  (** stop after this many dynamic instructions *)
+  trap_div_by_zero : bool;
+      (** if false, division by zero yields 0 instead of raising *)
+}
+
+let default_config = { max_instrs = 100_000; trap_div_by_zero = false }
+
+type state = {
+  regs : int array;
+  mem : (int, int) Hashtbl.t;
+  mutable pc_ix : int;  (** static index of the next instruction *)
+}
+
+let init_state (p : Program.t) =
+  let mem = Hashtbl.create 4096 in
+  List.iter (fun (addr, v) -> Hashtbl.replace mem addr v) p.mem_image;
+  { regs = Array.make Isa.num_regs 0; mem; pc_ix = p.entry }
+
+let read_reg st r = if r = Isa.reg_zero then 0 else st.regs.(r)
+
+let write_reg st r v = if r <> Isa.reg_zero then st.regs.(r) <- v
+
+let read_mem st addr = Option.value ~default:0 (Hashtbl.find_opt st.mem addr)
+
+let write_mem st addr v = Hashtbl.replace st.mem addr v
+
+let eval_alu cfg op a b =
+  match op with
+  | Isa.Add -> a + b
+  | Isa.Sub -> a - b
+  | Isa.Mul -> a * b
+  | Isa.Div ->
+    if b = 0 then if cfg.trap_div_by_zero then raise (Stuck "division by zero") else 0
+    else a / b
+  | Isa.And -> a land b
+  | Isa.Or -> a lor b
+  | Isa.Xor -> a lxor b
+  | Isa.Shl -> a lsl (b land 62)
+  | Isa.Shr -> a lsr (b land 62)
+  | Isa.Slt -> if a < b then 1 else 0
+
+(* Floating-point values live in the integer register file as small integer
+   "payloads"; the FPU ops perform the integer analogue.  Only latency class
+   matters to the timing model, not numeric semantics. *)
+let eval_fpu op a b =
+  match op with
+  | Isa.Fadd -> a + b
+  | Isa.Fmul -> (a * b) land max_int
+  | Isa.Fdiv -> if b = 0 then 0 else a / b
+
+let eval_cond cond a b =
+  match cond with
+  | Isa.Eq -> a = b
+  | Isa.Ne -> a <> b
+  | Isa.Lt -> a < b
+  | Isa.Ge -> a >= b
+
+(** [run ?config program] executes [program] and returns its trace. *)
+let run ?(config = default_config) (p : Program.t) : Trace.t =
+  let st = init_state p in
+  let out = ref [] in
+  let count = ref 0 in
+  let halted = ref false in
+  (* last_writer.(r) = seq of the most recent dynamic instruction that wrote
+     register r, or -1 if none yet. *)
+  let last_writer = Array.make Isa.num_regs (-1) in
+  (* last_store maps byte address -> seq of most recent store to it. *)
+  let last_store : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let n = Program.length p in
+  (try
+     while !count < config.max_instrs do
+       let ix = st.pc_ix in
+       if ix < 0 || ix >= n then
+         raise (Stuck (Printf.sprintf "PC fell off the program at index %d" ix));
+       let instr = Program.fetch p ix in
+       let seq = !count in
+       let pc = Isa.pc_of_index ix in
+       let reg_deps =
+         List.filter_map
+           (fun r ->
+             let w = last_writer.(r) in
+             if w >= 0 then Some (r, w) else None)
+           (Isa.sources instr)
+       in
+       let mem_addr = ref None in
+       let mem_dep = ref None in
+       let taken = ref false in
+       let next_ix = ref (ix + 1) in
+       (match instr with
+        | Isa.Alu { op; rd; rs1; src2 } ->
+          let a = read_reg st rs1 in
+          let b = match src2 with Isa.Reg r -> read_reg st r | Isa.Imm v -> v in
+          write_reg st rd (eval_alu config op a b)
+        | Isa.Fpu { op; rd; rs1; rs2 } ->
+          write_reg st rd (eval_fpu op (read_reg st rs1) (read_reg st rs2))
+        | Isa.Load { rd; base; offset } ->
+          let addr = read_reg st base + offset in
+          mem_addr := Some addr;
+          mem_dep := Hashtbl.find_opt last_store addr;
+          write_reg st rd (read_mem st addr)
+        | Isa.Store { rs; base; offset } ->
+          let addr = read_reg st base + offset in
+          mem_addr := Some addr;
+          write_mem st addr (read_reg st rs);
+          Hashtbl.replace last_store addr seq
+        | Isa.Branch { cond; rs1; rs2; target } ->
+          if eval_cond cond (read_reg st rs1) (read_reg st rs2) then begin
+            taken := true;
+            next_ix := target
+          end
+        | Isa.Jump { target } ->
+          taken := true;
+          next_ix := target
+        | Isa.Call { target } ->
+          taken := true;
+          write_reg st Isa.reg_ra (Isa.pc_of_index (ix + 1));
+          next_ix := target
+        | Isa.Ret ->
+          taken := true;
+          next_ix := Isa.index_of_pc (read_reg st Isa.reg_ra)
+        | Isa.Jump_reg { rs } ->
+          taken := true;
+          next_ix := Isa.index_of_pc (read_reg st rs)
+        | Isa.Halt ->
+          halted := true;
+          raise Exit);
+       (match Isa.dest instr with
+        | Some rd -> last_writer.(rd) <- seq
+        | None -> ());
+       st.pc_ix <- !next_ix;
+       out :=
+         {
+           Trace.seq;
+           static_ix = ix;
+           pc;
+           instr;
+           reg_deps;
+           mem_addr = !mem_addr;
+           mem_dep = !mem_dep;
+           taken = !taken;
+           next_pc = Isa.pc_of_index !next_ix;
+         }
+         :: !out;
+       incr count
+     done
+   with Exit -> ());
+  { Trace.program = p; instrs = Array.of_list (List.rev !out); halted = !halted }

@@ -1,0 +1,20 @@
+(** Architectural interpreter: executes a program at the register/memory
+    level (no timing) and records the committed dynamic instruction stream
+    — the ground truth for the timing simulator and the profiler's
+    reconstruction. *)
+
+exception Stuck of string
+(** The program counter left the program, or an enabled trap fired. *)
+
+type config = {
+  max_instrs : int;  (** stop after this many dynamic instructions *)
+  trap_div_by_zero : bool;  (** if false, division by zero yields 0 *)
+}
+
+val default_config : config
+(** 100k instructions, division by zero yields 0. *)
+
+val run : ?config:config -> Program.t -> Trace.t
+(** Execute the program from its entry point.  [Halt] ends the run early
+    (and is not recorded in the trace).  @raise Stuck on invalid control
+    flow. *)

@@ -1,0 +1,171 @@
+(** The miniature load/store RISC ISA executed by the simulator.
+
+    The paper evaluates on Alpha binaries; we substitute a small but real
+    register-machine ISA.  Programs are arrays of static instructions indexed
+    by a program counter (one instruction = 4 bytes of PC space, so
+    [pc = 4 * static_index]).  There are 32 integer registers; [r0] is
+    hard-wired to zero.  Memory is word-addressed through byte addresses
+    (loads and stores move 8-byte words).
+
+    The instruction classes map one-to-one onto the event categories of the
+    paper's breakdowns: single-cycle integer ops ([shalu]), multi-cycle
+    integer multiply/divide and floating-point ops ([lgalu]), loads and
+    stores (data-cache events), and control transfers (branch-prediction
+    events). *)
+
+type reg = int
+(** Register number, 0..31. Register 0 always reads as zero. *)
+
+let num_regs = 32
+let reg_zero : reg = 0
+let reg_ra : reg = 31 (* link register used by Call/Ret *)
+let reg_sp : reg = 30 (* conventionally the stack pointer *)
+
+(** Arithmetic/logical operations on integer registers. *)
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Slt (** set-if-less-than: rd <- if rs1 < src2 then 1 else 0 *)
+
+(** Floating-point operations (registers hold bit patterns; we reuse the
+    integer register file, as the distinction only matters for latency). *)
+type fpu_op = Fadd | Fmul | Fdiv
+
+(** Branch conditions, comparing two registers. *)
+type cond = Eq | Ne | Lt | Ge
+
+type operand = Reg of reg | Imm of int
+
+type instr =
+  | Alu of { op : alu_op; rd : reg; rs1 : reg; src2 : operand }
+  | Fpu of { op : fpu_op; rd : reg; rs1 : reg; rs2 : reg }
+  | Load of { rd : reg; base : reg; offset : int }
+  | Store of { rs : reg; base : reg; offset : int }
+  | Branch of { cond : cond; rs1 : reg; rs2 : reg; target : int }
+      (** direct conditional branch; [target] is a static instruction index *)
+  | Jump of { target : int }  (** direct unconditional jump *)
+  | Call of { target : int }  (** direct call: writes return PC to [reg_ra] *)
+  | Ret  (** indirect jump through [reg_ra] *)
+  | Jump_reg of { rs : reg }  (** general indirect jump (e.g. dispatch tables) *)
+  | Halt
+
+(** Latency classes used by the timing model and by the breakdown
+    categories. *)
+type op_class =
+  | Short_alu  (** 1-cycle integer ops *)
+  | Int_mul    (** integer multiply *)
+  | Int_div    (** integer divide (shares the multiplier pool) *)
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Mem_load
+  | Mem_store
+  | Ctrl       (** branches, jumps, calls, returns *)
+  | Nop_class  (** Halt *)
+
+let class_of = function
+  | Alu { op = Mul; _ } -> Int_mul
+  | Alu { op = Div; _ } -> Int_div
+  | Alu _ -> Short_alu
+  | Fpu { op = Fadd; _ } -> Fp_add
+  | Fpu { op = Fmul; _ } -> Fp_mul
+  | Fpu { op = Fdiv; _ } -> Fp_div
+  | Load _ -> Mem_load
+  | Store _ -> Mem_store
+  | Branch _ | Jump _ | Call _ | Ret | Jump_reg _ -> Ctrl
+  | Halt -> Nop_class
+
+(** A "long" ALU operation in the paper's sense: multi-cycle integer or any
+    floating-point arithmetic. *)
+let is_long_alu i =
+  match class_of i with
+  | Int_mul | Int_div | Fp_add | Fp_mul | Fp_div -> true
+  | Short_alu | Mem_load | Mem_store | Ctrl | Nop_class -> false
+
+let is_short_alu i = class_of i = Short_alu
+let is_load = function Load _ -> true | _ -> false
+let is_store = function Store _ -> true | _ -> false
+
+let is_branch = function
+  | Branch _ | Jump _ | Call _ | Ret | Jump_reg _ -> true
+  | _ -> false
+
+let is_cond_branch = function Branch _ -> true | _ -> false
+
+let is_indirect = function Ret | Jump_reg _ -> true | _ -> false
+
+let is_mem i = is_load i || is_store i
+
+(** Source registers read by an instruction (register 0 excluded: it is a
+    constant, never a dependence). *)
+let sources i =
+  let srcs =
+    match i with
+    | Alu { rs1; src2 = Reg rs2; _ } -> [ rs1; rs2 ]
+    | Alu { rs1; src2 = Imm _; _ } -> [ rs1 ]
+    | Fpu { rs1; rs2; _ } -> [ rs1; rs2 ]
+    | Load { base; _ } -> [ base ]
+    | Store { rs; base; _ } -> [ rs; base ]
+    | Branch { rs1; rs2; _ } -> [ rs1; rs2 ]
+    | Jump _ | Call _ | Halt -> []
+    | Ret -> [ reg_ra ]
+    | Jump_reg { rs } -> [ rs ]
+  in
+  List.filter (fun r -> r <> reg_zero) srcs
+
+(** Destination register written by an instruction, if any. *)
+let dest = function
+  | Alu { rd; _ } | Fpu { rd; _ } | Load { rd; _ } ->
+    if rd = reg_zero then None else Some rd
+  | Call _ -> Some reg_ra
+  | Store _ | Branch _ | Jump _ | Ret | Jump_reg _ | Halt -> None
+
+let string_of_alu_op = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Slt -> "slt"
+
+let string_of_fpu_op = function Fadd -> "fadd" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let string_of_cond = function Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
+
+let string_of_operand = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Imm n -> Printf.sprintf "#%d" n
+
+let to_string = function
+  | Alu { op; rd; rs1; src2 } ->
+    Printf.sprintf "%s r%d, r%d, %s" (string_of_alu_op op) rd rs1
+      (string_of_operand src2)
+  | Fpu { op; rd; rs1; rs2 } ->
+    Printf.sprintf "%s r%d, r%d, r%d" (string_of_fpu_op op) rd rs1 rs2
+  | Load { rd; base; offset } -> Printf.sprintf "ld r%d, %d(r%d)" rd offset base
+  | Store { rs; base; offset } -> Printf.sprintf "st r%d, %d(r%d)" rs offset base
+  | Branch { cond; rs1; rs2; target } ->
+    Printf.sprintf "%s r%d, r%d, @%d" (string_of_cond cond) rs1 rs2 target
+  | Jump { target } -> Printf.sprintf "jmp @%d" target
+  | Call { target } -> Printf.sprintf "call @%d" target
+  | Ret -> "ret"
+  | Jump_reg { rs } -> Printf.sprintf "jr r%d" rs
+  | Halt -> "halt"
+
+(** PC encoding: each static instruction occupies 4 bytes. *)
+let pc_of_index ix = 4 * ix
+
+let index_of_pc pc =
+  assert (pc land 3 = 0);
+  pc / 4

@@ -1,0 +1,83 @@
+(** The miniature load/store RISC ISA executed by the simulator.
+
+    Programs are arrays of static instructions indexed by a program
+    counter ([pc = 4 * static_index]).  There are 32 integer registers;
+    [r0] is hard-wired to zero.  Memory is word-addressed through byte
+    addresses (8-byte words).  Instruction classes map one-to-one onto the
+    breakdown categories: one-cycle integer ops (shalu), multi-cycle
+    integer and FP ops (lgalu), loads/stores (data-cache events), control
+    transfers (branch-prediction events). *)
+
+type reg = int
+(** Register number, 0..31; register 0 always reads as zero. *)
+
+val num_regs : int
+val reg_zero : reg
+val reg_ra : reg
+(** Link register written by [Call] and read by [Ret] (r31). *)
+
+val reg_sp : reg
+(** Conventional stack pointer (r30). *)
+
+type alu_op = Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Slt
+type fpu_op = Fadd | Fmul | Fdiv
+type cond = Eq | Ne | Lt | Ge
+type operand = Reg of reg | Imm of int
+
+type instr =
+  | Alu of { op : alu_op; rd : reg; rs1 : reg; src2 : operand }
+  | Fpu of { op : fpu_op; rd : reg; rs1 : reg; rs2 : reg }
+  | Load of { rd : reg; base : reg; offset : int }
+  | Store of { rs : reg; base : reg; offset : int }
+  | Branch of { cond : cond; rs1 : reg; rs2 : reg; target : int }
+      (** direct conditional branch; [target] is a static index *)
+  | Jump of { target : int }
+  | Call of { target : int }  (** writes the return PC to [reg_ra] *)
+  | Ret  (** indirect jump through [reg_ra] *)
+  | Jump_reg of { rs : reg }  (** general indirect jump *)
+  | Halt
+
+(** Latency classes used by the timing model and the categories. *)
+type op_class =
+  | Short_alu
+  | Int_mul
+  | Int_div
+  | Fp_add
+  | Fp_mul
+  | Fp_div
+  | Mem_load
+  | Mem_store
+  | Ctrl
+  | Nop_class
+
+val class_of : instr -> op_class
+
+val is_long_alu : instr -> bool
+(** Multi-cycle integer or any FP arithmetic (the paper's "lgalu"). *)
+
+val is_short_alu : instr -> bool
+val is_load : instr -> bool
+val is_store : instr -> bool
+val is_mem : instr -> bool
+val is_branch : instr -> bool
+(** Any control transfer, conditional or not. *)
+
+val is_cond_branch : instr -> bool
+val is_indirect : instr -> bool
+
+val sources : instr -> reg list
+(** Source registers read (register 0 excluded: it is a constant). *)
+
+val dest : instr -> reg option
+(** Destination register written, if any (writes to r0 are discarded). *)
+
+val string_of_alu_op : alu_op -> string
+val string_of_fpu_op : fpu_op -> string
+val string_of_cond : cond -> string
+val string_of_operand : operand -> string
+val to_string : instr -> string
+
+val pc_of_index : int -> int
+(** Each static instruction occupies 4 bytes of PC space. *)
+
+val index_of_pc : int -> int

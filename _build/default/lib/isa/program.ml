@@ -1,0 +1,55 @@
+(** Static programs ("binaries").
+
+    A program is an array of static instructions plus an initial memory
+    image.  The shotgun profiler's software graph-construction algorithm
+    reads the binary to infer control flow and register dependences, exactly
+    as the paper's Figure 5b prescribes ("S" = static information). *)
+
+type t = {
+  name : string;
+  code : Isa.instr array;
+  entry : int;  (** static index of the first instruction *)
+  mem_image : (int * int) list;  (** initial (byte address, word value) pairs *)
+}
+
+let make ?(entry = 0) ?(mem_image = []) ~name code = { name; code; entry; mem_image }
+
+let length t = Array.length t.code
+
+(** [fetch t ix] returns the instruction at static index [ix].
+    @raise Invalid_argument if [ix] is out of bounds. *)
+let fetch t ix =
+  if ix < 0 || ix >= Array.length t.code then
+    invalid_arg (Printf.sprintf "Program.fetch: index %d out of bounds (%s)" ix t.name);
+  t.code.(ix)
+
+let fetch_pc t pc = fetch t (Isa.index_of_pc pc)
+
+(** Static sanity checks: all direct control-transfer targets must land
+    inside the code array.  Returns the list of offending static indices. *)
+let invalid_targets t =
+  let n = Array.length t.code in
+  let bad = ref [] in
+  Array.iteri
+    (fun ix instr ->
+      let check target = if target < 0 || target >= n then bad := ix :: !bad in
+      match instr with
+      | Isa.Branch { target; _ } | Isa.Jump { target } | Isa.Call { target } ->
+        check target
+      | _ -> ())
+    t.code;
+  List.rev !bad
+
+let validate t =
+  match invalid_targets t with
+  | [] -> Ok ()
+  | ixs ->
+    Error
+      (Printf.sprintf "program %s: %d instruction(s) with out-of-range targets (first at @%d)"
+         t.name (List.length ixs) (List.hd ixs))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s (%d instrs, entry @%d)@," t.name
+    (Array.length t.code) t.entry;
+  Array.iteri (fun ix i -> Format.fprintf ppf "%4d: %s@," ix (Isa.to_string i)) t.code;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,27 @@
+(** Static programs ("binaries"): an instruction array plus an initial
+    memory image.  The shotgun profiler's reconstruction reads the binary
+    to infer control flow and register dependences (Figure 5b's "static"
+    information). *)
+
+type t = {
+  name : string;
+  code : Isa.instr array;
+  entry : int;  (** static index of the first instruction *)
+  mem_image : (int * int) list;  (** initial (byte address, word value) pairs *)
+}
+
+val make : ?entry:int -> ?mem_image:(int * int) list -> name:string -> Isa.instr array -> t
+
+val length : t -> int
+
+val fetch : t -> int -> Isa.instr
+(** @raise Invalid_argument out of bounds. *)
+
+val fetch_pc : t -> int -> Isa.instr
+
+val invalid_targets : t -> int list
+(** Static indices whose direct control-transfer target is out of range. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

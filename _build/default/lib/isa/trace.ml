@@ -1,0 +1,74 @@
+(** Dynamic instruction traces.
+
+    The architectural interpreter ({!Interp}) turns a static program into a
+    sequence of [dyn] records: the committed dynamic instruction stream,
+    annotated with everything a timing model needs — register producers,
+    effective addresses, store-to-load forwarding sources and branch
+    outcomes.  Wrong-path instructions never appear in the trace; the timing
+    simulator charges misprediction recovery as a fetch bubble, matching the
+    dependence-graph model's PD edge. *)
+
+type dyn = {
+  seq : int;  (** dynamic sequence number, starting at 0 *)
+  static_ix : int;  (** index into the program's code array *)
+  pc : int;
+  instr : Isa.instr;
+  reg_deps : (Isa.reg * int) list;
+      (** (source register, producer's [seq]); producers before the start of
+          the trace are omitted *)
+  mem_addr : int option;  (** effective byte address for loads and stores *)
+  mem_dep : int option;
+      (** for a load: [seq] of the most recent earlier store to the same
+          address, if within the trace (store-to-load forwarding — the
+          machine has perfect memory disambiguation) *)
+  taken : bool;  (** for control transfers: was the branch taken *)
+  next_pc : int;  (** PC of the next dynamic instruction *)
+}
+
+type t = {
+  program : Program.t;
+  instrs : dyn array;
+  halted : bool;  (** executed a Halt (as opposed to hitting the budget) *)
+}
+
+let length t = Array.length t.instrs
+let get t i = t.instrs.(i)
+
+(** Mix of the trace by latency class, for quick workload characterization. *)
+let class_mix t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun d ->
+      let c = Isa.class_of d.instr in
+      Hashtbl.replace tbl c (1 + Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+    t.instrs;
+  tbl
+
+let count_if t pred = Array.fold_left (fun acc d -> if pred d then acc + 1 else acc) 0 t.instrs
+
+(** [slice t ~start ~len] extracts a sub-trace, renumbering [seq] from zero
+    and dropping dependences that point before the slice (they behave like
+    already-completed producers).  Used to discard warm-up instructions while
+    keeping cache and predictor state warmed by them. *)
+let slice t ~start ~len =
+  let n = Array.length t.instrs in
+  if start < 0 || len < 0 || start + len > n then invalid_arg "Trace.slice";
+  let remap s = if s >= start then Some (s - start) else None in
+  let instrs =
+    Array.init len (fun i ->
+        let d = t.instrs.(start + i) in
+        {
+          d with
+          seq = i;
+          reg_deps =
+            List.filter_map
+              (fun (r, p) -> Option.map (fun p' -> (r, p')) (remap p))
+              d.reg_deps;
+          mem_dep = Option.bind d.mem_dep remap;
+        })
+  in
+  { t with instrs }
+
+let num_loads t = count_if t (fun d -> Isa.is_load d.instr)
+let num_stores t = count_if t (fun d -> Isa.is_store d.instr)
+let num_branches t = count_if t (fun d -> Isa.is_cond_branch d.instr)

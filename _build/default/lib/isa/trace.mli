@@ -1,0 +1,41 @@
+(** Dynamic instruction traces: the committed instruction stream produced
+    by the architectural interpreter, annotated with everything a timing
+    model needs.  Wrong-path instructions never appear. *)
+
+type dyn = {
+  seq : int;  (** dynamic sequence number, from 0 *)
+  static_ix : int;  (** index into the program's code array *)
+  pc : int;
+  instr : Isa.instr;
+  reg_deps : (Isa.reg * int) list;
+      (** (source register, producer's [seq]); pre-trace producers omitted *)
+  mem_addr : int option;  (** effective byte address for loads and stores *)
+  mem_dep : int option;
+      (** for a load: [seq] of the most recent earlier store to the same
+          address (store-to-load forwarding; the machine has perfect
+          memory disambiguation) *)
+  taken : bool;  (** for control transfers: was the branch taken *)
+  next_pc : int;
+}
+
+type t = {
+  program : Program.t;
+  instrs : dyn array;
+  halted : bool;  (** executed a Halt (vs. hitting the budget) *)
+}
+
+val length : t -> int
+val get : t -> int -> dyn
+
+val class_mix : t -> (Isa.op_class, int) Hashtbl.t
+val count_if : t -> (dyn -> bool) -> int
+val num_loads : t -> int
+val num_stores : t -> int
+val num_branches : t -> int
+(** Conditional branches only. *)
+
+val slice : t -> start:int -> len:int -> t
+(** Extract a sub-trace, renumbering [seq] from zero and dropping
+    dependences that point before the slice (they behave like
+    already-completed producers).  Used to discard warm-up instructions
+    while keeping cache/predictor state warmed by them. *)

@@ -1,0 +1,1 @@
+lib/profiler/construct.ml: Array Icost_core Icost_depgraph Icost_isa Icost_uarch Icost_util List Option Sampler Signature

@@ -1,0 +1,1 @@
+lib/profiler/construct.mli: Icost_core Icost_depgraph Icost_isa Icost_uarch Icost_util Sampler

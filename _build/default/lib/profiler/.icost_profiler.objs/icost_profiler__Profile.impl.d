@@ -1,0 +1,1 @@
+lib/profiler/profile.ml: Array Construct Hashtbl Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch List Option Sampler

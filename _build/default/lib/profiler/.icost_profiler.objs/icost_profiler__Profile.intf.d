@@ -1,0 +1,1 @@
+lib/profiler/profile.mli: Construct Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch Sampler

@@ -1,0 +1,1 @@
+lib/profiler/sampler.ml: Array Hashtbl Icost_isa Icost_sim Icost_uarch Icost_util List Option Signature

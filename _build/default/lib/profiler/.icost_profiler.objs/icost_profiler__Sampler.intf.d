@@ -1,0 +1,1 @@
+lib/profiler/sampler.mli: Hashtbl Icost_isa Icost_sim Icost_uarch

@@ -1,0 +1,1 @@
+lib/profiler/signature.ml: Array Icost_isa Icost_uarch

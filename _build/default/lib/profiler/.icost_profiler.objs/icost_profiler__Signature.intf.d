@@ -1,0 +1,1 @@
+lib/profiler/signature.mli: Icost_isa Icost_uarch

@@ -1,0 +1,205 @@
+(** Post-mortem software graph construction (Figure 5a of the paper).
+
+    A signature sample provides the skeleton: a start PC and 2 signature
+    bits per instruction.  The algorithm walks the program binary from the
+    start PC, inferring each next PC (falling through, following direct
+    targets using signature bit 1 for conditional branch directions,
+    maintaining a call stack for returns, and reading indirect targets from
+    detailed samples).  For every instruction it selects the detailed
+    sample whose signature context best matches the skeleton, supplying
+    dynamic latencies and memory dependences; register dependences and
+    static latencies come from the binary and the machine description
+    (Figure 5b).  Impossible signature-bit settings abort the fragment, as
+    in the paper (95-100% of errant walks are discarded this way). *)
+
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+module Program = Icost_isa.Program
+module Config = Icost_uarch.Config
+module Build = Icost_depgraph.Build
+module Category = Icost_core.Category
+
+type abort_reason =
+  | Bad_pc  (** walked outside the binary *)
+  | Inconsistent_bits  (** signature bit impossible for the decoded instruction *)
+  | Missing_indirect_target  (** indirect jump with no detailed sample to supply a target *)
+
+let abort_reason_name = function
+  | Bad_pc -> "bad-pc"
+  | Inconsistent_bits -> "inconsistent-bits"
+  | Missing_indirect_target -> "missing-indirect-target"
+
+type fragment = {
+  infos : Build.instr_info array;
+  static_ixs : int array;  (** inferred static index per instruction *)
+  matched : int;  (** instructions with a matching detailed sample *)
+  defaulted : int;  (** instructions that fell back to static defaults *)
+}
+
+type outcome = Built of fragment | Aborted of abort_reason * int  (** progress made *)
+
+(** Static execution-latency decomposition used when no detailed sample is
+    available (the <2% fallback): loads are assumed to hit. *)
+let default_exec_components (cfg : Config.t) (instr : Isa.instr) =
+  let cls = Isa.class_of instr in
+  match cls with
+  | Isa.Mem_load -> [ (Category.Dl1, cfg.dl1_lat) ]
+  | Isa.Mem_store | Isa.Short_alu | Isa.Ctrl | Isa.Nop_class ->
+    [ (Category.Shalu, Config.exec_latency cfg cls) ]
+  | Isa.Int_mul | Isa.Int_div | Isa.Fp_add | Isa.Fp_mul | Isa.Fp_div ->
+    [ (Category.Lgalu, Config.exec_latency cfg cls) ]
+
+(** Decompose a measured load latency into dl1-hit and miss components. *)
+let measured_exec_components (cfg : Config.t) (instr : Isa.instr) ~exec_lat =
+  let cls = Isa.class_of instr in
+  match cls with
+  | Isa.Mem_load ->
+    let hit = min exec_lat cfg.dl1_lat in
+    let miss = max 0 (exec_lat - cfg.dl1_lat) in
+    [ (Category.Dl1, hit); (Category.Dmiss, miss) ]
+  | Isa.Mem_store | Isa.Short_alu | Isa.Ctrl | Isa.Nop_class ->
+    [ (Category.Shalu, exec_lat) ]
+  | Isa.Int_mul | Isa.Int_div | Isa.Fp_add | Isa.Fp_mul | Isa.Fp_div ->
+    [ (Category.Lgalu, exec_lat) ]
+
+(** Select a detailed sample whose context bits closely match the signature
+    window around position [k].
+
+    Rather than a deterministic argmax, we draw uniformly among the samples
+    within [slack] of the best score.  Rare dynamic behaviours (e.g., the
+    mispredicted occurrences of a branch) often have contexts
+    indistinguishable from the common case; an argmax would then always
+    return the same "modal" sample and systematically under-represent the
+    rare behaviour, while drawing from the near-best set reproduces the
+    conditional frequency of each behaviour given the context. *)
+let best_sample (db : Sampler.db) ~prng ~context ~(sig_bits : int array) ~k pc :
+    Sampler.detailed_sample option =
+  match Sampler.lookup db pc with
+  | [] -> None
+  | samples ->
+    let n = Array.length sig_bits in
+    let window =
+      Array.init ((2 * context) + 1) (fun o ->
+          let j = k - context + o in
+          if j >= 0 && j < n then sig_bits.(j) else 0)
+    in
+    let slack = 4 in
+    let scored =
+      List.map
+        (fun s -> (Signature.similarity_centered s.Sampler.context_bits window, s))
+        samples
+    in
+    let best = List.fold_left (fun m (sc, _) -> max m sc) min_int scored in
+    let near = List.filter_map (fun (sc, s) -> if sc >= best - slack then Some s else None) scored in
+    Some (Prng.choose prng (Array.of_list near))
+
+(** Build one graph fragment from a signature sample.  [context] must match
+    the sampler's context width. *)
+let fragment_of_signature ?(seed = 0x7a11) (cfg : Config.t)
+    (program : Program.t) (db : Sampler.db) ~context
+    (ss : Sampler.signature_sample) : outcome =
+  let prng = Prng.create seed in
+  let len = Array.length ss.sig_bits in
+  let infos = Array.make len None in
+  let static_ixs = Array.make len 0 in
+  let last_writer = Array.make Isa.num_regs (-1) in
+  let call_stack = ref [] in
+  let matched = ref 0 and defaulted = ref 0 in
+  let code_len = Program.length program in
+  let rec walk k cur_ix =
+    if k >= len then None
+    else if cur_ix < 0 || cur_ix >= code_len then Some (Bad_pc, k)
+    else begin
+      let instr = Program.fetch program cur_ix in
+      let pc = Isa.pc_of_index cur_ix in
+      let bits_k = ss.sig_bits.(k) in
+      (* consistency check: bit 1 set requires a load, store or branch *)
+      if
+        Signature.bit1 bits_k
+        && not (Isa.is_mem instr || Isa.is_branch instr)
+      then Some (Inconsistent_bits, k)
+      else begin
+        let sample = best_sample db ~prng ~context ~sig_bits:ss.sig_bits ~k pc in
+        (match sample with Some _ -> incr matched | None -> incr defaulted);
+        (* register dependences: static scan along the inferred path *)
+        let reg_producers =
+          List.filter_map
+            (fun r ->
+              let w = last_writer.(r) in
+              if w >= 0 then Some w else None)
+            (Isa.sources instr)
+        in
+        let info : Build.instr_info =
+          match sample with
+          | Some s ->
+            {
+              reg_producers;
+              mem_producer =
+                Option.bind s.mem_dep_dist (fun d ->
+                    if k - d >= 0 then Some (k - d) else None);
+              share_src =
+                Option.bind s.share_dist (fun d ->
+                    if k - d >= 0 then Some (k - d) else None);
+              exec_base = 0;
+              exec_components =
+                measured_exec_components cfg instr ~exec_lat:s.exec_lat;
+              imiss_delay = s.imiss_delay;
+              fu_wait = s.fu_wait;
+              store_wait = s.store_wait;
+              mispredict = s.mispredict;
+              taken_branch = Isa.is_branch instr && Signature.bit1 bits_k;
+            }
+          | None ->
+            {
+              reg_producers;
+              mem_producer = None;
+              share_src = None;
+              exec_base = 0;
+              exec_components = default_exec_components cfg instr;
+              imiss_delay = 0;
+              fu_wait = 0;
+              store_wait = 0;
+              mispredict = false;
+              taken_branch = Isa.is_branch instr && Signature.bit1 bits_k;
+            }
+        in
+        infos.(k) <- Some info;
+        static_ixs.(k) <- cur_ix;
+        (match Isa.dest instr with
+         | Some rd -> last_writer.(rd) <- k
+         | None -> ());
+        (* infer the next PC (step 2d of the algorithm) *)
+        match instr with
+        | Isa.Branch { target; _ } ->
+          let taken = Signature.bit1 bits_k in
+          walk (k + 1) (if taken then target else cur_ix + 1)
+        | Isa.Jump { target } -> walk (k + 1) target
+        | Isa.Call { target } ->
+          call_stack := (cur_ix + 1) :: !call_stack;
+          walk (k + 1) target
+        | Isa.Ret -> begin
+          match !call_stack with
+          | ret_ix :: rest ->
+            call_stack := rest;
+            walk (k + 1) ret_ix
+          | [] -> begin
+            match Option.bind sample (fun s -> s.indirect_target) with
+            | Some t -> walk (k + 1) (Isa.index_of_pc t)
+            | None -> Some (Missing_indirect_target, k)
+          end
+        end
+        | Isa.Jump_reg _ -> begin
+          match Option.bind sample (fun s -> s.indirect_target) with
+          | Some t -> walk (k + 1) (Isa.index_of_pc t)
+          | None -> Some (Missing_indirect_target, k)
+        end
+        | Isa.Halt -> Some (Bad_pc, k)
+        | _ -> walk (k + 1) (cur_ix + 1)
+      end
+    end
+  in
+  match walk 0 (Isa.index_of_pc ss.start_pc) with
+  | Some (reason, k) -> Aborted (reason, k)
+  | None ->
+    let infos = Array.map Option.get infos in
+    Built { infos; static_ixs; matched = !matched; defaulted = !defaulted }

@@ -1,0 +1,60 @@
+(** Post-mortem software graph construction (Figure 5a of the paper):
+    walk the binary from a signature sample's start PC, infer each next PC
+    from signature bits / the call stack / sampled indirect targets, match
+    detailed samples by signature context for dynamic latencies, scan
+    register dependences statically, and abort on impossible signature
+    settings. *)
+
+module Config = Icost_uarch.Config
+module Program = Icost_isa.Program
+module Build = Icost_depgraph.Build
+
+type abort_reason =
+  | Bad_pc  (** walked outside the binary *)
+  | Inconsistent_bits  (** signature bit impossible for the decoded instruction *)
+  | Missing_indirect_target
+      (** indirect jump with no detailed sample to supply a target *)
+
+val abort_reason_name : abort_reason -> string
+
+type fragment = {
+  infos : Build.instr_info array;
+  static_ixs : int array;  (** inferred static index per instruction *)
+  matched : int;  (** instructions with a matching detailed sample *)
+  defaulted : int;  (** instructions that fell back to static defaults *)
+}
+
+type outcome =
+  | Built of fragment
+  | Aborted of abort_reason * int  (** reason and progress made *)
+
+val default_exec_components :
+  Config.t -> Icost_isa.Isa.instr -> (Icost_core.Category.t * int) list
+(** Static fallback latency decomposition (loads assumed to hit). *)
+
+val measured_exec_components :
+  Config.t -> Icost_isa.Isa.instr -> exec_lat:int -> (Icost_core.Category.t * int) list
+(** Decompose a measured latency into category components. *)
+
+val best_sample :
+  Sampler.db ->
+  prng:Icost_util.Prng.t ->
+  context:int ->
+  sig_bits:int array ->
+  k:int ->
+  int ->
+  Sampler.detailed_sample option
+(** Pick a detailed sample for position [k]: drawn uniformly among the
+    samples within a small slack of the best (center-weighted) context
+    match, so rare behaviours keep their conditional frequency. *)
+
+val fragment_of_signature :
+  ?seed:int ->
+  Config.t ->
+  Program.t ->
+  Sampler.db ->
+  context:int ->
+  Sampler.signature_sample ->
+  outcome
+(** Build one graph fragment from a signature sample.  [context] must
+    match the sampler's context width. *)

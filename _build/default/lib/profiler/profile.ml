@@ -1,0 +1,84 @@
+(** End-to-end shotgun profiling (Section 5).
+
+    Ties the pieces together: run the hardware monitors over an execution
+    ({!Sampler}), reconstruct graph fragments from the samples
+    ({!Construct}), and aggregate fragment-level cost measurements into a
+    {!Icost_core.Cost.oracle} that drop-in replaces the simulator-based
+    oracles.  The profiler's estimate of execution time under idealization
+    [S] is the sum of fragment critical-path lengths under [S]; because
+    breakdowns are ratios of costs to baseline time, the estimate is
+    statistically representative as long as fragments sample the execution
+    uniformly. *)
+
+module Config = Icost_uarch.Config
+module Trace = Icost_isa.Trace
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Program = Icost_isa.Program
+module Build = Icost_depgraph.Build
+module Graph = Icost_depgraph.Graph
+module Category = Icost_core.Category
+
+type stats = {
+  num_signatures : int;
+  num_detailed : int;
+  fragments_built : int;
+  fragments_aborted : int;
+  aborted_by : (Construct.abort_reason * int) list;
+  match_rate : float;  (** fraction of instructions with a detailed sample *)
+  instructions_covered : int;
+}
+
+type t = {
+  graphs : Graph.t array;  (** one per successfully built fragment *)
+  stats : stats;
+}
+
+(** Profile an execution: collect samples and reconstruct fragments.
+    [opts] controls the sampling rates. *)
+let profile ?(opts = Sampler.default_opts) (cfg : Config.t)
+    (program : Program.t) (trace : Trace.t) (evts : Events.evt array)
+    (result : Ooo.result) : t =
+  let db = Sampler.collect ~opts cfg trace evts result in
+  let params = Build.params_of_config cfg in
+  let built = ref [] in
+  let aborted = Hashtbl.create 4 in
+  let n_aborted = ref 0 in
+  let matched = ref 0 and total = ref 0 in
+  Array.iter
+    (fun ss ->
+      match
+        Construct.fragment_of_signature cfg program db ~context:opts.context ss
+      with
+      | Construct.Built frag ->
+        matched := !matched + frag.matched;
+        total := !total + frag.matched + frag.defaulted;
+        built := Build.of_infos params frag.infos :: !built
+      | Construct.Aborted (reason, _) ->
+        incr n_aborted;
+        Hashtbl.replace aborted reason
+          (1 + Option.value ~default:0 (Hashtbl.find_opt aborted reason)))
+    db.signatures;
+  let graphs = Array.of_list (List.rev !built) in
+  {
+    graphs;
+    stats =
+      {
+        num_signatures = Array.length db.signatures;
+        num_detailed = db.num_detailed;
+        fragments_built = Array.length graphs;
+        fragments_aborted = !n_aborted;
+        aborted_by = Hashtbl.fold (fun r c acc -> (r, c) :: acc) aborted [];
+        match_rate =
+          (if !total = 0 then 0. else float_of_int !matched /. float_of_int !total);
+        instructions_covered = !total;
+      };
+  }
+
+(** The profiler's cost oracle: summed critical-path length of all
+    fragments under the given idealization. *)
+let oracle (t : t) : Icost_core.Cost.oracle =
+ fun s ->
+  Array.fold_left
+    (fun acc g -> acc +. float_of_int (Graph.critical_length ~ideal:s g))
+    0. t.graphs

@@ -1,0 +1,41 @@
+(** End-to-end shotgun profiling (Section 5): collect samples, reconstruct
+    graph fragments, and expose the aggregate as a cost oracle that drops
+    in for the simulator-based oracles. *)
+
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Trace = Icost_isa.Trace
+module Program = Icost_isa.Program
+module Ooo = Icost_sim.Ooo
+module Graph = Icost_depgraph.Graph
+
+type stats = {
+  num_signatures : int;
+  num_detailed : int;
+  fragments_built : int;
+  fragments_aborted : int;
+  aborted_by : (Construct.abort_reason * int) list;
+  match_rate : float;  (** fraction of instructions with a detailed sample *)
+  instructions_covered : int;
+}
+
+type t = {
+  graphs : Graph.t array;  (** one per successfully built fragment *)
+  stats : stats;
+}
+
+val profile :
+  ?opts:Sampler.opts ->
+  Config.t ->
+  Program.t ->
+  Trace.t ->
+  Events.evt array ->
+  Ooo.result ->
+  t
+(** Run the hardware monitors over an execution and reconstruct fragments;
+    [opts] controls sampling rates. *)
+
+val oracle : t -> Icost_core.Cost.oracle
+(** Summed critical-path length of all fragments under an idealization.
+    Breakdowns are ratios, so uniform fragment sampling makes the estimate
+    statistically representative. *)

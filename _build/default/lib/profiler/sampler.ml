@@ -1,0 +1,128 @@
+(** Model of the hardware performance monitors (Section 5.1).
+
+    Two sample types are collected while the program runs:
+
+    - {b signature samples}: a start PC plus two signature bits for each of
+      the next [sig_len] (default 1000) dynamic instructions — long and
+      narrow;
+    - {b detailed samples}: for a single dynamic instruction, the latencies
+      and dynamic dependences the hardware can observe (execution latency,
+      FU contention, I-cache stall, store-forward and line-share distances,
+      indirect branch target, misprediction flag), plus the signature bits
+      of the [context] (default 10) instructions before and after — short
+      and wide.
+
+    The sampler reads the simulator's trace, events and timing exactly as a
+    PMU would observe a real execution; crucially, the *software* side
+    ({!Construct}) never sees anything beyond these samples and the program
+    binary. *)
+
+module Isa = Icost_isa.Isa
+module Trace = Icost_isa.Trace
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Prng = Icost_util.Prng
+
+type signature_sample = {
+  start_pc : int;
+  sig_bits : int array;  (** [sig_len] entries of 2-bit values *)
+}
+
+type detailed_sample = {
+  pc : int;
+  context_bits : int array;  (** 2*context+1 entries centered on this instruction *)
+  exec_lat : int;  (** measured execution latency (includes miss handling) *)
+  fu_wait : int;
+  store_wait : int;
+  imiss_delay : int;
+  mem_dep_dist : int option;  (** distance (in dynamic instrs) to the forwarding store *)
+  share_dist : int option;  (** distance to the load whose miss covers this line *)
+  indirect_target : int option;  (** actual target, for indirect jumps *)
+  mispredict : bool;
+  taken : bool;
+}
+
+type opts = {
+  sig_len : int;
+  sig_period : int;  (** average dynamic instructions between signature samples *)
+  det_period : int;  (** dynamic instructions between detailed samples *)
+  context : int;  (** signature context width on each side of a detailed sample *)
+  seed : int;
+}
+
+let default_opts =
+  { sig_len = 1000; sig_period = 1500; det_period = 13; context = 10; seed = 0x5a5 }
+
+type db = {
+  signatures : signature_sample array;
+  (* detailed samples indexed by PC, as the software algorithm looks them up *)
+  detailed : (int, detailed_sample list) Hashtbl.t;
+  num_detailed : int;
+}
+
+(** All signature bits of the run (shared by both sample types). *)
+let all_bits (trace : Trace.t) (evts : Events.evt array) : int array =
+  Array.init (Trace.length trace) (fun i ->
+      Signature.bits (Trace.get trace i) evts.(i))
+
+let detailed_of (cfg : Icost_uarch.Config.t) (trace : Trace.t)
+    (evts : Events.evt array) (result : Ooo.result) (bits : int array)
+    ~context i : detailed_sample =
+  let d = Trace.get trace i in
+  let e = evts.(i) in
+  let slot = result.slots.(i) in
+  let n = Trace.length trace in
+  let context_bits =
+    Array.init ((2 * context) + 1) (fun k ->
+        let j = i - context + k in
+        if j >= 0 && j < n then bits.(j) else 0)
+  in
+  {
+    pc = d.pc;
+    context_bits;
+    exec_lat = slot.exec_lat;
+    fu_wait = slot.fu_wait;
+    store_wait = slot.store_wait;
+    imiss_delay = Ooo.imiss_delay cfg e;
+    mem_dep_dist = Option.map (fun p -> i - p) d.mem_dep;
+    share_dist = Option.map (fun p -> i - p) e.share_src;
+    indirect_target =
+      (if Isa.is_indirect d.instr then Some d.next_pc else None);
+    mispredict = e.mispredict;
+    taken = d.taken;
+  }
+
+(** Run the monitors over an execution and collect both sample streams. *)
+let collect ?(opts = default_opts) (cfg : Icost_uarch.Config.t)
+    (trace : Trace.t) (evts : Events.evt array) (result : Ooo.result) : db =
+  let n = Trace.length trace in
+  let bits = all_bits trace evts in
+  let prng = Prng.create opts.seed in
+  (* signature samples at randomized intervals (so hot paths are sampled in
+     proportion to their frequency) *)
+  let signatures = ref [] in
+  let i = ref (Prng.int prng (max 1 opts.sig_period)) in
+  while !i + opts.sig_len < n do
+    let start = !i in
+    signatures :=
+      {
+        start_pc = (Trace.get trace start).pc;
+        sig_bits = Array.sub bits start opts.sig_len;
+      }
+      :: !signatures;
+    i := start + max 1 (opts.sig_period + Prng.int_range prng (-100) 100)
+  done;
+  (* detailed samples: sparse, one instruction at a time *)
+  let detailed = Hashtbl.create 4096 in
+  let num = ref 0 in
+  let j = ref (Prng.int prng (max 1 opts.det_period)) in
+  while !j < n do
+    let s = detailed_of cfg trace evts result bits ~context:opts.context !j in
+    Hashtbl.replace detailed s.pc
+      (s :: Option.value ~default:[] (Hashtbl.find_opt detailed s.pc));
+    incr num;
+    j := !j + max 1 opts.det_period
+  done;
+  { signatures = Array.of_list (List.rev !signatures); detailed; num_detailed = !num }
+
+let lookup db pc = Option.value ~default:[] (Hashtbl.find_opt db.detailed pc)

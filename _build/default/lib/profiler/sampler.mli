@@ -1,0 +1,63 @@
+(** Model of the hardware performance monitors (Section 5.1): signature
+    samples (start PC + 2 signature bits per instruction over a long
+    window) and detailed samples (latencies and dynamic dependences of a
+    single instruction, with local signature context).  The software side
+    ({!Construct}) never sees anything beyond these samples and the
+    program binary. *)
+
+module Events = Icost_uarch.Events
+module Trace = Icost_isa.Trace
+module Ooo = Icost_sim.Ooo
+
+type signature_sample = {
+  start_pc : int;
+  sig_bits : int array;  (** [sig_len] entries of 2-bit values (Table 5) *)
+}
+
+type detailed_sample = {
+  pc : int;
+  context_bits : int array;  (** [2*context+1] entries centered on the instruction *)
+  exec_lat : int;  (** measured execution latency (includes miss handling) *)
+  fu_wait : int;
+  store_wait : int;
+  imiss_delay : int;
+  mem_dep_dist : int option;  (** dynamic distance to the forwarding store *)
+  share_dist : int option;  (** distance to the load whose miss covers this line *)
+  indirect_target : int option;  (** actual target, for indirect jumps *)
+  mispredict : bool;
+  taken : bool;
+}
+
+type opts = {
+  sig_len : int;
+  sig_period : int;  (** average instructions between signature samples *)
+  det_period : int;  (** instructions between detailed samples *)
+  context : int;  (** signature context on each side of a detailed sample *)
+  seed : int;
+}
+
+val default_opts : opts
+(** 1000-instruction signatures every ~1500 instructions, one detailed
+    sample per 13 instructions, context +-10 — the paper's design point. *)
+
+type db = {
+  signatures : signature_sample array;
+  detailed : (int, detailed_sample list) Hashtbl.t;  (** indexed by PC *)
+  num_detailed : int;
+}
+
+val all_bits : Trace.t -> Events.evt array -> int array
+(** The signature bits of every instruction of the run. *)
+
+val detailed_of :
+  Icost_uarch.Config.t -> Trace.t -> Events.evt array -> Ooo.result ->
+  int array -> context:int -> int -> detailed_sample
+(** The detailed sample the hardware would emit for one instruction. *)
+
+val collect :
+  ?opts:opts -> Icost_uarch.Config.t -> Trace.t -> Events.evt array ->
+  Ooo.result -> db
+(** Run the monitors over an execution and collect both sample streams. *)
+
+val lookup : db -> int -> detailed_sample list
+(** All detailed samples recorded for a PC. *)

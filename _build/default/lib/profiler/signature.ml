@@ -1,0 +1,64 @@
+(** Signature bits (Table 5 of the paper).
+
+    Two bits per dynamic instruction identify a microexecution path:
+
+    - bit 1: set if the instruction is (1) a taken branch or (2) a load or
+      store; reset to 0 if the access misses in the L2 D-cache.
+    - bit 2: set if the instruction suffers (1) an L1 or L2 I-cache miss,
+      (2) an L1 or L2 D-cache miss, or (3) a TLB miss.
+
+    The bits are cheap to collect (they indicate stalls, off the critical
+    circuit paths) yet, combined with the start PC, identify hot
+    microexecution paths with high probability. *)
+
+module Isa = Icost_isa.Isa
+module Trace = Icost_isa.Trace
+module Events = Icost_uarch.Events
+
+(** Encode the two signature bits for one instruction: bit 1 is the low bit,
+    bit 2 the high bit, giving values 0..3. *)
+let bits (d : Trace.dyn) (e : Events.evt) : int =
+  let bit1 =
+    let raw = (Isa.is_branch d.instr && d.taken) || Isa.is_mem d.instr in
+    raw && not e.dl2_miss
+  in
+  let bit2 =
+    e.il1_miss || e.il2_miss || e.dl1_miss || e.dl2_miss || e.itlb_miss
+    || e.dtlb_miss
+  in
+  (if bit1 then 1 else 0) lor if bit2 then 2 else 0
+
+let bit1 v = v land 1 = 1
+let bit2 v = v land 2 = 2
+
+(** Hamming similarity between two bit vectors (higher = closer match);
+    counts identical positions over the overlap. *)
+let similarity (a : int array) (b : int array) : int =
+  let n = min (Array.length a) (Array.length b) in
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    (* two bits per entry: count each matching bit *)
+    let x = a.(i) lxor b.(i) in
+    if x land 1 = 0 then incr s;
+    if x land 2 = 0 then incr s
+  done;
+  !s
+
+(** Center-weighted similarity for matching a detailed sample's context
+    against a signature window: the sampled instruction's own bits (the
+    center position) are the strongest signal that the sample comes from
+    the same microexecution situation (e.g., the same branch direction or
+    the same hit/miss behaviour), so they count [center_weight] times. *)
+let center_weight = 8
+
+let similarity_centered (a : int array) (b : int array) : int =
+  let n = min (Array.length a) (Array.length b) in
+  let center = n / 2 in
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    let w = if i = center then center_weight else 1 in
+    let x = a.(i) lxor b.(i) in
+    if x land 1 = 0 then s := !s + w;
+    if x land 2 = 0 then s := !s + w
+  done;
+  !s

@@ -1,0 +1,25 @@
+(** Signature bits (Table 5): two bits per dynamic instruction identifying
+    a microexecution path.
+
+    - bit 1: set for a taken branch or a load/store; reset if the access
+      misses in the L2 D-cache;
+    - bit 2: set on any L1/L2 I- or D-cache miss or TLB miss. *)
+
+module Trace = Icost_isa.Trace
+module Events = Icost_uarch.Events
+
+val bits : Trace.dyn -> Events.evt -> int
+(** Encoded bits: bit 1 is the low bit, bit 2 the high bit (values 0-3). *)
+
+val bit1 : int -> bool
+val bit2 : int -> bool
+
+val similarity : int array -> int array -> int
+(** Matching bits over the overlap of two bit vectors. *)
+
+val center_weight : int
+
+val similarity_centered : int array -> int array -> int
+(** Like {!similarity} but the center position (the sampled instruction's
+    own bits) counts {!center_weight} times — it is the strongest signal
+    that a detailed sample comes from the same microexecution situation. *)

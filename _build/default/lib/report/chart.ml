@@ -1,0 +1,98 @@
+(** ASCII charts: the stacked bar of Figure 1b (positive interaction costs
+    extend the bar above 100%, serial interactions plot below the axis) and
+    the multi-series line chart of Figure 3. *)
+
+(** One segment of a stacked breakdown bar. *)
+type segment = { label : string; value : float }
+
+(** Render a breakdown as a horizontal stacked bar: positive segments first
+    (their widths proportional to their percentage), then negative segments
+    on a second "below the axis" line.  [width] is the number of characters
+    representing 100%. *)
+let stacked_bar ?(width = 60) (segments : segment list) : string =
+  let buf = Buffer.create 512 in
+  let glyphs = [| '#'; '='; '%'; '@'; '+'; '*'; ':'; '~'; 'o'; '.' |] in
+  let pos = List.filter (fun s -> s.value > 0.) segments in
+  let neg = List.filter (fun s -> s.value < 0.) segments in
+  let bar_of items =
+    let b = Buffer.create 128 in
+    List.iteri
+      (fun i s ->
+        let n =
+          int_of_float (Float.round (Float.abs s.value *. float_of_int width /. 100.))
+        in
+        Buffer.add_string b (String.make (max 0 n) glyphs.(i mod Array.length glyphs)))
+      items;
+    Buffer.contents b
+  in
+  let total_pos = List.fold_left (fun a s -> a +. s.value) 0. pos in
+  let total_neg = List.fold_left (fun a s -> a +. s.value) 0. neg in
+  Buffer.add_string buf
+    (Printf.sprintf "  above axis (%5.1f%%): |%s\n" total_pos (bar_of pos));
+  Buffer.add_string buf
+    (Printf.sprintf "  below axis (%5.1f%%): |%s\n" total_neg (bar_of neg));
+  let axis_100 = String.make width '-' in
+  Buffer.add_string buf (Printf.sprintf "  scale:               |%s| = 100%%\n" axis_100);
+  Buffer.add_string buf "  legend:";
+  List.iteri
+    (fun i s ->
+      if s.value <> 0. then
+        Buffer.add_string buf
+          (Printf.sprintf " %c=%s(%.1f)" glyphs.(i mod Array.length glyphs) s.label
+             s.value))
+    segments;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(** A line-chart series: a name and (x, y) points. *)
+type series = { name : string; points : (float * float) list }
+
+(** Render series as an ASCII scatter/line chart of the given size. *)
+let line_chart ?(rows = 16) ?(cols = 56) ~x_label ~y_label (series : series list) :
+    string =
+  let all_pts = List.concat_map (fun s -> s.points) series in
+  if all_pts = [] then "(empty chart)\n"
+  else begin
+    let xs = List.map fst all_pts and ys = List.map snd all_pts in
+    let xmin = List.fold_left min infinity xs and xmax = List.fold_left max neg_infinity xs in
+    let ymin = List.fold_left min infinity ys and ymax = List.fold_left max neg_infinity ys in
+    let ymin = min ymin 0. in
+    let xspan = if xmax = xmin then 1. else xmax -. xmin in
+    let yspan = if ymax = ymin then 1. else ymax -. ymin in
+    let grid = Array.make_matrix rows cols ' ' in
+    let marks = [| '*'; 'o'; '+'; 'x'; '#'; '@' |] in
+    List.iteri
+      (fun si s ->
+        List.iter
+          (fun (x, y) ->
+            let c =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (cols - 1))
+            in
+            let r =
+              rows - 1
+              - int_of_float ((y -. ymin) /. yspan *. float_of_int (rows - 1))
+            in
+            if r >= 0 && r < rows && c >= 0 && c < cols then
+              grid.(r).(c) <- marks.(si mod Array.length marks))
+          s.points)
+      series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (Printf.sprintf "  %s\n" y_label);
+    Array.iteri
+      (fun r line ->
+        let yv = ymax -. (float_of_int r /. float_of_int (rows - 1) *. yspan) in
+        Buffer.add_string buf (Printf.sprintf "  %8.2f |%s\n" yv (String.init cols (Array.get line))))
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "           +%s\n" (String.make cols '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "            %-8.6g%*s%8.6g  (%s)\n" xmin (cols - 16) "" xmax x_label);
+    Buffer.add_string buf "  series:";
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf " %c=%s" marks.(si mod Array.length marks) s.name))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,13 @@
+(** ASCII charts: the stacked breakdown bar of Figure 1b (positive
+    interaction costs extend past 100%, serial interactions plot below the
+    axis) and the multi-series line chart of Figure 3. *)
+
+type segment = { label : string; value : float }
+
+val stacked_bar : ?width:int -> segment list -> string
+(** [width] characters represent 100%. *)
+
+type series = { name : string; points : (float * float) list }
+
+val line_chart :
+  ?rows:int -> ?cols:int -> x_label:string -> y_label:string -> series list -> string

@@ -1,0 +1,17 @@
+(** Minimal CSV output, so experiment results can be post-processed with
+    external plotting tools. *)
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let to_string rows = String.concat "\n" (List.map row_to_string rows) ^ "\n"
+
+let write path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string rows))

@@ -1,0 +1,6 @@
+(** Minimal CSV output for post-processing experiment results externally. *)
+
+val escape : string -> string
+val row_to_string : string list -> string
+val to_string : string list list -> string
+val write : string -> string list list -> unit

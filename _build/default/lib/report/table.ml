@@ -1,0 +1,65 @@
+(** Plain-text table rendering for experiment output.
+
+    Produces aligned, monospaced tables in the style of the paper's Tables 4
+    and 7 — one label column followed by right-aligned numeric columns. *)
+
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  mutable rows : string list list;  (** reversed *)
+  mutable seps : int list;  (** row indices after which to draw a separator *)
+}
+
+let create ~headers = { headers; rows = []; seps = [] }
+
+let add_row t cells = t.rows <- cells :: t.rows
+
+let add_separator t = t.seps <- List.length t.rows :: t.seps
+
+(** Format a float like the paper's tables: one decimal, explicit sign for
+    interaction rows when [signed] is set. *)
+let cell_f ?(signed = false) v =
+  if signed && v >= 0.05 then Printf.sprintf "+%.1f" v else Printf.sprintf "%.1f" v
+
+let cell_i v = string_of_int v
+
+let render ?(align_first = Left) t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun c s -> widths.(c) <- max widths.(c) (String.length s)))
+    all;
+  let fmt_cell c s =
+    let w = widths.(c) in
+    let a = if c = 0 then align_first else Right in
+    match a with
+    | Left -> Printf.sprintf "%-*s" w s
+    | Right -> Printf.sprintf "%*s" w s
+  in
+  let fmt_row r = String.concat "  " (List.mapi fmt_cell r) in
+  let sep_line =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (fmt_row (pad t.headers));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep_line;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf (fmt_row r);
+      Buffer.add_char buf '\n';
+      if List.mem (i + 1) t.seps then begin
+        Buffer.add_string buf sep_line;
+        Buffer.add_char buf '\n'
+      end)
+    rows;
+  Buffer.contents buf
+
+let print ?align_first t = print_string (render ?align_first t)

@@ -1,0 +1,20 @@
+(** Plain-text table rendering in the style of the paper's Tables 4 and 7:
+    one label column followed by right-aligned numeric columns. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+val add_separator : t -> unit
+(** Draw a horizontal rule after the last added row. *)
+
+val cell_f : ?signed:bool -> float -> string
+(** One decimal; an explicit [+] for positive values when [signed] (used
+    for interaction rows). *)
+
+val cell_i : int -> string
+
+val render : ?align_first:align -> t -> string
+val print : ?align_first:align -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/multisim.mli: Icost_core Icost_isa Icost_uarch

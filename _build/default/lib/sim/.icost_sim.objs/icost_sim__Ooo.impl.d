@@ -1,0 +1,1 @@
+lib/sim/ooo.ml: Array Hashtbl Icost_isa Icost_uarch List Option

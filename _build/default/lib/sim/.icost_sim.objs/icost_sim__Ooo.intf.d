@@ -1,0 +1,1 @@
+lib/sim/ooo.mli: Icost_isa Icost_uarch

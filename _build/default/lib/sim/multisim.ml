@@ -1,0 +1,34 @@
+(** The "multiple idealized simulations" cost oracle.
+
+    The most direct (and most expensive) way to measure [cost(S)]: rerun the
+    whole timing simulation with the event classes in [S] idealized.  This
+    is the paper's baseline methodology, against which the dependence-graph
+    and profiler oracles are validated in Table 7. *)
+
+module Category = Icost_core.Category
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Trace = Icost_isa.Trace
+
+(** Translate a category set into simulator idealization switches. *)
+let ideal_of_set (s : Category.Set.t) : Config.ideal =
+  {
+    Config.perfect_icache = Category.Set.mem Category.Imiss s;
+    perfect_dcache = Category.Set.mem Category.Dmiss s;
+    zero_dl1 = Category.Set.mem Category.Dl1 s;
+    zero_short_alu = Category.Set.mem Category.Shalu s;
+    zero_long_alu = Category.Set.mem Category.Lgalu s;
+    perfect_bpred = Category.Set.mem Category.Bmisp s;
+    infinite_bw = Category.Set.mem Category.Bw s;
+    big_window = Category.Set.mem Category.Win s;
+  }
+
+(** [oracle cfg trace evts] returns a cost oracle that re-times the trace
+    with the requested idealizations.  Events were classified once (on the
+    un-idealized machine) and are reused across runs, so every measurement
+    sees the same event stream — only latencies and resources change. *)
+let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
+    Icost_core.Cost.oracle =
+ fun s ->
+  let cfg = { cfg with ideal = ideal_of_set s } in
+  float_of_int (Ooo.cycles cfg trace evts)

@@ -1,0 +1,16 @@
+(** The "multiple idealized simulations" cost oracle: rerun the whole
+    timing simulation with each requested event class idealized — the
+    paper's ground-truth methodology (validated against in Table 7). *)
+
+module Category = Icost_core.Category
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Trace = Icost_isa.Trace
+
+val ideal_of_set : Category.Set.t -> Config.ideal
+(** Translate a category set into simulator idealization switches. *)
+
+val oracle : Config.t -> Trace.t -> Events.evt array -> Icost_core.Cost.oracle
+(** Events are classified once and reused across runs, so every
+    measurement sees the same event stream — only latencies and resources
+    change. *)

@@ -1,0 +1,294 @@
+(** Out-of-order processor timing model.
+
+    Consumes a committed dynamic trace plus its event annotations
+    ({!Icost_uarch.Events}) and produces per-instruction stage timings
+    (fetch, dispatch, ready, execute, complete, commit) and the total cycle
+    count.  The model implements the machine of Table 6:
+
+    - in-order fetch with finite bandwidth, termination at the configured
+      number of taken branches per cycle, I-cache miss stalls, and a finite
+      fetch queue providing back-pressure from dispatch;
+    - in-order dispatch into a finite instruction window (re-order buffer);
+    - out-of-order issue limited by issue width and functional-unit pools
+      (non-pipelined dividers), with a configurable issue-wakeup latency;
+    - data-cache hierarchy latencies with MSHR-style line sharing: a load
+      that hits a line whose miss is still outstanding completes only when
+      the original miss returns (a "partial miss");
+    - branch mispredictions modeled as a fetch redirect: the front end
+      restarts so that the next instruction dispatches no earlier than the
+      branch's completion plus the branch-recovery latency;
+    - in-order commit with finite bandwidth.
+
+    Wrong-path instructions are not simulated (their effect is the redirect
+    bubble), matching the dependence-graph model's PD edge.
+
+    Every idealization of the paper's Table 1 is honored through
+    {!Icost_uarch.Config.ideal}: the *same* trace and the *same* event
+    annotations are re-timed with selected latencies zeroed or resources
+    made infinite, which is how the "multisim" cost oracle measures
+    [cost(S) = t_base - t(S idealized)]. *)
+
+module Isa = Icost_isa.Isa
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+
+(** Per-instruction stage times (cycles, starting at 0). *)
+type slot = {
+  fetch : int;  (** cycle the instruction left the I-cache *)
+  dispatch : int;  (** D: entered the instruction window *)
+  ready : int;  (** R: all operands available *)
+  exec_start : int;  (** E: issued to a functional unit *)
+  complete : int;  (** P: result available *)
+  commit : int;  (** C: retired *)
+  exec_lat : int;  (** execution latency actually used (after idealization) *)
+  fu_wait : int;  (** [exec_start - ready]: issue/FU contention *)
+  imiss_delay : int;  (** I-cache/I-TLB stall charged to this instruction *)
+  store_wait : int;  (** extra commit delay from store-bandwidth contention *)
+}
+
+type result = {
+  cycles : int;  (** total execution time: commit cycle of the last instruction + 1 *)
+  slots : slot array;
+  config : Config.t;
+}
+
+(* Issue-slot accounting: number of instructions issued in a given cycle. *)
+module Issue_table = struct
+  type t = { counts : (int, int) Hashtbl.t; width : int }
+
+  let create width = { counts = Hashtbl.create 4096; width }
+
+  let rec first_free t cycle =
+    if t.width >= Config.huge_bw then cycle
+    else
+      match Hashtbl.find_opt t.counts cycle with
+      | Some c when c >= t.width -> first_free t (cycle + 1)
+      | _ -> cycle
+
+  let reserve t cycle =
+    if t.width < Config.huge_bw then
+      Hashtbl.replace t.counts cycle
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts cycle))
+end
+
+(* Functional-unit pool: per-cycle occupancy accounting.  A pool of K
+   pipelined units admits K issues per cycle (initiation interval 1);
+   non-pipelined dividers occupy a unit for their whole latency, so a
+   divide marks every cycle of its execution as occupied. *)
+module Fu_pool = struct
+  type t = { used : (int, int) Hashtbl.t; size : int; mutable contended : int }
+
+  let create size = { used = Hashtbl.create 4096; size; contended = 0 }
+
+  let count t cycle = Option.value ~default:0 (Hashtbl.find_opt t.used cycle)
+
+  (* earliest start >= [cycle] where a unit is free for [busy] consecutive
+     cycles *)
+  let earliest t ~busy cycle =
+    let fits c =
+      let rec go k = k >= busy || (count t (c + k) < t.size && go (k + 1)) in
+      go 0
+    in
+    let rec search c = if fits c then c else search (c + 1) in
+    search cycle
+
+  let reserve t ~from ~busy =
+    for c = from to from + busy - 1 do
+      Hashtbl.replace t.used c (count t c + 1)
+    done
+end
+
+(** Decompose a load's execution latency into (dl1 hit component, miss
+    component).  The miss component covers L2/memory and D-TLB handling. *)
+let load_latency_parts (cfg : Config.t) (e : Events.evt) =
+  let hit = cfg.dl1_lat in
+  let miss =
+    (if e.dl1_miss then cfg.l2_lat + if e.dl2_miss then cfg.mem_lat else 0 else 0)
+    + if e.dtlb_miss then cfg.tlb_miss_lat else 0
+  in
+  (hit, miss)
+
+(** Execution latency after applying idealizations. *)
+let exec_latency (cfg : Config.t) (d : Trace.dyn) (e : Events.evt) =
+  let ideal = cfg.ideal in
+  let c = Isa.class_of d.instr in
+  match c with
+  | Isa.Mem_load ->
+    let hit, miss = load_latency_parts cfg e in
+    let hit = if ideal.zero_dl1 then 0 else hit in
+    let miss = if ideal.perfect_dcache then 0 else miss in
+    hit + miss
+  | Isa.Mem_store -> if ideal.zero_short_alu then 0 else Config.exec_latency cfg c
+  | Isa.Short_alu | Isa.Ctrl | Isa.Nop_class ->
+    if ideal.zero_short_alu then 0 else Config.exec_latency cfg c
+  | Isa.Int_mul | Isa.Int_div | Isa.Fp_add | Isa.Fp_mul | Isa.Fp_div ->
+    if ideal.zero_long_alu then 0 else Config.exec_latency cfg c
+
+(** I-cache + I-TLB stall charged when fetching [d]. *)
+let imiss_delay (cfg : Config.t) (e : Events.evt) =
+  if cfg.ideal.perfect_icache then 0
+  else
+    (if e.il1_miss then cfg.l2_lat + if e.il2_miss then cfg.mem_lat else 0 else 0)
+    + if e.itlb_miss then cfg.tlb_miss_lat else 0
+
+let mispredicts (cfg : Config.t) (e : Events.evt) =
+  e.mispredict && not cfg.ideal.perfect_bpred
+
+(* Size of the fetch queue decoupling fetch from dispatch: fetch may run at
+   most this many instructions ahead of dispatch. *)
+let fetch_queue_size = 32
+
+(** [run cfg trace evts] times the execution of [trace] on the machine
+    [cfg].  [evts] must come from {!Icost_uarch.Events.annotate} on a
+    configuration with the same structural parameters. *)
+let run (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) : result =
+  let n = Trace.length trace in
+  if n = 0 then { cycles = 0; slots = [||]; config = cfg }
+  else begin
+    let window = Config.effective_window cfg in
+    let fetch_bw = Config.effective_fetch_bw cfg in
+    let commit_bw = Config.effective_commit_bw cfg in
+    let issue = Issue_table.create (Config.effective_issue_width cfg) in
+    let int_alu = Fu_pool.create cfg.num_int_alu in
+    let int_mul = Fu_pool.create cfg.num_int_mul in
+    let fp_alu = Fu_pool.create cfg.num_fp_alu in
+    let fp_mul = Fu_pool.create cfg.num_fp_mul in
+    let mem_port = Fu_pool.create cfg.num_mem_ports in
+    let pool_of c =
+      match Config.fu_pool_of_class c with
+      | Config.Int_alu_pool -> int_alu
+      | Config.Int_mul_pool -> int_mul
+      | Config.Fp_alu_pool -> fp_alu
+      | Config.Fp_mul_pool -> fp_mul
+      | Config.Mem_port_pool -> mem_port
+    in
+    let slots = Array.make n
+        { fetch = 0; dispatch = 0; ready = 0; exec_start = 0; complete = 0;
+          commit = 0; exec_lat = 0; fu_wait = 0; imiss_delay = 0; store_wait = 0 }
+    in
+    (* stores retired per cycle (L1 write-port contention; Fig. 5b's dynamic
+       CC latency).  Lifted by the bw idealization. *)
+    let store_commits : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    (* fetch-stage state *)
+    let fetch_cycle = ref 0 in
+    let fetched_this_cycle = ref 0 in
+    let taken_this_cycle = ref 0 in
+    (* when a mispredicted branch is pending, fetch resumes only after it
+       completes; [pending_redirect] holds its index *)
+    let pending_redirect = ref (-1) in
+    for i = 0 to n - 1 do
+      let d = Trace.get trace i in
+      let e = evts.(i) in
+      (* ---- fetch ---- *)
+      let stall_floor = ref 0 in
+      (* redirect after a mispredicted branch: the next correct-path
+         instruction dispatches >= complete(branch) + branch_recovery, so its
+         fetch resumes frontend_depth earlier than that *)
+      if !pending_redirect >= 0 then begin
+        let b = slots.(!pending_redirect) in
+        stall_floor :=
+          max !stall_floor (b.complete + cfg.branch_recovery - cfg.frontend_depth);
+        pending_redirect := -1
+      end;
+      (* fetch-queue back-pressure *)
+      if i >= fetch_queue_size then
+        stall_floor := max !stall_floor (slots.(i - fetch_queue_size).dispatch - cfg.frontend_depth);
+      if !stall_floor > !fetch_cycle then begin
+        fetch_cycle := !stall_floor;
+        fetched_this_cycle := 0;
+        taken_this_cycle := 0
+      end;
+      (* bandwidth and taken-branch limits close the current fetch cycle
+         (both are part of the paper's "bw" idealization) *)
+      if !fetched_this_cycle >= fetch_bw
+         || (fetch_bw < Config.huge_bw && !taken_this_cycle >= cfg.fetch_taken_limit)
+      then begin
+        incr fetch_cycle;
+        fetched_this_cycle := 0;
+        taken_this_cycle := 0
+      end;
+      let imiss = imiss_delay cfg e in
+      if imiss > 0 then begin
+        (* the line must arrive before the instruction can be delivered *)
+        fetch_cycle := !fetch_cycle + imiss;
+        fetched_this_cycle := 0;
+        taken_this_cycle := 0
+      end;
+      let fetch = !fetch_cycle in
+      incr fetched_this_cycle;
+      if Isa.is_branch d.instr && d.taken then incr taken_this_cycle;
+      if mispredicts cfg e then pending_redirect := i;
+      (* ---- dispatch ---- *)
+      let dispatch = ref (fetch + cfg.frontend_depth) in
+      if i > 0 then dispatch := max !dispatch slots.(i - 1).dispatch;
+      if fetch_bw < Config.huge_bw && i >= fetch_bw then
+        dispatch := max !dispatch (slots.(i - fetch_bw).dispatch + 1);
+      if i >= window then dispatch := max !dispatch slots.(i - window).commit;
+      let dispatch = !dispatch in
+      (* ---- ready: operands ---- *)
+      let ready = ref (dispatch + 1) in
+      List.iter
+        (fun (_, p) ->
+          ready := max !ready (slots.(p).complete + (cfg.wakeup_latency - 1)))
+        d.reg_deps;
+      (match d.mem_dep with
+       | Some p when p >= 0 ->
+         ready := max !ready (slots.(p).complete + (cfg.wakeup_latency - 1))
+       | _ -> ());
+      let ready = !ready in
+      (* ---- issue: issue slot + functional unit ---- *)
+      let cls = Isa.class_of d.instr in
+      let pool = pool_of cls in
+      let exec_lat = exec_latency cfg d e in
+      let busy =
+        match cls with
+        | Isa.Int_div | Isa.Fp_div -> max 1 exec_lat (* non-pipelined *)
+        | _ -> 1
+      in
+      (* find a cycle with both a free unit and a free issue slot *)
+      let rec find c =
+        let c' = Fu_pool.earliest pool ~busy c in
+        let c'' = Issue_table.first_free issue c' in
+        if c'' = c' then c' else find c''
+      in
+      let exec_start = find ready in
+      Issue_table.reserve issue exec_start;
+      Fu_pool.reserve pool ~from:exec_start ~busy;
+      if exec_start > ready then pool.Fu_pool.contended <- pool.Fu_pool.contended + 1;
+      (* ---- complete, with cache-line sharing (partial misses) ---- *)
+      let complete = ref (exec_start + exec_lat) in
+      (match e.share_src with
+       | Some src when not cfg.ideal.perfect_dcache ->
+         complete := max !complete slots.(src).complete
+       | _ -> ());
+      let complete = !complete in
+      (* ---- commit ---- *)
+      let commit = ref (complete + 1) in
+      if i > 0 then commit := max !commit slots.(i - 1).commit;
+      if commit_bw < Config.huge_bw && i >= commit_bw then
+        commit := max !commit (slots.(i - commit_bw).commit + 1);
+      let store_wait = ref 0 in
+      if Isa.is_store d.instr && commit_bw < Config.huge_bw then begin
+        let stores_at c = Option.value ~default:0 (Hashtbl.find_opt store_commits c) in
+        let rec free c = if stores_at c < cfg.store_commit_bw then c else free (c + 1) in
+        let c = free !commit in
+        store_wait := c - !commit;
+        commit := c;
+        Hashtbl.replace store_commits c (stores_at c + 1)
+      end;
+      let commit = !commit in
+      slots.(i) <-
+        { fetch; dispatch; ready; exec_start; complete; commit; exec_lat;
+          fu_wait = exec_start - ready; imiss_delay = imiss;
+          store_wait = !store_wait }
+    done;
+    { cycles = slots.(n - 1).commit + 1; slots; config = cfg }
+  end
+
+(** Convenience: total cycles only. *)
+let cycles cfg trace evts = (run cfg trace evts).cycles
+
+(** Instructions per cycle of a result. *)
+let ipc r =
+  if r.cycles = 0 then 0. else float_of_int (Array.length r.slots) /. float_of_int r.cycles

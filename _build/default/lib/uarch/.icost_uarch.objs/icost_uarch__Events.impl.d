@@ -1,0 +1,1 @@
+lib/uarch/events.ml: Array Bpred Cache Config Hashtbl Icost_isa Option

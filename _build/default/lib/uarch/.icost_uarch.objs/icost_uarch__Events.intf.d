@@ -1,0 +1,1 @@
+lib/uarch/events.mli: Config Icost_isa

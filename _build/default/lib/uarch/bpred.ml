@@ -1,0 +1,158 @@
+(** Branch prediction: combined bimodal/gshare with a meta chooser, a 2-way
+    BTB for indirect targets, and a return address stack — the predictor of
+    Table 6.
+
+    Conditional branches are predicted by the combined predictor (the meta
+    table chooses between bimodal and gshare per branch).  Direct jumps and
+    calls are always predicted correctly (their target is in the binary).
+    Returns are predicted through the RAS, other indirect jumps through the
+    BTB; a wrong target is a misprediction. *)
+
+type counters = { table : int array }
+
+let make_counters entries = { table = Array.make entries 1 (* weakly not-taken *) }
+
+let ctr_predict c ix = c.table.(ix) >= 2
+
+let ctr_update c ix taken =
+  let v = c.table.(ix) in
+  c.table.(ix) <- (if taken then min 3 (v + 1) else max 0 (v - 1))
+
+type t = {
+  bimodal : counters;
+  gshare : counters;
+  meta : counters;
+  bimodal_mask : int;
+  gshare_mask : int;
+  meta_mask : int;
+  history_mask : int;
+  mutable history : int;
+  btb_tags : int array;  (** [entries * ways] *)
+  btb_targets : int array;
+  btb_stamps : int array;
+  btb_sets : int;
+  btb_ways : int;
+  mutable btb_clock : int;
+  ras : int array;
+  mutable ras_top : int;  (** number of valid entries, capped at capacity *)
+}
+
+let create (cfg : Config.t) =
+  let btb_sets = cfg.btb_entries / cfg.btb_ways in
+  {
+    bimodal = make_counters cfg.bimodal_entries;
+    gshare = make_counters cfg.gshare_entries;
+    meta = make_counters cfg.meta_entries;
+    bimodal_mask = cfg.bimodal_entries - 1;
+    gshare_mask = cfg.gshare_entries - 1;
+    meta_mask = cfg.meta_entries - 1;
+    history_mask = (1 lsl cfg.gshare_history) - 1;
+    history = 0;
+    btb_tags = Array.make cfg.btb_entries (-1);
+    btb_targets = Array.make cfg.btb_entries 0;
+    btb_stamps = Array.make cfg.btb_entries 0;
+    btb_sets;
+    btb_ways = cfg.btb_ways;
+    btb_clock = 0;
+    ras = Array.make cfg.ras_entries 0;
+    ras_top = 0;
+  }
+
+let pc_index pc = pc lsr 2
+
+(** Predict the direction of a conditional branch at [pc].  Does not update
+    any state (use {!update_cond} afterwards with the outcome). *)
+let predict_cond t ~pc =
+  let ix = pc_index pc in
+  let b = ctr_predict t.bimodal (ix land t.bimodal_mask) in
+  let g = ctr_predict t.gshare ((ix lxor t.history) land t.gshare_mask) in
+  let use_gshare = ctr_predict t.meta (ix land t.meta_mask) in
+  if use_gshare then g else b
+
+(** Update the combined predictor with the actual outcome of a conditional
+    branch.  Returns whether the pre-update prediction was correct. *)
+let update_cond t ~pc ~taken =
+  let ix = pc_index pc in
+  let bix = ix land t.bimodal_mask in
+  let gix = (ix lxor t.history) land t.gshare_mask in
+  let mix = ix land t.meta_mask in
+  let b = ctr_predict t.bimodal bix in
+  let g = ctr_predict t.gshare gix in
+  let use_gshare = ctr_predict t.meta mix in
+  let predicted = if use_gshare then g else b in
+  ctr_update t.bimodal bix taken;
+  ctr_update t.gshare gix taken;
+  (* The meta chooser trains toward the component that was right, only when
+     the components disagree. *)
+  if b <> g then ctr_update t.meta mix (g = taken);
+  t.history <- ((t.history lsl 1) lor (if taken then 1 else 0)) land t.history_mask;
+  predicted = taken
+
+(* --- BTB --- *)
+
+let btb_lookup t ~pc =
+  let ix = pc_index pc in
+  let set = ix land (t.btb_sets - 1) in
+  let tag = ix lsr 1 in
+  let base = set * t.btb_ways in
+  let rec find w = if w >= t.btb_ways then None
+    else if t.btb_tags.(base + w) = tag then Some (base + w)
+    else find (w + 1)
+  in
+  find 0
+
+(** Predicted target for an indirect jump at [pc], if the BTB has one. *)
+let predict_indirect t ~pc =
+  match btb_lookup t ~pc with
+  | Some slot -> Some t.btb_targets.(slot)
+  | None -> None
+
+(** Record the actual target of an indirect jump.  Returns whether the
+    pre-update BTB prediction matched. *)
+let update_indirect t ~pc ~target =
+  t.btb_clock <- t.btb_clock + 1;
+  let predicted_ok =
+    match predict_indirect t ~pc with Some p -> p = target | None -> false
+  in
+  let ix = pc_index pc in
+  let set = ix land (t.btb_sets - 1) in
+  let tag = ix lsr 1 in
+  let base = set * t.btb_ways in
+  (match btb_lookup t ~pc with
+   | Some slot ->
+     t.btb_targets.(slot) <- target;
+     t.btb_stamps.(slot) <- t.btb_clock
+   | None ->
+     (* evict the LRU way in this set *)
+     let victim = ref base in
+     for w = 1 to t.btb_ways - 1 do
+       if t.btb_stamps.(base + w) < t.btb_stamps.(!victim) then victim := base + w
+     done;
+     t.btb_tags.(!victim) <- tag;
+     t.btb_targets.(!victim) <- target;
+     t.btb_stamps.(!victim) <- t.btb_clock);
+  predicted_ok
+
+(* --- return address stack --- *)
+
+let ras_push t ~return_pc =
+  let cap = Array.length t.ras in
+  if t.ras_top < cap then begin
+    t.ras.(t.ras_top) <- return_pc;
+    t.ras_top <- t.ras_top + 1
+  end
+  else begin
+    (* overflow: shift (rare with 64 entries; models a circular stack losing
+       its oldest entry) *)
+    Array.blit t.ras 1 t.ras 0 (cap - 1);
+    t.ras.(cap - 1) <- return_pc
+  end
+
+(** Pop the RAS and compare with the actual return target.  Returns whether
+    the prediction was correct.  An empty RAS mispredicts. *)
+let ras_pop_check t ~target =
+  if t.ras_top = 0 then false
+  else begin
+    t.ras_top <- t.ras_top - 1;
+    t.ras.(t.ras_top) = target
+  end

@@ -1,0 +1,28 @@
+(** Branch prediction (Table 6): combined bimodal/gshare with a meta
+    chooser for conditional branches, a set-associative BTB for indirect
+    targets, and a return address stack. *)
+
+type t
+
+val create : Config.t -> t
+
+val predict_cond : t -> pc:int -> bool
+(** Predicted direction for a conditional branch; no state change. *)
+
+val update_cond : t -> pc:int -> taken:bool -> bool
+(** Update the combined predictor with the outcome; returns whether the
+    pre-update prediction was correct. *)
+
+val predict_indirect : t -> pc:int -> int option
+(** BTB target for an indirect jump, if any; no state change. *)
+
+val update_indirect : t -> pc:int -> target:int -> bool
+(** Record the actual target; returns whether the pre-update BTB
+    prediction matched. *)
+
+val ras_push : t -> return_pc:int -> unit
+(** Push a call's return address (overflow drops the oldest entry). *)
+
+val ras_pop_check : t -> target:int -> bool
+(** Pop and compare with the actual return target; an empty RAS
+    mispredicts. *)

@@ -1,0 +1,29 @@
+(** Set-associative cache with true-LRU replacement.  Used for the L1
+    caches, the shared L2 and (with associativity = entries) the TLBs.
+    Tracks presence only — the timing model needs hit/miss classification,
+    not data. *)
+
+type t
+
+val create : name:string -> lines:int -> ways:int -> line_size:int -> t
+(** [lines] must be divisible by [ways]; the set count and line size must
+    be powers of two.  @raise Invalid_argument otherwise. *)
+
+val create_bytes : name:string -> size:int -> ways:int -> line_size:int -> t
+(** Convenience constructor from a total size in bytes. *)
+
+val line_addr : t -> int -> int
+(** The line number of a byte address. *)
+
+val probe : t -> int -> bool
+(** Presence check without any state change. *)
+
+val access : t -> int -> bool
+(** Look an address up; on a miss, fill the line (evicting the LRU way).
+    Returns [true] on a hit. *)
+
+val miss_rate : t -> float
+val stats : t -> int * int
+(** (accesses, misses) since creation or the last {!reset_stats}. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,199 @@
+(** Machine configuration.
+
+    The [default] configuration reproduces Table 6 of the paper:
+
+    - dynamically scheduled core: 64-entry instruction window, 6-way issue,
+      15-cycle pipeline, perfect memory disambiguation, fetch stops at the
+      second taken branch in a cycle;
+    - branch prediction: combined bimodal (8k) / gshare (8k) with an 8k meta
+      predictor, 4k-entry 2-way BTB, 64-entry return address stack;
+    - memory: 32KB 2-way L1 I and D (2-cycle), shared 1MB 4-way 12-cycle L2,
+      100-cycle memory, 128-entry DTLB / 64-entry ITLB with 30-cycle miss
+      handling;
+    - functional units: 6 int ALU (1-cycle), 2 int MUL (3), 4 FP ALU (2),
+      2 FP MUL/DIV (4/12), 3 load/store ports (2-cycle).
+
+    The long-pipeline case studies of Section 4 are expressed as knob
+    changes: [dl1_lat = 4] (Table 4a), [wakeup_latency = 2] (Table 4b) and
+    [branch_recovery = 15] (Table 4c). *)
+
+module Isa = Icost_isa.Isa
+
+(** Idealization switches, one per event class of the paper's breakdowns
+    (Table 1 lists the idealization technique for each). *)
+type ideal = {
+  perfect_icache : bool;  (** imiss: I-cache (and I-TLB) misses become hits *)
+  perfect_dcache : bool;  (** dmiss: D-cache (and D-TLB) misses become hits *)
+  zero_dl1 : bool;  (** dl1: level-one D-cache hit latency becomes 0 *)
+  zero_short_alu : bool;  (** shalu: 1-cycle integer ops take 0 cycles *)
+  zero_long_alu : bool;  (** lgalu: multi-cycle int and FP ops take 0 cycles *)
+  perfect_bpred : bool;  (** bmisp: mispredictions become correct predictions *)
+  infinite_bw : bool;  (** bw: infinite fetch, issue and commit bandwidth *)
+  big_window : bool;  (** win: window 20x larger than baseline *)
+}
+
+let no_ideal =
+  {
+    perfect_icache = false;
+    perfect_dcache = false;
+    zero_dl1 = false;
+    zero_short_alu = false;
+    zero_long_alu = false;
+    perfect_bpred = false;
+    infinite_bw = false;
+    big_window = false;
+  }
+
+type t = {
+  (* core *)
+  window_size : int;
+  issue_width : int;
+  fetch_bw : int;
+  commit_bw : int;
+  store_commit_bw : int;
+      (** stores that can retire to the cache per cycle (L1 write ports) *)
+  fetch_taken_limit : int;  (** taken branches that terminate a fetch cycle *)
+  frontend_depth : int;  (** fetch-to-dispatch stages *)
+  branch_recovery : int;
+      (** cycles between a mispredicted branch completing and the first
+          correct-path instruction dispatching (the mispredict loop) *)
+  wakeup_latency : int;  (** issue-wakeup loop: 1 = back-to-back issue *)
+  window_ideal_factor : int;  (** multiplier used by the big_window idealization *)
+  (* execution latencies *)
+  short_alu_lat : int;
+  int_mul_lat : int;
+  int_div_lat : int;
+  fp_add_lat : int;
+  fp_mul_lat : int;
+  fp_div_lat : int;
+  (* functional unit counts *)
+  num_int_alu : int;
+  num_int_mul : int;
+  num_fp_alu : int;
+  num_fp_mul : int;
+  num_mem_ports : int;
+  (* memory hierarchy *)
+  line_size : int;
+  il1_size : int;
+  il1_ways : int;
+  il1_lat : int;
+  dl1_size : int;
+  dl1_ways : int;
+  dl1_lat : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_lat : int;
+  mem_lat : int;
+  page_size : int;
+  dtlb_entries : int;
+  itlb_entries : int;
+  tlb_miss_lat : int;
+  (* branch prediction *)
+  bimodal_entries : int;
+  gshare_entries : int;
+  gshare_history : int;
+  meta_entries : int;
+  btb_entries : int;
+  btb_ways : int;
+  ras_entries : int;
+  (* idealizations *)
+  ideal : ideal;
+}
+
+let default =
+  {
+    window_size = 64;
+    issue_width = 6;
+    fetch_bw = 6;
+    commit_bw = 6;
+    store_commit_bw = 2;
+    fetch_taken_limit = 2;
+    frontend_depth = 7;
+    branch_recovery = 10;
+    wakeup_latency = 1;
+    window_ideal_factor = 20;
+    short_alu_lat = 1;
+    int_mul_lat = 3;
+    int_div_lat = 12;
+    fp_add_lat = 2;
+    fp_mul_lat = 4;
+    fp_div_lat = 12;
+    num_int_alu = 6;
+    num_int_mul = 2;
+    num_fp_alu = 4;
+    num_fp_mul = 2;
+    num_mem_ports = 3;
+    line_size = 64;
+    il1_size = 32 * 1024;
+    il1_ways = 2;
+    il1_lat = 2;
+    dl1_size = 32 * 1024;
+    dl1_ways = 2;
+    dl1_lat = 2;
+    l2_size = 1024 * 1024;
+    l2_ways = 4;
+    l2_lat = 12;
+    mem_lat = 100;
+    page_size = 4096;
+    dtlb_entries = 128;
+    itlb_entries = 64;
+    tlb_miss_lat = 30;
+    bimodal_entries = 8192;
+    gshare_entries = 8192;
+    gshare_history = 13;
+    meta_entries = 8192;
+    btb_entries = 4096;
+    btb_ways = 2;
+    ras_entries = 64;
+    ideal = no_ideal;
+  }
+
+(** The three long-pipeline case studies of Section 4. *)
+let loop_dl1 = { default with dl1_lat = 4 }
+
+let loop_wakeup = { default with wakeup_latency = 2 }
+let loop_bmisp = { default with branch_recovery = 15 }
+
+(** Effective window size after idealization. *)
+let effective_window cfg =
+  if cfg.ideal.big_window then cfg.window_size * cfg.window_ideal_factor
+  else cfg.window_size
+
+let huge_bw = 10_000
+
+let effective_fetch_bw cfg = if cfg.ideal.infinite_bw then huge_bw else cfg.fetch_bw
+let effective_commit_bw cfg = if cfg.ideal.infinite_bw then huge_bw else cfg.commit_bw
+let effective_issue_width cfg = if cfg.ideal.infinite_bw then huge_bw else cfg.issue_width
+
+(** Base (un-idealized) execution latency for an operation class. *)
+let exec_latency cfg (c : Isa.op_class) =
+  match c with
+  | Isa.Short_alu -> cfg.short_alu_lat
+  | Isa.Int_mul -> cfg.int_mul_lat
+  | Isa.Int_div -> cfg.int_div_lat
+  | Isa.Fp_add -> cfg.fp_add_lat
+  | Isa.Fp_mul -> cfg.fp_mul_lat
+  | Isa.Fp_div -> cfg.fp_div_lat
+  | Isa.Mem_load -> cfg.dl1_lat (* hit latency; miss penalties are added on top *)
+  | Isa.Mem_store -> 1 (* address generation; data drains from the write buffer *)
+  | Isa.Ctrl -> 1
+  | Isa.Nop_class -> 1
+
+(** Which functional-unit pool an operation class issues to.
+    Returns [None] for classes that need no FU (control ops use an int ALU). *)
+type fu_pool = Int_alu_pool | Int_mul_pool | Fp_alu_pool | Fp_mul_pool | Mem_port_pool
+
+let fu_pool_of_class (c : Isa.op_class) =
+  match c with
+  | Isa.Short_alu | Isa.Ctrl | Isa.Nop_class -> Int_alu_pool
+  | Isa.Int_mul | Isa.Int_div -> Int_mul_pool
+  | Isa.Fp_add -> Fp_alu_pool
+  | Isa.Fp_mul | Isa.Fp_div -> Fp_mul_pool
+  | Isa.Mem_load | Isa.Mem_store -> Mem_port_pool
+
+let fu_pool_size cfg = function
+  | Int_alu_pool -> cfg.num_int_alu
+  | Int_mul_pool -> cfg.num_int_mul
+  | Fp_alu_pool -> cfg.num_fp_alu
+  | Fp_mul_pool -> cfg.num_fp_mul
+  | Mem_port_pool -> cfg.num_mem_ports

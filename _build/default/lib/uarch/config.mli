@@ -1,0 +1,103 @@
+(** Machine configuration.  {!default} reproduces the paper's Table 6; the
+    long-pipeline case studies of Section 4 are the knob variants
+    {!loop_dl1}, {!loop_wakeup} and {!loop_bmisp}. *)
+
+module Isa = Icost_isa.Isa
+
+(** Idealization switches, one per event class (Table 1 lists the
+    idealization technique for each). *)
+type ideal = {
+  perfect_icache : bool;  (** imiss: I-cache (and I-TLB) misses become hits *)
+  perfect_dcache : bool;  (** dmiss: D-cache (and D-TLB) misses become hits *)
+  zero_dl1 : bool;  (** dl1: level-one D-cache hit latency becomes 0 *)
+  zero_short_alu : bool;  (** shalu: 1-cycle integer ops take 0 cycles *)
+  zero_long_alu : bool;  (** lgalu: multi-cycle int and FP ops take 0 cycles *)
+  perfect_bpred : bool;  (** bmisp: mispredictions become correct predictions *)
+  infinite_bw : bool;  (** bw: infinite fetch, issue and commit bandwidth *)
+  big_window : bool;  (** win: window 20x larger than baseline *)
+}
+
+val no_ideal : ideal
+
+type t = {
+  (* core *)
+  window_size : int;
+  issue_width : int;
+  fetch_bw : int;
+  commit_bw : int;
+  store_commit_bw : int;
+      (** stores that can retire to the cache per cycle (L1 write ports) *)
+  fetch_taken_limit : int;  (** taken branches that terminate a fetch cycle *)
+  frontend_depth : int;  (** fetch-to-dispatch stages *)
+  branch_recovery : int;
+      (** cycles between a mispredicted branch completing and the first
+          correct-path instruction dispatching (the mispredict loop) *)
+  wakeup_latency : int;  (** issue-wakeup loop: 1 = back-to-back issue *)
+  window_ideal_factor : int;  (** multiplier used by the big_window idealization *)
+  (* execution latencies *)
+  short_alu_lat : int;
+  int_mul_lat : int;
+  int_div_lat : int;
+  fp_add_lat : int;
+  fp_mul_lat : int;
+  fp_div_lat : int;
+  (* functional unit counts *)
+  num_int_alu : int;
+  num_int_mul : int;
+  num_fp_alu : int;
+  num_fp_mul : int;
+  num_mem_ports : int;
+  (* memory hierarchy *)
+  line_size : int;
+  il1_size : int;
+  il1_ways : int;
+  il1_lat : int;
+  dl1_size : int;
+  dl1_ways : int;
+  dl1_lat : int;
+  l2_size : int;
+  l2_ways : int;
+  l2_lat : int;
+  mem_lat : int;
+  page_size : int;
+  dtlb_entries : int;
+  itlb_entries : int;
+  tlb_miss_lat : int;
+  (* branch prediction *)
+  bimodal_entries : int;
+  gshare_entries : int;
+  gshare_history : int;
+  meta_entries : int;
+  btb_entries : int;
+  btb_ways : int;
+  ras_entries : int;
+  (* idealizations *)
+  ideal : ideal;
+}
+
+val default : t
+(** The Table 6 machine: 64-entry window, 6-wide, 32KB 2-cycle L1s, 1MB
+    12-cycle L2, 100-cycle memory, combined 8k bimodal/gshare/meta. *)
+
+val loop_dl1 : t
+(** Table 4a's machine: four-cycle level-one data cache. *)
+
+val loop_wakeup : t
+(** Table 4b's machine: two-cycle issue-wakeup loop. *)
+
+val loop_bmisp : t
+(** Table 4c's machine: 15-cycle branch-misprediction loop. *)
+
+val effective_window : t -> int
+val huge_bw : int
+val effective_fetch_bw : t -> int
+val effective_commit_bw : t -> int
+val effective_issue_width : t -> int
+
+val exec_latency : t -> Isa.op_class -> int
+(** Base (un-idealized) execution latency of an operation class. *)
+
+type fu_pool = Int_alu_pool | Int_mul_pool | Fp_alu_pool | Fp_mul_pool | Mem_port_pool
+
+val fu_pool_of_class : Isa.op_class -> fu_pool
+val fu_pool_size : t -> fu_pool -> int

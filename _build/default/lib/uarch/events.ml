@@ -1,0 +1,221 @@
+(** Event annotation: one deterministic pass over the dynamic trace that
+    classifies every microarchitectural event — cache and TLB misses, branch
+    mispredictions, cache-line sharing between loads.
+
+    The classification is computed once per (program, machine) pair and
+    reused by the baseline simulation, every idealized simulation and the
+    dependence-graph analysis.  This mirrors the paper's graph methodology:
+    idealization edits the *latency* of events, not which events occurred,
+    so all cost measurements see the same event stream. *)
+
+module Isa = Icost_isa.Isa
+module Trace = Icost_isa.Trace
+
+type evt = {
+  il1_miss : bool;
+  il2_miss : bool;  (** instruction fetch missed in the shared L2 as well *)
+  itlb_miss : bool;
+  dl1_miss : bool;
+  dl2_miss : bool;  (** data access missed in the shared L2 as well *)
+  dtlb_miss : bool;
+  line : int;  (** data line address, -1 for non-memory instructions *)
+  share_src : int option;
+      (** for a load: [seq] of the most recent earlier load that missed on
+          the same line (the paper's PP edge — partial-miss modeling) *)
+  mispredict : bool;
+}
+
+let no_evt =
+  {
+    il1_miss = false;
+    il2_miss = false;
+    itlb_miss = false;
+    dl1_miss = false;
+    dl2_miss = false;
+    dtlb_miss = false;
+    line = -1;
+    share_src = None;
+    mispredict = false;
+  }
+
+type summary = {
+  il1_misses : int;
+  il2_misses : int;
+  dl1_misses : int;
+  dl2_misses : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+  mispredicts : int;
+  cond_branches : int;
+  loads : int;
+  stores : int;
+}
+
+(** [slice evts ~start ~len] extracts the annotation window matching
+    {!Icost_isa.Trace.slice}: [share_src] references are renumbered, and
+    sources before the window are dropped (their misses have returned). *)
+let slice (evts : evt array) ~start ~len =
+  Array.init len (fun i ->
+      let e = evts.(start + i) in
+      let share_src =
+        Option.bind e.share_src (fun s -> if s >= start then Some (s - start) else None)
+      in
+      { e with share_src })
+
+(** Optional prefetchers, used by the prefetching case study: a classic
+    per-static-load stride prefetcher for the D-cache and a next-line
+    prefetcher for the I-cache.  Prefetching changes which accesses miss,
+    i.e. the *event stream* — which is exactly how a real optimization
+    differs from an idealization, and what lets the experiments check that
+    the predicted cost of the removed events matches the realized
+    speedup. *)
+type prefetch = {
+  stride_loads : bool;  (** stride-predict D-cache lines per static load *)
+  next_line_icache : bool;  (** prefetch the sequentially next I-cache line *)
+}
+
+let no_prefetch = { stride_loads = false; next_line_icache = false }
+
+(* Per-static-load stride predictor state. *)
+type stride_entry = { mutable last : int; mutable stride : int; mutable conf : int }
+
+(** [annotate ?prefetch cfg trace] classifies every instruction of [trace].
+    The same structures are warmed in trace order, so the result is
+    deterministic. *)
+let annotate ?(prefetch = no_prefetch) (cfg : Config.t) (trace : Trace.t) :
+    evt array * summary =
+  let n = Trace.length trace in
+  let il1 =
+    Cache.create_bytes ~name:"il1" ~size:cfg.il1_size ~ways:cfg.il1_ways
+      ~line_size:cfg.line_size
+  in
+  let dl1 =
+    Cache.create_bytes ~name:"dl1" ~size:cfg.dl1_size ~ways:cfg.dl1_ways
+      ~line_size:cfg.line_size
+  in
+  let l2 =
+    Cache.create_bytes ~name:"l2" ~size:cfg.l2_size ~ways:cfg.l2_ways
+      ~line_size:cfg.line_size
+  in
+  let itlb =
+    Cache.create ~name:"itlb" ~lines:cfg.itlb_entries ~ways:cfg.itlb_entries
+      ~line_size:cfg.page_size
+  in
+  let dtlb =
+    Cache.create ~name:"dtlb" ~lines:cfg.dtlb_entries ~ways:cfg.dtlb_entries
+      ~line_size:cfg.page_size
+  in
+  let bp = Bpred.create cfg in
+  (* last load that missed on a given line *)
+  let last_line_miss : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let strides : (int, stride_entry) Hashtbl.t = Hashtbl.create 256 in
+  (* a confident stride predictor fills the next expected line ahead of the
+     access, so the later demand access hits *)
+  let stride_prefetch d_static addr dl1 l2 =
+    if prefetch.stride_loads then begin
+      let entry =
+        match Hashtbl.find_opt strides d_static with
+        | Some e -> e
+        | None ->
+          let e = { last = addr; stride = 0; conf = 0 } in
+          Hashtbl.add strides d_static e;
+          e
+      in
+      let observed = addr - entry.last in
+      if observed = entry.stride && observed <> 0 then
+        entry.conf <- min 3 (entry.conf + 1)
+      else begin
+        entry.stride <- observed;
+        entry.conf <- 0
+      end;
+      entry.last <- addr;
+      if entry.conf >= 2 then begin
+        let target = addr + entry.stride in
+        ignore (Cache.access l2 target);
+        ignore (Cache.access dl1 target)
+      end
+    end
+  in
+  let mispredicts = ref 0 and cond_branches = ref 0 in
+  let loads = ref 0 and stores = ref 0 in
+  let evts =
+    Array.init n (fun i ->
+        let d = Trace.get trace i in
+        (* --- instruction-side accesses --- *)
+        let itlb_miss = not (Cache.access itlb d.pc) in
+        let il1_miss = not (Cache.access il1 d.pc) in
+        let il2_miss = il1_miss && not (Cache.access l2 d.pc) in
+        if prefetch.next_line_icache && il1_miss then begin
+          let next = d.pc + cfg.line_size in
+          ignore (Cache.access l2 next);
+          ignore (Cache.access il1 next)
+        end;
+        (* --- data-side accesses --- *)
+        let dl1_miss, dl2_miss, dtlb_miss, line, share_src =
+          match d.mem_addr with
+          | None -> (false, false, false, -1, None)
+          | Some addr ->
+            let dtlb_miss = not (Cache.access dtlb addr) in
+            let dl1_miss = not (Cache.access dl1 addr) in
+            let dl2_miss = dl1_miss && not (Cache.access l2 addr) in
+            if Isa.is_load d.instr then stride_prefetch d.static_ix addr dl1 l2;
+            let line = addr / cfg.line_size in
+            let share_src =
+              if Isa.is_load d.instr then
+                if dl1_miss then begin
+                  Hashtbl.replace last_line_miss line d.seq;
+                  None
+                end
+                else Hashtbl.find_opt last_line_miss line
+              else None
+            in
+            if Isa.is_load d.instr then incr loads else incr stores;
+            (dl1_miss, dl2_miss, dtlb_miss, line, share_src)
+        in
+        (* --- branch prediction --- *)
+        let mispredict =
+          match d.instr with
+          | Isa.Branch _ ->
+            incr cond_branches;
+            let correct = Bpred.update_cond bp ~pc:d.pc ~taken:d.taken in
+            not correct
+          | Isa.Jump _ -> false
+          | Isa.Call _ ->
+            Bpred.ras_push bp ~return_pc:(d.pc + 4);
+            false
+          | Isa.Ret -> not (Bpred.ras_pop_check bp ~target:d.next_pc)
+          | Isa.Jump_reg _ -> not (Bpred.update_indirect bp ~pc:d.pc ~target:d.next_pc)
+          | _ -> false
+        in
+        if mispredict then incr mispredicts;
+        {
+          il1_miss;
+          il2_miss;
+          itlb_miss;
+          dl1_miss;
+          dl2_miss;
+          dtlb_miss;
+          line;
+          share_src;
+          mispredict;
+        })
+  in
+  let il1_misses = snd (Cache.stats il1) in
+  let dl1_misses = snd (Cache.stats dl1) in
+  let itlb_misses = snd (Cache.stats itlb) in
+  let dtlb_misses = snd (Cache.stats dtlb) in
+  let il2_misses = Array.fold_left (fun a e -> if e.il2_miss then a + 1 else a) 0 evts in
+  let dl2_misses = Array.fold_left (fun a e -> if e.dl2_miss then a + 1 else a) 0 evts in
+  ( evts,
+    {
+      il1_misses;
+      il2_misses;
+      dl1_misses;
+      dl2_misses;
+      itlb_misses;
+      dtlb_misses;
+      mispredicts = !mispredicts;
+      cond_branches = !cond_branches;
+      loads = !loads;
+      stores = !stores;
+    } )

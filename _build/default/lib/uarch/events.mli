@@ -1,0 +1,63 @@
+(** Event annotation: one deterministic pass over the dynamic trace that
+    classifies every microarchitectural event — cache and TLB misses,
+    branch mispredictions, cache-line sharing between loads.
+
+    The classification is computed once per (program, machine) pair and
+    reused by the baseline simulation, every idealized simulation and the
+    graph analysis: idealization edits the {e latency} of events, not
+    which events occurred, so all cost measurements see the same event
+    stream (the paper's graph methodology). *)
+
+module Isa = Icost_isa.Isa
+module Trace = Icost_isa.Trace
+
+type evt = {
+  il1_miss : bool;
+  il2_miss : bool;  (** instruction fetch missed the shared L2 as well *)
+  itlb_miss : bool;
+  dl1_miss : bool;
+  dl2_miss : bool;  (** data access missed the shared L2 as well *)
+  dtlb_miss : bool;
+  line : int;  (** data line address; -1 for non-memory instructions *)
+  share_src : int option;
+      (** for a load: [seq] of the most recent earlier load that missed on
+          the same line (the paper's PP edge — partial-miss modeling) *)
+  mispredict : bool;
+}
+
+val no_evt : evt
+
+type summary = {
+  il1_misses : int;
+  il2_misses : int;
+  dl1_misses : int;
+  dl2_misses : int;
+  itlb_misses : int;
+  dtlb_misses : int;
+  mispredicts : int;
+  cond_branches : int;
+  loads : int;
+  stores : int;
+}
+
+val slice : evt array -> start:int -> len:int -> evt array
+(** Extract the annotation window matching {!Icost_isa.Trace.slice}:
+    [share_src] references are renumbered; sources before the window are
+    dropped (their misses have returned). *)
+
+(** Optional prefetchers (used by the prefetching case study): a classic
+    per-static-load stride prefetcher for the D-cache and a next-line
+    prefetcher for the I-cache.  Prefetching changes which accesses miss —
+    the event stream itself — which is how a real optimization differs
+    from an idealization. *)
+type prefetch = {
+  stride_loads : bool;
+  next_line_icache : bool;
+}
+
+val no_prefetch : prefetch
+
+val annotate :
+  ?prefetch:prefetch -> Config.t -> Trace.t -> evt array * summary
+(** Classify every instruction of the trace.  The structures are warmed in
+    trace order, so the result is deterministic. *)

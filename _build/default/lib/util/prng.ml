@@ -1,0 +1,70 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    workload, sampling decision and experiment is reproducible from a fixed
+    seed.  The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014),
+    which is small, fast and has no measurable bias for our purposes. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* One SplitMix64 step: advance the state by the golden-ratio increment and
+   scramble the output with two xor-shift-multiply rounds. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [bits t] returns 62 uniformly distributed non-negative bits. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(** [int t n] returns a uniform integer in [0, n). Requires [n > 0]. *)
+let int t n =
+  assert (n > 0);
+  bits t mod n
+
+(** [int_range t lo hi] returns a uniform integer in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(** [float t] returns a uniform float in [0, 1). *)
+let float t = Float.of_int (bits t) *. 0x1p-62
+
+(** [bool t p] returns [true] with probability [p]. *)
+let bool t p = float t < p
+
+(** [choose t arr] picks a uniformly random element of [arr]. *)
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+(** [weighted t pairs] picks the first component of a pair with probability
+    proportional to its (non-negative) weight. *)
+let weighted t pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. pairs in
+  assert (total > 0.);
+  let x = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Prng.weighted: empty"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0. pairs
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(** [split t] derives an independent generator from [t]'s stream. *)
+let split t = { state = next_int64 t }

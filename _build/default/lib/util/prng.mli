@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All randomness in the repository flows through this module so that
+    every workload, sampling decision and experiment is reproducible from
+    a fixed seed. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** One raw SplitMix64 step. *)
+
+val bits : t -> int
+(** 62 uniformly distributed non-negative bits. *)
+
+val int : t -> int -> int
+(** Uniform in [0, n); requires [n > 0]. *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** A uniformly random element of a non-empty array. *)
+
+val weighted : t -> ('a * float) list -> 'a
+(** First component of a pair with probability proportional to its weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates permutation. *)
+
+val split : t -> t
+(** Derive an independent generator from this stream. *)

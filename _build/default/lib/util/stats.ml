@@ -1,0 +1,55 @@
+(** Small numeric helpers used by the experiment harness and the profiler
+    validation: means, deviations, percentage formatting and error metrics. *)
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. Float.of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) xs) in
+    sqrt var
+
+let fmin xs = List.fold_left min infinity xs
+let fmax xs = List.fold_left max neg_infinity xs
+
+(** [percent part whole] is [part / whole * 100.], or 0 when [whole = 0]. *)
+let percent part whole = if whole = 0. then 0. else 100. *. part /. whole
+
+(** Absolute error between a measurement and a reference. *)
+let abs_error ~measured ~reference = Float.abs (measured -. reference)
+
+(** Relative error in percent, guarding against a zero reference (the paper
+    excludes categories under 5% from its averages for the same reason). *)
+let rel_error_pct ~measured ~reference =
+  if Float.abs reference < 1e-9 then 0.
+  else 100. *. Float.abs (measured -. reference) /. Float.abs reference
+
+(** Geometric mean of positive values (used for speedup summaries). *)
+let geomean = function
+  | [] -> 1.
+  | xs ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (s /. Float.of_int (List.length xs))
+
+(** Running statistics accumulator (Welford). *)
+module Running = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. Float.of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+
+  let stddev t =
+    if t.n < 2 then 0. else sqrt (t.m2 /. Float.of_int (t.n - 1))
+end

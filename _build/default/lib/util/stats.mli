@@ -1,0 +1,31 @@
+(** Small numeric helpers for the experiment harness and the profiler
+    validation. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val fmin : float list -> float
+val fmax : float list -> float
+
+val percent : float -> float -> float
+(** [percent part whole] = [100 * part / whole], or 0 when [whole = 0]. *)
+
+val abs_error : measured:float -> reference:float -> float
+
+val rel_error_pct : measured:float -> reference:float -> float
+(** Relative error in percent; 0 when the reference is ~0. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 1 for the empty list. *)
+
+(** Running statistics accumulator (Welford; sample standard deviation). *)
+module Running : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+end

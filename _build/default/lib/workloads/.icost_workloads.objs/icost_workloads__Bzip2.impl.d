@@ -1,0 +1,1 @@
+lib/workloads/bzip2.ml: Icost_isa Icost_util Kernel_util

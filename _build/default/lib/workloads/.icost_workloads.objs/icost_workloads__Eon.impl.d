@@ -1,0 +1,1 @@
+lib/workloads/eon.ml: Icost_isa Icost_util Kernel_util

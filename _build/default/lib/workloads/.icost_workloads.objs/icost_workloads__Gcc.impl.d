@@ -1,0 +1,1 @@
+lib/workloads/gcc.ml: Icost_isa Icost_util Kernel_util

@@ -1,0 +1,1 @@
+lib/workloads/istress.ml: Icost_isa Icost_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/kernel_util.ml: Array Icost_isa Icost_util

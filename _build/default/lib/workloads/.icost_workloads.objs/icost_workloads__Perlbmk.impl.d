@@ -1,0 +1,1 @@
+lib/workloads/perlbmk.ml: Icost_isa Icost_util Kernel_util Printf

@@ -1,0 +1,1 @@
+lib/workloads/twolf.ml: Icost_isa Icost_util Kernel_util

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Bzip2 Crafty Eon Gap Gcc Gzip Icost_isa List Mcf Parser Perlbmk Printf String Twolf Vortex Vpr

@@ -1,0 +1,60 @@
+(** bzip2-like kernel: block-sort surrogate.
+
+    Burrows-Wheeler compression spends its time in data-dependent compare
+    loops whose branches are nearly random — the paper's breakdown shows
+    bzip with the largest branch-misprediction cost of the suite.  This
+    kernel histograms a random byte buffer and runs adjacent-element
+    comparisons whose outcomes depend on the data. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(input_words = 8 * 1024) ?(seed = 0xb21) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"bzip2" () in
+  let input_base = Kernel_util.data_base in
+  let hist_base = input_base + (8 * input_words) + 4096 in
+  (* run-structured bytes: real block-sort inputs have runs, which leaves
+     the compare branches data dependent but not pure coin flips *)
+  let prev = ref 0 in
+  Kernel_util.init_words a ~base:input_base ~count:input_words (fun _ ->
+      if Prng.bool prng 0.55 then !prev
+      else begin
+        prev := Prng.int prng 256;
+        !prev
+      end);
+  Kernel_util.init_words a ~base:hist_base ~count:256 (fun _ -> 0);
+  let ptr = 1 and cur = 2 and prev = 3 and tmp = 4 and slot = 5 in
+  let cnt = 6 and inbase = 7 and inend = 8 and hbase = 9 and runs = 10 and acc = 11 in
+  Asm.li a ~rd:inbase input_base;
+  Asm.li a ~rd:inend (input_base + (8 * input_words));
+  Asm.li a ~rd:hbase hist_base;
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:inbase;
+  Asm.li a ~rd:prev 0;
+  Asm.label a "inner";
+  Asm.load a ~rd:cur ~base:ptr ~offset:0;
+  (* histogram update: read-modify-write H[cur] *)
+  Asm.shli a ~rd:tmp ~rs1:cur 3;
+  Asm.add a ~rd:slot ~rs1:hbase ~rs2:tmp;
+  Asm.load a ~rd:cnt ~base:slot ~offset:0;
+  Asm.addi a ~rd:cnt ~rs1:cnt 1;
+  Asm.store a ~rs:cnt ~base:slot ~offset:0;
+  (* data-dependent comparison chain: which of cur/prev is larger, run
+     detection — both essentially random *)
+  Asm.blt a ~rs1:cur ~rs2:prev "smaller";
+  Asm.sub a ~rd:acc ~rs1:cur ~rs2:prev;
+  Asm.jmp a "after_cmp";
+  Asm.label a "smaller";
+  Asm.sub a ~rd:acc ~rs1:prev ~rs2:cur;
+  Asm.label a "after_cmp";
+  Asm.andi a ~rd:tmp ~rs1:cur 3;
+  Asm.beq a ~rs1:tmp ~rs2:Isa.reg_zero "run";
+  Asm.addi a ~rd:runs ~rs1:runs 1;
+  Asm.label a "run";
+  Asm.mv a ~rd:prev ~rs:cur;
+  Asm.addi a ~rd:ptr ~rs1:ptr 8;
+  Asm.blt a ~rs1:ptr ~rs2:inend "inner";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,61 @@
+(** crafty-like kernel: chess-engine surrogate.
+
+    Crafty is bitboard arithmetic: shifts, masks and population counts over
+    64-bit words, small lookup tables that live in the L1, deep branchy
+    evaluation with moderately predictable branches, and short call/return
+    chains.  Memory misses are rare; branch mispredictions and short-ALU
+    work dominate. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(positions = 512) ?(seed = 0xc4f) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"crafty" () in
+  let board_base = Kernel_util.data_base in
+  let table_base = board_base + (8 * positions) + 512 in
+  (* random board words and a small 256-entry evaluation table (fits L1) *)
+  (* sparse boards: ~25%% of bits set, so piece-presence tests are biased *)
+  Kernel_util.init_words a ~base:board_base ~count:positions (fun _ ->
+      Icost_util.Prng.bits prng land Icost_util.Prng.bits prng);
+  Kernel_util.init_random_words a prng ~base:table_base ~count:256 ~range:4096;
+  let ptr = 1 and bits = 2 and acc = 3 and tmp = 4 and idx = 5 in
+  let score = 6 and bbase = 7 and bend = 8 and tbase = 9 and sq = 10 in
+  Asm.li a ~rd:bbase board_base;
+  Asm.li a ~rd:bend (board_base + (8 * positions));
+  Asm.li a ~rd:tbase table_base;
+  Asm.li a ~rd:Isa.reg_sp Kernel_util.stack_base;
+  Asm.jmp a "outer";
+  (* eval(bits in r2) -> r6: table lookup on the low byte plus mobility *)
+  Asm.label a "eval";
+  Asm.andi a ~rd:idx ~rs1:bits 255;
+  Asm.shli a ~rd:idx ~rs1:idx 3;
+  Asm.add a ~rd:idx ~rs1:tbase ~rs2:idx;
+  Asm.load a ~rd:score ~base:idx ~offset:0;
+  Asm.shri a ~rd:tmp ~rs1:bits 32;
+  Asm.xor a ~rd:score ~rs1:score ~rs2:tmp;
+  Asm.ret a;
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:bbase;
+  Asm.label a "position";
+  Asm.load a ~rd:bits ~base:ptr ~offset:0;
+  Asm.call a "eval";
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:score;
+  (* scan 8 "squares": test random bits of the board word *)
+  Asm.li a ~rd:sq 8;
+  Asm.label a "square";
+  Asm.andi a ~rd:tmp ~rs1:bits 1;
+  Asm.shri a ~rd:bits ~rs1:bits 1;
+  (* data-dependent: roughly 50/50 taken *)
+  Asm.beq a ~rs1:tmp ~rs2:Isa.reg_zero "empty";
+  Asm.shli a ~rd:tmp ~rs1:sq 2;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:tmp;
+  Asm.xor a ~rd:acc ~rs1:acc ~rs2:sq;
+  Asm.label a "empty";
+  Asm.addi a ~rd:sq ~rs1:sq (-1);
+  Asm.bne a ~rs1:sq ~rs2:Isa.reg_zero "square";
+  Asm.addi a ~rd:ptr ~rs1:ptr 8;
+  Asm.blt a ~rs1:ptr ~rs2:bend "position";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,56 @@
+(** eon-like kernel: ray-tracer surrogate.
+
+    Eon is the one SPECint benchmark with heavy floating-point content:
+    long multiply/add chains with an occasional divide, small working set,
+    highly predictable loop branches.  The paper's breakdown gives eon the
+    largest long-ALU cost of the suite and small cache costs. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(rays = 1024) ?(seed = 0xe08) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"eon" () in
+  let base = Kernel_util.data_base in
+  (* ray directions: 3 words per ray, small footprint *)
+  Kernel_util.init_random_words a prng ~base ~count:(3 * rays) ~range:1024;
+  let ptr = 1 and x = 2 and y = 3 and z = 4 and dot = 5 in
+  let t1 = 6 and t2 = 7 and acc = 8 and rbase = 9 and rend = 10 and k = 11 in
+  Asm.li a ~rd:rbase base;
+  Asm.li a ~rd:rend (base + (24 * rays));
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:rbase;
+  Asm.label a "ray";
+  Asm.load a ~rd:x ~base:ptr ~offset:0;
+  Asm.load a ~rd:y ~base:ptr ~offset:8;
+  Asm.load a ~rd:z ~base:ptr ~offset:16;
+  (* dot products and normalization: FP chains *)
+  Asm.fmul a ~rd:t1 ~rs1:x ~rs2:x;
+  Asm.fmul a ~rd:t2 ~rs1:y ~rs2:y;
+  Asm.fadd a ~rd:dot ~rs1:t1 ~rs2:t2;
+  Asm.fmul a ~rd:t1 ~rs1:z ~rs2:z;
+  Asm.fadd a ~rd:dot ~rs1:dot ~rs2:t1;
+  (* bounce iterations: dependent FP chain with integer bookkeeping and a
+     texture-table read per bounce *)
+  Asm.li a ~rd:k 2;
+  Asm.label a "bounce";
+  Asm.fmul a ~rd:dot ~rs1:dot ~rs2:x;
+  Asm.fadd a ~rd:dot ~rs1:dot ~rs2:y;
+  Asm.andi a ~rd:t2 ~rs1:dot 2040;
+  Asm.add a ~rd:t2 ~rs1:rbase ~rs2:t2;
+  Asm.load a ~rd:t2 ~base:t2 ~offset:0;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:t2;
+  Asm.addi a ~rd:k ~rs1:k (-1);
+  Asm.bne a ~rs1:k ~rs2:Isa.reg_zero "bounce";
+  (* occasional divide (reflection coefficient) *)
+  Asm.andi a ~rd:t1 ~rs1:dot 7;
+  Asm.bne a ~rs1:t1 ~rs2:Isa.reg_zero "no_div";
+  Asm.addi a ~rd:t2 ~rs1:dot 3;
+  Asm.fdiv a ~rd:dot ~rs1:dot ~rs2:t2;
+  Asm.label a "no_div";
+  Asm.fadd a ~rd:acc ~rs1:acc ~rs2:dot;
+  Asm.addi a ~rd:ptr ~rs1:ptr 24;
+  Asm.blt a ~rs1:ptr ~rs2:rend "ray";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,46 @@
+(** gap-like kernel: computer-algebra surrogate.
+
+    GAP manipulates large integers: each limb is loaded and pushed through a
+    dependent carry/normalize chain, but distinct limbs are independent, so
+    the machine overlaps them up to the instruction-window limit.  That
+    makes gap window-bound — the paper's breakdown shows gap with the
+    largest window cost of Table 4a and the strongest shalu+win serial
+    interaction of Table 4b.  Loads stream a 48 KiB limb array (one L1 miss
+    per line, L2 resident). *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(limbs = 6 * 1024) ?(chain = 14) ?(seed = 0x9a9) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"gap" () in
+  let base = Kernel_util.data_base in
+  Kernel_util.init_random_words a prng ~base ~count:limbs ~range:1_000_000;
+  let ptr = 1 and limb = 2 and acc = 3 and t = 4 and tmp = 5 in
+  let abase = 7 and aend = 8 in
+  Asm.li a ~rd:abase base;
+  Asm.li a ~rd:aend (base + (8 * limbs));
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:abase;
+  Asm.label a "inner";
+  Asm.load a ~rd:limb ~base:ptr ~offset:0;
+  (* per-limb dependent chain: starts fresh from the loaded limb, so
+     different limbs can overlap (bounded by the window) *)
+  Asm.mv a ~rd:t ~rs:limb;
+  for k = 1 to chain do
+    if k mod 3 = 0 then Asm.xori a ~rd:t ~rs1:t 0x55
+    else Asm.addi a ~rd:t ~rs1:t 7
+  done;
+  (* single loop-carried accumulate *)
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:t;
+  (* occasional long multiply, as in bignum scaling (predictable pattern:
+     depends on the address, not the data) *)
+  Asm.andi a ~rd:tmp ~rs1:ptr 127;
+  Asm.bne a ~rs1:tmp ~rs2:Isa.reg_zero "no_mul";
+  Asm.mul a ~rd:acc ~rs1:acc ~rs2:limb;
+  Asm.label a "no_mul";
+  Asm.addi a ~rd:ptr ~rs1:ptr 8;
+  Asm.blt a ~rs1:ptr ~rs2:aend "inner";
+  Asm.jmp a "outer";
+  Asm.assemble a

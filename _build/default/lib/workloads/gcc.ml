@@ -1,0 +1,74 @@
+(** gcc-like kernel: compiler-pass surrogate.
+
+    GCC walks intermediate-representation structures, dispatching on node
+    kinds through chains of compares — a large, branchy footprint with a
+    skewed opcode distribution (common kinds predictable, rare kinds not),
+    and mixed ALU/memory work.  Working set ~1 MiB. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(ir_nodes = 16 * 1024) ?(seed = 0x6cc) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"gcc" () in
+  let ir_base = Kernel_util.data_base in
+  (* IR stream: 2 words per node (kind, operand).  Kinds are Markov
+     correlated — compiler IR arrives in runs of similar nodes — which is
+     what makes real gcc branches largely learnable. *)
+  let prev_kind = ref 0 in
+  for i = 0 to ir_nodes - 1 do
+    let kind =
+      if Prng.bool prng 0.85 then !prev_kind
+      else Prng.weighted prng [ (0, 0.5); (1, 0.25); (2, 0.1); (3, 0.08); (4, 0.07) ]
+    in
+    prev_kind := kind;
+    Asm.init_word a ~addr:(ir_base + (16 * i)) ~value:kind;
+    Asm.init_word a ~addr:(ir_base + (16 * i) + 8) ~value:(Prng.int prng 65536)
+  done;
+  let ptr = 1 and kind = 2 and opnd = 3 and acc = 4 and tmp = 5 in
+  let ibase = 7 and iend = 8 and consts = 9 in
+  Asm.li a ~rd:ibase ir_base;
+  Asm.li a ~rd:iend (ir_base + (16 * ir_nodes));
+  Asm.li a ~rd:consts 3;
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:ibase;
+  Asm.label a "node";
+  Asm.load a ~rd:kind ~base:ptr ~offset:0;
+  Asm.load a ~rd:opnd ~base:ptr ~offset:8;
+  (* switch over node kinds: compare chain *)
+  Asm.bne a ~rs1:kind ~rs2:Isa.reg_zero "k1";
+  (* kind 0: constant fold *)
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:opnd;
+  Asm.jmp a "next";
+  Asm.label a "k1";
+  Asm.li a ~rd:tmp 1;
+  Asm.bne a ~rs1:kind ~rs2:tmp "k2";
+  (* kind 1: strength-reduce (shift) *)
+  Asm.shli a ~rd:tmp ~rs1:opnd 1;
+  Asm.xor a ~rd:acc ~rs1:acc ~rs2:tmp;
+  Asm.jmp a "next";
+  Asm.label a "k2";
+  Asm.li a ~rd:tmp 2;
+  Asm.bne a ~rs1:kind ~rs2:tmp "k3";
+  (* kind 2: re-associate: writes back to the IR *)
+  Asm.add a ~rd:tmp ~rs1:opnd ~rs2:acc;
+  Asm.store a ~rs:tmp ~base:ptr ~offset:8;
+  Asm.jmp a "next";
+  Asm.label a "k3";
+  Asm.li a ~rd:tmp 3;
+  Asm.bne a ~rs1:kind ~rs2:tmp "k4";
+  (* kind 3: multiply by a loop constant *)
+  Asm.mul a ~rd:tmp ~rs1:opnd ~rs2:consts;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:tmp;
+  Asm.jmp a "next";
+  Asm.label a "k4";
+  (* kind 4: compare-and-set, data dependent *)
+  Asm.blt a ~rs1:opnd ~rs2:acc "skip";
+  Asm.sub a ~rd:acc ~rs1:opnd ~rs2:acc;
+  Asm.label a "skip";
+  Asm.label a "next";
+  Asm.addi a ~rd:ptr ~rs1:ptr 16;
+  Asm.blt a ~rs1:ptr ~rs2:iend "node";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,62 @@
+(** gzip-like kernel: LZ77 surrogate.
+
+    Streams through an input buffer computing a rolling hash, probes a hash
+    table of previous positions and compares candidate matches.  The input
+    streams with good spatial locality; the hash table (64 KiB) exceeds the
+    L1, giving a moderate D-cache miss rate; match/no-match branches are
+    data dependent. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(input_words = 8 * 1024) ?(hash_entries = 8 * 1024) ?(seed = 0x91b) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"gzip" () in
+  let input_base = Kernel_util.data_base in
+  let hash_base = input_base + (8 * input_words) + 4096 in
+  (* input: mostly distinct symbols with a repeated marker so matches occur
+     but stay rare (the match branch is biased, as in real gzip) *)
+  Kernel_util.init_words a ~base:input_base ~count:input_words (fun _ ->
+      if Prng.bool prng 0.4 then 42 else Prng.int prng 4096);
+  (* hash slots hold candidate positions; initially all point at element 0 *)
+  Kernel_util.init_words a ~base:hash_base ~count:hash_entries (fun _ -> input_base);
+  let ptr = 1 and sym = 2 and hash = 3 and slot = 4 and cand = 5 in
+  let tmp = 6 and inbase = 7 and inend = 8 and htbase = 9 and matches = 10 in
+  let cand_sym = 11 in
+  Asm.li a ~rd:inbase input_base;
+  Asm.li a ~rd:inend (input_base + (8 * input_words));
+  Asm.li a ~rd:htbase hash_base;
+  let start = 12 in
+  Asm.mv a ~rd:start ~rs:inbase;
+  Asm.label a "outer";
+  (* per-pass salt: models streaming fresh data — the same context hashes
+     to a different slot each pass, so stale candidates rarely match *)
+  Asm.addi a ~rd:start ~rs1:start 1;
+  Asm.andi a ~rd:start ~rs1:start 1023;
+  Asm.mv a ~rd:ptr ~rs:inbase;
+  Asm.label a "inner";
+  Asm.load a ~rd:sym ~base:ptr ~offset:0;
+  (* rolling hash: h = ((h << 2) ^ sym) mod entries *)
+  Asm.shli a ~rd:tmp ~rs1:hash 2;
+  Asm.xor a ~rd:hash ~rs1:tmp ~rs2:sym;
+  Asm.xor a ~rd:hash ~rs1:hash ~rs2:start;
+  Asm.andi a ~rd:hash ~rs1:hash (hash_entries - 1);
+  Asm.shli a ~rd:tmp ~rs1:hash 3;
+  Asm.add a ~rd:slot ~rs1:htbase ~rs2:tmp;
+  Asm.load a ~rd:cand ~base:slot ~offset:0;
+  Asm.store a ~rs:ptr ~base:slot ~offset:0;
+  (* fetch the candidate symbol and compare: a true LZ match test, so the
+     branch is heavily biased toward "no match" *)
+  Asm.load a ~rd:cand_sym ~base:cand ~offset:0;
+  Asm.bne a ~rs1:cand_sym ~rs2:sym "no_match";
+  Asm.addi a ~rd:matches ~rs1:matches 1;
+  (* emit a back-reference: a couple of extra ALU ops *)
+  Asm.sub a ~rd:tmp ~rs1:ptr ~rs2:inbase;
+  Asm.shri a ~rd:tmp ~rs1:tmp 3;
+  Asm.add a ~rd:matches ~rs1:matches ~rs2:tmp;
+  Asm.label a "no_match";
+  Asm.addi a ~rd:ptr ~rs1:ptr 8;
+  Asm.blt a ~rs1:ptr ~rs2:inend "inner";
+  Asm.jmp a "outer";
+  Asm.assemble a

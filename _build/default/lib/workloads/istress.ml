@@ -1,0 +1,30 @@
+(** Instruction-cache stress kernel (not part of the SPECint-like suite).
+
+    The twelve suite kernels all have tiny code footprints, so the [imiss]
+    category is structurally zero for them — as it nearly is for most of
+    SPECint in the paper's Table 4a.  This kernel exists to exercise the
+    I-cache path end to end: a long chain of distinct basic blocks (several
+    times the 32 KiB L1 I-cache) is traversed round-robin, so every block
+    fetch misses.  Used by unit tests and the imiss ablation. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+(** [program ~blocks ()] builds [blocks] basic blocks of straight-line code
+    (16 instructions each = one I-cache line per 16) chained by jumps. *)
+let program ?(blocks = 1024) ?(seed = 0x1ca) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"istress" () in
+  Asm.jmp a "block0";
+  for b = 0 to blocks - 1 do
+    Asm.label a (Printf.sprintf "block%d" b);
+    (* 14 filler ops + jump = 15 instructions; blocks land on distinct lines *)
+    for _ = 1 to 14 do
+      let rd = 1 + Prng.int prng 8 in
+      Asm.addi a ~rd ~rs1:rd (Prng.int prng 16)
+    done;
+    if b < blocks - 1 then Asm.jmp a (Printf.sprintf "block%d" (b + 1))
+    else Asm.jmp a "block0"
+  done;
+  Asm.assemble a

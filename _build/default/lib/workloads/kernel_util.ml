@@ -1,0 +1,42 @@
+(** Shared helpers for workload kernels.
+
+    Conventions used by all kernels:
+    - data segments start at {!data_base} and are laid out per kernel;
+    - register 30 is the stack pointer for kernels that recurse
+      (the stack grows down from {!stack_base});
+    - kernels run an infinite outer loop; the trace is cut at the
+      instruction budget, so no kernel needs to terminate. *)
+
+module Prng = Icost_util.Prng
+
+let data_base = 0x0010_0000 (* 1 MiB *)
+let stack_base = 0x7000_0000
+
+let word_size = 8
+
+(** Initialize [count] consecutive words from [f]. *)
+let init_words asm ~base ~count f =
+  for i = 0 to count - 1 do
+    Icost_isa.Asm.init_word asm ~addr:(base + (word_size * i)) ~value:(f i)
+  done
+
+(** Initialize [count] consecutive words with uniform values in [0, range). *)
+let init_random_words asm prng ~base ~count ~range =
+  init_words asm ~base ~count (fun _ -> Prng.int prng range)
+
+(** A random permutation of [0..count-1]. *)
+let permutation prng count =
+  let p = Array.init count (fun i -> i) in
+  Prng.shuffle prng p;
+  p
+
+(** Emit a counted inner loop: initialize [counter] to [count], run [body],
+    decrement and branch back while non-zero.  [tag] must be unique within
+    the kernel (it names the loop label). *)
+let counted_loop asm ~tag ~counter ~count body =
+  let open Icost_isa.Asm in
+  li asm ~rd:counter count;
+  label asm tag;
+  body ();
+  addi asm ~rd:counter ~rs1:counter (-1);
+  bne asm ~rs1:counter ~rs2:Icost_isa.Isa.reg_zero tag

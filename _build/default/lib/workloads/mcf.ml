@@ -1,0 +1,64 @@
+(** mcf-like kernel: network-simplex surrogate.
+
+    SPEC's mcf walks arc lists far larger than the caches: nearly all of its
+    time is data-cache misses, but the loaded costs also decide branches, so
+    branch resolution *waits on cache misses*.  A mispredict therefore stops
+    the run-ahead that would otherwise overlap misses from independent arcs
+    — the paper observes both a large bmisp cost for mcf and the suite's
+    strongest serial bmisp+dmiss interaction (optimizing either one makes
+    much of the other redundant).
+
+    Structure: an index of arc-list heads is walked sequentially (so work
+    on different heads is independent and can overlap in the window); each
+    head points at a chain of two nodes laid out one per cache line over an
+    8 MiB region (missing L2); each node's loaded cost decides a 50/50
+    branch. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let node_stride = 64 (* one node per cache line *)
+
+let program ?(nodes = 128 * 1024) ?(heads = 16 * 1024) ?(seed = 0x3cf) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"mcf" () in
+  let head_base = Kernel_util.data_base in
+  let node_base = head_base + (8 * heads) + 4096 in
+  let node_addr k = node_base + (k * node_stride) in
+  (* nodes: (next pointer, cost) *)
+  for k = 0 to nodes - 1 do
+    Asm.init_word a ~addr:(node_addr k) ~value:(node_addr (Prng.int prng nodes));
+    Asm.init_word a ~addr:(node_addr k + 8) ~value:(Prng.int prng 1_000_000)
+  done;
+  (* heads: pointers into the node pool *)
+  for i = 0 to heads - 1 do
+    Asm.init_word a ~addr:(head_base + (8 * i)) ~value:(node_addr (Prng.int prng nodes))
+  done;
+  let cursor = 1 and node = 2 and cost = 3 and acc = 4 and tmp = 5 in
+  let hbase = 7 and hend = 8 and depth = 9 in
+  Asm.li a ~rd:hbase head_base;
+  Asm.li a ~rd:hend (head_base + (8 * heads));
+  Asm.label a "outer";
+  Asm.mv a ~rd:cursor ~rs:hbase;
+  Asm.label a "head";
+  Asm.load a ~rd:node ~base:cursor ~offset:0;
+  Asm.li a ~rd:depth 2;
+  Asm.label a "walk";
+  (* the cost load misses; its value decides the branch, so resolution
+     waits on the miss *)
+  Asm.load a ~rd:cost ~base:node ~offset:8;
+  Asm.andi a ~rd:tmp ~rs1:cost 1;
+  Asm.beq a ~rs1:tmp ~rs2:Isa.reg_zero "even";
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:cost;
+  Asm.jmp a "advance";
+  Asm.label a "even";
+  Asm.sub a ~rd:acc ~rs1:acc ~rs2:cost;
+  Asm.label a "advance";
+  Asm.load a ~rd:node ~base:node ~offset:0;
+  Asm.addi a ~rd:depth ~rs1:depth (-1);
+  Asm.bne a ~rs1:depth ~rs2:Isa.reg_zero "walk";
+  Asm.addi a ~rd:cursor ~rs1:cursor 8;
+  Asm.blt a ~rs1:cursor ~rs2:hend "head";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,65 @@
+(** parser-like kernel: recursive-descent surrogate.
+
+    SPEC's parser builds linkages over a dictionary: deep recursion driven
+    by input tokens, hash-table lookups into a dictionary larger than the
+    L1, and data-dependent control flow.  This kernel recursively descends
+    over a random token stream (call/return pairs exercise the RAS) and
+    probes a 512 KiB dictionary. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(tokens = 8 * 1024) ?(dict_entries = 32 * 1024) ?(seed = 0xa53) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"parser" () in
+  let tok_base = Kernel_util.data_base in
+  let dict_base = tok_base + (8 * tokens) + 4096 in
+  (* token stream: mostly leaf tokens (>= 4); "open" tokens that trigger
+     recursion are the minority, as in real sentences *)
+  Kernel_util.init_words a ~base:tok_base ~count:tokens (fun _ ->
+      if Prng.bool prng 0.3 then Prng.int prng 4 else 4 + Prng.int prng 6);
+  Kernel_util.init_random_words a prng ~base:dict_base ~count:dict_entries ~range:977;
+  let ptr = 1 and tok = 2 and acc = 3 and tmp = 4 and slot = 5 in
+  let depth = 6 and tbase = 7 and tend = 8 and dbase = 9 in
+  let sp = Isa.reg_sp in
+  Asm.li a ~rd:tbase tok_base;
+  Asm.li a ~rd:tend (tok_base + (8 * tokens));
+  Asm.li a ~rd:dbase dict_base;
+  Asm.li a ~rd:sp Kernel_util.stack_base;
+  Asm.jmp a "outer";
+  (* parse_term: consumes one token (r1 advances), may recurse.
+     depth (r6) bounds recursion. *)
+  Asm.label a "parse_term";
+  Asm.load a ~rd:tok ~base:ptr ~offset:0;
+  Asm.addi a ~rd:ptr ~rs1:ptr 8;
+  (* dictionary probe: hash the token with the position *)
+  Asm.sub a ~rd:tmp ~rs1:ptr ~rs2:tbase;
+  Asm.xor a ~rd:tmp ~rs1:tmp ~rs2:tok;
+  Asm.shli a ~rd:tmp ~rs1:tmp 1;
+  Asm.andi a ~rd:tmp ~rs1:tmp ((dict_entries - 1) * 8);
+  Asm.add a ~rd:slot ~rs1:dbase ~rs2:tmp;
+  Asm.load a ~rd:tmp ~base:slot ~offset:0;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:tmp;
+  (* recurse on "open" tokens (0..3) while depth remains *)
+  Asm.slti a ~rd:tmp ~rs1:tok 4;
+  Asm.beq a ~rs1:tmp ~rs2:Isa.reg_zero "leaf";
+  Asm.beq a ~rs1:depth ~rs2:Isa.reg_zero "leaf";
+  Asm.addi a ~rd:depth ~rs1:depth (-1);
+  (* push return address, recurse, pop *)
+  Asm.addi a ~rd:sp ~rs1:sp (-8);
+  Asm.store a ~rs:Isa.reg_ra ~base:sp ~offset:0;
+  Asm.call a "parse_term";
+  Asm.load a ~rd:Isa.reg_ra ~base:sp ~offset:0;
+  Asm.addi a ~rd:sp ~rs1:sp 8;
+  Asm.addi a ~rd:depth ~rs1:depth 1;
+  Asm.label a "leaf";
+  Asm.ret a;
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:tbase;
+  Asm.label a "sentence";
+  Asm.li a ~rd:depth 6;
+  Asm.call a "parse_term";
+  Asm.blt a ~rs1:ptr ~rs2:tend "sentence";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,90 @@
+(** perlbmk-like kernel: bytecode-interpreter surrogate.
+
+    Perl's hot loop is opcode dispatch: an indirect jump whose target
+    changes from iteration to iteration, defeating a single-target BTB
+    entry.  This kernel interprets a random bytecode stream through an
+    in-memory jump table (built with assembler label fixups), with small
+    handler bodies touching an operand stack. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let num_ops = 8
+
+let program ?(bytecodes = 16 * 1024) ?(seed = 0x9e7) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"perlbmk" () in
+  let code_base = Kernel_util.data_base in
+  let table_base = code_base + (8 * bytecodes) + 4096 in
+  let stack_mem = table_base + (8 * num_ops) + 4096 in
+  (* skewed opcode distribution, as in real interpreters *)
+  (* opcode runs: real bytecode repeats idioms, so the indirect target is
+     often the same as last time (BTB-friendly) with bursts of change *)
+  let prev_op = ref 0 in
+  for i = 0 to bytecodes - 1 do
+    let op =
+      if Prng.bool prng 0.55 then !prev_op
+      else
+        Prng.weighted prng
+          [ (0, 0.30); (1, 0.20); (2, 0.15); (3, 0.10); (4, 0.09); (5, 0.08);
+            (6, 0.05); (7, 0.03) ]
+    in
+    prev_op := op;
+    Asm.init_word a ~addr:(code_base + (8 * i)) ~value:op
+  done;
+  for op = 0 to num_ops - 1 do
+    Asm.init_label a ~addr:(table_base + (8 * op)) (Printf.sprintf "op%d" op)
+  done;
+  Kernel_util.init_words a ~base:stack_mem ~count:64 (fun i -> i);
+  let ip = 1 and op = 2 and target = 3 and acc = 4 and tmp = 5 in
+  let cbase = 7 and cend = 8 and tbase = 9 and smem = 10 in
+  Asm.li a ~rd:cbase code_base;
+  Asm.li a ~rd:cend (code_base + (8 * bytecodes));
+  Asm.li a ~rd:tbase table_base;
+  Asm.li a ~rd:smem stack_mem;
+  Asm.label a "outer";
+  Asm.mv a ~rd:ip ~rs:cbase;
+  Asm.label a "dispatch";
+  Asm.load a ~rd:op ~base:ip ~offset:0;
+  Asm.addi a ~rd:ip ~rs1:ip 8;
+  Asm.shli a ~rd:tmp ~rs1:op 3;
+  Asm.add a ~rd:tmp ~rs1:tbase ~rs2:tmp;
+  Asm.load a ~rd:target ~base:tmp ~offset:0;
+  Asm.jr a ~rs:target;
+  (* handlers *)
+  Asm.label a "op0"; (* push-const *)
+  Asm.addi a ~rd:acc ~rs1:acc 1;
+  Asm.jmp a "check";
+  Asm.label a "op1"; (* add *)
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:op;
+  Asm.jmp a "check";
+  Asm.label a "op2"; (* load local *)
+  Asm.andi a ~rd:tmp ~rs1:acc 504;
+  Asm.add a ~rd:tmp ~rs1:smem ~rs2:tmp;
+  Asm.load a ~rd:acc ~base:tmp ~offset:0;
+  Asm.jmp a "check";
+  Asm.label a "op3"; (* store local *)
+  Asm.andi a ~rd:tmp ~rs1:acc 504;
+  Asm.add a ~rd:tmp ~rs1:smem ~rs2:tmp;
+  Asm.store a ~rs:acc ~base:tmp ~offset:0;
+  Asm.jmp a "check";
+  Asm.label a "op4"; (* xor hash *)
+  Asm.shli a ~rd:tmp ~rs1:acc 1;
+  Asm.xor a ~rd:acc ~rs1:tmp ~rs2:op;
+  Asm.jmp a "check";
+  Asm.label a "op5"; (* compare *)
+  Asm.slti a ~rd:tmp ~rs1:acc 1000;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:tmp;
+  Asm.jmp a "check";
+  Asm.label a "op6"; (* multiply *)
+  Asm.li a ~rd:tmp 31;
+  Asm.mul a ~rd:acc ~rs1:acc ~rs2:tmp;
+  Asm.jmp a "check";
+  Asm.label a "op7"; (* mask *)
+  Asm.andi a ~rd:acc ~rs1:acc 0xFFFF;
+  Asm.jmp a "check";
+  Asm.label a "check";
+  Asm.blt a ~rs1:ip ~rs2:cend "dispatch";
+  Asm.jmp a "outer";
+  Asm.assemble a

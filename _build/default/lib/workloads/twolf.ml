@@ -1,0 +1,52 @@
+(** twolf-like kernel: placement/annealing surrogate.
+
+    TimberWolf evaluates cell swaps at pseudo-random locations of a large
+    placement grid: scattered reads that miss frequently, a data-dependent
+    accept/reject branch, and occasional writes back — the paper's twolf
+    shows both high window cost and high data-miss cost with a serial
+    dl1+win interaction. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(cells = 32 * 1024) ?(seed = 0x2ae) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"twolf" () in
+  let base = Kernel_util.data_base in
+  Kernel_util.init_random_words a prng ~base ~count:cells ~range:4096;
+  let lcg = 1 and idx1 = 2 and idx2 = 3 and c1 = 4 and c2 = 5 in
+  let delta = 6 and acc = 7 and gbase = 8 and tmp = 9 and thresh = 10 in
+  Asm.li a ~rd:gbase base;
+  Asm.li a ~rd:thresh (-1536);
+  Asm.li a ~rd:lcg (Prng.int prng 1_000_000 + 1);
+  Asm.label a "swap";
+  (* LCG: next pseudo-random cell pair *)
+  Asm.li a ~rd:tmp 1103515245;
+  Asm.mul a ~rd:lcg ~rs1:lcg ~rs2:tmp;
+  Asm.addi a ~rd:lcg ~rs1:lcg 12345;
+  Asm.andi a ~rd:lcg ~rs1:lcg 0x3FFFFFFF;
+  Asm.andi a ~rd:idx1 ~rs1:lcg ((cells - 1) * 8);
+  Asm.shri a ~rd:idx2 ~rs1:lcg 12;
+  Asm.andi a ~rd:idx2 ~rs1:idx2 ((cells - 1) * 8);
+  (* load the two cells (scattered -> misses) *)
+  Asm.add a ~rd:tmp ~rs1:gbase ~rs2:idx1;
+  Asm.load a ~rd:c1 ~base:tmp ~offset:0;
+  Asm.add a ~rd:tmp ~rs1:gbase ~rs2:idx2;
+  Asm.load a ~rd:c2 ~base:tmp ~offset:0;
+  (* cost delta and accept/reject: data dependent *)
+  Asm.sub a ~rd:delta ~rs1:c1 ~rs2:c2;
+  (* annealing-style skewed accept: most swaps accepted, so the branch is
+     biased (but still data dependent) *)
+  Asm.blt a ~rs1:delta ~rs2:thresh "reject";
+  (* accept: swap the two cells *)
+  Asm.add a ~rd:tmp ~rs1:gbase ~rs2:idx1;
+  Asm.store a ~rs:c2 ~base:tmp ~offset:0;
+  Asm.add a ~rd:tmp ~rs1:gbase ~rs2:idx2;
+  Asm.store a ~rs:c1 ~base:tmp ~offset:0;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:delta;
+  Asm.jmp a "swap";
+  Asm.label a "reject";
+  Asm.sub a ~rd:acc ~rs1:acc ~rs2:delta;
+  Asm.jmp a "swap";
+  Asm.assemble a

@@ -1,0 +1,57 @@
+(** vortex-like kernel: object-database surrogate.
+
+    Vortex performs object lookups through multi-level tables: each
+    transaction chases index -> object -> part -> attribute, a chain of
+    dependent loads that mostly *hit* the L1 (the object store is compact),
+    wrapped in a subroutine.  Transactions are independent, so throughput
+    is set by how many chains fit in the instruction window — the paper's
+    vortex has the largest window cost of the suite, a large dl1 cost
+    (dependent L1 hits on the critical path), the strongest serial dl1+win
+    interaction, and almost no branch-misprediction cost. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(index_entries = 3 * 1024) ?(store_objects = 512)
+    ?(seed = 0x50b) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"vortex" () in
+  let index_base = Kernel_util.data_base in
+  let store_base = index_base + (8 * index_entries) + 4096 in
+  (* object store: compact (fits caches); objects are 2 words:
+     (link to another object, payload) *)
+  let obj_addr k = store_base + (16 * k) in
+  for k = 0 to store_objects - 1 do
+    Asm.init_word a ~addr:(obj_addr k) ~value:(obj_addr (Prng.int prng store_objects));
+    Asm.init_word a ~addr:(obj_addr k + 8) ~value:(Prng.int prng 1_000_000)
+  done;
+  (* index: large (streams through the L1), points into the store *)
+  for i = 0 to index_entries - 1 do
+    Asm.init_word a ~addr:(index_base + (8 * i))
+      ~value:(obj_addr (Prng.int prng store_objects))
+  done;
+  let cursor = 1 and obj = 2 and part = 3 and attr = 4 and acc = 5 and v = 6 in
+  let ibase = 7 and iend = 8 in
+  Asm.li a ~rd:ibase index_base;
+  Asm.li a ~rd:iend (index_base + (8 * index_entries));
+  Asm.li a ~rd:Isa.reg_sp Kernel_util.stack_base;
+  Asm.jmp a "outer";
+  (* fetch_object: four dependent loads (index -> object -> part -> attr).
+     The cursor walks the index sequentially, so transactions are
+     independent of each other and overlap up to the window limit. *)
+  Asm.label a "fetch_object";
+  Asm.load a ~rd:obj ~base:cursor ~offset:0;
+  Asm.load a ~rd:part ~base:obj ~offset:0;
+  Asm.load a ~rd:attr ~base:part ~offset:0;
+  Asm.load a ~rd:v ~base:attr ~offset:8;
+  Asm.add a ~rd:acc ~rs1:acc ~rs2:v;
+  Asm.ret a;
+  Asm.label a "outer";
+  Asm.mv a ~rd:cursor ~rs:ibase;
+  Asm.label a "txn";
+  Asm.call a "fetch_object";
+  Asm.addi a ~rd:cursor ~rs1:cursor 8;
+  Asm.blt a ~rs1:cursor ~rs2:iend "txn";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,47 @@
+(** vpr-like kernel: FPGA place-and-route surrogate.
+
+    VPR mixes integer bookkeeping with floating-point cost evaluation over
+    medium-sized arrays: wire-length terms (FP multiply/add), routing-table
+    reads with moderate locality, and a mildly data-dependent comparison. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let program ?(nets = 8 * 1024) ?(seed = 0x7b6) () =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:"vpr" () in
+  let base = Kernel_util.data_base in
+  (* net endpoints: 2 words per net *)
+  Kernel_util.init_random_words a prng ~base ~count:(2 * nets) ~range:8192;
+  let ptr = 1 and x1 = 2 and x2 = 3 and dx = 4 and cost = 5 in
+  let acc = 6 and nbase = 7 and nend = 8 and tmp = 9 and best = 10 in
+  Asm.li a ~rd:nbase base;
+  Asm.li a ~rd:nend (base + (16 * nets));
+  Asm.li a ~rd:best 1_000_000;
+  Asm.label a "outer";
+  Asm.mv a ~rd:ptr ~rs:nbase;
+  Asm.label a "net";
+  Asm.load a ~rd:x1 ~base:ptr ~offset:0;
+  Asm.load a ~rd:x2 ~base:ptr ~offset:8;
+  (* wire length: |x1 - x2| with FP scaling *)
+  Asm.sub a ~rd:dx ~rs1:x1 ~rs2:x2;
+  Asm.blt a ~rs1:dx ~rs2:Isa.reg_zero "negate";
+  Asm.jmp a "scaled";
+  Asm.label a "negate";
+  Asm.sub a ~rd:dx ~rs1:Isa.reg_zero ~rs2:dx;
+  Asm.label a "scaled";
+  Asm.fmul a ~rd:cost ~rs1:dx ~rs2:dx;
+  Asm.fadd a ~rd:cost ~rs1:cost ~rs2:x1;
+  Asm.fmul a ~rd:tmp ~rs1:cost ~rs2:dx;
+  Asm.fadd a ~rd:acc ~rs1:acc ~rs2:tmp;
+  (* track the best (data-dependent, but skewed) *)
+  Asm.blt a ~rs1:cost ~rs2:best "better";
+  Asm.jmp a "next";
+  Asm.label a "better";
+  Asm.mv a ~rd:best ~rs:cost;
+  Asm.label a "next";
+  Asm.addi a ~rd:ptr ~rs1:ptr 16;
+  Asm.blt a ~rs1:ptr ~rs2:nend "net";
+  Asm.jmp a "outer";
+  Asm.assemble a

@@ -1,0 +1,52 @@
+(** Registry of workload kernels.
+
+    The twelve kernels mirror the SPECint2000 suite used by the paper; each
+    is a synthetic surrogate reproducing the microarchitectural character
+    of its namesake (see the per-kernel module documentation and DESIGN.md
+    for the substitution rationale). *)
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Icost_isa.Program.t;
+}
+
+let all =
+  [
+    { name = "bzip2"; description = "block-sort surrogate: random compare branches";
+      build = (fun () -> Bzip2.program ()) };
+    { name = "crafty"; description = "chess surrogate: bitboards, branchy eval, calls";
+      build = (fun () -> Crafty.program ()) };
+    { name = "eon"; description = "ray-tracer surrogate: FP chains, predictable";
+      build = (fun () -> Eon.program ()) };
+    { name = "gap"; description = "computer-algebra surrogate: serial carry chains";
+      build = (fun () -> Gap.program ()) };
+    { name = "gcc"; description = "compiler surrogate: IR walk, kind dispatch";
+      build = (fun () -> Gcc.program ()) };
+    { name = "gzip"; description = "LZ77 surrogate: stream + hash probes";
+      build = (fun () -> Gzip.program ()) };
+    { name = "mcf"; description = "network-simplex surrogate: pointer chasing";
+      build = (fun () -> Mcf.program ()) };
+    { name = "parser"; description = "recursive-descent surrogate: recursion + dictionary";
+      build = (fun () -> Parser.program ()) };
+    { name = "perlbmk"; description = "interpreter surrogate: indirect dispatch";
+      build = (fun () -> Perlbmk.program ()) };
+    { name = "twolf"; description = "annealing surrogate: scattered reads, accept/reject";
+      build = (fun () -> Twolf.program ()) };
+    { name = "vortex"; description = "object-database surrogate: dependent load chains";
+      build = (fun () -> Vortex.program ()) };
+    { name = "vpr"; description = "place-and-route surrogate: FP cost evaluation";
+      build = (fun () -> Vpr.program ()) };
+  ]
+
+let names = List.map (fun w -> w.name) all
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Workload.find_exn: unknown workload %S (known: %s)" name
+         (String.concat ", " names))

@@ -1,0 +1,20 @@
+(** Registry of workload kernels: the twelve SPECint2000 surrogates used by
+    the paper's evaluation (see DESIGN.md for the substitution rationale
+    and each kernel's module for its microarchitectural character). *)
+
+type t = {
+  name : string;
+  description : string;
+  build : unit -> Icost_isa.Program.t;
+}
+
+val all : t list
+(** The suite, alphabetical: bzip2, crafty, eon, gap, gcc, gzip, mcf,
+    parser, perlbmk, twolf, vortex, vpr. *)
+
+val names : string list
+val find : string -> t option
+
+val find_exn : string -> t
+(** @raise Invalid_argument for unknown names (the message lists the
+    known ones). *)

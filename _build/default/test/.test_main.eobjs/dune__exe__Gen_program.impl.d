@@ -1,0 +1,1 @@
+test/gen_program.ml: Array Icost_isa Icost_util Kernel_util_loop Printf

@@ -1,0 +1,1 @@
+test/kernel_util_loop.ml: Icost_isa

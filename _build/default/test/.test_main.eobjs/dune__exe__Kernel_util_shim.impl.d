@@ -1,0 +1,1 @@
+test/kernel_util_shim.ml: Icost_isa

@@ -1,0 +1,1 @@
+test/test_advisor.ml: Alcotest Array Hashtbl Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch Icost_workloads List Option Printf String

@@ -1,0 +1,1 @@
+test/test_bpred.ml: Alcotest Gen Icost_uarch Icost_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gen Icost_uarch List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Float Hashtbl Icost_core Icost_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Array Icost_isa Icost_uarch Icost_workloads QCheck QCheck_alcotest

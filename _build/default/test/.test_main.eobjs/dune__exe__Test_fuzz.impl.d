@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Float Gen_program Icost_core Icost_depgraph Icost_isa Icost_profiler Icost_sim Icost_uarch List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Hashtbl Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch Icost_workloads List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Hashtbl Icost_core Icost_depgraph Icost_experiments Icost_isa Icost_sim Icost_uarch Icost_workloads List Printf String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Icost_isa Icost_workloads List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Icost_isa List QCheck QCheck_alcotest

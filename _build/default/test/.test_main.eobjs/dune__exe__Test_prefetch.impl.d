@@ -1,0 +1,1 @@
+test/test_prefetch.ml: Alcotest Array Hashtbl Icost_isa Icost_sim Icost_uarch Icost_workloads Kernel_util_shim Option Printf

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float Gen Icost_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Array Float Hashtbl Icost_core Icost_depgraph Icost_isa Icost_profiler Icost_sim Icost_uarch Icost_workloads List

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Gen Hashtbl Icost_core Icost_isa Icost_sim Icost_uarch Icost_workloads List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen Icost_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Icost_core Icost_depgraph Icost_isa Icost_sim Icost_uarch Icost_workloads List Printf

@@ -1,0 +1,115 @@
+(* Random-program generation for property-based testing.
+
+   Builds structurally valid, non-stuck programs exercising the whole ISA:
+   straight-line arithmetic, guarded memory accesses (always inside a
+   dedicated data region), counted loops, data-dependent branches, calls to
+   generated leaf subroutines, and jump-table dispatch through li_label.
+   Programs run forever (outer loop); traces are cut by the interpreter's
+   instruction budget. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+let data_base = 0x0100_0000
+let data_words = 4096 (* 32 KiB region; all accesses masked into it *)
+
+(* register allocation: r1..r12 scratch, r13 loop counters, r14 address
+   temp, r15 data base, r30 sp, r31 ra *)
+let scratch prng = 1 + Prng.int prng 12
+let addr_tmp = 14
+let base_reg = 15
+
+let emit_guarded_addr a prng =
+  (* addr_tmp <- data_base + (scratch & mask), word aligned *)
+  let src = scratch prng in
+  Asm.andi a ~rd:addr_tmp ~rs1:src (((data_words - 1) * 8) land lnot 7);
+  Asm.add a ~rd:addr_tmp ~rs1:base_reg ~rs2:addr_tmp
+
+let emit_op a prng ~labels ~depth =
+  match Prng.int prng 100 with
+  | n when n < 30 ->
+    (* plain ALU *)
+    let op = Prng.choose prng [| Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor |] in
+    let rd = scratch prng and rs1 = scratch prng and rs2 = scratch prng in
+    if Prng.bool prng 0.5 then
+      Asm.alu a op ~rd ~rs1 ~rs2
+    else Asm.alui a op ~rd ~rs1 (Prng.int_range prng (-64) 64)
+  | n when n < 38 ->
+    (* shifts and compares *)
+    let rd = scratch prng and rs1 = scratch prng in
+    if Prng.bool prng 0.5 then Asm.shli a ~rd ~rs1 (Prng.int prng 8)
+    else Asm.slti a ~rd ~rs1 (Prng.int_range prng (-32) 32)
+  | n when n < 46 ->
+    (* long ALU *)
+    let rd = scratch prng and rs1 = scratch prng and rs2 = scratch prng in
+    (match Prng.int prng 4 with
+     | 0 -> Asm.mul a ~rd ~rs1 ~rs2
+     | 1 -> Asm.div a ~rd ~rs1 ~rs2
+     | 2 -> Asm.fadd a ~rd ~rs1 ~rs2
+     | _ -> Asm.fmul a ~rd ~rs1 ~rs2)
+  | n when n < 66 ->
+    (* guarded load *)
+    emit_guarded_addr a prng;
+    Asm.load a ~rd:(scratch prng) ~base:addr_tmp ~offset:(8 * Prng.int prng 4)
+  | n when n < 78 ->
+    (* guarded store *)
+    emit_guarded_addr a prng;
+    Asm.store a ~rs:(scratch prng) ~base:addr_tmp ~offset:(8 * Prng.int prng 4)
+  | n when n < 90 && labels <> [] ->
+    (* forward data-dependent branch to a known label *)
+    let target = Prng.choose prng (Array.of_list labels) in
+    let cond = Prng.choose prng [| Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge |] in
+    Asm.branch a cond ~rs1:(scratch prng) ~rs2:(scratch prng) target
+  | _ when depth > 0 ->
+    (* nothing: handled by block structure (loops/calls) *)
+    Asm.addi a ~rd:(scratch prng) ~rs1:(scratch prng) 1
+  | _ -> Asm.addi a ~rd:(scratch prng) ~rs1:(scratch prng) 1
+
+(* one basic block: a skip label so forward branches always land safely *)
+let emit_block a prng ~tag ~depth =
+  let skip = Printf.sprintf "skip_%s" tag in
+  let ops = 3 + Prng.int prng 8 in
+  for _ = 1 to ops do
+    emit_op a prng ~labels:[ skip ] ~depth
+  done;
+  Asm.label a skip
+
+let generate seed : Icost_isa.Program.t =
+  let prng = Prng.create seed in
+  let a = Asm.create ~name:(Printf.sprintf "fuzz_%d" seed) () in
+  (* data region: random contents *)
+  for i = 0 to data_words - 1 do
+    Asm.init_word a ~addr:(data_base + (8 * i)) ~value:(Prng.int prng 1_000_000)
+  done;
+  let num_subs = Prng.int prng 3 in
+  let num_blocks = 2 + Prng.int prng 5 in
+  (* entry: initialize registers, jump over subroutines *)
+  Asm.li a ~rd:base_reg data_base;
+  Asm.li a ~rd:Isa.reg_sp 0x7000_0000;
+  for r = 1 to 12 do
+    Asm.li a ~rd:r (Prng.int prng 4096)
+  done;
+  Asm.jmp a "main";
+  (* leaf subroutines *)
+  for s = 0 to num_subs - 1 do
+    Asm.label a (Printf.sprintf "sub_%d" s);
+    emit_block a prng ~tag:(Printf.sprintf "s%d" s) ~depth:1;
+    Asm.ret a
+  done;
+  (* main: an endless outer loop over blocks, with counted inner loops and
+     calls sprinkled in *)
+  Asm.label a "main";
+  for b = 0 to num_blocks - 1 do
+    let tag = Printf.sprintf "b%d" b in
+    (match Prng.int prng 3 with
+     | 0 when num_subs > 0 ->
+       Asm.call a (Printf.sprintf "sub_%d" (Prng.int prng num_subs))
+     | 1 ->
+       (* counted inner loop *)
+       Kernel_util_loop.counted a ~tag ~counter:13 ~count:(2 + Prng.int prng 6)
+         (fun () -> emit_block a prng ~tag:(tag ^ "_in") ~depth:0)
+     | _ -> emit_block a prng ~tag ~depth:1)
+  done;
+  Asm.jmp a "main";
+  Asm.assemble a

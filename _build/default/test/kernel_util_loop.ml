@@ -1,0 +1,11 @@
+(* Counted-loop emission helper for generated test programs. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+
+let counted a ~tag ~counter ~count body =
+  Asm.li a ~rd:counter count;
+  Asm.label a ("loop_" ^ tag);
+  body ();
+  Asm.addi a ~rd:counter ~rs1:counter (-1);
+  Asm.bne a ~rs1:counter ~rs2:Isa.reg_zero ("loop_" ^ tag)

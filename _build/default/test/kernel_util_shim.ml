@@ -1,0 +1,6 @@
+(* Small helpers shared by test modules. *)
+
+let init_zero a ~base ~count =
+  for i = 0 to count - 1 do
+    Icost_isa.Asm.init_word a ~addr:(base + (8 * i)) ~value:0
+  done

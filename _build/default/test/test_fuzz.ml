@@ -1,0 +1,134 @@
+(* Cross-stack fuzzing: random generated programs pushed through the
+   interpreter, simulator, graph and profiler, checking global invariants
+   that must hold for ANY program. *)
+
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Multisim = Icost_sim.Multisim
+module Build = Icost_depgraph.Build
+module Graph = Icost_depgraph.Graph
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+
+let pipeline seed ~n =
+  let program = Gen_program.generate seed in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = n } program in
+  let cfg = Config.default in
+  let evts, _ = Events.annotate cfg trace in
+  let result = Ooo.run cfg trace evts in
+  (cfg, program, trace, evts, result)
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 1 1_000_000)
+
+let prop_runs_and_deterministic =
+  QCheck.Test.make ~name:"fuzz: generated programs run deterministically" ~count:25
+    seed_gen
+    (fun seed ->
+      let p1 = Gen_program.generate seed in
+      let p2 = Gen_program.generate seed in
+      let cfgi = { Interp.default_config with max_instrs = 1500 } in
+      let t1 = Interp.run ~config:cfgi p1 in
+      let t2 = Interp.run ~config:cfgi p2 in
+      Trace.length t1 = 1500
+      && Array.for_all2
+           (fun (a : Trace.dyn) (b : Trace.dyn) -> a.pc = b.pc && a.mem_addr = b.mem_addr)
+           t1.instrs t2.instrs)
+
+let prop_sim_invariants =
+  QCheck.Test.make ~name:"fuzz: stage times monotone, dispatch/commit in order"
+    ~count:20 seed_gen
+    (fun seed ->
+      let _, _, _, _, r = pipeline seed ~n:1500 in
+      let ok = ref true in
+      Array.iteri
+        (fun i (s : Ooo.slot) ->
+          if
+            not
+              (s.fetch <= s.dispatch && s.dispatch < s.ready
+               && s.ready <= s.exec_start && s.exec_start <= s.complete
+               && s.complete < s.commit)
+          then ok := false;
+          if i > 0 && s.dispatch < r.slots.(i - 1).dispatch then ok := false;
+          if i > 0 && s.commit < r.slots.(i - 1).commit then ok := false)
+        r.slots;
+      !ok)
+
+let prop_graph_tracks_sim =
+  QCheck.Test.make ~name:"fuzz: graph critical path within 15% of the simulator"
+    ~count:20 seed_gen
+    (fun seed ->
+      let cfg, _, trace, evts, r = pipeline seed ~n:1500 in
+      let g = Build.of_sim cfg trace evts r in
+      let cp = Graph.critical_length g in
+      Float.abs (float_of_int (cp - r.cycles)) <= 0.15 *. float_of_int r.cycles)
+
+let prop_multisim_costs_nonnegative =
+  QCheck.Test.make
+    ~name:"fuzz: idealizing a class never slows the simulator (>= -1% tolerance)"
+    ~count:10 seed_gen
+    (fun seed ->
+      let cfg, _, trace, evts, r = pipeline seed ~n:1200 in
+      List.for_all
+        (fun c ->
+          let ideal = Multisim.ideal_of_set (Category.Set.singleton c) in
+          let cyc = Ooo.cycles { cfg with ideal } trace evts in
+          float_of_int cyc <= 1.01 *. float_of_int r.cycles)
+        Category.all)
+
+let prop_icost_accounting =
+  QCheck.Test.make
+    ~name:"fuzz: icosts over the power set telescope to cost(full) on real graphs"
+    ~count:8 seed_gen
+    (fun seed ->
+      let cfg, _, trace, evts, r = pipeline seed ~n:800 in
+      let g = Build.of_sim cfg trace evts r in
+      let oracle = Cost.memoize (Build.oracle g) in
+      Float.abs
+        (Cost.sum_icosts_powerset oracle Category.Set.full
+        -. Cost.cost oracle Category.Set.full)
+      < 1e-6)
+
+let prop_profiler_never_crashes =
+  QCheck.Test.make ~name:"fuzz: profiler builds or cleanly aborts fragments"
+    ~count:8 seed_gen
+    (fun seed ->
+      let cfg, program, trace, evts, r = pipeline seed ~n:4000 in
+      let opts =
+        { Icost_profiler.Sampler.default_opts with sig_len = 300; sig_period = 500 }
+      in
+      let prof = Icost_profiler.Profile.profile ~opts cfg program trace evts r in
+      let s = prof.stats in
+      s.fragments_built + s.fragments_aborted = s.num_signatures
+      &&
+      let oracle = Icost_profiler.Profile.oracle prof in
+      oracle Category.Set.empty >= 0.)
+
+let prop_slice_consistency =
+  QCheck.Test.make ~name:"fuzz: sliced trace dependences stay in range" ~count:15
+    seed_gen
+    (fun seed ->
+      let program = Gen_program.generate seed in
+      let trace =
+        Interp.run ~config:{ Interp.default_config with max_instrs = 2000 } program
+      in
+      let s = Trace.slice trace ~start:700 ~len:800 in
+      Array.for_all
+        (fun (d : Trace.dyn) ->
+          List.for_all (fun (_, p) -> p >= 0 && p < d.seq) d.reg_deps
+          && (match d.mem_dep with Some p -> p >= 0 && p < d.seq | None -> true))
+        s.instrs)
+
+let suite =
+  ( "fuzz",
+    [
+      QCheck_alcotest.to_alcotest prop_runs_and_deterministic;
+      QCheck_alcotest.to_alcotest prop_sim_invariants;
+      QCheck_alcotest.to_alcotest prop_graph_tracks_sim;
+      QCheck_alcotest.to_alcotest prop_multisim_costs_nonnegative;
+      QCheck_alcotest.to_alcotest prop_icost_accounting;
+      QCheck_alcotest.to_alcotest prop_profiler_never_crashes;
+      QCheck_alcotest.to_alcotest prop_slice_consistency;
+    ] )

@@ -1,0 +1,216 @@
+(* Integration tests across the whole stack: the three cost oracles agree
+   on the big picture, experiments produce well-formed results, and the
+   paper's headline interactions reproduce on a reduced scale. *)
+
+module Runner = Icost_experiments.Runner
+module E4 = Icost_experiments.Exp_table4
+module E3 = Icost_experiments.Exp_fig3
+module E7 = Icost_experiments.Exp_table7
+module E1 = Icost_experiments.Exp_fig1
+module Drive = Icost_experiments.Drive
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Breakdown = Icost_core.Breakdown
+module Config = Icost_uarch.Config
+
+(* reduced scale so the suite stays fast *)
+let settings benches = { Runner.warmup = 60_000; measure = 8_000; benches }
+
+let prepared_cache : (string, Runner.prepared) Hashtbl.t = Hashtbl.create 8
+
+let prepared name =
+  match Hashtbl.find_opt prepared_cache name with
+  | Some p -> p
+  | None ->
+    let p =
+      Runner.prepare (settings [ name ]) (Icost_workloads.Workload.find_exn name)
+    in
+    Hashtbl.add prepared_cache name p;
+    p
+
+let test_oracles_agree_on_baseline () =
+  let p = prepared "gcc" in
+  let cfg = Config.loop_dl1 in
+  let g = Runner.graph_oracle cfg p Category.Set.empty in
+  let m = Runner.multisim_oracle cfg p Category.Set.empty in
+  let err = Float.abs (g -. m) /. m in
+  Alcotest.(check bool)
+    (Printf.sprintf "graph vs multisim baseline err %.2f%%" (100. *. err))
+    true (err < 0.05)
+
+let test_graph_vs_multisim_costs () =
+  let p = prepared "twolf" in
+  let cfg = Config.loop_dl1 in
+  let go = Runner.graph_oracle cfg p in
+  let mo = Runner.multisim_oracle cfg p in
+  let base = mo Category.Set.empty in
+  List.iter
+    (fun c ->
+      let s = Category.Set.singleton c in
+      let cg = 100. *. Cost.cost go s /. base in
+      let cm = 100. *. Cost.cost mo s /. base in
+      (* graph analysis should track simulation within a few points on the
+         major categories *)
+      if Float.abs cm > 8. && Float.abs (cg -. cm) > 10. then
+        Alcotest.failf "%s: graph %.1f%% vs multisim %.1f%%" (Category.name c) cg cm)
+    Category.all
+
+let test_serial_dl1_win_on_vortex () =
+  let p = prepared "vortex" in
+  let oracle = Runner.graph_oracle Config.loop_dl1 p in
+  let ic = Cost.icost_pair oracle Category.Dl1 Category.Win in
+  Alcotest.(check bool)
+    (Printf.sprintf "vortex dl1+win serial (%.0f)" ic)
+    true (ic < 0.)
+
+let test_parallel_bmisp_win_on_bzip2 () =
+  let p = prepared "bzip2" in
+  let oracle = Runner.graph_oracle Config.loop_bmisp p in
+  let ic = Cost.icost_pair oracle Category.Bmisp Category.Win in
+  Alcotest.(check bool)
+    (Printf.sprintf "bzip2 bmisp+win parallel (%.0f)" ic)
+    true (ic > 0.)
+
+let test_serial_bmisp_dmiss_on_mcf () =
+  let p = prepared "mcf" in
+  let oracle = Runner.graph_oracle Config.loop_bmisp p in
+  let ic = Cost.icost_pair oracle Category.Bmisp Category.Dmiss in
+  Alcotest.(check bool)
+    (Printf.sprintf "mcf bmisp+dmiss serial (%.0f)" ic)
+    true (ic < 0.)
+
+let test_table4_totals () =
+  let ps = [ prepared "gap"; prepared "gzip" ] in
+  List.iter
+    (fun v ->
+      let r = E4.compute v ps in
+      List.iter
+        (fun (bench, bd) ->
+          Alcotest.(check (float 0.01))
+            (Printf.sprintf "%s/%s sums to 100" v.E4.label bench)
+            100. (Breakdown.total bd))
+        r.breakdowns)
+    [ E4.table4a; E4.table4b; E4.table4c ]
+
+let test_fig3_window_monotone () =
+  let p = prepared "gap" in
+  let r = E3.compute ~windows:[ 32; 64; 128 ] ~dl1_lats:[ 1; 4 ] [ p ] in
+  let s = List.hd r.sweeps in
+  (* cycles should not increase with a larger window *)
+  List.iter
+    (fun lat ->
+      let c32 = E3.cycles_at s ~window:32 ~dl1_lat:lat in
+      let c64 = E3.cycles_at s ~window:64 ~dl1_lat:lat in
+      let c128 = E3.cycles_at s ~window:128 ~dl1_lat:lat in
+      Alcotest.(check bool)
+        (Printf.sprintf "monotone at dl1=%d (%d/%d/%d)" lat c32 c64 c128)
+        true
+        (c64 <= c32 && c128 <= c64))
+    [ 1; 4 ]
+
+let test_fig3_corollary_on_gap () =
+  let p = prepared "gap" in
+  let r = E3.compute ~windows:[ 64; 128 ] ~dl1_lats:[ 1; 4 ] [ p ] in
+  let s = List.hd r.sweeps in
+  let sp1 = E3.window_speedup s ~w0:64 ~w1:128 ~dl1_lat:1 in
+  let sp4 = E3.window_speedup s ~w0:64 ~w1:128 ~dl1_lat:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "window helps more at dl1=4 (%.1f%% vs %.1f%%)" sp4 sp1)
+    true (sp4 > sp1)
+
+let test_wakeup_corollary_on_gap () =
+  let p = prepared "gap" in
+  match E3.wakeup_corollary [ p ] with
+  | [ { E3.sp_wakeup1; sp_wakeup2; _ } ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "window helps more at wakeup=2 (%.1f%% vs %.1f%%)" sp_wakeup2
+         sp_wakeup1)
+      true
+      (sp_wakeup2 > sp_wakeup1)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_fig1_accounts () =
+  let p = prepared "gcc" in
+  let r = E1.compute p in
+  let total =
+    List.fold_left (fun a (_, v) -> a +. v) r.other (r.base_pcts @ r.interaction_pcts)
+  in
+  Alcotest.(check (float 0.01)) "accounts for 100%" 100. total
+
+let test_table7_errors_bounded () =
+  let ps = [ prepared "gcc" ] in
+  let r = E7.compute ps in
+  List.iter
+    (fun (bench, e) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s profiler-vs-graph error %.0f%% bounded" bench e)
+        true (e < 40.))
+    r.err_vs_graph
+
+let test_conclusion_study () =
+  let module EP = Icost_experiments.Exp_prefetch in
+  let rows =
+    EP.conclusion_compute
+      ~settings:{ Runner.warmup = 60_000; measure = 6_000; benches = [] }
+      ~benches:[ "mcf" ] ()
+  in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "mcf's hottest load is bmisp-serial (%.1f)" r.bmisp_icost_pct)
+      true (r.bmisp_icost_pct < 0.);
+    Alcotest.(check bool)
+      (Printf.sprintf "prefetching it cuts bmisp cycles (%.0f -> %.0f)"
+         r.bmisp_cost_before r.bmisp_cost_after)
+      true
+      (r.bmisp_cost_after < r.bmisp_cost_before)
+  | _ -> Alcotest.fail "expected one conclusion row for mcf"
+
+let test_graph_floor_carries_startup_imiss () =
+  (* a fresh (unwarmed) run: the first instruction's cold I-cache miss must
+     appear in the graph via the node floor *)
+  let w = Icost_workloads.Workload.find_exn "crafty" in
+  let trace =
+    Icost_isa.Interp.run
+      ~config:{ Icost_isa.Interp.default_config with max_instrs = 200 }
+      (w.build ())
+  in
+  let cfg = Config.default in
+  let evts, _ = Icost_uarch.Events.annotate cfg trace in
+  let r = Icost_sim.Ooo.run cfg trace evts in
+  let g = Icost_depgraph.Build.of_sim cfg trace evts r in
+  Alcotest.(check bool) "first instruction missed" true evts.(0).il1_miss;
+  let time = Icost_depgraph.Graph.eval g in
+  Alcotest.(check bool) "D0 floored by the cold miss" true
+    (time.(Icost_depgraph.Graph.node ~seq:0 ~kind:Icost_depgraph.Graph.D) > 100);
+  (* and the floor is owned by Imiss: idealizing it releases D0 *)
+  let time_i =
+    Icost_depgraph.Graph.eval
+      ~ideal:(Category.Set.singleton Category.Imiss) g
+  in
+  Alcotest.(check int) "floor removed under imiss idealization" 0
+    time_i.(Icost_depgraph.Graph.node ~seq:0 ~kind:Icost_depgraph.Graph.D)
+
+let test_drive_reports () =
+  let r = Drive.table4a [ prepared "gap" ] in
+  Alcotest.(check string) "id" "table4a" r.id;
+  Alcotest.(check bool) "body nonempty" true (String.length r.body > 100)
+
+let suite =
+  ( "integration",
+    [
+      Alcotest.test_case "oracle baselines agree" `Quick test_oracles_agree_on_baseline;
+      Alcotest.test_case "graph vs multisim costs" `Quick test_graph_vs_multisim_costs;
+      Alcotest.test_case "vortex dl1+win serial" `Quick test_serial_dl1_win_on_vortex;
+      Alcotest.test_case "bzip2 bmisp+win parallel" `Quick test_parallel_bmisp_win_on_bzip2;
+      Alcotest.test_case "mcf bmisp+dmiss serial" `Quick test_serial_bmisp_dmiss_on_mcf;
+      Alcotest.test_case "table 4 totals" `Quick test_table4_totals;
+      Alcotest.test_case "fig3 window monotone" `Quick test_fig3_window_monotone;
+      Alcotest.test_case "fig3 corollary (gap)" `Quick test_fig3_corollary_on_gap;
+      Alcotest.test_case "wakeup corollary (gap)" `Quick test_wakeup_corollary_on_gap;
+      Alcotest.test_case "fig1 accounts 100%" `Quick test_fig1_accounts;
+      Alcotest.test_case "table7 errors bounded" `Quick test_table7_errors_bounded;
+      Alcotest.test_case "drive reports" `Quick test_drive_reports;
+      Alcotest.test_case "conclusion study (mcf)" `Quick test_conclusion_study;
+      Alcotest.test_case "graph startup floor" `Quick test_graph_floor_carries_startup_imiss;
+    ] )

@@ -1,0 +1,77 @@
+(* Tests for Icost_isa.Isa: operand extraction, classification, PC codec. *)
+
+module Isa = Icost_isa.Isa
+
+let sources_of i = List.sort compare (Isa.sources i)
+
+let test_sources () =
+  Alcotest.(check (list int)) "alu reg/reg" [ 1; 2 ]
+    (sources_of (Isa.Alu { op = Isa.Add; rd = 3; rs1 = 1; src2 = Reg 2 }));
+  Alcotest.(check (list int)) "alu reg/imm" [ 1 ]
+    (sources_of (Isa.Alu { op = Isa.Add; rd = 3; rs1 = 1; src2 = Imm 5 }));
+  Alcotest.(check (list int)) "r0 never a source" []
+    (sources_of (Isa.Alu { op = Isa.Add; rd = 3; rs1 = 0; src2 = Reg 0 }));
+  Alcotest.(check (list int)) "load base" [ 4 ]
+    (sources_of (Isa.Load { rd = 2; base = 4; offset = 8 }));
+  Alcotest.(check (list int)) "store data+base" [ 2; 4 ]
+    (sources_of (Isa.Store { rs = 2; base = 4; offset = 0 }));
+  Alcotest.(check (list int)) "branch both regs" [ 1; 2 ]
+    (sources_of (Isa.Branch { cond = Isa.Eq; rs1 = 1; rs2 = 2; target = 0 }));
+  Alcotest.(check (list int)) "ret reads ra" [ Isa.reg_ra ] (sources_of Isa.Ret);
+  Alcotest.(check (list int)) "jump_reg reads rs" [ 9 ]
+    (sources_of (Isa.Jump_reg { rs = 9 }))
+
+let test_dest () =
+  let check name expected i =
+    Alcotest.(check (option int)) name expected (Isa.dest i)
+  in
+  check "alu dest" (Some 3) (Isa.Alu { op = Isa.Sub; rd = 3; rs1 = 1; src2 = Imm 1 });
+  check "alu dest r0 suppressed" None
+    (Isa.Alu { op = Isa.Sub; rd = 0; rs1 = 1; src2 = Imm 1 });
+  check "load dest" (Some 2) (Isa.Load { rd = 2; base = 1; offset = 0 });
+  check "store no dest" None (Isa.Store { rs = 2; base = 1; offset = 0 });
+  check "call writes ra" (Some Isa.reg_ra) (Isa.Call { target = 0 });
+  check "halt no dest" None Isa.Halt
+
+let test_class () =
+  let check name expected i = Alcotest.(check bool) name true (Isa.class_of i = expected) in
+  check "add is short" Isa.Short_alu (Isa.Alu { op = Isa.Add; rd = 1; rs1 = 1; src2 = Imm 1 });
+  check "mul is int_mul" Isa.Int_mul (Isa.Alu { op = Isa.Mul; rd = 1; rs1 = 1; src2 = Imm 1 });
+  check "div is int_div" Isa.Int_div (Isa.Alu { op = Isa.Div; rd = 1; rs1 = 1; src2 = Imm 1 });
+  check "fadd" Isa.Fp_add (Isa.Fpu { op = Isa.Fadd; rd = 1; rs1 = 1; rs2 = 2 });
+  check "fdiv" Isa.Fp_div (Isa.Fpu { op = Isa.Fdiv; rd = 1; rs1 = 1; rs2 = 2 });
+  check "load" Isa.Mem_load (Isa.Load { rd = 1; base = 2; offset = 0 });
+  check "branch is ctrl" Isa.Ctrl (Isa.Jump { target = 0 })
+
+let test_predicates () =
+  let mul = Isa.Alu { op = Isa.Mul; rd = 1; rs1 = 1; src2 = Imm 1 } in
+  let add = Isa.Alu { op = Isa.Add; rd = 1; rs1 = 1; src2 = Imm 1 } in
+  Alcotest.(check bool) "mul long" true (Isa.is_long_alu mul);
+  Alcotest.(check bool) "add short" true (Isa.is_short_alu add);
+  Alcotest.(check bool) "add not long" false (Isa.is_long_alu add);
+  Alcotest.(check bool) "ret indirect" true (Isa.is_indirect Isa.Ret);
+  Alcotest.(check bool) "jump direct" false (Isa.is_indirect (Isa.Jump { target = 1 }));
+  Alcotest.(check bool) "branch is cond" true
+    (Isa.is_cond_branch (Isa.Branch { cond = Isa.Lt; rs1 = 1; rs2 = 2; target = 0 }));
+  Alcotest.(check bool) "jump not cond" false (Isa.is_cond_branch (Isa.Jump { target = 0 }))
+
+let prop_pc_roundtrip =
+  QCheck.Test.make ~name:"pc/index round trip" ~count:500 QCheck.small_nat (fun ix ->
+      Isa.index_of_pc (Isa.pc_of_index ix) = ix)
+
+let test_to_string () =
+  Alcotest.(check string) "load render" "ld r2, 8(r4)"
+    (Isa.to_string (Isa.Load { rd = 2; base = 4; offset = 8 }));
+  Alcotest.(check string) "branch render" "blt r1, r2, @7"
+    (Isa.to_string (Isa.Branch { cond = Isa.Lt; rs1 = 1; rs2 = 2; target = 7 }))
+
+let suite =
+  ( "isa",
+    [
+      Alcotest.test_case "sources" `Quick test_sources;
+      Alcotest.test_case "dest" `Quick test_dest;
+      Alcotest.test_case "op classes" `Quick test_class;
+      Alcotest.test_case "predicates" `Quick test_predicates;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+      QCheck_alcotest.to_alcotest prop_pc_roundtrip;
+    ] )

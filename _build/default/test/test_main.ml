@@ -1,0 +1,24 @@
+(* Aggregated test entry point for the icost library. *)
+
+let () =
+  Alcotest.run "icostlib"
+    [
+      Test_prng.suite;
+      Test_stats.suite;
+      Test_isa.suite;
+      Test_asm.suite;
+      Test_interp.suite;
+      Test_cache.suite;
+      Test_bpred.suite;
+      Test_events.suite;
+      Test_sim.suite;
+      Test_graph.suite;
+      Test_cost.suite;
+      Test_workloads.suite;
+      Test_profiler.suite;
+      Test_report.suite;
+      Test_advisor.suite;
+      Test_prefetch.suite;
+      Test_fuzz.suite;
+      Test_integration.suite;
+    ]

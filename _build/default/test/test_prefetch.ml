@@ -1,0 +1,159 @@
+(* Tests for the prefetcher models and the store-bandwidth commit path. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+
+let dl1_misses evts =
+  Array.fold_left (fun a (e : Events.evt) -> if e.dl1_miss then a + 1 else a) 0 evts
+
+let il1_misses evts =
+  Array.fold_left (fun a (e : Events.evt) -> if e.il1_miss then a + 1 else a) 0 evts
+
+(* a simple array-streaming program: ideal prey for a stride prefetcher *)
+let stream_program () =
+  let a = Asm.create ~name:"stream" () in
+  Kernel_util_shim.init_zero a ~base:0x100000 ~count:8192;
+  Asm.li a ~rd:1 0x100000;
+  Asm.li a ~rd:2 (0x100000 + (8 * 8192));
+  Asm.label a "loop";
+  Asm.load a ~rd:3 ~base:1 ~offset:0;
+  Asm.add a ~rd:4 ~rs1:4 ~rs2:3;
+  Asm.addi a ~rd:1 ~rs1:1 8;
+  Asm.blt a ~rs1:1 ~rs2:2 "loop";
+  Asm.li a ~rd:1 0x100000;
+  Asm.jmp a "loop";
+  Asm.assemble a
+
+let test_stride_prefetch_removes_stream_misses () =
+  let program = stream_program () in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = 20_000 } program in
+  let cfg = Config.default in
+  let evts_off, _ = Events.annotate cfg trace in
+  let evts_on, _ =
+    Events.annotate ~prefetch:{ Events.no_prefetch with stride_loads = true } cfg trace
+  in
+  let before = dl1_misses evts_off and after = dl1_misses evts_on in
+  Alcotest.(check bool)
+    (Printf.sprintf "stream misses before %d after %d" before after)
+    true
+    (before > 300 && after * 10 < before)
+
+let test_stride_prefetch_neutral_on_random () =
+  (* mcf's randomized pointer chains have no stride; the prefetcher must
+     neither help much nor hurt correctness *)
+  let w = Icost_workloads.Workload.find_exn "twolf" in
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 10_000 } (w.build ())
+  in
+  let cfg = Config.default in
+  let evts_off, _ = Events.annotate cfg trace in
+  let evts_on, _ =
+    Events.annotate ~prefetch:{ Events.no_prefetch with stride_loads = true } cfg trace
+  in
+  let before = dl1_misses evts_off and after = dl1_misses evts_on in
+  Alcotest.(check bool)
+    (Printf.sprintf "random-access misses barely change (%d -> %d)" before after)
+    true
+    (float_of_int (abs (before - after)) < 0.15 *. float_of_int before)
+
+let test_next_line_iprefetch () =
+  let program = Icost_workloads.Istress.program ~blocks:4096 () in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = 20_000 } program in
+  let cfg = Config.default in
+  let evts_off, _ = Events.annotate cfg trace in
+  let evts_on, _ =
+    Events.annotate ~prefetch:{ Events.no_prefetch with next_line_icache = true } cfg
+      trace
+  in
+  let before = il1_misses evts_off and after = il1_misses evts_on in
+  Alcotest.(check bool)
+    (Printf.sprintf "sequential code fetch misses halve (%d -> %d)" before after)
+    true
+    (after * 3 < before * 2)
+
+let test_prefetch_speeds_up_sim () =
+  let program = stream_program () in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = 20_000 } program in
+  let cfg = Config.default in
+  let evts_off, _ = Events.annotate cfg trace in
+  let evts_on, _ =
+    Events.annotate ~prefetch:{ Events.no_prefetch with stride_loads = true } cfg trace
+  in
+  let c_off = Ooo.cycles cfg trace evts_off in
+  let c_on = Ooo.cycles cfg trace evts_on in
+  Alcotest.(check bool)
+    (Printf.sprintf "prefetching speeds the stream up (%d -> %d)" c_off c_on)
+    true (c_on < c_off)
+
+(* --- store-bandwidth commit contention --- *)
+
+let test_store_bandwidth_contention () =
+  (* a burst of independent stores is limited by store_commit_bw/cycle *)
+  let a = Asm.create ~name:"stores" () in
+  Asm.li a ~rd:1 0x100000;
+  for i = 1 to 120 do
+    Asm.store a ~rs:2 ~base:1 ~offset:(8 * i)
+  done;
+  Asm.halt a;
+  let program = Asm.assemble a in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = 500 } program in
+  let cfg =
+    { Config.default with
+      ideal = { Config.no_ideal with perfect_icache = true; perfect_dcache = true } }
+  in
+  let evts, _ = Events.annotate cfg trace in
+  let r = Ooo.run cfg trace evts in
+  (* 120 stores at 2/cycle >= 60 cycles regardless of the 6-wide commit *)
+  Alcotest.(check bool)
+    (Printf.sprintf "store-BW bound (%d cycles)" r.cycles)
+    true
+    (r.cycles >= 120 / cfg.store_commit_bw);
+  (* store_wait recorded on some instructions *)
+  let waited =
+    Array.fold_left (fun a (s : Ooo.slot) -> if s.store_wait > 0 then a + 1 else a) 0 r.slots
+  in
+  Alcotest.(check bool) "store_wait recorded" true (waited > 10)
+
+let test_store_bw_per_cycle_limit () =
+  let a = Asm.create ~name:"stores2" () in
+  Asm.li a ~rd:1 0x100000;
+  for i = 1 to 60 do
+    Asm.store a ~rs:2 ~base:1 ~offset:(8 * i)
+  done;
+  Asm.halt a;
+  let program = Asm.assemble a in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = 500 } program in
+  let cfg = Config.default in
+  let evts, _ = Events.annotate cfg trace in
+  let r = Ooo.run cfg trace evts in
+  let per_cycle = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (s : Ooo.slot) ->
+      if Isa.is_store (Trace.get trace i).instr then
+        Hashtbl.replace per_cycle s.commit
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_cycle s.commit)))
+    r.slots;
+  Hashtbl.iter
+    (fun cyc n ->
+      if n > cfg.store_commit_bw then
+        Alcotest.failf "%d stores retired in cycle %d (limit %d)" n cyc
+          cfg.store_commit_bw)
+    per_cycle
+
+let suite =
+  ( "prefetch+storebw",
+    [
+      Alcotest.test_case "stride prefetch on streams" `Quick
+        test_stride_prefetch_removes_stream_misses;
+      Alcotest.test_case "stride prefetch neutral on random" `Quick
+        test_stride_prefetch_neutral_on_random;
+      Alcotest.test_case "next-line I-prefetch" `Quick test_next_line_iprefetch;
+      Alcotest.test_case "prefetch speeds up the sim" `Quick test_prefetch_speeds_up_sim;
+      Alcotest.test_case "store bandwidth bound" `Quick test_store_bandwidth_contention;
+      Alcotest.test_case "store per-cycle limit" `Quick test_store_bw_per_cycle_limit;
+    ] )

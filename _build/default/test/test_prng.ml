@@ -1,0 +1,101 @@
+(* Tests for Icost_util.Prng: determinism, ranges, distribution sanity. *)
+
+module Prng = Icost_util.Prng
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.bits a) (Prng.bits b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.bits a = Prng.bits b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_copy_independent () =
+  let a = Prng.create 7 in
+  let _ = Prng.bits a in
+  let b = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.bits a) (Prng.bits b)
+
+let test_float_range () =
+  let t = Prng.create 3 in
+  for _ = 1 to 10_000 do
+    let f = Prng.float t in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_bool_bias () =
+  let t = Prng.create 9 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bool t 0.25 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "bool(0.25) frequency %.3f within 0.02" p)
+    true
+    (Float.abs (p -. 0.25) < 0.02)
+
+let test_weighted () =
+  let t = Prng.create 11 in
+  let n = 30_000 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to n do
+    let v = Prng.weighted t [ (0, 0.5); (1, 0.3); (2, 0.2) ] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  List.iteri
+    (fun i expected ->
+      let p = float_of_int counts.(i) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "weight %d frequency %.3f ~ %.2f" i p expected)
+        true
+        (Float.abs (p -. expected) < 0.02))
+    [ 0.5; 0.3; 0.2 ]
+
+let test_split_independent () =
+  let t = Prng.create 5 in
+  let u = Prng.split t in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.bits t = Prng.bits u then incr same
+  done;
+  Alcotest.(check bool) "split stream differs" true (!same < 5)
+
+let prop_int_range =
+  QCheck.Test.make ~name:"int_range stays within bounds" ~count:500
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Prng.create seed in
+      let v = Prng.int_range t lo hi in
+      v >= lo && v <= hi)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 40) int))
+    (fun (seed, l) ->
+      let arr = Array.of_list l in
+      let orig = Array.copy arr in
+      Prng.shuffle (Prng.create seed) arr;
+      List.sort compare (Array.to_list arr) = List.sort compare (Array.to_list orig))
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "different seeds" `Quick test_different_seeds;
+      Alcotest.test_case "copy" `Quick test_copy_independent;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      Alcotest.test_case "bool bias" `Quick test_bool_bias;
+      Alcotest.test_case "weighted distribution" `Quick test_weighted;
+      Alcotest.test_case "split" `Quick test_split_independent;
+      QCheck_alcotest.to_alcotest prop_int_range;
+      QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    ] )

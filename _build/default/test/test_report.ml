@@ -1,0 +1,67 @@
+(* Tests for the reporting helpers: tables, charts, CSV. *)
+
+module Table = Icost_report.Table
+module Chart = Icost_report.Chart
+module Csv = Icost_report.Csv
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "v1"; "v2" ] in
+  Table.add_row t [ "alpha"; "1.0"; "2.5" ];
+  Table.add_separator t;
+  Table.add_row t [ "beta"; "10.0"; "-3.5" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true (contains ~needle:"name" s);
+  Alcotest.(check bool) "has rows" true (contains ~needle:"alpha" s && contains ~needle:"beta" s);
+  (* alignment: all lines equal width modulo trailing content *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + sep + 2 rows + mid-sep" 5 (List.length lines)
+
+let test_cell_formatting () =
+  Alcotest.(check string) "plain" "3.5" (Table.cell_f 3.51);
+  Alcotest.(check string) "signed positive" "+3.5" (Table.cell_f ~signed:true 3.51);
+  Alcotest.(check string) "signed negative" "-3.5" (Table.cell_f ~signed:true (-3.51));
+  Alcotest.(check string) "signed zero unsigned" "0.0" (Table.cell_f ~signed:true 0.0);
+  Alcotest.(check string) "int" "42" (Table.cell_i 42)
+
+let test_stacked_bar () =
+  let s =
+    Chart.stacked_bar
+      [ { Chart.label = "a"; value = 60. }; { label = "b"; value = 55. };
+        { label = "c"; value = -15. } ]
+  in
+  Alcotest.(check bool) "above axis total" true (contains ~needle:"115.0" s);
+  Alcotest.(check bool) "below axis total" true (contains ~needle:"-15.0" s);
+  Alcotest.(check bool) "legend" true (contains ~needle:"a(60.0)" s)
+
+let test_line_chart () =
+  let s =
+    Chart.line_chart ~x_label:"x" ~y_label:"y"
+      [ { Chart.name = "s1"; points = [ (1., 1.); (2., 4.); (3., 9.) ] };
+        { Chart.name = "s2"; points = [ (1., 2.); (2., 2.); (3., 2.) ] } ]
+  in
+  Alcotest.(check bool) "series legend" true (contains ~needle:"s1" s && contains ~needle:"s2" s);
+  Alcotest.(check bool) "axis labels" true (contains ~needle:"(x)" s)
+
+let test_line_chart_empty () =
+  Alcotest.(check string) "empty chart" "(empty chart)\n"
+    (Chart.line_chart ~x_label:"x" ~y_label:"y" [])
+
+let test_csv () =
+  let s = Csv.to_string [ [ "a"; "b,c"; "d\"e" ]; [ "1"; "2"; "3" ] ] in
+  Alcotest.(check string) "escaping" "a,\"b,c\",\"d\"\"e\"\n1,2,3\n" s
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "cell formatting" `Quick test_cell_formatting;
+      Alcotest.test_case "stacked bar" `Quick test_stacked_bar;
+      Alcotest.test_case "line chart" `Quick test_line_chart;
+      Alcotest.test_case "empty chart" `Quick test_line_chart_empty;
+      Alcotest.test_case "csv escaping" `Quick test_csv;
+    ] )

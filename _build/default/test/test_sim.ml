@@ -1,0 +1,239 @@
+(* Tests for the out-of-order timing model: stage ordering, structural
+   constraints, idealization behaviour. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+module Ooo = Icost_sim.Ooo
+module Category = Icost_core.Category
+module Multisim = Icost_sim.Multisim
+
+let prepare ?(max_instrs = 5000) name =
+  let w = Icost_workloads.Workload.find_exn name in
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs } (w.build ()) in
+  let evts, _ = Events.annotate Config.default trace in
+  (trace, evts)
+
+let no_imiss cfg =
+  { cfg with Config.ideal = { Config.no_ideal with perfect_icache = true } }
+
+let run_small build cfg =
+  let cfg = no_imiss cfg in
+  let a = Asm.create ~name:"t" () in
+  build a;
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 2000 } (Asm.assemble a)
+  in
+  let evts, _ = Events.annotate cfg trace in
+  (trace, evts, Ooo.run cfg trace evts)
+
+let stage_invariants (r : Ooo.result) =
+  Array.iteri
+    (fun i (s : Ooo.slot) ->
+      if not (s.fetch <= s.dispatch) then Alcotest.failf "i%d fetch > dispatch" i;
+      if not (s.dispatch < s.ready) then Alcotest.failf "i%d dispatch >= ready" i;
+      if not (s.ready <= s.exec_start) then Alcotest.failf "i%d ready > exec" i;
+      if not (s.exec_start <= s.complete) then Alcotest.failf "i%d exec > complete" i;
+      if not (s.complete < s.commit) then Alcotest.failf "i%d complete >= commit" i)
+    r.slots;
+  for i = 1 to Array.length r.slots - 1 do
+    if r.slots.(i).dispatch < r.slots.(i - 1).dispatch then
+      Alcotest.failf "dispatch out of order at %d" i;
+    if r.slots.(i).commit < r.slots.(i - 1).commit then
+      Alcotest.failf "commit out of order at %d" i
+  done
+
+let test_stage_invariants () =
+  List.iter
+    (fun name ->
+      let trace, evts = prepare name in
+      stage_invariants (Ooo.run Config.default trace evts))
+    [ "gcc"; "mcf"; "vortex"; "eon" ]
+
+let test_window_constraint () =
+  let trace, evts = prepare "gap" in
+  let cfg = Config.default in
+  let r = Ooo.run cfg trace evts in
+  let w = cfg.window_size in
+  Array.iteri
+    (fun i (s : Ooo.slot) ->
+      if i >= w && s.dispatch < r.slots.(i - w).commit then
+        Alcotest.failf "window violated at %d" i)
+    r.slots
+
+let test_commit_bandwidth () =
+  let trace, evts = prepare "gcc" in
+  let cfg = Config.default in
+  let r = Ooo.run cfg trace evts in
+  let per_cycle = Hashtbl.create 1024 in
+  Array.iter
+    (fun (s : Ooo.slot) ->
+      Hashtbl.replace per_cycle s.commit
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_cycle s.commit)))
+    r.slots;
+  Hashtbl.iter
+    (fun cyc n ->
+      if n > cfg.commit_bw then Alcotest.failf "commit BW exceeded at cycle %d (%d)" cyc n)
+    per_cycle
+
+let test_data_dependence_ordering () =
+  let trace, evts = prepare "gap" in
+  let r = Ooo.run Config.default trace evts in
+  Array.iteri
+    (fun i (d : Trace.dyn) ->
+      List.iter
+        (fun (_, p) ->
+          if r.slots.(i).exec_start < r.slots.(p).complete then
+            Alcotest.failf "instr %d executed before producer %d completed" i p)
+        d.reg_deps)
+    trace.instrs
+
+let test_dependent_chain_latency () =
+  (* a strictly serial chain of N adds takes ~N cycles *)
+  let n = 100 in
+  let _, _, r =
+    run_small
+      (fun a ->
+        for _ = 1 to n do
+          Asm.addi a ~rd:1 ~rs1:1 1
+        done;
+        Asm.halt a)
+      Config.default
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "serial chain ~%d cycles (%d)" n r.cycles)
+    true
+    (r.cycles >= n && r.cycles < n + 40)
+
+let test_independent_ops_parallel () =
+  (* independent adds are bounded by issue width, not latency *)
+  let n = 120 in
+  let _, _, r =
+    run_small
+      (fun a ->
+        for i = 1 to n do
+          Asm.addi a ~rd:(1 + (i mod 20)) ~rs1:0 i
+        done;
+        Asm.halt a)
+      Config.default
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel ops fast (%d cycles)" r.cycles)
+    true
+    (r.cycles < (n / 4) + 40)
+
+let test_wakeup_latency_slows_chains () =
+  let build a =
+    for _ = 1 to 200 do
+      Asm.addi a ~rd:1 ~rs1:1 1
+    done;
+    Asm.halt a
+  in
+  let _, _, r1 = run_small build Config.default in
+  let _, _, r2 = run_small build { Config.default with wakeup_latency = 2 } in
+  Alcotest.(check bool)
+    (Printf.sprintf "wakeup=2 slower on chains (%d vs %d)" r2.cycles r1.cycles)
+    true
+    (r2.cycles > r1.cycles + 150)
+
+let test_divider_not_pipelined () =
+  let build a =
+    (* independent divides: should serialize on the 2 dividers *)
+    for i = 1 to 16 do
+      Asm.li a ~rd:(1 + (i mod 8)) (100 + i);
+      Asm.div a ~rd:(9 + (i mod 8)) ~rs1:(1 + (i mod 8)) ~rs2:(1 + (i mod 8))
+    done;
+    Asm.halt a
+  in
+  let _, _, r = run_small build Config.default in
+  (* 16 divides at 12 cycles on 2 non-pipelined units >= 96 cycles *)
+  Alcotest.(check bool)
+    (Printf.sprintf "divides serialized (%d cycles)" r.cycles)
+    true (r.cycles >= 96)
+
+let test_idealizations_never_slow () =
+  let trace, evts = prepare ~max_instrs:3000 "twolf" in
+  let base = Ooo.cycles Config.default trace evts in
+  List.iter
+    (fun c ->
+      let ideal = Multisim.ideal_of_set (Category.Set.singleton c) in
+      let cyc = Ooo.cycles { Config.default with ideal } trace evts in
+      if cyc > base then
+        Alcotest.failf "idealizing %s slowed execution (%d > %d)" (Category.name c)
+          cyc base)
+    Category.all
+
+let test_full_idealization_near_floor () =
+  let trace, evts = prepare ~max_instrs:3000 "gcc" in
+  let ideal = Multisim.ideal_of_set Category.Set.full in
+  let cyc = Ooo.cycles { Config.default with ideal } trace evts in
+  (* with everything idealized, only pipeline depth and the huge-BW floor
+     remain: a handful of cycles, far below 1 per instruction *)
+  Alcotest.(check bool)
+    (Printf.sprintf "idealized floor small (%d cycles for 3000 instrs)" cyc)
+    true
+    (cyc < 500)
+
+let test_mispredict_redirect () =
+  (* one guaranteed mispredict: a first-seen taken branch *)
+  let cfg = Config.default in
+  let _, evts, r =
+    run_small
+      (fun a ->
+        for i = 1 to 10 do
+          Asm.addi a ~rd:(i mod 8) ~rs1:0 i
+        done;
+        Asm.li a ~rd:9 1;
+        Asm.bne a ~rs1:9 ~rs2:0 "far";
+        Asm.halt a;
+        Asm.label a "far";
+        Asm.addi a ~rd:10 ~rs1:0 1;
+        Asm.halt a)
+      cfg
+  in
+  let branch_i = 11 in
+  Alcotest.(check bool) "branch mispredicted" true evts.(branch_i).mispredict;
+  let after = r.slots.(branch_i + 1) in
+  let branch = r.slots.(branch_i) in
+  Alcotest.(check bool) "redirect delay applied" true
+    (after.dispatch >= branch.complete + cfg.branch_recovery)
+
+let test_multisim_oracle_baseline () =
+  let trace, evts = prepare ~max_instrs:2000 "crafty" in
+  let oracle = Multisim.oracle Config.default trace evts in
+  let base = oracle Category.Set.empty in
+  Alcotest.(check bool) "baseline equals direct run" true
+    (int_of_float base = Ooo.cycles Config.default trace evts)
+
+let prop_stage_monotone_all_benches =
+  QCheck.Test.make ~name:"stage invariants hold on random workload prefixes" ~count:8
+    QCheck.(pair (make (Gen.oneofl Icost_workloads.Workload.names)) (int_range 500 3000))
+    (fun (name, n) ->
+      let trace, evts = prepare ~max_instrs:n name in
+      let r = Ooo.run Config.default trace evts in
+      Array.for_all
+        (fun (s : Ooo.slot) ->
+          s.fetch <= s.dispatch && s.dispatch < s.ready && s.ready <= s.exec_start
+          && s.exec_start <= s.complete && s.complete < s.commit)
+        r.slots)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "stage invariants" `Quick test_stage_invariants;
+      Alcotest.test_case "window constraint" `Quick test_window_constraint;
+      Alcotest.test_case "commit bandwidth" `Quick test_commit_bandwidth;
+      Alcotest.test_case "data dependences ordered" `Quick test_data_dependence_ordering;
+      Alcotest.test_case "serial chain latency" `Quick test_dependent_chain_latency;
+      Alcotest.test_case "independent ops overlap" `Quick test_independent_ops_parallel;
+      Alcotest.test_case "wakeup latency" `Quick test_wakeup_latency_slows_chains;
+      Alcotest.test_case "divider not pipelined" `Quick test_divider_not_pipelined;
+      Alcotest.test_case "idealization monotone" `Quick test_idealizations_never_slow;
+      Alcotest.test_case "full idealization floor" `Quick test_full_idealization_near_floor;
+      Alcotest.test_case "mispredict redirect" `Quick test_mispredict_redirect;
+      Alcotest.test_case "multisim baseline" `Quick test_multisim_oracle_baseline;
+      QCheck_alcotest.to_alcotest prop_stage_monotone_all_benches;
+    ] )

@@ -1,0 +1,65 @@
+(* Tests for Icost_util.Stats. *)
+
+module Stats = Icost_util.Stats
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_mean () =
+  Alcotest.(check bool) "mean [1;2;3] = 2" true (feq (Stats.mean [ 1.; 2.; 3. ]) 2.);
+  Alcotest.(check bool) "mean [] = 0" true (feq (Stats.mean []) 0.)
+
+let test_stddev () =
+  Alcotest.(check bool) "stddev singleton = 0" true (feq (Stats.stddev [ 5. ]) 0.);
+  let s = Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check bool) (Printf.sprintf "stddev = %f" s) true (feq ~eps:1e-6 s 2.)
+
+let test_percent () =
+  Alcotest.(check bool) "50/200 = 25%" true (feq (Stats.percent 50. 200.) 25.);
+  Alcotest.(check bool) "x/0 = 0" true (feq (Stats.percent 5. 0.) 0.)
+
+let test_geomean () =
+  Alcotest.(check bool) "geomean [2;8] = 4" true
+    (feq ~eps:1e-9 (Stats.geomean [ 2.; 8. ]) 4.);
+  Alcotest.(check bool) "geomean [] = 1" true (feq (Stats.geomean []) 1.)
+
+let test_errors () =
+  Alcotest.(check bool) "abs error" true
+    (feq (Stats.abs_error ~measured:3. ~reference:5.) 2.);
+  Alcotest.(check bool) "rel error pct" true
+    (feq (Stats.rel_error_pct ~measured:6. ~reference:5.) 20.);
+  Alcotest.(check bool) "rel error zero ref" true
+    (feq (Stats.rel_error_pct ~measured:6. ~reference:0.) 0.)
+
+let prop_running_matches_direct =
+  QCheck.Test.make ~name:"Running matches direct mean/stddev" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let r = Stats.Running.create () in
+      List.iter (Stats.Running.add r) xs;
+      let n = float_of_int (List.length xs) in
+      let m = Stats.mean xs in
+      let sample_sd =
+        sqrt (List.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs /. (n -. 1.))
+      in
+      feq ~eps:1e-6 (Stats.Running.mean r) m
+      && Float.abs (Stats.Running.stddev r -. sample_sd) < 1e-6 *. (1. +. sample_sd)
+      && Stats.Running.count r = List.length xs)
+
+let prop_minmax =
+  QCheck.Test.make ~name:"fmin <= mean <= fmax" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      Stats.fmin xs <= m +. 1e-9 && m <= Stats.fmax xs +. 1e-9)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean" `Quick test_mean;
+      Alcotest.test_case "stddev" `Quick test_stddev;
+      Alcotest.test_case "percent" `Quick test_percent;
+      Alcotest.test_case "geomean" `Quick test_geomean;
+      Alcotest.test_case "errors" `Quick test_errors;
+      QCheck_alcotest.to_alcotest prop_running_matches_direct;
+      QCheck_alcotest.to_alcotest prop_minmax;
+    ] )

@@ -1,0 +1,174 @@
+(* Tests for the workload kernels: they assemble, validate, run without
+   getting stuck, and exhibit their intended microarchitectural character. *)
+
+module Workload = Icost_workloads.Workload
+module Interp = Icost_isa.Interp
+module Isa = Icost_isa.Isa
+module Trace = Icost_isa.Trace
+module Program = Icost_isa.Program
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+
+let run ?(n = 20_000) name =
+  let w = Workload.find_exn name in
+  let program = w.build () in
+  (match Program.validate program with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "%s: %s" name e);
+  let trace = Interp.run ~config:{ Interp.default_config with max_instrs = n } program in
+  (program, trace)
+
+let test_all_run () =
+  List.iter
+    (fun name ->
+      let _, trace = run name in
+      Alcotest.(check int)
+        (Printf.sprintf "%s runs to the budget" name)
+        20_000 (Trace.length trace))
+    Workload.names
+
+let test_registry () =
+  Alcotest.(check int) "twelve workloads" 12 (List.length Workload.all);
+  Alcotest.(check bool) "find works" true (Workload.find "mcf" <> None);
+  Alcotest.(check bool) "find unknown" true (Workload.find "nope" = None);
+  Alcotest.check_raises "find_exn unknown"
+    (Invalid_argument
+       "Workload.find_exn: unknown workload \"nope\" (known: bzip2, crafty, eon, \
+        gap, gcc, gzip, mcf, parser, perlbmk, twolf, vortex, vpr)") (fun () ->
+      ignore (Workload.find_exn "nope"))
+
+let class_fraction trace pred =
+  let n = Trace.length trace in
+  float_of_int (Trace.count_if trace pred) /. float_of_int n
+
+let test_mcf_memory_bound () =
+  let _, trace = run "mcf" in
+  let loads = class_fraction trace (fun d -> Isa.is_load d.instr) in
+  Alcotest.(check bool) (Printf.sprintf "mcf load-heavy (%.2f)" loads) true (loads > 0.15);
+  (* nearly every node access misses: check via annotation *)
+  let evts, s = Events.annotate Config.default trace in
+  ignore evts;
+  Alcotest.(check bool) "mcf misses a lot" true (s.dl1_misses > 1000)
+
+let test_eon_fp_heavy () =
+  let _, trace = run "eon" in
+  let fp =
+    class_fraction trace (fun d ->
+        match Isa.class_of d.instr with
+        | Isa.Fp_add | Isa.Fp_mul | Isa.Fp_div -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) (Printf.sprintf "eon FP fraction %.2f" fp) true (fp > 0.1)
+
+let test_perlbmk_indirect () =
+  let _, trace = run "perlbmk" in
+  let ind = Trace.count_if trace (fun d -> Isa.is_indirect d.instr) in
+  Alcotest.(check bool) (Printf.sprintf "perlbmk indirect jumps (%d)" ind) true (ind > 500)
+
+let test_parser_recursion () =
+  let _, trace = run "parser" in
+  let calls = Trace.count_if trace (fun d -> match d.instr with Isa.Call _ -> true | _ -> false) in
+  let rets = Trace.count_if trace (fun d -> d.instr = Isa.Ret) in
+  Alcotest.(check bool) "parser calls" true (calls > 300);
+  Alcotest.(check bool) "calls ~ rets" true (abs (calls - rets) < 20)
+
+let test_bzip2_mispredicts () =
+  let _, trace = run "bzip2" in
+  let _, s = Events.annotate Config.default trace in
+  let rate = float_of_int s.mispredicts /. float_of_int (max 1 s.cond_branches) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bzip2 mispredict rate %.2f" rate)
+    true (rate > 0.08)
+
+let test_vortex_predictable () =
+  let _, trace = run "vortex" in
+  let _, s = Events.annotate Config.default trace in
+  let rate = float_of_int s.mispredicts /. float_of_int (max 1 s.cond_branches) in
+  Alcotest.(check bool)
+    (Printf.sprintf "vortex mispredict rate %.3f" rate)
+    true (rate < 0.02)
+
+let test_gap_serial_chains () =
+  let _, trace = run ~n:2000 "gap" in
+  (* most instructions in gap's inner loop form a dependent chain *)
+  let chained =
+    Trace.count_if trace (fun d ->
+        List.exists (fun (_, p) -> d.seq - p <= 2) d.reg_deps)
+  in
+  Alcotest.(check bool) "gap has tight chains" true (chained > 1000)
+
+let test_deterministic_builds () =
+  List.iter
+    (fun name ->
+      let w = Workload.find_exn name in
+      let p1 = w.build () and p2 = w.build () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s builds identically" name)
+        true
+        (p1.code = p2.code && p1.mem_image = p2.mem_image))
+    [ "mcf"; "gcc"; "gzip"; "perlbmk" ]
+
+let test_mem_images_disjoint_from_code () =
+  (* data segments start at 1 MiB; PCs are tiny, so no overlap *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = w.build () in
+      List.iter
+        (fun (addr, _) ->
+          if addr < Icost_workloads.Kernel_util.data_base then
+            Alcotest.failf "%s writes below the data base: %x" w.name addr)
+        p.mem_image)
+    Workload.all
+
+
+(* --- the I-cache stress kernel (imiss coverage) --- *)
+
+let test_istress_imiss () =
+  let program = Icost_workloads.Istress.program ~blocks:4096 () in
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 30_000 } program
+  in
+  let _, s = Events.annotate Config.default trace in
+  (* 4096 blocks x 16 instrs x 4 B = 256 KiB of code: every block fetch
+     misses the 32 KiB L1 I-cache in steady state *)
+  Alcotest.(check bool)
+    (Printf.sprintf "istress misses the I-cache (%d misses)" s.il1_misses)
+    true
+    (s.il1_misses > 1000)
+
+let test_istress_imiss_cost () =
+  let program = Icost_workloads.Istress.program ~blocks:4096 () in
+  let trace =
+    Interp.run ~config:{ Interp.default_config with max_instrs = 20_000 } program
+  in
+  let cfg = Config.default in
+  let evts, _ = Events.annotate cfg trace in
+  let result = Icost_sim.Ooo.run cfg trace evts in
+  let g = Icost_depgraph.Build.of_sim cfg trace evts result in
+  let oracle = Icost_core.Cost.memoize (Icost_depgraph.Build.oracle g) in
+  let module Cat = Icost_core.Category in
+  let base = oracle Cat.Set.empty in
+  let imiss_cost =
+    100. *. Icost_core.Cost.cost oracle (Cat.Set.singleton Cat.Imiss) /. base
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "imiss cost dominates istress (%.1f%%)" imiss_cost)
+    true (imiss_cost > 30.)
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "all run to budget" `Slow test_all_run;
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "mcf memory-bound" `Quick test_mcf_memory_bound;
+      Alcotest.test_case "eon FP-heavy" `Quick test_eon_fp_heavy;
+      Alcotest.test_case "perlbmk indirect" `Quick test_perlbmk_indirect;
+      Alcotest.test_case "parser recursion" `Quick test_parser_recursion;
+      Alcotest.test_case "bzip2 mispredicts" `Quick test_bzip2_mispredicts;
+      Alcotest.test_case "vortex predictable" `Quick test_vortex_predictable;
+      Alcotest.test_case "gap serial chains" `Quick test_gap_serial_chains;
+      Alcotest.test_case "deterministic builds" `Quick test_deterministic_builds;
+      Alcotest.test_case "memory layout" `Quick test_mem_images_disjoint_from_code;
+      Alcotest.test_case "istress exercises the I-cache" `Quick test_istress_imiss;
+      Alcotest.test_case "istress imiss cost" `Quick test_istress_imiss_cost;
+    ] )
