@@ -1,0 +1,8 @@
+#!/bin/sh
+# Engine performance gate: re-measure the micro-benchmarks and fail (exit 1)
+# if any engine regressed more than 25% against the committed baseline in
+# BENCH_engines.json.  Refresh the baseline after an intentional change with:
+#   dune exec bench/main.exe -- micro --json BENCH_engines.json
+set -e
+cd "$(dirname "$0")/.."
+exec dune exec bench/main.exe -- micro --baseline BENCH_engines.json

@@ -34,27 +34,67 @@ type oracle = Category.Set.t -> float
 
 (** Memoize an oracle.  Cost queries share many subset evaluations, and the
     underlying measurements (a graph pass or a whole simulation) are the
-    expensive part. *)
+    expensive part.
+
+    The memo table is mutex-guarded so one memoized oracle can be shared
+    by concurrent {!Icost_util.Pool} jobs (oracles are closures over
+    immutable traces/graphs, so the measurement itself is re-entrant).
+    The underlying oracle runs {e outside} the lock: two domains racing on
+    the same fresh subset may both measure it, but the oracle is a pure
+    function of the subset, so both store the same value and the cache
+    stays deterministic. *)
 let memoize (f : oracle) : oracle =
   let tbl : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let lock = Mutex.create () in
   fun s ->
+    Mutex.lock lock;
     match Hashtbl.find_opt tbl s with
-    | Some v -> v
+    | Some v ->
+      Mutex.unlock lock;
+      v
     | None ->
+      Mutex.unlock lock;
       let v = f s in
-      Hashtbl.add tbl s v;
+      Mutex.lock lock;
+      Hashtbl.replace tbl s v;
+      Mutex.unlock lock;
       v
 
 (** [cost oracle s] = baseline time minus time with [s] idealized. *)
 let cost (oracle : oracle) (s : Category.Set.t) : float =
   oracle Category.Set.empty -. oracle s
 
-(** Interaction cost by the recursive definition. *)
-let rec icost (oracle : oracle) (u : Category.Set.t) : float =
+(** Interaction cost by the recursive definition, memoized per subset
+    within one call: the naive recursion recomputes [icost(V)] once per
+    superset chain (super-exponential in [|U|]); computing subsets in
+    cardinality order and summing from a table is [O(3^|U|)] additions,
+    which for the full 8-category set is a few thousand operations. *)
+let icost (oracle : oracle) (u : Category.Set.t) : float =
   if Category.Set.is_empty u then 0.
-  else
-    let subs = Category.Set.proper_subsets u in
-    cost oracle u -. List.fold_left (fun acc v -> acc +. icost oracle v) 0. subs
+  else begin
+    let tbl : (Category.Set.t, float) Hashtbl.t = Hashtbl.create 64 in
+    let by_card =
+      List.sort
+        (fun a b -> compare (Category.Set.cardinal a) (Category.Set.cardinal b))
+        (Category.Set.subsets u)
+    in
+    (* every proper subset of [v] has smaller cardinality, so its icost is
+       already in the table when [v] is reached *)
+    List.iter
+      (fun v ->
+        let value =
+          if Category.Set.is_empty v then 0.
+          else
+            cost oracle v
+            -. List.fold_left
+                 (fun acc w -> acc +. Hashtbl.find tbl w)
+                 0.
+                 (Category.Set.proper_subsets v)
+        in
+        Hashtbl.replace tbl v value)
+      by_card;
+    Hashtbl.find tbl u
+  end
 
 (** Interaction cost by inclusion-exclusion (equal to {!icost}; used for
     cross-checking and because it is cheaper for large sets). *)

@@ -19,14 +19,17 @@ type oracle = Category.Set.t -> float
 val memoize : oracle -> oracle
 (** Cache oracle evaluations (the underlying measurement — a simulation or
     a graph pass — is the expensive part, and cost queries share many
-    subset evaluations). *)
+    subset evaluations).  The returned oracle is safe to share across
+    concurrent {!Icost_util.Pool} jobs: the memo table is mutex-guarded,
+    and measurements run outside the lock. *)
 
 val cost : oracle -> Category.Set.t -> float
 (** [cost oracle s] is the speedup (cycles) from idealizing [s]. *)
 
 val icost : oracle -> Category.Set.t -> float
-(** Interaction cost by the paper's recursive definition.  Exponential in
-    the set size; prefer {!icost_ie} beyond pairs. *)
+(** Interaction cost by the paper's recursive definition, computed with a
+    per-call subset table in cardinality order ([O(3^|U|)] additions, a
+    few thousand operations for the full 8-category set). *)
 
 val icost_ie : oracle -> Category.Set.t -> float
 (** Interaction cost by inclusion-exclusion; equal to {!icost}. *)

@@ -72,6 +72,28 @@ type edge = {
           is idealized *)
 }
 
+(** Flat-array ("compiled") form of the edge and floor latency data,
+    precomputed at {!Builder.finish} time.  The hot evaluation loop reads
+    only unboxed [int array]s: per edge a source node, a base latency, a
+    removal bitmask (0 when no category removes the edge) and a slice of
+    (category-bitmask, latency-delta) component pairs; floors are the same
+    data sorted by node so one forward cursor replaces the per-eval
+    [Hashtbl].  Category sets are bitmasks ({!Category.Set.t} = [int]), so
+    membership tests in the inner loop are single [land]s. *)
+type compiled = {
+  e_src : int array;  (** per edge, in CSR order *)
+  e_base : int array;
+  e_removed : int array;  (** singleton category mask, or 0 *)
+  e_comp_off : int array;  (** [num_edges + 1] offsets into [comp_*] *)
+  comp_mask : int array;
+  comp_lat : int array;
+  f_node : int array;  (** floor entries, sorted by node *)
+  f_base : int array;
+  f_off : int array;  (** [num_floors + 1] offsets into [f_comp_*] *)
+  f_comp_mask : int array;
+  f_comp_lat : int array;
+}
+
 type t = {
   num_instrs : int;
   edges : edge array;  (** sorted by [dst] *)
@@ -81,6 +103,7 @@ type t = {
       (** (node, base, components): minimum arrival times for nodes with no
           incoming edge to carry them (e.g. the first instruction's I-cache
           stall delaying its dispatch) *)
+  compiled : compiled;
 }
 
 let num_nodes t = 5 * t.num_instrs
@@ -105,6 +128,77 @@ let edge_latency (s : Category.Set.t) (e : edge) : int option =
         0 e.components
     in
     Some (e.base + extra)
+
+let cat_mask (c : Category.t) : int = Category.Set.singleton c
+
+let compile ~(edges : edge array) ~(floors : (int * int * component list) list)
+    : compiled =
+  let ne = Array.length edges in
+  let e_src = Array.make ne 0 in
+  let e_base = Array.make ne 0 in
+  let e_removed = Array.make ne 0 in
+  let e_comp_off = Array.make (ne + 1) 0 in
+  let ncomp =
+    Array.fold_left (fun acc e -> acc + List.length e.components) 0 edges
+  in
+  let comp_mask = Array.make (max 1 ncomp) 0 in
+  let comp_lat = Array.make (max 1 ncomp) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i e ->
+      e_src.(i) <- e.src;
+      e_base.(i) <- e.base;
+      e_removed.(i) <- (match e.removed_by with None -> 0 | Some c -> cat_mask c);
+      e_comp_off.(i) <- !k;
+      List.iter
+        (fun { cat; lat } ->
+          comp_mask.(!k) <- cat_mask cat;
+          comp_lat.(!k) <- lat;
+          incr k)
+        e.components)
+    edges;
+  e_comp_off.(ne) <- !k;
+  let floors =
+    List.stable_sort (fun (a, _, _) (b, _, _) -> compare (a : int) b) floors
+  in
+  let nf = List.length floors in
+  let f_node = Array.make (max 1 nf) max_int in
+  let f_base = Array.make (max 1 nf) 0 in
+  let f_off = Array.make (nf + 1) 0 in
+  let nfcomp =
+    List.fold_left (fun acc (_, _, cs) -> acc + List.length cs) 0 floors
+  in
+  let f_comp_mask = Array.make (max 1 nfcomp) 0 in
+  let f_comp_lat = Array.make (max 1 nfcomp) 0 in
+  let j = ref 0 in
+  List.iteri
+    (fun i (node, base, cs) ->
+      f_node.(i) <- node;
+      f_base.(i) <- base;
+      f_off.(i) <- !j;
+      List.iter
+        (fun { cat; lat } ->
+          f_comp_mask.(!j) <- cat_mask cat;
+          f_comp_lat.(!j) <- lat;
+          incr j)
+        cs)
+    floors;
+  f_off.(nf) <- !j;
+  let f_node = if nf = 0 then [||] else f_node in
+  let f_base = if nf = 0 then [||] else f_base in
+  {
+    e_src;
+    e_base;
+    e_removed;
+    e_comp_off;
+    comp_mask;
+    comp_lat;
+    f_node;
+    f_base;
+    f_off;
+    f_comp_mask;
+    f_comp_lat;
+  }
 
 (* ---------- building ---------- *)
 
@@ -150,20 +244,16 @@ module Builder = struct
         edges.(cursor.(e.dst)) <- e;
         cursor.(e.dst) <- cursor.(e.dst) + 1)
       b.edge_buf;
-    { num_instrs; edges; first_in; floors = b.floors }
+    let compiled = compile ~edges ~floors:b.floors in
+    { num_instrs; edges; first_in; floors = b.floors; compiled }
 end
 
 (* ---------- evaluation ---------- *)
 
-(** [eval ?ideal ?override t] computes the arrival time of every node under
-    the given idealization (default: none), in one topological pass.  All
-    edges point forward in node order, so node order is a topological
-    order.  [override], when given, may replace an edge's latency
-    (returning [None] leaves the idealized latency in force); it enables
-    finer-grained what-if queries than category idealization, e.g. zeroing
-    a single instruction's execution latency (Tune et al.'s per-instruction
-    cost). *)
-let eval ?(ideal = Category.Set.empty) ?override (t : t) : int array =
+(* Generic (boxed) evaluation, only used when an [override] needs to
+   inspect full edge records. *)
+let eval_generic ~(ideal : Category.Set.t) ~(override : edge -> int option)
+    (t : t) : int array =
   let n = num_nodes t in
   let time = Array.make n 0 in
   let floor = Hashtbl.create 4 in
@@ -184,9 +274,7 @@ let eval ?(ideal = Category.Set.empty) ?override (t : t) : int array =
     for k = lo to hi - 1 do
       let e = t.edges.(k) in
       let lat =
-        match override with
-        | Some f -> (match f e with Some l -> Some l | None -> edge_latency ideal e)
-        | None -> edge_latency ideal e
+        match override e with Some l -> Some l | None -> edge_latency ideal e
       in
       match lat with
       | None -> ()
@@ -201,6 +289,59 @@ let eval ?(ideal = Category.Set.empty) ?override (t : t) : int array =
   done;
   time
 
+(** [eval_into ?ideal t time] fills [time] (length >= [num_nodes t]) with
+    the arrival time of every node under the idealization, in one
+    topological pass over the compiled arrays, allocating nothing.  The
+    inner loop is the hot path of every graph-backed cost query: a subset
+    sweep calls it once per category subset on one scratch buffer. *)
+let eval_into ?(ideal = Category.Set.empty) (t : t) (time : int array) : unit =
+  let n = num_nodes t in
+  if Array.length time < n then invalid_arg "Graph.eval_into: buffer too short";
+  let s : int = ideal in
+  let c = t.compiled in
+  let nf = Array.length c.f_node in
+  let fi = ref 0 in
+  for v = 0 to n - 1 do
+    let best = ref 0 in
+    let hi = t.first_in.(v + 1) in
+    for k = t.first_in.(v) to hi - 1 do
+      if c.e_removed.(k) land s = 0 then begin
+        let lat = ref c.e_base.(k) in
+        for j = c.e_comp_off.(k) to c.e_comp_off.(k + 1) - 1 do
+          if c.comp_mask.(j) land s = 0 then lat := !lat + c.comp_lat.(j)
+        done;
+        let cand = time.(c.e_src.(k)) + !lat in
+        if cand > !best then best := cand
+      end
+    done;
+    while !fi < nf && c.f_node.(!fi) = v do
+      let lat = ref c.f_base.(!fi) in
+      for j = c.f_off.(!fi) to c.f_off.(!fi + 1) - 1 do
+        if c.f_comp_mask.(j) land s = 0 then lat := !lat + c.f_comp_lat.(j)
+      done;
+      if !lat > !best then best := !lat;
+      incr fi
+    done;
+    time.(v) <- !best
+  done
+
+(** [eval ?ideal ?override t] computes the arrival time of every node under
+    the given idealization (default: none), in one topological pass.  All
+    edges point forward in node order, so node order is a topological
+    order.  [override], when given, may replace an edge's latency
+    (returning [None] leaves the idealized latency in force); it enables
+    finer-grained what-if queries than category idealization, e.g. zeroing
+    a single instruction's execution latency (Tune et al.'s per-instruction
+    cost).  Without an override the query runs on the compiled flat-array
+    representation. *)
+let eval ?(ideal = Category.Set.empty) ?override (t : t) : int array =
+  match override with
+  | Some override -> eval_generic ~ideal ~override t
+  | None ->
+    let time = Array.make (num_nodes t) 0 in
+    eval_into ~ideal t time;
+    time
+
 (** Critical-path length: arrival time of the last C node (plus one cycle to
     retire it), i.e. the modeled execution time. *)
 let critical_length ?ideal ?override (t : t) : int =
@@ -208,6 +349,24 @@ let critical_length ?ideal ?override (t : t) : int =
   else
     let time = eval ?ideal ?override t in
     time.(node ~seq:(t.num_instrs - 1) ~kind:C) + 1
+
+(** [eval_subsets t sets] computes {!critical_length} under every
+    idealization in [sets], sweeping the compiled graph with one scratch
+    buffer per pool job (zero per-query allocation) and fanning the sweep
+    out across the domain pool.  Results are index-aligned with [sets]. *)
+let eval_subsets (t : t) (sets : Category.Set.t array) : int array =
+  let m = Array.length sets in
+  let out = Array.make m 0 in
+  if t.num_instrs > 0 && m > 0 then begin
+    let sink = node ~seq:(t.num_instrs - 1) ~kind:C in
+    Icost_util.Pool.parallel_chunks m (fun ~lo ~hi ->
+        let buf = Array.make (num_nodes t) 0 in
+        for i = lo to hi - 1 do
+          eval_into ~ideal:sets.(i) t buf;
+          out.(i) <- buf.(sink) + 1
+        done)
+  end;
+  out
 
 (** Cost of a set of edges (Tune et al.): speedup from zeroing the latency
     of every edge matching [pred]. *)
@@ -252,14 +411,21 @@ let critical_path ?(ideal = Category.Set.empty) (t : t) : (int * edge_kind optio
   else begin
     let time = eval ~ideal t in
     let rec walk v acc =
-      let lo = t.first_in.(v) and hi = t.first_in.(v + 1) in
+      let hi = t.first_in.(v + 1) in
       let pred = ref None in
-      for k = lo to hi - 1 do
-        let e = t.edges.(k) in
-        match edge_latency ideal e with
-        | None -> ()
-        | Some lat ->
-          if time.(e.src) + lat = time.(v) && !pred = None then pred := Some e
+      let found = ref false in
+      let k = ref t.first_in.(v) in
+      (* stop at the first (earliest) incoming edge on the critical path *)
+      while (not !found) && !k < hi do
+        let e = t.edges.(!k) in
+        (match edge_latency ideal e with
+         | None -> ()
+         | Some lat ->
+           if time.(e.src) + lat = time.(v) then begin
+             pred := Some e;
+             found := true
+           end);
+        incr k
       done;
       match !pred with
       | Some e when time.(v) > 0 -> walk e.src ((v, Some e.kind) :: acc)

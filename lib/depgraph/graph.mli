@@ -47,6 +47,11 @@ type edge = {
           idealized *)
 }
 
+type compiled
+(** Flat-int-array form of the edge/floor latency data, precomputed at
+    {!Builder.finish} time and used by the allocation-free evaluation
+    path ({!eval_into}, {!eval_subsets}). *)
+
 type t = {
   num_instrs : int;
   edges : edge array;  (** sorted by [dst] *)
@@ -57,6 +62,7 @@ type t = {
       (** (node, base, components): minimum arrival times for nodes whose
           stall has no incoming edge to ride on (e.g. the first
           instruction's I-cache miss) *)
+  compiled : compiled;
 }
 
 val num_nodes : t -> int
@@ -104,9 +110,20 @@ val eval : ?ideal:Category.Set.t -> ?override:(edge -> int option) -> t -> int a
     ([None] keeps the idealized latency), enabling finer what-if queries
     than category idealization. *)
 
+val eval_into : ?ideal:Category.Set.t -> t -> int array -> unit
+(** Like {!eval}, but fills a caller-provided scratch buffer (length >=
+    {!num_nodes}) from the compiled representation, allocating nothing.
+    Use for repeated what-if queries over one graph.
+    @raise Invalid_argument if the buffer is too short. *)
+
 val critical_length : ?ideal:Category.Set.t -> ?override:(edge -> int option) -> t -> int
 (** Arrival of the last C node plus one retire cycle: the modeled
     execution time. *)
+
+val eval_subsets : t -> Category.Set.t array -> int array
+(** [eval_subsets t sets] is [Array.map (fun s -> critical_length ~ideal:s t) sets],
+    computed by sweeping the compiled graph with one reusable buffer per
+    {!Icost_util.Pool} job and fanning out across the pool. *)
 
 val cost_of_edges : ?ideal:Category.Set.t -> t -> (edge -> bool) -> int
 (** Speedup from zeroing every matching edge (Tune et al.). *)

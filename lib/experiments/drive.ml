@@ -125,16 +125,21 @@ let conclusion ?settings () : report =
   }
 
 let advisor prepared : report =
+  let analyses =
+    Icost_util.Pool.parallel_map_list
+      (fun (p : Runner.prepared) ->
+        let oracle = Runner.graph_oracle Config.default p in
+        (p.name, Icost_core.Advisor.analyze oracle))
+      prepared
+  in
   let buf = Buffer.create 2048 in
   let all_recs = ref [] in
   List.iter
-    (fun (p : Runner.prepared) ->
-      let oracle = Runner.graph_oracle Config.default p in
-      let r = Icost_core.Advisor.analyze oracle in
-      all_recs := r.recommendations @ !all_recs;
-      Buffer.add_string buf (Printf.sprintf "--- %s ---\n" p.name);
+    (fun (name, (r : Icost_core.Advisor.report)) ->
+      all_recs := r.Icost_core.Advisor.recommendations @ !all_recs;
+      Buffer.add_string buf (Printf.sprintf "--- %s ---\n" name);
       Buffer.add_string buf (Icost_core.Advisor.report_to_string r))
-    prepared;
+    analyses;
   let has k = List.exists k !all_recs in
   {
     id = "advisor";
@@ -166,27 +171,31 @@ let ablation prepared : report =
       ];
   }
 
-(** Everything, in paper order.  [heavy] selects the benchmark subsets the
-    slower experiments run on. *)
+(** Everything, in paper order.  Workload preparation is shared, then each
+    report is computed as an independent job on the {!Icost_util.Pool}
+    domain pool (each builds its own oracles over the immutable prepared
+    traces); the result list keeps paper order regardless of scheduling. *)
 let all_reports ?(settings = Runner.default_settings) () : report list =
   let prepared = Runner.prepare_all settings in
   let subset names =
     List.filter (fun (p : Runner.prepared) -> List.mem p.name names) prepared
   in
   let t7 = subset Exp_table7.default_benches in
-  [
-    fig1 prepared;
-    table4a prepared;
-    table4b prepared;
-    table4c prepared;
-    fig3 prepared;
-    table7 t7;
-    profstats t7;
-    ablation t7;
-    prefetch ~settings ();
-    conclusion ~settings ();
-    advisor prepared;
-  ]
+  Icost_util.Pool.parallel_map_list
+    (fun compute -> compute ())
+    [
+      (fun () -> fig1 prepared);
+      (fun () -> table4a prepared);
+      (fun () -> table4b prepared);
+      (fun () -> table4c prepared);
+      (fun () -> fig3 prepared);
+      (fun () -> table7 t7);
+      (fun () -> profstats t7);
+      (fun () -> ablation t7);
+      (fun () -> prefetch ~settings ());
+      (fun () -> conclusion ~settings ());
+      (fun () -> advisor prepared);
+    ]
 
 let print_report (r : report) =
   Printf.printf "==================================================================\n";

@@ -29,10 +29,11 @@ type result = {
   breakdowns : (string * Breakdown.t) list;  (** per benchmark *)
 }
 
+(* one independent oracle + breakdown per workload: fan out on the pool *)
 let compute ?(kind = Runner.Fullgraph) (v : variant)
     (prepared : Runner.prepared list) : result =
   let breakdowns =
-    List.map
+    Icost_util.Pool.parallel_map_list
       (fun p ->
         let oracle = Runner.oracle_of_kind kind v.cfg p in
         (p.Runner.name, Breakdown.focus ~oracle ~focus_cat:v.focus))

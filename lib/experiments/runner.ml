@@ -62,8 +62,13 @@ let prepare ?(structural = Config.default) (s : settings) (w : Workload.t) :
   let evts = Events.slice evts ~start:s.warmup ~len in
   { name = w.name; program; trace; evts }
 
+(* Preparation (interpret + annotate + slice) is independent per workload
+   and shares no mutable state, so it fans out across the domain pool;
+   results keep the order of [s.benches]. *)
 let prepare_all ?structural (s : settings) : prepared list =
-  List.map (fun n -> prepare ?structural s (Workload.find_exn n)) s.benches
+  Icost_util.Pool.parallel_map_list
+    (fun n -> prepare ?structural s (Workload.find_exn n))
+    s.benches
 
 (* --- oracles --- *)
 

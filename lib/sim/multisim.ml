@@ -32,3 +32,14 @@ let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
  fun s ->
   let cfg = { cfg with ideal = ideal_of_set s } in
   float_of_int (Ooo.cycles cfg trace evts)
+
+(** [oracle_batch cfg trace evts sets] measures every idealization in
+    [sets] — the fan-out axis of the methodology: each element is an
+    independent full re-simulation over the same immutable trace and event
+    stream, so the batch runs on the {!Icost_util.Pool} domain pool.
+    Results are index-aligned with [sets] and bit-identical to mapping
+    {!oracle} sequentially. *)
+let oracle_batch (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array)
+    (sets : Category.Set.t array) : float array =
+  let f = oracle cfg trace evts in
+  Icost_util.Pool.parallel_map f sets

@@ -14,3 +14,10 @@ val oracle : Config.t -> Trace.t -> Events.evt array -> Icost_core.Cost.oracle
 (** Events are classified once and reused across runs, so every
     measurement sees the same event stream — only latencies and resources
     change. *)
+
+val oracle_batch :
+  Config.t -> Trace.t -> Events.evt array -> Category.Set.t array -> float array
+(** Measure every idealization in the batch, fanning the independent
+    simulations out across the {!Icost_util.Pool} domain pool.  Results
+    are index-aligned with the input and bit-identical to mapping
+    {!oracle} sequentially. *)

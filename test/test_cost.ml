@@ -160,6 +160,24 @@ let test_higher_order () =
   (* 28 pairs + 56 triples *)
   Alcotest.(check int) "count" 84 (List.length hos)
 
+let test_icost_full_powerset_fast () =
+  (* the recursive definition used to be super-exponential in |U|; with the
+     per-call subset table the whole 8-category power set is a few thousand
+     additions and must agree with inclusion-exclusion everywhere *)
+  let oracle = Cost.memoize (random_oracle 4242) in
+  let t0 = Sys.time () in
+  List.iter
+    (fun u ->
+      let r = Cost.icost oracle u and ie = Cost.icost_ie oracle u in
+      if Float.abs (r -. ie) > 1e-6 then
+        Alcotest.failf "icost disagrees with icost_ie on %s: %g vs %g"
+          (Category.Set.name u) r ie)
+    (Category.Set.subsets Category.Set.full);
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "all 256 subsets in %.3fs (< 1s)" elapsed)
+    true (elapsed < 1.)
+
 let test_category_set_ops () =
   let s = Category.Set.of_list [ Category.Dl1; Category.Win ] in
   Alcotest.(check int) "cardinal" 2 (Category.Set.cardinal s);
@@ -201,6 +219,8 @@ let suite =
       Alcotest.test_case "breakdown rows" `Quick test_breakdown_rows;
       Alcotest.test_case "pairwise matrix" `Quick test_pairwise_matrix;
       Alcotest.test_case "higher-order interactions" `Quick test_higher_order;
+      Alcotest.test_case "icost over the full power set, fast" `Quick
+        test_icost_full_powerset_fast;
       Alcotest.test_case "category sets" `Quick test_category_set_ops;
       QCheck_alcotest.to_alcotest prop_of_int_roundtrip;
       Alcotest.test_case "category names" `Quick test_of_name;

@@ -5,6 +5,7 @@ let () =
     [
       Test_prng.suite;
       Test_stats.suite;
+      Test_pool.suite;
       Test_isa.suite;
       Test_asm.suite;
       Test_interp.suite;
@@ -21,4 +22,5 @@ let () =
       Test_prefetch.suite;
       Test_fuzz.suite;
       Test_integration.suite;
+      Test_parallel.suite;
     ]

@@ -1,0 +1,76 @@
+(* Determinism of the parallel analysis paths: fanning out across the
+   domain pool must produce bit-identical results to the sequential path —
+   costs are exact cycle counts, so equality is exact, not approximate. *)
+
+module Runner = Icost_experiments.Runner
+module Drive = Icost_experiments.Drive
+module Multisim = Icost_sim.Multisim
+module Build = Icost_depgraph.Build
+module Graph = Icost_depgraph.Graph
+module Category = Icost_core.Category
+module Config = Icost_uarch.Config
+module Pool = Icost_util.Pool
+
+(* reduced scale, two workloads, as the suite must stay fast *)
+let settings = { Runner.warmup = 30_000; measure = 4_000; benches = [ "gzip"; "mcf" ] }
+
+let with_jobs n f =
+  Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+let test_prepare_all_deterministic () =
+  let seq = with_jobs 1 (fun () -> Runner.prepare_all settings) in
+  let par = with_jobs 4 (fun () -> Runner.prepare_all settings) in
+  List.iter2
+    (fun (a : Runner.prepared) (b : Runner.prepared) ->
+      Alcotest.(check string) "workload order" a.name b.name;
+      Alcotest.(check int)
+        (a.name ^ " baseline cycles")
+        (Icost_sim.Ooo.cycles Config.default a.trace a.evts)
+        (Icost_sim.Ooo.cycles Config.default b.trace b.evts))
+    seq par
+
+let test_multisim_batch_bit_identical () =
+  let p = with_jobs 1 (fun () -> List.hd (Runner.prepare_all settings)) in
+  let cfg = Config.loop_dl1 in
+  let sets =
+    Array.of_list
+      (Category.Set.empty :: Category.Set.full
+      :: List.map Category.Set.singleton Category.all)
+  in
+  let seq =
+    let oracle = Multisim.oracle cfg p.trace p.evts in
+    Array.map oracle sets
+  in
+  let par = with_jobs 4 (fun () -> Multisim.oracle_batch cfg p.trace p.evts sets) in
+  Alcotest.(check bool) "parallel multisim batch = sequential" true (seq = par)
+
+let test_eval_subsets_bit_identical () =
+  let p = with_jobs 1 (fun () -> List.hd (Runner.prepare_all settings)) in
+  let cfg = Config.loop_dl1 in
+  let graph = Build.of_sim cfg p.trace p.evts (Runner.baseline_run cfg p) in
+  let sets = Array.of_list (Category.Set.subsets Category.Set.full) in
+  let seq = Array.map (fun s -> Graph.critical_length ~ideal:s graph) sets in
+  let par = with_jobs 4 (fun () -> Graph.eval_subsets graph sets) in
+  Alcotest.(check bool)
+    "parallel subset sweep = sequential critical lengths (all 256)" true
+    (seq = par)
+
+let test_drive_report_deterministic () =
+  let report jobs =
+    with_jobs jobs (fun () ->
+        let prepared = Runner.prepare_all settings in
+        Drive.table4a prepared)
+  in
+  let seq = report 1 and par = report 4 in
+  Alcotest.(check string) "table4a body identical" seq.Drive.body par.Drive.body;
+  Alcotest.(check bool) "table4a checks identical" true (seq.checks = par.checks)
+
+let suite =
+  ( "parallel-determinism",
+    [
+      Alcotest.test_case "prepare_all" `Quick test_prepare_all_deterministic;
+      Alcotest.test_case "multisim batch" `Quick test_multisim_batch_bit_identical;
+      Alcotest.test_case "graph subset sweep" `Quick test_eval_subsets_bit_identical;
+      Alcotest.test_case "drive report" `Quick test_drive_report_deterministic;
+    ] )

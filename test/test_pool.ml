@@ -1,0 +1,119 @@
+(* Tests for the domain pool: deterministic ordering, exception
+   propagation, nested-map safety, and the ICOST_JOBS=1 degenerate case. *)
+
+module Pool = Icost_util.Pool
+
+exception Boom of int
+
+(* Run [f] under [n] pool jobs, then restore the sequential default so the
+   rest of the suite is unaffected. *)
+let with_jobs n f =
+  Pool.set_jobs n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+let test_map_ordering () =
+  with_jobs 4 (fun () ->
+      let input = Array.init 1000 (fun i -> i) in
+      let expected = Array.map (fun i -> i * i) input in
+      let got = Pool.parallel_map (fun i -> i * i) input in
+      Alcotest.(check (array int)) "parallel_map = Array.map" expected got;
+      let goti = Pool.parallel_mapi (fun idx v -> idx + (v * 2)) input in
+      Alcotest.(check (array int))
+        "parallel_mapi = Array.mapi" (Array.mapi (fun idx v -> idx + (v * 2)) input)
+        goti)
+
+let test_map_list_ordering () =
+  with_jobs 3 (fun () ->
+      let input = List.init 257 (fun i -> i) in
+      Alcotest.(check (list string))
+        "parallel_map_list preserves order"
+        (List.map string_of_int input)
+        (Pool.parallel_map_list string_of_int input))
+
+let test_exception_propagation () =
+  with_jobs 4 (fun () ->
+      let input = Array.init 100 (fun i -> i) in
+      let raises () =
+        Pool.parallel_map (fun i -> if i mod 30 = 10 then raise (Boom i) else i) input
+      in
+      (* indexes 10, 40, 70 all raise: the smallest index wins, so a
+         parallel run fails exactly like the sequential one *)
+      Alcotest.check_raises "smallest-index exception" (Boom 10) (fun () ->
+          ignore (raises ())))
+
+let test_exception_sequential_matches () =
+  let input = Array.init 100 (fun i -> i) in
+  let f i = if i >= 97 then raise (Boom i) else i in
+  let outcome jobs =
+    with_jobs jobs (fun () ->
+        match Pool.parallel_map f input with
+        | _ -> None
+        | exception e -> Some e)
+  in
+  Alcotest.(check bool)
+    "parallel raises the same exception as sequential" true
+    (outcome 1 = outcome 4)
+
+let test_nested_map () =
+  with_jobs 4 (fun () ->
+      let outer = Array.init 8 (fun i -> i) in
+      let got =
+        Pool.parallel_map
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.parallel_map (fun j -> (i * 10) + j) (Array.init 8 Fun.id)))
+          outer
+      in
+      let expected =
+        Array.map
+          (fun i ->
+            Array.fold_left ( + ) 0 (Array.map (fun j -> (i * 10) + j) (Array.init 8 Fun.id)))
+          outer
+      in
+      Alcotest.(check (array int)) "nested parallel_map" expected got)
+
+let test_jobs_one_degenerates () =
+  with_jobs 1 (fun () ->
+      Alcotest.(check int) "jobs clamps to 1" 1 (Pool.jobs ());
+      let input = Array.init 64 (fun i -> i) in
+      Alcotest.(check (array int))
+        "sequential fallback" (Array.map succ input)
+        (Pool.parallel_map succ input));
+  Pool.set_jobs 0;
+  Alcotest.(check int) "set_jobs 0 clamps to 1" 1 (Pool.jobs ());
+  Pool.set_jobs 1
+
+let test_iter_visits_all () =
+  with_jobs 4 (fun () ->
+      let hits = Array.make 500 0 in
+      (* disjoint writes: each element owns its slot *)
+      Pool.parallel_iter (fun i -> hits.(i) <- hits.(i) + 1) (Array.init 500 Fun.id);
+      Alcotest.(check bool) "every element visited exactly once" true
+        (Array.for_all (fun h -> h = 1) hits))
+
+let test_chunks_partition () =
+  with_jobs 4 (fun () ->
+      let n = 1003 in
+      let hits = Array.make n 0 in
+      Pool.parallel_chunks n (fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check bool) "chunks cover [0,n) exactly once" true
+        (Array.for_all (fun h -> h = 1) hits));
+  (* empty range is a no-op *)
+  Pool.parallel_chunks 0 (fun ~lo:_ ~hi:_ -> Alcotest.fail "called on empty range")
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "map ordering" `Quick test_map_ordering;
+      Alcotest.test_case "list map ordering" `Quick test_map_list_ordering;
+      Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+      Alcotest.test_case "exception parity with sequential" `Quick
+        test_exception_sequential_matches;
+      Alcotest.test_case "nested maps" `Quick test_nested_map;
+      Alcotest.test_case "ICOST_JOBS=1 degeneracy" `Quick test_jobs_one_degenerates;
+      Alcotest.test_case "iter visits all" `Quick test_iter_visits_all;
+      Alcotest.test_case "chunk partition" `Quick test_chunks_partition;
+    ] )
