@@ -1,8 +1,22 @@
 #!/bin/sh
 # Engine performance gate: re-measure the micro-benchmarks and fail (exit 1)
 # if any engine regressed more than 25% against the committed baseline in
-# BENCH_engines.json.  Refresh the baseline after an intentional change with:
+# BENCH_engines.json.  On failure the harness prints a per-engine delta
+# table of the offending benchmarks before exiting nonzero.
+#
+# Timing is pinned to one domain by default (ICOST_JOBS=1) so the gate
+# measures engine speed, not scheduler luck on a shared runner; export
+# ICOST_JOBS yourself to override.  Set BENCH_JSON to also dump the fresh
+# measurements (e.g. for a CI artifact upload).
+#
+# Refresh the baseline after an intentional change with:
 #   dune exec bench/main.exe -- micro --json BENCH_engines.json
 set -e
 cd "$(dirname "$0")/.."
-exec dune exec bench/main.exe -- micro --baseline BENCH_engines.json
+ICOST_JOBS="${ICOST_JOBS:-1}"
+export ICOST_JOBS
+if [ -n "${BENCH_JSON:-}" ]; then
+  exec dune exec bench/main.exe -- micro --baseline BENCH_engines.json --json "$BENCH_JSON"
+else
+  exec dune exec bench/main.exe -- micro --baseline BENCH_engines.json
+fi

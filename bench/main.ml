@@ -226,16 +226,26 @@ let check_regressions ~baseline_file (rows : (string * float) list) =
   match !regressions with
   | [] -> Printf.printf "no engine regressed more than %.0f%%\n" (tolerance *. 100.)
   | rs ->
-    Printf.printf "%d engine benchmark(s) regressed more than %.0f%%\n"
+    (* the gate failed: repeat the offending engines as one compact delta
+       table so a CI log tail shows the full verdict, not just "exit 1" *)
+    Printf.printf "\n%d engine benchmark(s) regressed more than %.0f%%:\n"
       (List.length rs) (tolerance *. 100.);
+    Printf.printf "  %-36s %10s %10s %8s\n" "engine" "baseline" "current" "delta";
+    List.iter
+      (fun (name, base, ms) ->
+        Printf.printf "  %-36s %10.3f %10.3f %+7.1f%%\n" name base ms
+          ((ms -. base) /. base *. 100.))
+      (List.rev rs);
     exit 1
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* split flags ([--json FILE], [--baseline FILE]) from experiment ids *)
+  (* split flags ([--json FILE], [--baseline FILE], [--trace FILE],
+     [--metrics FILE]) from experiment ids *)
   let json_file = ref None and baseline_file = ref None in
+  let trace_file = ref None and metrics_file = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--json" :: f :: rest ->
@@ -244,11 +254,34 @@ let () =
     | "--baseline" :: f :: rest ->
       baseline_file := Some f;
       parse acc rest
-    | ("--json" | "--baseline") :: [] ->
-      failwith "--json/--baseline need a file argument"
+    | "--trace" :: f :: rest ->
+      trace_file := Some f;
+      parse acc rest
+    | "--metrics" :: f :: rest ->
+      metrics_file := Some f;
+      parse acc rest
+    | ("--json" | "--baseline" | "--trace" | "--metrics") :: [] ->
+      failwith "--json/--baseline/--trace/--metrics need a file argument"
     | id :: rest -> parse (id :: acc) rest
   in
   let ids = parse [] args in
+  if !trace_file <> None || !metrics_file <> None then
+    Icost_util.Telemetry.enable ();
+  at_exit (fun () ->
+      if !trace_file <> None || !metrics_file <> None then begin
+        let m =
+          Icost_report.Telemetry_export.manifest
+            ~config_digest:(Icost_report.Telemetry_export.digest Config.default)
+            ~seed:Icost_profiler.Sampler.default_opts.seed
+            ~workloads:Workload.names ()
+        in
+        Option.iter
+          (fun file -> Icost_report.Telemetry_export.write_trace ~file m)
+          !trace_file;
+        Option.iter
+          (fun file -> Icost_report.Telemetry_export.write_metrics ~file m)
+          !metrics_file
+      end);
   (* fail on a bad baseline path up front, not after minutes of timing *)
   Option.iter
     (fun f ->

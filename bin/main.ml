@@ -6,7 +6,11 @@
      icost        costs/icosts of chosen category sets
      graph        dump a dependence graph (text or DOT)
      experiment   regenerate a paper table/figure (or "all")
-*)
+
+   Every subcommand accepts --trace FILE (Chrome trace-event JSON),
+   --metrics FILE (flat counters/gauges JSON) and --span-tree (human
+   span summary); any of them switches the telemetry sink on for the
+   run, and both JSON artifacts embed the run manifest. *)
 
 module Workload = Icost_workloads.Workload
 module Config = Icost_uarch.Config
@@ -16,7 +20,65 @@ module Breakdown = Icost_core.Breakdown
 module Runner = Icost_experiments.Runner
 module Drive = Icost_experiments.Drive
 module Graph = Icost_depgraph.Graph
+module Telemetry = Icost_util.Telemetry
+module Texport = Icost_report.Telemetry_export
 open Cmdliner
+
+let version = "1.0.0"
+
+(* --- telemetry options (shared by every subcommand) --- *)
+
+type telem = { trace : string option; metrics : string option; tree : bool }
+
+let telem_term =
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace-event JSON of the run to $(docv) (open in \
+       chrome://tracing or Perfetto).  Enables the telemetry sink."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Write flat metrics JSON (counters, gauges, run manifest) to $(docv).  \
+       Enables the telemetry sink."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let tree_arg =
+    let doc = "Print the aggregated span tree after the command." in
+    Arg.(value & flag & info [ "span-tree" ] ~doc)
+  in
+  Term.(
+    const (fun trace metrics tree -> { trace; metrics; tree })
+    $ trace_arg $ metrics_arg $ tree_arg)
+
+(** Run [f] with the telemetry sink enabled when any telemetry output was
+    requested; write the requested artifacts afterwards (also on
+    exceptions, so a failing run still leaves its trace behind). *)
+let with_telemetry (t : telem) ~cfg ~benches (f : unit -> 'a) : 'a =
+  let active = t.trace <> None || t.metrics <> None || t.tree in
+  if active then Telemetry.enable ();
+  let finish () =
+    if active then begin
+      let m =
+        Texport.manifest ~version ~config_digest:(Texport.digest cfg)
+          ~seed:Icost_profiler.Sampler.default_opts.seed ~workloads:benches ()
+      in
+      Option.iter
+        (fun file ->
+          Texport.write_trace ~file m;
+          Printf.eprintf "wrote trace %s\n" file)
+        t.trace;
+      Option.iter
+        (fun file ->
+          Texport.write_metrics ~file m;
+          Printf.eprintf "wrote metrics %s\n" file)
+        t.metrics;
+      if t.tree then prerr_string (Texport.span_tree ())
+    end
+  in
+  Fun.protect ~finally:finish f
 
 (* --- common options --- *)
 
@@ -66,12 +128,14 @@ let settings ~warmup ~measure ~benches =
 (* --- list --- *)
 
 let list_cmd =
-  let run () =
-    List.iter
-      (fun (w : Workload.t) -> Printf.printf "%-8s  %s\n" w.name w.description)
-      Workload.all
+  let run telem =
+    with_telemetry telem ~cfg:Config.default ~benches:[] (fun () ->
+        List.iter
+          (fun (w : Workload.t) ->
+            Printf.printf "%-8s  %s\n" w.name w.description)
+          Workload.all)
   in
-  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const run $ telem_term)
 
 (* --- breakdown --- *)
 
@@ -80,8 +144,9 @@ let breakdown_cmd =
     let doc = "Focus category for the interaction rows." in
     Arg.(value & opt string "dl1" & info [ "focus" ] ~doc)
   in
-  let run bench variant oracle focus warmup measure =
+  let run bench variant oracle focus warmup measure telem =
     let cfg = config_of_variant variant in
+    with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let focus_cat =
       match Category.of_name focus with
       | Some c -> c
@@ -103,7 +168,8 @@ let breakdown_cmd =
   in
   Cmd.v
     (Cmd.info "breakdown" ~doc:"Parallelism-aware breakdown for one workload")
-    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ focus_arg $ warmup_arg $ measure_arg)
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ focus_arg $ warmup_arg
+          $ measure_arg $ telem_term)
 
 (* --- icost --- *)
 
@@ -113,8 +179,9 @@ let icost_cmd =
                interaction cost of each set are reported." in
     Arg.(value & opt_all string [ "dl1,win" ] & info [ "s"; "set" ] ~docv:"CATS" ~doc)
   in
-  let run bench variant oracle sets warmup measure =
+  let run bench variant oracle sets warmup measure telem =
     let cfg = config_of_variant variant in
+    with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let s = settings ~warmup ~measure ~benches:(Some bench) in
     let p = Runner.prepare s (Workload.find_exn bench) in
     let o = Cost.memoize (Runner.oracle_of_kind oracle cfg p) in
@@ -141,7 +208,8 @@ let icost_cmd =
   in
   Cmd.v
     (Cmd.info "icost" ~doc:"Costs and interaction costs of category sets")
-    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ sets_arg $ warmup_arg $ measure_arg)
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ sets_arg $ warmup_arg
+          $ measure_arg $ telem_term)
 
 (* --- graph --- *)
 
@@ -154,8 +222,9 @@ let graph_cmd =
     let doc = "Number of instructions to include." in
     Arg.(value & opt int 24 & info [ "instrs" ] ~doc)
   in
-  let run bench variant dot instrs warmup =
+  let run bench variant dot instrs warmup telem =
     let cfg = config_of_variant variant in
+    with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let s = settings ~warmup ~measure:instrs ~benches:(Some bench) in
     let p = Runner.prepare s (Workload.find_exn bench) in
     let g = Runner.graph_of cfg p in
@@ -172,13 +241,15 @@ let graph_cmd =
   in
   Cmd.v
     (Cmd.info "graph" ~doc:"Dump a dependence-graph instance")
-    Term.(const run $ bench_arg $ variant_arg $ dot_arg $ instrs_arg $ warmup_arg)
+    Term.(const run $ bench_arg $ variant_arg $ dot_arg $ instrs_arg $ warmup_arg
+          $ telem_term)
 
 (* --- advise --- *)
 
 let advise_cmd =
-  let run bench variant oracle warmup measure =
+  let run bench variant oracle warmup measure telem =
     let cfg = config_of_variant variant in
+    with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let s = settings ~warmup ~measure ~benches:(Some bench) in
     let p = Runner.prepare s (Workload.find_exn bench) in
     let o = Runner.oracle_of_kind oracle cfg p in
@@ -188,7 +259,8 @@ let advise_cmd =
   Cmd.v
     (Cmd.info "advise"
        ~doc:"Bottleneck / de-optimization recommendations for one workload")
-    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ warmup_arg $ measure_arg)
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ warmup_arg $ measure_arg
+          $ telem_term)
 
 (* --- experiment --- *)
 
@@ -198,9 +270,12 @@ let experiment_cmd =
                profstats, ablation, prefetch, advisor, or all." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let run id benches warmup measure =
+  let run id benches warmup measure telem =
     let s = settings ~warmup ~measure ~benches in
-    let reports =
+    let failed =
+      with_telemetry telem ~cfg:Config.default ~benches:s.Runner.benches
+      @@ fun () ->
+      let reports =
       match id with
       | "all" -> Drive.all_reports ~settings:s ()
       | id ->
@@ -227,16 +302,25 @@ let experiment_cmd =
          | "conclusion" -> [ Drive.conclusion ~settings:s () ]
          | "advisor" -> [ Drive.advisor prepared ]
          | other -> failwith (Printf.sprintf "unknown experiment %S" other))
+      in
+      List.iter Drive.print_report reports;
+      Drive.failed_checks reports
     in
-    List.iter Drive.print_report reports
+    (* a failing shape check is a failing run: give CI an exit status to
+       gate on instead of PASS/FAIL prose buried in the report body *)
+    if failed <> [] then begin
+      Printf.eprintf "%d shape check(s) failed:\n" (List.length failed);
+      List.iter (fun (id, d) -> Printf.eprintf "  [%s] %s\n" id d) failed;
+      exit 1
+    end
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ id_arg $ benches_arg $ warmup_arg $ measure_arg)
+    Term.(const run $ id_arg $ benches_arg $ warmup_arg $ measure_arg $ telem_term)
 
 let () =
   let info =
-    Cmd.info "icost" ~version:"1.0.0"
+    Cmd.info "icost" ~version
       ~doc:"Interaction-cost bottleneck analysis (Fields et al., MICRO-36 2003)"
   in
   exit (Cmd.eval (Cmd.group info

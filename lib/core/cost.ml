@@ -43,6 +43,9 @@ type oracle = Category.Set.t -> float
     the same fresh subset may both measure it, but the oracle is a pure
     function of the subset, so both store the same value and the cache
     stays deterministic. *)
+let c_hits = Icost_util.Telemetry.counter "oracle.cache_hits"
+let c_misses = Icost_util.Telemetry.counter "oracle.cache_misses"
+
 let memoize (f : oracle) : oracle =
   let tbl : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let lock = Mutex.create () in
@@ -51,9 +54,11 @@ let memoize (f : oracle) : oracle =
     match Hashtbl.find_opt tbl s with
     | Some v ->
       Mutex.unlock lock;
+      Icost_util.Telemetry.incr c_hits;
       v
     | None ->
       Mutex.unlock lock;
+      Icost_util.Telemetry.incr c_misses;
       let v = f s in
       Mutex.lock lock;
       Hashtbl.replace tbl s v;

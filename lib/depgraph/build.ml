@@ -211,13 +211,14 @@ let info_of_sim (cfg : Config.t) (d : Trace.dyn) (e : Events.evt)
     label the RE edges. *)
 let of_sim (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array)
     (result : Ooo.result) : Graph.t =
-  let p = params_of_config cfg in
-  let n = Trace.length trace in
-  let infos =
-    Array.init n (fun i ->
-        info_of_sim cfg (Trace.get trace i) evts.(i) result.slots.(i))
-  in
-  of_infos p infos
+  Icost_util.Telemetry.with_span "graph.build" (fun () ->
+      let p = params_of_config cfg in
+      let n = Trace.length trace in
+      let infos =
+        Array.init n (fun i ->
+            info_of_sim cfg (Trace.get trace i) evts.(i) result.slots.(i))
+      in
+      of_infos p infos)
 
 (** A {!Icost_core.Cost.oracle} backed by graph re-evaluation: execution
     time under idealization [s] is the critical-path length with [s]'s

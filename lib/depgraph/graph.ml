@@ -32,6 +32,7 @@
     the "alter a bottleneck's edges" methodology of Section 3. *)
 
 module Category = Icost_core.Category
+module Telemetry = Icost_util.Telemetry
 
 type node_kind = D | R | E | P | C
 
@@ -224,8 +225,14 @@ module Builder = struct
 
   let note_instr b = b.n_instrs <- b.n_instrs + 1
 
+  let c_graphs = Telemetry.counter "graph.finished"
+  let c_nodes = Telemetry.counter "graph.nodes"
+  let c_edges = Telemetry.counter "graph.edges"
+  let c_components = Telemetry.counter "graph.edge_components"
+
   (** Finalize into CSR form (counting sort of edges by destination). *)
   let finish b : t =
+    let sp = Telemetry.start_span "graph.compile" in
     let num_instrs = b.n_instrs in
     let n_nodes = 5 * num_instrs in
     let counts = Array.make (n_nodes + 1) 0 in
@@ -245,6 +252,18 @@ module Builder = struct
         cursor.(e.dst) <- cursor.(e.dst) + 1)
       b.edge_buf;
     let compiled = compile ~edges ~floors:b.floors in
+    Telemetry.incr c_graphs;
+    Telemetry.add c_nodes n_nodes;
+    Telemetry.add c_edges b.n_edges;
+    Telemetry.add c_components (Array.length compiled.comp_mask);
+    if Telemetry.enabled () then
+      Telemetry.end_span sp
+        ~attrs:
+          [
+            ("instrs", string_of_int num_instrs);
+            ("edges", string_of_int b.n_edges);
+          ]
+    else Telemetry.end_span sp;
     { num_instrs; edges; first_in; floors = b.floors; compiled }
 end
 
@@ -294,9 +313,13 @@ let eval_generic ~(ideal : Category.Set.t) ~(override : edge -> int option)
     topological pass over the compiled arrays, allocating nothing.  The
     inner loop is the hot path of every graph-backed cost query: a subset
     sweep calls it once per category subset on one scratch buffer. *)
+let c_evals = Telemetry.counter "graph.evals"
+
 let eval_into ?(ideal = Category.Set.empty) (t : t) (time : int array) : unit =
   let n = num_nodes t in
   if Array.length time < n then invalid_arg "Graph.eval_into: buffer too short";
+  (* single branch + atomic add; keeps this path allocation-free *)
+  Telemetry.incr c_evals;
   let s : int = ideal in
   let c = t.compiled in
   let nf = Array.length c.f_node in
@@ -358,13 +381,17 @@ let eval_subsets (t : t) (sets : Category.Set.t array) : int array =
   let m = Array.length sets in
   let out = Array.make m 0 in
   if t.num_instrs > 0 && m > 0 then begin
+    let sp = Telemetry.start_span "graph.eval_subsets" in
     let sink = node ~seq:(t.num_instrs - 1) ~kind:C in
     Icost_util.Pool.parallel_chunks m (fun ~lo ~hi ->
         let buf = Array.make (num_nodes t) 0 in
         for i = lo to hi - 1 do
           eval_into ~ideal:sets.(i) t buf;
           out.(i) <- buf.(sink) + 1
-        done)
+        done);
+    if Telemetry.enabled () then
+      Telemetry.end_span sp ~attrs:[ ("sets", string_of_int m) ]
+    else Telemetry.end_span sp
   end;
   out
 

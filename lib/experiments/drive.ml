@@ -5,8 +5,14 @@
     applicable. *)
 
 module Config = Icost_uarch.Config
+module Telemetry = Icost_util.Telemetry
 
 type report = { id : string; title : string; body : string; checks : (string * bool) list }
+
+(* One telemetry span per paper artifact, so a trace shows where the
+   wall-clock of a `Drive` run goes report by report. *)
+let traced id (f : unit -> report) : report =
+  Telemetry.with_span ("report:" ^ id) f
 
 let check_lines checks =
   String.concat ""
@@ -15,15 +21,17 @@ let check_lines checks =
        checks)
 
 let table4 (v : Exp_table4.variant) ~id prepared : report =
-  let r = Exp_table4.compute v prepared in
-  let checks = Exp_table4.shape_checks r in
-  { id; title = v.label; body = Exp_table4.render r; checks }
+  traced id (fun () ->
+      let r = Exp_table4.compute v prepared in
+      let checks = Exp_table4.shape_checks r in
+      { id; title = v.label; body = Exp_table4.render r; checks })
 
 let table4a prepared = table4 Exp_table4.table4a ~id:"table4a" prepared
 let table4b prepared = table4 Exp_table4.table4b ~id:"table4b" prepared
 let table4c prepared = table4 Exp_table4.table4c ~id:"table4c" prepared
 
 let fig1 prepared : report =
+  traced "fig1" @@ fun () ->
   let p =
     match prepared with
     | [] -> invalid_arg "fig1: no workloads"
@@ -49,6 +57,7 @@ let fig1 prepared : report =
   }
 
 let fig3 ?(w0 = 64) ?(w1 = 128) prepared : report =
+  traced "fig3" @@ fun () ->
   let r = Exp_fig3.compute prepared in
   let ag = Exp_fig3.agreement r ~w0 ~w1 ~lat_lo:1 ~lat_hi:4 in
   let all_agree = List.for_all (fun (_, _, _, _, a) -> a) ag in
@@ -69,6 +78,7 @@ let fig3 ?(w0 = 64) ?(w1 = 128) prepared : report =
   }
 
 let table7 ?profiler_opts prepared : report =
+  traced "table7" @@ fun () ->
   let r = Exp_table7.compute ?profiler_opts prepared in
   let overall l = Icost_util.Stats.mean (List.map snd l) in
   let eg = overall r.err_vs_graph and em = overall r.err_vs_multisim in
@@ -84,6 +94,7 @@ let table7 ?profiler_opts prepared : report =
   }
 
 let profstats prepared : report =
+  traced "profstats" @@ fun () ->
   let rows = Exp_profiler_stats.compute prepared in
   let total_built =
     List.fold_left (fun a (r : Exp_profiler_stats.bench_stats) -> a + r.stats.fragments_built) 0 rows
@@ -105,6 +116,7 @@ let profstats prepared : report =
   }
 
 let prefetch ?settings () : report =
+  traced "prefetch" @@ fun () ->
   let rows = Exp_prefetch.compute ?settings () in
   {
     id = "prefetch";
@@ -114,6 +126,7 @@ let prefetch ?settings () : report =
   }
 
 let conclusion ?settings () : report =
+  traced "conclusion" @@ fun () ->
   let rows = Exp_prefetch.conclusion_compute ?settings () in
   {
     id = "conclusion";
@@ -125,6 +138,7 @@ let conclusion ?settings () : report =
   }
 
 let advisor prepared : report =
+  traced "advisor" @@ fun () ->
   let analyses =
     Icost_util.Pool.parallel_map_list
       (fun (p : Runner.prepared) ->
@@ -157,6 +171,7 @@ let advisor prepared : report =
   }
 
 let ablation prepared : report =
+  traced "ablation" @@ fun () ->
   let rows = Exp_profiler_stats.ablation prepared in
   let default_err = List.assoc "default (sig=1000 ctx=10 det=1/13)" rows in
   let sparse_err = List.assoc "sparse detailed (det=1/53)" rows in
@@ -176,6 +191,7 @@ let ablation prepared : report =
     domain pool (each builds its own oracles over the immutable prepared
     traces); the result list keeps paper order regardless of scheduling. *)
 let all_reports ?(settings = Runner.default_settings) () : report list =
+  Telemetry.with_span "drive.all_reports" @@ fun () ->
   let prepared = Runner.prepare_all settings in
   let subset names =
     List.filter (fun (p : Runner.prepared) -> List.mem p.name names) prepared
@@ -196,6 +212,16 @@ let all_reports ?(settings = Runner.default_settings) () : report list =
       (fun () -> conclusion ~settings ());
       (fun () -> advisor prepared);
     ]
+
+(** Checks that did not pass, as [(report id, description)] — the
+    machine-readable side of {!check_lines}, so drivers can gate their
+    exit status on experiment shape instead of flattening PASS/FAIL into
+    prose. *)
+let failed_checks (reports : report list) : (string * string) list =
+  List.concat_map
+    (fun r ->
+      List.filter_map (fun (d, ok) -> if ok then None else Some (r.id, d)) r.checks)
+    reports
 
 let print_report (r : report) =
   Printf.printf "==================================================================\n";

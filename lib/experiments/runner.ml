@@ -44,8 +44,11 @@ type prepared = {
 (** Interpret and annotate one workload.  Annotation uses the *structural*
     configuration (caches, TLBs, predictor), which is identical across all
     experiment variants. *)
+let c_prepared = Icost_util.Telemetry.counter "runner.workloads_prepared"
+
 let prepare ?(structural = Config.default) (s : settings) (w : Workload.t) :
     prepared =
+  let sp = Icost_util.Telemetry.start_span "runner.prepare" in
   let program = w.build () in
   let trace =
     Interp.run
@@ -60,15 +63,21 @@ let prepare ?(structural = Config.default) (s : settings) (w : Workload.t) :
          (Trace.length trace));
   let trace = Trace.slice trace ~start:s.warmup ~len in
   let evts = Events.slice evts ~start:s.warmup ~len in
+  Icost_util.Telemetry.incr c_prepared;
+  if Icost_util.Telemetry.enabled () then
+    Icost_util.Telemetry.end_span sp
+      ~attrs:[ ("bench", w.name); ("instrs", string_of_int len) ]
+  else Icost_util.Telemetry.end_span sp;
   { name = w.name; program; trace; evts }
 
 (* Preparation (interpret + annotate + slice) is independent per workload
    and shares no mutable state, so it fans out across the domain pool;
    results keep the order of [s.benches]. *)
 let prepare_all ?structural (s : settings) : prepared list =
-  Icost_util.Pool.parallel_map_list
-    (fun n -> prepare ?structural s (Workload.find_exn n))
-    s.benches
+  Icost_util.Telemetry.with_span "runner.prepare_all" (fun () ->
+      Icost_util.Pool.parallel_map_list
+        (fun n -> prepare ?structural s (Workload.find_exn n))
+        s.benches)
 
 (* --- oracles --- *)
 

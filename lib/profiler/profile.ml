@@ -34,11 +34,19 @@ type t = {
   stats : stats;
 }
 
+module Telemetry = Icost_util.Telemetry
+
+let c_built = Telemetry.counter "profiler.fragments_built"
+let c_aborted = Telemetry.counter "profiler.fragments_aborted"
+let c_matched = Telemetry.counter "profiler.samples_matched"
+let c_defaulted = Telemetry.counter "profiler.samples_defaulted"
+
 (** Profile an execution: collect samples and reconstruct fragments.
     [opts] controls the sampling rates. *)
 let profile ?(opts = Sampler.default_opts) (cfg : Config.t)
     (program : Program.t) (trace : Trace.t) (evts : Events.evt array)
     (result : Ooo.result) : t =
+  let sp = Telemetry.start_span "profiler.profile" in
   let db = Sampler.collect ~opts cfg trace evts result in
   let params = Build.params_of_config cfg in
   let built = ref [] in
@@ -60,6 +68,18 @@ let profile ?(opts = Sampler.default_opts) (cfg : Config.t)
           (1 + Option.value ~default:0 (Hashtbl.find_opt aborted reason)))
     db.signatures;
   let graphs = Array.of_list (List.rev !built) in
+  Telemetry.add c_built (Array.length graphs);
+  Telemetry.add c_aborted !n_aborted;
+  Telemetry.add c_matched !matched;
+  Telemetry.add c_defaulted (!total - !matched);
+  if Telemetry.enabled () then
+    Telemetry.end_span sp
+      ~attrs:
+        [
+          ("fragments", string_of_int (Array.length graphs));
+          ("aborted", string_of_int !n_aborted);
+        ]
+  else Telemetry.end_span sp;
   {
     graphs;
     stats =

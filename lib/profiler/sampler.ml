@@ -92,9 +92,13 @@ let detailed_of (cfg : Icost_uarch.Config.t) (trace : Trace.t)
     taken = d.taken;
   }
 
+let c_signature = Icost_util.Telemetry.counter "profiler.signature_samples"
+let c_detailed = Icost_util.Telemetry.counter "profiler.detailed_samples"
+
 (** Run the monitors over an execution and collect both sample streams. *)
 let collect ?(opts = default_opts) (cfg : Icost_uarch.Config.t)
     (trace : Trace.t) (evts : Events.evt array) (result : Ooo.result) : db =
+  let sp = Icost_util.Telemetry.start_span "profiler.collect" in
   let n = Trace.length trace in
   let bits = all_bits trace evts in
   let prng = Prng.create opts.seed in
@@ -123,6 +127,12 @@ let collect ?(opts = default_opts) (cfg : Icost_uarch.Config.t)
     incr num;
     j := !j + max 1 opts.det_period
   done;
-  { signatures = Array.of_list (List.rev !signatures); detailed; num_detailed = !num }
+  let db =
+    { signatures = Array.of_list (List.rev !signatures); detailed; num_detailed = !num }
+  in
+  Icost_util.Telemetry.add c_signature (Array.length db.signatures);
+  Icost_util.Telemetry.add c_detailed db.num_detailed;
+  Icost_util.Telemetry.end_span sp;
+  db
 
 let lookup db pc = Option.value ~default:[] (Hashtbl.find_opt db.detailed pc)

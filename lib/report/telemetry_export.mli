@@ -1,0 +1,65 @@
+(** Exporters for the {!Icost_util.Telemetry} sink.
+
+    Three renderings of one measured run:
+
+    - {b Chrome trace-event JSON} ({!trace_json}/{!write_trace}): the
+      completed spans as ["X"] (complete) events — open in
+      [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  [ts]
+      and [dur] are microseconds; [ts] is relative to the earliest span;
+      [tid] is the OCaml domain id, so domain-pool utilization is the
+      per-row occupancy of the timeline.
+    - {b flat metrics JSON} ({!metrics_json}/{!write_metrics}): every
+      counter and gauge plus span totals, for CI artifact diffing.
+    - {b a human span tree} ({!span_tree}): spans aggregated by call
+      path with counts and total durations.
+
+    Every JSON artifact embeds a {!manifest} — config digest, workload
+    list, sampling seed, job count, git revision — so artifacts from
+    different machines and CI runs are comparable (same manifest modulo
+    [git] ⇒ same measured configuration). *)
+
+type manifest = {
+  tool : string;
+  version : string;
+  git : string;  (** [git describe --always --dirty], or ["unknown"] *)
+  ocaml : string;  (** [Sys.ocaml_version] *)
+  config_digest : string;  (** {!digest} of the machine configuration *)
+  workloads : string list;
+  seed : int;  (** profiler sampling seed *)
+  jobs : int;  (** {!Icost_util.Pool.jobs} at export time *)
+  icost_jobs_env : string option;  (** raw [ICOST_JOBS], if set *)
+}
+
+val digest : 'a -> string
+(** MD5 hex digest of the marshalled value; deterministic for a given
+    configuration value and compiler version.  Use on
+    [Icost_uarch.Config.t] (an immutable record) to stamp the machine
+    configuration into the manifest. *)
+
+val manifest :
+  ?version:string ->
+  ?config_digest:string ->
+  ?seed:int ->
+  workloads:string list ->
+  unit ->
+  manifest
+(** Assemble a manifest for the current process ([git], [ocaml], [jobs]
+    and [icost_jobs_env] are captured here). *)
+
+val manifest_json : manifest -> string
+(** The manifest alone as a JSON object (embedded verbatim in both
+    artifact kinds). *)
+
+val trace_json : manifest -> string
+(** Chrome trace-event JSON of all completed spans recorded so far. *)
+
+val metrics_json : manifest -> string
+(** Flat metrics JSON: manifest + all counters and gauges + span totals. *)
+
+val write_trace : file:string -> manifest -> unit
+val write_metrics : file:string -> manifest -> unit
+
+val span_tree : unit -> string
+(** Aggregated span tree: one line per distinct call path with call count
+    and summed duration, children indented under parents and sorted by
+    total time.  Empty string when no spans were recorded. *)

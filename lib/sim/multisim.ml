@@ -23,15 +23,28 @@ let ideal_of_set (s : Category.Set.t) : Config.ideal =
     big_window = Category.Set.mem Category.Win s;
   }
 
+module Telemetry = Icost_util.Telemetry
+
+let c_queries = Telemetry.counter "multisim.queries"
+
 (** [oracle cfg trace evts] returns a cost oracle that re-times the trace
     with the requested idealizations.  Events were classified once (on the
     un-idealized machine) and are reused across runs, so every measurement
-    sees the same event stream — only latencies and resources change. *)
+    sees the same event stream — only latencies and resources change.
+    Each query is one [multisim.eval] telemetry span carrying the
+    idealized set's name (the per-idealization wall-clock axis of a
+    trace). *)
 let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
     Icost_core.Cost.oracle =
  fun s ->
+  let sp = Telemetry.start_span "multisim.eval" in
+  Telemetry.incr c_queries;
   let cfg = { cfg with ideal = ideal_of_set s } in
-  float_of_int (Ooo.cycles cfg trace evts)
+  let cycles = float_of_int (Ooo.cycles cfg trace evts) in
+  if Telemetry.enabled () then
+    Telemetry.end_span sp ~attrs:[ ("set", Category.Set.name s) ]
+  else Telemetry.end_span sp;
+  cycles
 
 (** [oracle_batch cfg trace evts sets] measures every idealization in
     [sets] — the fan-out axis of the methodology: each element is an
@@ -42,4 +55,6 @@ let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
 let oracle_batch (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array)
     (sets : Category.Set.t array) : float array =
   let f = oracle cfg trace evts in
-  Icost_util.Pool.parallel_map f sets
+  Telemetry.with_span "multisim.batch"
+    ~attrs:[ ("sets", string_of_int (Array.length sets)) ]
+    (fun () -> Icost_util.Pool.parallel_map f sets)

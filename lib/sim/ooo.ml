@@ -32,6 +32,7 @@ module Isa = Icost_isa.Isa
 module Trace = Icost_isa.Trace
 module Config = Icost_uarch.Config
 module Events = Icost_uarch.Events
+module Telemetry = Icost_util.Telemetry
 
 (** Per-instruction stage times (cycles, starting at 0). *)
 type slot = {
@@ -139,10 +140,10 @@ let mispredicts (cfg : Config.t) (e : Events.evt) =
    most this many instructions ahead of dispatch. *)
 let fetch_queue_size = 32
 
-(** [run cfg trace evts] times the execution of [trace] on the machine
-    [cfg].  [evts] must come from {!Icost_uarch.Events.annotate} on a
-    configuration with the same structural parameters. *)
-let run (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) : result =
+let c_runs = Telemetry.counter "sim.runs"
+let c_instrs = Telemetry.counter "sim.instructions"
+
+let simulate (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) : result =
   let n = Trace.length trace in
   if n = 0 then { cycles = 0; slots = [||]; config = cfg }
   else begin
@@ -284,6 +285,27 @@ let run (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) : result =
           store_wait = !store_wait }
     done;
     { cycles = slots.(n - 1).commit + 1; slots; config = cfg }
+  end
+
+(** [run cfg trace evts] times the execution of [trace] on the machine
+    [cfg].  [evts] must come from {!Icost_uarch.Events.annotate} on a
+    configuration with the same structural parameters.  Each run is one
+    telemetry span ([sim.run]) and bumps the instructions-simulated
+    counter; both are single-branch no-ops when the sink is disabled. *)
+let run (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) : result =
+  if not (Telemetry.enabled ()) then simulate cfg trace evts
+  else begin
+    let sp = Telemetry.start_span "sim.run" in
+    let r = simulate cfg trace evts in
+    Telemetry.incr c_runs;
+    Telemetry.add c_instrs (Array.length r.slots);
+    Telemetry.end_span sp
+      ~attrs:
+        [
+          ("instrs", string_of_int (Array.length r.slots));
+          ("cycles", string_of_int r.cycles);
+        ];
+    r
   end
 
 (** Convenience: total cycles only. *)

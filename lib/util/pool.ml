@@ -14,6 +14,14 @@
    deadlock the pool when every worker does the same. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Slot index of the current domain in the pool: 0 is the submitting
+   domain, workers are 1..jobs-1.  Only used to attribute telemetry. *)
+let slot_ix : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let c_batches = Telemetry.counter "pool.batches"
+let c_tasks = Telemetry.counter "pool.tasks"
+let c_queue_wait = Telemetry.counter "pool.queue_wait_us"
+
 let default_jobs () =
   let recommended = max 1 (Domain.recommended_domain_count () - 1) in
   match Sys.getenv_opt "ICOST_JOBS" with
@@ -39,12 +47,15 @@ type pool = {
   queue : (unit -> unit) Queue.t;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  slot_tasks : Telemetry.counter array;  (** tasks pulled, per domain slot *)
+  slot_busy : Telemetry.counter array;  (** batch-body microseconds, per slot *)
 }
 
 let state : pool option ref = ref None
 
-let worker_loop (p : pool) () =
+let worker_loop (p : pool) ix () =
   Domain.DLS.set in_worker true;
+  Domain.DLS.set slot_ix ix;
   let rec loop () =
     Mutex.lock p.mutex;
     while Queue.is_empty p.queue && not p.stop do
@@ -86,10 +97,16 @@ let ensure_pool () : pool =
         queue = Queue.create ();
         stop = false;
         domains = [];
+        slot_tasks =
+          Array.init (jobs ()) (fun i ->
+              Telemetry.counter (Printf.sprintf "pool.slot%d.tasks" i));
+        slot_busy =
+          Array.init (jobs ()) (fun i ->
+              Telemetry.counter (Printf.sprintf "pool.slot%d.busy_us" i));
       }
     in
     p.domains <-
-      List.init (jobs () - 1) (fun _ -> Domain.spawn (worker_loop p));
+      List.init (jobs () - 1) (fun i -> Domain.spawn (worker_loop p (i + 1)));
     state := Some p;
     p
 
@@ -101,15 +118,32 @@ let set_jobs n =
    done.  [work] must not raise (callers wrap exceptions). *)
 let run_batch (total : int) (work : int -> unit) =
   let p = ensure_pool () in
+  let sp = Telemetry.start_span "pool.batch" in
+  Telemetry.incr c_batches;
+  let t_submit = if Telemetry.enabled () then Unix.gettimeofday () else 0. in
   let next = Atomic.make 0 in
   let completed = Atomic.make 0 in
   let done_mutex = Mutex.create () in
   let all_done = Condition.create () in
   let batch () =
+    let slot = Domain.DLS.get slot_ix in
+    (* queue wait: submit-to-pickup latency, attributed to worker slots
+       only (the submitting domain starts its share immediately) *)
+    let t0 =
+      if Telemetry.enabled () then begin
+        let t = Unix.gettimeofday () in
+        if slot > 0 then
+          Telemetry.add c_queue_wait (int_of_float ((t -. t_submit) *. 1e6));
+        t
+      end
+      else 0.
+    in
+    let tasks = p.slot_tasks.(slot) in
     let rec pull () =
       let i = Atomic.fetch_and_add next 1 in
       if i < total then begin
         work i;
+        Telemetry.incr tasks;
         if Atomic.fetch_and_add completed 1 + 1 = total then begin
           Mutex.lock done_mutex;
           Condition.broadcast all_done;
@@ -118,7 +152,10 @@ let run_batch (total : int) (work : int -> unit) =
         pull ()
       end
     in
-    pull ()
+    pull ();
+    if Telemetry.enabled () then
+      Telemetry.add p.slot_busy.(slot)
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
   in
   Mutex.lock p.mutex;
   for _ = 1 to List.length p.domains do
@@ -131,7 +168,9 @@ let run_batch (total : int) (work : int -> unit) =
   while Atomic.get completed < total do
     Condition.wait all_done done_mutex
   done;
-  Mutex.unlock done_mutex
+  Mutex.unlock done_mutex;
+  Telemetry.add c_tasks total;
+  Telemetry.end_span sp ~attrs:[ ("tasks", string_of_int total) ]
 
 let sequential () = jobs () = 1 || Domain.DLS.get in_worker
 

@@ -1,0 +1,175 @@
+(** Process-global tracing/metrics sink.  See telemetry.mli for the
+    contract.
+
+    Concurrency design: the enabled flag and every counter cell are
+    [Atomic.t]s; span nesting is tracked on a per-domain stack (domain-local
+    storage, no locking); completed spans are appended to one mutex-guarded
+    global list (spans are coarse — pipeline stages, oracle queries,
+    reports — so one lock per completed span is noise).  Counter and gauge
+    handles are interned in a mutex-guarded registry, which instrumented
+    modules consult once at initialization time. *)
+
+let enabled_flag = Atomic.make false
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () = Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let clock : (unit -> float) ref = ref Unix.gettimeofday
+
+let set_clock f = clock := f
+
+let now () = !clock ()
+
+(* ---------- counters and gauges ---------- *)
+
+type counter = { cname : string; cell : int Atomic.t }
+
+type gauge = { gname : string; gcell : float Atomic.t }
+
+let registry_mutex = Mutex.create ()
+
+let counter_registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let gauge_registry : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt counter_registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; cell = Atomic.make 0 } in
+      Hashtbl.add counter_registry name c;
+      c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cell n)
+
+let incr c = add c 1
+
+let value c = Atomic.get c.cell
+
+let gauge name =
+  Mutex.lock registry_mutex;
+  let g =
+    match Hashtbl.find_opt gauge_registry name with
+    | Some g -> g
+    | None ->
+      let g = { gname = name; gcell = Atomic.make 0. } in
+      Hashtbl.add gauge_registry name g;
+      g
+  in
+  Mutex.unlock registry_mutex;
+  g
+
+let set g v = if Atomic.get enabled_flag then Atomic.set g.gcell v
+
+let gauge_value g = Atomic.get g.gcell
+
+(* ---------- spans ---------- *)
+
+type span = int
+
+type span_record = {
+  id : int;
+  parent : int;
+  tid : int;
+  name : string;
+  start : float;
+  dur : float;
+  attrs : (string * string) list;
+}
+
+type pending = { p_id : int; p_name : string; p_start : float; p_parent : int }
+
+(* per-domain span stack: nesting without locks *)
+let stack_key : pending list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let next_id = Atomic.make 1
+
+let completed_mutex = Mutex.create ()
+
+let completed : span_record list ref = ref []
+
+let start_span name : span =
+  if not (Atomic.get enabled_flag) then 0
+  else begin
+    let st = Domain.DLS.get stack_key in
+    let parent = match !st with [] -> 0 | p :: _ -> p.p_id in
+    let id = Atomic.fetch_and_add next_id 1 in
+    st := { p_id = id; p_name = name; p_start = now (); p_parent = parent } :: !st;
+    id
+  end
+
+let record ?(attrs = []) (p : pending) stop =
+  let r =
+    {
+      id = p.p_id;
+      parent = p.p_parent;
+      tid = (Domain.self () :> int);
+      name = p.p_name;
+      start = p.p_start;
+      dur = Float.max 0. (stop -. p.p_start);
+      attrs;
+    }
+  in
+  Mutex.lock completed_mutex;
+  completed := r :: !completed;
+  Mutex.unlock completed_mutex
+
+let end_span ?attrs (sp : span) =
+  if sp <> 0 then begin
+    let st = Domain.DLS.get stack_key in
+    (* pop to the matching token; unbalanced inner spans (an exception path
+       that skipped end_span) are dropped rather than mis-nested *)
+    let rec pop = function
+      | [] -> ()
+      | p :: rest when p.p_id = sp ->
+        st := rest;
+        record ?attrs p (now ())
+      | _ :: rest -> pop rest
+    in
+    pop !st
+  end
+
+let with_span ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let sp = start_span name in
+    Fun.protect ~finally:(fun () -> end_span ?attrs sp) f
+  end
+
+(* ---------- export ---------- *)
+
+let spans () =
+  Mutex.lock completed_mutex;
+  let l = !completed in
+  Mutex.unlock completed_mutex;
+  List.stable_sort (fun a b -> compare a.start b.start) l
+
+let counters () =
+  Mutex.lock registry_mutex;
+  let l = Hashtbl.fold (fun _ c acc -> (c.cname, Atomic.get c.cell) :: acc) counter_registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let gauges () =
+  Mutex.lock registry_mutex;
+  let l = Hashtbl.fold (fun _ g acc -> (g.gname, Atomic.get g.gcell) :: acc) gauge_registry [] in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let reset () =
+  Mutex.lock completed_mutex;
+  completed := [];
+  Mutex.unlock completed_mutex;
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counter_registry;
+  Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0.) gauge_registry;
+  Mutex.unlock registry_mutex

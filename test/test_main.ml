@@ -6,6 +6,7 @@ let () =
       Test_prng.suite;
       Test_stats.suite;
       Test_pool.suite;
+      Test_telemetry.suite;
       Test_isa.suite;
       Test_asm.suite;
       Test_interp.suite;
