@@ -13,6 +13,10 @@
                                                  (fig1 table4a table4b table4c
                                                   fig3 table7 profstats ablation)
      dune exec bench/main.exe -- micro        -- only the micro-benchmarks
+     dune exec bench/main.exe -- service      -- daemon warm-query vs cold
+                                                 one-shot, per engine
+                                                 (BENCH_service.json is the
+                                                 committed record)
 
    Micro-benchmark flags (see also bench/check_regression.sh):
      --json FILE        dump the measured times as JSON (BENCH_engines.json
@@ -144,6 +148,131 @@ let run_micro () : (string * float) list =
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "\nmicro-benchmarks (best time per call):\n";
   List.iter (fun (name, ms) -> Printf.printf "  %-36s %10.3f ms/run\n" name ms) rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Service mode: resident daemon vs one-shot CLI                       *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Icost_service.Server
+module Client = Icost_service.Client
+module Protocol = Icost_service.Protocol
+module Breakdown = Icost_core.Breakdown
+
+(* Time a warm [icost query breakdown] against an in-process daemon and
+   the equivalent cold one-shot computation (prepare + baseline + oracle +
+   breakdown, i.e. what [icost breakdown] does past process startup), per
+   engine, and verify the served reply is bit-identical to the direct
+   computation.  The committed record is BENCH_service.json. *)
+let run_service () : (string * float) list =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "icost-bench-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let srv =
+    Thread.create
+      (fun () ->
+        ignore
+          (Server.run
+             { Server.default_opts with socket; workers = 2;
+               handle_signals = false }))
+      ()
+  in
+  let bench = "gcc" and warmup = 20_000 and measure = 5_000 in
+  let target engine =
+    {
+      Protocol.workload = bench;
+      variant = "base";
+      engine;
+      warmup;
+      measure;
+      seed = Icost_profiler.Sampler.default_opts.seed;
+    }
+  in
+  let breakdown_req engine =
+    { Protocol.req_id = 1; deadline_ms = None;
+      op = Protocol.Breakdown { target = target engine; focus = "dl1" } }
+  in
+  let kind_of = function
+    | "multisim" -> Runner.Multisim
+    | "profiler" -> Runner.Profiler
+    | _ -> Runner.Fullgraph
+  in
+  (* the full one-shot pipeline, rebuilt from scratch every call *)
+  let direct engine () =
+    let settings = { Runner.warmup; measure; benches = [ bench ] } in
+    let w =
+      match Workload.find bench with
+      | Some w -> w
+      | None -> failwith "bench workload missing"
+    in
+    let p = Runner.prepare settings w in
+    let oracle = Runner.oracle_of_kind (kind_of engine) Config.default p in
+    Breakdown.focus ~oracle ~focus_cat:Category.Dl1
+  in
+  Printf.printf "\nservice mode: warm daemon query vs cold one-shot (%s, %d+%d):\n"
+    bench warmup measure;
+  let ok = ref true in
+  let rows =
+    Client.with_client ~retry_for:10.0 ~socket (fun c ->
+        List.concat_map
+          (fun engine ->
+            (* prime the daemon's caches, keeping the reply for the
+               bit-identity check *)
+            let reply = Client.call c (breakdown_req engine) in
+            (match reply.Protocol.body with
+             | Ok _ -> ()
+             | Error (_, msg) -> failwith ("service bench: " ^ msg));
+            let bd = direct engine () in
+            let expected =
+              Protocol.R_breakdown
+                {
+                  baseline = bd.Breakdown.baseline_cycles;
+                  rows =
+                    List.map
+                      (fun (r : Breakdown.row) ->
+                        { Protocol.row_label = Breakdown.row_label r;
+                          row_percent = r.Breakdown.percent;
+                          row_cycles = r.Breakdown.cycles })
+                      bd.Breakdown.rows;
+                }
+            in
+            let identical =
+              Protocol.encode_reply { Protocol.rep_id = 0; body = Ok expected }
+              = Protocol.encode_reply { reply with Protocol.rep_id = 0 }
+            in
+            (* cold: min of single runs (each rebuilds everything) *)
+            let cold_ms =
+              time_min ~batches:3 ~batch_target:0.
+                (fun () -> ignore (direct engine ()))
+            in
+            let warm_ms =
+              time_min (fun () -> ignore (Client.call c (breakdown_req engine)))
+            in
+            let speedup = cold_ms /. warm_ms in
+            let pass = speedup >= 10. && identical in
+            if not pass then ok := false;
+            Printf.printf
+              "  %-10s cold %8.2f ms  warm %7.3f ms  speedup %6.1fx  \
+               bit-identical %-5s %s\n"
+              engine cold_ms warm_ms speedup
+              (if identical then "yes" else "NO")
+              (if pass then "PASS" else "FAIL");
+            [
+              (Printf.sprintf "service/cold-breakdown-%s" engine, cold_ms);
+              (Printf.sprintf "service/warm-query-%s" engine, warm_ms);
+            ])
+          [ "multisim"; "graph"; "profiler" ])
+  in
+  Client.with_client ~retry_for:5.0 ~socket (fun c ->
+      ignore
+        (Client.call c
+           { Protocol.req_id = 0; deadline_ms = None; op = Protocol.Shutdown }));
+  Thread.join srv;
+  Printf.printf "service gate (>= 10x warm speedup, bit-identical replies): %s\n"
+    (if !ok then "PASS" else "FAIL");
+  if not !ok then exit 1;
   rows
 
 (* --- machine-readable perf trajectory ------------------------------- *)
@@ -290,10 +419,16 @@ let () =
         exit 2))
     !baseline_file;
   let micro_requested = ids = [] || List.mem "micro" ids in
-  let experiment_ids = List.filter (fun i -> i <> "micro") ids in
+  let service_requested = List.mem "service" ids in
+  let experiment_ids =
+    List.filter (fun i -> i <> "micro" && i <> "service") ids
+  in
   if experiment_ids <> [] || ids = [] then run_experiments experiment_ids;
-  if micro_requested then begin
-    let rows = run_micro () in
+  let rows =
+    (if service_requested then run_service () else [])
+    @ (if micro_requested then run_micro () else [])
+  in
+  if rows <> [] then begin
     Option.iter (fun f -> write_json f rows) !json_file;
     Option.iter (fun f -> check_regressions ~baseline_file:f rows) !baseline_file
   end

@@ -6,11 +6,15 @@
      icost        costs/icosts of chosen category sets
      graph        dump a dependence graph (text or DOT)
      experiment   regenerate a paper table/figure (or "all")
+     serve        resident analysis daemon on a Unix socket (icost.rpc.v1)
+     query        one request against a running daemon
 
    Every subcommand accepts --trace FILE (Chrome trace-event JSON),
    --metrics FILE (flat counters/gauges JSON) and --span-tree (human
    span summary); any of them switches the telemetry sink on for the
-   run, and both JSON artifacts embed the run manifest. *)
+   run, and both JSON artifacts embed the run manifest.  --jobs N
+   overrides the ICOST_JOBS environment variable, which overrides the
+   hardware default (see README, "Parallelism"). *)
 
 module Workload = Icost_workloads.Workload
 module Config = Icost_uarch.Config
@@ -22,15 +26,24 @@ module Drive = Icost_experiments.Drive
 module Graph = Icost_depgraph.Graph
 module Telemetry = Icost_util.Telemetry
 module Texport = Icost_report.Telemetry_export
+module Pool = Icost_util.Pool
+module Protocol = Icost_service.Protocol
+module Server = Icost_service.Server
+module Client = Icost_service.Client
 open Cmdliner
 
 let version = "1.0.0"
 
-(* --- telemetry options (shared by every subcommand) --- *)
+(* --- options shared by every subcommand --- *)
 
-type telem = { trace : string option; metrics : string option; tree : bool }
+type common = {
+  trace : string option;
+  metrics : string option;
+  tree : bool;
+  jobs : int option;
+}
 
-let telem_term =
+let common_term =
   let trace_arg =
     let doc =
       "Write a Chrome trace-event JSON of the run to $(docv) (open in \
@@ -49,21 +62,34 @@ let telem_term =
     let doc = "Print the aggregated span tree after the command." in
     Arg.(value & flag & info [ "span-tree" ] ~doc)
   in
+  let jobs_arg =
+    let doc =
+      "Number of concurrent analysis jobs.  Overrides the ICOST_JOBS \
+       environment variable; without either, the hardware's recommended \
+       domain count is used."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
   Term.(
-    const (fun trace metrics tree -> { trace; metrics; tree })
-    $ trace_arg $ metrics_arg $ tree_arg)
+    const (fun trace metrics tree jobs -> { trace; metrics; tree; jobs })
+    $ trace_arg $ metrics_arg $ tree_arg $ jobs_arg)
 
 (** Run [f] with the telemetry sink enabled when any telemetry output was
     requested; write the requested artifacts afterwards (also on
-    exceptions, so a failing run still leaves its trace behind). *)
-let with_telemetry (t : telem) ~cfg ~benches (f : unit -> 'a) : 'a =
+    exceptions, so a failing run still leaves its trace behind).
+    [service_stats] (the [serve] subcommand) adds server uptime/request
+    counts to the exported manifest. *)
+let with_telemetry ?(service_stats = fun () -> None) (t : common) ~cfg ~benches
+    (f : unit -> 'a) : 'a =
+  Option.iter Pool.set_jobs t.jobs;
   let active = t.trace <> None || t.metrics <> None || t.tree in
   if active then Telemetry.enable ();
   let finish () =
     if active then begin
       let m =
         Texport.manifest ~version ~config_digest:(Texport.digest cfg)
-          ~seed:Icost_profiler.Sampler.default_opts.seed ~workloads:benches ()
+          ~seed:Icost_profiler.Sampler.default_opts.seed
+          ?service:(service_stats ()) ~workloads:benches ()
       in
       Option.iter
         (fun file ->
@@ -111,6 +137,15 @@ let oracle_arg =
                      ("profiler", Runner.Profiler) ]) Runner.Fullgraph
        & info [ "oracle" ] ~doc)
 
+let seed_arg =
+  let doc =
+    "Sampling seed for the profiler oracle (analysis is otherwise \
+     deterministic).  The same seed always yields bit-identical results."
+  in
+  Arg.(value
+       & opt int Icost_profiler.Sampler.default_opts.seed
+       & info [ "seed" ] ~doc)
+
 let config_of_variant = function
   | `Base -> Config.default
   | `Dl1 -> Config.loop_dl1
@@ -135,7 +170,7 @@ let list_cmd =
             Printf.printf "%-8s  %s\n" w.name w.description)
           Workload.all)
   in
-  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const run $ telem_term)
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const run $ common_term)
 
 (* --- breakdown --- *)
 
@@ -144,7 +179,7 @@ let breakdown_cmd =
     let doc = "Focus category for the interaction rows." in
     Arg.(value & opt string "dl1" & info [ "focus" ] ~doc)
   in
-  let run bench variant oracle focus warmup measure telem =
+  let run bench variant oracle focus warmup measure seed telem =
     let cfg = config_of_variant variant in
     with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let focus_cat =
@@ -154,7 +189,7 @@ let breakdown_cmd =
     in
     let s = settings ~warmup ~measure ~benches:(Some bench) in
     let p = Runner.prepare s (Workload.find_exn bench) in
-    let o = Runner.oracle_of_kind oracle cfg p in
+    let o = Runner.oracle_of_kind ~seed oracle cfg p in
     let bd = Breakdown.focus ~oracle:o ~focus_cat in
     Printf.printf "%s on %s machine (%s oracle), %.0f cycles baseline:\n" bench
       (match variant with `Base -> "base" | `Dl1 -> "4-cycle-dl1"
@@ -169,7 +204,7 @@ let breakdown_cmd =
   Cmd.v
     (Cmd.info "breakdown" ~doc:"Parallelism-aware breakdown for one workload")
     Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ focus_arg $ warmup_arg
-          $ measure_arg $ telem_term)
+          $ measure_arg $ seed_arg $ common_term)
 
 (* --- icost --- *)
 
@@ -179,12 +214,12 @@ let icost_cmd =
                interaction cost of each set are reported." in
     Arg.(value & opt_all string [ "dl1,win" ] & info [ "s"; "set" ] ~docv:"CATS" ~doc)
   in
-  let run bench variant oracle sets warmup measure telem =
+  let run bench variant oracle sets warmup measure seed telem =
     let cfg = config_of_variant variant in
     with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let s = settings ~warmup ~measure ~benches:(Some bench) in
     let p = Runner.prepare s (Workload.find_exn bench) in
-    let o = Cost.memoize (Runner.oracle_of_kind oracle cfg p) in
+    let o = Cost.memoize (Runner.oracle_of_kind ~seed oracle cfg p) in
     let base = o Category.Set.empty in
     Printf.printf "%s: baseline %.0f cycles\n" bench base;
     List.iter
@@ -209,7 +244,7 @@ let icost_cmd =
   Cmd.v
     (Cmd.info "icost" ~doc:"Costs and interaction costs of category sets")
     Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ sets_arg $ warmup_arg
-          $ measure_arg $ telem_term)
+          $ measure_arg $ seed_arg $ common_term)
 
 (* --- graph --- *)
 
@@ -242,7 +277,7 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph" ~doc:"Dump a dependence-graph instance")
     Term.(const run $ bench_arg $ variant_arg $ dot_arg $ instrs_arg $ warmup_arg
-          $ telem_term)
+          $ common_term)
 
 (* --- advise --- *)
 
@@ -260,7 +295,7 @@ let advise_cmd =
     (Cmd.info "advise"
        ~doc:"Bottleneck / de-optimization recommendations for one workload")
     Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ warmup_arg $ measure_arg
-          $ telem_term)
+          $ common_term)
 
 (* --- experiment --- *)
 
@@ -316,7 +351,166 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper table or figure")
-    Term.(const run $ id_arg $ benches_arg $ warmup_arg $ measure_arg $ telem_term)
+    Term.(const run $ id_arg $ benches_arg $ warmup_arg $ measure_arg $ common_term)
+
+(* --- serve --- *)
+
+let socket_arg =
+  let doc = "Unix domain socket path the daemon listens on / is queried at." in
+  Arg.(value & opt string "icostd.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Concurrent analysis requests (scheduler worker threads)." in
+    Arg.(value & opt int Server.default_opts.workers & info [ "workers" ] ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Accepted-but-not-running request bound; a full queue answers \
+       'overloaded' instead of buffering without limit."
+    in
+    Arg.(value & opt int Server.default_opts.queue_limit
+         & info [ "queue-limit" ] ~doc)
+  in
+  let cache_arg =
+    let doc = "Maximum entries per session-cache layer (LRU eviction)." in
+    Arg.(value & opt int Server.default_opts.cache_cap & info [ "cache-cap" ] ~doc)
+  in
+  let run socket workers queue_limit cache_cap telem =
+    let stats = ref None in
+    with_telemetry telem ~cfg:Config.default ~benches:[]
+      ~service_stats:(fun () ->
+        Option.map
+          (fun (s : Server.stats) -> (s.uptime_s, s.requests_total))
+          !stats)
+    @@ fun () ->
+    let s =
+      Server.run
+        {
+          Server.socket;
+          workers;
+          queue_limit;
+          cache_cap;
+          handle_signals = true;
+          on_ready =
+            Some
+              (fun () ->
+                Printf.eprintf "icostd %s listening on %s (%d workers)\n%!"
+                  version socket workers);
+        }
+    in
+    stats := Some s;
+    Printf.eprintf "icostd served %d request(s) over %.1f s\n%!"
+      s.requests_total s.uptime_s
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Resident analysis daemon: answers icost.rpc.v1 queries over a \
+             Unix socket, caching prepared workloads across requests")
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
+          $ common_term)
+
+(* --- query --- *)
+
+let query_cmd =
+  let op_arg =
+    let doc =
+      "Request type: breakdown, icost, graph-stats, status or shutdown."
+    in
+    Arg.(value & pos 0 string "status" & info [] ~docv:"OP" ~doc)
+  in
+  let variant_str_arg =
+    let doc = "Machine variant: base, dl1, wakeup or bmisp." in
+    Arg.(value & opt string "base" & info [ "variant" ] ~doc)
+  in
+  let engine_arg =
+    let doc = "Cost engine: graph, multisim or profiler." in
+    Arg.(value & opt string "graph" & info [ "oracle"; "engine" ] ~doc)
+  in
+  let sets_arg =
+    let doc = "Category set for op icost (repeatable)." in
+    Arg.(value & opt_all string [ "dl1,win" ] & info [ "s"; "set" ] ~docv:"CATS" ~doc)
+  in
+  let focus_arg =
+    let doc = "Focus category for op breakdown." in
+    Arg.(value & opt string "dl1" & info [ "focus" ] ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-request deadline in milliseconds (server-side)." in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~doc)
+  in
+  let wait_arg =
+    let doc = "Seconds to keep retrying the initial connection." in
+    Arg.(value & opt float 5. & info [ "wait" ] ~doc)
+  in
+  let run socket op bench variant engine sets focus warmup measure seed
+      deadline_ms wait telem =
+    Option.iter Icost_util.Pool.set_jobs telem.jobs;
+    let target =
+      {
+        Protocol.workload = bench;
+        variant;
+        engine;
+        warmup;
+        measure;
+        seed;
+      }
+    in
+    let op =
+      match op with
+      | "breakdown" -> Protocol.Breakdown { target; focus }
+      | "icost" -> Protocol.Icost { target; sets }
+      | "graph-stats" -> Protocol.Graph_stats { target }
+      | "status" -> Protocol.Status
+      | "shutdown" -> Protocol.Shutdown
+      | other -> failwith (Printf.sprintf "unknown op %S" other)
+    in
+    let reply =
+      Client.with_client ~retry_for:wait ~socket (fun c ->
+          Client.call c { Protocol.req_id = 1; deadline_ms; op })
+    in
+    match reply.Protocol.body with
+    | Error (code, msg) ->
+      Printf.eprintf "error (%s): %s\n" (Protocol.error_code_name code) msg;
+      exit 3
+    | Ok (Protocol.R_breakdown { baseline; rows }) ->
+      Printf.printf "%s on %s machine (%s oracle), %.0f cycles baseline:\n"
+        bench variant engine baseline;
+      List.iter
+        (fun (r : Protocol.breakdown_row) ->
+          Printf.printf "  %-12s %7.1f%%\n" r.row_label r.row_percent)
+        rows;
+      Printf.printf "  %-12s %7.1f%%\n" "Total"
+        (List.fold_left (fun acc (r : Protocol.breakdown_row) ->
+             acc +. r.row_percent) 0. rows)
+    | Ok (Protocol.R_icost { baseline; rows }) ->
+      Printf.printf "%s: baseline %.0f cycles\n" bench baseline;
+      List.iter
+        (fun (r : Protocol.icost_row) ->
+          Printf.printf
+            "  %-24s cost %8.0f cycles (%5.1f%%)  icost %+8.0f (%s)\n"
+            r.set_name r.set_cost
+            (100. *. r.set_cost /. baseline)
+            r.set_icost r.set_class)
+        rows
+    | Ok (Protocol.R_graph_stats { instrs; nodes; edges; critical_path }) ->
+      Printf.printf "%s: %d instructions, %d nodes, %d edges, CP %d cycles\n"
+        bench instrs nodes edges critical_path
+    | Ok (Protocol.R_status s) ->
+      Printf.printf
+        "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
+         cache: %d hit(s), %d miss(es), %d eviction(s); %d pool job(s)%s\n"
+        s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
+        s.cache_hits s.cache_misses s.cache_evictions s.pool_jobs
+        (if s.draining then "; draining" else "")
+    | Ok Protocol.R_shutdown -> Printf.printf "server is shutting down\n"
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one icost.rpc.v1 request to a running 'icost serve' daemon")
+    Term.(const run $ socket_arg $ op_arg $ bench_arg $ variant_str_arg
+          $ engine_arg $ sets_arg $ focus_arg $ warmup_arg $ measure_arg
+          $ seed_arg $ deadline_arg $ wait_arg $ common_term)
 
 let () =
   let info =
@@ -324,4 +518,5 @@ let () =
       ~doc:"Interaction-cost bottleneck analysis (Fields et al., MICRO-36 2003)"
   in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; breakdown_cmd; icost_cmd; graph_cmd; advise_cmd; experiment_cmd ]))
+       [ list_cmd; breakdown_cmd; icost_cmd; graph_cmd; advise_cmd;
+         experiment_cmd; serve_cmd; query_cmd ]))

@@ -45,23 +45,54 @@ type oracle = Category.Set.t -> float
     stays deterministic. *)
 let c_hits = Icost_util.Telemetry.counter "oracle.cache_hits"
 let c_misses = Icost_util.Telemetry.counter "oracle.cache_misses"
+let c_evictions = Icost_util.Telemetry.counter "cost.memo_evictions"
 
-let memoize (f : oracle) : oracle =
-  let tbl : (int, float) Hashtbl.t = Hashtbl.create 64 in
+(* Entries carry a last-use stamp; eviction scans for the smallest stamp.
+   The scan is O(cap) but runs only when the table is full and a fresh
+   subset arrives — with the default cap that is never (256 possible
+   keys), and a deliberately tiny cap (tests) keeps the table itself
+   tiny. *)
+type memo_entry = { value : float; mutable stamp : int }
+
+let memoize ?(cap = 512) (f : oracle) : oracle =
+  let cap = max 1 cap in
+  let tbl : (int, memo_entry) Hashtbl.t = Hashtbl.create 64 in
+  let tick = ref 0 in
   let lock = Mutex.create () in
   fun s ->
     Mutex.lock lock;
     match Hashtbl.find_opt tbl s with
-    | Some v ->
+    | Some e ->
+      incr tick;
+      e.stamp <- !tick;
       Mutex.unlock lock;
       Icost_util.Telemetry.incr c_hits;
-      v
+      e.value
     | None ->
       Mutex.unlock lock;
       Icost_util.Telemetry.incr c_misses;
       let v = f s in
       Mutex.lock lock;
-      Hashtbl.replace tbl s v;
+      (* two domains racing on the same fresh subset both measured it and
+         store the same value (the oracle is pure), so no double-count
+         guard is needed; only make room for genuinely new keys *)
+      if not (Hashtbl.mem tbl s) && Hashtbl.length tbl >= cap then begin
+        let victim =
+          Hashtbl.fold
+            (fun k (e : memo_entry) acc ->
+              match acc with
+              | Some (_, stamp) when stamp <= e.stamp -> acc
+              | _ -> Some (k, e.stamp))
+            tbl None
+        in
+        match victim with
+        | Some (k, _) ->
+          Hashtbl.remove tbl k;
+          Icost_util.Telemetry.incr c_evictions
+        | None -> ()
+      end;
+      incr tick;
+      Hashtbl.replace tbl s { value = v; stamp = !tick };
       Mutex.unlock lock;
       v
 

@@ -16,12 +16,21 @@ type oracle = Category.Set.t -> float
 (** Maps a category set to total execution time (cycles) with that set
     idealized; [oracle Category.Set.empty] is the baseline time. *)
 
-val memoize : oracle -> oracle
+val memoize : ?cap:int -> oracle -> oracle
 (** Cache oracle evaluations (the underlying measurement — a simulation or
     a graph pass — is the expensive part, and cost queries share many
     subset evaluations).  The returned oracle is safe to share across
     concurrent {!Icost_util.Pool} jobs: the memo table is mutex-guarded,
-    and measurements run outside the lock. *)
+    and measurements run outside the lock.
+
+    The table is bounded: at most [cap] entries (clamped to >= 1, default
+    512) are retained, with least-recently-used eviction counted by the
+    [cost.memo_evictions] telemetry counter.  The default cap exceeds the
+    2^8 = 256 distinct subsets of the full category set, so eviction never
+    fires for today's oracles — the bound exists because a resident server
+    holds memoized oracles for as long as a session cache keeps them, and
+    an unbounded table would turn any future growth of the key space into
+    a leak. *)
 
 val cost : oracle -> Category.Set.t -> float
 (** [cost oracle s] is the speedup (cycles) from idealizing [s]. *)

@@ -81,25 +81,37 @@ let prepare_all ?structural (s : settings) : prepared list =
 
 (* --- oracles --- *)
 
+(* Every oracle constructor below accepts the expensive intermediates it
+   would otherwise recompute ([?baseline], the graph passed explicitly):
+   a resident server ({!Icost_service}) caches prepared workloads and
+   baseline runs across requests and across engines on the same
+   (workload, config) key, so "prepare once, answer many" needs the
+   rebuild-per-call and the reuse path to be the same code. *)
+
 let baseline_run (cfg : Config.t) (p : prepared) : Ooo.result =
   Ooo.run { cfg with ideal = Config.no_ideal } p.trace p.evts
 
 let multisim_oracle (cfg : Config.t) (p : prepared) : Cost.oracle =
   Cost.memoize (Multisim.oracle cfg p.trace p.evts)
 
-let graph_of (cfg : Config.t) (p : prepared) : Graph.t =
-  let result = baseline_run cfg p in
+let graph_of ?baseline (cfg : Config.t) (p : prepared) : Graph.t =
+  let result =
+    match baseline with Some r -> r | None -> baseline_run cfg p
+  in
   Build.of_sim cfg p.trace p.evts result
 
-let graph_oracle (cfg : Config.t) (p : prepared) : Cost.oracle =
-  Cost.memoize (Build.oracle (graph_of cfg p))
+let graph_oracle ?baseline (cfg : Config.t) (p : prepared) : Cost.oracle =
+  Cost.memoize (Build.oracle (graph_of ?baseline cfg p))
 
-let profiler_run ?opts (cfg : Config.t) (p : prepared) : Profile.t =
-  let result = baseline_run cfg p in
+let profiler_run ?opts ?baseline (cfg : Config.t) (p : prepared) : Profile.t =
+  let result =
+    match baseline with Some r -> r | None -> baseline_run cfg p
+  in
   Profile.profile ?opts cfg p.program p.trace p.evts result
 
-let profiler_oracle ?opts (cfg : Config.t) (p : prepared) : Cost.oracle =
-  Cost.memoize (Profile.oracle (profiler_run ?opts cfg p))
+let profiler_oracle ?opts ?baseline (cfg : Config.t) (p : prepared) :
+    Cost.oracle =
+  Cost.memoize (Profile.oracle (profiler_run ?opts ?baseline cfg p))
 
 type oracle_kind = Multisim | Fullgraph | Profiler
 
@@ -108,8 +120,17 @@ let oracle_kind_name = function
   | Fullgraph -> "fullgraph"
   | Profiler -> "profiler"
 
-let oracle_of_kind ?opts kind cfg p =
+(* [?seed] re-seeds the profiler's sampling PRNG (the only source of
+   randomness past preparation; interpretation and annotation are
+   deterministic by construction).  [?opts] wins when both are given. *)
+let sampler_opts ?opts ?seed () =
+  match (opts, seed) with
+  | Some o, _ -> Some o
+  | None, Some seed -> Some { Sampler.default_opts with seed }
+  | None, None -> None
+
+let oracle_of_kind ?opts ?seed ?baseline kind cfg p =
   match kind with
   | Multisim -> multisim_oracle cfg p
-  | Fullgraph -> graph_oracle cfg p
-  | Profiler -> profiler_oracle ?opts cfg p
+  | Fullgraph -> graph_oracle ?baseline cfg p
+  | Profiler -> profiler_oracle ?opts:(sampler_opts ?opts ?seed ()) ?baseline cfg p

@@ -19,6 +19,7 @@ type manifest = {
   seed : int;
   jobs : int;
   icost_jobs_env : string option;
+  service : (float * int) option;
 }
 
 let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
@@ -32,8 +33,8 @@ let git_describe () =
     | _ -> "unknown"
   with _ -> "unknown"
 
-let manifest ?(version = "1.0.0") ?(config_digest = "") ?(seed = 0) ~workloads
-    () =
+let manifest ?(version = "1.0.0") ?(config_digest = "") ?(seed = 0) ?service
+    ~workloads () =
   {
     tool = "icost";
     version;
@@ -44,6 +45,7 @@ let manifest ?(version = "1.0.0") ?(config_digest = "") ?(seed = 0) ~workloads
     seed;
     jobs = Pool.jobs ();
     icost_jobs_env = Sys.getenv_opt "ICOST_JOBS";
+    service;
   }
 
 (* ---------- JSON emission ---------- *)
@@ -77,18 +79,30 @@ let jobj fields =
 
 let manifest_json (m : manifest) =
   jobj
-    [
-      ("tool", jstr m.tool);
-      ("version", jstr m.version);
-      ("git", jstr m.git);
-      ("ocaml", jstr m.ocaml);
-      ("config", jstr m.config_digest);
-      ("workloads", jlist (List.map jstr m.workloads));
-      ("seed", string_of_int m.seed);
-      ("jobs", string_of_int m.jobs);
-      ( "icost_jobs",
-        match m.icost_jobs_env with None -> "null" | Some s -> jstr s );
-    ]
+    ([
+       ("tool", jstr m.tool);
+       ("version", jstr m.version);
+       ("git", jstr m.git);
+       ("ocaml", jstr m.ocaml);
+       ("config", jstr m.config_digest);
+       ("workloads", jlist (List.map jstr m.workloads));
+       ("seed", string_of_int m.seed);
+       ("jobs", string_of_int m.jobs);
+       ( "icost_jobs",
+         match m.icost_jobs_env with None -> "null" | Some s -> jstr s );
+     ]
+    @
+    match m.service with
+    | None -> []
+    | Some (uptime_s, requests) ->
+      [
+        ( "service",
+          jobj
+            [
+              ("uptime_s", jfloat uptime_s);
+              ("requests", string_of_int requests);
+            ] );
+      ])
 
 let span_args (attrs : (string * string) list) =
   jobj (List.map (fun (k, v) -> (k, jstr v)) attrs)

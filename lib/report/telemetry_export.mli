@@ -28,6 +28,9 @@ type manifest = {
   seed : int;  (** profiler sampling seed *)
   jobs : int;  (** {!Icost_util.Pool.jobs} at export time *)
   icost_jobs_env : string option;  (** raw [ICOST_JOBS], if set *)
+  service : (float * int) option;
+      (** server (uptime seconds, requests served), for artifacts written
+          by a shutting-down [icost serve]; absent for one-shot runs *)
 }
 
 val digest : 'a -> string
@@ -40,6 +43,7 @@ val manifest :
   ?version:string ->
   ?config_digest:string ->
   ?seed:int ->
+  ?service:float * int ->
   workloads:string list ->
   unit ->
   manifest

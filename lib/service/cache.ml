@@ -1,0 +1,140 @@
+(* Single-flight LRU cache.  See cache.mli for the contract.
+
+   One mutex guards the table, the LRU stamps and the tallies; builders
+   run outside it with the entry parked in the [Pending] state so other
+   threads on the same key block on the condition variable instead of
+   duplicating work.  [cap] is small (a handful of analysis sessions), so
+   eviction is a linear scan for the oldest ready stamp rather than a
+   linked list. *)
+
+module Telemetry = Icost_util.Telemetry
+
+type 'v state = Pending | Ready of 'v | Failed of exn
+
+type 'v entry = { mutable state : 'v state; mutable stamp : int }
+
+type 'v t = {
+  mutex : Mutex.t;
+  changed : Condition.t;  (* signalled when any Pending entry resolves *)
+  tbl : (string, 'v entry) Hashtbl.t;
+  cap : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  c_hits : Telemetry.counter;
+  c_misses : Telemetry.counter;
+  c_evictions : Telemetry.counter;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~name ~cap =
+  {
+    mutex = Mutex.create ();
+    changed = Condition.create ();
+    tbl = Hashtbl.create 16;
+    cap = max 1 cap;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    c_hits = Telemetry.counter (Printf.sprintf "service.cache.%s.hits" name);
+    c_misses = Telemetry.counter (Printf.sprintf "service.cache.%s.misses" name);
+    c_evictions =
+      Telemetry.counter (Printf.sprintf "service.cache.%s.evictions" name);
+  }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+(* Evict ready entries (never pending ones) until at most [cap] remain.
+   Caller holds the lock. *)
+let enforce_cap t =
+  let ready_count () =
+    Hashtbl.fold
+      (fun _ e n -> match e.state with Ready _ -> n + 1 | _ -> n)
+      t.tbl 0
+  in
+  while ready_count () > t.cap do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match (e.state, acc) with
+          | Ready _, None -> Some (k, e.stamp)
+          | Ready _, Some (_, stamp) when e.stamp < stamp -> Some (k, e.stamp)
+          | _ -> acc)
+        t.tbl None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.tbl k;
+      t.evictions <- t.evictions + 1;
+      Telemetry.incr t.c_evictions
+  done
+
+let rec find_or_add (t : 'v t) (key : string) (build : unit -> 'v) : 'v =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.tbl key with
+  | Some ({ state = Ready v; _ } as e) ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Mutex.unlock t.mutex;
+    Telemetry.incr t.c_hits;
+    v
+  | Some { state = Pending; _ } ->
+    (* someone is building it: wait for the resolution, then re-examine *)
+    Condition.wait t.changed t.mutex;
+    Mutex.unlock t.mutex;
+    find_or_add t key build
+  | Some { state = Failed _; _ } ->
+    (* a previous builder failed; clear the tombstone and retry so a
+       transient error does not poison the key forever *)
+    Hashtbl.remove t.tbl key;
+    Mutex.unlock t.mutex;
+    find_or_add t key build
+  | None ->
+    t.misses <- t.misses + 1;
+    let entry = { state = Pending; stamp = 0 } in
+    touch t entry;
+    Hashtbl.replace t.tbl key entry;
+    Mutex.unlock t.mutex;
+    Telemetry.incr t.c_misses;
+    let outcome =
+      match build () with v -> Ready v | exception e -> Failed e
+    in
+    Mutex.lock t.mutex;
+    entry.state <- outcome;
+    touch t entry;
+    if (match outcome with Ready _ -> true | _ -> false) then enforce_cap t;
+    Condition.broadcast t.changed;
+    Mutex.unlock t.mutex;
+    (match outcome with
+     | Ready v -> v
+     | Failed e -> raise e
+     | Pending -> assert false)
+
+let length t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ e n -> match e.state with Ready _ -> n + 1 | _ -> n)
+      t.tbl 0
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let stats t =
+  Mutex.lock t.mutex;
+  let entries =
+    Hashtbl.fold
+      (fun _ e n -> match e.state with Ready _ -> n + 1 | _ -> n)
+      t.tbl 0
+  in
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions; entries }
+  in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,37 @@
+(** Concurrent single-flight LRU cache for server sessions.
+
+    The server keeps prepared workloads, baseline simulation results and
+    memoized cost oracles in instances of this cache, keyed by strings
+    derived from the request target (see [doc/protocol.md] for the exact
+    key layout).  Two properties matter more than raw speed here:
+
+    - {b single flight}: when N clients miss on the same key at once, the
+      builder runs exactly once; the other N-1 block until the value is
+      ready and then share it.  A builder that raises re-raises to its own
+      caller and leaves the key absent, so waiters (and later requests)
+      retry the build instead of inheriting a poisoned entry.
+    - {b bounded size}: at most [cap] ready entries are retained; inserting
+      past the cap evicts the least-recently-used ready entry (in-flight
+      entries are never evicted).
+
+    Every cache mirrors its hit/miss/eviction counts into
+    {!Icost_util.Telemetry} counters ([service.cache.<name>.hits] etc.,
+    live only while the sink is enabled) {e and} keeps plain internal
+    tallies that feed the [status] reply unconditionally. *)
+
+type 'v t
+
+val create : name:string -> cap:int -> 'v t
+(** [cap] is clamped to >= 1.  [name] labels the telemetry counters. *)
+
+val find_or_add : 'v t -> string -> (unit -> 'v) -> 'v
+(** Return the cached value for the key, building it with the thunk on a
+    miss.  The thunk runs outside the cache lock; concurrent callers on
+    the same key wait for it rather than re-running it. *)
+
+val length : 'v t -> int
+(** Ready entries currently held. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : 'v t -> stats

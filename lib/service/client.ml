@@ -1,0 +1,65 @@
+(* Blocking protocol client.  See client.mli. *)
+
+module P = Protocol
+
+type t = { fd : Unix.file_descr; pending : Buffer.t }
+
+let connect ?(retry_for = 0.) ~socket () =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> { fd; pending = Buffer.create 256 }
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () < deadline then begin
+        ignore (Unix.select [] [] [] 0.05);
+        attempt ()
+      end
+      else
+        failwith
+          (Printf.sprintf "cannot connect to %s: %s" socket
+             (Unix.error_message err))
+  in
+  attempt ()
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let read_line c =
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    let s = Buffer.contents c.pending in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear c.pending;
+      Buffer.add_string c.pending (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+    | None -> None
+  in
+  let rec loop () =
+    match take_line () with
+    | Some line -> line
+    | None ->
+      (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+       | 0 -> failwith "connection closed by server"
+       | n ->
+         Buffer.add_subbytes c.pending chunk 0 n;
+         loop ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+let call c (req : P.request) : P.reply =
+  let line = P.encode_request req ^ "\n" in
+  let rec write_all off =
+    if off < String.length line then
+      write_all (off + Unix.write_substring c.fd line off (String.length line - off))
+  in
+  write_all 0;
+  match P.decode_reply (read_line c) with
+  | Ok reply -> reply
+  | Error msg -> failwith ("undecodable reply: " ^ msg)
+
+let with_client ?retry_for ~socket f =
+  let c = connect ?retry_for ~socket () in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,24 @@
+(** Blocking [icost.rpc.v1] client ([icost query] and the test suite).
+
+    One connection, one outstanding request at a time: {!call} writes the
+    request line and blocks until the matching reply line arrives.  (The
+    protocol allows pipelining with out-of-order replies; this client
+    deliberately does not use it — the CLI and tests want simple
+    call/response semantics.) *)
+
+type t
+
+val connect : ?retry_for:float -> socket:string -> unit -> t
+(** Connect to the server's Unix socket.  [retry_for] (seconds, default
+    [0.]) keeps retrying on connection failure — the standard way to wait
+    for a daemon that was just forked to come up.
+    @raise Failure when the socket cannot be connected in time. *)
+
+val call : t -> Protocol.request -> Protocol.reply
+(** Send one request, wait for its reply.
+    @raise Failure on a closed connection or an undecodable reply. *)
+
+val close : t -> unit
+
+val with_client : ?retry_for:float -> socket:string -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exceptions). *)

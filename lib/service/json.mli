@@ -1,0 +1,43 @@
+(** Minimal JSON values for the service wire protocol.
+
+    The repository emits JSON in several places ({!Icost_report}) but the
+    service is the first component that must also {e read} it, so this
+    module carries both directions.  The subset implemented — objects,
+    arrays, strings, integers, floats, booleans, null — is exactly what
+    [icost.rpc.v1] uses; anything beyond it (comments, NaN, duplicate-key
+    semantics) is rejected.
+
+    Floats are printed with ["%.17g"], enough digits to round-trip every
+    IEEE-754 double bit-identically through [float_of_string] — the
+    protocol's reproducibility guarantee (a served answer equals the
+    one-shot CLI answer to the last bit) rests on this. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one JSON document (trailing whitespace allowed, trailing garbage
+    is not).  @raise Parse_error with a position-stamped message. *)
+
+val encode : t -> string
+(** One-line rendering (no newlines; strings escaped per RFC 8259). *)
+
+(** {1 Accessors} — all total, returning [None] on a shape mismatch.
+    [get_float] promotes [Int]; nothing else coerces. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an object; [None] for non-objects. *)
+
+val get_int : t -> int option
+val get_float : t -> float option
+val get_str : t -> string option
+val get_bool : t -> bool option
+val get_arr : t -> t list option

@@ -1,0 +1,387 @@
+(* icost.rpc.v1 encoder/decoder.  See protocol.mli and doc/protocol.md. *)
+
+let version = "icost.rpc.v1"
+
+let max_request_bytes = 65536
+
+type target = {
+  workload : string;
+  variant : string;
+  engine : string;
+  warmup : int;
+  measure : int;
+  seed : int;
+}
+
+let default_target =
+  {
+    workload = "";
+    variant = "base";
+    engine = "graph";
+    warmup = Icost_experiments.Runner.default_settings.warmup;
+    measure = Icost_experiments.Runner.default_settings.measure;
+    seed = Icost_profiler.Sampler.default_opts.seed;
+  }
+
+type op =
+  | Breakdown of { target : target; focus : string }
+  | Icost of { target : target; sets : string list }
+  | Graph_stats of { target : target }
+  | Status
+  | Shutdown
+
+type request = { req_id : int; deadline_ms : int option; op : op }
+
+type breakdown_row = { row_label : string; row_percent : float; row_cycles : float }
+
+type icost_row = {
+  set_name : string;
+  set_cost : float;
+  set_icost : float;
+  set_class : string;
+}
+
+type status_body = {
+  uptime_s : float;
+  requests_total : int;
+  inflight : int;
+  queue_depth : int;
+  sessions : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  pool_jobs : int;
+  draining : bool;
+}
+
+type result_body =
+  | R_breakdown of { baseline : float; rows : breakdown_row list }
+  | R_icost of { baseline : float; rows : icost_row list }
+  | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
+  | R_status of status_body
+  | R_shutdown
+
+type error_code =
+  | Bad_request
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let error_code_name = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_name = function
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type reply = { rep_id : int; body : (result_body, error_code * string) result }
+
+(* ---------- encoding ---------- *)
+
+let target_fields (t : target) =
+  [
+    ("workload", Json.Str t.workload);
+    ("variant", Json.Str t.variant);
+    ("engine", Json.Str t.engine);
+    ("warmup", Json.Int t.warmup);
+    ("measure", Json.Int t.measure);
+    ("seed", Json.Int t.seed);
+  ]
+
+let encode_request (r : request) : string =
+  let head = [ ("v", Json.Str version); ("id", Json.Int r.req_id) ] in
+  let deadline =
+    match r.deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Json.Int ms) ]
+  in
+  let op_fields =
+    match r.op with
+    | Breakdown { target; focus } ->
+      (("op", Json.Str "breakdown") :: target_fields target)
+      @ [ ("focus", Json.Str focus) ]
+    | Icost { target; sets } ->
+      (("op", Json.Str "icost") :: target_fields target)
+      @ [ ("sets", Json.Arr (List.map (fun s -> Json.Str s) sets)) ]
+    | Graph_stats { target } ->
+      ("op", Json.Str "graph-stats") :: target_fields target
+    | Status -> [ ("op", Json.Str "status") ]
+    | Shutdown -> [ ("op", Json.Str "shutdown") ]
+  in
+  Json.encode (Json.Obj (head @ op_fields @ deadline))
+
+let result_json = function
+  | R_breakdown { baseline; rows } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "breakdown");
+        ("baseline", Json.Float baseline);
+        ( "rows",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("label", Json.Str r.row_label);
+                     ("percent", Json.Float r.row_percent);
+                     ("cycles", Json.Float r.row_cycles);
+                   ])
+               rows) );
+      ]
+  | R_icost { baseline; rows } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "icost");
+        ("baseline", Json.Float baseline);
+        ( "rows",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("set", Json.Str r.set_name);
+                     ("cost", Json.Float r.set_cost);
+                     ("icost", Json.Float r.set_icost);
+                     ("class", Json.Str r.set_class);
+                   ])
+               rows) );
+      ]
+  | R_graph_stats { instrs; nodes; edges; critical_path } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "graph-stats");
+        ("instrs", Json.Int instrs);
+        ("nodes", Json.Int nodes);
+        ("edges", Json.Int edges);
+        ("critical_path", Json.Int critical_path);
+      ]
+  | R_status s ->
+    Json.Obj
+      [
+        ("kind", Json.Str "status");
+        ("uptime_s", Json.Float s.uptime_s);
+        ("requests_total", Json.Int s.requests_total);
+        ("inflight", Json.Int s.inflight);
+        ("queue_depth", Json.Int s.queue_depth);
+        ("sessions", Json.Int s.sessions);
+        ("cache_hits", Json.Int s.cache_hits);
+        ("cache_misses", Json.Int s.cache_misses);
+        ("cache_evictions", Json.Int s.cache_evictions);
+        ("pool_jobs", Json.Int s.pool_jobs);
+        ("draining", Json.Bool s.draining);
+      ]
+  | R_shutdown -> Json.Obj [ ("kind", Json.Str "shutdown") ]
+
+let encode_reply (r : reply) : string =
+  let head = [ ("v", Json.Str version); ("id", Json.Int r.rep_id) ] in
+  let rest =
+    match r.body with
+    | Ok result -> [ ("ok", Json.Bool true); ("result", result_json result) ]
+    | Error (code, msg) ->
+      [
+        ("ok", Json.Bool false);
+        ( "error",
+          Json.Obj
+            [ ("code", Json.Str (error_code_name code)); ("msg", Json.Str msg) ]
+        );
+      ]
+  in
+  Json.encode (Json.Obj (head @ rest))
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) = Result.bind
+
+let field_or name default extract j =
+  match Json.member name j with
+  | None -> Ok default
+  | Some v ->
+    (match extract v with
+     | Some x -> Ok x
+     | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let required name extract j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v ->
+    (match extract v with
+     | Some x -> Ok x
+     | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let check_version j =
+  let* v = required "v" Json.get_str j in
+  if v = version then Ok ()
+  else Error (Printf.sprintf "unsupported protocol version %S" v)
+
+let decode_target j =
+  let* workload = required "workload" Json.get_str j in
+  let* variant = field_or "variant" default_target.variant Json.get_str j in
+  let* engine = field_or "engine" default_target.engine Json.get_str j in
+  let* warmup = field_or "warmup" default_target.warmup Json.get_int j in
+  let* measure = field_or "measure" default_target.measure Json.get_int j in
+  let* seed = field_or "seed" default_target.seed Json.get_int j in
+  if warmup < 0 || measure <= 0 then Error "warmup must be >= 0, measure > 0"
+  else Ok { workload; variant; engine; warmup; measure; seed }
+
+let decode_request (line : string) : (request, string) result =
+  if String.length line > max_request_bytes then
+    Error
+      (Printf.sprintf "request exceeds %d bytes (%d)" max_request_bytes
+         (String.length line))
+  else
+    let* j =
+      match Json.parse line with
+      | j -> Ok j
+      | exception Json.Parse_error m -> Error ("malformed JSON: " ^ m)
+    in
+    let* () = check_version j in
+    let* req_id = required "id" Json.get_int j in
+    let* deadline_ms =
+      field_or "deadline_ms" None (fun v -> Option.map Option.some (Json.get_int v)) j
+    in
+    let* () =
+      match deadline_ms with
+      | Some ms when ms < 0 -> Error "deadline_ms must be >= 0"
+      | _ -> Ok ()
+    in
+    let* opname = required "op" Json.get_str j in
+    let* op =
+      match opname with
+      | "breakdown" ->
+        let* target = decode_target j in
+        let* focus = field_or "focus" "dl1" Json.get_str j in
+        Ok (Breakdown { target; focus })
+      | "icost" ->
+        let* target = decode_target j in
+        let* sets =
+          field_or "sets" [ "dl1,win" ]
+            (fun v ->
+              match Json.get_arr v with
+              | None -> None
+              | Some items ->
+                let strs = List.filter_map Json.get_str items in
+                if List.length strs = List.length items then Some strs else None)
+            j
+        in
+        if sets = [] then Error "sets must be non-empty"
+        else Ok (Icost { target; sets })
+      | "graph-stats" ->
+        let* target = decode_target j in
+        Ok (Graph_stats { target })
+      | "status" -> Ok Status
+      | "shutdown" -> Ok Shutdown
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+    in
+    Ok { req_id; deadline_ms; op }
+
+let decode_rows j ~of_obj =
+  match Json.get_arr j with
+  | None -> Error "rows is not an array"
+  | Some items ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* r = of_obj item in
+        go (r :: acc) rest
+    in
+    go [] items
+
+let decode_result j =
+  let* kind = required "kind" Json.get_str j in
+  match kind with
+  | "breakdown" ->
+    let* baseline = required "baseline" Json.get_float j in
+    let* rows =
+      match Json.member "rows" j with
+      | None -> Error "missing rows"
+      | Some rows ->
+        decode_rows rows ~of_obj:(fun item ->
+            let* row_label = required "label" Json.get_str item in
+            let* row_percent = required "percent" Json.get_float item in
+            let* row_cycles = required "cycles" Json.get_float item in
+            Ok { row_label; row_percent; row_cycles })
+    in
+    Ok (R_breakdown { baseline; rows })
+  | "icost" ->
+    let* baseline = required "baseline" Json.get_float j in
+    let* rows =
+      match Json.member "rows" j with
+      | None -> Error "missing rows"
+      | Some rows ->
+        decode_rows rows ~of_obj:(fun item ->
+            let* set_name = required "set" Json.get_str item in
+            let* set_cost = required "cost" Json.get_float item in
+            let* set_icost = required "icost" Json.get_float item in
+            let* set_class = required "class" Json.get_str item in
+            Ok { set_name; set_cost; set_icost; set_class })
+    in
+    Ok (R_icost { baseline; rows })
+  | "graph-stats" ->
+    let* instrs = required "instrs" Json.get_int j in
+    let* nodes = required "nodes" Json.get_int j in
+    let* edges = required "edges" Json.get_int j in
+    let* critical_path = required "critical_path" Json.get_int j in
+    Ok (R_graph_stats { instrs; nodes; edges; critical_path })
+  | "status" ->
+    let* uptime_s = required "uptime_s" Json.get_float j in
+    let* requests_total = required "requests_total" Json.get_int j in
+    let* inflight = required "inflight" Json.get_int j in
+    let* queue_depth = required "queue_depth" Json.get_int j in
+    let* sessions = required "sessions" Json.get_int j in
+    let* cache_hits = required "cache_hits" Json.get_int j in
+    let* cache_misses = required "cache_misses" Json.get_int j in
+    let* cache_evictions = required "cache_evictions" Json.get_int j in
+    let* pool_jobs = required "pool_jobs" Json.get_int j in
+    let* draining = required "draining" Json.get_bool j in
+    Ok
+      (R_status
+         {
+           uptime_s;
+           requests_total;
+           inflight;
+           queue_depth;
+           sessions;
+           cache_hits;
+           cache_misses;
+           cache_evictions;
+           pool_jobs;
+           draining;
+         })
+  | "shutdown" -> Ok R_shutdown
+  | other -> Error (Printf.sprintf "unknown result kind %S" other)
+
+let decode_reply (line : string) : (reply, string) result =
+  let* j =
+    match Json.parse line with
+    | j -> Ok j
+    | exception Json.Parse_error m -> Error ("malformed JSON: " ^ m)
+  in
+  let* () = check_version j in
+  let* rep_id = required "id" Json.get_int j in
+  let* ok = required "ok" Json.get_bool j in
+  if ok then begin
+    match Json.member "result" j with
+    | None -> Error "missing result"
+    | Some result ->
+      let* body = decode_result result in
+      Ok { rep_id; body = Ok body }
+  end
+  else begin
+    match Json.member "error" j with
+    | None -> Error "missing error"
+    | Some e ->
+      let* code_name = required "code" Json.get_str e in
+      let* msg = required "msg" Json.get_str e in
+      (match error_code_of_name code_name with
+       | Some code -> Ok { rep_id; body = Error (code, msg) }
+       | None -> Error (Printf.sprintf "unknown error code %S" code_name))
+  end

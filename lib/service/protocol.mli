@@ -1,0 +1,104 @@
+(** The [icost.rpc.v1] wire protocol.
+
+    Newline-delimited JSON over a Unix domain socket: each request is one
+    JSON object on one line, each reply is one JSON object on one line.
+    Replies carry the request's [id] and may arrive out of order when a
+    client pipelines several requests on one connection.  The full wire
+    format is specified in [doc/protocol.md]; this module is the only
+    encoder/decoder on either side (server and client share it, so a
+    round-trip through {!encode_request}/{!decode_request} is the
+    identity by construction and the test suite checks it).
+
+    Reproducibility: a request fully determines its answer.  The [target]
+    carries every input of the analysis — workload, machine variant, cost
+    engine, warm-up/measure window and the sampling [seed] (fed to the
+    profiler's SplitMix64 {!Icost_util.Prng}) — so two clients issuing the
+    same request receive bit-identical replies, equal to what the one-shot
+    CLI produces for the same flags. *)
+
+val version : string
+(** ["icost.rpc.v1"] — sent in every message; the server rejects other
+    values with [Bad_request] rather than guessing. *)
+
+val max_request_bytes : int
+(** Upper bound on one request line (65536).  Longer lines are answered
+    with a typed [Bad_request] error and the connection is closed (the
+    stream is no longer in sync). *)
+
+(** What to analyze.  Defaults (applied by {!decode_request} for missing
+    fields) mirror the CLI: variant [base], engine [graph], the standard
+    warm-up/measure window, the profiler's default seed. *)
+type target = {
+  workload : string;  (** required; a {!Icost_workloads.Workload} name *)
+  variant : string;  (** base | dl1 | wakeup | bmisp *)
+  engine : string;  (** graph | multisim | profiler *)
+  warmup : int;
+  measure : int;
+  seed : int;  (** profiler sampling seed (see module doc) *)
+}
+
+val default_target : target
+(** [workload] is [""] (no default — requests without one are rejected). *)
+
+type op =
+  | Breakdown of { target : target; focus : string }
+      (** Table 4-style breakdown; [focus] selects the interaction rows. *)
+  | Icost of { target : target; sets : string list }
+      (** Cost + interaction cost of each category set, e.g. ["dl1,win"]. *)
+  | Graph_stats of { target : target }
+      (** Dependence-graph shape (always uses the graph engine). *)
+  | Status  (** server health: uptime, queue, cache, jobs *)
+  | Shutdown  (** graceful drain-then-exit *)
+
+type request = { req_id : int; deadline_ms : int option; op : op }
+
+type breakdown_row = { row_label : string; row_percent : float; row_cycles : float }
+
+type icost_row = {
+  set_name : string;
+  set_cost : float;
+  set_icost : float;
+  set_class : string;  (** independent | parallel | serial *)
+}
+
+type status_body = {
+  uptime_s : float;
+  requests_total : int;
+  inflight : int;
+  queue_depth : int;
+  sessions : int;  (** entries in the session cache *)
+  cache_hits : int;  (** summed over the prep/baseline/session caches *)
+  cache_misses : int;
+  cache_evictions : int;
+  pool_jobs : int;
+  draining : bool;
+}
+
+type result_body =
+  | R_breakdown of { baseline : float; rows : breakdown_row list }
+  | R_icost of { baseline : float; rows : icost_row list }
+  | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
+  | R_status of status_body
+  | R_shutdown
+
+type error_code =
+  | Bad_request  (** malformed/oversized/unknown-name request *)
+  | Overloaded  (** accept queue full — retry later (backpressure) *)
+  | Deadline_exceeded  (** the request's [deadline_ms] elapsed *)
+  | Shutting_down  (** server is draining; no new work accepted *)
+  | Internal  (** analysis raised; message carries the exception text *)
+
+val error_code_name : error_code -> string
+val error_code_of_name : string -> error_code option
+
+type reply = { rep_id : int; body : (result_body, error_code * string) result }
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+(** [Error msg] for anything that is not a well-formed v1 request; the
+    server turns it into a [Bad_request] reply. *)
+
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result

@@ -1,0 +1,94 @@
+(* Bounded worker-thread scheduler.  See scheduler.mli. *)
+
+module Telemetry = Icost_util.Telemetry
+
+let g_depth = Telemetry.gauge "service.queue_depth"
+
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  queue_limit : int;
+  mutable inflight : int;
+  mutable draining : bool;
+  mutable threads : Thread.t list;
+  mutable drained : bool;
+}
+
+let set_depth_gauge t = Telemetry.set g_depth (float_of_int (Queue.length t.queue))
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* draining and nothing left: this worker is done *)
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- t.inflight + 1;
+      set_depth_gauge t;
+      Mutex.unlock t.mutex;
+      (try job () with _ -> ());
+      Mutex.lock t.mutex;
+      t.inflight <- t.inflight - 1;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~queue_limit =
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      queue_limit = max 1 queue_limit;
+      inflight = 0;
+      draining = false;
+      threads = [];
+      drained = false;
+    }
+  in
+  t.threads <- List.init (max 1 workers) (fun _ -> Thread.create worker_loop t);
+  t
+
+let submit t job =
+  Mutex.lock t.mutex;
+  let verdict =
+    if t.draining then `Draining
+    else if Queue.length t.queue >= t.queue_limit then `Overloaded
+    else begin
+      Queue.add job t.queue;
+      set_depth_gauge t;
+      Condition.signal t.work_ready;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.mutex;
+  verdict
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let inflight t =
+  Mutex.lock t.mutex;
+  let n = t.inflight in
+  Mutex.unlock t.mutex;
+  n
+
+let drain t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  let already = t.drained in
+  t.drained <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  if not already then List.iter Thread.join t.threads

@@ -1,0 +1,43 @@
+(** Bounded request scheduler for the icost server.
+
+    A fixed set of worker {e threads} pulls jobs from a bounded FIFO
+    queue.  Threads, not domains: within one OCaml 5 domain only one
+    thread runs OCaml code at a time, but a worker thread that enters a
+    {!Icost_util.Pool} fan-out (every heavy analysis path does — workload
+    preparation, multisim batches, graph subset sweeps) blocks on a
+    condition variable and yields the domain, so concurrent requests
+    interleave their orchestration while the {e domain pool} provides the
+    actual parallelism.  This keeps exactly one process-wide compute pool
+    (sized by [--jobs]/[ICOST_JOBS]) no matter how many requests are in
+    flight, instead of multiplying domains per request.
+
+    Backpressure is explicit: {!submit} never blocks and never buffers
+    beyond [queue_limit] — a full queue yields [`Overloaded], which the
+    server turns into a typed protocol error so clients retry instead of
+    the daemon accumulating unbounded work (OOM).  The queue depth is
+    mirrored into the [service.queue_depth] telemetry gauge.
+
+    {!drain} is the graceful half of shutdown: it stops intake, lets both
+    the running and the already-queued jobs finish, and joins the
+    workers. *)
+
+type t
+
+val create : workers:int -> queue_limit:int -> t
+(** Spawn [workers] (clamped to >= 1) threads.  [queue_limit] (clamped to
+    >= 1) bounds jobs that are accepted but not yet running. *)
+
+val submit : t -> (unit -> unit) -> [ `Accepted | `Overloaded | `Draining ]
+(** Enqueue a job.  Jobs must not raise; the scheduler catches and drops
+    anything that escapes (the server wraps every request with its own
+    error reply long before this backstop). *)
+
+val queue_depth : t -> int
+(** Jobs accepted but not yet started. *)
+
+val inflight : t -> int
+(** Jobs currently running. *)
+
+val drain : t -> unit
+(** Refuse new submissions, run everything already accepted to
+    completion, then join the worker threads.  Idempotent. *)

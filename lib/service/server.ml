@@ -1,0 +1,467 @@
+(* Resident analysis daemon.  See server.mli for the architecture. *)
+
+module Telemetry = Icost_util.Telemetry
+module Pool = Icost_util.Pool
+module Config = Icost_uarch.Config
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Breakdown = Icost_core.Breakdown
+module Trace = Icost_isa.Trace
+module Ooo = Icost_sim.Ooo
+module Build = Icost_depgraph.Build
+module Graph = Icost_depgraph.Graph
+module Sampler = Icost_profiler.Sampler
+module Workload = Icost_workloads.Workload
+module Runner = Icost_experiments.Runner
+module Texport = Icost_report.Telemetry_export
+module P = Protocol
+
+type opts = {
+  socket : string;
+  workers : int;
+  queue_limit : int;
+  cache_cap : int;
+  handle_signals : bool;
+  on_ready : (unit -> unit) option;
+}
+
+let default_opts =
+  {
+    socket = "icostd.sock";
+    workers = 4;
+    queue_limit = 64;
+    cache_cap = 8;
+    handle_signals = true;
+    on_ready = None;
+  }
+
+type stats = { uptime_s : float; requests_total : int }
+
+(* a request failed validation before any analysis ran *)
+exception Bad of string
+
+(* a request's deadline elapsed (checked between oracle evaluations) *)
+exception Deadline
+
+type session = { oracle : Cost.oracle; graph : Graph.t option }
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;  (* one writer at a time per connection *)
+  pending : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
+  mutable alive : bool;
+}
+
+type t = {
+  opts : opts;
+  started : float;
+  sched : Scheduler.t;
+  prep_cache : Runner.prepared Cache.t;
+  baseline_cache : Ooo.result Cache.t;
+  session_cache : session Cache.t;
+  requests : int Atomic.t;
+  shutdown_requested : bool Atomic.t;
+  wake_w : Unix.file_descr;  (* self-pipe: any write wakes the accept loop *)
+  conns_mutex : Mutex.t;
+  mutable conns : (conn * Thread.t) list;
+}
+
+let c_requests = Telemetry.counter "service.requests"
+let c_ok = Telemetry.counter "service.replies_ok"
+let c_err = Telemetry.counter "service.replies_error"
+
+(* ---------- request validation ---------- *)
+
+let config_of_variant = function
+  | "base" -> Config.default
+  | "dl1" -> Config.loop_dl1
+  | "wakeup" -> Config.loop_wakeup
+  | "bmisp" -> Config.loop_bmisp
+  | other -> raise (Bad (Printf.sprintf "unknown variant %S" other))
+
+let kind_of_engine = function
+  | "graph" | "fullgraph" -> Runner.Fullgraph
+  | "multisim" -> Runner.Multisim
+  | "profiler" -> Runner.Profiler
+  | other -> raise (Bad (Printf.sprintf "unknown engine %S" other))
+
+let workload_of_name name =
+  match Workload.find name with
+  | Some w -> w
+  | None -> raise (Bad (Printf.sprintf "unknown workload %S" name))
+
+let category_of_name name =
+  match Category.of_name name with
+  | Some c -> c
+  | None -> raise (Bad (Printf.sprintf "unknown category %S" name))
+
+let set_of_spec spec =
+  String.split_on_char ',' spec
+  |> List.map (fun n -> category_of_name (String.trim n))
+  |> Category.Set.of_list
+
+(* ---------- session construction (the cached preparation path) ---------- *)
+
+(* Cache keys nest: prep ⊂ baseline ⊂ session, so a cache hit at any
+   layer implies agreement on everything the layer below depends on.  The
+   seed only reaches the profiler's sampling PRNG, so non-profiler
+   sessions normalize it away rather than splitting the cache. *)
+let prep_key (tg : P.target) =
+  Printf.sprintf "%s|w%d|m%d" tg.workload tg.warmup tg.measure
+
+let baseline_key (tg : P.target) cfg =
+  Printf.sprintf "%s|%s" (prep_key tg) (Texport.digest cfg)
+
+let session_key (tg : P.target) cfg kind =
+  let seed = match kind with Runner.Profiler -> tg.seed | _ -> 0 in
+  Printf.sprintf "%s|%s|s%d" (baseline_key tg cfg)
+    (Runner.oracle_kind_name kind)
+    seed
+
+let prepared_of t (tg : P.target) =
+  let w = workload_of_name tg.workload in
+  let settings =
+    { Runner.warmup = tg.warmup; measure = tg.measure; benches = [ tg.workload ] }
+  in
+  Cache.find_or_add t.prep_cache (prep_key tg) (fun () ->
+      Runner.prepare settings w)
+
+let session_of t (tg : P.target) : Runner.prepared * session =
+  let cfg = config_of_variant tg.variant in
+  let kind = kind_of_engine tg.engine in
+  let prepared = prepared_of t tg in
+  let baseline () =
+    Cache.find_or_add t.baseline_cache (baseline_key tg cfg) (fun () ->
+        Runner.baseline_run cfg prepared)
+  in
+  let session =
+    Cache.find_or_add t.session_cache (session_key tg cfg kind) (fun () ->
+        match kind with
+        | Runner.Multisim ->
+          { oracle = Runner.multisim_oracle cfg prepared; graph = None }
+        | Runner.Fullgraph ->
+          let g = Runner.graph_of ~baseline:(baseline ()) cfg prepared in
+          { oracle = Cost.memoize (Build.oracle g); graph = Some g }
+        | Runner.Profiler ->
+          {
+            oracle =
+              Runner.profiler_oracle
+                ~opts:{ Sampler.default_opts with seed = tg.seed }
+                ~baseline:(baseline ()) cfg prepared;
+            graph = None;
+          })
+  in
+  (prepared, session)
+
+(* ---------- analysis ---------- *)
+
+let check_deadline = function
+  | None -> ()
+  | Some t -> if Unix.gettimeofday () > t then raise Deadline
+
+(* The guard makes long queries cooperatively cancellable: Breakdown and
+   icost evaluations are loops over subset queries, so the deadline is
+   honored between (not within) individual oracle evaluations. *)
+let guard deadline (oracle : Cost.oracle) : Cost.oracle =
+ fun s ->
+  check_deadline deadline;
+  oracle s
+
+let analyze t ~deadline (op : P.op) : P.result_body =
+  match op with
+  | P.Breakdown { target; focus } ->
+    let focus_cat = category_of_name focus in
+    let _, session = session_of t target in
+    check_deadline deadline;
+    let bd = Breakdown.focus ~oracle:(guard deadline session.oracle) ~focus_cat in
+    P.R_breakdown
+      {
+        baseline = bd.baseline_cycles;
+        rows =
+          List.map
+            (fun (r : Breakdown.row) ->
+              {
+                P.row_label = Breakdown.row_label r;
+                row_percent = r.percent;
+                row_cycles = r.cycles;
+              })
+            bd.rows;
+      }
+  | P.Icost { target; sets } ->
+    let specs = List.map set_of_spec sets in
+    let _, session = session_of t target in
+    check_deadline deadline;
+    let o = guard deadline session.oracle in
+    let base = o Category.Set.empty in
+    P.R_icost
+      {
+        baseline = base;
+        rows =
+          List.map
+            (fun set ->
+              {
+                P.set_name = Category.Set.name set;
+                set_cost = Cost.cost o set;
+                set_icost = Cost.icost_ie o set;
+                set_class =
+                  Cost.interaction_name (Cost.classify (Cost.icost_ie o set));
+              })
+            specs;
+      }
+  | P.Graph_stats { target } ->
+    let target = { target with P.engine = "graph" } in
+    let prepared, session = session_of t target in
+    check_deadline deadline;
+    (match session.graph with
+     | Some g ->
+       P.R_graph_stats
+         {
+           instrs = Trace.length prepared.trace;
+           nodes = Graph.num_nodes g;
+           edges = Graph.num_edges g;
+           critical_path = Graph.critical_length g;
+         }
+     | None -> raise (Bad "graph engine produced no graph"))
+  | P.Status | P.Shutdown -> assert false (* handled inline, never queued *)
+
+let status_body t : P.status_body =
+  let sum3 f =
+    f (Cache.stats t.prep_cache)
+    + f (Cache.stats t.baseline_cache)
+    + f (Cache.stats t.session_cache)
+  in
+  {
+    P.uptime_s = Unix.gettimeofday () -. t.started;
+    requests_total = Atomic.get t.requests;
+    inflight = Scheduler.inflight t.sched;
+    queue_depth = Scheduler.queue_depth t.sched;
+    sessions = Cache.length t.session_cache;
+    cache_hits = sum3 (fun (s : Cache.stats) -> s.hits);
+    cache_misses = sum3 (fun (s : Cache.stats) -> s.misses);
+    cache_evictions = sum3 (fun (s : Cache.stats) -> s.evictions);
+    pool_jobs = Pool.jobs ();
+    draining = Atomic.get t.shutdown_requested;
+  }
+
+(* ---------- wire I/O ---------- *)
+
+let write_reply (c : conn) (reply : P.reply) =
+  let line = P.encode_reply reply ^ "\n" in
+  Mutex.lock c.wmutex;
+  (try
+     if c.alive then
+       ignore (Unix.write_substring c.fd line 0 (String.length line))
+   with Unix.Unix_error _ -> c.alive <- false);
+  Mutex.unlock c.wmutex;
+  (match reply.P.body with
+   | Ok _ -> Telemetry.incr c_ok
+   | Error _ -> Telemetry.incr c_err)
+
+let error_reply id code msg = { P.rep_id = id; body = Error (code, msg) }
+
+(* Read one '\n'-terminated line, refusing to buffer more than the
+   protocol's request cap (+1 so an exactly-at-cap line still decodes and
+   fails with the decoder's own size message). *)
+let read_line_bounded (c : conn) : [ `Line of string | `Too_long | `Eof ] =
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    let s = Buffer.contents c.pending in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear c.pending;
+      Buffer.add_string c.pending
+        (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+    | None -> None
+  in
+  let rec loop () =
+    match take_line () with
+    | Some line -> `Line line
+    | None ->
+      if Buffer.length c.pending > P.max_request_bytes then `Too_long
+      else begin
+        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> `Eof
+        | n ->
+          Buffer.add_subbytes c.pending chunk 0 n;
+          loop ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.ECONNRESET), _, _) ->
+          `Eof
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      end
+  in
+  loop ()
+
+(* ---------- request dispatch ---------- *)
+
+let initiate_shutdown t =
+  if not (Atomic.exchange t.shutdown_requested true) then
+    (* wake the accept loop; the pipe write is the only async-signal-ish
+       operation, safe from both signal handlers and connection threads *)
+    try ignore (Unix.write_substring t.wake_w "x" 0 1) with _ -> ()
+
+let exn_message = function
+  | Failure m -> m
+  | Invalid_argument m -> m
+  | e -> Printexc.to_string e
+
+let handle_line t (c : conn) (line : string) =
+  Atomic.incr t.requests;
+  Telemetry.incr c_requests;
+  match P.decode_request line with
+  | Error msg -> write_reply c (error_reply 0 P.Bad_request msg)
+  | Ok req ->
+    let id = req.P.req_id in
+    (match req.P.op with
+     | P.Status -> write_reply c { P.rep_id = id; body = Ok (P.R_status (status_body t)) }
+     | P.Shutdown ->
+       write_reply c { P.rep_id = id; body = Ok P.R_shutdown };
+       initiate_shutdown t
+     | (P.Breakdown { target; _ } | P.Icost { target; _ } | P.Graph_stats { target })
+       as op ->
+       let deadline =
+         Option.map
+           (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1e3))
+           req.P.deadline_ms
+       in
+       let job () =
+         let reply =
+           Telemetry.with_span "service.request"
+             ~attrs:
+               [
+                 ("op", (match op with
+                         | P.Breakdown _ -> "breakdown"
+                         | P.Icost _ -> "icost"
+                         | _ -> "graph-stats"));
+                 ("workload", target.P.workload);
+                 ("engine", target.P.engine);
+               ]
+           @@ fun () ->
+           match analyze t ~deadline op with
+           | body -> { P.rep_id = id; body = Ok body }
+           | exception Bad msg -> error_reply id P.Bad_request msg
+           | exception Deadline ->
+             error_reply id P.Deadline_exceeded "deadline elapsed"
+           | exception e -> error_reply id P.Internal (exn_message e)
+         in
+         write_reply c reply
+       in
+       (match Scheduler.submit t.sched job with
+        | `Accepted -> ()
+        | `Overloaded ->
+          write_reply c
+            (error_reply id P.Overloaded
+               (Printf.sprintf "queue full (limit %d); retry later"
+                  t.opts.queue_limit))
+        | `Draining ->
+          write_reply c (error_reply id P.Shutting_down "server is draining")))
+
+let conn_loop t (c : conn) =
+  let rec loop () =
+    match read_line_bounded c with
+    | `Eof -> ()
+    | `Too_long ->
+      (* the stream cannot be re-synchronized after an oversized request:
+         answer with a typed error, then drop the connection *)
+      write_reply c
+        (error_reply 0 P.Bad_request
+           (Printf.sprintf "request exceeds %d bytes" P.max_request_bytes))
+    | `Line line ->
+      if String.trim line <> "" then handle_line t c line;
+      loop ()
+  in
+  (try loop () with _ -> ());
+  Mutex.lock c.wmutex;
+  c.alive <- false;
+  Mutex.unlock c.wmutex;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+(* ---------- lifecycle ---------- *)
+
+let setup_socket path =
+  if Sys.file_exists path then begin
+    (* distinguish a live daemon from a stale file left by a crash *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith (Printf.sprintf "socket %s is already served" path)
+    else Unix.unlink path
+  end;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let run (opts : opts) : stats =
+  (* a client that disconnects mid-reply must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* validate the socket before spawning any worker threads, so a
+     "already served" failure leaks nothing *)
+  let listen_fd = setup_socket opts.socket in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      opts;
+      started = Unix.gettimeofday ();
+      sched = Scheduler.create ~workers:opts.workers ~queue_limit:opts.queue_limit;
+      prep_cache = Cache.create ~name:"prep" ~cap:opts.cache_cap;
+      baseline_cache = Cache.create ~name:"baseline" ~cap:opts.cache_cap;
+      session_cache = Cache.create ~name:"session" ~cap:opts.cache_cap;
+      requests = Atomic.make 0;
+      shutdown_requested = Atomic.make false;
+      wake_w;
+      conns_mutex = Mutex.create ();
+      conns = [];
+    }
+  in
+  if opts.handle_signals then begin
+    let h = Sys.Signal_handle (fun _ -> initiate_shutdown t) in
+    (try Sys.set_signal Sys.sigint h with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm h with Invalid_argument _ -> ())
+  end;
+  Option.iter (fun f -> f ()) opts.on_ready;
+  let rec accept_loop () =
+    if not (Atomic.get t.shutdown_requested) then begin
+      match Unix.select [ listen_fd; wake_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | readable, _, _ ->
+        if List.mem listen_fd readable && not (Atomic.get t.shutdown_requested)
+        then begin
+          (match Unix.accept listen_fd with
+           | fd, _ ->
+             let c =
+               { fd; wmutex = Mutex.create (); pending = Buffer.create 256;
+                 alive = true }
+             in
+             let th = Thread.create (conn_loop t) c in
+             Mutex.lock t.conns_mutex;
+             t.conns <- (c, th) :: t.conns;
+             Mutex.unlock t.conns_mutex
+           | exception Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+    end
+  in
+  accept_loop ();
+  (* --- graceful shutdown: drain, then dismantle --- *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Scheduler.drain t.sched;
+  Mutex.lock t.conns_mutex;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conns_mutex;
+  List.iter
+    (fun ((c : conn), _) ->
+      (* a blocked reader does not wake on [close] alone *)
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close wake_w with Unix.Unix_error _ -> ());
+  (try Unix.unlink opts.socket with Unix.Unix_error _ -> ());
+  { uptime_s = Unix.gettimeofday () -. t.started;
+    requests_total = Atomic.get t.requests }

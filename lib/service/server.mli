@@ -1,0 +1,52 @@
+(** The resident icost analysis daemon ([icost serve]).
+
+    Listens on a Unix domain socket and answers [icost.rpc.v1] requests
+    ({!Protocol}).  The expensive per-query work of the one-shot CLI —
+    interpreting the workload, annotating events, running the baseline
+    simulation, compiling the dependence graph, building a memoized cost
+    oracle — is done once per session key and then served from three
+    stacked {!Cache}s:
+
+    - {b prep}: (workload, warmup, measure) -> prepared execution
+      (machine-variant independent, shared by every variant and engine);
+    - {b baseline}: prep key + config digest -> baseline [Ooo.run] result
+      (shared by the graph and profiler engines on the same variant);
+    - {b session}: baseline key + engine + seed -> memoized oracle (and
+      the compiled graph for the graph engine).
+
+    Analysis requests flow through a bounded {!Scheduler}; a full queue
+    is answered with an [overloaded] error (backpressure) and a draining
+    server with [shutting_down].  Requests may carry a deadline, checked
+    cooperatively between oracle evaluations ([deadline_exceeded]).
+    [status] and [shutdown] are answered inline by the connection reader
+    so they work even when the compute queue is saturated.
+
+    Shutdown (a [shutdown] request, SIGINT or SIGTERM) is graceful: stop
+    accepting connections, complete every accepted request, flush replies,
+    close connections, remove the socket file, return. *)
+
+type opts = {
+  socket : string;  (** Unix domain socket path *)
+  workers : int;  (** scheduler worker threads (see {!Scheduler}) *)
+  queue_limit : int;  (** accepted-but-not-running bound *)
+  cache_cap : int;  (** max entries per cache layer *)
+  handle_signals : bool;
+      (** install SIGINT/SIGTERM handlers that trigger graceful shutdown
+          (the CLI wants this; in-process tests do not) *)
+  on_ready : (unit -> unit) option;
+      (** called once the socket is listening, before the accept loop *)
+}
+
+val default_opts : opts
+(** socket ["icostd.sock"], 4 workers, queue limit 64, cache cap 8,
+    signals handled, no ready hook. *)
+
+type stats = { uptime_s : float; requests_total : int }
+(** Returned by {!run} for the exit report and the telemetry manifest. *)
+
+val run : opts -> stats
+(** Serve until shutdown.  Blocks the calling thread; everything else
+    (connection readers, scheduler workers) runs on threads spawned here
+    and is joined before returning.
+    @raise Failure if the socket path is already served by a live daemon
+    (a stale socket file left by a crash is silently replaced). *)

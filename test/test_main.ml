@@ -24,4 +24,5 @@ let () =
       Test_fuzz.suite;
       Test_integration.suite;
       Test_parallel.suite;
+      Test_service.suite;
     ]

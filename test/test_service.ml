@@ -1,0 +1,721 @@
+(* Tests for the service layer: the icost.rpc.v1 wire protocol (round
+   trips, malformed and over-long requests), the single-flight LRU cache,
+   scheduler backpressure, the bounded cost memo table, and two
+   end-to-end daemon sessions over real Unix sockets — checking that
+   served answers are bit-identical to direct Runner computations, that
+   concurrent clients on one key trigger a single preparation, and that
+   shutdown mid-request still answers the in-flight query. *)
+
+module Telemetry = Icost_util.Telemetry
+module Category = Icost_core.Category
+module Cost = Icost_core.Cost
+module Breakdown = Icost_core.Breakdown
+module Trace = Icost_isa.Trace
+module Config = Icost_uarch.Config
+module Graph = Icost_depgraph.Graph
+module Build = Icost_depgraph.Build
+module Sampler = Icost_profiler.Sampler
+module Workload = Icost_workloads.Workload
+module Runner = Icost_experiments.Runner
+module Json = Icost_service.Json
+module P = Icost_service.Protocol
+module Cache = Icost_service.Cache
+module Scheduler = Icost_service.Scheduler
+module Server = Icost_service.Server
+module Client = Icost_service.Client
+
+let bits = Int64.bits_of_float
+
+let check_feq what a b = Alcotest.(check int64) what (bits a) (bits b)
+
+(* Raw writes against a daemon that may close mid-write raise EPIPE
+   instead of killing the test binary. *)
+let sigpipe_off () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let rec wait_for ?(tries = 2500) what pred =
+  if pred () then ()
+  else if tries = 0 then Alcotest.fail ("timeout waiting for " ^ what)
+  else begin
+    Thread.delay 0.002;
+    wait_for ~tries:(tries - 1) what pred
+  end
+
+(* ---------- protocol round trips ---------- *)
+
+let sample_target =
+  {
+    P.workload = "gcc";
+    variant = "dl1";
+    engine = "multisim";
+    warmup = 123;
+    measure = 456;
+    seed = 789;
+  }
+
+let test_request_roundtrip () =
+  let ops =
+    [
+      P.Breakdown { target = sample_target; focus = "bmisp" };
+      P.Icost { target = P.{ default_target with workload = "gzip" };
+                sets = [ "dl1"; "dl1,win"; "bw" ] };
+      P.Graph_stats { target = sample_target };
+      P.Status;
+      P.Shutdown;
+    ]
+  in
+  List.iteri
+    (fun i op ->
+      List.iter
+        (fun deadline_ms ->
+          let r = { P.req_id = i; deadline_ms; op } in
+          match P.decode_request (P.encode_request r) with
+          | Ok r' ->
+            Alcotest.(check bool)
+              (Printf.sprintf "request %d round-trips" i)
+              true (r = r')
+          | Error msg -> Alcotest.fail ("round trip rejected: " ^ msg))
+        [ None; Some 1500 ])
+    ops
+
+let test_reply_roundtrip () =
+  let awkward = [ 0.1; 1. /. 3.; 4. *. atan 1.; 1e-300; 9885.; -17.25 ] in
+  let bodies =
+    [
+      Ok
+        (P.R_breakdown
+           {
+             baseline = List.nth awkward 4;
+             rows =
+               List.mapi
+                 (fun i f ->
+                   { P.row_label = Printf.sprintf "row%d" i;
+                     row_percent = f;
+                     row_cycles = f *. 7. })
+                 awkward;
+           });
+      Ok
+        (P.R_icost
+           {
+             baseline = 0.1 +. 0.2;
+             rows =
+               [
+                 { P.set_name = "dl1+win"; set_cost = 1. /. 7.;
+                   set_icost = -1. /. 7.; set_class = "serial" };
+               ];
+           });
+      Ok (P.R_graph_stats
+            { instrs = 5000; nodes = 20001; edges = 63; critical_path = 9885 });
+      Ok
+        (P.R_status
+           {
+             P.uptime_s = 12.75;
+             requests_total = 42;
+             inflight = 2;
+             queue_depth = 3;
+             sessions = 4;
+             cache_hits = 10;
+             cache_misses = 5;
+             cache_evictions = 1;
+             pool_jobs = 8;
+             draining = false;
+           });
+      Ok P.R_shutdown;
+      Error (P.Bad_request, "unknown workload \"nope\"");
+      Error (P.Overloaded, "queue full");
+      Error (P.Deadline_exceeded, "deadline elapsed");
+      Error (P.Shutting_down, "draining");
+      Error (P.Internal, "boom");
+    ]
+  in
+  List.iteri
+    (fun i body ->
+      let r = { P.rep_id = i; body } in
+      match P.decode_reply (P.encode_reply r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "reply %d round-trips" i)
+          true (r = r')
+      | Error msg -> Alcotest.fail ("reply round trip rejected: " ^ msg))
+    bodies
+
+let test_decode_rejects () =
+  let cases =
+    [
+      ("not json", "this is not json");
+      ("wrong version", {|{"v":"icost.rpc.v0","id":1,"op":"status"}|});
+      ("missing workload", {|{"v":"icost.rpc.v1","id":1,"op":"breakdown"}|});
+      ("unknown op", {|{"v":"icost.rpc.v1","id":1,"op":"frobnicate"}|});
+      ( "bad measure",
+        {|{"v":"icost.rpc.v1","id":1,"op":"breakdown","workload":"gcc","measure":0}|}
+      );
+      ( "over-long line",
+        P.encode_request
+          { P.req_id = 1; deadline_ms = None;
+            op = P.Breakdown
+                { target =
+                    { sample_target with
+                      P.workload = String.make (P.max_request_bytes + 1) 'x' };
+                  focus = "dl1" } } );
+    ]
+  in
+  List.iter
+    (fun (what, line) ->
+      match P.decode_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (what ^ " should have been rejected"))
+    cases
+
+let test_error_code_names () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        ("code " ^ P.error_code_name c ^ " round-trips")
+        true
+        (P.error_code_of_name (P.error_code_name c) = Some c))
+    [ P.Bad_request; P.Overloaded; P.Deadline_exceeded; P.Shutting_down;
+      P.Internal ];
+  Alcotest.(check bool)
+    "unknown code name" true
+    (P.error_code_of_name "no_such_code" = None)
+
+(* ---------- json ---------- *)
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      match Json.parse (Json.encode (Json.Float f)) with
+      | Json.Float f' -> check_feq (Printf.sprintf "%h round-trips" f) f f'
+      | _ -> Alcotest.fail "float parsed as non-float")
+    [ 0.1; 1. /. 3.; 4. *. atan 1.; 1e-300; 1.7976931348623157e308; 2.5e-17 ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "nul"; "{'a':1}" ]
+
+(* ---------- cache ---------- *)
+
+let test_cache_single_flight () =
+  let cache : int Cache.t = Cache.create ~name:"test_sf" ~cap:4 in
+  let builds = Atomic.make 0 in
+  let results = Array.make 8 (-1) in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun i ->
+            results.(i) <-
+              Cache.find_or_add cache "k" (fun () ->
+                  Atomic.incr builds;
+                  Thread.delay 0.05;
+                  42))
+          i)
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "builder ran exactly once" 1 (Atomic.get builds);
+  Array.iter (fun v -> Alcotest.(check int) "shared value" 42 v) results;
+  let st = Cache.stats cache in
+  Alcotest.(check int) "one miss" 1 st.Cache.misses;
+  Alcotest.(check int) "seven hits" 7 st.Cache.hits
+
+let test_cache_eviction_and_retry () =
+  let cache : string Cache.t = Cache.create ~name:"test_ev" ~cap:2 in
+  let builds = ref 0 in
+  let get k =
+    Cache.find_or_add cache k (fun () ->
+        incr builds;
+        k)
+  in
+  ignore (get "a");
+  ignore (get "b");
+  ignore (get "a") (* refresh a: b becomes the LRU entry *);
+  ignore (get "c") (* over cap: evicts b *);
+  Alcotest.(check int) "bounded" 2 (Cache.length cache);
+  Alcotest.(check int) "one eviction" 1 (Cache.stats cache).Cache.evictions;
+  Alcotest.(check string) "evicted key rebuilds" "b" (get "b");
+  Alcotest.(check int) "a,b,c then b again" 4 !builds;
+  (* a failing builder raises to its caller and leaves no poisoned entry *)
+  let boom : int Cache.t = Cache.create ~name:"test_fail" ~cap:2 in
+  (match Cache.find_or_add boom "k" (fun () -> failwith "boom") with
+   | _ -> Alcotest.fail "builder exception should propagate"
+   | exception Failure msg -> Alcotest.(check string) "builder error" "boom" msg);
+  Alcotest.(check int) "retry after failed build" 7
+    (Cache.find_or_add boom "k" (fun () -> 7))
+
+(* ---------- scheduler ---------- *)
+
+let test_scheduler_backpressure () =
+  let s = Scheduler.create ~workers:1 ~queue_limit:1 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let ran = Atomic.make 0 in
+  let job () =
+    Mutex.lock gate;
+    Mutex.unlock gate;
+    Atomic.incr ran
+  in
+  (match Scheduler.submit s job with
+   | `Accepted -> ()
+   | _ -> Alcotest.fail "first job should be accepted");
+  (* the single worker is now blocked on the gate *)
+  wait_for "worker pickup" (fun () -> Scheduler.inflight s = 1);
+  (match Scheduler.submit s job with
+   | `Accepted -> ()
+   | _ -> Alcotest.fail "second job fits the queue");
+  Alcotest.(check int) "queued" 1 (Scheduler.queue_depth s);
+  (match Scheduler.submit s job with
+   | `Overloaded -> ()
+   | _ -> Alcotest.fail "third job should be refused (queue full)");
+  Mutex.unlock gate;
+  Scheduler.drain s;
+  Alcotest.(check int) "accepted jobs all ran" 2 (Atomic.get ran);
+  Alcotest.(check int) "queue empty after drain" 0 (Scheduler.queue_depth s);
+  match Scheduler.submit s job with
+  | `Draining -> ()
+  | _ -> Alcotest.fail "post-drain submissions refused"
+
+(* ---------- bounded cost memo table ---------- *)
+
+let test_memoize_cap () =
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+  @@ fun () ->
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let calls = ref 0 in
+  let oracle s =
+    incr calls;
+    float_of_int (10 * Category.Set.cardinal s) +. 1.
+  in
+  let m = Cost.memoize ~cap:2 oracle in
+  let s_empty = Category.Set.empty in
+  let s_dl1 = Category.Set.singleton Category.Dl1 in
+  let s_win = Category.Set.singleton Category.Win in
+  check_feq "miss empty" 1. (m s_empty);
+  check_feq "miss dl1" 11. (m s_dl1);
+  Alcotest.(check int) "two underlying calls" 2 !calls;
+  check_feq "hit empty" 1. (m s_empty) (* refresh: dl1 becomes the LRU *);
+  Alcotest.(check int) "hit is free" 2 !calls;
+  check_feq "miss win evicts dl1" 11. (m s_win);
+  check_feq "evicted dl1 recomputes (evicts empty)" 11. (m s_dl1);
+  Alcotest.(check int) "two recomputations" 4 !calls;
+  check_feq "win still cached" 11. (m s_win);
+  Alcotest.(check int) "still four" 4 !calls;
+  match List.assoc_opt "cost.memo_evictions" (Telemetry.counters ()) with
+  | Some n -> Alcotest.(check bool) "evictions counted" true (n >= 2)
+  | None -> Alcotest.fail "cost.memo_evictions counter missing"
+
+(* ---------- end-to-end daemon sessions ---------- *)
+
+let tmp_socket tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "icost-test-%s-%d.sock" tag (Unix.getpid ()))
+
+type server_handle = {
+  thread : Thread.t;
+  outcome : (Server.stats, exn) result option ref;
+}
+
+let start_server opts =
+  let outcome = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Some (match Server.run opts with s -> Ok s | exception e -> Error e))
+      ()
+  in
+  { thread; outcome }
+
+let finish_server srv =
+  Thread.join srv.thread;
+  match !(srv.outcome) with
+  | Some (Ok s) -> s
+  | Some (Error e) -> raise e
+  | None -> Alcotest.fail "server exited without reporting"
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+(* Read up to [n] newline-terminated lines (fewer on EOF). *)
+let raw_read_lines fd n =
+  let pending = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    let s = Buffer.contents pending in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      Buffer.clear pending;
+      Buffer.add_string pending (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+  in
+  let rec collect acc =
+    if List.length acc >= n then List.rev acc
+    else
+      match take_line () with
+      | Some line -> collect (line :: acc)
+      | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> List.rev acc
+        | k ->
+          Buffer.add_string pending (Bytes.sub_string chunk 0 k);
+          collect acc
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          List.rev acc)
+  in
+  collect []
+
+let decode_reply_exn line =
+  match P.decode_reply line with
+  | Ok r -> r
+  | Error msg -> Alcotest.fail ("undecodable reply: " ^ msg)
+
+let req ?(id = 1) ?deadline_ms op = { P.req_id = id; deadline_ms; op }
+
+(* Reply comparison that ignores the request id (everything else,
+   including every float bit, is covered by the %.17g encoding). *)
+let norm (r : P.reply) = P.encode_reply { r with P.rep_id = 0 }
+
+let set_of_spec spec =
+  String.split_on_char ',' spec
+  |> List.map (fun n ->
+         match Category.of_name (String.trim n) with
+         | Some c -> c
+         | None -> Alcotest.fail ("bad category in test: " ^ n))
+  |> Category.Set.of_list
+
+let test_serve_end_to_end () =
+  sigpipe_off ();
+  let socket = tmp_socket "e2e" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with
+      socket;
+      workers = 2;
+      queue_limit = 8;
+      handle_signals = false }
+  in
+  let srv = start_server opts in
+  let tg =
+    { P.default_target with P.workload = "gcc"; warmup = 2000; measure = 800 }
+  in
+  let breakdown_op = P.Breakdown { target = tg; focus = "dl1" } in
+
+  (* Concurrent identical cold queries: the server must prepare once and
+     answer everyone.  These are the first requests the server sees, so
+     the cache tallies below are exact. *)
+  let n = 4 in
+  let replies = Array.make n None in
+  let clients =
+    List.init n (fun i ->
+        Thread.create
+          (fun i ->
+            Client.with_client ~retry_for:10.0 ~socket (fun c ->
+                replies.(i) <- Some (Client.call c (req ~id:i breakdown_op))))
+          i)
+  in
+  List.iter Thread.join clients;
+  let first =
+    match replies.(0) with
+    | Some r -> r
+    | None -> Alcotest.fail "missing reply"
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some r ->
+        Alcotest.(check string)
+          (Printf.sprintf "client %d got the same answer" i)
+          (norm first) (norm r)
+      | None -> Alcotest.fail "missing reply")
+    replies;
+
+  (* The same computation, directly against the library. *)
+  let settings =
+    { Runner.warmup = tg.P.warmup; measure = tg.P.measure;
+      benches = [ tg.P.workload ] }
+  in
+  let w =
+    match Workload.find tg.P.workload with
+    | Some w -> w
+    | None -> Alcotest.fail "test workload missing"
+  in
+  let prepared = Runner.prepare settings w in
+  let cfg = Config.default in
+  let baseline = Runner.baseline_run cfg prepared in
+  let g = Runner.graph_of ~baseline cfg prepared in
+  let goracle = Cost.memoize (Build.oracle g) in
+  let bd = Breakdown.focus ~oracle:goracle ~focus_cat:Category.Dl1 in
+  let expected_breakdown =
+    P.R_breakdown
+      {
+        baseline = bd.Breakdown.baseline_cycles;
+        rows =
+          List.map
+            (fun (r : Breakdown.row) ->
+              { P.row_label = Breakdown.row_label r;
+                row_percent = r.Breakdown.percent;
+                row_cycles = r.Breakdown.cycles })
+            bd.Breakdown.rows;
+      }
+  in
+  Alcotest.(check string) "served breakdown bit-identical to direct Runner"
+    (P.encode_reply { P.rep_id = 0; body = Ok expected_breakdown })
+    (norm first);
+
+  Client.with_client ~retry_for:10.0 ~socket (fun c ->
+      let status () =
+        match (Client.call c (req P.Status)).P.body with
+        | Ok (P.R_status s) -> s
+        | _ -> Alcotest.fail "status reply malformed"
+      in
+      (* 4 concurrent requests on one key: prep built once, baseline once
+         (inside the session build), session once — everything else hit. *)
+      let s = status () in
+      Alcotest.(check int) "single preparation: 3 misses" 3 s.P.cache_misses;
+      Alcotest.(check int) "waiters counted as hits" 6 s.P.cache_hits;
+      Alcotest.(check int) "one session" 1 s.P.sessions;
+      Alcotest.(check bool) "not draining" false s.P.draining;
+
+      (* warm repeat: no new misses *)
+      let warm = Client.call c (req ~id:50 breakdown_op) in
+      Alcotest.(check string) "warm repeat identical" (norm first) (norm warm);
+      Alcotest.(check int) "still 3 misses" 3 (status ()).P.cache_misses;
+
+      (* icost over the multisim engine, checked against direct Cost calls *)
+      let sets = [ "dl1"; "win"; "dl1,win" ] in
+      let mtg = { tg with P.engine = "multisim" } in
+      let icost_reply =
+        Client.call c (req ~id:51 (P.Icost { target = mtg; sets }))
+      in
+      let mo = Runner.multisim_oracle cfg prepared in
+      let expected_icost =
+        P.R_icost
+          {
+            baseline = mo Category.Set.empty;
+            rows =
+              List.map
+                (fun spec ->
+                  let set = set_of_spec spec in
+                  let ic = Cost.icost_ie mo set in
+                  { P.set_name = Category.Set.name set;
+                    set_cost = Cost.cost mo set;
+                    set_icost = ic;
+                    set_class = Cost.interaction_name (Cost.classify ic) })
+                sets;
+          }
+      in
+      Alcotest.(check string) "served icost bit-identical to direct Cost"
+        (P.encode_reply { P.rep_id = 0; body = Ok expected_icost })
+        (norm icost_reply);
+
+      (* graph stats against the directly compiled graph *)
+      (match (Client.call c (req ~id:52 (P.Graph_stats { target = tg }))).P.body
+       with
+       | Ok (P.R_graph_stats { instrs; nodes; edges; critical_path }) ->
+         Alcotest.(check int) "instrs" (Trace.length prepared.Runner.trace)
+           instrs;
+         Alcotest.(check int) "nodes" (Graph.num_nodes g) nodes;
+         Alcotest.(check int) "edges" (Graph.num_edges g) edges;
+         Alcotest.(check int) "critical path" (Graph.critical_length g)
+           critical_path
+       | _ -> Alcotest.fail "graph-stats reply malformed");
+
+      (* profiler engine: the seed makes replies reproducible *)
+      let ptg = { tg with P.engine = "profiler"; seed = 123 } in
+      let p1 = Client.call c (req ~id:53 (P.Icost { target = ptg; sets = [ "dl1" ] })) in
+      let p2 = Client.call c (req ~id:54 (P.Icost { target = ptg; sets = [ "dl1" ] })) in
+      Alcotest.(check string) "profiler replies reproducible for one seed"
+        (norm p1) (norm p2);
+      let po =
+        Runner.profiler_oracle
+          ~opts:{ Sampler.default_opts with Sampler.seed = 123 }
+          ~baseline cfg prepared
+      in
+      (match p1.P.body with
+       | Ok (P.R_icost { baseline = pbase; _ }) ->
+         check_feq "profiler baseline bit-identical to direct oracle"
+           (po Category.Set.empty) pbase
+       | _ -> Alcotest.fail "profiler reply malformed");
+
+      (* an already-expired deadline is refused with the typed error *)
+      (match (Client.call c (req ~id:55 ~deadline_ms:0 breakdown_op)).P.body with
+       | Error (P.Deadline_exceeded, _) -> ()
+       | _ -> Alcotest.fail "deadline_ms=0 should yield deadline_exceeded");
+
+      (* malformed line: typed bad_request, connection stays usable *)
+      let fd = raw_connect socket in
+      raw_send fd "this is not json\n";
+      (match raw_read_lines fd 1 with
+       | [ line ] -> (
+         match (decode_reply_exn line).P.body with
+         | Error (P.Bad_request, _) -> ()
+         | _ -> Alcotest.fail "garbage should yield bad_request")
+       | _ -> Alcotest.fail "no reply to garbage line");
+      Unix.close fd;
+
+      (* slightly over the cap: the line is still fully read (bounded-read
+         slack), the decoder rejects it by size, and the stream stays in
+         sync — the same connection answers the next request *)
+      let fd = raw_connect socket in
+      (try raw_send fd (String.make (P.max_request_bytes + 10) 'x' ^ "\n")
+       with Unix.Unix_error _ -> ());
+      (match raw_read_lines fd 1 with
+       | [ line ] -> (
+         match (decode_reply_exn line).P.body with
+         | Error (P.Bad_request, _) -> ()
+         | _ -> Alcotest.fail "over-long line should yield bad_request")
+       | _ -> Alcotest.fail "no reply to over-long line");
+      raw_send fd (P.encode_request (req ~id:56 P.Status) ^ "\n");
+      (match raw_read_lines fd 1 with
+       | [ line ] -> (
+         match (decode_reply_exn line).P.body with
+         | Ok (P.R_status _) -> ()
+         | _ -> Alcotest.fail "connection unusable after over-long line")
+       | _ -> Alcotest.fail "no reply after over-long line");
+      Unix.close fd;
+
+      (* grossly over the cap (no newline in sight): the reader gives up,
+         answers with the typed error and closes — the stream cannot be
+         re-synchronized *)
+      let fd = raw_connect socket in
+      (try raw_send fd (String.make (P.max_request_bytes + 16384) 'x' ^ "\n")
+       with Unix.Unix_error _ -> ());
+      (match raw_read_lines fd 2 with
+       | [ line ] -> (
+         match (decode_reply_exn line).P.body with
+         | Error (P.Bad_request, _) -> ()
+         | _ -> Alcotest.fail "oversized stream should yield bad_request")
+       | other ->
+         Alcotest.fail
+           (Printf.sprintf "expected bad_request then EOF, got %d line(s)"
+              (List.length other)));
+      Unix.close fd;
+
+      (* a second daemon on the same live socket must refuse to start *)
+      (match Server.run { opts with Server.on_ready = None } with
+       | _ -> Alcotest.fail "second server on a live socket should fail"
+       | exception Failure _ -> ());
+
+      (* graceful shutdown *)
+      match (Client.call c (req ~id:60 P.Shutdown)).P.body with
+      | Ok P.R_shutdown -> ()
+      | _ -> Alcotest.fail "shutdown not acknowledged");
+  let stats = finish_server srv in
+  Alcotest.(check bool) "server counted its requests" true
+    (stats.Server.requests_total >= 12);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+(* Backpressure over the wire and shutdown with a request in flight, on a
+   deliberately tiny server (one worker, queue of one). *)
+let test_serve_backpressure_and_drain () =
+  sigpipe_off ();
+  let socket = tmp_socket "bp" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with
+      socket;
+      workers = 1;
+      queue_limit = 1;
+      handle_signals = false }
+  in
+  let srv = start_server opts in
+  let tg =
+    { P.default_target with P.workload = "gcc"; warmup = 2000; measure = 800 }
+  in
+  (* wait for the daemon, then drop the probe connection *)
+  Client.close (Client.connect ~retry_for:10.0 ~socket ());
+
+  (* Pipeline 7 cold analysis requests at once: the first occupies the
+     worker (cold preparation), at most one more fits the queue, the rest
+     must be refused with the typed overloaded error — and every accepted
+     request must still be answered. *)
+  let total = 7 in
+  let fd = raw_connect socket in
+  let buf = Buffer.create 1024 in
+  for i = 1 to total do
+    Buffer.add_string buf
+      (P.encode_request (req ~id:i (P.Breakdown { target = tg; focus = "dl1" })));
+    Buffer.add_char buf '\n'
+  done;
+  raw_send fd (Buffer.contents buf);
+  let replies = List.map decode_reply_exn (raw_read_lines fd total) in
+  Unix.close fd;
+  Alcotest.(check int) "every request answered" total (List.length replies);
+  let ok, overloaded, other =
+    List.fold_left
+      (fun (ok, ov, other) (r : P.reply) ->
+        match r.P.body with
+        | Ok (P.R_breakdown _) -> (ok + 1, ov, other)
+        | Error (P.Overloaded, _) -> (ok, ov + 1, other)
+        | _ -> (ok, ov, other + 1))
+      (0, 0, 0) replies
+  in
+  Alcotest.(check int) "only breakdown/overloaded replies" 0 other;
+  Alcotest.(check bool) "accepted requests answered" true (ok >= 1);
+  Alcotest.(check bool) "queue overflow refused" true (overloaded >= 4);
+
+  (* Shutdown with a request in flight: pipeline a cold analysis (fresh
+     cache key) and a shutdown on one connection.  The reader accepts the
+     analysis before it sees the shutdown, so the drain must still answer
+     it. *)
+  let cold = { tg with P.measure = 900 } in
+  let fd = raw_connect socket in
+  raw_send fd
+    (P.encode_request (req ~id:10 (P.Breakdown { target = cold; focus = "dl1" }))
+     ^ "\n"
+     ^ P.encode_request (req ~id:11 P.Shutdown)
+     ^ "\n");
+  let replies = List.map decode_reply_exn (raw_read_lines fd 2) in
+  Unix.close fd;
+  let find id =
+    match List.find_opt (fun (r : P.reply) -> r.P.rep_id = id) replies with
+    | Some r -> r
+    | None -> Alcotest.fail (Printf.sprintf "no reply for request %d" id)
+  in
+  (match (find 10).P.body with
+   | Ok (P.R_breakdown _) -> ()
+   | _ -> Alcotest.fail "in-flight request must be answered during drain");
+  (match (find 11).P.body with
+   | Ok P.R_shutdown -> ()
+   | _ -> Alcotest.fail "shutdown not acknowledged");
+  ignore (finish_server srv);
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "protocol: request round-trip" `Quick
+        test_request_roundtrip;
+      Alcotest.test_case "protocol: reply round-trip" `Quick
+        test_reply_roundtrip;
+      Alcotest.test_case "protocol: malformed requests rejected" `Quick
+        test_decode_rejects;
+      Alcotest.test_case "protocol: error code names" `Quick
+        test_error_code_names;
+      Alcotest.test_case "json: float bit round-trip" `Quick
+        test_json_float_roundtrip;
+      Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "cache: single flight" `Quick test_cache_single_flight;
+      Alcotest.test_case "cache: eviction and failed-build retry" `Quick
+        test_cache_eviction_and_retry;
+      Alcotest.test_case "scheduler: backpressure and drain" `Quick
+        test_scheduler_backpressure;
+      Alcotest.test_case "cost: memoize cap and eviction counter" `Quick
+        test_memoize_cap;
+      Alcotest.test_case "serve: end-to-end session" `Slow
+        test_serve_end_to_end;
+      Alcotest.test_case "serve: backpressure and drain mid-request" `Slow
+        test_serve_backpressure_and_drain;
+    ] )
