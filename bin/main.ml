@@ -376,7 +376,21 @@ let serve_cmd =
     let doc = "Maximum entries per session-cache layer (LRU eviction)." in
     Arg.(value & opt int Server.default_opts.cache_cap & info [ "cache-cap" ] ~doc)
   in
-  let run socket workers queue_limit cache_cap telem =
+  let faults_arg =
+    let doc =
+      "Arm deterministic fault injection, e.g. \
+       'write_short:0.2,worker_raise:0.05;seed=42' (see doc/protocol.md \
+       for the point list and grammar).  Overrides ICOST_FAULTS."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let run socket workers queue_limit cache_cap faults telem =
+    (match faults with
+     | Some spec -> Icost_util.Fault.configure_exn spec
+     | None ->
+       (match Icost_util.Fault.from_env () with
+        | Ok () -> ()
+        | Error msg -> failwith ("ICOST_FAULTS: " ^ msg)));
     let stats = ref None in
     with_telemetry telem ~cfg:Config.default ~benches:[]
       ~service_stats:(fun () ->
@@ -391,6 +405,9 @@ let serve_cmd =
           workers;
           queue_limit;
           cache_cap;
+          breaker_threshold = Server.default_opts.breaker_threshold;
+          breaker_cooldown = Server.default_opts.breaker_cooldown;
+          mem_high_mb = Server.default_opts.mem_high_mb;
           handle_signals = true;
           on_ready =
             Some
@@ -408,14 +425,15 @@ let serve_cmd =
        ~doc:"Resident analysis daemon: answers icost.rpc.v1 queries over a \
              Unix socket, caching prepared workloads across requests")
     Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-          $ common_term)
+          $ faults_arg $ common_term)
 
 (* --- query --- *)
 
 let query_cmd =
   let op_arg =
     let doc =
-      "Request type: breakdown, icost, graph-stats, status or shutdown."
+      "Request type: breakdown, icost, graph-stats, status, health or \
+       shutdown."
     in
     Arg.(value & pos 0 string "status" & info [] ~docv:"OP" ~doc)
   in
@@ -443,8 +461,22 @@ let query_cmd =
     let doc = "Seconds to keep retrying the initial connection." in
     Arg.(value & opt float 5. & info [ "wait" ] ~doc)
   in
+  let retries_arg =
+    let doc =
+      "Max automatic re-sends on transient failures (overloaded, \
+       unavailable, internal, dropped connection).  Only idempotent \
+       requests are retried; shutdown never is."
+    in
+    Arg.(value & opt int Client.default_retry_opts.retries
+         & info [ "retries" ] ~doc)
+  in
+  let budget_arg =
+    let doc = "Wall-clock retry budget in milliseconds." in
+    Arg.(value & opt int Client.default_retry_opts.budget_ms
+         & info [ "retry-budget-ms" ] ~doc)
+  in
   let run socket op bench variant engine sets focus warmup measure seed
-      deadline_ms wait telem =
+      deadline_ms wait retries budget_ms telem =
     Option.iter Icost_util.Pool.set_jobs telem.jobs;
     let target =
       {
@@ -462,12 +494,17 @@ let query_cmd =
       | "icost" -> Protocol.Icost { target; sets }
       | "graph-stats" -> Protocol.Graph_stats { target }
       | "status" -> Protocol.Status
+      | "health" -> Protocol.Health
       | "shutdown" -> Protocol.Shutdown
       | other -> failwith (Printf.sprintf "unknown op %S" other)
     in
     let reply =
-      Client.with_client ~retry_for:wait ~socket (fun c ->
-          Client.call c { Protocol.req_id = 1; deadline_ms; op })
+      let opts = { Client.default_retry_opts with retries; budget_ms } in
+      let s = Client.connect_session ~opts ~retry_for:wait ~socket () in
+      Fun.protect
+        ~finally:(fun () -> Client.close_session s)
+        (fun () ->
+          Client.call_with_retry s { Protocol.req_id = 1; deadline_ms; op })
     in
     match reply.Protocol.body with
     | Error (code, msg) ->
@@ -499,10 +536,14 @@ let query_cmd =
     | Ok (Protocol.R_status s) ->
       Printf.printf
         "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
-         cache: %d hit(s), %d miss(es), %d eviction(s); %d pool job(s)%s\n"
+         cache: %d hit(s), %d miss(es), %d eviction(s); %d pool job(s); \
+         health %s%s\n"
         s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
-        s.cache_hits s.cache_misses s.cache_evictions s.pool_jobs
+        s.cache_hits s.cache_misses s.cache_evictions s.pool_jobs s.health
         (if s.draining then "; draining" else "")
+    | Ok (Protocol.R_health h) ->
+      Printf.printf "health %s; %d breaker(s) open; %d entr(ies) shed\n"
+        h.h_health h.h_breakers_open h.h_shed
     | Ok Protocol.R_shutdown -> Printf.printf "server is shutting down\n"
   in
   Cmd.v
@@ -510,7 +551,8 @@ let query_cmd =
        ~doc:"Send one icost.rpc.v1 request to a running 'icost serve' daemon")
     Term.(const run $ socket_arg $ op_arg $ bench_arg $ variant_str_arg
           $ engine_arg $ sets_arg $ focus_arg $ warmup_arg $ measure_arg
-          $ seed_arg $ deadline_arg $ wait_arg $ common_term)
+          $ seed_arg $ deadline_arg $ wait_arg $ retries_arg $ budget_arg
+          $ common_term)
 
 let () =
   let info =

@@ -20,6 +20,8 @@ type manifest = {
   jobs : int;
   icost_jobs_env : string option;
   service : (float * int) option;
+  faults : string;  (* active Fault spec, or "none" *)
+  retries : int;  (* client re-sends this run (service.retries) *)
 }
 
 let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
@@ -46,6 +48,11 @@ let manifest ?(version = "1.0.0") ?(config_digest = "") ?(seed = 0) ?service
     jobs = Pool.jobs ();
     icost_jobs_env = Sys.getenv_opt "ICOST_JOBS";
     service;
+    faults =
+      (match Icost_util.Fault.active_spec () with
+       | Some spec -> spec
+       | None -> "none");
+    retries = Telemetry.value (Telemetry.counter "service.retries");
   }
 
 (* ---------- JSON emission ---------- *)
@@ -90,6 +97,8 @@ let manifest_json (m : manifest) =
        ("jobs", string_of_int m.jobs);
        ( "icost_jobs",
          match m.icost_jobs_env with None -> "null" | Some s -> jstr s );
+       ("faults", jstr m.faults);
+       ("retries", string_of_int m.retries);
      ]
     @
     match m.service with

@@ -31,6 +31,12 @@ type manifest = {
   service : (float * int) option;
       (** server (uptime seconds, requests served), for artifacts written
           by a shutting-down [icost serve]; absent for one-shot runs *)
+  faults : string;
+      (** normalized {!Icost_util.Fault} spec active at export time, or
+          ["none"] — a chaos run is distinguishable from a clean one by
+          its artifacts alone *)
+  retries : int;
+      (** client re-sends recorded by the [service.retries] counter *)
 }
 
 val digest : 'a -> string
@@ -47,8 +53,8 @@ val manifest :
   workloads:string list ->
   unit ->
   manifest
-(** Assemble a manifest for the current process ([git], [ocaml], [jobs]
-    and [icost_jobs_env] are captured here). *)
+(** Assemble a manifest for the current process ([git], [ocaml], [jobs],
+    [icost_jobs_env], [faults] and [retries] are captured here). *)
 
 val manifest_json : manifest -> string
 (** The manifest alone as a JSON object (embedded verbatim in both

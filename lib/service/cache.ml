@@ -8,6 +8,7 @@
    linked list. *)
 
 module Telemetry = Icost_util.Telemetry
+module Fault = Icost_util.Fault
 
 type 'v state = Pending | Ready of 'v | Failed of exn
 
@@ -18,6 +19,7 @@ type 'v t = {
   changed : Condition.t;  (* signalled when any Pending entry resolves *)
   tbl : (string, 'v entry) Hashtbl.t;
   cap : int;
+  fp_build : Fault.point;  (* "cache_build.<name>": builder raises *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -35,6 +37,7 @@ let create ~name ~cap =
     changed = Condition.create ();
     tbl = Hashtbl.create 16;
     cap = max 1 cap;
+    fp_build = Fault.point ("cache_build." ^ name);
     tick = 0;
     hits = 0;
     misses = 0;
@@ -49,15 +52,16 @@ let touch t e =
   t.tick <- t.tick + 1;
   e.stamp <- t.tick
 
-(* Evict ready entries (never pending ones) until at most [cap] remain.
-   Caller holds the lock. *)
-let enforce_cap t =
+(* Evict ready entries (never pending ones), oldest stamp first, until at
+   most [limit] remain.  Caller holds the lock; returns the count shed. *)
+let evict_down_to t limit =
   let ready_count () =
     Hashtbl.fold
       (fun _ e n -> match e.state with Ready _ -> n + 1 | _ -> n)
       t.tbl 0
   in
-  while ready_count () > t.cap do
+  let shed = ref 0 in
+  while ready_count () > limit do
     let victim =
       Hashtbl.fold
         (fun k e acc ->
@@ -71,9 +75,13 @@ let enforce_cap t =
     | None -> ()
     | Some (k, _) ->
       Hashtbl.remove t.tbl k;
+      incr shed;
       t.evictions <- t.evictions + 1;
       Telemetry.incr t.c_evictions
-  done
+  done;
+  !shed
+
+let enforce_cap t = ignore (evict_down_to t t.cap)
 
 let rec find_or_add (t : 'v t) (key : string) (build : unit -> 'v) : 'v =
   Mutex.lock t.mutex;
@@ -103,7 +111,12 @@ let rec find_or_add (t : 'v t) (key : string) (build : unit -> 'v) : 'v =
     Mutex.unlock t.mutex;
     Telemetry.incr t.c_misses;
     let outcome =
-      match build () with v -> Ready v | exception e -> Failed e
+      match
+        Fault.trip t.fp_build;
+        build ()
+      with
+      | v -> Ready v
+      | exception e -> Failed e
     in
     Mutex.lock t.mutex;
     entry.state <- outcome;
@@ -115,6 +128,24 @@ let rec find_or_add (t : 'v t) (key : string) (build : unit -> 'v) : 'v =
      | Ready v -> v
      | Failed e -> raise e
      | Pending -> assert false)
+
+let remove t key =
+  Mutex.lock t.mutex;
+  let removed =
+    match Hashtbl.find_opt t.tbl key with
+    | Some { state = Ready _ | Failed _; _ } ->
+      Hashtbl.remove t.tbl key;
+      true
+    | Some { state = Pending; _ } | None -> false
+  in
+  Mutex.unlock t.mutex;
+  removed
+
+let trim t ~keep =
+  Mutex.lock t.mutex;
+  let shed = evict_down_to t (max 0 keep) in
+  Mutex.unlock t.mutex;
+  shed
 
 let length t =
   Mutex.lock t.mutex;

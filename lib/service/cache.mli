@@ -27,7 +27,20 @@ val create : name:string -> cap:int -> 'v t
 val find_or_add : 'v t -> string -> (unit -> 'v) -> 'v
 (** Return the cached value for the key, building it with the thunk on a
     miss.  The thunk runs outside the cache lock; concurrent callers on
-    the same key wait for it rather than re-running it. *)
+    the same key wait for it rather than re-running it.  The build is an
+    {!Icost_util.Fault} injection point named [cache_build.<name>]: when
+    armed, the builder raises [Fault.Injected] instead of running. *)
+
+val remove : 'v t -> string -> bool
+(** Drop the key's entry if it is resolved (ready or failed); in-flight
+    builds are left alone.  Used by the server's per-request supervision
+    to evict a session whose analysis raised.  Returns whether an entry
+    was dropped. *)
+
+val trim : 'v t -> keep:int -> int
+(** Evict coldest-first until at most [keep] ready entries remain (the
+    graceful-degradation shedding path); returns the count shed, which
+    is also added to the eviction tallies. *)
 
 val length : 'v t -> int
 (** Ready entries currently held. *)

@@ -1,27 +1,56 @@
-(* Blocking protocol client.  See client.mli. *)
+(* Blocking protocol client with a resilient session layer.  See
+   client.mli. *)
 
+module Telemetry = Icost_util.Telemetry
+module Prng = Icost_util.Prng
 module P = Protocol
 
 type t = { fd : Unix.file_descr; pending : Buffer.t }
 
+exception Disconnected of string
+
+let () =
+  Printexc.register_printer (function
+    | Disconnected msg -> Some (Printf.sprintf "Client.Disconnected(%S)" msg)
+    | _ -> None)
+
+let c_retries = Telemetry.counter "service.retries"
+
+let retries_tally = Atomic.make 0
+
+let retries_total () = Atomic.get retries_tally
+
+(* ---------- bare connection ---------- *)
+
+let connect_error socket err =
+  let hint =
+    match err with
+    | Unix.ENOENT ->
+      "socket file does not exist (daemon not started, or already exited)"
+    | Unix.ECONNREFUSED ->
+      "connection refused (stale socket file with no listener behind it)"
+    | e -> Unix.error_message e
+  in
+  Failure (Printf.sprintf "cannot connect to %s: %s" socket hint)
+
 let connect ?(retry_for = 0.) ~socket () =
   let deadline = Unix.gettimeofday () +. retry_for in
-  let rec attempt () =
+  let rec attempt backoff =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
     | () -> { fd; pending = Buffer.create 256 }
     | exception Unix.Unix_error (err, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      if Unix.gettimeofday () < deadline then begin
-        ignore (Unix.select [] [] [] 0.05);
-        attempt ()
+      let now = Unix.gettimeofday () in
+      if now < deadline then begin
+        (* capped exponential backoff, clamped to the remaining window,
+           instead of a fixed-period poll *)
+        ignore (Unix.select [] [] [] (Float.min backoff (deadline -. now)));
+        attempt (Float.min (backoff *. 2.) 0.25)
       end
-      else
-        failwith
-          (Printf.sprintf "cannot connect to %s: %s" socket
-             (Unix.error_message err))
+      else raise (connect_error socket err)
   in
-  attempt ()
+  attempt 0.01
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
@@ -41,11 +70,13 @@ let read_line c =
     | Some line -> line
     | None ->
       (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-       | 0 -> failwith "connection closed by server"
+       | 0 -> raise (Disconnected "connection closed by server")
        | n ->
          Buffer.add_subbytes c.pending chunk 0 n;
          loop ()
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _)
+         -> raise (Disconnected (Unix.error_message e)))
   in
   loop ()
 
@@ -53,7 +84,11 @@ let call c (req : P.request) : P.reply =
   let line = P.encode_request req ^ "\n" in
   let rec write_all off =
     if off < String.length line then
-      write_all (off + Unix.write_substring c.fd line off (String.length line - off))
+      match Unix.write_substring c.fd line off (String.length line - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _)
+        -> raise (Disconnected (Unix.error_message e))
   in
   write_all 0;
   match P.decode_reply (read_line c) with
@@ -63,3 +98,107 @@ let call c (req : P.request) : P.reply =
 let with_client ?retry_for ~socket f =
   let c = connect ?retry_for ~socket () in
   Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+(* ---------- resilient session layer ---------- *)
+
+type retry_opts = {
+  retries : int;
+  budget_ms : int;
+  base_backoff_ms : float;
+  max_backoff_ms : float;
+}
+
+let default_retry_opts =
+  { retries = 2; budget_ms = 5000; base_backoff_ms = 25.; max_backoff_ms = 1000. }
+
+type session = {
+  socket : string;
+  opts : retry_opts;
+  prng : Prng.t;  (* jitter source; seeded per session *)
+  mutable conn : t option;
+  mutable retried : int;
+}
+
+let connect_session ?(opts = default_retry_opts) ?retry_for ~socket () =
+  let conn = connect ?retry_for ~socket () in
+  {
+    socket;
+    opts;
+    prng = Prng.create (Hashtbl.hash socket lxor 0x5e551e);
+    conn = Some conn;
+    retried = 0;
+  }
+
+let close_session s =
+  Option.iter close s.conn;
+  s.conn <- None
+
+let session_retries s = s.retried
+
+let conn_of s =
+  match s.conn with
+  | Some c -> c
+  | None ->
+    let c = connect ~socket:s.socket () in
+    s.conn <- Some c;
+    c
+
+let drop_conn s =
+  Option.iter close s.conn;
+  s.conn <- None
+
+let count_retry s =
+  s.retried <- s.retried + 1;
+  Atomic.incr retries_tally;
+  Telemetry.incr c_retries
+
+(* Decorrelated jitter (AWS architecture-blog variant): each sleep is
+   uniform in [base, 3 * previous], capped, and clamped to whatever is
+   left of the per-call budget so the last retry never oversleeps it. *)
+let backoff_sleep s ~prev ~deadline =
+  let o = s.opts in
+  let base = o.base_backoff_ms /. 1e3 in
+  let cap = o.max_backoff_ms /. 1e3 in
+  let span = Float.max 0. ((3. *. prev) -. base) in
+  let sleep = Float.min cap (base +. (Prng.float s.prng *. span)) in
+  let remaining = deadline -. Unix.gettimeofday () in
+  let sleep = Float.min sleep (Float.max 0. remaining) in
+  if sleep > 0. then ignore (Unix.select [] [] [] sleep);
+  sleep
+
+let call_with_retry s (req : P.request) : P.reply =
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int s.opts.budget_ms /. 1e3)
+  in
+  let idempotent = P.idempotent req.P.op in
+  let may_retry attempt =
+    idempotent && attempt < s.opts.retries
+    && Unix.gettimeofday () < deadline
+  in
+  let rec go attempt prev_sleep =
+    let outcome =
+      match call (conn_of s) req with
+      | reply -> `Reply reply
+      | exception Disconnected msg ->
+        (* the dead socket cannot carry the next attempt *)
+        drop_conn s;
+        `Dropped msg
+    in
+    match outcome with
+    | `Reply ({ P.body = Ok _; _ } as reply) -> reply
+    | `Reply ({ P.body = Error (code, _); _ } as reply) ->
+      if P.retryable code && may_retry attempt then begin
+        count_retry s;
+        let slept = backoff_sleep s ~prev:prev_sleep ~deadline in
+        go (attempt + 1) slept
+      end
+      else reply
+    | `Dropped msg ->
+      if may_retry attempt then begin
+        count_retry s;
+        let slept = backoff_sleep s ~prev:prev_sleep ~deadline in
+        go (attempt + 1) slept
+      end
+      else raise (Disconnected msg)
+  in
+  go 0 0.

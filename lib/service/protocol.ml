@@ -28,7 +28,10 @@ type op =
   | Icost of { target : target; sets : string list }
   | Graph_stats of { target : target }
   | Status
+  | Health
   | Shutdown
+
+let idempotent = function Shutdown -> false | _ -> true
 
 type request = { req_id : int; deadline_ms : int option; op : op }
 
@@ -51,7 +54,14 @@ type status_body = {
   cache_misses : int;
   cache_evictions : int;
   pool_jobs : int;
+  health : string;
   draining : bool;
+}
+
+type health_body = {
+  h_health : string;
+  h_breakers_open : int;
+  h_shed : int;
 }
 
 type result_body =
@@ -59,11 +69,13 @@ type result_body =
   | R_icost of { baseline : float; rows : icost_row list }
   | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
   | R_status of status_body
+  | R_health of health_body
   | R_shutdown
 
 type error_code =
   | Bad_request
   | Overloaded
+  | Unavailable
   | Deadline_exceeded
   | Shutting_down
   | Internal
@@ -71,6 +83,7 @@ type error_code =
 let error_code_name = function
   | Bad_request -> "bad_request"
   | Overloaded -> "overloaded"
+  | Unavailable -> "unavailable"
   | Deadline_exceeded -> "deadline_exceeded"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
@@ -78,10 +91,15 @@ let error_code_name = function
 let error_code_of_name = function
   | "bad_request" -> Some Bad_request
   | "overloaded" -> Some Overloaded
+  | "unavailable" -> Some Unavailable
   | "deadline_exceeded" -> Some Deadline_exceeded
   | "shutting_down" -> Some Shutting_down
   | "internal" -> Some Internal
   | _ -> None
+
+let retryable = function
+  | Overloaded | Unavailable | Internal -> true
+  | Bad_request | Deadline_exceeded | Shutting_down -> false
 
 type reply = { rep_id : int; body : (result_body, error_code * string) result }
 
@@ -115,6 +133,7 @@ let encode_request (r : request) : string =
     | Graph_stats { target } ->
       ("op", Json.Str "graph-stats") :: target_fields target
     | Status -> [ ("op", Json.Str "status") ]
+    | Health -> [ ("op", Json.Str "health") ]
     | Shutdown -> [ ("op", Json.Str "shutdown") ]
   in
   Json.encode (Json.Obj (head @ op_fields @ deadline))
@@ -177,7 +196,16 @@ let result_json = function
         ("cache_misses", Json.Int s.cache_misses);
         ("cache_evictions", Json.Int s.cache_evictions);
         ("pool_jobs", Json.Int s.pool_jobs);
+        ("health", Json.Str s.health);
         ("draining", Json.Bool s.draining);
+      ]
+  | R_health h ->
+    Json.Obj
+      [
+        ("kind", Json.Str "health");
+        ("health", Json.Str h.h_health);
+        ("breakers_open", Json.Int h.h_breakers_open);
+        ("shed", Json.Int h.h_shed);
       ]
   | R_shutdown -> Json.Obj [ ("kind", Json.Str "shutdown") ]
 
@@ -278,6 +306,7 @@ let decode_request (line : string) : (request, string) result =
         let* target = decode_target j in
         Ok (Graph_stats { target })
       | "status" -> Ok Status
+      | "health" -> Ok Health
       | "shutdown" -> Ok Shutdown
       | other -> Error (Printf.sprintf "unknown op %S" other)
     in
@@ -341,6 +370,7 @@ let decode_result j =
     let* cache_misses = required "cache_misses" Json.get_int j in
     let* cache_evictions = required "cache_evictions" Json.get_int j in
     let* pool_jobs = required "pool_jobs" Json.get_int j in
+    let* health = required "health" Json.get_str j in
     let* draining = required "draining" Json.get_bool j in
     Ok
       (R_status
@@ -354,8 +384,14 @@ let decode_result j =
            cache_misses;
            cache_evictions;
            pool_jobs;
+           health;
            draining;
          })
+  | "health" ->
+    let* h_health = required "health" Json.get_str j in
+    let* h_breakers_open = required "breakers_open" Json.get_int j in
+    let* h_shed = required "shed" Json.get_int j in
+    Ok (R_health { h_health; h_breakers_open; h_shed })
   | "shutdown" -> Ok R_shutdown
   | other -> Error (Printf.sprintf "unknown result kind %S" other)
 

@@ -47,7 +47,10 @@ type op =
       (** Cost + interaction cost of each category set, e.g. ["dl1,win"]. *)
   | Graph_stats of { target : target }
       (** Dependence-graph shape (always uses the graph engine). *)
-  | Status  (** server health: uptime, queue, cache, jobs *)
+  | Status  (** server statistics: uptime, queue, cache, jobs *)
+  | Health
+      (** cheap liveness/degradation probe, answered inline even under
+          full load: ok | degraded | draining, open breakers, shed count *)
   | Shutdown  (** graceful drain-then-exit *)
 
 type request = { req_id : int; deadline_ms : int option; op : op }
@@ -71,7 +74,14 @@ type status_body = {
   cache_misses : int;
   cache_evictions : int;
   pool_jobs : int;
+  health : string;  (** ok | degraded | draining (see [doc/protocol.md]) *)
   draining : bool;
+}
+
+type health_body = {
+  h_health : string;  (** ok | degraded | draining *)
+  h_breakers_open : int;  (** session keys currently tripped open *)
+  h_shed : int;  (** cache entries shed under pressure since start *)
 }
 
 type result_body =
@@ -79,17 +89,33 @@ type result_body =
   | R_icost of { baseline : float; rows : icost_row list }
   | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
   | R_status of status_body
+  | R_health of health_body
   | R_shutdown
 
 type error_code =
   | Bad_request  (** malformed/oversized/unknown-name request *)
   | Overloaded  (** accept queue full — retry later (backpressure) *)
+  | Unavailable
+      (** the target's circuit breaker is open after repeated failures;
+          fail-fast — retry after the cooldown *)
   | Deadline_exceeded  (** the request's [deadline_ms] elapsed *)
   | Shutting_down  (** server is draining; no new work accepted *)
   | Internal  (** analysis raised; message carries the exception text *)
 
 val error_code_name : error_code -> string
 val error_code_of_name : string -> error_code option
+
+val idempotent : op -> bool
+(** Whether re-sending the operation can change server state beyond its
+    caches: true for every op except [Shutdown].  The client's retry
+    machinery refuses to retry non-idempotent ops. *)
+
+val retryable : error_code -> bool
+(** Whether an error is worth retrying unchanged after a backoff:
+    [Overloaded], [Unavailable] and [Internal] (transient by design —
+    supervision evicts the failed session, so a retry rebuilds).
+    [Bad_request], [Deadline_exceeded] and [Shutting_down] would fail
+    identically again. *)
 
 type reply = { rep_id : int; body : (result_body, error_code * string) result }
 

@@ -1,8 +1,15 @@
 (* Bounded worker-thread scheduler.  See scheduler.mli. *)
 
 module Telemetry = Icost_util.Telemetry
+module Fault = Icost_util.Fault
 
 let g_depth = Telemetry.gauge "service.queue_depth"
+
+(* injection points: refuse an enqueue as if the queue were full; stall a
+   worker briefly after dequeue (work is delayed, never lost) *)
+let fp_enqueue = Fault.point "sched_reject"
+
+let fp_dequeue = Fault.point "sched_delay"
 
 type t = {
   mutex : Mutex.t;
@@ -32,6 +39,7 @@ let worker_loop t =
       t.inflight <- t.inflight + 1;
       set_depth_gauge t;
       Mutex.unlock t.mutex;
+      if Fault.fire fp_dequeue then Thread.delay 0.002;
       (try job () with _ -> ());
       Mutex.lock t.mutex;
       t.inflight <- t.inflight - 1;
@@ -61,7 +69,8 @@ let submit t job =
   Mutex.lock t.mutex;
   let verdict =
     if t.draining then `Draining
-    else if Queue.length t.queue >= t.queue_limit then `Overloaded
+    else if Queue.length t.queue >= t.queue_limit || Fault.fire fp_enqueue then
+      `Overloaded
     else begin
       Queue.add job t.queue;
       set_depth_gauge t;

@@ -2,6 +2,7 @@
 
 module Telemetry = Icost_util.Telemetry
 module Pool = Icost_util.Pool
+module Fault = Icost_util.Fault
 module Config = Icost_uarch.Config
 module Category = Icost_core.Category
 module Cost = Icost_core.Cost
@@ -21,6 +22,9 @@ type opts = {
   workers : int;
   queue_limit : int;
   cache_cap : int;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  mem_high_mb : int;
   handle_signals : bool;
   on_ready : (unit -> unit) option;
 }
@@ -31,6 +35,9 @@ let default_opts =
     workers = 4;
     queue_limit = 64;
     cache_cap = 8;
+    breaker_threshold = 3;
+    breaker_cooldown = 5.;
+    mem_high_mb = 4096;
     handle_signals = true;
     on_ready = None;
   }
@@ -61,6 +68,9 @@ type t = {
   session_cache : session Cache.t;
   requests : int Atomic.t;
   shutdown_requested : bool Atomic.t;
+  breaker : Breaker.t;
+  degraded_until : float Atomic.t;  (* monotonic-ish; 0. means healthy *)
+  shed_tally : int Atomic.t;  (* cache entries shed under pressure *)
   wake_w : Unix.file_descr;  (* self-pipe: any write wakes the accept loop *)
   conns_mutex : Mutex.t;
   mutable conns : (conn * Thread.t) list;
@@ -69,6 +79,16 @@ type t = {
 let c_requests = Telemetry.counter "service.requests"
 let c_ok = Telemetry.counter "service.replies_ok"
 let c_err = Telemetry.counter "service.replies_error"
+let c_shed = Telemetry.counter "service.shed"
+
+(* injection points threaded through every seam of the request path; each
+   is a no-op single branch unless armed via ICOST_FAULTS / --faults *)
+let fp_accept = Fault.point "accept_reset"
+let fp_read = Fault.point "conn_reset"
+let fp_write_short = Fault.point "write_short"
+let fp_decode = Fault.point "decode_fail"
+let fp_worker = Fault.point "worker_raise"
+let fp_deadline = Fault.point "deadline_expire"
 
 (* ---------- request validation ---------- *)
 
@@ -157,7 +177,7 @@ let session_of t (tg : P.target) : Runner.prepared * session =
 
 let check_deadline = function
   | None -> ()
-  | Some t -> if Unix.gettimeofday () > t then raise Deadline
+  | Some t -> if Fault.fire fp_deadline || Unix.gettimeofday () > t then raise Deadline
 
 (* The guard makes long queries cooperatively cancellable: Breakdown and
    icost evaluations are loops over subset queries, so the deadline is
@@ -222,7 +242,54 @@ let analyze t ~deadline (op : P.op) : P.result_body =
            critical_path = Graph.critical_length g;
          }
      | None -> raise (Bad "graph engine produced no graph"))
-  | P.Status | P.Shutdown -> assert false (* handled inline, never queued *)
+  | P.Status | P.Health | P.Shutdown ->
+    assert false (* handled inline, never queued *)
+
+(* ---------- health & graceful degradation ---------- *)
+
+let health_of t =
+  if Atomic.get t.shutdown_requested then "draining"
+  else if Unix.gettimeofday () < Atomic.get t.degraded_until then "degraded"
+  else "ok"
+
+(* High-water checks run on the connection thread before each analysis is
+   queued.  Tripping either (queue nearly full, or the OCaml heap past the
+   configured budget) sheds the coldest session/baseline entries — the
+   expensive state — and holds [health] at "degraded" for a short window so
+   clients polling [health] see the pressure even after it clears. *)
+let check_pressure t =
+  let queue_high = max 1 (3 * t.opts.queue_limit / 4) in
+  let heap_mb =
+    (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / (1024 * 1024)
+  in
+  if Scheduler.queue_depth t.sched >= queue_high || heap_mb >= t.opts.mem_high_mb
+  then begin
+    Atomic.set t.degraded_until (Unix.gettimeofday () +. 2.0);
+    let keep = t.opts.cache_cap / 2 in
+    let shed =
+      Cache.trim t.session_cache ~keep + Cache.trim t.baseline_cache ~keep
+    in
+    if shed > 0 then begin
+      ignore (Atomic.fetch_and_add t.shed_tally shed);
+      Telemetry.add c_shed shed
+    end
+  end
+
+(* The circuit-breaker key is the session cache key: failures are tracked
+   per analysis target.  Validation errors surface from inside the job (as
+   Bad_request) rather than here, so an unknown name yields [None]. *)
+let breaker_key_of (op : P.op) : string option =
+  let of_target (tg : P.target) =
+    match
+      (config_of_variant tg.variant, kind_of_engine tg.engine)
+    with
+    | cfg, kind -> Some (session_key tg cfg kind)
+    | exception Bad _ -> None
+  in
+  match op with
+  | P.Breakdown { target; _ } | P.Icost { target; _ } -> of_target target
+  | P.Graph_stats { target } -> of_target { target with P.engine = "graph" }
+  | P.Status | P.Health | P.Shutdown -> None
 
 let status_body t : P.status_body =
   let sum3 f =
@@ -240,17 +307,42 @@ let status_body t : P.status_body =
     cache_misses = sum3 (fun (s : Cache.stats) -> s.misses);
     cache_evictions = sum3 (fun (s : Cache.stats) -> s.evictions);
     pool_jobs = Pool.jobs ();
+    health = health_of t;
     draining = Atomic.get t.shutdown_requested;
+  }
+
+let health_body t : P.health_body =
+  {
+    P.h_health = health_of t;
+    h_breakers_open = Breaker.open_count t.breaker;
+    h_shed = Atomic.get t.shed_tally;
   }
 
 (* ---------- wire I/O ---------- *)
 
+(* Loop until the whole line is on the wire: [Unix.write_substring] may
+   write fewer bytes than asked (and the [write_short] fault point forces
+   exactly that), which used to truncate replies mid-line and desync the
+   stream.  EINTR restarts the same write. *)
+let write_all_fd fd (s : string) =
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      let remaining = len - off in
+      let attempt =
+        if Fault.fire fp_write_short then max 1 (remaining / 2) else remaining
+      in
+      match Unix.write_substring fd s off attempt with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
 let write_reply (c : conn) (reply : P.reply) =
   let line = P.encode_reply reply ^ "\n" in
   Mutex.lock c.wmutex;
-  (try
-     if c.alive then
-       ignore (Unix.write_substring c.fd line 0 (String.length line))
+  (try if c.alive then write_all_fd c.fd line
    with Unix.Unix_error _ -> c.alive <- false);
   Mutex.unlock c.wmutex;
   (match reply.P.body with
@@ -279,6 +371,7 @@ let read_line_bounded (c : conn) : [ `Line of string | `Too_long | `Eof ] =
     | Some line -> `Line line
     | None ->
       if Buffer.length c.pending > P.max_request_bytes then `Too_long
+      else if Fault.fire fp_read then `Eof (* injected connection reset *)
       else begin
         match Unix.read c.fd chunk 0 (Bytes.length chunk) with
         | 0 -> `Eof
@@ -303,58 +396,89 @@ let initiate_shutdown t =
 let exn_message = function
   | Failure m -> m
   | Invalid_argument m -> m
+  | Fault.Injected p -> Printf.sprintf "injected fault at point %S" p
   | e -> Printexc.to_string e
 
 let handle_line t (c : conn) (line : string) =
   Atomic.incr t.requests;
   Telemetry.incr c_requests;
-  match P.decode_request line with
+  let decoded =
+    if Fault.fire fp_decode then Error "injected decode fault"
+    else P.decode_request line
+  in
+  match decoded with
   | Error msg -> write_reply c (error_reply 0 P.Bad_request msg)
   | Ok req ->
     let id = req.P.req_id in
     (match req.P.op with
      | P.Status -> write_reply c { P.rep_id = id; body = Ok (P.R_status (status_body t)) }
+     | P.Health ->
+       write_reply c { P.rep_id = id; body = Ok (P.R_health (health_body t)) }
      | P.Shutdown ->
        write_reply c { P.rep_id = id; body = Ok P.R_shutdown };
        initiate_shutdown t
      | (P.Breakdown { target; _ } | P.Icost { target; _ } | P.Graph_stats { target })
        as op ->
-       let deadline =
-         Option.map
-           (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1e3))
-           req.P.deadline_ms
+       check_pressure t;
+       let skey = breaker_key_of op in
+       let breaker_open =
+         match skey with
+         | Some k -> Breaker.check t.breaker k = `Open
+         | None -> false
        in
-       let job () =
-         let reply =
-           Telemetry.with_span "service.request"
-             ~attrs:
-               [
-                 ("op", (match op with
-                         | P.Breakdown _ -> "breakdown"
-                         | P.Icost _ -> "icost"
-                         | _ -> "graph-stats"));
-                 ("workload", target.P.workload);
-                 ("engine", target.P.engine);
-               ]
-           @@ fun () ->
-           match analyze t ~deadline op with
-           | body -> { P.rep_id = id; body = Ok body }
-           | exception Bad msg -> error_reply id P.Bad_request msg
-           | exception Deadline ->
-             error_reply id P.Deadline_exceeded "deadline elapsed"
-           | exception e -> error_reply id P.Internal (exn_message e)
+       if breaker_open then
+         write_reply c
+           (error_reply id P.Unavailable
+              "circuit breaker open for this target; retry after cooldown")
+       else begin
+         let deadline =
+           Option.map
+             (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1e3))
+             req.P.deadline_ms
          in
-         write_reply c reply
-       in
-       (match Scheduler.submit t.sched job with
-        | `Accepted -> ()
-        | `Overloaded ->
-          write_reply c
-            (error_reply id P.Overloaded
-               (Printf.sprintf "queue full (limit %d); retry later"
-                  t.opts.queue_limit))
-        | `Draining ->
-          write_reply c (error_reply id P.Shutting_down "server is draining")))
+         let job () =
+           let reply =
+             Telemetry.with_span "service.request"
+               ~attrs:
+                 [
+                   ("op", (match op with
+                           | P.Breakdown _ -> "breakdown"
+                           | P.Icost _ -> "icost"
+                           | _ -> "graph-stats"));
+                   ("workload", target.P.workload);
+                   ("engine", target.P.engine);
+                 ]
+             @@ fun () ->
+             match (Fault.trip fp_worker; analyze t ~deadline op) with
+             | body ->
+               Option.iter (fun k -> Breaker.success t.breaker k) skey;
+               { P.rep_id = id; body = Ok body }
+             | exception Bad msg -> error_reply id P.Bad_request msg
+             | exception Deadline ->
+               error_reply id P.Deadline_exceeded "deadline elapsed"
+             | exception e ->
+               (* supervision: the raise must not poison later requests —
+                  evict the session so a retry rebuilds it, and charge the
+                  failure to this target's breaker *)
+               Option.iter
+                 (fun k ->
+                   ignore (Cache.remove t.session_cache k);
+                   Breaker.failure t.breaker k)
+                 skey;
+               error_reply id P.Internal (exn_message e)
+           in
+           write_reply c reply
+         in
+         match Scheduler.submit t.sched job with
+         | `Accepted -> ()
+         | `Overloaded ->
+           write_reply c
+             (error_reply id P.Overloaded
+                (Printf.sprintf "queue full (limit %d); retry later"
+                   t.opts.queue_limit))
+         | `Draining ->
+           write_reply c (error_reply id P.Shutting_down "server is draining")
+       end)
 
 let conn_loop t (c : conn) =
   let rec loop () =
@@ -413,6 +537,11 @@ let run (opts : opts) : stats =
       session_cache = Cache.create ~name:"session" ~cap:opts.cache_cap;
       requests = Atomic.make 0;
       shutdown_requested = Atomic.make false;
+      breaker =
+        Breaker.create ~threshold:opts.breaker_threshold
+          ~cooldown:opts.breaker_cooldown ();
+      degraded_until = Atomic.make 0.;
+      shed_tally = Atomic.make 0;
       wake_w;
       conns_mutex = Mutex.create ();
       conns = [];
@@ -432,6 +561,9 @@ let run (opts : opts) : stats =
         if List.mem listen_fd readable && not (Atomic.get t.shutdown_requested)
         then begin
           (match Unix.accept listen_fd with
+           | fd, _ when Fault.fire fp_accept ->
+             (* injected accept-time reset: drop the connection unserved *)
+             (try Unix.close fd with Unix.Unix_error _ -> ())
            | fd, _ ->
              let c =
                { fd; wmutex = Mutex.create (); pending = Buffer.create 256;

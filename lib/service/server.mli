@@ -18,8 +18,31 @@
     is answered with an [overloaded] error (backpressure) and a draining
     server with [shutting_down].  Requests may carry a deadline, checked
     cooperatively between oracle evaluations ([deadline_exceeded]).
-    [status] and [shutdown] are answered inline by the connection reader
-    so they work even when the compute queue is saturated.
+    [status], [health] and [shutdown] are answered inline by the
+    connection reader so they work even when the compute queue is
+    saturated.
+
+    {b Supervision.}  An analysis that raises is converted to a typed
+    [internal] error reply; the failed target's session-cache entry is
+    evicted so a retry rebuilds it rather than inheriting poisoned state.
+    Repeated failures on the same session key trip a per-key circuit
+    {!Breaker}: further requests for that target fail fast with
+    [unavailable] until the cooldown elapses (then one trial request is
+    let through).
+
+    {b Graceful degradation.}  Before queueing each analysis the server
+    checks two high-water marks — queue depth at 3/4 of [queue_limit],
+    and the OCaml heap against [mem_high_mb].  Tripping either sheds the
+    coldest session/baseline cache entries down to half of [cache_cap]
+    and reports [health = "degraded"] for a short hold window.  Shed
+    counts surface in [health] replies and the [service.shed] telemetry
+    counter.
+
+    {b Fault injection.}  Every seam of the request path — accept, read,
+    write, decode, enqueue/dequeue, worker body, cache build, deadline
+    check — is an {!Icost_util.Fault} injection point (see
+    [doc/protocol.md] for the point list); all are single-branch no-ops
+    unless armed via [ICOST_FAULTS] or [icost serve --faults].
 
     Shutdown (a [shutdown] request, SIGINT or SIGTERM) is graceful: stop
     accepting connections, complete every accepted request, flush replies,
@@ -30,6 +53,12 @@ type opts = {
   workers : int;  (** scheduler worker threads (see {!Scheduler}) *)
   queue_limit : int;  (** accepted-but-not-running bound *)
   cache_cap : int;  (** max entries per cache layer *)
+  breaker_threshold : int;
+      (** consecutive failures on one session key that trip its breaker *)
+  breaker_cooldown : float;
+      (** seconds an open breaker fails fast before a half-open trial *)
+  mem_high_mb : int;
+      (** heap high-water mark (MiB) that triggers cache shedding *)
   handle_signals : bool;
       (** install SIGINT/SIGTERM handlers that trigger graceful shutdown
           (the CLI wants this; in-process tests do not) *)
@@ -39,6 +68,7 @@ type opts = {
 
 val default_opts : opts
 (** socket ["icostd.sock"], 4 workers, queue limit 64, cache cap 8,
+    breaker threshold 3 / cooldown 5s, memory high-water 4096 MiB,
     signals handled, no ready hook. *)
 
 type stats = { uptime_s : float; requests_total : int }

@@ -7,6 +7,7 @@ let () =
       Test_stats.suite;
       Test_pool.suite;
       Test_telemetry.suite;
+      Test_fault.suite;
       Test_isa.suite;
       Test_asm.suite;
       Test_interp.suite;

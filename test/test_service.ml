@@ -23,6 +23,8 @@ module Cache = Icost_service.Cache
 module Scheduler = Icost_service.Scheduler
 module Server = Icost_service.Server
 module Client = Icost_service.Client
+module Breaker = Icost_service.Breaker
+module Fault = Icost_util.Fault
 
 let bits = Int64.bits_of_float
 
@@ -33,6 +35,15 @@ let check_feq what a b = Alcotest.(check int64) what (bits a) (bits b)
 let sigpipe_off () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ -> ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let tmp_socket tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "icost-test-%s-%d.sock" tag (Unix.getpid ()))
 
 let rec wait_for ?(tries = 2500) what pred =
   if pred () then ()
@@ -62,6 +73,7 @@ let test_request_roundtrip () =
                 sets = [ "dl1"; "dl1,win"; "bw" ] };
       P.Graph_stats { target = sample_target };
       P.Status;
+      P.Health;
       P.Shutdown;
     ]
   in
@@ -119,11 +131,14 @@ let test_reply_roundtrip () =
              cache_misses = 5;
              cache_evictions = 1;
              pool_jobs = 8;
+             health = "degraded";
              draining = false;
            });
+      Ok (P.R_health { P.h_health = "ok"; h_breakers_open = 2; h_shed = 5 });
       Ok P.R_shutdown;
       Error (P.Bad_request, "unknown workload \"nope\"");
       Error (P.Overloaded, "queue full");
+      Error (P.Unavailable, "circuit breaker open");
       Error (P.Deadline_exceeded, "deadline elapsed");
       Error (P.Shutting_down, "draining");
       Error (P.Internal, "boom");
@@ -174,11 +189,37 @@ let test_error_code_names () =
         ("code " ^ P.error_code_name c ^ " round-trips")
         true
         (P.error_code_of_name (P.error_code_name c) = Some c))
-    [ P.Bad_request; P.Overloaded; P.Deadline_exceeded; P.Shutting_down;
-      P.Internal ];
+    [ P.Bad_request; P.Overloaded; P.Unavailable; P.Deadline_exceeded;
+      P.Shutting_down; P.Internal ];
   Alcotest.(check bool)
     "unknown code name" true
     (P.error_code_of_name "no_such_code" = None)
+
+let test_retry_classification () =
+  List.iter
+    (fun (op, expect) ->
+      Alcotest.(check bool) "idempotency" expect (P.idempotent op))
+    [
+      (P.Breakdown { target = sample_target; focus = "dl1" }, true);
+      (P.Icost { target = sample_target; sets = [ "dl1" ] }, true);
+      (P.Graph_stats { target = sample_target }, true);
+      (P.Status, true);
+      (P.Health, true);
+      (P.Shutdown, false);
+    ];
+  List.iter
+    (fun (code, expect) ->
+      Alcotest.(check bool)
+        ("retryable " ^ P.error_code_name code)
+        expect (P.retryable code))
+    [
+      (P.Overloaded, true);
+      (P.Unavailable, true);
+      (P.Internal, true);
+      (P.Bad_request, false);
+      (P.Deadline_exceeded, false);
+      (P.Shutting_down, false);
+    ]
 
 (* ---------- json ---------- *)
 
@@ -238,6 +279,20 @@ let test_cache_eviction_and_retry () =
   Alcotest.(check int) "one eviction" 1 (Cache.stats cache).Cache.evictions;
   Alcotest.(check string) "evicted key rebuilds" "b" (get "b");
   Alcotest.(check int) "a,b,c then b again" 4 !builds;
+  (* supervision's eviction path: only resolved entries can be removed *)
+  Alcotest.(check bool) "remove drops a ready entry" true
+    (Cache.remove cache "b");
+  Alcotest.(check bool) "remove on an absent key is a no-op" false
+    (Cache.remove cache "nope");
+  Alcotest.(check string) "removed key rebuilds" "b" (get "b");
+  Alcotest.(check int) "b built again after remove" 5 !builds;
+  (* shedding: trim to a smaller footprint, coldest entries first *)
+  let shed = Cache.trim cache ~keep:1 in
+  Alcotest.(check int) "trim sheds down to keep" 1 shed;
+  Alcotest.(check int) "one ready entry left" 1 (Cache.length cache);
+  Alcotest.(check int) "trim to zero clears the cache" 1
+    (Cache.trim cache ~keep:0);
+  Alcotest.(check int) "empty after full trim" 0 (Cache.length cache);
   (* a failing builder raises to its caller and leaves no poisoned entry *)
   let boom : int Cache.t = Cache.create ~name:"test_fail" ~cap:2 in
   (match Cache.find_or_add boom "k" (fun () -> failwith "boom") with
@@ -311,11 +366,65 @@ let test_memoize_cap () =
   | Some n -> Alcotest.(check bool) "evictions counted" true (n >= 2)
   | None -> Alcotest.fail "cost.memo_evictions counter missing"
 
-(* ---------- end-to-end daemon sessions ---------- *)
+(* ---------- circuit breaker ---------- *)
 
-let tmp_socket tag =
-  Filename.concat (Filename.get_temp_dir_name ())
-    (Printf.sprintf "icost-test-%s-%d.sock" tag (Unix.getpid ()))
+let test_breaker () =
+  let b = Breaker.create ~threshold:2 ~cooldown:0.05 () in
+  Alcotest.(check bool) "fresh key closed" true (Breaker.check b "k" = `Ok);
+  Breaker.failure b "k";
+  Alcotest.(check bool) "below threshold stays closed" true
+    (Breaker.check b "k" = `Ok);
+  Breaker.failure b "k";
+  Alcotest.(check bool) "threshold trips open" true (Breaker.check b "k" = `Open);
+  Alcotest.(check int) "one key open" 1 (Breaker.open_count b);
+  Alcotest.(check bool) "other keys unaffected" true
+    (Breaker.check b "other" = `Ok);
+  Thread.delay 0.06;
+  Alcotest.(check bool) "cooldown elapses into half-open trial" true
+    (Breaker.check b "k" = `Ok);
+  (* the failure count survives the trip: one half-open failure re-opens *)
+  Breaker.failure b "k";
+  Alcotest.(check bool) "half-open failure re-opens" true
+    (Breaker.check b "k" = `Open);
+  Thread.delay 0.06;
+  Breaker.success b "k";
+  Alcotest.(check bool) "success closes the breaker" true
+    (Breaker.check b "k" = `Ok);
+  Alcotest.(check int) "no keys open" 0 (Breaker.open_count b);
+  Alcotest.(check bool) "trips were counted" true (Breaker.trips_total b >= 2)
+
+(* ---------- client connect errors ---------- *)
+
+let test_connect_error_messages () =
+  let missing = tmp_socket "absent" in
+  if Sys.file_exists missing then Sys.remove missing;
+  (match Client.connect ~socket:missing () with
+   | _ -> Alcotest.fail "connect to a missing socket should fail"
+   | exception Failure msg ->
+     Alcotest.(check bool)
+       ("missing socket names the cause: " ^ msg)
+       true
+       (contains msg "does not exist"));
+  (* a bound-but-unlistened socket file: connection refused, the stale-file
+     hint — distinct from the missing-file case *)
+  let stale = tmp_socket "stale" in
+  if Sys.file_exists stale then Sys.remove stale;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX stale);
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Sys.file_exists stale then Sys.remove stale)
+  @@ fun () ->
+  match Client.connect ~socket:stale () with
+  | _ -> Alcotest.fail "connect to an unlistened socket should fail"
+  | exception Failure msg ->
+    Alcotest.(check bool)
+      ("stale socket names the cause: " ^ msg)
+      true
+      (contains msg "refused")
+
+(* ---------- end-to-end daemon sessions ---------- *)
 
 type server_handle = {
   thread : Thread.t;
@@ -693,6 +802,208 @@ let test_serve_backpressure_and_drain () =
   ignore (finish_server srv);
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
 
+(* ---------- fault injection, supervision, resilience ---------- *)
+
+let shutdown_server session srv =
+  (match (Client.call_with_retry session (req ~id:99 P.Shutdown)).P.body with
+   | Ok P.R_shutdown -> ()
+   | _ -> Alcotest.fail "shutdown not acknowledged");
+  Client.close_session session;
+  ignore (finish_server srv)
+
+let small_target =
+  { P.default_target with P.workload = "gcc"; warmup = 2000; measure = 800 }
+
+(* The baseline build raises (injected) on its first run: supervision must
+   answer a typed internal error, leave no poisoned cache entry, and let
+   the automatic retry rebuild and succeed. *)
+let test_serve_crash_during_build () =
+  sigpipe_off ();
+  Fun.protect ~finally:(fun () -> Fault.disable ()) @@ fun () ->
+  Fault.configure_exn "cache_build.baseline:@1";
+  let socket = tmp_socket "crash" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with socket; workers = 2; handle_signals = false }
+  in
+  let srv = start_server opts in
+  let s =
+    Client.connect_session
+      ~opts:{ Client.default_retry_opts with retries = 3 }
+      ~retry_for:10.0 ~socket ()
+  in
+  let op = P.Breakdown { target = small_target; focus = "dl1" } in
+  let reply = Client.call_with_retry s (req op) in
+  (match reply.P.body with
+   | Ok (P.R_breakdown _) -> ()
+   | Ok _ -> Alcotest.fail "unexpected reply kind"
+   | Error (c, m) ->
+     Alcotest.fail
+       (Printf.sprintf "retry did not recover: %s %s" (P.error_code_name c) m));
+  Alcotest.(check int) "exactly one retry consumed" 1 (Client.session_retries s);
+  (* the rebuilt session serves warm queries without further incident *)
+  (match (Client.call_with_retry s (req ~id:2 op)).P.body with
+   | Ok (P.R_breakdown _) -> ()
+   | _ -> Alcotest.fail "warm query after recovery failed");
+  Alcotest.(check int) "no extra retries" 1 (Client.session_retries s);
+  Alcotest.(check bool) "injection recorded" true (Fault.injected_total () > 0);
+  shutdown_server s srv
+
+(* Every worker invocation raises: two internal errors trip the target's
+   breaker, the third fails fast with unavailable, and after the faults
+   stop the cooldown's half-open trial closes it again. *)
+let test_serve_supervision_and_breaker () =
+  sigpipe_off ();
+  Fun.protect ~finally:(fun () -> Fault.disable ()) @@ fun () ->
+  Fault.configure_exn "worker_raise:@1+";
+  let socket = tmp_socket "breaker" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with
+      socket;
+      workers = 2;
+      breaker_threshold = 2;
+      breaker_cooldown = 0.1;
+      handle_signals = false }
+  in
+  let srv = start_server opts in
+  let s = Client.connect_session ~retry_for:10.0 ~socket () in
+  let op = P.Breakdown { target = small_target; focus = "dl1" } in
+  (* bare calls: each server-side failure must be observed, not retried *)
+  let bare id =
+    Client.with_client ~retry_for:10.0 ~socket (fun c ->
+        (Client.call c (req ~id op)).P.body)
+  in
+  (match bare 1 with
+   | Error (P.Internal, msg) ->
+     Alcotest.(check bool) ("injected message surfaced: " ^ msg) true
+       (contains msg "worker_raise")
+   | _ -> Alcotest.fail "first failure should be internal");
+  (match bare 2 with
+   | Error (P.Internal, _) -> ()
+   | _ -> Alcotest.fail "second failure should be internal");
+  (match bare 3 with
+   | Error (P.Unavailable, _) -> ()
+   | _ -> Alcotest.fail "tripped breaker should fail fast with unavailable");
+  (* health is answered inline, bypassing the broken worker path *)
+  (match (Client.call_with_retry s (req ~id:4 P.Health)).P.body with
+   | Ok (P.R_health h) ->
+     Alcotest.(check int) "one breaker open" 1 h.P.h_breakers_open
+   | _ -> Alcotest.fail "health reply malformed");
+  Fault.disable ();
+  Thread.delay 0.12;
+  (match bare 5 with
+   | Ok (P.R_breakdown _) -> ()
+   | _ -> Alcotest.fail "half-open trial after cooldown should succeed");
+  (match (Client.call_with_retry s (req ~id:6 P.Health)).P.body with
+   | Ok (P.R_health h) ->
+     Alcotest.(check int) "breaker closed after success" 0 h.P.h_breakers_open
+   | _ -> Alcotest.fail "health reply malformed");
+  shutdown_server s srv
+
+(* The server resets the first connection (injected): the session layer
+   must reconnect and re-send transparently. *)
+let test_serve_retry_reconnect () =
+  sigpipe_off ();
+  Fun.protect ~finally:(fun () -> Fault.disable ()) @@ fun () ->
+  Fault.configure_exn "conn_reset:@1";
+  let socket = tmp_socket "reconnect" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with socket; workers = 2; handle_signals = false }
+  in
+  let srv = start_server opts in
+  let s = Client.connect_session ~retry_for:10.0 ~socket () in
+  let op = P.Breakdown { target = small_target; focus = "dl1" } in
+  (match (Client.call_with_retry s (req op)).P.body with
+   | Ok (P.R_breakdown _) -> ()
+   | _ -> Alcotest.fail "reconnect retry should recover the dropped reply");
+  Alcotest.(check bool) "at least one retry consumed" true
+    (Client.session_retries s >= 1);
+  Alcotest.(check bool) "process-wide tally grows" true
+    (Client.retries_total () >= Client.session_retries s);
+  shutdown_server s srv
+
+(* Memory high-water mark of zero: every request trips the pressure check,
+   sheds the warm session/baseline entries and reports degraded health —
+   while answers stay bit-identical. *)
+let test_serve_degradation () =
+  sigpipe_off ();
+  let socket = tmp_socket "degrade" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with
+      socket;
+      workers = 2;
+      cache_cap = 1;
+      mem_high_mb = 0;
+      handle_signals = false }
+  in
+  let srv = start_server opts in
+  let s = Client.connect_session ~retry_for:10.0 ~socket () in
+  let op = P.Breakdown { target = small_target; focus = "dl1" } in
+  let r1 = Client.call_with_retry s (req ~id:1 op) in
+  let r2 = Client.call_with_retry s (req ~id:2 op) in
+  (match (r1.P.body, r2.P.body) with
+   | Ok (P.R_breakdown _), Ok (P.R_breakdown _) ->
+     Alcotest.(check string) "degraded answers bit-identical" (norm r1) (norm r2)
+   | _ -> Alcotest.fail "degraded server must still answer");
+  (match (Client.call_with_retry s (req ~id:3 P.Health)).P.body with
+   | Ok (P.R_health h) ->
+     Alcotest.(check string) "health reports degraded" "degraded" h.P.h_health;
+     Alcotest.(check bool) "warm entries were shed" true (h.P.h_shed >= 2)
+   | _ -> Alcotest.fail "health reply malformed");
+  (match (Client.call_with_retry s (req ~id:4 P.Status)).P.body with
+   | Ok (P.R_status st) ->
+     Alcotest.(check string) "status carries health" "degraded" st.P.health
+   | _ -> Alcotest.fail "status reply malformed");
+  shutdown_server s srv
+
+(* Chaos: several fault points armed at once under a deterministic seed.
+   Every query must still come back correct through the retry layer. *)
+let test_serve_chaos () =
+  sigpipe_off ();
+  Fun.protect ~finally:(fun () -> Fault.disable ()) @@ fun () ->
+  Fault.configure_exn
+    "write_short:0.5,worker_raise:0.2,conn_reset:0.1,sched_delay:0.3;seed=11";
+  let socket = tmp_socket "chaos" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with
+      socket;
+      workers = 2;
+      breaker_cooldown = 0.05;
+      handle_signals = false }
+  in
+  let srv = start_server opts in
+  let s =
+    Client.connect_session
+      ~opts:{ Client.default_retry_opts with retries = 8; budget_ms = 30_000 }
+      ~retry_for:10.0 ~socket ()
+  in
+  let op = P.Breakdown { target = small_target; focus = "dl1" } in
+  let first = ref None in
+  for i = 1 to 20 do
+    let reply = Client.call_with_retry s (req ~id:i op) in
+    match reply.P.body with
+    | Ok (P.R_breakdown _) -> (
+      match !first with
+      | None -> first := Some (norm reply)
+      | Some f ->
+        Alcotest.(check string)
+          (Printf.sprintf "chaos query %d bit-identical" i)
+          f (norm reply))
+    | Ok _ -> Alcotest.fail "unexpected reply kind under chaos"
+    | Error (c, m) ->
+      Alcotest.fail
+        (Printf.sprintf "chaos query %d failed after retries: %s %s" i
+           (P.error_code_name c) m)
+  done;
+  Alcotest.(check bool) "faults actually fired" true
+    (Fault.injected_total () > 0);
+  Fault.disable ();
+  shutdown_server s srv
+
 let suite =
   ( "service",
     [
@@ -704,6 +1015,8 @@ let suite =
         test_decode_rejects;
       Alcotest.test_case "protocol: error code names" `Quick
         test_error_code_names;
+      Alcotest.test_case "protocol: idempotency and retryability" `Quick
+        test_retry_classification;
       Alcotest.test_case "json: float bit round-trip" `Quick
         test_json_float_roundtrip;
       Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
@@ -714,8 +1027,21 @@ let suite =
         test_scheduler_backpressure;
       Alcotest.test_case "cost: memoize cap and eviction counter" `Quick
         test_memoize_cap;
+      Alcotest.test_case "breaker: trip, half-open, close" `Quick test_breaker;
+      Alcotest.test_case "client: connect error diagnostics" `Quick
+        test_connect_error_messages;
       Alcotest.test_case "serve: end-to-end session" `Slow
         test_serve_end_to_end;
       Alcotest.test_case "serve: backpressure and drain mid-request" `Slow
         test_serve_backpressure_and_drain;
+      Alcotest.test_case "serve: crash during cache build recovers" `Slow
+        test_serve_crash_during_build;
+      Alcotest.test_case "serve: supervision trips the circuit breaker" `Slow
+        test_serve_supervision_and_breaker;
+      Alcotest.test_case "serve: session reconnects after reset" `Slow
+        test_serve_retry_reconnect;
+      Alcotest.test_case "serve: graceful degradation under pressure" `Slow
+        test_serve_degradation;
+      Alcotest.test_case "serve: chaos run stays correct" `Slow
+        test_serve_chaos;
     ] )

@@ -267,9 +267,14 @@ let check_manifest m =
   (match field m "seed" with
   | Num f -> Alcotest.(check int) "manifest.seed" 7 (int_of_float f)
   | _ -> Alcotest.fail "manifest.seed not a number");
-  match field m "jobs" with
+  (match field m "jobs" with
   | Num f -> Alcotest.(check bool) "manifest.jobs >= 1" true (f >= 1.)
-  | _ -> Alcotest.fail "manifest.jobs not a number"
+  | _ -> Alcotest.fail "manifest.jobs not a number");
+  (* faults are off in this test, so the manifest marks a clean run *)
+  Alcotest.(check string) "manifest.faults" "none" (str_field m "faults");
+  match field m "retries" with
+  | Num f -> Alcotest.(check bool) "manifest.retries >= 0" true (f >= 0.)
+  | _ -> Alcotest.fail "manifest.retries not a number"
 
 let test_artifacts_roundtrip () =
   with_clean_sink @@ fun () ->
