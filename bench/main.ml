@@ -17,6 +17,9 @@
                                                  one-shot, per engine
                                                  (BENCH_service.json is the
                                                  committed record)
+     dune exec bench/main.exe -- check        -- time one full conformance
+                                                 law-table sweep per case
+                                                 class (kernel + generated)
 
    Micro-benchmark flags (see also bench/check_regression.sh):
      --json FILE        dump the measured times as JSON (BENCH_engines.json
@@ -368,6 +371,46 @@ let check_regressions ~baseline_file (rows : (string * float) list) =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Conformance sweep timing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* How long one full law-table sweep takes per case class: the number CI
+   budgets [icost check --budget-s] against.  One kernel and one
+   generated case, single measurement each (a sweep re-simulates the
+   case tens of times already, so best-of-batches would be minutes). *)
+let run_check () : (string * float) list =
+  let time_case (case : Icost_check.Case.t) =
+    let t0 = Unix.gettimeofday () in
+    let prepared = Icost_check.Case.prepare case in
+    let ctx =
+      Icost_check.Laws.make_ctx
+        ~prof_opts:(Icost_check.Case.prof_opts case)
+        (Icost_check.Case.config case) prepared
+    in
+    let results = Icost_check.Laws.run_all ctx in
+    let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    (ms, List.length (Icost_check.Laws.violations results))
+  in
+  Printf.printf "\nconformance sweep (full law table per case):\n";
+  List.map
+    (fun (label, case) ->
+      let ms, failed = time_case case in
+      Printf.printf "  check/%-28s %10.1f ms/sweep%s\n" label ms
+        (if failed = 0 then "" else Printf.sprintf "  (%d VIOLATIONS)" failed);
+      (Printf.sprintf "check/%s" label, ms))
+    [
+      ( "laws-gcc-4k",
+        { Icost_check.Case.target = Icost_check.Case.Bench "gcc";
+          variant = "base"; warmup = 20_000; measure = 4_000;
+          sample_seed = 42 } );
+      ( "laws-gen-mixed-4k",
+        { Icost_check.Case.target =
+            Icost_check.Case.Generated (Icost_check.Gen.Mixed, 42);
+          variant = "base"; warmup = 20_000; measure = 4_000;
+          sample_seed = 42 } );
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -420,12 +463,14 @@ let () =
     !baseline_file;
   let micro_requested = ids = [] || List.mem "micro" ids in
   let service_requested = List.mem "service" ids in
+  let check_requested = List.mem "check" ids in
   let experiment_ids =
-    List.filter (fun i -> i <> "micro" && i <> "service") ids
+    List.filter (fun i -> i <> "micro" && i <> "service" && i <> "check") ids
   in
   if experiment_ids <> [] || ids = [] then run_experiments experiment_ids;
   let rows =
     (if service_requested then run_service () else [])
+    @ (if check_requested then run_check () else [])
     @ (if micro_requested then run_micro () else [])
   in
   if rows <> [] then begin

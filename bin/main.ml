@@ -6,6 +6,7 @@
      icost        costs/icosts of chosen category sets
      graph        dump a dependence graph (text or DOT)
      experiment   regenerate a paper table/figure (or "all")
+     check        cross-engine conformance laws on kernels + fuzzed programs
      serve        resident analysis daemon on a Unix socket (icost.rpc.v1)
      query        one request against a running daemon
 
@@ -30,6 +31,8 @@ module Pool = Icost_util.Pool
 module Protocol = Icost_service.Protocol
 module Server = Icost_service.Server
 module Client = Icost_service.Client
+module Harness = Icost_check.Harness
+module Laws = Icost_check.Laws
 open Cmdliner
 
 let version = "1.0.0"
@@ -554,6 +557,149 @@ let query_cmd =
           $ seed_arg $ deadline_arg $ wait_arg $ retries_arg $ budget_arg
           $ common_term)
 
+(* --- check: cross-engine conformance --- *)
+
+let check_cmd =
+  let budget_arg =
+    let doc = "Wall-clock budget in seconds; cases that would start after \
+               the deadline are skipped (and reported)." in
+    Arg.(value & opt float Harness.default_opts.budget_s
+         & info [ "budget-s" ] ~docv:"SECONDS" ~doc)
+  in
+  let gen_arg =
+    let doc = "Generated (fuzzed) cases per workload profile \
+               (mixed/loop/alias/branch)." in
+    Arg.(value & opt int Harness.default_opts.gen_per_profile
+         & info [ "gen-cases" ] ~docv:"N" ~doc)
+  in
+  let laws_arg =
+    let doc = "Comma-separated law ids to evaluate (default: the whole \
+               table; see --list-laws)." in
+    Arg.(value & opt (some string) None & info [ "laws" ] ~docv:"IDS" ~doc)
+  in
+  let list_laws_arg =
+    let doc = "Print the law table (id, family, tolerance, statement) and \
+               exit." in
+    Arg.(value & flag & info [ "list-laws" ] ~doc)
+  in
+  let artifact_arg =
+    let doc = "Directory for counterexample artifacts (created if needed); \
+               every violation is shrunk and written there as replayable \
+               JSON." in
+    Arg.(value & opt (some string) None
+         & info [ "artifact-dir" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc = "Replay a counterexample artifact and require the recorded \
+               violation to reproduce bit-identically." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let faults_arg =
+    let doc = "Arm deterministic fault injection (e.g. \
+               'check.perturb_graph;seed=1' for a deliberate law \
+               violation).  Overrides ICOST_FAULTS." in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let check_warmup_arg =
+    let doc = "Warm-up instructions per case (caches and predictors train, \
+               not timed)." in
+    Arg.(value & opt int Harness.default_opts.warmup & info [ "warmup" ] ~doc)
+  in
+  let check_measure_arg =
+    let doc = "Measured instructions per case." in
+    Arg.(value & opt int Harness.default_opts.measure
+         & info [ "n"; "measure" ] ~doc)
+  in
+  let run seed budget_s benches gen_per_profile warmup measure laws list_laws
+      artifact_dir replay faults telem =
+    let code =
+      if list_laws then begin
+        Printf.printf "%-24s %-13s %-20s %s\n" "law" "family" "tolerance"
+          "statement";
+        List.iter
+          (fun (l : Laws.law) ->
+            Printf.printf "%-24s %-13s %-20s %s\n" l.Laws.id
+              (Laws.family_name l.Laws.family)
+              (Laws.tolerance_to_string l.Laws.tol)
+              l.Laws.doc)
+          Laws.all;
+        0
+      end
+      else begin
+        (match faults with
+        | Some spec -> Icost_util.Fault.configure_exn spec
+        | None -> (
+          match Icost_util.Fault.from_env () with
+          | Ok () -> ()
+          | Error msg -> failwith ("ICOST_FAULTS: " ^ msg)));
+        match replay with
+        | Some file ->
+          with_telemetry telem ~cfg:Config.default ~benches:[] @@ fun () ->
+          (match Harness.replay file with
+          | Ok msg ->
+            Printf.printf "%s\n" msg;
+            0
+          | Error msg ->
+            Printf.eprintf "replay failed: %s\n" msg;
+            1)
+        | None ->
+          let only =
+            Option.map
+              (fun s -> String.split_on_char ',' s |> List.map String.trim)
+              laws
+          in
+          Option.iter
+            (fun ids ->
+              List.iter
+                (fun id ->
+                  if Laws.find id = None then
+                    failwith
+                      (Printf.sprintf "unknown law %S (see --list-laws)" id))
+                ids)
+            only;
+          let benches =
+            match benches with
+            | None -> []
+            | Some s -> String.split_on_char ',' s |> List.map String.trim
+          in
+          let opts =
+            {
+              Harness.master_seed = seed;
+              budget_s;
+              benches;
+              gen_per_profile;
+              warmup;
+              measure;
+              only;
+              artifact_dir;
+            }
+          in
+          with_telemetry telem ~cfg:Config.default
+            ~benches:
+              (List.map
+                 (fun (c : Icost_check.Case.t) -> Icost_check.Case.name c)
+                 (Harness.cases_of_opts opts))
+          @@ fun () ->
+          let summary = Harness.run opts in
+          print_string (Harness.render summary);
+          if Harness.ok summary then 0 else 1
+      end
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check the three cost engines against the conformance law table \
+          (algebraic icost identities, metamorphic config laws, \
+          differential engine agreement) on registry kernels and seeded \
+          random programs; violations are shrunk to minimal replayable \
+          counterexamples")
+    Term.(
+      const run $ seed_arg $ budget_arg $ benches_arg $ gen_arg
+      $ check_warmup_arg $ check_measure_arg $ laws_arg $ list_laws_arg
+      $ artifact_arg $ replay_arg $ faults_arg $ common_term)
+
 let () =
   let info =
     Cmd.info "icost" ~version
@@ -561,4 +707,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; breakdown_cmd; icost_cmd; graph_cmd; advise_cmd;
-         experiment_cmd; serve_cmd; query_cmd ]))
+         experiment_cmd; check_cmd; serve_cmd; query_cmd ]))

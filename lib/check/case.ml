@@ -1,0 +1,132 @@
+(* Conformance-check cases.  See case.mli. *)
+
+module Config = Icost_uarch.Config
+module Sampler = Icost_profiler.Sampler
+module Workload = Icost_workloads.Workload
+module Runner = Icost_experiments.Runner
+module Json = Icost_service.Json
+
+type target = Bench of string | Generated of Gen.profile * int
+
+type t = {
+  target : target;
+  variant : string;
+  warmup : int;
+  measure : int;
+  sample_seed : int;
+}
+
+let variants = [ "base"; "dl1"; "wakeup"; "bmisp" ]
+
+let config_of_variant = function
+  | "base" -> Some Config.default
+  | "dl1" -> Some Config.loop_dl1
+  | "wakeup" -> Some Config.loop_wakeup
+  | "bmisp" -> Some Config.loop_bmisp
+  | _ -> None
+
+let target_name = function
+  | Bench b -> b
+  | Generated (p, seed) ->
+    Printf.sprintf "gen-%s-%d" (Gen.profile_name p) seed
+
+let name c = Printf.sprintf "%s-%s-n%d" (target_name c.target) c.variant c.measure
+
+let describe c =
+  Printf.sprintf "%s variant=%s warmup=%d measure=%d sample_seed=%d"
+    (target_name c.target) c.variant c.warmup c.measure c.sample_seed
+
+let workload c =
+  match c.target with
+  | Bench b -> Workload.find_exn b
+  | Generated (p, seed) ->
+    {
+      Workload.name = target_name c.target;
+      description =
+        Printf.sprintf "generated %s-profile program, seed %d"
+          (Gen.profile_name p) seed;
+      build = (fun () -> Gen.generate ~profile:p seed);
+    }
+
+let config c =
+  match config_of_variant c.variant with
+  | Some cfg -> cfg
+  | None -> invalid_arg (Printf.sprintf "Case.config: unknown variant %S" c.variant)
+
+(* Sampling rates scaled to the window: the default (paper) rates assume
+   tens of thousands of instructions and would leave a shrunken
+   1000-instruction case with one fragment or none. *)
+let prof_opts c =
+  let n = c.measure in
+  {
+    Sampler.default_opts with
+    sig_len = max 50 (min 400 (n / 10));
+    sig_period = max 100 (n / 12);
+    det_period = 7;
+    seed = c.sample_seed;
+  }
+
+let prepare c =
+  (* Structural parameters (caches, TLBs, predictor geometry) are shared
+     by every variant, so preparation always uses the default machine —
+     same invariant the experiment runner and the service rely on. *)
+  Runner.prepare
+    { Runner.warmup = c.warmup; measure = c.measure; benches = [] }
+    (workload c)
+
+(* --- JSON (for replay artifacts) --- *)
+
+let target_to_json = function
+  | Bench b -> Json.Obj [ ("kind", Json.Str "bench"); ("name", Json.Str b) ]
+  | Generated (p, seed) ->
+    Json.Obj
+      [
+        ("kind", Json.Str "gen");
+        ("profile", Json.Str (Gen.profile_name p));
+        ("seed", Json.Int seed);
+      ]
+
+let to_json c =
+  Json.Obj
+    [
+      ("target", target_to_json c.target);
+      ("variant", Json.Str c.variant);
+      ("warmup", Json.Int c.warmup);
+      ("measure", Json.Int c.measure);
+      ("sample_seed", Json.Int c.sample_seed);
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let req what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "case: missing or ill-typed %s" what)
+
+let target_of_json j =
+  let* kind = req "target.kind" (Option.bind (Json.member "kind" j) Json.get_str) in
+  match kind with
+  | "bench" ->
+    let* b = req "target.name" (Option.bind (Json.member "name" j) Json.get_str) in
+    Ok (Bench b)
+  | "gen" ->
+    let* pname =
+      req "target.profile" (Option.bind (Json.member "profile" j) Json.get_str)
+    in
+    let* seed = req "target.seed" (Option.bind (Json.member "seed" j) Json.get_int) in
+    let* p = req "target.profile" (Gen.profile_of_name pname) in
+    Ok (Generated (p, seed))
+  | k -> Error (Printf.sprintf "case: unknown target kind %S" k)
+
+let of_json j =
+  let* tj = req "target" (Json.member "target" j) in
+  let* target = target_of_json tj in
+  let* variant = req "variant" (Option.bind (Json.member "variant" j) Json.get_str) in
+  let* _cfg = req "variant" (config_of_variant variant) in
+  let* warmup = req "warmup" (Option.bind (Json.member "warmup" j) Json.get_int) in
+  let* measure = req "measure" (Option.bind (Json.member "measure" j) Json.get_int) in
+  let* sample_seed =
+    req "sample_seed" (Option.bind (Json.member "sample_seed" j) Json.get_int)
+  in
+  if measure <= 0 then Error "case: measure must be positive"
+  else if warmup < 0 then Error "case: warmup must be non-negative"
+  else Ok { target; variant; warmup; measure; sample_seed }

@@ -1,0 +1,46 @@
+(** One conformance-check case: everything needed to rebuild a prepared
+    workload and its oracles from scratch, deterministically.  A case is
+    the unit the harness fans out over, the thing the shrinker minimizes,
+    and the payload a replay artifact embeds. *)
+
+module Config = Icost_uarch.Config
+module Sampler = Icost_profiler.Sampler
+module Workload = Icost_workloads.Workload
+module Runner = Icost_experiments.Runner
+module Json = Icost_service.Json
+
+(** What runs: a named kernel from the registry, or a generated program
+    identified by (profile, seed). *)
+type target = Bench of string | Generated of Gen.profile * int
+
+type t = {
+  target : target;
+  variant : string;  (** machine variant: base | dl1 | wakeup | bmisp *)
+  warmup : int;  (** instructions discarded before the measured window *)
+  measure : int;  (** measured-window length (instructions) *)
+  sample_seed : int;  (** profiler sampling seed *)
+}
+
+val variants : string list
+(** ["base"; "dl1"; "wakeup"; "bmisp"] — same names as the service. *)
+
+val config_of_variant : string -> Config.t option
+
+val name : t -> string
+(** Short slug, e.g. ["gcc-base-n4000"] — stable, filesystem-safe. *)
+
+val describe : t -> string
+(** One human line with every field. *)
+
+val workload : t -> Workload.t
+val config : t -> Config.t
+
+val prof_opts : t -> Sampler.opts
+(** Sampling options scaled to the case's window so even small shrunken
+    cases yield several fragments. *)
+
+val prepare : t -> Runner.prepared
+(** Interpret, annotate and slice — deterministic in the case alone. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result

@@ -1,0 +1,207 @@
+(* Seeded random-workload generation.  See gen.mli.
+
+   The Mixed profile must stay draw-for-draw identical to the historical
+   test-suite generator (test/gen_program.ml before it was promoted
+   here): QCheck fuzz regressions reference programs by seed alone, so
+   changing the PRNG consumption order for Mixed would silently retire
+   every previously-exercised program. *)
+
+module Asm = Icost_isa.Asm
+module Isa = Icost_isa.Isa
+module Prng = Icost_util.Prng
+
+type profile = Mixed | Loop_heavy | Alias_heavy | Branch_heavy
+
+let all_profiles = [ Mixed; Loop_heavy; Alias_heavy; Branch_heavy ]
+
+let profile_name = function
+  | Mixed -> "mixed"
+  | Loop_heavy -> "loop"
+  | Alias_heavy -> "alias"
+  | Branch_heavy -> "branch"
+
+let profile_of_name = function
+  | "mixed" -> Some Mixed
+  | "loop" -> Some Loop_heavy
+  | "alias" -> Some Alias_heavy
+  | "branch" -> Some Branch_heavy
+  | _ -> None
+
+let data_base = 0x0100_0000
+
+(* Cumulative op-mix thresholds out of 100 (a draw below [alu] emits an
+   ALU op, below [shift] a shift/compare, and so on), plus the structural
+   knobs that give each profile its character. *)
+type mix = {
+  alu : int;
+  shift : int;
+  long : int;
+  load : int;
+  store : int;
+  branch : int;
+  data_words : int;  (** words in the guarded data region *)
+  scratch_regs : int;  (** scratch registers r1..r[scratch_regs] *)
+  nested_loops : bool;  (** counted loops may nest one level *)
+  dispatch : bool;  (** indirect jump-table dispatch at the top of main *)
+}
+
+let mix_of_profile = function
+  | Mixed ->
+    { alu = 30; shift = 38; long = 46; load = 66; store = 78; branch = 90;
+      data_words = 4096; scratch_regs = 12; nested_loops = false;
+      dispatch = false }
+  | Loop_heavy ->
+    { alu = 25; shift = 31; long = 39; load = 55; store = 63; branch = 70;
+      data_words = 2048; scratch_regs = 10; nested_loops = true;
+      dispatch = false }
+  | Alias_heavy ->
+    { alu = 15; shift = 19; long = 23; load = 55; store = 85; branch = 92;
+      data_words = 64; scratch_regs = 12; nested_loops = false;
+      dispatch = false }
+  | Branch_heavy ->
+    { alu = 20; shift = 26; long = 30; load = 42; store = 50; branch = 88;
+      data_words = 1024; scratch_regs = 12; nested_loops = false;
+      dispatch = true }
+
+(* register allocation: r1..r12 scratch (r11/r12 reserved as inner-loop
+   counters when loops nest), r13 outer loop counter, r14 address temp,
+   r15 data base, r30 sp, r31 ra *)
+let scratch m prng = 1 + Prng.int prng m.scratch_regs
+let addr_tmp = 14
+let base_reg = 15
+let outer_counter = 13
+let inner_counter = 12
+
+let counted a ~tag ~counter ~count body =
+  Asm.li a ~rd:counter count;
+  Asm.label a ("loop_" ^ tag);
+  body ();
+  Asm.addi a ~rd:counter ~rs1:counter (-1);
+  Asm.bne a ~rs1:counter ~rs2:Isa.reg_zero ("loop_" ^ tag)
+
+let emit_guarded_addr m a prng =
+  (* addr_tmp <- data_base + (scratch & mask), word aligned *)
+  let src = scratch m prng in
+  Asm.andi a ~rd:addr_tmp ~rs1:src (((m.data_words - 1) * 8) land lnot 7);
+  Asm.add a ~rd:addr_tmp ~rs1:base_reg ~rs2:addr_tmp
+
+let emit_op m a prng ~labels ~depth =
+  let n = Prng.int prng 100 in
+  if n < m.alu then begin
+    (* plain ALU *)
+    let op = Prng.choose prng [| Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor |] in
+    let rd = scratch m prng and rs1 = scratch m prng and rs2 = scratch m prng in
+    if Prng.bool prng 0.5 then Asm.alu a op ~rd ~rs1 ~rs2
+    else Asm.alui a op ~rd ~rs1 (Prng.int_range prng (-64) 64)
+  end
+  else if n < m.shift then begin
+    (* shifts and compares *)
+    let rd = scratch m prng and rs1 = scratch m prng in
+    if Prng.bool prng 0.5 then Asm.shli a ~rd ~rs1 (Prng.int prng 8)
+    else Asm.slti a ~rd ~rs1 (Prng.int_range prng (-32) 32)
+  end
+  else if n < m.long then begin
+    (* long ALU *)
+    let rd = scratch m prng and rs1 = scratch m prng and rs2 = scratch m prng in
+    match Prng.int prng 4 with
+    | 0 -> Asm.mul a ~rd ~rs1 ~rs2
+    | 1 -> Asm.div a ~rd ~rs1 ~rs2
+    | 2 -> Asm.fadd a ~rd ~rs1 ~rs2
+    | _ -> Asm.fmul a ~rd ~rs1 ~rs2
+  end
+  else if n < m.load then begin
+    (* guarded load *)
+    emit_guarded_addr m a prng;
+    Asm.load a ~rd:(scratch m prng) ~base:addr_tmp ~offset:(8 * Prng.int prng 4)
+  end
+  else if n < m.store then begin
+    (* guarded store *)
+    emit_guarded_addr m a prng;
+    Asm.store a ~rs:(scratch m prng) ~base:addr_tmp ~offset:(8 * Prng.int prng 4)
+  end
+  else if n < m.branch && labels <> [] then begin
+    (* forward data-dependent branch to a known label *)
+    let target = Prng.choose prng (Array.of_list labels) in
+    let cond = Prng.choose prng [| Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge |] in
+    Asm.branch a cond ~rs1:(scratch m prng) ~rs2:(scratch m prng) target
+  end
+  else if depth > 0 then
+    (* nothing: handled by block structure (loops/calls) *)
+    Asm.addi a ~rd:(scratch m prng) ~rs1:(scratch m prng) 1
+  else Asm.addi a ~rd:(scratch m prng) ~rs1:(scratch m prng) 1
+
+(* one basic block: a skip label so forward branches always land safely *)
+let emit_block m a prng ~tag ~depth =
+  let skip = Printf.sprintf "skip_%s" tag in
+  let ops = 3 + Prng.int prng 8 in
+  for _ = 1 to ops do
+    emit_op m a prng ~labels:[ skip ] ~depth
+  done;
+  Asm.label a skip
+
+(* a counted loop whose body is a block; Loop_heavy may nest one more
+   counted loop inside, on its own counter register *)
+let emit_loop m a prng ~tag =
+  let count = 2 + Prng.int prng 6 in
+  counted a ~tag ~counter:outer_counter ~count (fun () ->
+      if m.nested_loops && Prng.bool prng 0.5 then
+        counted a ~tag:(tag ^ "_n") ~counter:inner_counter
+          ~count:(2 + Prng.int prng 4)
+          (fun () -> emit_block m a prng ~tag:(tag ^ "_in") ~depth:0)
+      else emit_block m a prng ~tag:(tag ^ "_in") ~depth:0)
+
+(* Branch_heavy only: a four-entry jump table in data memory just past the
+   guarded region (stores are masked into [0, data_words), so the table
+   cannot be overwritten), dispatching to one of the first four blocks *)
+let emit_dispatch m a prng ~num_blocks =
+  let table = data_base + (8 * m.data_words) in
+  for i = 0 to 3 do
+    Asm.init_label a ~addr:(table + (8 * i)) (Printf.sprintf "blk_%d" (i mod num_blocks))
+  done;
+  Asm.andi a ~rd:addr_tmp ~rs1:(scratch m prng) 24;
+  Asm.alui a Isa.Add ~rd:addr_tmp ~rs1:addr_tmp table;
+  Asm.load a ~rd:addr_tmp ~base:addr_tmp ~offset:0;
+  Asm.jr a ~rs:addr_tmp
+
+let generate ?(profile = Mixed) seed : Icost_isa.Program.t =
+  let m = mix_of_profile profile in
+  let prng = Prng.create seed in
+  let a =
+    Asm.create ~name:(Printf.sprintf "gen_%s_%d" (profile_name profile) seed) ()
+  in
+  (* data region: random contents *)
+  for i = 0 to m.data_words - 1 do
+    Asm.init_word a ~addr:(data_base + (8 * i)) ~value:(Prng.int prng 1_000_000)
+  done;
+  let num_subs = Prng.int prng 3 in
+  let num_blocks =
+    if m.dispatch then 4 + Prng.int prng 4 else 2 + Prng.int prng 5
+  in
+  (* entry: initialize registers, jump over subroutines *)
+  Asm.li a ~rd:base_reg data_base;
+  Asm.li a ~rd:Isa.reg_sp 0x7000_0000;
+  for r = 1 to 12 do
+    Asm.li a ~rd:r (Prng.int prng 4096)
+  done;
+  Asm.jmp a "main";
+  (* leaf subroutines *)
+  for s = 0 to num_subs - 1 do
+    Asm.label a (Printf.sprintf "sub_%d" s);
+    emit_block m a prng ~tag:(Printf.sprintf "s%d" s) ~depth:1;
+    Asm.ret a
+  done;
+  (* main: an endless outer loop over blocks, with counted inner loops and
+     calls sprinkled in *)
+  Asm.label a "main";
+  if m.dispatch then emit_dispatch m a prng ~num_blocks;
+  for b = 0 to num_blocks - 1 do
+    let tag = Printf.sprintf "b%d" b in
+    if m.dispatch then Asm.label a (Printf.sprintf "blk_%d" b);
+    match Prng.int prng 3 with
+    | 0 when num_subs > 0 ->
+      Asm.call a (Printf.sprintf "sub_%d" (Prng.int prng num_subs))
+    | 1 -> emit_loop m a prng ~tag
+    | _ -> emit_block m a prng ~tag ~depth:1
+  done;
+  Asm.jmp a "main";
+  Asm.assemble a

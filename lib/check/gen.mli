@@ -1,0 +1,35 @@
+(** Seeded random-workload generation for conformance checking.
+
+    Promoted from the test suite's ad-hoc fuzz generator: builds
+    structurally valid, non-stuck programs exercising the whole ISA —
+    straight-line arithmetic, guarded memory accesses (always inside a
+    dedicated data region), counted loops, data-dependent branches and
+    calls to generated leaf subroutines.  Programs run forever (outer
+    loop); traces are cut by the interpreter's instruction budget.
+
+    A {!profile} skews the instruction mix so the conformance harness can
+    stress each engine's weak spots separately: loop recurrences for the
+    window/wakeup model, a tiny data region for aliasing and
+    store-forwarding, a branch-dense mix for the misprediction model.
+    All randomness flows through {!Icost_util.Prng}: the same
+    (profile, seed) pair always yields the same program. *)
+
+type profile =
+  | Mixed  (** the historical fuzz mix: a bit of everything *)
+  | Loop_heavy  (** nested counted loops with carried recurrences *)
+  | Alias_heavy
+      (** loads/stores dominate, squeezed into a 64-word region so
+          same-line sharing and store-to-load forwarding are common *)
+  | Branch_heavy  (** data-dependent branches at every turn *)
+
+val all_profiles : profile list
+
+val profile_name : profile -> string
+(** ["mixed"], ["loop"], ["alias"], ["branch"]. *)
+
+val profile_of_name : string -> profile option
+
+val generate : ?profile:profile -> int -> Icost_isa.Program.t
+(** [generate ~profile seed] builds a program; deterministic in
+    (profile, seed).  Default profile is {!Mixed} (bit-compatible with
+    the pre-library test generator for any seed). *)

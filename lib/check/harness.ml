@@ -1,0 +1,427 @@
+(* The conformance harness.  See harness.mli. *)
+
+module Category = Icost_core.Category
+module Prng = Icost_util.Prng
+module Pool = Icost_util.Pool
+module Fault = Icost_util.Fault
+module Telemetry = Icost_util.Telemetry
+module Texport = Icost_report.Telemetry_export
+module Workload = Icost_workloads.Workload
+
+let c_cases = Telemetry.counter "check.cases"
+let c_laws = Telemetry.counter "check.laws"
+let c_outcomes = Telemetry.counter "check.outcomes"
+let c_violations = Telemetry.counter "check.violations"
+let c_shrink = Telemetry.counter "check.shrink_attempts"
+let c_artifacts = Telemetry.counter "check.artifacts"
+
+(* Deliberate-violation hook: a constant error injected into every
+   non-empty fullgraph evaluation, below the memoization layer, firing on
+   every hit — order-independent, hence bit-identical on replay. *)
+let fp_perturb = Fault.point "check.perturb_graph"
+let perturbation = 1000.
+
+let fg_wrap oracle s =
+  let t = oracle s in
+  if (not (Category.Set.is_empty s)) && Fault.fire fp_perturb then
+    t +. perturbation
+  else t
+
+type opts = {
+  master_seed : int;
+  budget_s : float;
+  benches : string list;
+  gen_per_profile : int;
+  warmup : int;
+  measure : int;
+  only : string list option;
+  artifact_dir : string option;
+}
+
+let default_opts =
+  {
+    master_seed = 42;
+    budget_s = 60.;
+    benches = [];
+    gen_per_profile = 2;
+    warmup = 20_000;
+    measure = 4_000;
+    only = None;
+    artifact_dir = None;
+  }
+
+let cases_of_opts o =
+  let benches = match o.benches with [] -> Workload.names | bs -> bs in
+  let bench_case b =
+    {
+      Case.target = Case.Bench b;
+      variant = "base";
+      warmup = o.warmup;
+      measure = o.measure;
+      sample_seed = o.master_seed;
+    }
+  in
+  let prng = Prng.create o.master_seed in
+  let gen_cases =
+    List.concat_map
+      (fun p ->
+        List.init o.gen_per_profile (fun i ->
+            let gen_seed = Prng.int prng 1_000_000 in
+            {
+              Case.target = Case.Generated (p, gen_seed);
+              (* cycle the machine variants so every configuration sees
+                 generated traffic (and the shrinker's variant move has
+                 something to do) *)
+              variant = List.nth Case.variants (i mod List.length Case.variants);
+              warmup = o.warmup;
+              measure = o.measure;
+              sample_seed = o.master_seed;
+            }))
+      Gen.all_profiles
+  in
+  List.map bench_case benches @ gen_cases
+
+type case_outcome = {
+  case : Case.t;
+  results : (Laws.law * Laws.outcome list) list;
+  crashed : string option;
+  deadline_skipped : bool;
+}
+
+type artifact = { file : string option; repro : Repro.t; shrink_attempts : int }
+
+type summary = {
+  outcomes : case_outcome list;
+  passed : int;
+  skipped : int;
+  failed : int;
+  crashed : int;
+  deadline_skipped : int;
+  artifacts : artifact list;
+  elapsed_s : float;
+}
+
+let ok s = s.failed = 0 && s.crashed = 0
+
+let eval_case ?only (case : Case.t) =
+  let prepared = Case.prepare case in
+  let ctx =
+    Laws.make_ctx ~fg_wrap ~prof_opts:(Case.prof_opts case) (Case.config case)
+      prepared
+  in
+  Laws.run_all ?only ctx
+
+let is_fail (o : Laws.outcome) =
+  match o.Laws.status with Laws.Fail _ -> true | _ -> false
+
+(* --- shrinking one violation --- *)
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Re-evaluate just the violated law and report whether the same engine
+   still fails; remembers the failing outcome of the last success so the
+   minimized case's violation needn't be recomputed. *)
+let still_fails ~law ~engine ~deadline last (c : Case.t) =
+  if Unix.gettimeofday () > deadline then false
+  else
+    match eval_case ~only:[ law.Laws.id ] c with
+    | exception _ -> false
+    | results -> (
+      let failing =
+        List.concat_map
+          (fun (_, os) ->
+            List.filter (fun o -> o.Laws.engine = engine && is_fail o) os)
+          results
+      in
+      match failing with
+      | [] -> false
+      | o :: _ ->
+        last := Some (c, o);
+        true)
+
+let shrink_violation ~opts ~deadline (case : Case.t) (law : Laws.law)
+    (outcome : Laws.outcome) =
+  Telemetry.with_span "check.shrink" (fun () ->
+      let last = ref (Some (case, outcome)) in
+      let min_case, attempts =
+        Shrink.minimize
+          ~still_fails:
+            (still_fails ~law ~engine:outcome.Laws.engine ~deadline last)
+          case
+      in
+      Telemetry.add c_shrink attempts;
+      let min_outcome =
+        match !last with
+        | Some (c, o) when c = min_case -> o
+        | _ -> outcome (* shrinking never improved on the original *)
+      in
+      let viol =
+        match min_outcome.Laws.status with
+        | Laws.Fail v -> v
+        | _ -> assert false
+      in
+      let repro =
+        {
+          Repro.law = law.Laws.id;
+          engine = min_outcome.Laws.engine;
+          detail = min_outcome.Laws.detail;
+          case = min_case;
+          observed = viol.Laws.lhs;
+          expected = viol.Laws.rhs;
+          msg = viol.Laws.msg;
+          faults = Option.value (Fault.active_spec ()) ~default:"none";
+        }
+      in
+      let file =
+        match opts.artifact_dir with
+        | None -> None
+        | Some dir ->
+          mkdir_p dir;
+          let f =
+            Filename.concat dir
+              (Printf.sprintf "repro-%s-%s.json" law.Laws.id
+                 (Case.name min_case))
+          in
+          let manifest =
+            Texport.manifest
+              ~config_digest:(Texport.digest (Case.config min_case))
+              ~seed:min_case.Case.sample_seed
+              ~workloads:[ Case.name min_case ]
+              ()
+          in
+          Repro.write ~file:f ~manifest repro;
+          Telemetry.incr c_artifacts;
+          Some f
+      in
+      { file; repro; shrink_attempts = attempts })
+
+(* --- the run --- *)
+
+let run opts =
+  Telemetry.with_span "check.run" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let deadline = t0 +. opts.budget_s in
+      let cases = Array.of_list (cases_of_opts opts) in
+      let outcomes =
+        Pool.parallel_map
+          (fun case ->
+            if Unix.gettimeofday () > deadline then
+              { case; results = []; crashed = None; deadline_skipped = true }
+            else begin
+              Telemetry.incr c_cases;
+              let sp = Telemetry.start_span "check.case" in
+              let r =
+                match eval_case ?only:opts.only case with
+                | results ->
+                  { case; results; crashed = None; deadline_skipped = false }
+                | exception e ->
+                  {
+                    case;
+                    results = [];
+                    crashed = Some (Printexc.to_string e);
+                    deadline_skipped = false;
+                  }
+              in
+              if Telemetry.enabled () then
+                Telemetry.end_span sp ~attrs:[ ("case", Case.name case) ]
+              else Telemetry.end_span sp;
+              r
+            end)
+          cases
+      in
+      let outcomes = Array.to_list outcomes in
+      let passed = ref 0 and skipped = ref 0 and failed = ref 0 in
+      List.iter
+        (fun co ->
+          List.iter
+            (fun (_, os) ->
+              Telemetry.incr c_laws;
+              List.iter
+                (fun (o : Laws.outcome) ->
+                  Telemetry.incr c_outcomes;
+                  match o.Laws.status with
+                  | Laws.Pass -> incr passed
+                  | Laws.Skip _ -> incr skipped
+                  | Laws.Fail _ ->
+                    Telemetry.incr c_violations;
+                    incr failed)
+                os)
+            co.results)
+        outcomes;
+      (* shrink the first violation of each failing case, sequentially:
+         the shrinker re-simulates whole cases, so its inner fan-outs
+         already saturate the pool *)
+      let artifacts =
+        List.filter_map
+          (fun co ->
+            match Laws.violations co.results with
+            | [] -> None
+            | (law, outcome) :: _ ->
+              Some (shrink_violation ~opts ~deadline co.case law outcome))
+          outcomes
+      in
+      {
+        outcomes;
+        passed = !passed;
+        skipped = !skipped;
+        failed = !failed;
+        crashed =
+          List.length
+            (List.filter (fun (c : case_outcome) -> c.crashed <> None) outcomes);
+        deadline_skipped =
+          List.length
+            (List.filter
+               (fun (c : case_outcome) -> c.deadline_skipped)
+               outcomes);
+        artifacts;
+        elapsed_s = Unix.gettimeofday () -. t0;
+      })
+
+(* --- reporting --- *)
+
+let render (s : summary) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let evaluated =
+    List.filter
+      (fun (c : case_outcome) -> (not c.deadline_skipped) && c.crashed = None)
+      s.outcomes
+  in
+  pr "conformance: %d cases (%d evaluated), %.1fs\n" (List.length s.outcomes)
+    (List.length evaluated) s.elapsed_s;
+  (* per-law aggregate, in table order *)
+  let tally = Hashtbl.create 32 in
+  List.iter
+    (fun co ->
+      List.iter
+        (fun ((law : Laws.law), os) ->
+          let p, sk, f =
+            try Hashtbl.find tally law.Laws.id with Not_found -> (0, 0, 0)
+          in
+          let p = ref p and sk = ref sk and f = ref f in
+          List.iter
+            (fun (o : Laws.outcome) ->
+              match o.Laws.status with
+              | Laws.Pass -> incr p
+              | Laws.Skip _ -> incr sk
+              | Laws.Fail _ -> incr f)
+            os;
+          Hashtbl.replace tally law.Laws.id (!p, !sk, !f))
+        co.results)
+    s.outcomes;
+  pr "  %-24s %-13s %-20s %5s %5s %5s\n" "law" "family" "tolerance" "pass"
+    "skip" "fail";
+  List.iter
+    (fun (law : Laws.law) ->
+      match Hashtbl.find_opt tally law.Laws.id with
+      | None -> ()
+      | Some (p, sk, f) ->
+        pr "  %-24s %-13s %-20s %5d %5d %5d\n" law.Laws.id
+          (Laws.family_name law.Laws.family)
+          (Laws.tolerance_to_string law.Laws.tol)
+          p sk f)
+    Laws.all;
+  List.iter
+    (fun (co : case_outcome) ->
+      match co.crashed with
+      | Some msg -> pr "  CRASH %s: %s\n" (Case.describe co.case) msg
+      | None -> ())
+    s.outcomes;
+  if s.deadline_skipped > 0 then
+    pr "  %d case(s) skipped: wall-clock budget exhausted\n" s.deadline_skipped;
+  List.iter
+    (fun a ->
+      let r = a.repro in
+      pr "violation: %s/%s (%s) on %s\n" r.Repro.law r.Repro.engine
+        r.Repro.detail
+        (Case.describe r.Repro.case);
+      pr "  %s\n" r.Repro.msg;
+      pr "  shrunk in %d attempts to %d measured instructions%s\n"
+        a.shrink_attempts r.Repro.case.Case.measure
+        (match a.file with
+        | Some f -> Printf.sprintf "; replay: icost check --replay %s" f
+        | None -> "");
+      ())
+    s.artifacts;
+  pr "%s\n"
+    (if ok s then
+       Printf.sprintf "all laws hold (%d outcomes, %d skipped)" s.passed
+         s.skipped
+     else
+       Printf.sprintf "%d violation(s), %d crash(es)" s.failed s.crashed);
+  Buffer.contents buf
+
+(* --- replay --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let replay file =
+  let* r = Repro.read file in
+  let* law =
+    match Laws.find r.Repro.law with
+    | Some l -> Ok l
+    | None -> Error (Printf.sprintf "replay: unknown law %S" r.Repro.law)
+  in
+  (* the artifact's fault spec replaces whatever is armed, but only for
+     the duration of the replay — callers (tests, a resident service)
+     must get their own fault state back *)
+  let previous = Fault.active_spec () in
+  let restore () =
+    match previous with
+    | None -> Fault.disable ()
+    | Some spec -> (
+      match Fault.configure spec with Ok () | Error _ -> ())
+  in
+  let* () =
+    match r.Repro.faults with
+    | "none" ->
+      Fault.disable ();
+      Ok ()
+    | spec -> (
+      match Fault.configure spec with
+      | Ok () -> Ok ()
+      | Error m -> Error (Printf.sprintf "replay: bad fault spec: %s" m))
+  in
+  let* results =
+    match
+      Fun.protect ~finally:restore (fun () ->
+          eval_case ~only:[ law.Laws.id ] r.Repro.case)
+    with
+    | results -> Ok results
+    | exception e ->
+      Error (Printf.sprintf "replay: evaluation raised %s" (Printexc.to_string e))
+  in
+  let outcome =
+    List.concat_map
+      (fun (_, os) ->
+        List.filter
+          (fun (o : Laws.outcome) ->
+            o.Laws.engine = r.Repro.engine && o.Laws.detail = r.Repro.detail)
+          os)
+      results
+  in
+  match outcome with
+  | [] ->
+    Error
+      (Printf.sprintf "replay: no %s outcome for engine %s, detail %s"
+         law.Laws.id r.Repro.engine r.Repro.detail)
+  | o :: _ -> (
+    match o.Laws.status with
+    | Laws.Fail v when Int64.equal (Int64.bits_of_float v.Laws.lhs)
+                         (Int64.bits_of_float r.Repro.observed) ->
+      Ok
+        (Printf.sprintf
+           "reproduced bit-identically: %s/%s (%s) observed %.17g, expected %.17g"
+           law.Laws.id r.Repro.engine r.Repro.detail v.Laws.lhs v.Laws.rhs)
+    | Laws.Fail v ->
+      Error
+        (Printf.sprintf
+           "violation reproduced but drifted: observed %.17g, artifact says %.17g"
+           v.Laws.lhs r.Repro.observed)
+    | Laws.Pass -> Error "law passes now: violation did not reproduce"
+    | Laws.Skip m -> Error (Printf.sprintf "law skipped on replay: %s" m))

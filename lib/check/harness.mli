@@ -1,0 +1,73 @@
+(** The conformance harness behind [icost check].
+
+    Enumerates cases (registry kernels plus generated programs per
+    {!Gen.profile}), evaluates the whole {!Laws} table on each in
+    parallel via {!Icost_util.Pool}, and on any violation greedily
+    shrinks the case ({!Shrink}) and emits a replayable artifact
+    ({!Repro}).
+
+    {b Deliberate violations.}  The fullgraph oracle is wrapped with the
+    [check.perturb_graph] fault point ({!Icost_util.Fault}): arming it
+    (e.g. [ICOST_FAULTS=check.perturb_graph;seed=1]) adds a constant
+    1000-cycle error to every non-empty subset evaluation, which breaks
+    the degeneracy/non-negativity laws while leaving the tautological
+    power-set identities intact — exactly the separation the law table is
+    supposed to provide.  Because the perturbation is applied under the
+    memoization layer and fires on every hit, a violation it causes
+    replays bit-identically. *)
+
+type opts = {
+  master_seed : int;  (** seeds generated programs and the samplers *)
+  budget_s : float;  (** wall-clock budget; late cases are skipped *)
+  benches : string list;  (** kernels to check; [[]] = whole registry *)
+  gen_per_profile : int;  (** generated cases per {!Gen.profile} *)
+  warmup : int;
+  measure : int;
+  only : string list option;  (** law ids to evaluate; [None] = all *)
+  artifact_dir : string option;  (** where counterexamples are written *)
+}
+
+val default_opts : opts
+(** seed 42, 60 s budget, all kernels, 2 generated cases per profile,
+    20k warm-up, 4k measured, every law, no artifact directory. *)
+
+val cases_of_opts : opts -> Case.t list
+(** The deterministic case list the run will evaluate, kernels first. *)
+
+type case_outcome = {
+  case : Case.t;
+  results : (Laws.law * Laws.outcome list) list;
+  crashed : string option;  (** an engine raised — itself a conformance bug *)
+  deadline_skipped : bool;
+}
+
+type artifact = {
+  file : string option;  (** [None] when no [artifact_dir] was given *)
+  repro : Repro.t;
+  shrink_attempts : int;
+}
+
+type summary = {
+  outcomes : case_outcome list;
+  passed : int;  (** individual law outcomes *)
+  skipped : int;
+  failed : int;
+  crashed : int;  (** cases whose evaluation raised *)
+  deadline_skipped : int;  (** cases never evaluated (budget) *)
+  artifacts : artifact list;
+  elapsed_s : float;
+}
+
+val ok : summary -> bool
+(** No failures and no crashes (deadline skips and law skips are fine). *)
+
+val run : opts -> summary
+
+val render : summary -> string
+(** Human report: per-law pass/skip/fail table, then each violation with
+    its shrunken reproducer and artifact path. *)
+
+val replay : string -> (string, string) result
+(** Replay an artifact file: re-arm the recorded fault spec, rebuild the
+    case, evaluate the recorded law, and compare the observed value
+    bit-for-bit.  [Ok msg] iff the identical violation reproduces. *)

@@ -1,0 +1,100 @@
+(** The conformance laws, as data.
+
+    Each {!law} states one property the three cost engines must satisfy —
+    an algebraic identity of the icost definition (Section 2 of the
+    paper), a metamorphic relation under a configuration change, or a
+    differential bound tying two engines together on the same prepared
+    workload.  Laws carry their own tolerance, so the complete policy
+    (which engine pairs must agree exactly, which within a bound, and how
+    large the bound is) lives in one table ({!all}) instead of being
+    scattered across test files.
+
+    Laws are pure: evaluating one never mutates the context, so the
+    harness is free to run them in any order, in parallel, or re-run a
+    single law while shrinking a counterexample. *)
+
+module Config = Icost_uarch.Config
+module Ooo = Icost_sim.Ooo
+module Graph = Icost_depgraph.Graph
+module Sampler = Icost_profiler.Sampler
+module Profile = Icost_profiler.Profile
+module Cost = Icost_core.Cost
+module Runner = Icost_experiments.Runner
+
+(** Everything the laws may consult about one prepared case.  Oracles are
+    memoized, so laws share subset evaluations; [fg] is the fullgraph
+    oracle {e as wrapped by the harness}, which is where a deliberate
+    fault-injected perturbation is applied. *)
+type ctx = {
+  cfg : Config.t;
+  prepared : Runner.prepared;
+  baseline : Ooo.result;
+  graph : Graph.t;
+  sim : Cost.oracle;  (** multisim *)
+  fg : Cost.oracle;  (** fullgraph (possibly perturbed under faults) *)
+  pr : Cost.oracle;  (** profiler *)
+  profile : Profile.t;
+  prof_opts : Sampler.opts;  (** sampling options used to build [profile] *)
+}
+
+val make_ctx :
+  ?fg_wrap:(Cost.oracle -> Cost.oracle) ->
+  ?prof_opts:Sampler.opts ->
+  Config.t ->
+  Runner.prepared ->
+  ctx
+(** Build a context: one baseline simulation, one graph, one profile, the
+    three memoized oracles.  [fg_wrap] interposes on the raw fullgraph
+    oracle {e before} memoization (the harness uses it to install the
+    deliberate-violation fault point). *)
+
+(** {1 Tolerances} *)
+
+type tolerance =
+  | Exact  (** bit-identical floats (and both NaN counts as equal) *)
+  | Abs of float  (** absolute slack in cycles *)
+  | Rel of float * float
+      (** [(r, floor)]: slack is [max floor (r *. scale)] where [scale]
+          is the case's baseline cycle count *)
+
+val tolerance_to_string : tolerance -> string
+
+(** {1 Outcomes} *)
+
+type violation = { lhs : float; rhs : float; msg : string }
+
+type status = Pass | Skip of string | Fail of violation
+
+type outcome = {
+  engine : string;  (** "multisim" / "fullgraph" / "profiler" / "config" *)
+  detail : string;  (** which instance: category, subset, relaxation... *)
+  status : status;
+}
+
+(** {1 The law table} *)
+
+type family = Algebraic | Metamorphic | Differential | Determinism
+
+val family_name : family -> string
+
+type law = {
+  id : string;
+  family : family;
+  tol : tolerance;
+  doc : string;  (** one line for the table in DESIGN.md and [--list] *)
+  run : ctx -> outcome list;
+}
+
+val all : law list
+(** Every law, in documentation order. *)
+
+val find : string -> law option
+val names : string list
+
+val violations : (law * outcome list) list -> (law * outcome) list
+(** Flatten to the failing outcomes only. *)
+
+val run_all : ?only:string list -> ctx -> (law * outcome list) list
+(** Evaluate the table (or the [only] subset, by id) on one context,
+    sequentially.  Parallelism across {e cases} is the harness's job;
+    within a case the memoized oracles make law order irrelevant. *)

@@ -1,0 +1,91 @@
+(* Replayable counterexample artifacts.  See repro.mli. *)
+
+module Json = Icost_service.Json
+module Texport = Icost_report.Telemetry_export
+
+type t = {
+  law : string;
+  engine : string;
+  detail : string;
+  case : Case.t;
+  observed : float;
+  expected : float;
+  msg : string;
+  faults : string;
+}
+
+let schema = "icost.check.repro.v1"
+let bits_hex f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+let float_of_bits_hex s =
+  match Scanf.sscanf_opt s "%Lx%!" (fun b -> b) with
+  | Some b -> Some (Int64.float_of_bits b)
+  | None -> None
+
+(* the bit patterns above are authoritative; these mirrors are for human
+   readers, so non-finite values degrade to strings rather than breaking
+   the encoder's finite-only invariant *)
+let human f = if Float.is_finite f then Json.Float f else Json.Str (string_of_float f)
+
+let to_json ~manifest r =
+  Json.encode
+    (Json.Obj
+       [
+         ("schema", Json.Str schema);
+         ("law", Json.Str r.law);
+         ("engine", Json.Str r.engine);
+         ("detail", Json.Str r.detail);
+         ("case", Case.to_json r.case);
+         ("observed_bits", Json.Str (bits_hex r.observed));
+         ("expected_bits", Json.Str (bits_hex r.expected));
+         ("observed", human r.observed);
+         ("expected", human r.expected);
+         ("msg", Json.Str r.msg);
+         ("faults", Json.Str r.faults);
+         ("manifest", Json.parse (Texport.manifest_json manifest));
+       ])
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let req what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "repro: missing or ill-typed %s" what)
+
+let str_field j name = Option.bind (Json.member name j) Json.get_str
+
+let of_string s =
+  let* j =
+    match Json.parse s with
+    | j -> Ok j
+    | exception Json.Parse_error m -> Error ("repro: " ^ m)
+  in
+  let* sc = req "schema" (str_field j "schema") in
+  let* () =
+    if sc = schema then Ok ()
+    else Error (Printf.sprintf "repro: unsupported schema %S" sc)
+  in
+  let* law = req "law" (str_field j "law") in
+  let* engine = req "engine" (str_field j "engine") in
+  let* detail = req "detail" (str_field j "detail") in
+  let* cj = req "case" (Json.member "case" j) in
+  let* case = Case.of_json cj in
+  let* ob = req "observed_bits" (str_field j "observed_bits") in
+  let* eb = req "expected_bits" (str_field j "expected_bits") in
+  let* observed = req "observed_bits" (float_of_bits_hex ob) in
+  let* expected = req "expected_bits" (float_of_bits_hex eb) in
+  let* msg = req "msg" (str_field j "msg") in
+  let* faults = req "faults" (str_field j "faults") in
+  Ok { law; engine; detail; case; observed; expected; msg; faults }
+
+let write ~file ~manifest r =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ~manifest r);
+      output_char oc '\n')
+
+let read file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error m -> Error ("repro: " ^ m)

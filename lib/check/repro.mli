@@ -1,0 +1,36 @@
+(** Replayable counterexample artifacts ([icost.check.repro.v1]).
+
+    A violation is stored with the shrunken {!Case.t}, the violated law's
+    identity, the observed and expected values {e as IEEE-754 bit
+    patterns} (hex), the fault spec that was active (so deliberate
+    perturbations re-arm on replay), and the full run manifest.  Replay
+    ([icost check --replay f]) rebuilds the case from scratch and demands
+    the same observed value bit-for-bit. *)
+
+module Texport = Icost_report.Telemetry_export
+
+type t = {
+  law : string;
+  engine : string;
+  detail : string;
+  case : Case.t;
+  observed : float;
+  expected : float;
+  msg : string;
+  faults : string;  (** normalized {!Icost_util.Fault} spec, or ["none"] *)
+}
+
+val schema : string
+(** ["icost.check.repro.v1"]. *)
+
+val to_json : manifest:Texport.manifest -> t -> string
+(** One-line JSON document embedding the manifest verbatim. *)
+
+val of_string : string -> (t, string) result
+(** Parse an artifact; the embedded manifest is not interpreted.
+    [observed]/[expected] are reconstructed from the stored bit patterns,
+    so replay comparisons are exact even for non-representable decimal
+    renderings. *)
+
+val write : file:string -> manifest:Texport.manifest -> t -> unit
+val read : string -> (t, string) result

@@ -1,0 +1,58 @@
+(* Greedy counterexample minimization.  See shrink.mli. *)
+
+let min_measure = 100
+
+(* Well-founded size: every candidate move strictly decreases it. *)
+let size (c : Case.t) =
+  let seed_weight =
+    match c.target with Case.Bench _ -> 0 | Case.Generated (_, s) -> s
+  in
+  c.measure + c.warmup + (if c.variant = "base" then 0 else 1) + seed_weight
+
+(* Candidate moves, most aggressive first.  Each must return a strictly
+   smaller case (by [size]) so the outer loop terminates. *)
+let candidates (c : Case.t) =
+  let measure_moves =
+    if c.measure / 2 >= min_measure then
+      [ { c with Case.measure = c.measure / 2 } ]
+    else []
+  in
+  let measure_trim =
+    let m = c.measure * 3 / 4 in
+    if m >= min_measure && m < c.measure then [ { c with Case.measure = m } ]
+    else []
+  in
+  let warmup_moves =
+    if c.warmup > 0 then
+      { c with Case.warmup = 0 }
+      :: (if c.warmup >= 2 then [ { c with Case.warmup = c.warmup / 2 } ] else [])
+    else []
+  in
+  let variant_moves =
+    if c.variant <> "base" then [ { c with Case.variant = "base" } ] else []
+  in
+  let seed_moves =
+    match c.target with
+    | Case.Bench _ -> []
+    | Case.Generated (p, s) when s > 0 ->
+      [ { c with Case.target = Case.Generated (p, s / 2) } ]
+    | Case.Generated _ -> []
+  in
+  measure_moves @ warmup_moves @ variant_moves @ seed_moves @ measure_trim
+
+let minimize ?(max_attempts = 60) ~still_fails case =
+  let attempts = ref 0 in
+  let try_case c =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      still_fails c
+    end
+  in
+  let rec go c =
+    match List.find_opt try_case (candidates c) with
+    | Some smaller when size smaller < size c -> go smaller
+    | _ -> c
+  in
+  let result = go case in
+  (result, !attempts)

@@ -1,0 +1,23 @@
+(** Greedy counterexample minimization.
+
+    Given a failing case and a predicate that re-runs the violated law,
+    repeatedly applies size-reducing moves — halve the measured window,
+    drop the warm-up, fall back to the base machine variant, halve a
+    generated program's seed — keeping a move whenever the violation
+    survives it.  Every move strictly shrinks a well-founded size measure,
+    so the loop terminates without an attempt budget; [max_attempts]
+    exists because each predicate call re-simulates the case. *)
+
+val size : Case.t -> int
+(** The measure the moves decrease (window + warm-up + variant/seed
+    weight); exposed for tests. *)
+
+val minimize :
+  ?max_attempts:int ->
+  still_fails:(Case.t -> bool) ->
+  Case.t ->
+  Case.t * int
+(** [minimize ~still_fails case] returns the minimized case and the
+    number of predicate evaluations spent.  [still_fails case] must be
+    true on entry (the result is only meaningful then); [max_attempts]
+    defaults to 60. *)

@@ -49,24 +49,38 @@ let profile ?(opts = Sampler.default_opts) (cfg : Config.t)
   let sp = Telemetry.start_span "profiler.profile" in
   let db = Sampler.collect ~opts cfg trace evts result in
   let params = Build.params_of_config cfg in
+  (* Each signature reconstructs independently (shared state is the
+     read-only sample database), so fan the construction out and stitch
+     the results back in signature order — the profile must be identical
+     whatever ICOST_JOBS says. *)
+  let outcomes =
+    Icost_util.Pool.parallel_map
+      (fun ss ->
+        match
+          Construct.fragment_of_signature cfg program db ~context:opts.context
+            ss
+        with
+        | Construct.Built frag ->
+          Ok (Build.of_infos params frag.infos, frag.matched, frag.defaulted)
+        | Construct.Aborted (reason, _) -> Error reason)
+      db.signatures
+  in
   let built = ref [] in
   let aborted = Hashtbl.create 4 in
   let n_aborted = ref 0 in
   let matched = ref 0 and total = ref 0 in
   Array.iter
-    (fun ss ->
-      match
-        Construct.fragment_of_signature cfg program db ~context:opts.context ss
-      with
-      | Construct.Built frag ->
-        matched := !matched + frag.matched;
-        total := !total + frag.matched + frag.defaulted;
-        built := Build.of_infos params frag.infos :: !built
-      | Construct.Aborted (reason, _) ->
+    (fun outcome ->
+      match outcome with
+      | Ok (g, m, d) ->
+        matched := !matched + m;
+        total := !total + m + d;
+        built := g :: !built
+      | Error reason ->
         incr n_aborted;
         Hashtbl.replace aborted reason
           (1 + Option.value ~default:0 (Hashtbl.find_opt aborted reason)))
-    db.signatures;
+    outcomes;
   let graphs = Array.of_list (List.rev !built) in
   Telemetry.add c_built (Array.length graphs);
   Telemetry.add c_aborted !n_aborted;
@@ -88,7 +102,10 @@ let profile ?(opts = Sampler.default_opts) (cfg : Config.t)
         num_detailed = db.num_detailed;
         fragments_built = Array.length graphs;
         fragments_aborted = !n_aborted;
-        aborted_by = Hashtbl.fold (fun r c acc -> (r, c) :: acc) aborted [];
+        aborted_by =
+          (* canonical order, so the record compares equal across runs *)
+          List.sort compare
+            (Hashtbl.fold (fun r c acc -> (r, c) :: acc) aborted []);
         match_rate =
           (if !total = 0 then 0. else float_of_int !matched /. float_of_int !total);
         instructions_covered = !total;

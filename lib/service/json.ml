@@ -185,9 +185,16 @@ let parse_number st =
   in
   scan ();
   let s = String.sub st.src start (st.pos - start) in
+  (* Values like 1e309 parse to infinity, which the encoder refuses to
+     print — admitting them here would let a request smuggle a value the
+     service can never echo back.  Reject at the door instead. *)
+  let finite f =
+    if Float.is_finite f then Float f
+    else fail st (Printf.sprintf "number out of range %S" s)
+  in
   if !is_float then
     match float_of_string_opt s with
-    | Some f -> Float f
+    | Some f -> finite f
     | None -> fail st (Printf.sprintf "bad number %S" s)
   else
     match int_of_string_opt s with
@@ -195,7 +202,7 @@ let parse_number st =
     | None ->
       (* integer syntax but beyond native int range: keep it as a float *)
       (match float_of_string_opt s with
-       | Some f -> Float f
+       | Some f -> finite f
        | None -> fail st (Printf.sprintf "bad number %S" s))
 
 let rec parse_value st =

@@ -25,10 +25,15 @@ exception Parse_error of string
 
 val parse : string -> t
 (** Parse one JSON document (trailing whitespace allowed, trailing garbage
-    is not).  @raise Parse_error with a position-stamped message. *)
+    is not).  Numbers that overflow to a non-finite double (["1e309"], an
+    integer literal wider than the double mantissa can absorb finitely)
+    are rejected: every value [parse] admits, [encode] can print.
+    @raise Parse_error with a position-stamped message. *)
 
 val encode : t -> string
-(** One-line rendering (no newlines; strings escaped per RFC 8259). *)
+(** One-line rendering (no newlines; strings escaped per RFC 8259).
+    @raise Invalid_argument on a non-finite [Float] — such a value cannot
+    be represented in JSON, and [parse] never constructs one. *)
 
 (** {1 Accessors} — all total, returning [None] on a shape mismatch.
     [get_float] promotes [Int]; nothing else coerces. *)

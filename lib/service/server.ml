@@ -352,8 +352,12 @@ let write_reply (c : conn) (reply : P.reply) =
 let error_reply id code msg = { P.rep_id = id; body = Error (code, msg) }
 
 (* Read one '\n'-terminated line, refusing to buffer more than the
-   protocol's request cap (+1 so an exactly-at-cap line still decodes and
-   fails with the decoder's own size message). *)
+   protocol's request cap.  [take_line] runs before the size check and the
+   check is strict, so a line of exactly [max_request_bytes] always reaches
+   the decoder (which accepts it — its bound is strict too); anything
+   longer is rejected, either here as [`Too_long] or, when the terminating
+   newline lands in the same read, by the decoder's own size message.
+   Both paths answer [bad_request]. *)
 let read_line_bounded (c : conn) : [ `Line of string | `Too_long | `Eof ] =
   let chunk = Bytes.create 4096 in
   let take_line () =

@@ -1,0 +1,253 @@
+(* Tests for the conformance subsystem: workload generation, the law
+   table, the shrinker, replay artifacts, and the fault -> violation ->
+   shrink -> replay loop end to end. *)
+
+module Gen = Icost_check.Gen
+module Laws = Icost_check.Laws
+module Case = Icost_check.Case
+module Shrink = Icost_check.Shrink
+module Repro = Icost_check.Repro
+module Harness = Icost_check.Harness
+module Interp = Icost_isa.Interp
+module Trace = Icost_isa.Trace
+module Category = Icost_core.Category
+module Json = Icost_service.Json
+module Fault = Icost_util.Fault
+module Texport = Icost_report.Telemetry_export
+
+(* ---------- generator ---------- *)
+
+let trace_of program n =
+  Interp.run ~config:{ Interp.default_config with max_instrs = n } program
+
+let test_gen_deterministic () =
+  List.iter
+    (fun profile ->
+      let p1 = Gen.generate ~profile 12345 and p2 = Gen.generate ~profile 12345 in
+      let t1 = trace_of p1 1000 and t2 = trace_of p2 1000 in
+      Alcotest.(check int)
+        (Gen.profile_name profile ^ " trace length")
+        (Trace.length t1) (Trace.length t2);
+      Array.iteri
+        (fun i (a : Trace.dyn) ->
+          let b = t2.Trace.instrs.(i) in
+          if a.pc <> b.pc || a.mem_addr <> b.mem_addr then
+            Alcotest.failf "%s: traces diverge at %d"
+              (Gen.profile_name profile) i)
+        t1.Trace.instrs)
+    Gen.all_profiles
+
+let test_gen_profiles_differ () =
+  (* same seed, different profiles: measurably different programs *)
+  let mix profile =
+    let t = trace_of (Gen.generate ~profile 777) 2000 in
+    let mem = ref 0 and br = ref 0 in
+    Array.iter
+      (fun (d : Trace.dyn) ->
+        (match d.instr with
+         | Icost_isa.Isa.Load _ | Icost_isa.Isa.Store _ -> incr mem
+         | Icost_isa.Isa.Branch _ -> incr br
+         | _ -> ());
+        ())
+      t.Trace.instrs;
+    (!mem, !br)
+  in
+  let mem_alias, _ = mix Gen.Alias_heavy in
+  let mem_mixed, br_mixed = mix Gen.Mixed in
+  let _, br_branch = mix Gen.Branch_heavy in
+  Alcotest.(check bool) "alias profile is memory-denser" true
+    (mem_alias > mem_mixed);
+  Alcotest.(check bool) "branch profile is branch-denser" true
+    (br_branch > br_mixed)
+
+let test_gen_profile_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        ("profile name round-trips: " ^ Gen.profile_name p)
+        true
+        (Gen.profile_of_name (Gen.profile_name p) = Some p))
+    Gen.all_profiles;
+  Alcotest.(check bool) "unknown profile" true (Gen.profile_of_name "x" = None)
+
+(* ---------- law table ---------- *)
+
+let test_law_table_sane () =
+  let names = Laws.names in
+  Alcotest.(check bool) "at least a dozen laws" true (List.length names >= 12);
+  let uniq = List.sort_uniq compare names in
+  Alcotest.(check int) "law ids unique" (List.length names) (List.length uniq);
+  List.iter
+    (fun n ->
+      match Laws.find n with
+      | Some _ -> ()
+      | None -> Alcotest.failf "find %S failed" n)
+    names;
+  Alcotest.(check bool) "find unknown" true (Laws.find "no-such-law" = None)
+
+(* The whole table on one small kernel case: everything passes. *)
+let test_laws_hold_on_small_case () =
+  let case =
+    { Case.target = Case.Bench "gcc"; variant = "base"; warmup = 2000;
+      measure = 800; sample_seed = 42 }
+  in
+  let prepared = Case.prepare case in
+  let ctx =
+    Laws.make_ctx ~prof_opts:(Case.prof_opts case) (Case.config case) prepared
+  in
+  let results = Laws.run_all ctx in
+  List.iter
+    (fun ((law : Laws.law), outcomes) ->
+      List.iter
+        (fun (o : Laws.outcome) ->
+          match o.Laws.status with
+          | Laws.Pass | Laws.Skip _ -> ()
+          | Laws.Fail v ->
+            Alcotest.failf "law %s failed on a healthy case: %s" law.Laws.id
+              v.Laws.msg)
+        outcomes)
+    results
+
+(* ---------- case serialization ---------- *)
+
+let test_case_json_roundtrip () =
+  List.iter
+    (fun case ->
+      match Case.of_json (Json.parse (Json.encode (Case.to_json case))) with
+      | Ok case' ->
+        Alcotest.(check bool) (Case.name case ^ " round-trips") true
+          (case = case')
+      | Error m -> Alcotest.fail ("case rejected: " ^ m))
+    [
+      { Case.target = Case.Bench "mcf"; variant = "dl1"; warmup = 0;
+        measure = 500; sample_seed = 7 };
+      { Case.target = Case.Generated (Gen.Alias_heavy, 991); variant = "base";
+        warmup = 100; measure = 4000; sample_seed = 42 };
+    ]
+
+(* ---------- shrinker ---------- *)
+
+let test_shrink_minimizes () =
+  let original =
+    { Case.target = Case.Generated (Gen.Mixed, 800_000); variant = "bmisp";
+      warmup = 20_000; measure = 4_000; sample_seed = 42 }
+  in
+  (* a pure size predicate: "fails" while the measured window stays above
+     600 instructions — no simulation, so the test is instant *)
+  let still_fails (c : Case.t) = c.Case.measure > 600 in
+  let minimized, attempts = Shrink.minimize ~still_fails original in
+  Alcotest.(check bool) "shrunk case still fails" true (still_fails minimized);
+  Alcotest.(check bool) "strictly smaller" true
+    (Shrink.size minimized < Shrink.size original);
+  Alcotest.(check bool) "windows shrunk toward the bound" true
+    (minimized.Case.measure < 4_000 && minimized.Case.measure > 600);
+  Alcotest.(check bool) "warmup dropped" true (minimized.Case.warmup = 0);
+  Alcotest.(check string) "variant reduced to base" "base"
+    minimized.Case.variant;
+  Alcotest.(check bool) "attempts counted" true (attempts > 0)
+
+(* ---------- artifacts ---------- *)
+
+let check_bits a b =
+  Alcotest.(check int64) "bit-identical floats" (Int64.bits_of_float b)
+    (Int64.bits_of_float a)
+
+let test_repro_roundtrip () =
+  let repro =
+    { Repro.law = "cost-nonneg"; engine = "fullgraph"; detail = "dl1";
+      case =
+        { Case.target = Case.Generated (Gen.Branch_heavy, 123); variant = "dl1";
+          warmup = 0; measure = 250; sample_seed = 9 };
+      observed = -1000.25; expected = 0.; msg = "-1000.25 <> 0"; faults = "none" }
+  in
+  let m = Texport.manifest ~seed:42 ~workloads:[ "gen" ] () in
+  match Repro.of_string (Repro.to_json ~manifest:m repro) with
+  | Error e -> Alcotest.fail ("artifact rejected: " ^ e)
+  | Ok r ->
+    Alcotest.(check bool) "artifact round-trips" true (r = repro);
+    check_bits r.Repro.observed repro.Repro.observed
+
+let test_repro_rejects () =
+  List.iter
+    (fun (what, s) ->
+      match Repro.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (what ^ " should have been rejected"))
+    [
+      ("not json", "nope");
+      ("wrong schema", {|{"schema":"icost.check.repro.v0"}|});
+      ( "bad bits",
+        {|{"schema":"icost.check.repro.v1","law":"l","engine":"e","detail":"d","observed_bits":"xyz","expected_bits":"0","msg":"m","faults":"none","case":{"target":{"kind":"bench","name":"gcc"},"variant":"base","warmup":0,"measure":100,"sample_seed":1}}|}
+      );
+    ]
+
+(* ---------- the full loop: fault -> violation -> shrink -> replay ---------- *)
+
+let test_fault_shrink_replay () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "icost-check-test-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let opts =
+    { Harness.default_opts with
+      Harness.benches = [ "gcc" ];
+      gen_per_profile = 0;
+      warmup = 2_000;
+      measure = 800;
+      only = Some [ "cost-nonneg"; "idle-class-zero" ];
+      artifact_dir = Some dir }
+  in
+  Fault.configure_exn "check.perturb_graph;seed=1";
+  let summary =
+    Fun.protect ~finally:Fault.disable (fun () -> Harness.run opts)
+  in
+  Alcotest.(check bool) "perturbation caught" true (summary.Harness.failed > 0);
+  Alcotest.(check int) "no crashes" 0 summary.Harness.crashed;
+  (match summary.Harness.artifacts with
+   | [] -> Alcotest.fail "no counterexample artifact written"
+   | (a : Harness.artifact) :: _ ->
+     let case = a.Harness.repro.Repro.case in
+     Alcotest.(check bool) "shrunk below 2000 measured instructions" true
+       (case.Case.measure <= 2000);
+     Alcotest.(check bool) "shrinking made it smaller" true
+       (Shrink.size case
+        < Shrink.size
+            { Case.target = Case.Bench "gcc"; variant = "base";
+              warmup = 2_000; measure = 800; sample_seed = 42 }
+        || case.Case.measure < 800);
+     (match a.Harness.file with
+      | None -> Alcotest.fail "artifact not written despite artifact_dir"
+      | Some file ->
+        (* replay must reproduce the violation bit-for-bit, re-arming the
+           recorded fault itself (none armed here) *)
+        (match Harness.replay file with
+         | Ok _ -> ()
+         | Error e -> Alcotest.fail ("replay failed: " ^ e));
+        Sys.remove file));
+  (* and with the fault disarmed, the same opts come back clean *)
+  let clean = Harness.run { opts with Harness.artifact_dir = None } in
+  Alcotest.(check int) "healthy run has no failures" 0 clean.Harness.failed;
+  Alcotest.(check bool) "healthy run passes laws" true (Harness.ok clean)
+
+let suite =
+  ( "check",
+    [
+      Alcotest.test_case "gen: deterministic per (profile, seed)" `Quick
+        test_gen_deterministic;
+      Alcotest.test_case "gen: profiles skew the mix" `Quick
+        test_gen_profiles_differ;
+      Alcotest.test_case "gen: profile names round-trip" `Quick
+        test_gen_profile_names;
+      Alcotest.test_case "laws: table is well-formed" `Quick test_law_table_sane;
+      Alcotest.test_case "laws: all hold on a healthy case" `Slow
+        test_laws_hold_on_small_case;
+      Alcotest.test_case "case: JSON round-trip" `Quick test_case_json_roundtrip;
+      Alcotest.test_case "shrink: greedy minimization" `Quick
+        test_shrink_minimizes;
+      Alcotest.test_case "repro: artifact round-trip" `Quick test_repro_roundtrip;
+      Alcotest.test_case "repro: malformed artifacts rejected" `Quick
+        test_repro_rejects;
+      Alcotest.test_case "harness: fault, shrink, replay" `Slow
+        test_fault_shrink_replay;
+    ] )

@@ -2,6 +2,9 @@
    interpreter, simulator, graph and profiler, checking global invariants
    that must hold for ANY program. *)
 
+(* the workload generator moved into the conformance library; the default
+   profile generates the same programs the old in-tree copy did *)
+module Gen_program = Icost_check.Gen
 module Interp = Icost_isa.Interp
 module Trace = Icost_isa.Trace
 module Config = Icost_uarch.Config

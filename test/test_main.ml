@@ -23,6 +23,7 @@ let () =
       Test_advisor.suite;
       Test_prefetch.suite;
       Test_fuzz.suite;
+      Test_check.suite;
       Test_integration.suite;
       Test_parallel.suite;
       Test_service.suite;

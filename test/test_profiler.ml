@@ -183,6 +183,41 @@ let test_profile_end_to_end () =
       if v > base then Alcotest.failf "profiler oracle grew under %s" (Category.name c))
     Category.all
 
+(* Fragment construction fans out across the domain pool; the stitched
+   profile must not depend on how many jobs did the work. *)
+let test_profile_parallel_deterministic () =
+  let cfg, program, trace, evts, result = prepare "gcc" in
+  let restore = Icost_util.Pool.jobs () in
+  let profile_with jobs =
+    Icost_util.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Icost_util.Pool.set_jobs restore)
+      (fun () -> Profile.profile cfg program trace evts result)
+  in
+  let p1 = profile_with 1 in
+  let p4 = profile_with 4 in
+  Alcotest.(check bool) "stats identical across job counts" true
+    (p1.Profile.stats = p4.Profile.stats);
+  Alcotest.(check int) "same number of fragment graphs"
+    (Array.length p1.Profile.graphs)
+    (Array.length p4.Profile.graphs);
+  (* same fragments in the same order: identical critical paths, with and
+     without idealization *)
+  let lengths (p : Profile.t) ideal =
+    Array.map
+      (fun g -> Icost_depgraph.Graph.critical_length ~ideal g)
+      p.Profile.graphs
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check (array int)) "per-fragment critical paths identical"
+        (lengths p1 s) (lengths p4 s))
+    [
+      Category.Set.empty;
+      Category.Set.singleton Category.Dl1;
+      Category.Set.of_list Category.all;
+    ]
+
 let test_profiler_tracks_graph () =
   let cfg, program, trace, evts, result = prepare ~max_instrs:25_000 "twolf" in
   let prof = Profile.profile cfg program trace evts result in
@@ -211,5 +246,7 @@ let suite =
       Alcotest.test_case "exact path reconstruction" `Quick test_reconstruction_exact;
       Alcotest.test_case "consistency check" `Quick test_consistency_check_fires;
       Alcotest.test_case "end-to-end profile" `Quick test_profile_end_to_end;
+      Alcotest.test_case "parallel construction is deterministic" `Quick
+        test_profile_parallel_deterministic;
       Alcotest.test_case "profiler tracks graph" `Slow test_profiler_tracks_graph;
     ] )

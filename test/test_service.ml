@@ -239,6 +239,105 @@ let test_json_parse_errors () =
       | _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
     [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "nul"; "{'a':1}" ]
 
+(* Numbers that overflow to ±inf must be rejected at parse time: admitting
+   them would hand the service a value [Json.encode] refuses to print. *)
+let test_json_nonfinite_numbers () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s))
+    [
+      "1e309";
+      "-1e309";
+      "1e99999";
+      "{\"x\":1e309}";
+      "[1,2,1e400]";
+      (* integer syntax, but wide enough to overflow the double fallback *)
+      "1" ^ String.make 400 '0';
+    ];
+  (* integer syntax beyond native int range but finite as a double still
+     parses, and the result survives an encode round trip *)
+  (match Json.parse "12345678901234567890123" with
+   | Json.Float f ->
+     Alcotest.(check bool) "finite" true (Float.is_finite f);
+     ignore (Json.encode (Json.Float f))
+   | _ -> Alcotest.fail "wide integer should parse as Float");
+  (* the encoder's own guard stays: a non-finite Float cannot be printed *)
+  List.iter
+    (fun f ->
+      match Json.encode (Json.Float f) with
+      | _ -> Alcotest.fail "encode of non-finite float should raise"
+      | exception Invalid_argument _ -> ())
+    [ Float.infinity; Float.neg_infinity; Float.nan ]
+
+(* ---------- decoder robustness ---------- *)
+
+(* A status request padded with an ignored field to an exact byte length.
+   Unknown fields are skipped by the decoder, so only the length varies. *)
+let status_line_of_length n =
+  let skeleton = {|{"v":"icost.rpc.v1","id":7,"op":"status","pad":""}|} in
+  let base = String.length skeleton in
+  if n < base then invalid_arg "status_line_of_length";
+  {|{"v":"icost.rpc.v1","id":7,"op":"status","pad":"|}
+  ^ String.make (n - base) 'x' ^ {|"}|}
+
+let test_decode_size_boundaries () =
+  let at_cap = status_line_of_length P.max_request_bytes in
+  Alcotest.(check int) "pad math" P.max_request_bytes (String.length at_cap);
+  (match P.decode_request at_cap with
+   | Ok { P.op = P.Status; _ } -> ()
+   | Ok _ -> Alcotest.fail "at-cap line decoded to the wrong op"
+   | Error m -> Alcotest.fail ("line of exactly the cap must decode: " ^ m));
+  let over = status_line_of_length (P.max_request_bytes + 1) in
+  (match P.decode_request over with
+   | Error m ->
+     Alcotest.(check bool) "size error names the cap" true
+       (contains m (string_of_int P.max_request_bytes))
+   | Ok _ -> Alcotest.fail "cap+1 line must be rejected");
+  (* the decoder charges every byte it is handed — a trailing newline on
+     an at-cap line tips it over the cap, so framing must be stripped by
+     the caller (the server's reader does) before decoding *)
+  match P.decode_request (at_cap ^ "\n") with
+  | Error m ->
+    Alcotest.(check bool) "unstripped framing counts against the cap" true
+      (contains m (string_of_int P.max_request_bytes))
+  | Ok _ -> Alcotest.fail "cap plus newline should not decode"
+
+(* Hostile input must come back as [Error _], never as an exception: the
+   server turns [Error] into a typed bad_request and keeps the connection
+   alive, but an escaped exception would kill the connection thread. *)
+let test_decode_fuzz_never_raises () =
+  let prng = Icost_util.Prng.create 0x5eed in
+  let feed what line =
+    match P.decode_request line with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "decoder raised %s on %s" (Printexc.to_string e) what)
+  in
+  for i = 1 to 200 do
+    let n = Icost_util.Prng.int prng 256 in
+    let line =
+      String.init n (fun _ -> Char.chr (Icost_util.Prng.int prng 256))
+    in
+    feed (Printf.sprintf "random case %d (%d bytes)" i n) line
+  done;
+  (* every proper prefix of a valid frame: truncation mid-token, mid-string,
+     mid-escape, mid-number all included *)
+  let valid =
+    P.encode_request
+      { P.req_id = 3;
+        deadline_ms = Some 250;
+        op = P.Icost { target = sample_target; sets = [ "dl1"; "dl1,win" ] } }
+  in
+  (match P.decode_request valid with
+   | Ok _ -> ()
+   | Error m -> Alcotest.fail ("frame should be valid before truncation: " ^ m));
+  for k = 0 to String.length valid - 1 do
+    feed (Printf.sprintf "prefix of %d bytes" k) (String.sub valid 0 k)
+  done
+
 (* ---------- cache ---------- *)
 
 let test_cache_single_flight () =
@@ -1020,6 +1119,12 @@ let suite =
       Alcotest.test_case "json: float bit round-trip" `Quick
         test_json_float_roundtrip;
       Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+      Alcotest.test_case "json: non-finite numbers rejected" `Quick
+        test_json_nonfinite_numbers;
+      Alcotest.test_case "protocol: request cap boundaries" `Quick
+        test_decode_size_boundaries;
+      Alcotest.test_case "protocol: decoder never raises on hostile input"
+        `Quick test_decode_fuzz_never_raises;
       Alcotest.test_case "cache: single flight" `Quick test_cache_single_flight;
       Alcotest.test_case "cache: eviction and failed-build retry" `Quick
         test_cache_eviction_and_retry;
