@@ -1,22 +1,30 @@
 #!/bin/sh
-# Engine performance gate: re-measure the micro-benchmarks and fail (exit 1)
-# if any engine regressed more than 25% against the committed baseline in
-# BENCH_engines.json.  On failure the harness prints a per-engine delta
-# table of the offending benchmarks before exiting nonzero.
+# Engine performance gate: re-measure the micro-benchmarks and the service
+# benchmarks (daemon warm queries + snapshot cold starts) and fail (exit 1)
+# if any row regressed more than 25% against its committed baseline —
+# BENCH_engines.json for micro, BENCH_service.json for service — or if a
+# baseline row was not measured at all.  On failure the harness prints a
+# per-engine delta table of the offending benchmarks before exiting nonzero.
 #
 # Timing is pinned to one domain by default (ICOST_JOBS=1) so the gate
 # measures engine speed, not scheduler luck on a shared runner; export
-# ICOST_JOBS yourself to override.  Set BENCH_JSON to also dump the fresh
-# measurements (e.g. for a CI artifact upload).
+# ICOST_JOBS yourself to override.  Set BENCH_JSON / BENCH_SERVICE_JSON to
+# also dump the fresh measurements (e.g. for a CI artifact upload).
 #
-# Refresh the baseline after an intentional change with:
+# Refresh the baselines after an intentional change with:
 #   dune exec bench/main.exe -- micro --json BENCH_engines.json
+#   dune exec bench/main.exe -- service --json BENCH_service.json
 set -e
 cd "$(dirname "$0")/.."
 ICOST_JOBS="${ICOST_JOBS:-1}"
 export ICOST_JOBS
 if [ -n "${BENCH_JSON:-}" ]; then
-  exec dune exec bench/main.exe -- micro --baseline BENCH_engines.json --json "$BENCH_JSON"
+  dune exec bench/main.exe -- micro --baseline BENCH_engines.json --json "$BENCH_JSON"
 else
-  exec dune exec bench/main.exe -- micro --baseline BENCH_engines.json
+  dune exec bench/main.exe -- micro --baseline BENCH_engines.json
+fi
+if [ -n "${BENCH_SERVICE_JSON:-}" ]; then
+  dune exec bench/main.exe -- service --baseline BENCH_service.json --json "$BENCH_SERVICE_JSON"
+else
+  dune exec bench/main.exe -- service --baseline BENCH_service.json
 fi

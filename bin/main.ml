@@ -30,6 +30,7 @@ module Texport = Icost_report.Telemetry_export
 module Pool = Icost_util.Pool
 module Protocol = Icost_service.Protocol
 module Server = Icost_service.Server
+module Snapshot = Icost_service.Snapshot
 module Client = Icost_service.Client
 module Harness = Icost_check.Harness
 module Laws = Icost_check.Laws
@@ -149,11 +150,25 @@ let seed_arg =
        & opt int Icost_profiler.Sampler.default_opts.seed
        & info [ "seed" ] ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Persistent snapshot store (icost.graphcache.v1): reuse compiled \
+     graphs and memoized subset costs across runs and 'icost serve' \
+     restarts.  The directory is created on first use."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
 let config_of_variant = function
   | `Base -> Config.default
   | `Dl1 -> Config.loop_dl1
   | `Wakeup -> Config.loop_wakeup
   | `Bmisp -> Config.loop_bmisp
+
+let variant_name = function
+  | `Base -> "base"
+  | `Dl1 -> "dl1"
+  | `Wakeup -> "wakeup"
+  | `Bmisp -> "bmisp"
 
 let settings ~warmup ~measure ~benches =
   let benches =
@@ -162,6 +177,38 @@ let settings ~warmup ~measure ~benches =
     | Some s -> String.split_on_char ',' s |> List.map String.trim
   in
   { Runner.warmup; measure; benches }
+
+(* With --cache-dir, a one-shot analysis addresses the same snapshot
+   store a daemon would for the equivalent request: the first run pays
+   the full prepare/baseline/build pipeline and persists it, later runs
+   (or a restarted 'icost serve') warm-start from disk.  Without it,
+   [establish] just builds fresh. *)
+let establish_session ~cache_dir ~bench ~variant ~oracle ~warmup ~measure ~seed =
+  let cfg = config_of_variant variant in
+  let tg =
+    {
+      Protocol.workload = bench;
+      variant = variant_name variant;
+      engine = Runner.oracle_kind_name oracle;
+      warmup;
+      measure;
+      seed;
+    }
+  in
+  let key = Server.session_key tg cfg oracle in
+  let est =
+    Snapshot.establish ?cache_dir ~key ~kind:oracle ~cfg ~seed
+      ~prepare:(fun () ->
+        Runner.prepare
+          (settings ~warmup ~measure ~benches:(Some bench))
+          (Workload.find_exn bench))
+      ~baseline:(fun p -> Runner.baseline_run cfg p)
+      ()
+  in
+  let persist () =
+    Option.iter (fun dir -> Snapshot.persist ~dir ~key est) cache_dir
+  in
+  (est, persist)
 
 (* --- list --- *)
 
@@ -182,7 +229,7 @@ let breakdown_cmd =
     let doc = "Focus category for the interaction rows." in
     Arg.(value & opt string "dl1" & info [ "focus" ] ~doc)
   in
-  let run bench variant oracle focus warmup measure seed telem =
+  let run bench variant oracle focus warmup measure seed cache_dir telem =
     let cfg = config_of_variant variant in
     with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
     let focus_cat =
@@ -190,10 +237,12 @@ let breakdown_cmd =
       | Some c -> c
       | None -> failwith (Printf.sprintf "unknown category %S" focus)
     in
-    let s = settings ~warmup ~measure ~benches:(Some bench) in
-    let p = Runner.prepare s (Workload.find_exn bench) in
-    let o = Runner.oracle_of_kind ~seed oracle cfg p in
-    let bd = Breakdown.focus ~oracle:o ~focus_cat in
+    let est, persist =
+      establish_session ~cache_dir ~bench ~variant ~oracle ~warmup ~measure
+        ~seed
+    in
+    let bd = Breakdown.focus ~oracle:est.Snapshot.est_oracle ~focus_cat in
+    persist ();
     Printf.printf "%s on %s machine (%s oracle), %.0f cycles baseline:\n" bench
       (match variant with `Base -> "base" | `Dl1 -> "4-cycle-dl1"
        | `Wakeup -> "2-cycle-wakeup" | `Bmisp -> "15-cycle-bmisp")
@@ -207,7 +256,7 @@ let breakdown_cmd =
   Cmd.v
     (Cmd.info "breakdown" ~doc:"Parallelism-aware breakdown for one workload")
     Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ focus_arg $ warmup_arg
-          $ measure_arg $ seed_arg $ common_term)
+          $ measure_arg $ seed_arg $ cache_dir_arg $ common_term)
 
 (* --- icost --- *)
 
@@ -217,13 +266,15 @@ let icost_cmd =
                interaction cost of each set are reported." in
     Arg.(value & opt_all string [ "dl1,win" ] & info [ "s"; "set" ] ~docv:"CATS" ~doc)
   in
-  let run bench variant oracle sets warmup measure seed telem =
+  let run bench variant oracle sets warmup measure seed cache_dir telem =
     let cfg = config_of_variant variant in
     with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
-    let s = settings ~warmup ~measure ~benches:(Some bench) in
-    let p = Runner.prepare s (Workload.find_exn bench) in
-    let o = Cost.memoize (Runner.oracle_of_kind ~seed oracle cfg p) in
-    let base = o Category.Set.empty in
+    let est, persist =
+      establish_session ~cache_dir ~bench ~variant ~oracle ~warmup ~measure
+        ~seed
+    in
+    let o = est.Snapshot.est_oracle in
+    let base = Cost.query o Category.Set.empty in
     Printf.printf "%s: baseline %.0f cycles\n" bench base;
     List.iter
       (fun spec ->
@@ -242,12 +293,13 @@ let icost_cmd =
           (100. *. cost /. base)
           ic
           (Cost.interaction_name (Cost.classify ic)))
-      sets
+      sets;
+    persist ()
   in
   Cmd.v
     (Cmd.info "icost" ~doc:"Costs and interaction costs of category sets")
     Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ sets_arg $ warmup_arg
-          $ measure_arg $ seed_arg $ common_term)
+          $ measure_arg $ seed_arg $ cache_dir_arg $ common_term)
 
 (* --- graph --- *)
 
@@ -387,7 +439,7 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let run socket workers queue_limit cache_cap faults telem =
+  let run socket workers queue_limit cache_cap cache_dir faults telem =
     (match faults with
      | Some spec -> Icost_util.Fault.configure_exn spec
      | None ->
@@ -411,6 +463,7 @@ let serve_cmd =
           breaker_threshold = Server.default_opts.breaker_threshold;
           breaker_cooldown = Server.default_opts.breaker_cooldown;
           mem_high_mb = Server.default_opts.mem_high_mb;
+          cache_dir;
           handle_signals = true;
           on_ready =
             Some
@@ -428,7 +481,7 @@ let serve_cmd =
        ~doc:"Resident analysis daemon: answers icost.rpc.v1 queries over a \
              Unix socket, caching prepared workloads across requests")
     Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-          $ faults_arg $ common_term)
+          $ cache_dir_arg $ faults_arg $ common_term)
 
 (* --- query --- *)
 
@@ -539,10 +592,11 @@ let query_cmd =
     | Ok (Protocol.R_status s) ->
       Printf.printf
         "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
-         cache: %d hit(s), %d miss(es), %d eviction(s); %d pool job(s); \
-         health %s%s\n"
+         cache: %d hit(s), %d miss(es), %d eviction(s); snapshot: %d \
+         hit(s), %d miss(es), %d reject(s); %d pool job(s); health %s%s\n"
         s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
-        s.cache_hits s.cache_misses s.cache_evictions s.pool_jobs s.health
+        s.cache_hits s.cache_misses s.cache_evictions s.snapshot_hits
+        s.snapshot_misses s.snapshot_rejects s.pool_jobs s.health
         (if s.draining then "; draining" else "")
     | Ok (Protocol.R_health h) ->
       Printf.printf "health %s; %d breaker(s) open; %d entr(ies) shed\n"

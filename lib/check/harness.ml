@@ -1,6 +1,7 @@
 (* The conformance harness.  See harness.mli. *)
 
 module Category = Icost_core.Category
+module Cost = Icost_core.Cost
 module Prng = Icost_util.Prng
 module Pool = Icost_util.Pool
 module Fault = Icost_util.Fault
@@ -21,11 +22,22 @@ let c_artifacts = Telemetry.counter "check.artifacts"
 let fp_perturb = Fault.point "check.perturb_graph"
 let perturbation = 1000.
 
-let fg_wrap oracle s =
-  let t = oracle s in
+let perturb s t =
   if (not (Category.Set.is_empty s)) && Fault.fire fp_perturb then
     t +. perturbation
   else t
+
+(* Both the point and the batch path must be perturbed: the power-set
+   consumers route through the batch when one exists, and the armed
+   self-test relies on the violation firing either way. *)
+let fg_wrap (oracle : Cost.oracle) : Cost.oracle =
+  {
+    Cost.point = (fun s -> perturb s (oracle.Cost.point s));
+    batch =
+      Option.map
+        (fun b sets -> Array.mapi (fun i t -> perturb sets.(i) t) (b sets))
+        oracle.Cost.batch;
+  }
 
 type opts = {
   master_seed : int;

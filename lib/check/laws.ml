@@ -419,9 +419,9 @@ let law_determinism =
           (float_of_int profile2.Profile.stats.fragments_built)
           (float_of_int ctx.profile.Profile.stats.fragments_built);
         eq_outcome ~tol ~scale ~engine:"profiler" ~detail:"rebuild-empty"
-          (pr2 Set.empty) (ctx.pr Set.empty);
+          (Cost.query pr2 Set.empty) (Cost.query ctx.pr Set.empty);
         eq_outcome ~tol ~scale ~engine:"profiler" ~detail:"rebuild-full"
-          (pr2 Set.full) (ctx.pr Set.full);
+          (Cost.query pr2 Set.full) (Cost.query ctx.pr Set.full);
       ])
 
 let law_sim_empty_exact =
@@ -430,7 +430,7 @@ let law_sim_empty_exact =
     "multisim with nothing idealized is the baseline simulation" (fun ctx ->
       [
         eq_outcome ~tol ~scale:(scale_of ctx) ~engine:"multisim"
-          ~detail:"baseline" (ctx.sim Set.empty)
+          ~detail:"baseline" (Cost.query ctx.sim Set.empty)
           (float_of_int ctx.baseline.Ooo.cycles);
       ])
 
@@ -441,7 +441,7 @@ let law_graph_reeval_exact =
     (fun ctx ->
       [
         eq_outcome ~tol ~scale:(scale_of ctx) ~engine:"fullgraph"
-          ~detail:"baseline" (ctx.fg Set.empty)
+          ~detail:"baseline" (Cost.query ctx.fg Set.empty)
           (float_of_int (Graph.critical_length ctx.graph));
       ])
 
@@ -457,7 +457,7 @@ let law_prof_reeval_exact =
       in
       [
         eq_outcome ~tol ~scale:(scale_of ctx) ~engine:"profiler"
-          ~detail:"baseline" (ctx.pr Set.empty) (float_of_int total);
+          ~detail:"baseline" (Cost.query ctx.pr Set.empty) (float_of_int total);
       ])
 
 let law_diff_baseline_graph_sim =
@@ -467,7 +467,7 @@ let law_diff_baseline_graph_sim =
     (fun ctx ->
       [
         eq_outcome ~tol ~scale:(scale_of ctx) ~engine:"fullgraph"
-          ~detail:"baseline" (ctx.fg Set.empty) (ctx.sim Set.empty);
+          ~detail:"baseline" (Cost.query ctx.fg Set.empty) (Cost.query ctx.sim Set.empty);
       ])
 
 let law_diff_cost_graph_sim =
@@ -487,6 +487,43 @@ let law_diff_cost_graph_sim =
             (Cost.cost ctx.sim s))
         Category.all)
 
+let law_sliced_eval_exact =
+  let tol = Exact in
+  mk "sliced-eval-exact" Differential tol
+    "bit-sliced subset evaluation matches the scalar evaluator on every \
+     subset, at any lane count"
+    (fun ctx ->
+      let scale = scale_of ctx in
+      let sets = Array.of_list (Set.subsets Set.full) in
+      let reference = Graph.eval_subsets_scalar ctx.graph sets in
+      let check ~detail arr =
+        (* report the first mismatching subset, or the matching totals *)
+        let rec first i =
+          if i >= Array.length sets then None
+          else if arr.(i) <> reference.(i) then Some i
+          else first (i + 1)
+        in
+        match first 0 with
+        | Some i ->
+          eq_outcome ~tol ~scale ~engine:"fullgraph"
+            ~detail:(Printf.sprintf "%s %s" detail (Set.name sets.(i)))
+            (float_of_int arr.(i))
+            (float_of_int reference.(i))
+        | None ->
+          let total a = float_of_int (Array.fold_left ( + ) 0 a) in
+          eq_outcome ~tol ~scale ~engine:"fullgraph" ~detail (total arr)
+            (total reference)
+      in
+      (* lane counts straddle the packing width (3/word) and the chunk
+         boundary at 64; the default is the tuned production setting *)
+      check ~detail:"default" (Graph.eval_subsets ctx.graph sets)
+      :: List.map
+           (fun lanes ->
+             check
+               ~detail:(Printf.sprintf "lanes=%d" lanes)
+               (Graph.eval_slices ~lanes ctx.graph sets))
+           [ 1; 3; 17; 64 ])
+
 let law_diff_share_prof_graph =
   let tol = Abs 20.0 in
   mk "diff-share-prof-graph" Differential tol
@@ -499,7 +536,7 @@ let law_diff_share_prof_graph =
             (Printf.sprintf "only %d fragments" frags);
         ]
       else
-        let b_fg = ctx.fg Set.empty and b_pr = ctx.pr Set.empty in
+        let b_fg = Cost.query ctx.fg Set.empty and b_pr = Cost.query ctx.pr Set.empty in
         if b_fg <= 0. || b_pr <= 0. then
           [ skip ~engine:"profiler" ~detail:"-" "empty baseline" ]
         else if Float.abs (b_pr -. b_fg) > 0.15 *. b_fg then
@@ -545,6 +582,7 @@ let all =
     law_prof_reeval_exact;
     law_diff_baseline_graph_sim;
     law_diff_cost_graph_sim;
+    law_sliced_eval_exact;
     law_diff_share_prof_graph;
   ]
 

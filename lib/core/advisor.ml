@@ -48,7 +48,19 @@ let default_thresholds = { bottleneck = 10.; interaction = 2.; negligible = 1. }
 
 let analyze ?(thresholds = default_thresholds) (oracle : Cost.oracle) : report =
   let oracle = Cost.memoize oracle in
-  let baseline = oracle Category.Set.empty in
+  let rec all_pairs = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> Category.Set.pair a b) rest @ all_pairs rest
+  in
+  (* one batched fetch of everything the report reads: baseline, the 8
+     singleton costs and all 28 pairwise interactions *)
+  ignore
+    (Cost.query_batch oracle
+       (Array.of_list
+          (Category.Set.empty
+           :: List.map Category.Set.singleton Category.all
+          @ all_pairs Category.all)));
+  let baseline = Cost.query oracle Category.Set.empty in
   let pct v = if baseline = 0. then 0. else 100. *. v /. baseline in
   let costs =
     List.map

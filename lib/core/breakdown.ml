@@ -36,9 +36,18 @@ let row_label r =
     completing the account to exactly 100%. *)
 let focus ~(oracle : Cost.oracle) ~(focus_cat : Category.t) : t =
   let oracle = Cost.memoize oracle in
-  let baseline = oracle Category.Set.empty in
-  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
   let others = List.filter (fun c -> c <> focus_cat) Category.all in
+  (* fetch every subset the rows below need in one batched query, so a
+     bit-sliced backend prices them in a single sweep; the row arithmetic
+     then runs entirely against the memo *)
+  ignore
+    (Cost.query_batch oracle
+       (Array.of_list
+          (Category.Set.empty
+           :: List.map Category.Set.singleton Category.all
+          @ List.map (fun c -> Category.Set.pair focus_cat c) others)));
+  let baseline = Cost.query oracle Category.Set.empty in
+  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
   let base_rows =
     List.map
       (fun c ->
@@ -75,12 +84,18 @@ let percent_of t kind = Option.map (fun r -> r.percent) (find_row t kind)
     for a < b in category order. *)
 let pairwise ~(oracle : Cost.oracle) =
   let oracle = Cost.memoize oracle in
-  let baseline = oracle Category.Set.empty in
-  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
   let rec pairs = function
     | [] -> []
     | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
   in
+  ignore
+    (Cost.query_batch oracle
+       (Array.of_list
+          (Category.Set.empty
+           :: List.map Category.Set.singleton Category.all
+          @ List.map (fun (a, b) -> Category.Set.pair a b) (pairs Category.all))));
+  let baseline = Cost.query oracle Category.Set.empty in
+  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
   List.map
     (fun (a, b) -> (a, b, pct (Cost.icost_pair oracle a b)))
     (pairs Category.all)
@@ -89,9 +104,12 @@ let pairwise ~(oracle : Cost.oracle) =
     cardinality between 2 and [max_order], as percent of baseline. *)
 let higher_order ~(oracle : Cost.oracle) ~max_order cats =
   let oracle = Cost.memoize oracle in
-  let baseline = oracle Category.Set.empty in
-  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
   let full = Category.Set.of_list cats in
+  (* [icost_ie] of an order-k subset touches its whole power set; priming
+     with P(full) covers every query below in one batched sweep *)
+  ignore (Cost.query_batch oracle (Array.of_list (Category.Set.subsets full)));
+  let baseline = Cost.query oracle Category.Set.empty in
+  let pct cycles = if baseline = 0. then 0. else 100. *. cycles /. baseline in
   Category.Set.subsets full
   |> List.filter (fun s ->
          let k = Category.Set.cardinal s in

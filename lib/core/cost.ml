@@ -5,9 +5,10 @@
 
     {[ cost(S) = t_base - t(S idealized) ]}
 
-    This module is parameterized over a *cost oracle*: any function from a
-    category set to the execution time with that set idealized.  Three
-    oracles exist in this repository — multiple idealized simulations
+    This module is parameterized over a *cost oracle*: a record pairing a
+    point query (category set -> execution time with that set idealized)
+    with an optional batch query that prices many idealizations at once.
+    Three oracles exist in this repository — multiple idealized simulations
     ({!Icost_sim}), dependence-graph analysis ({!Icost_depgraph}) and the
     shotgun profiler ({!Icost_profiler}) — and they all plug in here.
 
@@ -27,10 +28,19 @@
     icost is a parallel interaction, a negative one a serial interaction,
     zero means independence. *)
 
-(** An oracle maps a category set to the total execution time (in cycles)
-    with that set idealized.  [oracle Category.Set.empty] is the baseline
-    execution time. *)
-type oracle = Category.Set.t -> float
+type oracle = {
+  point : Category.Set.t -> float;
+  batch : (Category.Set.t array -> float array) option;
+}
+
+let of_fn f = { point = f; batch = None }
+
+let with_batch ~batch point = { point; batch = Some batch }
+
+let query o s = o.point s
+
+let query_batch o (sets : Category.Set.t array) : float array =
+  match o.batch with Some b -> b sets | None -> Array.map o.point sets
 
 (** Memoize an oracle.  Cost queries share many subset evaluations, and the
     underlying measurements (a graph pass or a whole simulation) are the
@@ -54,51 +64,147 @@ let c_evictions = Icost_util.Telemetry.counter "cost.memo_evictions"
    tiny. *)
 type memo_entry = { value : float; mutable stamp : int }
 
-let memoize ?(cap = 512) (f : oracle) : oracle =
-  let cap = max 1 cap in
-  let tbl : (int, memo_entry) Hashtbl.t = Hashtbl.create 64 in
-  let tick = ref 0 in
-  let lock = Mutex.create () in
-  fun s ->
-    Mutex.lock lock;
-    match Hashtbl.find_opt tbl s with
+type memo = {
+  m_tbl : (int, memo_entry) Hashtbl.t;
+  m_lock : Mutex.t;
+  m_cap : int;
+  mutable m_tick : int;
+  m_under : oracle;
+}
+
+let memo_make ?(cap = 512) (under : oracle) : memo =
+  {
+    m_tbl = Hashtbl.create 64;
+    m_lock = Mutex.create ();
+    m_cap = max 1 cap;
+    m_tick = 0;
+    m_under = under;
+  }
+
+(* Insert under the lock, making room for genuinely new keys.  Two domains
+   racing on the same fresh subset both measured it and store the same
+   value (the oracle is pure), so no double-count guard is needed. *)
+let store_locked (m : memo) (s : Category.Set.t) (v : float) : unit =
+  if (not (Hashtbl.mem m.m_tbl s)) && Hashtbl.length m.m_tbl >= m.m_cap
+  then begin
+    let victim =
+      Hashtbl.fold
+        (fun k (e : memo_entry) acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.stamp -> acc
+          | _ -> Some (k, e.stamp))
+        m.m_tbl None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove m.m_tbl k;
+      Icost_util.Telemetry.incr c_evictions
+    | None -> ()
+  end;
+  m.m_tick <- m.m_tick + 1;
+  Hashtbl.replace m.m_tbl s { value = v; stamp = m.m_tick }
+
+let memo_point (m : memo) (s : Category.Set.t) : float =
+  Mutex.lock m.m_lock;
+  match Hashtbl.find_opt m.m_tbl s with
+  | Some e ->
+    m.m_tick <- m.m_tick + 1;
+    e.stamp <- m.m_tick;
+    Mutex.unlock m.m_lock;
+    Icost_util.Telemetry.incr c_hits;
+    e.value
+  | None ->
+    Mutex.unlock m.m_lock;
+    Icost_util.Telemetry.incr c_misses;
+    let v = m.m_under.point s in
+    Mutex.lock m.m_lock;
+    store_locked m s v;
+    Mutex.unlock m.m_lock;
+    v
+
+(* Batched lookup: resolve every hit under one lock acquisition, then
+   forward the distinct misses to the underlying oracle's batch path in a
+   single call (that is where bit-sliced backends win), then store. *)
+let memo_batch (m : memo) (sets : Category.Set.t array) : float array =
+  let n = Array.length sets in
+  let out = Array.make n 0. in
+  let missing = ref [] in
+  Mutex.lock m.m_lock;
+  for i = n - 1 downto 0 do
+    match Hashtbl.find_opt m.m_tbl sets.(i) with
     | Some e ->
-      incr tick;
-      e.stamp <- !tick;
-      Mutex.unlock lock;
-      Icost_util.Telemetry.incr c_hits;
-      e.value
-    | None ->
-      Mutex.unlock lock;
-      Icost_util.Telemetry.incr c_misses;
-      let v = f s in
-      Mutex.lock lock;
-      (* two domains racing on the same fresh subset both measured it and
-         store the same value (the oracle is pure), so no double-count
-         guard is needed; only make room for genuinely new keys *)
-      if not (Hashtbl.mem tbl s) && Hashtbl.length tbl >= cap then begin
-        let victim =
-          Hashtbl.fold
-            (fun k (e : memo_entry) acc ->
-              match acc with
-              | Some (_, stamp) when stamp <= e.stamp -> acc
-              | _ -> Some (k, e.stamp))
-            tbl None
-        in
-        match victim with
-        | Some (k, _) ->
-          Hashtbl.remove tbl k;
-          Icost_util.Telemetry.incr c_evictions
-        | None -> ()
-      end;
-      incr tick;
-      Hashtbl.replace tbl s { value = v; stamp = !tick };
-      Mutex.unlock lock;
-      v
+      m.m_tick <- m.m_tick + 1;
+      e.stamp <- m.m_tick;
+      out.(i) <- e.value
+    | None -> missing := i :: !missing
+  done;
+  Mutex.unlock m.m_lock;
+  (match !missing with
+  | [] -> Icost_util.Telemetry.add c_hits n
+  | idxs ->
+    Icost_util.Telemetry.add c_hits (n - List.length idxs);
+    (* distinct missing sets, first-occurrence order *)
+    let seen = Hashtbl.create 16 in
+    let uniq = ref [] in
+    List.iter
+      (fun i ->
+        let s = sets.(i) in
+        if not (Hashtbl.mem seen s) then begin
+          Hashtbl.add seen s ();
+          uniq := s :: !uniq
+        end)
+      idxs;
+    let uniq = Array.of_list (List.rev !uniq) in
+    Icost_util.Telemetry.add c_misses (Array.length uniq);
+    let vals = query_batch m.m_under uniq in
+    let vtbl : (int, float) Hashtbl.t = Hashtbl.create 16 in
+    Array.iteri (fun j s -> Hashtbl.replace vtbl s vals.(j)) uniq;
+    Mutex.lock m.m_lock;
+    Array.iter (fun s -> store_locked m s (Hashtbl.find vtbl s)) uniq;
+    Mutex.unlock m.m_lock;
+    List.iter (fun i -> out.(i) <- Hashtbl.find vtbl sets.(i)) idxs);
+  out
+
+let memo_oracle (m : memo) : oracle =
+  { point = memo_point m; batch = Some (memo_batch m) }
+
+let memo_entries (m : memo) : (Category.Set.t * float) array =
+  Mutex.lock m.m_lock;
+  let l = Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) m.m_tbl [] in
+  Mutex.unlock m.m_lock;
+  let a = Array.of_list l in
+  Array.sort (fun (a, _) (b, _) -> compare a b) a;
+  a
+
+let memo_seed (m : memo) (entries : (Category.Set.t * float) array) : unit =
+  Mutex.lock m.m_lock;
+  Array.iter (fun (s, v) -> store_locked m s v) entries;
+  Mutex.unlock m.m_lock
+
+let memo_size (m : memo) : int =
+  Mutex.lock m.m_lock;
+  let n = Hashtbl.length m.m_tbl in
+  Mutex.unlock m.m_lock;
+  n
+
+let memoize ?cap (o : oracle) : oracle = memo_oracle (memo_make ?cap o)
 
 (** [cost oracle s] = baseline time minus time with [s] idealized. *)
 let cost (oracle : oracle) (s : Category.Set.t) : float =
-  oracle Category.Set.empty -. oracle s
+  query oracle Category.Set.empty -. query oracle s
+
+(* Fetch the times of every set in [sets] through one batched query and
+   expose them as a table.  This is how the power-set consumers below hit
+   a bit-sliced backend once instead of 2^|U| times; the arithmetic they
+   do on the fetched values is unchanged, so results stay bit-identical
+   to the historical point-by-point evaluation. *)
+let time_table (oracle : oracle) (sets : Category.Set.t list) :
+    (int, float) Hashtbl.t =
+  let arr = Array.of_list sets in
+  let vals = query_batch oracle arr in
+  let tbl = Hashtbl.create (2 * Array.length arr) in
+  Array.iteri (fun i s -> Hashtbl.replace tbl s vals.(i)) arr;
+  tbl
 
 (** Interaction cost by the recursive definition, memoized per subset
     within one call: the naive recursion recomputes [icost(V)] once per
@@ -108,11 +214,14 @@ let cost (oracle : oracle) (s : Category.Set.t) : float =
 let icost (oracle : oracle) (u : Category.Set.t) : float =
   if Category.Set.is_empty u then 0.
   else begin
+    let subs = Category.Set.subsets u in
+    let times = time_table oracle subs in
+    let t_empty = Hashtbl.find times Category.Set.empty in
     let tbl : (Category.Set.t, float) Hashtbl.t = Hashtbl.create 64 in
     let by_card =
       List.sort
         (fun a b -> compare (Category.Set.cardinal a) (Category.Set.cardinal b))
-        (Category.Set.subsets u)
+        subs
     in
     (* every proper subset of [v] has smaller cardinality, so its icost is
        already in the table when [v] is reached *)
@@ -121,7 +230,7 @@ let icost (oracle : oracle) (u : Category.Set.t) : float =
         let value =
           if Category.Set.is_empty v then 0.
           else
-            cost oracle v
+            t_empty -. Hashtbl.find times v
             -. List.fold_left
                  (fun acc w -> acc +. Hashtbl.find tbl w)
                  0.
@@ -135,19 +244,26 @@ let icost (oracle : oracle) (u : Category.Set.t) : float =
 (** Interaction cost by inclusion-exclusion (equal to {!icost}; used for
     cross-checking and because it is cheaper for large sets). *)
 let icost_ie (oracle : oracle) (u : Category.Set.t) : float =
+  let subs = Category.Set.subsets u in
+  let times = time_table oracle subs in
+  let t_empty = Hashtbl.find times Category.Set.empty in
   let k = Category.Set.cardinal u in
   List.fold_left
     (fun acc v ->
       let sign = if (k - Category.Set.cardinal v) land 1 = 0 then 1. else -1. in
-      acc +. (sign *. cost oracle v))
-    0. (Category.Set.subsets u)
+      acc +. (sign *. (t_empty -. Hashtbl.find times v)))
+    0. subs
 
 (** Pairwise interaction cost. *)
 let icost_pair oracle a b =
   if a = b then invalid_arg "Cost.icost_pair: categories must differ";
-  cost oracle (Category.Set.pair a b)
-  -. cost oracle (Category.Set.singleton a)
-  -. cost oracle (Category.Set.singleton b)
+  let sa = Category.Set.singleton a and sb = Category.Set.singleton b in
+  let pair = Category.Set.pair a b in
+  let times = time_table oracle [ Category.Set.empty; pair; sa; sb ] in
+  let t_empty = Hashtbl.find times Category.Set.empty in
+  t_empty -. Hashtbl.find times pair
+  -. (t_empty -. Hashtbl.find times sa)
+  -. (t_empty -. Hashtbl.find times sb)
 
 (** Interaction classification (Section 2.2). *)
 type interaction = Independent | Parallel | Serial

@@ -12,16 +12,62 @@
     ({!Icost_depgraph.Build.oracle}) and the shotgun profiler
     ({!Icost_profiler.Profile.oracle}). *)
 
-type oracle = Category.Set.t -> float
-(** Maps a category set to total execution time (cycles) with that set
-    idealized; [oracle Category.Set.empty] is the baseline time. *)
+type oracle = {
+  point : Category.Set.t -> float;
+      (** time (cycles) with one set idealized; [point Category.Set.empty]
+          is the baseline time *)
+  batch : (Category.Set.t array -> float array) option;
+      (** price many idealizations in one call, index-aligned with the
+          input.  Must agree bit-for-bit with mapping [point] (the
+          conformance suite checks this for every built-in oracle); it
+          exists because batched backends are much faster — the graph
+          engine prices up to 64 subsets per edge-array pass
+          ({!Icost_depgraph.Graph.eval_subsets}). *)
+}
+(** A cost oracle.  Power-set consumers ({!icost}, {!Breakdown},
+    {!Advisor}) fetch every subset they need through {!query_batch} in one
+    call, so a batched backend is hit once per analysis rather than once
+    per subset. *)
+
+val of_fn : (Category.Set.t -> float) -> oracle
+(** Point-only oracle; {!query_batch} falls back to mapping the point. *)
+
+val with_batch :
+  batch:(Category.Set.t array -> float array) ->
+  (Category.Set.t -> float) ->
+  oracle
+
+val query : oracle -> Category.Set.t -> float
+val query_batch : oracle -> Category.Set.t array -> float array
+
+type memo
+(** A bounded, mutex-guarded memo table in front of an oracle — the
+    concrete object behind {!memoize}, exposed so a resident server can
+    dump it into a snapshot ({!memo_entries}) and warm-start a fresh
+    process from the dump ({!memo_seed}). *)
+
+val memo_make : ?cap:int -> oracle -> memo
+val memo_oracle : memo -> oracle
+(** Both the point and the batch path of the returned oracle consult the
+    table; batch misses are forwarded to the underlying oracle's batch in
+    one call. *)
+
+val memo_entries : memo -> (Category.Set.t * float) array
+(** Current contents, sorted by set for determinism. *)
+
+val memo_seed : memo -> (Category.Set.t * float) array -> unit
+(** Pre-populate the table (subject to the cap), as if each set had just
+    been queried.  Used to warm-start from a snapshot. *)
+
+val memo_size : memo -> int
 
 val memoize : ?cap:int -> oracle -> oracle
-(** Cache oracle evaluations (the underlying measurement — a simulation or
-    a graph pass — is the expensive part, and cost queries share many
-    subset evaluations).  The returned oracle is safe to share across
-    concurrent {!Icost_util.Pool} jobs: the memo table is mutex-guarded,
-    and measurements run outside the lock.
+(** [memo_oracle (memo_make ?cap oracle)].  Cache oracle evaluations (the
+    underlying measurement — a simulation or a graph pass — is the
+    expensive part, and cost queries share many subset evaluations).  The
+    returned oracle is safe to share across concurrent
+    {!Icost_util.Pool} jobs: the memo table is mutex-guarded, and
+    measurements run outside the lock.
 
     The table is bounded: at most [cap] entries (clamped to >= 1, default
     512) are retained, with least-recently-used eviction counted by the
@@ -38,7 +84,8 @@ val cost : oracle -> Category.Set.t -> float
 val icost : oracle -> Category.Set.t -> float
 (** Interaction cost by the paper's recursive definition, computed with a
     per-call subset table in cardinality order ([O(3^|U|)] additions, a
-    few thousand operations for the full 8-category set). *)
+    few thousand operations for the full 8-category set).  All subset
+    times are fetched through one {!query_batch}. *)
 
 val icost_ie : oracle -> Category.Set.t -> float
 (** Interaction cost by inclusion-exclusion; equal to {!icost}. *)

@@ -224,4 +224,6 @@ let of_sim (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array)
     time under idealization [s] is the critical-path length with [s]'s
     edges edited. *)
 let oracle (g : Graph.t) : Icost_core.Cost.oracle =
- fun s -> float_of_int (Graph.critical_length ~ideal:s g)
+  Icost_core.Cost.with_batch
+    ~batch:(fun sets -> Array.map float_of_int (Graph.eval_subsets g sets))
+    (fun s -> float_of_int (Graph.critical_length ~ideal:s g))

@@ -93,6 +93,11 @@ type compiled = {
   f_off : int array;  (** [num_floors + 1] offsets into [f_comp_*] *)
   f_comp_mask : int array;
   f_comp_lat : int array;
+  lat_bound : int;
+      (** sound upper bound on any node arrival time under any idealization
+          (sum over nodes of the max full incoming latency, plus all floor
+          latencies), or [-1] when some latency is negative.  Lets the
+          sliced evaluator prove that packed lane fields cannot overflow. *)
 }
 
 type t = {
@@ -187,6 +192,49 @@ let compile ~(edges : edge array) ~(floors : (int * int * component list) list)
   f_off.(nf) <- !j;
   let f_node = if nf = 0 then [||] else f_node in
   let f_base = if nf = 0 then [||] else f_base in
+  let lat_bound =
+    (* a longest path visits nodes in topological order, so its length is at
+       most the sum over nodes of the largest full (no idealization)
+       incoming latency; floors only raise a node to a fixed value, so
+       adding their totals keeps the bound sound.  Negative latencies break
+       both the bound and the packed evaluator's non-negativity invariant,
+       so they poison the bound to -1. *)
+    let neg = ref false in
+    let full e =
+      if e.base < 0 then neg := true;
+      List.fold_left
+        (fun acc { lat; _ } ->
+          if lat < 0 then neg := true;
+          acc + lat)
+        e.base e.components
+    in
+    let bound = ref 0 in
+    let cur_dst = ref (-1) in
+    let cur_max = ref 0 in
+    Array.iter
+      (fun e ->
+        let l = full e in
+        if e.dst <> !cur_dst then begin
+          bound := !bound + !cur_max;
+          cur_dst := e.dst;
+          cur_max := l
+        end
+        else if l > !cur_max then cur_max := l)
+      edges;
+    bound := !bound + !cur_max;
+    List.iter
+      (fun (_, base, cs) ->
+        if base < 0 then neg := true;
+        bound :=
+          !bound
+          + List.fold_left
+              (fun acc { lat; _ } ->
+                if lat < 0 then neg := true;
+                acc + lat)
+              base cs)
+      floors;
+    if !neg then -1 else !bound
+  in
   {
     e_src;
     e_base;
@@ -199,7 +247,151 @@ let compile ~(edges : edge array) ~(floors : (int * int * component list) list)
     f_off;
     f_comp_mask;
     f_comp_lat;
+    lat_bound;
   }
+
+(* ---------- compact serialization ---------- *)
+
+let edge_kind_tag = function
+  | DD -> 0
+  | FBW -> 1
+  | CD -> 2
+  | PD -> 3
+  | DR -> 4
+  | PR -> 5
+  | RE -> 6
+  | EP -> 7
+  | PP -> 8
+  | PC -> 9
+  | CC -> 10
+  | CBW -> 11
+
+let edge_kind_of_tag = function
+  | 0 -> DD
+  | 1 -> FBW
+  | 2 -> CD
+  | 3 -> PD
+  | 4 -> DR
+  | 5 -> PR
+  | 6 -> RE
+  | 7 -> EP
+  | 8 -> PP
+  | 9 -> PC
+  | 10 -> CC
+  | 11 -> CBW
+  | n -> failwith (Printf.sprintf "Graph.unmarshal: bad edge kind %d" n)
+
+(* The derived [compiled] arrays are dropped ([unmarshal] recompiles them)
+   and the edge records are transposed into flat int arrays, so decoding
+   allocates a handful of large blocks instead of one block per edge. *)
+let marshal (g : t) : string =
+  let ne = Array.length g.edges in
+  let src = Array.make (max 1 ne) 0
+  and dst = Array.make (max 1 ne) 0
+  and kindi = Array.make (max 1 ne) 0
+  and base = Array.make (max 1 ne) 0
+  and removed = Array.make (max 1 ne) 0
+  and comp_off = Array.make (ne + 1) 0 in
+  let ncomp =
+    Array.fold_left (fun acc e -> acc + List.length e.components) 0 g.edges
+  in
+  let comp_cat = Array.make (max 1 ncomp) 0
+  and comp_lat = Array.make (max 1 ncomp) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i e ->
+      src.(i) <- e.src;
+      dst.(i) <- e.dst;
+      kindi.(i) <- edge_kind_tag e.kind;
+      base.(i) <- e.base;
+      removed.(i) <-
+        (match e.removed_by with None -> -1 | Some c -> Category.to_int c);
+      comp_off.(i) <- !k;
+      List.iter
+        (fun { cat; lat } ->
+          comp_cat.(!k) <- Category.to_int cat;
+          comp_lat.(!k) <- lat;
+          incr k)
+        e.components)
+    g.edges;
+  comp_off.(ne) <- !k;
+  Marshal.to_string
+    ( g.num_instrs,
+      ne,
+      src,
+      dst,
+      kindi,
+      base,
+      removed,
+      comp_off,
+      comp_cat,
+      comp_lat,
+      g.first_in,
+      g.floors )
+    []
+
+let unmarshal (s : string) : t =
+  let ( num_instrs,
+        ne,
+        src,
+        dst,
+        kindi,
+        base,
+        removed,
+        comp_off,
+        comp_cat,
+        comp_lat,
+        first_in,
+        floors ) =
+    try
+      (Marshal.from_string s 0
+        : int
+          * int
+          * int array
+          * int array
+          * int array
+          * int array
+          * int array
+          * int array
+          * int array
+          * int array
+          * int array
+          * (int * int * component list) list)
+    with Failure _ -> failwith "Graph.unmarshal: malformed bytes"
+  in
+  if
+    ne < 0
+    || Array.length src < ne
+    || Array.length dst < ne
+    || Array.length kindi < ne
+    || Array.length base < ne
+    || Array.length removed < ne
+    || Array.length comp_off < ne + 1
+    || comp_off.(ne) > Array.length comp_cat
+    || comp_off.(ne) > Array.length comp_lat
+  then failwith "Graph.unmarshal: malformed bytes";
+  let edges =
+    try
+      Array.init ne (fun i ->
+          let comps = ref [] in
+          for k = comp_off.(i + 1) - 1 downto comp_off.(i) do
+            comps :=
+              { cat = Category.of_int comp_cat.(k); lat = comp_lat.(k) }
+              :: !comps
+          done;
+          {
+            src = src.(i);
+            dst = dst.(i);
+            kind = edge_kind_of_tag kindi.(i);
+            base = base.(i);
+            components = !comps;
+            removed_by =
+              (if removed.(i) < 0 then None
+               else Some (Category.of_int removed.(i)));
+          })
+    with Invalid_argument _ -> failwith "Graph.unmarshal: malformed bytes"
+  in
+  { num_instrs; edges; first_in; floors; compiled = compile ~edges ~floors }
 
 (* ---------- building ---------- *)
 
@@ -373,15 +565,19 @@ let critical_length ?ideal ?override (t : t) : int =
     let time = eval ?ideal ?override t in
     time.(node ~seq:(t.num_instrs - 1) ~kind:C) + 1
 
-(** [eval_subsets t sets] computes {!critical_length} under every
-    idealization in [sets], sweeping the compiled graph with one scratch
-    buffer per pool job (zero per-query allocation) and fanning the sweep
-    out across the domain pool.  Results are index-aligned with [sets]. *)
-let eval_subsets (t : t) (sets : Category.Set.t array) : int array =
+(** [eval_subsets_scalar t sets] computes {!critical_length} under every
+    idealization in [sets] with one full scalar graph pass per subset,
+    sweeping the compiled graph with one scratch buffer per pool job (zero
+    per-query allocation) and fanning the sweep out across the domain
+    pool.  Results are index-aligned with [sets].  This is the reference
+    implementation the bit-sliced {!eval_subsets} is checked against (the
+    [sliced-eval-exact] conformance law) and the fallback oracle for
+    differential debugging. *)
+let eval_subsets_scalar (t : t) (sets : Category.Set.t array) : int array =
   let m = Array.length sets in
   let out = Array.make m 0 in
   if t.num_instrs > 0 && m > 0 then begin
-    let sp = Telemetry.start_span "graph.eval_subsets" in
+    let sp = Telemetry.start_span "graph.eval_subsets_scalar" in
     let sink = node ~seq:(t.num_instrs - 1) ~kind:C in
     Icost_util.Pool.parallel_chunks m (fun ~lo ~hi ->
         let buf = Array.make (num_nodes t) 0 in
@@ -394,6 +590,422 @@ let eval_subsets (t : t) (sets : Category.Set.t array) : int array =
     else Telemetry.end_span sp
   end;
   out
+
+(* ---------- bit-sliced evaluation ---------- *)
+
+let max_lanes = 64
+
+let c_sliced = Telemetry.counter "graph.sliced_evals"
+
+(* One bit-sliced topological pass pricing [nl] subsets
+   ([sets.(lo) .. sets.(lo + nl - 1)]) at once.  [slab] holds the
+   arrival-time vector of every node, node-major with stride [nl]
+   (lane [l] of node [v] lives at [slab.(v * nl + l)]); [latbuf] and
+   [lset] are per-pass scratch of length >= [nl].
+
+   Each lane runs exactly the max-plus recurrence of {!eval_into} — the
+   same edges in the same order with the same integer latencies — so per
+   lane the result is identical to a scalar pass by construction.  All
+   per-lane decisions are made branch-free: [ktab.(mask)] is a per-chunk
+   row of keep masks, [-1] in lane [l] when [mask] is NOT idealized in
+   that lane (the component contributes / the edge survives) and [0]
+   when it is, so component sums become [d land row.(l)] accumulations
+   and removal becomes an [land] on the candidate delta.  The max-plus
+   update itself is the branch-free
+   [cur + (d land lnot (d asr 62))] (adds [d] only when positive, i.e.
+   [max cur (cur + d)] on 63-bit ints), because the taken/not-taken
+   pattern of a compare-and-store max is data-dependent noise that
+   mispredicts; removing it is what lets a lane update retire in a few
+   ALU ops.  [ktab] only needs rows for masks the compiler emits:
+   singleton category masks ([compile] builds every component and
+   removal mask with [cat_mask]) plus row 0 (all [-1]) for
+   never-removed edges. *)
+let eval_chunk (t : t) (sets : Category.Set.t array) ~lo ~nl
+    ~(slab : int array) ~(latbuf : int array) ~(lset : int array)
+    ~(ktab : int array array) (out : int array) : unit =
+  let n = num_nodes t in
+  let c = t.compiled in
+  let nf = Array.length c.f_node in
+  for l = 0 to nl - 1 do
+    lset.(l) <- sets.(lo + l)
+  done;
+  for ci = 0 to Category.count - 1 do
+    let mask = 1 lsl ci in
+    let row = ktab.(mask) in
+    for l = 0 to nl - 1 do
+      row.(l) <- (if mask land lset.(l) = 0 then -1 else 0)
+    done
+  done;
+  let fi = ref 0 in
+  for v = 0 to n - 1 do
+    (* node [v]'s lane vector is maximized in place in the slab; no edge
+       is a self-loop (src < dst), so reads of [soff + l] never alias it *)
+    let boff = v * nl in
+    (* manual zeroing: [Array.fill] is a C call, too heavy per node *)
+    for l = 0 to nl - 1 do
+      Array.unsafe_set slab (boff + l) 0
+    done;
+    let hi = t.first_in.(v + 1) in
+    for k = t.first_in.(v) to hi - 1 do
+      let rm = Array.unsafe_get c.e_removed k in
+      let base = Array.unsafe_get c.e_base k in
+      let o0 = Array.unsafe_get c.e_comp_off k in
+      let o1 = Array.unsafe_get c.e_comp_off (k + 1) in
+      let soff = Array.unsafe_get c.e_src k * nl in
+      if o0 = o1 then
+        if rm = 0 then
+          (* latency identical in every lane: pure streaming max *)
+          for l = 0 to nl - 1 do
+            let cur = Array.unsafe_get slab (boff + l) in
+            let d = Array.unsafe_get slab (soff + l) + base - cur in
+            Array.unsafe_set slab (boff + l) (cur + (d land lnot (d asr 62)))
+          done
+        else begin
+          (* removable, constant latency (CD/FBW/CBW): masking the delta
+             with the keep row suppresses the candidate in idealized
+             lanes *)
+          let row = Array.unsafe_get ktab rm in
+          for l = 0 to nl - 1 do
+            let cur = Array.unsafe_get slab (boff + l) in
+            let d =
+              (Array.unsafe_get slab (soff + l) + base - cur)
+              land Array.unsafe_get row l
+            in
+            Array.unsafe_set slab (boff + l) (cur + (d land lnot (d asr 62)))
+          done
+        end
+      else if rm = 0 && o0 + 1 = o1 then begin
+        (* one component, never removed: fold the component through its
+           keep row inline *)
+        let crow = Array.unsafe_get ktab (Array.unsafe_get c.comp_mask o0) in
+        let d0 = Array.unsafe_get c.comp_lat o0 in
+        for l = 0 to nl - 1 do
+          let cur = Array.unsafe_get slab (boff + l) in
+          let d =
+            Array.unsafe_get slab (soff + l)
+            + base
+            + (d0 land Array.unsafe_get crow l)
+            - cur
+          in
+          Array.unsafe_set slab (boff + l) (cur + (d land lnot (d asr 62)))
+        done
+      end
+      else begin
+        (* general: accumulate per-lane latency component-major, so the
+           component data is read once per edge instead of once per
+           lane; [ktab.(0)] is all [-1], so never-removed edges flow
+           through the same removal mask unchanged *)
+        Array.fill latbuf 0 nl base;
+        for j = o0 to o1 - 1 do
+          let crow = Array.unsafe_get ktab (Array.unsafe_get c.comp_mask j) in
+          let d = Array.unsafe_get c.comp_lat j in
+          for l = 0 to nl - 1 do
+            Array.unsafe_set latbuf l
+              (Array.unsafe_get latbuf l + (d land Array.unsafe_get crow l))
+          done
+        done;
+        let rrow = Array.unsafe_get ktab rm in
+        for l = 0 to nl - 1 do
+          let cur = Array.unsafe_get slab (boff + l) in
+          let d =
+            (Array.unsafe_get slab (soff + l) + Array.unsafe_get latbuf l - cur)
+            land Array.unsafe_get rrow l
+          in
+          Array.unsafe_set slab (boff + l) (cur + (d land lnot (d asr 62)))
+        done
+      end
+    done;
+    while !fi < nf && c.f_node.(!fi) = v do
+      let fb = c.f_base.(!fi) in
+      let j0 = c.f_off.(!fi) and j1 = c.f_off.(!fi + 1) in
+      Array.fill latbuf 0 nl fb;
+      for j = j0 to j1 - 1 do
+        let crow = Array.unsafe_get ktab (Array.unsafe_get c.f_comp_mask j) in
+        let d = Array.unsafe_get c.f_comp_lat j in
+        for l = 0 to nl - 1 do
+          Array.unsafe_set latbuf l
+            (Array.unsafe_get latbuf l + (d land Array.unsafe_get crow l))
+        done
+      done;
+      for l = 0 to nl - 1 do
+        let cur = Array.unsafe_get slab (boff + l) in
+        let d = Array.unsafe_get latbuf l - cur in
+        Array.unsafe_set slab (boff + l) (cur + (d land lnot (d asr 62)))
+      done;
+      incr fi
+    done
+  done;
+  let soff = node ~seq:(t.num_instrs - 1) ~kind:C * nl in
+  for l = 0 to nl - 1 do
+    out.(lo + l) <- slab.(soff + l) + 1
+  done
+
+(* ---------- packed (SWAR) lanes ---------- *)
+
+(* When the compiled graph can prove every arrival time stays below 2^20
+   ([lat_bound]), three lanes share one 63-bit word: 21-bit fields at bits
+   0/21/42, each a 20-bit value plus one guard bit.  All lane values are
+   non-negative and bounded, so field sums never carry across field
+   boundaries, and a word-wide max costs ~8 ALU ops for 3 lanes:
+
+     m  = ((cand | H) - cur) & H     guard of each field survives the
+                                     subtract iff cand >= cur there
+     fm = m - (m >> 20)              expand surviving guards to 0xFFFFF
+     max = (cand & fm) | (cur & ~fm)
+
+   Keep rows hold per-field VALUE masks (0xFFFFF when the category is not
+   idealized in that lane, 0 when it is), so component contributions are
+   [(lat * sw_rep) land row] and removal masks the whole candidate to 0
+   (sound because times are non-negative, so max(cur, 0) = cur). *)
+
+let sw_vmax = (1 lsl 20) - 1
+let sw_rep = 1 lor (1 lsl 21) lor (1 lsl 42)
+let sw_high = (sw_vmax + 1) * sw_rep
+let sw_keep = sw_vmax * sw_rep
+
+let[@inline always] sw_max cur cand =
+  let m = ((cand lor sw_high) - cur) land sw_high in
+  let fm = m - (m lsr 20) in
+  cand land fm lor (cur land lnot fm)
+
+(* Packed twin of {!eval_chunk}: [nl] lanes in [pw = ceil (nl / 3)] words
+   per node.  The lane vector is padded to whole words with copies of the
+   last subset, so padding fields run a real lane's recurrence and the
+   overflow bound covers them; only [nl] results are unpacked.  A node's
+   first in-edge stores its candidate directly (candidates are
+   non-negative, so the store doubles as the zero-init), which drops both
+   the per-node zero fill and one max per node. *)
+let eval_chunk_swar (t : t) (sets : Category.Set.t array) ~lo ~nl
+    ~(slab : int array) ~(latbuf : int array) ~(lset : int array)
+    ~(ktab : int array array) (out : int array) : unit =
+  let n = num_nodes t in
+  let c = t.compiled in
+  let nf = Array.length c.f_node in
+  let pw = (nl + 2) / 3 in
+  for l = 0 to (3 * pw) - 1 do
+    lset.(l) <- sets.(lo + min l (nl - 1))
+  done;
+  for ci = 0 to Category.count - 1 do
+    let mask = 1 lsl ci in
+    let row = ktab.(mask) in
+    for w = 0 to pw - 1 do
+      let r = ref 0 in
+      for f = 0 to 2 do
+        if mask land lset.((3 * w) + f) = 0 then
+          r := !r lor (sw_vmax lsl (21 * f))
+      done;
+      row.(w) <- !r
+    done
+  done;
+  let fi = ref 0 in
+  for v = 0 to n - 1 do
+    let boff = v * pw in
+    let k0 = t.first_in.(v) in
+    let hi = t.first_in.(v + 1) in
+    if k0 = hi then
+      for w = 0 to pw - 1 do
+        Array.unsafe_set slab (boff + w) 0
+      done
+    else
+      for k = k0 to hi - 1 do
+        let rm = Array.unsafe_get c.e_removed k in
+        let o0 = Array.unsafe_get c.e_comp_off k in
+        let o1 = Array.unsafe_get c.e_comp_off (k + 1) in
+        let soff = Array.unsafe_get c.e_src k * pw in
+        let baserep = Array.unsafe_get c.e_base k * sw_rep in
+        if o0 = o1 then
+          if rm = 0 then
+            if k = k0 then
+              for w = 0 to pw - 1 do
+                Array.unsafe_set slab (boff + w)
+                  (Array.unsafe_get slab (soff + w) + baserep)
+              done
+            else
+              for w = 0 to pw - 1 do
+                let cur = Array.unsafe_get slab (boff + w) in
+                let cand = Array.unsafe_get slab (soff + w) + baserep in
+                Array.unsafe_set slab (boff + w) (sw_max cur cand)
+              done
+          else begin
+            let rrow = Array.unsafe_get ktab rm in
+            if k = k0 then
+              for w = 0 to pw - 1 do
+                Array.unsafe_set slab (boff + w)
+                  ((Array.unsafe_get slab (soff + w) + baserep)
+                  land Array.unsafe_get rrow w)
+              done
+            else
+              for w = 0 to pw - 1 do
+                let cur = Array.unsafe_get slab (boff + w) in
+                let cand =
+                  (Array.unsafe_get slab (soff + w) + baserep)
+                  land Array.unsafe_get rrow w
+                in
+                Array.unsafe_set slab (boff + w) (sw_max cur cand)
+              done
+          end
+        else if rm = 0 && o0 + 1 = o1 then begin
+          let crow = Array.unsafe_get ktab (Array.unsafe_get c.comp_mask o0) in
+          let d0 = Array.unsafe_get c.comp_lat o0 * sw_rep in
+          if k = k0 then
+            for w = 0 to pw - 1 do
+              Array.unsafe_set slab (boff + w)
+                (Array.unsafe_get slab (soff + w)
+                + baserep
+                + (d0 land Array.unsafe_get crow w))
+            done
+          else
+            for w = 0 to pw - 1 do
+              let cur = Array.unsafe_get slab (boff + w) in
+              let cand =
+                Array.unsafe_get slab (soff + w)
+                + baserep
+                + (d0 land Array.unsafe_get crow w)
+              in
+              Array.unsafe_set slab (boff + w) (sw_max cur cand)
+            done
+        end
+        else begin
+          for w = 0 to pw - 1 do
+            Array.unsafe_set latbuf w baserep
+          done;
+          for j = o0 to o1 - 1 do
+            let crow =
+              Array.unsafe_get ktab (Array.unsafe_get c.comp_mask j)
+            in
+            let d = Array.unsafe_get c.comp_lat j * sw_rep in
+            for w = 0 to pw - 1 do
+              Array.unsafe_set latbuf w
+                (Array.unsafe_get latbuf w + (d land Array.unsafe_get crow w))
+            done
+          done;
+          let rrow = Array.unsafe_get ktab rm in
+          if k = k0 then
+            for w = 0 to pw - 1 do
+              Array.unsafe_set slab (boff + w)
+                ((Array.unsafe_get slab (soff + w) + Array.unsafe_get latbuf w)
+                land Array.unsafe_get rrow w)
+            done
+          else
+            for w = 0 to pw - 1 do
+              let cur = Array.unsafe_get slab (boff + w) in
+              let cand =
+                (Array.unsafe_get slab (soff + w) + Array.unsafe_get latbuf w)
+                land Array.unsafe_get rrow w
+              in
+              Array.unsafe_set slab (boff + w) (sw_max cur cand)
+            done
+        end
+      done;
+    while !fi < nf && c.f_node.(!fi) = v do
+      let fb = c.f_base.(!fi) * sw_rep in
+      let j0 = c.f_off.(!fi) and j1 = c.f_off.(!fi + 1) in
+      for w = 0 to pw - 1 do
+        Array.unsafe_set latbuf w fb
+      done;
+      for j = j0 to j1 - 1 do
+        let crow = Array.unsafe_get ktab (Array.unsafe_get c.f_comp_mask j) in
+        let d = Array.unsafe_get c.f_comp_lat j * sw_rep in
+        for w = 0 to pw - 1 do
+          Array.unsafe_set latbuf w
+            (Array.unsafe_get latbuf w + (d land Array.unsafe_get crow w))
+        done
+      done;
+      for w = 0 to pw - 1 do
+        let cur = Array.unsafe_get slab (boff + w) in
+        Array.unsafe_set slab (boff + w)
+          (sw_max cur (Array.unsafe_get latbuf w))
+      done;
+      incr fi
+    done
+  done;
+  let soff = node ~seq:(t.num_instrs - 1) ~kind:C * pw in
+  for l = 0 to nl - 1 do
+    out.(lo + l) <-
+      (Array.unsafe_get slab (soff + (l / 3)) lsr (21 * (l mod 3)))
+      land sw_vmax
+      + 1
+  done
+
+(** [eval_slices ?lanes t sets] is {!eval_subsets_scalar} computed
+    bit-sliced: each pool chunk prices up to [lanes] subsets (clamped to
+    1..{!max_lanes}, default {!max_lanes}) per pass over the compiled
+    edge arrays.  Per lane the recurrence is identical to the scalar
+    pass, so results are bit-identical regardless of [lanes] or the pool
+    job count; chunks write disjoint slices of the output. *)
+let eval_slices ?(lanes = max_lanes) (t : t) (sets : Category.Set.t array) :
+    int array =
+  let m = Array.length sets in
+  let lanes = if lanes < 1 then 1 else min lanes (min max_lanes (max 1 m)) in
+  let out = Array.make m 0 in
+  if t.num_instrs > 0 && m > 0 then begin
+    let sp = Telemetry.start_span "graph.eval_subsets" in
+    let n = num_nodes t in
+    (* the packed path needs every arrival time (+1 for the reported
+       critical length) to fit a 20-bit field *)
+    let packed =
+      t.compiled.lat_bound >= 0 && t.compiled.lat_bound + 1 <= sw_vmax
+    in
+    let nchunks = (m + lanes - 1) / lanes in
+    Icost_util.Pool.parallel_chunks nchunks (fun ~lo ~hi ->
+        if packed then begin
+          let pwmax = (lanes + 2) / 3 in
+          let slab = Array.make (n * pwmax) 0 in
+          let latbuf = Array.make pwmax 0 in
+          let lset = Array.make (3 * pwmax) 0 in
+          (* keep rows: one per singleton category mask, refreshed per
+             chunk, plus a constant all-keep row shared by every mask the
+             compiler never emits (only row 0 is ever dereferenced) *)
+          let keep_all = Array.make pwmax sw_keep in
+          let ktab = Array.make 256 keep_all in
+          for ci = 0 to Category.count - 1 do
+            ktab.(1 lsl ci) <- Array.make pwmax 0
+          done;
+          for ch = lo to hi - 1 do
+            let slo = ch * lanes in
+            let nl = min lanes (m - slo) in
+            Telemetry.incr c_sliced;
+            eval_chunk_swar t sets ~lo:slo ~nl ~slab ~latbuf ~lset ~ktab out
+          done
+        end
+        else begin
+          let slab = Array.make (n * lanes) 0 in
+          let latbuf = Array.make lanes 0 in
+          let lset = Array.make lanes 0 in
+          let keep_all = Array.make lanes (-1) in
+          let ktab = Array.make 256 keep_all in
+          for ci = 0 to Category.count - 1 do
+            ktab.(1 lsl ci) <- Array.make lanes 0
+          done;
+          for ch = lo to hi - 1 do
+            let slo = ch * lanes in
+            let nl = min lanes (m - slo) in
+            Telemetry.incr c_sliced;
+            eval_chunk t sets ~lo:slo ~nl ~slab ~latbuf ~lset ~ktab out
+          done
+        end);
+    if Telemetry.enabled () then
+      Telemetry.end_span sp
+        ~attrs:
+          [
+            ("sets", string_of_int m);
+            ("lanes", string_of_int lanes);
+            ("passes", string_of_int nchunks);
+            ("packed", string_of_bool packed);
+          ]
+    else Telemetry.end_span sp
+  end;
+  out
+
+(** [eval_subsets t sets] computes {!critical_length} under every
+    idealization in [sets]; results are index-aligned with [sets].  The
+    implementation is the bit-sliced {!eval_slices} (up to {!max_lanes}
+    subsets per edge-array pass); {!eval_subsets_scalar} remains as the
+    reference oracle. *)
+let eval_subsets (t : t) (sets : Category.Set.t array) : int array =
+  (* 32 lanes measures fastest on the 10k-instr kernels: enough to amortize
+     per-edge decode, small enough that a chunk's slab stays cache-resident *)
+  eval_slices ~lanes:32 t sets
 
 (** Cost of a set of edges (Tune et al.): speedup from zeroing the latency
     of every edge matching [pred]. *)

@@ -26,7 +26,7 @@ let categories = [ Category.Dmiss; Category.Bmisp; Category.Shalu ]
 
 let compute ?(cfg = Config.default) (p : Runner.prepared) : result =
   let oracle = Runner.graph_oracle cfg p in
-  let base = oracle Category.Set.empty in
+  let base = Cost.query oracle Category.Set.empty in
   let pct v = 100. *. v /. base in
   let base_pcts =
     List.map

@@ -52,7 +52,7 @@ let compute ?(windows = default_windows) ?(dl1_lats = default_dl1_lats)
         (* icost(dl1, win) measured on the graph at the 4-cycle-dl1 machine
            with the baseline 64-entry window *)
         let oracle = Runner.graph_oracle Config.loop_dl1 p in
-        let base = oracle Category.Set.empty in
+        let base = Cost.query oracle Category.Set.empty in
         let icost_dl1_win =
           100. *. Cost.icost_pair oracle Category.Dl1 Category.Win /. base
         in

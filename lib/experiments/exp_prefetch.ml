@@ -84,7 +84,7 @@ let study_one (s : Runner.settings) (cfg : Config.t) name : row =
     let oracle = Cost.memoize (Build.oracle g) in
     100.
     *. Cost.cost oracle (Category.Set.singleton Category.Dmiss)
-    /. oracle Category.Set.empty
+    /. Cost.query oracle Category.Set.empty
   in
   let count evts =
     Array.fold_left (fun a (e : Events.evt) -> if e.dl1_miss then a + 1 else a) 0 evts

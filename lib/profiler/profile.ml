@@ -113,9 +113,27 @@ let profile ?(opts = Sampler.default_opts) (cfg : Config.t)
   }
 
 (** The profiler's cost oracle: summed critical-path length of all
-    fragments under the given idealization. *)
+    fragments under the given idealization.  The batch path prices every
+    requested subset over one fragment at a time (each fragment is one
+    bit-sliced {!Graph.eval_subsets} sweep) and accumulates in the same
+    fragment order with the same float additions as the point path, so
+    the two are bit-identical. *)
 let oracle (t : t) : Icost_core.Cost.oracle =
- fun s ->
-  Array.fold_left
-    (fun acc g -> acc +. float_of_int (Graph.critical_length ~ideal:s g))
-    0. t.graphs
+  let point s =
+    Array.fold_left
+      (fun acc g -> acc +. float_of_int (Graph.critical_length ~ideal:s g))
+      0. t.graphs
+  in
+  let batch sets =
+    let m = Array.length sets in
+    let out = Array.make m 0. in
+    Array.iter
+      (fun g ->
+        let row = Graph.eval_subsets g sets in
+        for i = 0 to m - 1 do
+          out.(i) <- out.(i) +. float_of_int row.(i)
+        done)
+      t.graphs;
+    out
+  in
+  Icost_core.Cost.with_batch ~batch point

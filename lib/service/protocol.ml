@@ -53,6 +53,9 @@ type status_body = {
   cache_hits : int;
   cache_misses : int;
   cache_evictions : int;
+  snapshot_hits : int;
+  snapshot_misses : int;
+  snapshot_rejects : int;
   pool_jobs : int;
   health : string;
   draining : bool;
@@ -195,6 +198,9 @@ let result_json = function
         ("cache_hits", Json.Int s.cache_hits);
         ("cache_misses", Json.Int s.cache_misses);
         ("cache_evictions", Json.Int s.cache_evictions);
+        ("snapshot_hits", Json.Int s.snapshot_hits);
+        ("snapshot_misses", Json.Int s.snapshot_misses);
+        ("snapshot_rejects", Json.Int s.snapshot_rejects);
         ("pool_jobs", Json.Int s.pool_jobs);
         ("health", Json.Str s.health);
         ("draining", Json.Bool s.draining);
@@ -369,6 +375,9 @@ let decode_result j =
     let* cache_hits = required "cache_hits" Json.get_int j in
     let* cache_misses = required "cache_misses" Json.get_int j in
     let* cache_evictions = required "cache_evictions" Json.get_int j in
+    let* snapshot_hits = required "snapshot_hits" Json.get_int j in
+    let* snapshot_misses = required "snapshot_misses" Json.get_int j in
+    let* snapshot_rejects = required "snapshot_rejects" Json.get_int j in
     let* pool_jobs = required "pool_jobs" Json.get_int j in
     let* health = required "health" Json.get_str j in
     let* draining = required "draining" Json.get_bool j in
@@ -383,6 +392,9 @@ let decode_result j =
            cache_hits;
            cache_misses;
            cache_evictions;
+           snapshot_hits;
+           snapshot_misses;
+           snapshot_rejects;
            pool_jobs;
            health;
            draining;

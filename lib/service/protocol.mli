@@ -73,6 +73,9 @@ type status_body = {
   cache_hits : int;  (** summed over the prep/baseline/session caches *)
   cache_misses : int;
   cache_evictions : int;
+  snapshot_hits : int;  (** persistent graph-snapshot store; all 0 without --cache-dir *)
+  snapshot_misses : int;
+  snapshot_rejects : int;
   pool_jobs : int;
   health : string;  (** ok | degraded | draining (see [doc/protocol.md]) *)
   draining : bool;

@@ -25,6 +25,7 @@ type opts = {
   breaker_threshold : int;
   breaker_cooldown : float;
   mem_high_mb : int;
+  cache_dir : string option;
   handle_signals : bool;
   on_ready : (unit -> unit) option;
 }
@@ -38,6 +39,7 @@ let default_opts =
     breaker_threshold = 3;
     breaker_cooldown = 5.;
     mem_high_mb = 4096;
+    cache_dir = None;
     handle_signals = true;
     on_ready = None;
   }
@@ -50,7 +52,10 @@ exception Bad of string
 (* a request's deadline elapsed (checked between oracle evaluations) *)
 exception Deadline
 
-type session = { oracle : Cost.oracle; graph : Graph.t option }
+(* A session keeps the full establishment record (not just the oracle):
+   the memo handle and session key are what [Snapshot.persist] needs to
+   re-save a grown memo table after each successful analysis. *)
+type session = { est : Snapshot.established; skey : string }
 
 type conn = {
   fd : Unix.file_descr;
@@ -71,6 +76,11 @@ type t = {
   breaker : Breaker.t;
   degraded_until : float Atomic.t;  (* monotonic-ish; 0. means healthy *)
   shed_tally : int Atomic.t;  (* cache entries shed under pressure *)
+  (* snapshot-store outcomes; server-local because the Telemetry
+     counters are no-ops unless a sink is enabled *)
+  snap_hits : int Atomic.t;
+  snap_misses : int Atomic.t;
+  snap_rejects : int Atomic.t;
   wake_w : Unix.file_descr;  (* self-pipe: any write wakes the accept loop *)
   conns_mutex : Mutex.t;
   mutable conns : (conn * Thread.t) list;
@@ -149,29 +159,60 @@ let prepared_of t (tg : P.target) =
 let session_of t (tg : P.target) : Runner.prepared * session =
   let cfg = config_of_variant tg.variant in
   let kind = kind_of_engine tg.engine in
-  let prepared = prepared_of t tg in
-  let baseline () =
+  let skey = session_key tg cfg kind in
+  let baseline_of prepared =
     Cache.find_or_add t.baseline_cache (baseline_key tg cfg) (fun () ->
         Runner.baseline_run cfg prepared)
   in
-  let session =
-    Cache.find_or_add t.session_cache (session_key tg cfg kind) (fun () ->
-        match kind with
-        | Runner.Multisim ->
-          { oracle = Runner.multisim_oracle cfg prepared; graph = None }
-        | Runner.Fullgraph ->
-          let g = Runner.graph_of ~baseline:(baseline ()) cfg prepared in
-          { oracle = Cost.memoize (Build.oracle g); graph = Some g }
-        | Runner.Profiler ->
-          {
-            oracle =
-              Runner.profiler_oracle
-                ~opts:{ Sampler.default_opts with seed = tg.seed }
-                ~baseline:(baseline ()) cfg prepared;
-            graph = None;
-          })
-  in
-  (prepared, session)
+  match t.opts.cache_dir with
+  | None ->
+    (* no snapshot store: resolve preparation before the session lookup,
+       keeping the request path (and cache tallies) of a store-less
+       server exactly as they were *)
+    let prepared = prepared_of t tg in
+    let session =
+      Cache.find_or_add t.session_cache skey (fun () ->
+          let est =
+            Snapshot.establish ~key:skey ~kind ~cfg ~seed:tg.seed
+              ~prepare:(fun () -> prepared)
+              ~baseline:(fun _ -> baseline_of prepared)
+              ()
+          in
+          { est; skey })
+    in
+    (prepared, session)
+  | Some dir ->
+    (* snapshot store on: defer preparation into [establish] so a disk
+       hit skips the prepare/baseline pipeline entirely, then seed the
+       prep cache from the result so later requests on other variants
+       and engines still share it *)
+    let session =
+      Cache.find_or_add t.session_cache skey (fun () ->
+          let est =
+            Snapshot.establish ~cache_dir:dir ~key:skey ~kind ~cfg
+              ~seed:tg.seed
+              ~prepare:(fun () -> prepared_of t tg)
+              ~baseline:baseline_of ()
+          in
+          (match est.Snapshot.est_disk with
+           | `Hit -> Atomic.incr t.snap_hits
+           | `Miss -> Atomic.incr t.snap_misses
+           | `Reject -> Atomic.incr t.snap_rejects
+           | `Off -> ());
+          { est; skey })
+    in
+    let prepared =
+      Cache.find_or_add t.prep_cache (prep_key tg) (fun () ->
+          session.est.Snapshot.est_prepared)
+    in
+    (prepared, session)
+
+(* Re-save the session's snapshot when an analysis grew its memo table,
+   so the next cold start replays those subsets from disk. *)
+let maybe_persist t (session : session) =
+  Option.iter
+    (fun dir -> Snapshot.persist ~dir ~key:session.skey session.est)
+    t.opts.cache_dir
 
 (* ---------- analysis ---------- *)
 
@@ -183,9 +224,18 @@ let check_deadline = function
    icost evaluations are loops over subset queries, so the deadline is
    honored between (not within) individual oracle evaluations. *)
 let guard deadline (oracle : Cost.oracle) : Cost.oracle =
- fun s ->
-  check_deadline deadline;
-  oracle s
+  {
+    Cost.point =
+      (fun s ->
+        check_deadline deadline;
+        oracle.Cost.point s);
+    batch =
+      Option.map
+        (fun b sets ->
+          check_deadline deadline;
+          b sets)
+        oracle.Cost.batch;
+  }
 
 let analyze t ~deadline (op : P.op) : P.result_body =
   match op with
@@ -193,7 +243,12 @@ let analyze t ~deadline (op : P.op) : P.result_body =
     let focus_cat = category_of_name focus in
     let _, session = session_of t target in
     check_deadline deadline;
-    let bd = Breakdown.focus ~oracle:(guard deadline session.oracle) ~focus_cat in
+    let bd =
+      Breakdown.focus
+        ~oracle:(guard deadline session.est.Snapshot.est_oracle)
+        ~focus_cat
+    in
+    maybe_persist t session;
     P.R_breakdown
       {
         baseline = bd.baseline_cycles;
@@ -211,28 +266,27 @@ let analyze t ~deadline (op : P.op) : P.result_body =
     let specs = List.map set_of_spec sets in
     let _, session = session_of t target in
     check_deadline deadline;
-    let o = guard deadline session.oracle in
-    let base = o Category.Set.empty in
-    P.R_icost
-      {
-        baseline = base;
-        rows =
-          List.map
-            (fun set ->
-              {
-                P.set_name = Category.Set.name set;
-                set_cost = Cost.cost o set;
-                set_icost = Cost.icost_ie o set;
-                set_class =
-                  Cost.interaction_name (Cost.classify (Cost.icost_ie o set));
-              })
-            specs;
-      }
+    let o = guard deadline session.est.Snapshot.est_oracle in
+    let base = Cost.query o Category.Set.empty in
+    let rows =
+      List.map
+        (fun set ->
+          {
+            P.set_name = Category.Set.name set;
+            set_cost = Cost.cost o set;
+            set_icost = Cost.icost_ie o set;
+            set_class =
+              Cost.interaction_name (Cost.classify (Cost.icost_ie o set));
+          })
+        specs
+    in
+    maybe_persist t session;
+    P.R_icost { baseline = base; rows }
   | P.Graph_stats { target } ->
     let target = { target with P.engine = "graph" } in
     let prepared, session = session_of t target in
     check_deadline deadline;
-    (match session.graph with
+    (match session.est.Snapshot.est_graph () with
      | Some g ->
        P.R_graph_stats
          {
@@ -306,6 +360,9 @@ let status_body t : P.status_body =
     cache_hits = sum3 (fun (s : Cache.stats) -> s.hits);
     cache_misses = sum3 (fun (s : Cache.stats) -> s.misses);
     cache_evictions = sum3 (fun (s : Cache.stats) -> s.evictions);
+    snapshot_hits = Atomic.get t.snap_hits;
+    snapshot_misses = Atomic.get t.snap_misses;
+    snapshot_rejects = Atomic.get t.snap_rejects;
     pool_jobs = Pool.jobs ();
     health = health_of t;
     draining = Atomic.get t.shutdown_requested;
@@ -546,6 +603,9 @@ let run (opts : opts) : stats =
           ~cooldown:opts.breaker_cooldown ();
       degraded_until = Atomic.make 0.;
       shed_tally = Atomic.make 0;
+      snap_hits = Atomic.make 0;
+      snap_misses = Atomic.make 0;
+      snap_rejects = Atomic.make 0;
       wake_w;
       conns_mutex = Mutex.create ();
       conns = [];

@@ -59,6 +59,9 @@ type opts = {
       (** seconds an open breaker fails fast before a half-open trial *)
   mem_high_mb : int;
       (** heap high-water mark (MiB) that triggers cache shedding *)
+  cache_dir : string option;
+      (** persistent {!Snapshot} store directory; [None] disables disk
+          warm starts (sessions are rebuilt from scratch after restart) *)
   handle_signals : bool;
       (** install SIGINT/SIGTERM handlers that trigger graceful shutdown
           (the CLI wants this; in-process tests do not) *)
@@ -69,7 +72,17 @@ type opts = {
 val default_opts : opts
 (** socket ["icostd.sock"], 4 workers, queue limit 64, cache cap 8,
     breaker threshold 3 / cooldown 5s, memory high-water 4096 MiB,
-    signals handled, no ready hook. *)
+    no cache dir, signals handled, no ready hook. *)
+
+val session_key :
+  Protocol.target ->
+  Icost_uarch.Config.t ->
+  Icost_experiments.Runner.oracle_kind ->
+  string
+(** The session cache / snapshot store key for a target:
+    [workload|warmup|measure|config-digest|engine|seed] (seed normalized
+    to 0 for non-profiler engines).  Exposed so the one-shot CLI can
+    address the same {!Snapshot} store as a running daemon. *)
 
 type stats = { uptime_s : float; requests_total : int }
 (** Returned by {!run} for the exit report and the telemetry manifest. *)

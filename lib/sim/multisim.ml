@@ -27,16 +27,14 @@ module Telemetry = Icost_util.Telemetry
 
 let c_queries = Telemetry.counter "multisim.queries"
 
-(** [oracle cfg trace evts] returns a cost oracle that re-times the trace
-    with the requested idealizations.  Events were classified once (on the
-    un-idealized machine) and are reused across runs, so every measurement
-    sees the same event stream — only latencies and resources change.
-    Each query is one [multisim.eval] telemetry span carrying the
-    idealized set's name (the per-idealization wall-clock axis of a
-    trace). *)
-let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
-    Icost_core.Cost.oracle =
- fun s ->
+(** One what-if measurement: re-time the trace with the requested
+    idealizations.  Events were classified once (on the un-idealized
+    machine) and are reused across runs, so every measurement sees the
+    same event stream — only latencies and resources change.  Each query
+    is one [multisim.eval] telemetry span carrying the idealized set's
+    name (the per-idealization wall-clock axis of a trace). *)
+let point (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array)
+    (s : Category.Set.t) : float =
   let sp = Telemetry.start_span "multisim.eval" in
   Telemetry.incr c_queries;
   let cfg = { cfg with ideal = ideal_of_set s } in
@@ -51,10 +49,16 @@ let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
     independent full re-simulation over the same immutable trace and event
     stream, so the batch runs on the {!Icost_util.Pool} domain pool.
     Results are index-aligned with [sets] and bit-identical to mapping
-    {!oracle} sequentially. *)
+    the point oracle sequentially. *)
 let oracle_batch (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array)
     (sets : Category.Set.t array) : float array =
-  let f = oracle cfg trace evts in
+  let f = point cfg trace evts in
   Telemetry.with_span "multisim.batch"
     ~attrs:[ ("sets", string_of_int (Array.length sets)) ]
     (fun () -> Icost_util.Pool.parallel_map f sets)
+
+let oracle (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) :
+    Icost_core.Cost.oracle =
+  Icost_core.Cost.with_batch
+    ~batch:(oracle_batch cfg trace evts)
+    (point cfg trace evts)

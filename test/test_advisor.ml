@@ -17,11 +17,11 @@ module Static_costs = Icost_depgraph.Static_costs
    (smallest) time of any listed subset of [s] — unlisted categories have no
    effect of their own. *)
 let oracle_of_table rows : Cost.oracle =
- fun s ->
-  List.fold_left
-    (fun acc (v, t) -> if Category.Set.subset v s then min acc t else acc)
-    (List.assoc Category.Set.empty rows)
-    rows
+  Cost.of_fn (fun s ->
+      List.fold_left
+        (fun acc (v, t) -> if Category.Set.subset v s then min acc t else acc)
+        (List.assoc Category.Set.empty rows)
+        rows)
 
 let test_advisor_bottleneck_and_shrink () =
   let dmiss = Category.Set.singleton Category.Dmiss in

@@ -13,13 +13,13 @@ let random_oracle seed : Cost.oracle =
   let base = 10_000 + Icost_util.Prng.int prng 10_000 in
   let tbl = Hashtbl.create 256 in
   Hashtbl.replace tbl Category.Set.empty (float_of_int base);
-  fun s ->
-    match Hashtbl.find_opt tbl s with
-    | Some v -> v
-    | None ->
-      let v = float_of_int (Icost_util.Prng.int prng base) in
-      Hashtbl.replace tbl s v;
-      v
+  Cost.of_fn (fun s ->
+      match Hashtbl.find_opt tbl s with
+      | Some v -> v
+      | None ->
+        let v = float_of_int (Icost_util.Prng.int prng base) in
+        Hashtbl.replace tbl s v;
+        v)
 
 let gen_set = QCheck.map (fun n -> n land Category.Set.full) QCheck.small_int
 
@@ -78,25 +78,27 @@ let test_classify () =
 
 let test_memoize_counts () =
   let calls = ref 0 in
-  let oracle s =
-    incr calls;
-    float_of_int (1000 - Category.Set.cardinal s)
+  let oracle =
+    Cost.of_fn (fun s ->
+        incr calls;
+        float_of_int (1000 - Category.Set.cardinal s))
   in
   let m = Cost.memoize oracle in
   let s = Category.Set.pair Category.Dl1 Category.Win in
-  ignore (m s);
-  ignore (m s);
-  ignore (m s);
+  ignore (Cost.query m s);
+  ignore (Cost.query m s);
+  ignore (Cost.query m s);
   Alcotest.(check int) "underlying called once" 1 !calls
 
 let test_cost_example () =
   (* the paper's worked example: two fully parallel cache misses.
      t_base = 100; idealizing either alone doesn't help; both together
      saves 90. cost(a)=cost(b)=0, icost(a,b)=+90: parallel interaction. *)
-  let oracle s =
-    let a = Category.Set.mem Category.Dmiss s in
-    let b = Category.Set.mem Category.Dl1 s in
-    if a && b then 10. else 100.
+  let oracle =
+    Cost.of_fn (fun s ->
+        let a = Category.Set.mem Category.Dmiss s in
+        let b = Category.Set.mem Category.Dl1 s in
+        if a && b then 10. else 100.)
   in
   let oracle = Cost.memoize oracle in
   Alcotest.(check (float 1e-9)) "cost(a)=0" 0.
@@ -111,10 +113,11 @@ let test_serial_example () =
   (* two dependent 100-cycle misses in parallel with 100 cycles of ALU:
      idealizing either miss alone saves 100; both also saves 100.
      icost = 100 - 100 - 100 = -100: serial interaction. *)
-  let oracle s =
-    let a = Category.Set.mem Category.Dmiss s in
-    let b = Category.Set.mem Category.Dl1 s in
-    if a || b then 100. else 200.
+  let oracle =
+    Cost.of_fn (fun s ->
+        let a = Category.Set.mem Category.Dmiss s in
+        let b = Category.Set.mem Category.Dl1 s in
+        if a || b then 100. else 200.)
   in
   let oracle = Cost.memoize oracle in
   let ic = Cost.icost_pair oracle Category.Dmiss Category.Dl1 in

@@ -107,7 +107,7 @@ let prop_profiler_never_crashes =
       s.fragments_built + s.fragments_aborted = s.num_signatures
       &&
       let oracle = Icost_profiler.Profile.oracle prof in
-      oracle Category.Set.empty >= 0.)
+      Cost.query oracle Category.Set.empty >= 0.)
 
 let prop_slice_consistency =
   QCheck.Test.make ~name:"fuzz: sliced trace dependences stay in range" ~count:15

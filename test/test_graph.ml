@@ -194,6 +194,38 @@ let test_dot_output () =
     (String.split_on_char '\n' dot
      |> List.exists (fun l -> String.length l > 4 && String.sub l 2 1 = "n"))
 
+let all_subsets = Array.of_list (Category.Set.subsets Category.Set.full)
+
+let test_sliced_matches_scalar () =
+  let _, _, _, g = graph_of ~cfg:Config.loop_dl1 "gcc" in
+  let reference = Graph.eval_subsets_scalar g all_subsets in
+  Alcotest.(check bool) "default lanes bit-identical (256 sets, >1 chunk)"
+    true
+    (Graph.eval_subsets g all_subsets = reference);
+  List.iter
+    (fun lanes ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lanes=%d bit-identical" lanes)
+        true
+        (Graph.eval_slices ~lanes g all_subsets = reference))
+    [ 1; 2; 3; 5; 17; 63; 64; 1000 ];
+  Alcotest.(check bool) "empty set array" true
+    (Graph.eval_subsets g [||] = [||])
+
+let test_sliced_unpacked_fallback () =
+  (* a 500k-cycle L1 latency pushes the compiled graph's latency bound
+     far past the 20-bit packed-lane capacity, forcing the unpacked
+     evaluation path; it must stay bit-identical to the scalar one *)
+  let cfg = { Config.default with Config.dl1_lat = 500_000 } in
+  let _, _, _, g = graph_of ~max_instrs:800 ~cfg "gcc" in
+  let reference = Graph.eval_subsets_scalar g all_subsets in
+  Alcotest.(check bool) "huge-latency graph exceeds packed range" true
+    (Graph.critical_length g > 1 lsl 20);
+  Alcotest.(check bool) "unpacked fallback bit-identical" true
+    (Graph.eval_subsets g all_subsets = reference);
+  Alcotest.(check bool) "unpacked fallback, lanes=5" true
+    (Graph.eval_slices ~lanes:5 g all_subsets = reference)
+
 let prop_eval_deterministic =
   QCheck.Test.make ~name:"evaluation is deterministic" ~count:5
     (QCheck.make (QCheck.Gen.oneofl [ "gap"; "eon" ]))
@@ -218,5 +250,8 @@ let suite =
       Alcotest.test_case "cost of all edges" `Quick test_cost_of_edges_total;
       Alcotest.test_case "Table 2 ablations" `Quick test_table2_ablations;
       Alcotest.test_case "DOT output" `Quick test_dot_output;
+      Alcotest.test_case "sliced eval = scalar" `Quick test_sliced_matches_scalar;
+      Alcotest.test_case "sliced eval unpacked fallback" `Quick
+        test_sliced_unpacked_fallback;
       QCheck_alcotest.to_alcotest prop_eval_deterministic;
     ] )

@@ -31,8 +31,8 @@ let prepared name =
 let test_oracles_agree_on_baseline () =
   let p = prepared "gcc" in
   let cfg = Config.loop_dl1 in
-  let g = Runner.graph_oracle cfg p Category.Set.empty in
-  let m = Runner.multisim_oracle cfg p Category.Set.empty in
+  let g = Cost.query (Runner.graph_oracle cfg p) Category.Set.empty in
+  let m = Cost.query (Runner.multisim_oracle cfg p) Category.Set.empty in
   let err = Float.abs (g -. m) /. m in
   Alcotest.(check bool)
     (Printf.sprintf "graph vs multisim baseline err %.2f%%" (100. *. err))
@@ -43,7 +43,7 @@ let test_graph_vs_multisim_costs () =
   let cfg = Config.loop_dl1 in
   let go = Runner.graph_oracle cfg p in
   let mo = Runner.multisim_oracle cfg p in
-  let base = mo Category.Set.empty in
+  let base = Cost.query mo Category.Set.empty in
   List.iter
     (fun c ->
       let s = Category.Set.singleton c in

@@ -26,5 +26,6 @@ let () =
       Test_check.suite;
       Test_integration.suite;
       Test_parallel.suite;
+      Test_snapshot.suite;
       Test_service.suite;
     ]

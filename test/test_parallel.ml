@@ -40,7 +40,7 @@ let test_multisim_batch_bit_identical () =
   in
   let seq =
     let oracle = Multisim.oracle cfg p.trace p.evts in
-    Array.map oracle sets
+    Array.map (Icost_core.Cost.query oracle) sets
   in
   let par = with_jobs 4 (fun () -> Multisim.oracle_batch cfg p.trace p.evts sets) in
   Alcotest.(check bool) "parallel multisim batch = sequential" true (seq = par)
@@ -54,7 +54,12 @@ let test_eval_subsets_bit_identical () =
   let par = with_jobs 4 (fun () -> Graph.eval_subsets graph sets) in
   Alcotest.(check bool)
     "parallel subset sweep = sequential critical lengths (all 256)" true
-    (seq = par)
+    (seq = par);
+  (* an odd lane count splits the work unevenly across domains; the
+     slicing must still be invariant to the job count *)
+  let one = with_jobs 1 (fun () -> Graph.eval_slices ~lanes:7 graph sets) in
+  let four = with_jobs 4 (fun () -> Graph.eval_slices ~lanes:7 graph sets) in
+  Alcotest.(check bool) "lanes=7 invariant under jobs" true (one = four)
 
 let test_drive_report_deterministic () =
   let report jobs =

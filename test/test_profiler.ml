@@ -174,12 +174,12 @@ let test_profile_end_to_end () =
   Alcotest.(check bool) "fragments built" true (prof.stats.fragments_built > 3);
   Alcotest.(check bool) "match rate high" true (prof.stats.match_rate > 0.9);
   let oracle = Profile.oracle prof in
-  let base = oracle Category.Set.empty in
+  let base = Icost_core.Cost.query oracle Category.Set.empty in
   Alcotest.(check bool) "non-trivial baseline" true (base > 1000.);
   (* idealization monotone on the profiler oracle too *)
   List.iter
     (fun c ->
-      let v = oracle (Category.Set.singleton c) in
+      let v = Icost_core.Cost.query oracle (Category.Set.singleton c) in
       if v > base then Alcotest.failf "profiler oracle grew under %s" (Category.name c))
     Category.all
 
@@ -226,7 +226,8 @@ let test_profiler_tracks_graph () =
   let go = Icost_core.Cost.memoize (Icost_depgraph.Build.oracle graph) in
   (* compare cost *shares* for the biggest categories *)
   let share oracle c =
-    Icost_core.Cost.cost oracle (Category.Set.singleton c) /. oracle Category.Set.empty
+    Icost_core.Cost.cost oracle (Category.Set.singleton c)
+    /. Icost_core.Cost.query oracle Category.Set.empty
   in
   List.iter
     (fun c ->

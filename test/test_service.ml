@@ -130,6 +130,9 @@ let test_reply_roundtrip () =
              cache_hits = 10;
              cache_misses = 5;
              cache_evictions = 1;
+             snapshot_hits = 2;
+             snapshot_misses = 1;
+             snapshot_rejects = 1;
              pool_jobs = 8;
              health = "degraded";
              draining = false;
@@ -443,23 +446,25 @@ let test_memoize_cap () =
   Telemetry.reset ();
   Telemetry.enable ();
   let calls = ref 0 in
-  let oracle s =
-    incr calls;
-    float_of_int (10 * Category.Set.cardinal s) +. 1.
+  let oracle =
+    Cost.of_fn (fun s ->
+        incr calls;
+        float_of_int (10 * Category.Set.cardinal s) +. 1.)
   in
   let m = Cost.memoize ~cap:2 oracle in
+  let q s = Cost.query m s in
   let s_empty = Category.Set.empty in
   let s_dl1 = Category.Set.singleton Category.Dl1 in
   let s_win = Category.Set.singleton Category.Win in
-  check_feq "miss empty" 1. (m s_empty);
-  check_feq "miss dl1" 11. (m s_dl1);
+  check_feq "miss empty" 1. (q s_empty);
+  check_feq "miss dl1" 11. (q s_dl1);
   Alcotest.(check int) "two underlying calls" 2 !calls;
-  check_feq "hit empty" 1. (m s_empty) (* refresh: dl1 becomes the LRU *);
+  check_feq "hit empty" 1. (q s_empty) (* refresh: dl1 becomes the LRU *);
   Alcotest.(check int) "hit is free" 2 !calls;
-  check_feq "miss win evicts dl1" 11. (m s_win);
-  check_feq "evicted dl1 recomputes (evicts empty)" 11. (m s_dl1);
+  check_feq "miss win evicts dl1" 11. (q s_win);
+  check_feq "evicted dl1 recomputes (evicts empty)" 11. (q s_dl1);
   Alcotest.(check int) "two recomputations" 4 !calls;
-  check_feq "win still cached" 11. (m s_win);
+  check_feq "win still cached" 11. (q s_win);
   Alcotest.(check int) "still four" 4 !calls;
   match List.assoc_opt "cost.memo_evictions" (Telemetry.counters ()) with
   | Some n -> Alcotest.(check bool) "evictions counted" true (n >= 2)
@@ -711,7 +716,7 @@ let test_serve_end_to_end () =
       let expected_icost =
         P.R_icost
           {
-            baseline = mo Category.Set.empty;
+            baseline = Cost.query mo Category.Set.empty;
             rows =
               List.map
                 (fun spec ->
@@ -754,7 +759,7 @@ let test_serve_end_to_end () =
       (match p1.P.body with
        | Ok (P.R_icost { baseline = pbase; _ }) ->
          check_feq "profiler baseline bit-identical to direct oracle"
-           (po Category.Set.empty) pbase
+           (Cost.query po Category.Set.empty) pbase
        | _ -> Alcotest.fail "profiler reply malformed");
 
       (* an already-expired deadline is refused with the typed error *)
@@ -1058,6 +1063,51 @@ let test_serve_degradation () =
    | _ -> Alcotest.fail "status reply malformed");
   shutdown_server s srv
 
+(* Restarting a daemon on the same --cache-dir warm-starts its sessions
+   from the snapshot store: the reborn server answers bit-identically and
+   its status reports a snapshot hit instead of a fresh build. *)
+let test_serve_snapshot_warm_restart () =
+  sigpipe_off ();
+  let socket = tmp_socket "warm" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "icost-test-snapdir-%d" (Unix.getpid ()))
+  in
+  let opts =
+    { Server.default_opts with socket; workers = 2;
+      cache_dir = Some cache_dir; handle_signals = false }
+  in
+  let op = P.Breakdown { target = small_target; focus = "dl1" } in
+  let life () =
+    let srv = start_server opts in
+    let result =
+      Client.with_client ~retry_for:10.0 ~socket (fun c ->
+          let r = Client.call c (req op) in
+          let s =
+            match (Client.call c (req ~id:2 P.Status)).P.body with
+            | Ok (P.R_status s) -> s
+            | _ -> Alcotest.fail "status reply malformed"
+          in
+          (match (Client.call c (req ~id:3 P.Shutdown)).P.body with
+           | Ok P.R_shutdown -> ()
+           | _ -> Alcotest.fail "shutdown not acknowledged");
+          (r, s))
+    in
+    ignore (finish_server srv);
+    result
+  in
+  let first, s1 = life () in
+  Alcotest.(check int) "first life builds cold" 0 s1.P.snapshot_hits;
+  Alcotest.(check bool) "first life misses the store" true
+    (s1.P.snapshot_misses > 0);
+  let second, s2 = life () in
+  Alcotest.(check string) "rebirth answers bit-identically" (norm first)
+    (norm second);
+  Alcotest.(check int) "rebirth warm-starts from the snapshot" 1
+    s2.P.snapshot_hits;
+  Alcotest.(check int) "no snapshot rejects" 0 s2.P.snapshot_rejects
+
 (* Chaos: several fault points armed at once under a deterministic seed.
    Every query must still come back correct through the retry layer. *)
 let test_serve_chaos () =
@@ -1149,4 +1199,6 @@ let suite =
         test_serve_degradation;
       Alcotest.test_case "serve: chaos run stays correct" `Slow
         test_serve_chaos;
+      Alcotest.test_case "serve: snapshot warm restart" `Slow
+        test_serve_snapshot_warm_restart;
     ] )

@@ -204,7 +204,7 @@ let test_mispredict_redirect () =
 let test_multisim_oracle_baseline () =
   let trace, evts = prepare ~max_instrs:2000 "crafty" in
   let oracle = Multisim.oracle Config.default trace evts in
-  let base = oracle Category.Set.empty in
+  let base = Icost_core.Cost.query oracle Category.Set.empty in
   Alcotest.(check bool) "baseline equals direct run" true
     (int_of_float base = Ooo.cycles Config.default trace evts)
 

@@ -147,7 +147,7 @@ let test_istress_imiss_cost () =
   let g = Icost_depgraph.Build.of_sim cfg trace evts result in
   let oracle = Icost_core.Cost.memoize (Icost_depgraph.Build.oracle g) in
   let module Cat = Icost_core.Category in
-  let base = oracle Cat.Set.empty in
+  let base = Icost_core.Cost.query oracle Cat.Set.empty in
   let imiss_cost =
     100. *. Icost_core.Cost.cost oracle (Cat.Set.singleton Cat.Imiss) /. base
   in
