@@ -1,19 +1,27 @@
 #!/bin/sh
-# Engine performance gate: re-measure the micro-benchmarks and the service
-# benchmarks (daemon warm queries + snapshot cold starts) and fail (exit 1)
-# if any row regressed more than 25% against its committed baseline —
-# BENCH_engines.json for micro, BENCH_service.json for service — or if a
-# baseline row was not measured at all.  On failure the harness prints a
-# per-engine delta table of the offending benchmarks before exiting nonzero.
+# Engine performance gate: re-measure the micro-benchmarks, the service
+# benchmarks (daemon warm queries + snapshot cold starts) and the closed-loop
+# load benchmark (1-shard sequential vs 2-shard pipelined batches) and fail
+# (exit 1) if any row regressed more than 25% against its committed baseline —
+# BENCH_engines.json for micro, BENCH_service.json for service,
+# BENCH_load.json for load — or if a baseline row was not measured at all.
+# The gate is direction-aware: "-qps" rows regress by dropping, latency rows
+# by rising.  On failure the harness prints a per-row delta table of the
+# offending benchmarks before exiting nonzero.
 #
 # Timing is pinned to one domain by default (ICOST_JOBS=1) so the gate
 # measures engine speed, not scheduler luck on a shared runner; export
-# ICOST_JOBS yourself to override.  Set BENCH_JSON / BENCH_SERVICE_JSON to
-# also dump the fresh measurements (e.g. for a CI artifact upload).
+# ICOST_JOBS yourself to override.  Set BENCH_JSON / BENCH_SERVICE_JSON /
+# BENCH_LOAD_JSON to also dump the fresh measurements (e.g. for a CI
+# artifact upload).  The load phase additionally enforces its own absolute
+# gate (2-shard batched >= 2x 1-shard qps at equal-or-better p99 with
+# bit-identical replies); export ICOST_LOAD_GATE=0 to keep only the
+# relative-to-baseline check on noisy runners.
 #
 # Refresh the baselines after an intentional change with:
 #   dune exec bench/main.exe -- micro --json BENCH_engines.json
 #   dune exec bench/main.exe -- service --json BENCH_service.json
+#   dune exec bench/main.exe -- load --json BENCH_load.json
 set -e
 cd "$(dirname "$0")/.."
 ICOST_JOBS="${ICOST_JOBS:-1}"
@@ -27,4 +35,9 @@ if [ -n "${BENCH_SERVICE_JSON:-}" ]; then
   dune exec bench/main.exe -- service --baseline BENCH_service.json --json "$BENCH_SERVICE_JSON"
 else
   dune exec bench/main.exe -- service --baseline BENCH_service.json
+fi
+if [ -n "${BENCH_LOAD_JSON:-}" ]; then
+  dune exec bench/main.exe -- load --baseline BENCH_load.json --json "$BENCH_LOAD_JSON"
+else
+  dune exec bench/main.exe -- load --baseline BENCH_load.json
 fi

@@ -30,6 +30,8 @@ module Texport = Icost_report.Telemetry_export
 module Pool = Icost_util.Pool
 module Protocol = Icost_service.Protocol
 module Server = Icost_service.Server
+module Router = Icost_service.Router
+module Endpoint = Icost_service.Endpoint
 module Snapshot = Icost_service.Snapshot
 module Client = Icost_service.Client
 module Harness = Icost_check.Harness
@@ -414,10 +416,30 @@ let socket_arg =
   let doc = "Unix domain socket path the daemon listens on / is queried at." in
   Arg.(value & opt string "icostd.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let parse_tcp_exn spec =
+  match Endpoint.parse_tcp spec with
+  | Ok hp -> hp
+  | Error msg -> failwith msg
+
 let serve_cmd =
   let workers_arg =
     let doc = "Concurrent analysis requests (scheduler worker threads)." in
     Arg.(value & opt int Server.default_opts.workers & info [ "workers" ] ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Also listen on a TCP endpoint, e.g. 127.0.0.1:7433 (port 0 binds an \
+       ephemeral port, printed on stderr).  The Unix socket stays on."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Fan the service across N worker processes (a shard router): sessions \
+       are hashed to shards, each with its own caches, scheduler, breaker \
+       and snapshot subdirectory.  1 (default) serves in-process."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
   in
   let queue_arg =
     let doc =
@@ -439,49 +461,77 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
   in
-  let run socket workers queue_limit cache_cap cache_dir faults telem =
+  let run socket tcp_spec shards workers queue_limit cache_cap cache_dir
+      faults telem =
     (match faults with
      | Some spec -> Icost_util.Fault.configure_exn spec
      | None ->
        (match Icost_util.Fault.from_env () with
         | Ok () -> ()
         | Error msg -> failwith ("ICOST_FAULTS: " ^ msg)));
+    let tcp = Option.map parse_tcp_exn tcp_spec in
+    if shards < 1 then failwith "--shards must be >= 1";
     let stats = ref None in
-    with_telemetry telem ~cfg:Config.default ~benches:[]
-      ~service_stats:(fun () ->
-        Option.map
-          (fun (s : Server.stats) -> (s.uptime_s, s.requests_total))
-          !stats)
-    @@ fun () ->
-    let s =
-      Server.run
-        {
-          Server.socket;
-          workers;
-          queue_limit;
-          cache_cap;
-          breaker_threshold = Server.default_opts.breaker_threshold;
-          breaker_cooldown = Server.default_opts.breaker_cooldown;
-          mem_high_mb = Server.default_opts.mem_high_mb;
-          cache_dir;
-          handle_signals = true;
-          on_ready =
-            Some
-              (fun () ->
-                Printf.eprintf "icostd %s listening on %s (%d workers)\n%!"
-                  version socket workers);
-        }
+    let on_ready () =
+      Printf.eprintf "icostd %s listening on %s (%d worker(s)%s)\n%!" version
+        socket workers
+        (if shards > 1 then Printf.sprintf " x %d shards" shards else "")
     in
-    stats := Some s;
-    Printf.eprintf "icostd served %d request(s) over %.1f s\n%!"
-      s.requests_total s.uptime_s
+    let on_tcp_port p = Printf.eprintf "icostd tcp port %d\n%!" p in
+    with_telemetry telem ~cfg:Config.default ~benches:[]
+      ~service_stats:(fun () -> !stats)
+    @@ fun () ->
+    let uptime_s, requests_total =
+      if shards <= 1 then begin
+        let s =
+          Server.run
+            {
+              Server.socket;
+              tcp;
+              workers;
+              queue_limit;
+              cache_cap;
+              breaker_threshold = Server.default_opts.breaker_threshold;
+              breaker_cooldown = Server.default_opts.breaker_cooldown;
+              mem_high_mb = Server.default_opts.mem_high_mb;
+              cache_dir;
+              handle_signals = true;
+              on_ready = Some on_ready;
+              on_tcp_port = Some on_tcp_port;
+            }
+        in
+        stats := Some (s.uptime_s, s.requests_total);
+        (s.uptime_s, s.requests_total)
+      end
+      else begin
+        let s =
+          Router.run
+            {
+              Router.socket;
+              tcp;
+              shards;
+              shard =
+                { Server.default_opts with workers; queue_limit; cache_cap;
+                  cache_dir };
+              handle_signals = true;
+              on_ready = Some on_ready;
+              on_tcp_port = Some on_tcp_port;
+            }
+        in
+        stats := Some (s.uptime_s, s.requests_total);
+        (s.uptime_s, s.requests_total)
+      end
+    in
+    Printf.eprintf "icostd served %d request(s) over %.1f s\n%!" requests_total
+      uptime_s
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Resident analysis daemon: answers icost.rpc.v1 queries over a \
-             Unix socket, caching prepared workloads across requests")
-    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-          $ cache_dir_arg $ faults_arg $ common_term)
+             Unix socket (and optionally TCP), caching prepared workloads \
+             across requests; --shards fans it across worker processes")
+    Term.(const run $ socket_arg $ tcp_arg $ shards_arg $ workers_arg
+          $ queue_arg $ cache_arg $ cache_dir_arg $ faults_arg $ common_term)
 
 (* --- query --- *)
 
@@ -517,6 +567,20 @@ let query_cmd =
     let doc = "Seconds to keep retrying the initial connection." in
     Arg.(value & opt float 5. & info [ "wait" ] ~doc)
   in
+  let tcp_arg =
+    let doc =
+      "Query over TCP (HOST:PORT) instead of the Unix socket."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Send the operation N times in one batch frame (one request line, one \
+       reply line, per-item results).  Exercises the wire batch path; \
+       status/health/shutdown refuse batching > 1."
+    in
+    Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+  in
   let retries_arg =
     let doc =
       "Max automatic re-sends on transient failures (overloaded, \
@@ -531,8 +595,8 @@ let query_cmd =
     Arg.(value & opt int Client.default_retry_opts.budget_ms
          & info [ "retry-budget-ms" ] ~doc)
   in
-  let run socket op bench variant engine sets focus warmup measure seed
-      deadline_ms wait retries budget_ms telem =
+  let run socket tcp_spec op bench variant engine sets focus warmup measure
+      seed deadline_ms wait batch retries budget_ms telem =
     Option.iter Icost_util.Pool.set_jobs telem.jobs;
     let target =
       {
@@ -554,62 +618,101 @@ let query_cmd =
       | "shutdown" -> Protocol.Shutdown
       | other -> failwith (Printf.sprintf "unknown op %S" other)
     in
+    if batch < 1 then failwith "--batch must be >= 1";
+    let op =
+      if batch = 1 then op
+      else
+        match op with
+        | Protocol.Shutdown | Protocol.Batch _ ->
+          failwith "this op cannot be batched"
+        | _ -> Protocol.Batch { ops = List.init batch (fun _ -> op) }
+    in
+    let addr =
+      match tcp_spec with
+      | Some spec ->
+        let host, port = parse_tcp_exn spec in
+        Endpoint.Tcp (host, port)
+      | None -> Endpoint.Unix_path socket
+    in
     let reply =
       let opts = { Client.default_retry_opts with retries; budget_ms } in
-      let s = Client.connect_session ~opts ~retry_for:wait ~socket () in
+      let s = Client.connect_session_addr ~opts ~retry_for:wait addr in
       Fun.protect
         ~finally:(fun () -> Client.close_session s)
         (fun () ->
           Client.call_with_retry s { Protocol.req_id = 1; deadline_ms; op })
     in
+    let rec print_body = function
+      | Protocol.R_breakdown { baseline; rows } ->
+        Printf.printf "%s on %s machine (%s oracle), %.0f cycles baseline:\n"
+          bench variant engine baseline;
+        List.iter
+          (fun (r : Protocol.breakdown_row) ->
+            Printf.printf "  %-12s %7.1f%%\n" r.row_label r.row_percent)
+          rows;
+        Printf.printf "  %-12s %7.1f%%\n" "Total"
+          (List.fold_left (fun acc (r : Protocol.breakdown_row) ->
+               acc +. r.row_percent) 0. rows)
+      | Protocol.R_icost { baseline; rows } ->
+        Printf.printf "%s: baseline %.0f cycles\n" bench baseline;
+        List.iter
+          (fun (r : Protocol.icost_row) ->
+            Printf.printf
+              "  %-24s cost %8.0f cycles (%5.1f%%)  icost %+8.0f (%s)\n"
+              r.set_name r.set_cost
+              (100. *. r.set_cost /. baseline)
+              r.set_icost r.set_class)
+          rows
+      | Protocol.R_graph_stats { instrs; nodes; edges; critical_path } ->
+        Printf.printf "%s: %d instructions, %d nodes, %d edges, CP %d cycles\n"
+          bench instrs nodes edges critical_path
+      | Protocol.R_status s ->
+        Printf.printf
+          "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
+           cache: %d hit(s), %d miss(es), %d eviction(s); snapshot: %d \
+           hit(s), %d miss(es), %d reject(s); %d pool job(s); %shealth %s%s\n"
+          s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
+          s.cache_hits s.cache_misses s.cache_evictions s.snapshot_hits
+          s.snapshot_misses s.snapshot_rejects s.pool_jobs
+          (if s.shards > 0 then Printf.sprintf "%d shard(s); " s.shards
+           else "")
+          s.health
+          (if s.draining then "; draining" else "")
+      | Protocol.R_health h ->
+        Printf.printf "health %s; %d breaker(s) open; %d entr(ies) shed\n"
+          h.h_health h.h_breakers_open h.h_shed
+      | Protocol.R_shutdown -> Printf.printf "server is shutting down\n"
+      | Protocol.R_batch { results } ->
+        let n = List.length results in
+        let failed = ref 0 in
+        List.iteri
+          (fun i item ->
+            Printf.printf "[%d/%d] " (i + 1) n;
+            match item with
+            | Ok body -> print_body body
+            | Error (code, msg) ->
+              incr failed;
+              Printf.printf "error (%s): %s\n"
+                (Protocol.error_code_name code) msg)
+          results;
+        if !failed > 0 then begin
+          Printf.eprintf "%d of %d batch item(s) failed\n" !failed n;
+          exit 3
+        end
+    in
     match reply.Protocol.body with
     | Error (code, msg) ->
       Printf.eprintf "error (%s): %s\n" (Protocol.error_code_name code) msg;
       exit 3
-    | Ok (Protocol.R_breakdown { baseline; rows }) ->
-      Printf.printf "%s on %s machine (%s oracle), %.0f cycles baseline:\n"
-        bench variant engine baseline;
-      List.iter
-        (fun (r : Protocol.breakdown_row) ->
-          Printf.printf "  %-12s %7.1f%%\n" r.row_label r.row_percent)
-        rows;
-      Printf.printf "  %-12s %7.1f%%\n" "Total"
-        (List.fold_left (fun acc (r : Protocol.breakdown_row) ->
-             acc +. r.row_percent) 0. rows)
-    | Ok (Protocol.R_icost { baseline; rows }) ->
-      Printf.printf "%s: baseline %.0f cycles\n" bench baseline;
-      List.iter
-        (fun (r : Protocol.icost_row) ->
-          Printf.printf
-            "  %-24s cost %8.0f cycles (%5.1f%%)  icost %+8.0f (%s)\n"
-            r.set_name r.set_cost
-            (100. *. r.set_cost /. baseline)
-            r.set_icost r.set_class)
-        rows
-    | Ok (Protocol.R_graph_stats { instrs; nodes; edges; critical_path }) ->
-      Printf.printf "%s: %d instructions, %d nodes, %d edges, CP %d cycles\n"
-        bench instrs nodes edges critical_path
-    | Ok (Protocol.R_status s) ->
-      Printf.printf
-        "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
-         cache: %d hit(s), %d miss(es), %d eviction(s); snapshot: %d \
-         hit(s), %d miss(es), %d reject(s); %d pool job(s); health %s%s\n"
-        s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
-        s.cache_hits s.cache_misses s.cache_evictions s.snapshot_hits
-        s.snapshot_misses s.snapshot_rejects s.pool_jobs s.health
-        (if s.draining then "; draining" else "")
-    | Ok (Protocol.R_health h) ->
-      Printf.printf "health %s; %d breaker(s) open; %d entr(ies) shed\n"
-        h.h_health h.h_breakers_open h.h_shed
-    | Ok Protocol.R_shutdown -> Printf.printf "server is shutting down\n"
+    | Ok body -> print_body body
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Send one icost.rpc.v1 request to a running 'icost serve' daemon")
-    Term.(const run $ socket_arg $ op_arg $ bench_arg $ variant_str_arg
-          $ engine_arg $ sets_arg $ focus_arg $ warmup_arg $ measure_arg
-          $ seed_arg $ deadline_arg $ wait_arg $ retries_arg $ budget_arg
-          $ common_term)
+    Term.(const run $ socket_arg $ tcp_arg $ op_arg $ bench_arg
+          $ variant_str_arg $ engine_arg $ sets_arg $ focus_arg $ warmup_arg
+          $ measure_arg $ seed_arg $ deadline_arg $ wait_arg $ batch_arg
+          $ retries_arg $ budget_arg $ common_term)
 
 (* --- check: cross-engine conformance --- *)
 

@@ -5,7 +5,11 @@ module Telemetry = Icost_util.Telemetry
 module Prng = Icost_util.Prng
 module P = Protocol
 
-type t = { fd : Unix.file_descr; pending : Buffer.t }
+type t = {
+  fd : Unix.file_descr;
+  buf : Linebuf.t;
+  scratch : bytes;  (* per-connection read chunk, reused across calls *)
+}
 
 exception Disconnected of string
 
@@ -22,25 +26,27 @@ let retries_total () = Atomic.get retries_tally
 
 (* ---------- bare connection ---------- *)
 
-let connect_error socket err =
+let connect_error addr err =
   let hint =
-    match err with
-    | Unix.ENOENT ->
+    match (addr, err) with
+    | Endpoint.Unix_path _, Unix.ENOENT ->
       "socket file does not exist (daemon not started, or already exited)"
-    | Unix.ECONNREFUSED ->
+    | Endpoint.Unix_path _, Unix.ECONNREFUSED ->
       "connection refused (stale socket file with no listener behind it)"
-    | e -> Unix.error_message e
+    | Endpoint.Tcp _, Unix.ECONNREFUSED ->
+      "connection refused (no daemon listening at this endpoint)"
+    | _, e -> Unix.error_message e
   in
-  Failure (Printf.sprintf "cannot connect to %s: %s" socket hint)
+  Failure
+    (Printf.sprintf "cannot connect to %s: %s" (Endpoint.addr_to_string addr)
+       hint)
 
-let connect ?(retry_for = 0.) ~socket () =
+let connect_addr ?(retry_for = 0.) addr =
   let deadline = Unix.gettimeofday () +. retry_for in
   let rec attempt backoff =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | () -> { fd; pending = Buffer.create 256 }
+    match Endpoint.connect_fd addr with
+    | fd -> { fd; buf = Linebuf.create (); scratch = Bytes.create 65536 }
     | exception Unix.Unix_error (err, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
       let now = Unix.gettimeofday () in
       if now < deadline then begin
         (* capped exponential backoff, clamped to the remaining window,
@@ -48,40 +54,36 @@ let connect ?(retry_for = 0.) ~socket () =
         ignore (Unix.select [] [] [] (Float.min backoff (deadline -. now)));
         attempt (Float.min (backoff *. 2.) 0.25)
       end
-      else raise (connect_error socket err)
+      else raise (connect_error addr err)
   in
   attempt 0.01
+
+let connect ?retry_for ~socket () =
+  connect_addr ?retry_for (Endpoint.Unix_path socket)
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
 let read_line c =
-  let chunk = Bytes.create 4096 in
-  let take_line () =
-    let s = Buffer.contents c.pending in
-    match String.index_opt s '\n' with
-    | Some i ->
-      Buffer.clear c.pending;
-      Buffer.add_string c.pending (String.sub s (i + 1) (String.length s - i - 1));
-      Some (String.sub s 0 i)
-    | None -> None
-  in
-  let rec loop () =
-    match take_line () with
-    | Some line -> line
-    | None ->
-      (match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-       | 0 -> raise (Disconnected "connection closed by server")
-       | n ->
-         Buffer.add_subbytes c.pending chunk 0 n;
-         loop ()
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _)
-         -> raise (Disconnected (Unix.error_message e)))
-  in
-  loop ()
+  match Linebuf.pop c.buf with
+  | Some line -> line
+  | None ->
+    let chunk = c.scratch in
+    let rec fill () =
+      match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> raise (Disconnected "connection closed by server")
+      | n -> (
+        Linebuf.feed c.buf chunk ~len:n;
+        match Linebuf.pop c.buf with
+        | Some line -> line
+        | None -> fill ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _)
+        -> raise (Disconnected (Unix.error_message e))
+    in
+    fill ()
 
-let call c (req : P.request) : P.reply =
-  let line = P.encode_request req ^ "\n" in
+let send_line c (line : string) =
+  let line = line ^ "\n" in
   let rec write_all off =
     if off < String.length line then
       match Unix.write_substring c.fd line off (String.length line - off) with
@@ -90,13 +92,33 @@ let call c (req : P.request) : P.reply =
       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE) as e, _, _)
         -> raise (Disconnected (Unix.error_message e))
   in
-  write_all 0;
+  write_all 0
+
+let recv_line = read_line
+let send c (req : P.request) = send_line c (P.encode_request req)
+
+let recv c : P.reply =
   match P.decode_reply (read_line c) with
   | Ok reply -> reply
   | Error msg -> failwith ("undecodable reply: " ^ msg)
 
+let call c (req : P.request) : P.reply =
+  send c req;
+  recv c
+
+(* Write the whole window before reading anything: the server's
+   sequence-ordered writer guarantees replies come back in request
+   order, so reading N replies positionally is correct. *)
+let pipeline c (reqs : P.request list) : P.reply list =
+  List.iter (send c) reqs;
+  List.map (fun _ -> recv c) reqs
+
 let with_client ?retry_for ~socket f =
   let c = connect ?retry_for ~socket () in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+
+let with_addr ?retry_for addr f =
+  let c = connect_addr ?retry_for addr in
   Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
 
 (* ---------- resilient session layer ---------- *)
@@ -112,22 +134,25 @@ let default_retry_opts =
   { retries = 2; budget_ms = 5000; base_backoff_ms = 25.; max_backoff_ms = 1000. }
 
 type session = {
-  socket : string;
+  addr : Endpoint.addr;
   opts : retry_opts;
   prng : Prng.t;  (* jitter source; seeded per session *)
   mutable conn : t option;
   mutable retried : int;
 }
 
-let connect_session ?(opts = default_retry_opts) ?retry_for ~socket () =
-  let conn = connect ?retry_for ~socket () in
+let connect_session_addr ?(opts = default_retry_opts) ?retry_for addr =
+  let conn = connect_addr ?retry_for addr in
   {
-    socket;
+    addr;
     opts;
-    prng = Prng.create (Hashtbl.hash socket lxor 0x5e551e);
+    prng = Prng.create (Hashtbl.hash (Endpoint.addr_to_string addr) lxor 0x5e551e);
     conn = Some conn;
     retried = 0;
   }
+
+let connect_session ?opts ?retry_for ~socket () =
+  connect_session_addr ?opts ?retry_for (Endpoint.Unix_path socket)
 
 let close_session s =
   Option.iter close s.conn;
@@ -139,7 +164,7 @@ let conn_of s =
   match s.conn with
   | Some c -> c
   | None ->
-    let c = connect ~socket:s.socket () in
+    let c = connect_addr s.addr in
     s.conn <- Some c;
     c
 

@@ -1,10 +1,10 @@
 (** Blocking [icost.rpc.v1] client ([icost query] and the test suite).
 
-    One connection, one outstanding request at a time: {!call} writes the
-    request line and blocks until the matching reply line arrives.  (The
-    protocol allows pipelining with out-of-order replies; this client
-    deliberately does not use it — the CLI and tests want simple
-    call/response semantics.)
+    Speaks to a daemon over a Unix socket or TCP ({!Endpoint.addr}).
+    {!call} writes one request line and blocks until its reply line
+    arrives; {!pipeline} writes a whole window of requests before reading
+    the replies positionally — correct because the server answers
+    pipelined requests in request order.
 
     Two layers:
 
@@ -34,15 +34,40 @@ val connect : ?retry_for:float -> socket:string -> unit -> t
     started or already exited) from a refused connection ([ECONNREFUSED]
     — stale socket file, no listener behind it). *)
 
+val connect_addr : ?retry_for:float -> Endpoint.addr -> t
+(** {!connect} generalized to either transport. *)
+
 val call : t -> Protocol.request -> Protocol.reply
 (** Send one request, wait for its reply.
     @raise Disconnected when the server closes or resets the connection.
     @raise Failure on an undecodable reply. *)
 
+val send : t -> Protocol.request -> unit
+(** Write one request without waiting for its reply (pipelining). *)
+
+val recv : t -> Protocol.reply
+(** Block for the next reply line.  With the server's in-order reply
+    guarantee, the k-th {!recv} answers the k-th {!send}. *)
+
+val pipeline : t -> Protocol.request list -> Protocol.reply list
+(** Write the whole request window, then read its replies positionally
+    ([List.nth replies k] answers [List.nth reqs k]). *)
+
+val send_line : t -> string -> unit
+(** Raw passthrough (the shard router forwarding frames verbatim):
+    write [line ^ "\n"]. *)
+
+val recv_line : t -> string
+(** Raw passthrough: the next reply line, newline stripped.
+    @raise Disconnected on EOF/reset. *)
+
 val close : t -> unit
 
 val with_client : ?retry_for:float -> socket:string -> (t -> 'a) -> 'a
 (** [connect], run, [close] (also on exceptions). *)
+
+val with_addr : ?retry_for:float -> Endpoint.addr -> (t -> 'a) -> 'a
+(** {!with_client} generalized to either transport. *)
 
 (** {1 Resilient sessions} *)
 
@@ -61,6 +86,10 @@ type session
 val connect_session :
   ?opts:retry_opts -> ?retry_for:float -> socket:string -> unit -> session
 (** Like {!connect}, plus the retry policy used by {!call_with_retry}. *)
+
+val connect_session_addr :
+  ?opts:retry_opts -> ?retry_for:float -> Endpoint.addr -> session
+(** {!connect_session} generalized to either transport. *)
 
 val call_with_retry : session -> Protocol.request -> Protocol.reply
 (** {!call} with resilience: on a {!Disconnected} transport drop the

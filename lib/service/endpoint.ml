@@ -1,0 +1,117 @@
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad TCP endpoint %S: expected HOST:PORT" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      if host = "" then Error (Printf.sprintf "bad TCP endpoint %S: empty host" s)
+      else
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+        | _ -> Error (Printf.sprintf "bad TCP endpoint %S: bad port %S" s port))
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | a -> a
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host)
+      | exception Not_found ->
+          failwith (Printf.sprintf "cannot resolve host %S" host))
+
+type listener = { lfd : Unix.file_descr; laddr : addr; lport : int option }
+
+(* A socket file may be left behind by a crashed daemon.  Distinguish
+   stale from live with a probe connect: refused -> stale, remove and
+   rebind; accepted -> another daemon is serving it. *)
+let probe_unix_socket path =
+  if not (Sys.file_exists path) then `Absent
+  else
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> `Stale
+        | exception Unix.Unix_error _ -> `Stale)
+
+let listen_backlog = 256
+
+let listen_unix path =
+  (match probe_unix_socket path with
+  | `Absent -> ()
+  | `Stale -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Live -> failwith (Printf.sprintf "socket %s is already served" path));
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd listen_backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { lfd = fd; laddr = Unix_path path; lport = None }
+
+let listen_tcp host port =
+  let inet = resolve_host host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (inet, port));
+     Unix.listen fd listen_backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     let msg =
+       match e with
+       | Unix.Unix_error (err, _, _) ->
+           Printf.sprintf "cannot listen on %s:%d: %s" host port
+             (Unix.error_message err)
+       | Failure m -> m
+       | e -> Printexc.to_string e
+     in
+     failwith msg);
+  let bound =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { lfd = fd; laddr = Tcp (host, bound); lport = Some bound }
+
+let listen = function
+  | Unix_path p -> listen_unix p
+  | Tcp (h, p) -> listen_tcp h p
+
+let listener_fd l = l.lfd
+let bound_port l = l.lport
+
+let close_listener l =
+  (try Unix.close l.lfd with Unix.Unix_error _ -> ());
+  match l.laddr with
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Tcp _ -> ()
+
+let connect_fd = function
+  | Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  | Tcp (host, port) ->
+      let inet = resolve_host host in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_INET (inet, port));
+         Unix.setsockopt fd Unix.TCP_NODELAY true
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd

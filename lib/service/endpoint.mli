@@ -1,0 +1,45 @@
+(** Service endpoints: Unix-domain and TCP addresses, listeners, connects.
+
+    The daemon historically spoke only over one Unix socket; scale-out
+    added a TCP listener alongside it and a shard router that dials
+    worker processes.  This module is the one place that knows how to
+    bind, probe and dial either transport, so the server, the router and
+    the client all share the same semantics:
+
+    - {b Unix}: a stale socket file left by a crash is detected (probe
+      connect) and replaced; a live one makes {!listen} fail.
+    - {b TCP}: [SO_REUSEADDR] on listeners, [TCP_NODELAY] on every
+      connected socket (request/reply round trips must not wait out
+      Nagle), port [0] binds an ephemeral port reported by
+      {!bound_port}. *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (numeric or resolvable name), port *)
+
+val addr_to_string : addr -> string
+(** [path] for Unix sockets, ["host:port"] for TCP. *)
+
+val parse_tcp : string -> (string * int, string) result
+(** Parse a ["HOST:PORT"] endpoint spec (the [--tcp] flag).  The host may
+    be a name or a numeric address; the port must be in [0, 65535]. *)
+
+type listener
+
+val listen : addr -> listener
+(** Bind and listen.
+    @raise Failure when a Unix path is already served by a live daemon,
+    or a TCP endpoint cannot be bound (message names the address). *)
+
+val listener_fd : listener -> Unix.file_descr
+
+val bound_port : listener -> int option
+(** The actual port of a TCP listener (useful after binding port 0);
+    [None] for Unix listeners. *)
+
+val close_listener : listener -> unit
+(** Close the fd; additionally unlink a Unix listener's socket file. *)
+
+val connect_fd : addr -> Unix.file_descr
+(** Dial the address once ([TCP_NODELAY] set on TCP sockets).
+    @raise Unix.Unix_error on failure (callers add retry/backoff). *)

@@ -13,8 +13,14 @@ exception Parse_error of string
 
 (* ---------- printing ---------- *)
 
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
+(* The encoder writes straight into one output buffer: a service reply
+   frame can be tens of kilobytes (batch replies), so building it from
+   per-node string concatenation would allocate several times the output
+   size in garbage on every reply. *)
+
+let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20
+
+let add_escaped buf s =
   String.iter
     (fun c ->
       match c with
@@ -26,25 +32,53 @@ let escape s =
       | c when Char.code c < 0x20 ->
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  (* almost every string on the wire is a clean identifier; scan first and
+     copy in one move rather than char-by-char *)
+  let clean =
+    let n = String.length s in
+    let rec go i = i = n || ((not (needs_escape s.[i])) && go (i + 1)) in
+    go 0
+  in
+  if clean then Buffer.add_string buf s else add_escaped buf s;
+  Buffer.add_char buf '"'
 
 let float_repr f =
   if not (Float.is_finite f) then invalid_arg "Json.encode: non-finite float"
   else Printf.sprintf "%.17g" f
 
-let rec encode = function
-  | Null -> "null"
-  | Bool b -> if b then "true" else "false"
-  | Int n -> string_of_int n
-  | Float f -> float_repr f
-  | Str s -> "\"" ^ escape s ^ "\""
-  | Arr l -> "[" ^ String.concat "," (List.map encode l) ^ "]"
+let rec encode_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> add_str buf s
+  | Arr l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        encode_into buf v)
+      l;
+    Buffer.add_char buf ']'
   | Obj fields ->
-    "{"
-    ^ String.concat ","
-        (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ encode v) fields)
-    ^ "}"
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_str buf k;
+        Buffer.add_char buf ':';
+        encode_into buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let encode j =
+  let buf = Buffer.create 256 in
+  encode_into buf j;
+  Buffer.contents buf
 
 (* ---------- parsing ---------- *)
 

@@ -1,0 +1,56 @@
+(* Incremental '\n'-splitter shared by the client and the acceptor.  See
+   linebuf.mli. *)
+
+type t = {
+  mutable lines : string list;  (* completed lines, oldest first *)
+  partial : Buffer.t;  (* trailing bytes of an unterminated line *)
+}
+
+let create () = { lines = []; partial = Buffer.create 256 }
+
+(* bounded scan: [Bytes.index_from_opt] would run past [len] into stale
+   bytes of a reused read chunk.  [unsafe_get] is safe here — [feed]
+   clamps [len] to the chunk's length before scanning. *)
+let index_nl b start len =
+  let rec go i =
+    if i >= len then -1
+    else if Bytes.unsafe_get b i = '\n' then i
+    else go (i + 1)
+  in
+  go start
+
+let feed t (b : bytes) ~len =
+  let len = min len (Bytes.length b) in
+  let rec collect start acc =
+    let i = index_nl b start len in
+    if i < 0 then begin
+      Buffer.add_subbytes t.partial b start (len - start);
+      List.rev acc
+    end
+    else begin
+      let seg = Bytes.sub_string b start (i - start) in
+      let line =
+        if Buffer.length t.partial = 0 then seg
+        else begin
+          let l = Buffer.contents t.partial ^ seg in
+          Buffer.clear t.partial;
+          l
+        end
+      in
+      collect (i + 1) (line :: acc)
+    end
+  in
+  match collect 0 [] with
+  | [] -> ()
+  (* both readers drain the queue before feeding, so this append is
+     almost always onto [] *)
+  | fresh -> t.lines <- t.lines @ fresh
+
+let pop t =
+  match t.lines with
+  | line :: rest ->
+    t.lines <- rest;
+    Some line
+  | [] -> None
+
+let pending_bytes t = Buffer.length t.partial

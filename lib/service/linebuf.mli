@@ -1,0 +1,26 @@
+(** Incremental splitter for newline-delimited streams.
+
+    Both wire readers (the client and the acceptor) receive arbitrary
+    chunks and must hand out '\n'-terminated lines.  Splitting each chunk
+    as it arrives keeps reading linear in the bytes received; the naive
+    alternative — appending to one growing buffer and re-scanning it per
+    chunk — is quadratic in the number of chunks, which is exactly the
+    shape of a large pipelined batch reply. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> bytes -> len:int -> unit
+(** Consume [len] bytes from the front of the chunk: complete lines
+    (without their terminator) join the queue in arrival order, an
+    unterminated tail is kept for the next feed. *)
+
+val pop : t -> string option
+(** Oldest completed line not yet consumed, or [None] when only an
+    unterminated tail (or nothing) is buffered. *)
+
+val pending_bytes : t -> int
+(** Size of the unterminated tail — the basis for the acceptor's
+    oversized-line bound: a line is over-long only once this many bytes
+    arrive without a newline. *)

@@ -3,6 +3,7 @@
 let version = "icost.rpc.v1"
 
 let max_request_bytes = 65536
+let max_batch_items = 256
 
 type target = {
   workload : string;
@@ -27,11 +28,15 @@ type op =
   | Breakdown of { target : target; focus : string }
   | Icost of { target : target; sets : string list }
   | Graph_stats of { target : target }
+  | Batch of { ops : op list }
   | Status
   | Health
   | Shutdown
 
-let idempotent = function Shutdown -> false | _ -> true
+let rec idempotent = function
+  | Shutdown -> false
+  | Batch { ops } -> List.for_all idempotent ops
+  | _ -> true
 
 type request = { req_id : int; deadline_ms : int option; op : op }
 
@@ -57,6 +62,7 @@ type status_body = {
   snapshot_misses : int;
   snapshot_rejects : int;
   pool_jobs : int;
+  shards : int;
   health : string;
   draining : bool;
 }
@@ -67,14 +73,6 @@ type health_body = {
   h_shed : int;
 }
 
-type result_body =
-  | R_breakdown of { baseline : float; rows : breakdown_row list }
-  | R_icost of { baseline : float; rows : icost_row list }
-  | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
-  | R_status of status_body
-  | R_health of health_body
-  | R_shutdown
-
 type error_code =
   | Bad_request
   | Overloaded
@@ -82,6 +80,15 @@ type error_code =
   | Deadline_exceeded
   | Shutting_down
   | Internal
+
+type result_body =
+  | R_breakdown of { baseline : float; rows : breakdown_row list }
+  | R_icost of { baseline : float; rows : icost_row list }
+  | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
+  | R_batch of { results : (result_body, error_code * string) result list }
+  | R_status of status_body
+  | R_health of health_body
+  | R_shutdown
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -118,6 +125,27 @@ let target_fields (t : target) =
     ("seed", Json.Int t.seed);
   ]
 
+(* Shared between top-level requests and batch items: a batch item is the
+   same object shape as a request minus the envelope (v/id/deadline). *)
+let rec op_fields (op : op) =
+  match op with
+  | Breakdown { target; focus } ->
+    (("op", Json.Str "breakdown") :: target_fields target)
+    @ [ ("focus", Json.Str focus) ]
+  | Icost { target; sets } ->
+    (("op", Json.Str "icost") :: target_fields target)
+    @ [ ("sets", Json.Arr (List.map (fun s -> Json.Str s) sets)) ]
+  | Graph_stats { target } ->
+    ("op", Json.Str "graph-stats") :: target_fields target
+  | Batch { ops } ->
+    [
+      ("op", Json.Str "batch");
+      ("reqs", Json.Arr (List.map (fun o -> Json.Obj (op_fields o)) ops));
+    ]
+  | Status -> [ ("op", Json.Str "status") ]
+  | Health -> [ ("op", Json.Str "health") ]
+  | Shutdown -> [ ("op", Json.Str "shutdown") ]
+
 let encode_request (r : request) : string =
   let head = [ ("v", Json.Str version); ("id", Json.Int r.req_id) ] in
   let deadline =
@@ -125,23 +153,12 @@ let encode_request (r : request) : string =
     | None -> []
     | Some ms -> [ ("deadline_ms", Json.Int ms) ]
   in
-  let op_fields =
-    match r.op with
-    | Breakdown { target; focus } ->
-      (("op", Json.Str "breakdown") :: target_fields target)
-      @ [ ("focus", Json.Str focus) ]
-    | Icost { target; sets } ->
-      (("op", Json.Str "icost") :: target_fields target)
-      @ [ ("sets", Json.Arr (List.map (fun s -> Json.Str s) sets)) ]
-    | Graph_stats { target } ->
-      ("op", Json.Str "graph-stats") :: target_fields target
-    | Status -> [ ("op", Json.Str "status") ]
-    | Health -> [ ("op", Json.Str "health") ]
-    | Shutdown -> [ ("op", Json.Str "shutdown") ]
-  in
-  Json.encode (Json.Obj (head @ op_fields @ deadline))
+  Json.encode (Json.Obj (head @ op_fields r.op @ deadline))
 
-let result_json = function
+let error_json code msg =
+  Json.Obj [ ("code", Json.Str (error_code_name code)); ("msg", Json.Str msg) ]
+
+let rec result_json = function
   | R_breakdown { baseline; rows } ->
     Json.Obj
       [
@@ -186,6 +203,22 @@ let result_json = function
         ("edges", Json.Int edges);
         ("critical_path", Json.Int critical_path);
       ]
+  | R_batch { results } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "batch");
+        ( "results",
+          Json.Arr
+            (List.map
+               (function
+                 | Ok body ->
+                   Json.Obj
+                     [ ("ok", Json.Bool true); ("result", result_json body) ]
+                 | Error (code, msg) ->
+                   Json.Obj
+                     [ ("ok", Json.Bool false); ("error", error_json code msg) ])
+               results) );
+      ]
   | R_status s ->
     Json.Obj
       [
@@ -202,6 +235,7 @@ let result_json = function
         ("snapshot_misses", Json.Int s.snapshot_misses);
         ("snapshot_rejects", Json.Int s.snapshot_rejects);
         ("pool_jobs", Json.Int s.pool_jobs);
+        ("shards", Json.Int s.shards);
         ("health", Json.Str s.health);
         ("draining", Json.Bool s.draining);
       ]
@@ -221,15 +255,87 @@ let encode_reply (r : reply) : string =
     match r.body with
     | Ok result -> [ ("ok", Json.Bool true); ("result", result_json result) ]
     | Error (code, msg) ->
-      [
-        ("ok", Json.Bool false);
-        ( "error",
-          Json.Obj
-            [ ("code", Json.Str (error_code_name code)); ("msg", Json.Str msg) ]
-        );
-      ]
+      [ ("ok", Json.Bool false); ("error", error_json code msg) ]
   in
   Json.encode (Json.Obj (head @ rest))
+
+(* ---------- pre-encoded reply assembly ----------
+
+   The server's reply cache stores result objects as already-encoded
+   JSON; these helpers splice such fragments into reply envelopes.  The
+   splices must stay byte-identical to [encode_reply] on the equivalent
+   tree — clients and tests compare replies as raw strings. *)
+
+let encode_op (op : op) : string = Json.encode (Json.Obj (op_fields op))
+
+let encode_result (body : result_body) : string = Json.encode (result_json body)
+
+let add_envelope buf rep_id =
+  Buffer.add_string buf "{\"v\":\"";
+  Buffer.add_string buf version;
+  Buffer.add_string buf "\",\"id\":";
+  Buffer.add_string buf (string_of_int rep_id);
+  Buffer.add_string buf ",\"ok\":true,\"result\":"
+
+let encode_ok_reply ~rep_id ~(result : string) : string =
+  let buf = Buffer.create (String.length result + 64) in
+  add_envelope buf rep_id;
+  Buffer.add_string buf result;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let encode_batch_result ~(results : (string, error_code * string) result list)
+    : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"kind\":\"batch\",\"results\":[";
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char buf ',';
+      match item with
+      | Ok result ->
+        Buffer.add_string buf "{\"ok\":true,\"result\":";
+        Buffer.add_string buf result;
+        Buffer.add_char buf '}'
+      | Error (code, msg) ->
+        Buffer.add_string buf
+          (Json.encode
+             (Json.Obj
+                [ ("ok", Json.Bool false); ("error", error_json code msg) ])))
+    results;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let encode_batch_reply ~rep_id
+    ~(results : (string, error_code * string) result list) : string =
+  encode_ok_reply ~rep_id ~result:(encode_batch_result ~results)
+
+(* ---------- frame identity ----------
+
+   Both relay layers memoize on the raw frame text: the router caches a
+   frame's destination shard, the server caches a frame's encoded result.
+   The request [id] is the one part of an otherwise repeated frame that
+   varies, and our own encoder emits it in a fixed position right after
+   the version field, so the memo key is the frame with the id digits
+   sliced out.  Frames in any other field order (hand-written clients)
+   simply return [None] and take the decode path — the memos are an
+   optimisation, never a requirement. *)
+
+let canonical_prefix = "{\"v\":\"icost.rpc.v1\",\"id\":"
+
+let split_frame_id line =
+  let pl = String.length canonical_prefix in
+  let n = String.length line in
+  let rec same i = i = pl || (line.[i] = canonical_prefix.[i] && same (i + 1)) in
+  if n <= pl || not (same 0) then None
+  else begin
+    let e = ref pl in
+    while !e < n && line.[!e] >= '0' && line.[!e] <= '9' do incr e done;
+    if !e = pl || !e = n then None
+    else
+      match int_of_string_opt (String.sub line pl (!e - pl)) with
+      | Some id -> Some (id, !e)
+      | None -> None
+  end
 
 (* ---------- decoding ---------- *)
 
@@ -266,6 +372,59 @@ let decode_target j =
   if warmup < 0 || measure <= 0 then Error "warmup must be >= 0, measure > 0"
   else Ok { workload; variant; engine; warmup; measure; seed }
 
+(* An op is decoded from the fields of its carrier object: the top-level
+   request for single ops, or one element of "reqs" for batch items (same
+   shape minus the v/id/deadline envelope).  A structurally malformed item
+   fails the whole frame — per-item errors are reserved for semantic
+   failures (unknown workload, nested batch, ...) discovered at execution. *)
+let rec decode_op j =
+  let* opname = required "op" Json.get_str j in
+  match opname with
+  | "breakdown" ->
+    let* target = decode_target j in
+    let* focus = field_or "focus" "dl1" Json.get_str j in
+    Ok (Breakdown { target; focus })
+  | "icost" ->
+    let* target = decode_target j in
+    let* sets =
+      field_or "sets" [ "dl1,win" ]
+        (fun v ->
+          match Json.get_arr v with
+          | None -> None
+          | Some items ->
+            let strs = List.filter_map Json.get_str items in
+            if List.length strs = List.length items then Some strs else None)
+        j
+    in
+    if sets = [] then Error "sets must be non-empty"
+    else Ok (Icost { target; sets })
+  | "graph-stats" ->
+    let* target = decode_target j in
+    Ok (Graph_stats { target })
+  | "batch" ->
+    (match Json.member "reqs" j with
+     | None -> Error "missing field \"reqs\""
+     | Some v ->
+       (match Json.get_arr v with
+        | None -> Error "field \"reqs\" has the wrong type"
+        | Some [] -> Error "reqs must be non-empty"
+        | Some items when List.length items > max_batch_items ->
+          Error
+            (Printf.sprintf "batch exceeds %d items (%d)" max_batch_items
+               (List.length items))
+        | Some items ->
+          let rec go acc = function
+            | [] -> Ok (Batch { ops = List.rev acc })
+            | item :: rest ->
+              let* op = decode_op item in
+              go (op :: acc) rest
+          in
+          go [] items))
+  | "status" -> Ok Status
+  | "health" -> Ok Health
+  | "shutdown" -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
 let decode_request (line : string) : (request, string) result =
   if String.length line > max_request_bytes then
     Error
@@ -287,35 +446,7 @@ let decode_request (line : string) : (request, string) result =
       | Some ms when ms < 0 -> Error "deadline_ms must be >= 0"
       | _ -> Ok ()
     in
-    let* opname = required "op" Json.get_str j in
-    let* op =
-      match opname with
-      | "breakdown" ->
-        let* target = decode_target j in
-        let* focus = field_or "focus" "dl1" Json.get_str j in
-        Ok (Breakdown { target; focus })
-      | "icost" ->
-        let* target = decode_target j in
-        let* sets =
-          field_or "sets" [ "dl1,win" ]
-            (fun v ->
-              match Json.get_arr v with
-              | None -> None
-              | Some items ->
-                let strs = List.filter_map Json.get_str items in
-                if List.length strs = List.length items then Some strs else None)
-            j
-        in
-        if sets = [] then Error "sets must be non-empty"
-        else Ok (Icost { target; sets })
-      | "graph-stats" ->
-        let* target = decode_target j in
-        Ok (Graph_stats { target })
-      | "status" -> Ok Status
-      | "health" -> Ok Health
-      | "shutdown" -> Ok Shutdown
-      | other -> Error (Printf.sprintf "unknown op %S" other)
-    in
+    let* op = decode_op j in
     Ok { req_id; deadline_ms; op }
 
 let decode_rows j ~of_obj =
@@ -330,7 +461,14 @@ let decode_rows j ~of_obj =
     in
     go [] items
 
-let decode_result j =
+let decode_error e =
+  let* code_name = required "code" Json.get_str e in
+  let* msg = required "msg" Json.get_str e in
+  match error_code_of_name code_name with
+  | Some code -> Ok (code, msg)
+  | None -> Error (Printf.sprintf "unknown error code %S" code_name)
+
+let rec decode_result j =
   let* kind = required "kind" Json.get_str j in
   match kind with
   | "breakdown" ->
@@ -366,6 +504,20 @@ let decode_result j =
     let* edges = required "edges" Json.get_int j in
     let* critical_path = required "critical_path" Json.get_int j in
     Ok (R_graph_stats { instrs; nodes; edges; critical_path })
+  | "batch" ->
+    (match Json.member "results" j with
+     | None -> Error "missing results"
+     | Some v ->
+       (match Json.get_arr v with
+        | None -> Error "results is not an array"
+        | Some items ->
+          let rec go acc = function
+            | [] -> Ok (R_batch { results = List.rev acc })
+            | item :: rest ->
+              let* r = decode_result_item item in
+              go (r :: acc) rest
+          in
+          go [] items))
   | "status" ->
     let* uptime_s = required "uptime_s" Json.get_float j in
     let* requests_total = required "requests_total" Json.get_int j in
@@ -379,6 +531,8 @@ let decode_result j =
     let* snapshot_misses = required "snapshot_misses" Json.get_int j in
     let* snapshot_rejects = required "snapshot_rejects" Json.get_int j in
     let* pool_jobs = required "pool_jobs" Json.get_int j in
+    (* absent in pre-batch frames: default 0 keeps old captures decodable *)
+    let* shards = field_or "shards" 0 Json.get_int j in
     let* health = required "health" Json.get_str j in
     let* draining = required "draining" Json.get_bool j in
     Ok
@@ -396,6 +550,7 @@ let decode_result j =
            snapshot_misses;
            snapshot_rejects;
            pool_jobs;
+           shards;
            health;
            draining;
          })
@@ -406,6 +561,23 @@ let decode_result j =
     Ok (R_health { h_health; h_breakers_open; h_shed })
   | "shutdown" -> Ok R_shutdown
   | other -> Error (Printf.sprintf "unknown result kind %S" other)
+
+and decode_result_item j =
+  let* ok = required "ok" Json.get_bool j in
+  if ok then begin
+    match Json.member "result" j with
+    | None -> Error "missing result"
+    | Some r ->
+      let* body = decode_result r in
+      Ok (Ok body)
+  end
+  else begin
+    match Json.member "error" j with
+    | None -> Error "missing error"
+    | Some e ->
+      let* code, msg = decode_error e in
+      Ok (Error (code, msg))
+  end
 
 let decode_reply (line : string) : (reply, string) result =
   let* j =
@@ -427,9 +599,6 @@ let decode_reply (line : string) : (reply, string) result =
     match Json.member "error" j with
     | None -> Error "missing error"
     | Some e ->
-      let* code_name = required "code" Json.get_str e in
-      let* msg = required "msg" Json.get_str e in
-      (match error_code_of_name code_name with
-       | Some code -> Ok { rep_id; body = Error (code, msg) }
-       | None -> Error (Printf.sprintf "unknown error code %S" code_name))
+      let* code, msg = decode_error e in
+      Ok { rep_id; body = Error (code, msg) }
   end

@@ -1,9 +1,10 @@
 (** The [icost.rpc.v1] wire protocol.
 
-    Newline-delimited JSON over a Unix domain socket: each request is one
-    JSON object on one line, each reply is one JSON object on one line.
-    Replies carry the request's [id] and may arrive out of order when a
-    client pipelines several requests on one connection.  The full wire
+    Newline-delimited JSON over a Unix domain socket or a TCP connection:
+    each request is one JSON object on one line, each reply is one JSON
+    object on one line.  Replies carry the request's [id] and are
+    delivered {b in request order} when a client pipelines several
+    requests on one connection.  The full wire
     format is specified in [doc/protocol.md]; this module is the only
     encoder/decoder on either side (server and client share it, so a
     round-trip through {!encode_request}/{!decode_request} is the
@@ -24,6 +25,10 @@ val max_request_bytes : int
 (** Upper bound on one request line (65536).  Longer lines are answered
     with a typed [Bad_request] error and the connection is closed (the
     stream is no longer in sync). *)
+
+val max_batch_items : int
+(** Upper bound on the number of sub-queries in one [Batch] frame (256);
+    larger batches are rejected whole as [Bad_request]. *)
 
 (** What to analyze.  Defaults (applied by {!decode_request} for missing
     fields) mirror the CLI: variant [base], engine [graph], the standard
@@ -47,6 +52,12 @@ type op =
       (** Cost + interaction cost of each category set, e.g. ["dl1,win"]. *)
   | Graph_stats of { target : target }
       (** Dependence-graph shape (always uses the graph engine). *)
+  | Batch of { ops : op list }
+      (** N sub-queries in one frame: one decode, one queue slot, one
+          reply ([R_batch]) with per-item results in request order.  A
+          semantically bad item (unknown workload, nested batch, ...)
+          yields a per-item typed error without poisoning its siblings;
+          at most {!max_batch_items} items. *)
   | Status  (** server statistics: uptime, queue, cache, jobs *)
   | Health
       (** cheap liveness/degradation probe, answered inline even under
@@ -70,13 +81,19 @@ type status_body = {
   inflight : int;
   queue_depth : int;
   sessions : int;  (** entries in the session cache *)
-  cache_hits : int;  (** summed over the prep/baseline/session caches *)
+  cache_hits : int;
+      (** summed over the prep/baseline/session/reply caches (the frame
+          memo is excluded — its hits re-serve bytes the reply cache
+          already counted) *)
   cache_misses : int;
   cache_evictions : int;
   snapshot_hits : int;  (** persistent graph-snapshot store; all 0 without --cache-dir *)
   snapshot_misses : int;
   snapshot_rejects : int;
   pool_jobs : int;
+  shards : int;
+      (** worker shards behind this endpoint: 0 for a standalone server,
+          K for a router aggregating K shard processes *)
   health : string;  (** ok | degraded | draining (see [doc/protocol.md]) *)
   draining : bool;
 }
@@ -87,31 +104,34 @@ type health_body = {
   h_shed : int;  (** cache entries shed under pressure since start *)
 }
 
-type result_body =
-  | R_breakdown of { baseline : float; rows : breakdown_row list }
-  | R_icost of { baseline : float; rows : icost_row list }
-  | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
-  | R_status of status_body
-  | R_health of health_body
-  | R_shutdown
-
 type error_code =
   | Bad_request  (** malformed/oversized/unknown-name request *)
   | Overloaded  (** accept queue full — retry later (backpressure) *)
   | Unavailable
-      (** the target's circuit breaker is open after repeated failures;
-          fail-fast — retry after the cooldown *)
+      (** the target's circuit breaker is open after repeated failures,
+          or a shard is unreachable; fail-fast — retry after cooldown *)
   | Deadline_exceeded  (** the request's [deadline_ms] elapsed *)
   | Shutting_down  (** server is draining; no new work accepted *)
   | Internal  (** analysis raised; message carries the exception text *)
+
+type result_body =
+  | R_breakdown of { baseline : float; rows : breakdown_row list }
+  | R_icost of { baseline : float; rows : icost_row list }
+  | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
+  | R_batch of { results : (result_body, error_code * string) result list }
+      (** per-item outcomes, positionally matching the batch's [ops] *)
+  | R_status of status_body
+  | R_health of health_body
+  | R_shutdown
 
 val error_code_name : error_code -> string
 val error_code_of_name : string -> error_code option
 
 val idempotent : op -> bool
 (** Whether re-sending the operation can change server state beyond its
-    caches: true for every op except [Shutdown].  The client's retry
-    machinery refuses to retry non-idempotent ops. *)
+    caches: true for every op except [Shutdown] (and a [Batch] containing
+    one).  The client's retry machinery refuses to retry non-idempotent
+    ops. *)
 
 val retryable : error_code -> bool
 (** Whether an error is worth retrying unchanged after a backoff:
@@ -131,3 +151,41 @@ val decode_request : string -> (request, string) result
 
 val encode_reply : reply -> string
 val decode_reply : string -> (reply, string) result
+
+(** {2 Pre-encoded reply assembly}
+
+    The server's reply cache stores result objects in already-encoded
+    form; these helpers build reply lines around such fragments.  Their
+    output is byte-identical to {!encode_reply} on the equivalent tree,
+    so cached and freshly computed replies cannot be told apart on the
+    wire. *)
+
+val encode_op : op -> string
+(** Canonical encoding of one op — the same object shape as a batch
+    item (no envelope).  Stable across decode/encode round-trips, which
+    makes it usable as a cache key for idempotent queries. *)
+
+val encode_result : result_body -> string
+(** The bare result object of a successful reply. *)
+
+val encode_ok_reply : rep_id:int -> result:string -> string
+(** Wrap an [encode_result] fragment in a success envelope. *)
+
+val encode_batch_result :
+  results:(string, error_code * string) result list -> string
+(** The bare batch result object assembled from per-item fragments
+    ([Ok] carries an [encode_result] string) in request order. *)
+
+val encode_batch_reply :
+  rep_id:int ->
+  results:(string, error_code * string) result list ->
+  string
+(** [encode_batch_result] wrapped in a success envelope. *)
+
+val split_frame_id : string -> (int * int) option
+(** [Some (id, pos)] when the line starts with the canonical
+    [{"v":"icost.rpc.v1","id":] prefix followed by the request id whose
+    digits end at [pos]; [None] for any other field order.  The suffix
+    from [pos] identifies the frame up to its id — the memo key used by
+    the router's route cache and the server's frame cache (see
+    [doc/protocol.md]). *)

@@ -1,0 +1,496 @@
+(* Shard router process.  See router.mli for the architecture. *)
+
+module P = Protocol
+
+type opts = {
+  socket : string;
+  tcp : (string * int) option;
+  shards : int;
+  shard : Server.opts;
+  handle_signals : bool;
+  on_ready : (unit -> unit) option;
+  on_tcp_port : (int -> unit) option;
+}
+
+let default_opts =
+  {
+    socket = "icostd.sock";
+    tcp = None;
+    shards = 2;
+    shard = Server.default_opts;
+    handle_signals = true;
+    on_ready = None;
+    on_tcp_port = None;
+  }
+
+type stats = { uptime_s : float; requests_total : int }
+
+(* ---------- routing ---------- *)
+
+let fnv1a64 (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let shard_of_key ~shards key =
+  if shards <= 1 then 0
+  else Int64.to_int (Int64.unsigned_rem (fnv1a64 key) (Int64.of_int shards))
+
+(* The preparation key, not the full session key: all variants/engines of
+   one prepared workload share a shard (and that shard's prep cache). *)
+let route_key (tg : P.target) =
+  Printf.sprintf "%s|w%d|m%d" tg.workload tg.warmup tg.measure
+
+let shard_socket public i = Printf.sprintf "%s.shard%d" public i
+
+type t = {
+  opts : opts;
+  shards : int;
+  started : float;
+  requests : int Atomic.t;
+  draining : bool Atomic.t;
+  shards_notified : bool Atomic.t;  (* shutdown already broadcast *)
+  acc : Acceptor.t;
+  routes : int Cache.t;
+      (* frame text (minus the request id) -> destination shard, for
+         frames relayed whole.  Routing is a pure function of the frame
+         text, so a repeated query skips the full JSON decode — the
+         dominant per-frame cost for large relayed batches. *)
+}
+
+let shard_of_op t (op : P.op) =
+  let tg =
+    match op with
+    | P.Breakdown { target; _ } | P.Icost { target; _ }
+    | P.Graph_stats { target } ->
+      target
+    | P.Batch _ | P.Status | P.Health | P.Shutdown -> assert false
+  in
+  shard_of_key ~shards:t.shards (route_key tg)
+
+(* ---------- per-connection shard links ----------
+
+   Each client connection lazily opens its own connection to each shard
+   it talks to (no cross-connection multiplexing: frames of different
+   clients never interleave on one shard link, so passthrough replies
+   can be relayed verbatim without an id-routing table). *)
+
+type links = Client.t option array
+
+let drop_link (links : links) i =
+  Option.iter Client.close links.(i);
+  links.(i) <- None
+
+let link t (links : links) i =
+  match links.(i) with
+  | Some c -> c
+  | None ->
+    let c = Client.connect ~retry_for:2.0 ~socket:(shard_socket t.opts.socket i) () in
+    links.(i) <- Some c;
+    c
+
+let try_shard t links i f =
+  match f (link t links i) with
+  | v -> Ok v
+  | exception Client.Disconnected msg ->
+    drop_link links i;
+    Error msg
+  | exception Failure msg ->
+    drop_link links i;
+    Error msg
+
+(* One transparent reconnect: the shard may have restarted between
+   requests.  Only idempotent traffic flows through here (analysis ops
+   and the shutdown broadcast), so a re-send is safe. *)
+let with_shard t links i f =
+  match try_shard t links i f with
+  | Ok v -> Ok v
+  | Error _ -> try_shard t links i f
+
+(* ---------- aggregation ---------- *)
+
+let query_shard t links i op =
+  match
+    with_shard t links i (fun c ->
+        Client.call c { P.req_id = 0; deadline_ms = None; op })
+  with
+  | Ok reply -> Some reply
+  | Error _ -> None
+
+let health_of t ~unreachable ~worst =
+  if Atomic.get t.draining then "draining"
+  else if unreachable > 0 || worst then "degraded"
+  else "ok"
+
+let agg_status t links : P.status_body =
+  let bodies =
+    List.init t.shards (fun i ->
+        match query_shard t links i P.Status with
+        | Some { P.body = Ok (P.R_status s); _ } -> Some s
+        | _ -> None)
+  in
+  let reachable = List.filter_map Fun.id bodies in
+  let unreachable = t.shards - List.length reachable in
+  let sum f = List.fold_left (fun a s -> a + f s) 0 reachable in
+  let worst =
+    List.exists (fun (s : P.status_body) -> s.P.health <> "ok") reachable
+  in
+  {
+    P.uptime_s = Unix.gettimeofday () -. t.started;
+    requests_total = Atomic.get t.requests;
+    inflight = sum (fun s -> s.P.inflight);
+    queue_depth = sum (fun s -> s.P.queue_depth);
+    sessions = sum (fun s -> s.P.sessions);
+    cache_hits = sum (fun s -> s.P.cache_hits);
+    cache_misses = sum (fun s -> s.P.cache_misses);
+    cache_evictions = sum (fun s -> s.P.cache_evictions);
+    snapshot_hits = sum (fun s -> s.P.snapshot_hits);
+    snapshot_misses = sum (fun s -> s.P.snapshot_misses);
+    snapshot_rejects = sum (fun s -> s.P.snapshot_rejects);
+    pool_jobs = sum (fun s -> s.P.pool_jobs);
+    shards = t.shards;
+    health = health_of t ~unreachable ~worst;
+    draining = Atomic.get t.draining;
+  }
+
+let agg_health t links : P.health_body =
+  let bodies =
+    List.init t.shards (fun i ->
+        match query_shard t links i P.Health with
+        | Some { P.body = Ok (P.R_health h); _ } -> Some h
+        | _ -> None)
+  in
+  let reachable = List.filter_map Fun.id bodies in
+  let unreachable = t.shards - List.length reachable in
+  let sum f = List.fold_left (fun a h -> a + f h) 0 reachable in
+  let worst =
+    List.exists (fun (h : P.health_body) -> h.P.h_health <> "ok") reachable
+  in
+  {
+    P.h_health = health_of t ~unreachable ~worst;
+    h_breakers_open = sum (fun h -> h.P.h_breakers_open);
+    h_shed = sum (fun h -> h.P.h_shed);
+  }
+
+let broadcast_shutdown t links =
+  if not (Atomic.exchange t.shards_notified true) then
+    for i = 0 to t.shards - 1 do
+      ignore
+        (with_shard t links i (fun c ->
+             Client.call c { P.req_id = 0; deadline_ms = None; op = P.Shutdown }))
+    done
+
+(* ---------- dispatch ---------- *)
+
+let write_reply c ~seq (reply : P.reply) =
+  Acceptor.write_line c ~seq (P.encode_reply reply ^ "\n")
+
+let error_reply id code msg = { P.rep_id = id; body = Error (code, msg) }
+
+let unreachable_error i msg =
+  (P.Unavailable, Printf.sprintf "shard %d unreachable: %s" i msg)
+
+(* Forward one frame verbatim to shard [sh] and relay the shard's reply
+   line untouched — byte-identical to asking the shard directly. *)
+let forward_to t links c ~seq ~id ~sh line =
+  match
+    with_shard t links sh (fun sc ->
+        Client.send_line sc line;
+        Client.recv_line sc)
+  with
+  | Ok reply_line -> Acceptor.write_line c ~seq (reply_line ^ "\n")
+  | Error msg ->
+    let code, emsg = unreachable_error sh msg in
+    write_reply c ~seq (error_reply id code emsg)
+
+let forward_single t links c ~seq ~id ~line op =
+  forward_to t links c ~seq ~id ~sh:(shard_of_op t op) line
+
+(* Affinity fast path: a batch whose items are all analysis ops bound
+   for the same shard can be relayed verbatim like a single frame — the
+   shard executes the whole batch in one scheduler slot and its reply
+   needs no stitching.  This skips the scatter-gather's decode and
+   re-encode of every per-item result (the expensive half: replies are
+   an order of magnitude larger than requests), so clients that group
+   their queries by workload — the natural pattern, since all sessions
+   of one workload live on one shard — pay router overhead per frame,
+   not per item. *)
+let single_shard_batch t (ops : P.op list) : int option =
+  let rec go acc = function
+    | [] -> acc
+    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op :: rest -> (
+      let sh = shard_of_op t op in
+      match acc with
+      | None -> go (Some sh) rest
+      | Some sh' when sh' = sh -> go acc rest
+      | Some _ -> raise Exit)
+    (* status/health need aggregation, shutdown/batch per-item errors:
+       the slow path answers those without involving a shard *)
+    | (P.Status | P.Health | P.Shutdown | P.Batch _) :: _ -> raise Exit
+  in
+  try go None ops with Exit -> None
+
+(* Scatter-gather: partition items by shard (preserving order inside each
+   group), send every sub-batch before reading any reply, then stitch the
+   per-item results back into the frame's original item order.  Items the
+   router can answer itself (status/health, nested batch, shutdown) never
+   leave the process. *)
+let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
+  let n = List.length ops in
+  let slots = Array.make n (Error (P.Internal, "unrouted batch item")) in
+  let by_shard = Hashtbl.create 4 in
+  List.iteri
+    (fun idx op ->
+      match op with
+      | P.Breakdown _ | P.Icost _ | P.Graph_stats _ ->
+        let sh = shard_of_op t op in
+        let prev = try Hashtbl.find by_shard sh with Not_found -> [] in
+        Hashtbl.replace by_shard sh ((idx, op) :: prev)
+      | P.Status -> slots.(idx) <- Ok (P.R_status (agg_status t links))
+      | P.Health -> slots.(idx) <- Ok (P.R_health (agg_health t links))
+      | P.Shutdown ->
+        slots.(idx) <- Error (P.Bad_request, "shutdown is not allowed inside a batch")
+      | P.Batch _ -> slots.(idx) <- Error (P.Bad_request, "batch items cannot nest"))
+    ops;
+  let groups =
+    Hashtbl.fold (fun sh items acc -> (sh, List.rev items) :: acc) by_shard []
+    |> List.sort compare
+  in
+  (* scatter: the shards compute their sub-batches concurrently *)
+  let sent =
+    List.map
+      (fun (sh, items) ->
+        let sub =
+          { P.req_id = id; deadline_ms; op = P.Batch { ops = List.map snd items } }
+        in
+        (sh, items, with_shard t links sh (fun sc -> Client.send sc sub)))
+      groups
+  in
+  (* gather: no re-send here — a link that dies between send and reply
+     only fails its own shard's items (the frame is idempotent, the
+     client may retry it whole) *)
+  List.iter
+    (fun (sh, items, sent_ok) ->
+      let fill err = List.iter (fun (idx, _) -> slots.(idx) <- Error err) items in
+      match sent_ok with
+      | Error msg -> fill (unreachable_error sh msg)
+      | Ok () -> (
+        let recv () =
+          match links.(sh) with
+          | Some sc -> Client.recv sc
+          | None -> raise (Client.Disconnected "shard link lost")
+        in
+        match recv () with
+        | { P.body = Ok (P.R_batch { results }); _ }
+          when List.length results = List.length items ->
+          List.iter2 (fun (idx, _) r -> slots.(idx) <- r) items results
+        | { P.body = Error (code, msg); _ } ->
+          (* whole sub-batch refused (overloaded / draining / breaker):
+             every item of this shard inherits the typed error *)
+          fill (code, msg)
+        | _ -> fill (P.Internal, Printf.sprintf "shard %d: malformed batch reply" sh)
+        | exception Client.Disconnected msg ->
+          drop_link links sh;
+          fill (unreachable_error sh msg)
+        | exception Failure msg ->
+          drop_link links sh;
+          fill (unreachable_error sh msg)))
+    sent;
+  P.R_batch { results = Array.to_list slots }
+
+(* ---------- route cache ----------
+
+   A frame the router relays verbatim (one analysis op, or a batch whose
+   items all land on one shard) is routed by a pure function of its
+   text, so the decision is memoized on the frame text minus its request
+   id (see {!P.split_frame_id}). *)
+
+exception Unrouted
+(* the frame needs the aggregating/stitching slow path (status, health,
+   shutdown, mixed-shard or malformed batches) and must not be cached *)
+
+let route_decision t line : int =
+  match P.decode_request line with
+  | Error _ -> raise Unrouted
+  | Ok req -> (
+    match req.P.op with
+    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op -> shard_of_op t op
+    | P.Batch { ops } -> (
+      match single_shard_batch t ops with
+      | Some sh -> sh
+      | None -> raise Unrouted)
+    | P.Status | P.Health | P.Shutdown -> raise Unrouted)
+
+let handle_decoded t links c ~seq line =
+  match P.decode_request line with
+  | Error msg -> write_reply c ~seq (error_reply 0 P.Bad_request msg)
+  | Ok req -> (
+    let id = req.P.req_id in
+    match req.P.op with
+    | P.Status ->
+      write_reply c ~seq { P.rep_id = id; body = Ok (P.R_status (agg_status t links)) }
+    | P.Health ->
+      write_reply c ~seq { P.rep_id = id; body = Ok (P.R_health (agg_health t links)) }
+    | P.Shutdown ->
+      broadcast_shutdown t links;
+      write_reply c ~seq { P.rep_id = id; body = Ok P.R_shutdown };
+      Atomic.set t.draining true;
+      Acceptor.request_stop t.acc
+    | _ when Atomic.get t.draining ->
+      write_reply c ~seq (error_reply id P.Shutting_down "server is draining")
+    | P.Batch { ops } -> (
+      match single_shard_batch t ops with
+      | Some sh -> forward_to t links c ~seq ~id ~sh line
+      | None ->
+        let body =
+          handle_batch t links ~deadline_ms:req.P.deadline_ms ~id ops
+        in
+        write_reply c ~seq { P.rep_id = id; body = Ok body })
+    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op ->
+      forward_single t links c ~seq ~id ~line op)
+
+let handle_line t links c ~seq line =
+  Atomic.incr t.requests;
+  (* draining must answer analysis frames with [Shutting_down], so the
+     relay fast path only runs while accepting work *)
+  if Atomic.get t.draining then handle_decoded t links c ~seq line
+  else
+    match P.split_frame_id line with
+    | None -> handle_decoded t links c ~seq line
+    | Some (id, pos) -> (
+      let key = String.sub line pos (String.length line - pos) in
+      match Cache.find_or_add t.routes key (fun () -> route_decision t line) with
+      | sh -> forward_to t links c ~seq ~id ~sh line
+      | exception Unrouted -> handle_decoded t links c ~seq line)
+
+let conn_loop t (c : Acceptor.conn) =
+  let links : links = Array.make t.shards None in
+  let rec loop () =
+    match Acceptor.read_line_bounded c ~max:P.max_request_bytes with
+    | `Eof -> ()
+    | `Too_long ->
+      write_reply c ~seq:(Acceptor.next_seq c)
+        (error_reply 0 P.Bad_request
+           (Printf.sprintf "request exceeds %d bytes" P.max_request_bytes))
+    | `Line line ->
+      if String.trim line <> "" then
+        handle_line t links c ~seq:(Acceptor.next_seq c) line;
+      loop ()
+  in
+  (try loop () with _ -> ());
+  Array.iteri (fun i _ -> drop_link links i) links
+
+(* ---------- lifecycle ---------- *)
+
+let rec mkdirs dir =
+  if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let spawn_shard (opts : opts) i =
+  let sock = shard_socket opts.socket i in
+  let cache_dir =
+    Option.map
+      (fun root -> Filename.concat root (Printf.sprintf "shard-%d" i))
+      opts.shard.Server.cache_dir
+  in
+  Option.iter mkdirs cache_dir;
+  match Unix.fork () with
+  | 0 ->
+    (* child: a full private server; never returns to the caller's code *)
+    let sopts =
+      {
+        opts.shard with
+        Server.socket = sock;
+        tcp = None;
+        cache_dir;
+        handle_signals = opts.handle_signals;
+        on_ready = None;
+        on_tcp_port = None;
+      }
+    in
+    let code = match Server.run sopts with _ -> 0 | exception _ -> 1 in
+    Unix._exit code
+  | pid -> pid
+
+let reap pids =
+  List.iter
+    (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    pids
+
+let run (opts : opts) : stats =
+  if opts.shards < 1 then invalid_arg "Router.run: shards must be >= 1";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* fork the shard fleet before any listener or thread exists in this
+     process — fork and threads do not mix *)
+  let pids = List.init opts.shards (spawn_shard opts) in
+  let teardown e =
+    List.iter (fun pid -> try Unix.kill pid Sys.sigterm with _ -> ()) pids;
+    reap pids;
+    raise e
+  in
+  (* a shard is up when its socket accepts *)
+  (try
+     for i = 0 to opts.shards - 1 do
+       Client.close (Client.connect ~retry_for:30. ~socket:(shard_socket opts.socket i) ())
+     done
+   with e -> teardown e);
+  let listeners =
+    try
+      let unix_listener = Endpoint.listen (Endpoint.Unix_path opts.socket) in
+      match opts.tcp with
+      | None -> [ unix_listener ]
+      | Some (host, port) -> (
+        match Endpoint.listen (Endpoint.Tcp (host, port)) with
+        | l ->
+          Option.iter
+            (fun f -> Option.iter f (Endpoint.bound_port l))
+            opts.on_tcp_port;
+          [ unix_listener; l ]
+        | exception e ->
+          Endpoint.close_listener unix_listener;
+          raise e)
+    with e -> teardown e
+  in
+  let t =
+    {
+      opts;
+      shards = opts.shards;
+      started = Unix.gettimeofday ();
+      requests = Atomic.make 0;
+      draining = Atomic.make false;
+      shards_notified = Atomic.make false;
+      acc = Acceptor.create listeners;
+      routes = Cache.create ~name:"routes" ~cap:256;
+    }
+  in
+  if opts.handle_signals then begin
+    let h =
+      Sys.Signal_handle
+        (fun _ ->
+          Atomic.set t.draining true;
+          Acceptor.request_stop t.acc)
+    in
+    (try Sys.set_signal Sys.sigint h with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm h with Invalid_argument _ -> ())
+  end;
+  Option.iter (fun f -> f ()) opts.on_ready;
+  Acceptor.serve t.acc ~on_conn:(conn_loop t);
+  Atomic.set t.draining true;
+  (* shutdown may have arrived as a signal rather than an rpc: make sure
+     the shards are told before we wait for them *)
+  if not (Atomic.get t.shards_notified) then begin
+    let links : links = Array.make t.shards None in
+    broadcast_shutdown t links;
+    Array.iteri (fun i _ -> drop_link links i) links
+  end;
+  Acceptor.finish t.acc;
+  reap pids;
+  { uptime_s = Unix.gettimeofday () -. t.started;
+    requests_total = Atomic.get t.requests }

@@ -1,0 +1,74 @@
+(** Shard router: fan one service endpoint across K worker processes.
+
+    [run] forks [shards] child processes, each a full {!Server} (its own
+    scheduler, caches, breaker, shedding and — inherited through the fork
+    — fault injection) listening on a private Unix socket
+    ([<socket>.shard<i>]) with a private snapshot directory
+    ([<cache-dir>/shard-<i>]).  The parent then serves the public Unix
+    socket (and optional TCP endpoint) through the shared {!Acceptor} and
+    routes each analysis request to the shard owning its target:
+
+    - {b routing}: FNV-1a 64-bit hash of the target's preparation key
+      ([workload|warmup|measure]), so every variant/engine session of one
+      prepared workload lands on the same shard and shares its prep
+      cache.  The hash is position-independent state — the same key maps
+      to the same shard across restarts and across processes.
+    - {b passthrough}: single analysis frames are forwarded verbatim and
+      the shard's reply line is relayed untouched, so replies stay
+      bit-identical to a direct connection.
+    - {b batch}: a [batch] frame whose analysis items all route to one
+      shard is relayed verbatim (the affinity fast path — router cost
+      per frame, not per item).  Otherwise the frame is partitioned by
+      shard, the sub-batches are scattered concurrently, and the
+      per-item results are stitched back in the original order.
+      [status]/[health] items are answered by the router itself
+      (aggregated); an unreachable shard marks only its own items
+      [unavailable].
+    - {b aggregation}: top-level [status]/[health] fan out to every shard
+      and roll up (sums for counters, worst-of for health, [shards = K]);
+      [uptime_s]/[requests_total] are the router's own.
+    - {b lifecycle}: [shutdown] (or SIGINT/SIGTERM) broadcasts shutdown
+      to every shard, stops accepting, drains connections and reaps the
+      children before returning.
+
+    A shard that cannot be reached (crashed, mid-restart) answers its
+    requests with typed [unavailable] errors — after one transparent
+    reconnect attempt — without affecting other shards. *)
+
+type opts = {
+  socket : string;  (** public Unix socket; shards get [<socket>.shard<i>] *)
+  tcp : (string * int) option;  (** optional public TCP endpoint *)
+  shards : int;  (** worker processes (>= 1) *)
+  shard : Server.opts;
+      (** template for each shard: workers, queue limit, cache caps,
+          breaker, memory high-water, snapshot root ([cache_dir] gets a
+          per-shard subdirectory).  [socket]/[tcp]/hooks are overridden. *)
+  handle_signals : bool;
+  on_ready : (unit -> unit) option;
+      (** called once every shard is up and the public sockets listen *)
+  on_tcp_port : (int -> unit) option;  (** bound TCP port (port 0 ok) *)
+}
+
+val default_opts : opts
+(** 2 shards over {!Server.default_opts}, no TCP, signals handled. *)
+
+val shard_of_key : shards:int -> string -> int
+(** FNV-1a 64-bit hash of the key, reduced mod [shards].  Deterministic
+    across restarts and processes (no randomized seed). *)
+
+val route_key : Protocol.target -> string
+(** The routing key of a target: its preparation key
+    [workload|w<warmup>|m<measure>] — variant/engine/seed intentionally
+    excluded so all sessions of one prepared workload share a shard. *)
+
+val shard_socket : string -> int -> string
+(** [shard_socket public i] is shard [i]'s private socket path. *)
+
+type stats = { uptime_s : float; requests_total : int }
+
+val run : opts -> stats
+(** Serve until shutdown; blocks, like {!Server.run}.  Forks the shard
+    processes {e before} creating any listener or thread, so it must be
+    called from a quiescent process (the CLI does; beware domains).
+    @raise Failure if a shard fails to come up or an endpoint cannot be
+    bound (already-started shards are torn down first). *)

@@ -19,6 +19,7 @@ module P = Protocol
 
 type opts = {
   socket : string;
+  tcp : (string * int) option;
   workers : int;
   queue_limit : int;
   cache_cap : int;
@@ -28,11 +29,13 @@ type opts = {
   cache_dir : string option;
   handle_signals : bool;
   on_ready : (unit -> unit) option;
+  on_tcp_port : (int -> unit) option;
 }
 
 let default_opts =
   {
     socket = "icostd.sock";
+    tcp = None;
     workers = 4;
     queue_limit = 64;
     cache_cap = 8;
@@ -42,6 +45,7 @@ let default_opts =
     cache_dir = None;
     handle_signals = true;
     on_ready = None;
+    on_tcp_port = None;
   }
 
 type stats = { uptime_s : float; requests_total : int }
@@ -55,13 +59,14 @@ exception Deadline
 (* A session keeps the full establishment record (not just the oracle):
    the memo handle and session key are what [Snapshot.persist] needs to
    re-save a grown memo table after each successful analysis. *)
-type session = { est : Snapshot.established; skey : string }
-
-type conn = {
-  fd : Unix.file_descr;
-  wmutex : Mutex.t;  (* one writer at a time per connection *)
-  pending : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
-  mutable alive : bool;
+type session = {
+  est : Snapshot.established;
+  skey : string;
+  gstats : P.result_body option Atomic.t;
+      (* memoized graph-stats reply: the stats are a pure function of the
+         established session, and recomputing them walks the whole graph
+         (critical_length is a full topological pass), so warm queries
+         would otherwise pay a per-item cost proportional to the trace *)
 }
 
 type t = {
@@ -71,6 +76,22 @@ type t = {
   prep_cache : Runner.prepared Cache.t;
   baseline_cache : Ooo.result Cache.t;
   session_cache : session Cache.t;
+  reply_cache : string Cache.t;
+      (* encoded result objects keyed by the canonical op encoding: every
+         analysis op is a pure function of its target, so a repeated query
+         can be answered from the wire bytes of the first — without even
+         re-encoding the floats.  Failures are never cached (the builder
+         raises), and the breaker/fault/deadline checks run before the
+         lookup so supervision semantics are unchanged on hits. *)
+  frame_cache : string Cache.t;
+      (* the same idea one level up: encoded result fragments of whole
+         frames, keyed by the frame text minus its request id
+         ({!P.split_frame_id}).  A hit skips decoding, per-item cache
+         lookups and reply assembly entirely.  Populated only by frames
+         whose every item is an analysis op that succeeded; bypassed
+         while faults are armed or the server is draining, and purged
+         whenever supervision charges a failure, so breaker/fault
+         semantics are identical to the uncached path. *)
   requests : int Atomic.t;
   shutdown_requested : bool Atomic.t;
   breaker : Breaker.t;
@@ -81,9 +102,7 @@ type t = {
   snap_hits : int Atomic.t;
   snap_misses : int Atomic.t;
   snap_rejects : int Atomic.t;
-  wake_w : Unix.file_descr;  (* self-pipe: any write wakes the accept loop *)
-  conns_mutex : Mutex.t;
-  mutable conns : (conn * Thread.t) list;
+  acc : Acceptor.t;  (* accept loop + connection bookkeeping + ordered writes *)
 }
 
 let c_requests = Telemetry.counter "service.requests"
@@ -92,10 +111,9 @@ let c_err = Telemetry.counter "service.replies_error"
 let c_shed = Telemetry.counter "service.shed"
 
 (* injection points threaded through every seam of the request path; each
-   is a no-op single branch unless armed via ICOST_FAULTS / --faults *)
-let fp_accept = Fault.point "accept_reset"
-let fp_read = Fault.point "conn_reset"
-let fp_write_short = Fault.point "write_short"
+   is a no-op single branch unless armed via ICOST_FAULTS / --faults (the
+   transport points — accept_reset, conn_reset, write_short — live in
+   Acceptor, shared with the shard router) *)
 let fp_decode = Fault.point "decode_fail"
 let fp_worker = Fault.point "worker_raise"
 let fp_deadline = Fault.point "deadline_expire"
@@ -139,8 +157,23 @@ let set_of_spec spec =
 let prep_key (tg : P.target) =
   Printf.sprintf "%s|w%d|m%d" tg.workload tg.warmup tg.measure
 
+(* Every config reaching a cache key is one of the variant constants
+   (config_of_variant), so digest each physical value once instead of
+   marshalling it on every request — the digest sits on the per-item hot
+   path twice (breaker key + session lookup).  Physical-identity misses
+   just recompute, so a lost racing update is merely a duplicate entry. *)
+let cfg_digest =
+  let tbl = Atomic.make [] in
+  fun cfg ->
+    match List.assq_opt cfg (Atomic.get tbl) with
+    | Some d -> d
+    | None ->
+      let d = Texport.digest cfg in
+      Atomic.set tbl ((cfg, d) :: Atomic.get tbl);
+      d
+
 let baseline_key (tg : P.target) cfg =
-  Printf.sprintf "%s|%s" (prep_key tg) (Texport.digest cfg)
+  Printf.sprintf "%s|%s" (prep_key tg) (cfg_digest cfg)
 
 let session_key (tg : P.target) cfg kind =
   let seed = match kind with Runner.Profiler -> tg.seed | _ -> 0 in
@@ -178,7 +211,7 @@ let session_of t (tg : P.target) : Runner.prepared * session =
               ~baseline:(fun _ -> baseline_of prepared)
               ()
           in
-          { est; skey })
+          { est; skey; gstats = Atomic.make None })
     in
     (prepared, session)
   | Some dir ->
@@ -199,7 +232,7 @@ let session_of t (tg : P.target) : Runner.prepared * session =
            | `Miss -> Atomic.incr t.snap_misses
            | `Reject -> Atomic.incr t.snap_rejects
            | `Off -> ());
-          { est; skey })
+          { est; skey; gstats = Atomic.make None })
     in
     let prepared =
       Cache.find_or_add t.prep_cache (prep_key tg) (fun () ->
@@ -286,18 +319,28 @@ let analyze t ~deadline (op : P.op) : P.result_body =
     let target = { target with P.engine = "graph" } in
     let prepared, session = session_of t target in
     check_deadline deadline;
-    (match session.est.Snapshot.est_graph () with
-     | Some g ->
-       P.R_graph_stats
-         {
-           instrs = Trace.length prepared.trace;
-           nodes = Graph.num_nodes g;
-           edges = Graph.num_edges g;
-           critical_path = Graph.critical_length g;
-         }
-     | None -> raise (Bad "graph engine produced no graph"))
-  | P.Status | P.Health | P.Shutdown ->
-    assert false (* handled inline, never queued *)
+    (match Atomic.get session.gstats with
+     | Some body -> body
+     | None ->
+       (match session.est.Snapshot.est_graph () with
+        | Some g ->
+          let body =
+            P.R_graph_stats
+              {
+                instrs = Trace.length prepared.trace;
+                nodes = Graph.num_nodes g;
+                edges = Graph.num_edges g;
+                critical_path = Graph.critical_length g;
+              }
+          in
+          (* racing threads compute the same deterministic value, so the
+             last write winning is harmless *)
+          Atomic.set session.gstats (Some body);
+          body
+        | None -> raise (Bad "graph engine produced no graph")))
+  | P.Batch _ | P.Status | P.Health | P.Shutdown ->
+    assert false (* batch items are dispatched individually; the rest are
+                    handled inline, never queued *)
 
 (* ---------- health & graceful degradation ---------- *)
 
@@ -321,7 +364,10 @@ let check_pressure t =
     Atomic.set t.degraded_until (Unix.gettimeofday () +. 2.0);
     let keep = t.opts.cache_cap / 2 in
     let shed =
-      Cache.trim t.session_cache ~keep + Cache.trim t.baseline_cache ~keep
+      Cache.trim t.session_cache ~keep
+      + Cache.trim t.baseline_cache ~keep
+      + Cache.trim t.reply_cache ~keep:(16 * t.opts.cache_cap)
+      + Cache.trim t.frame_cache ~keep:(4 * t.opts.cache_cap)
     in
     if shed > 0 then begin
       ignore (Atomic.fetch_and_add t.shed_tally shed);
@@ -343,13 +389,14 @@ let breaker_key_of (op : P.op) : string option =
   match op with
   | P.Breakdown { target; _ } | P.Icost { target; _ } -> of_target target
   | P.Graph_stats { target } -> of_target { target with P.engine = "graph" }
-  | P.Status | P.Health | P.Shutdown -> None
+  | P.Batch _ | P.Status | P.Health | P.Shutdown -> None
 
 let status_body t : P.status_body =
-  let sum3 f =
+  let sum_caches f =
     f (Cache.stats t.prep_cache)
     + f (Cache.stats t.baseline_cache)
     + f (Cache.stats t.session_cache)
+    + f (Cache.stats t.reply_cache)
   in
   {
     P.uptime_s = Unix.gettimeofday () -. t.started;
@@ -357,13 +404,14 @@ let status_body t : P.status_body =
     inflight = Scheduler.inflight t.sched;
     queue_depth = Scheduler.queue_depth t.sched;
     sessions = Cache.length t.session_cache;
-    cache_hits = sum3 (fun (s : Cache.stats) -> s.hits);
-    cache_misses = sum3 (fun (s : Cache.stats) -> s.misses);
-    cache_evictions = sum3 (fun (s : Cache.stats) -> s.evictions);
+    cache_hits = sum_caches (fun (s : Cache.stats) -> s.hits);
+    cache_misses = sum_caches (fun (s : Cache.stats) -> s.misses);
+    cache_evictions = sum_caches (fun (s : Cache.stats) -> s.evictions);
     snapshot_hits = Atomic.get t.snap_hits;
     snapshot_misses = Atomic.get t.snap_misses;
     snapshot_rejects = Atomic.get t.snap_rejects;
     pool_jobs = Pool.jobs ();
+    shards = 0;
     health = health_of t;
     draining = Atomic.get t.shutdown_requested;
   }
@@ -377,82 +425,29 @@ let health_body t : P.health_body =
 
 (* ---------- wire I/O ---------- *)
 
-(* Loop until the whole line is on the wire: [Unix.write_substring] may
-   write fewer bytes than asked (and the [write_short] fault point forces
-   exactly that), which used to truncate replies mid-line and desync the
-   stream.  EINTR restarts the same write. *)
-let write_all_fd fd (s : string) =
-  let len = String.length s in
-  let rec go off =
-    if off < len then begin
-      let remaining = len - off in
-      let attempt =
-        if Fault.fire fp_write_short then max 1 (remaining / 2) else remaining
-      in
-      match Unix.write_substring fd s off attempt with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-    end
-  in
-  go 0
+(* Replies go through the acceptor's sequence-ordered writer: the reader
+   assigns each request line a sequence slot, and a reply — whether
+   written inline or by a worker thread finishing out of order — reaches
+   the wire only after every earlier slot, giving pipelined clients
+   replies in request order. *)
+let write_reply (c : Acceptor.conn) ~seq (reply : P.reply) =
+  Acceptor.write_line c ~seq (P.encode_reply reply ^ "\n");
+  match reply.P.body with
+  | Ok _ -> Telemetry.incr c_ok
+  | Error _ -> Telemetry.incr c_err
 
-let write_reply (c : conn) (reply : P.reply) =
-  let line = P.encode_reply reply ^ "\n" in
-  Mutex.lock c.wmutex;
-  (try if c.alive then write_all_fd c.fd line
-   with Unix.Unix_error _ -> c.alive <- false);
-  Mutex.unlock c.wmutex;
-  (match reply.P.body with
-   | Ok _ -> Telemetry.incr c_ok
-   | Error _ -> Telemetry.incr c_err)
+(* success reply assembled from a pre-encoded result fragment *)
+let write_ok_line (c : Acceptor.conn) ~seq (line : string) =
+  Acceptor.write_line c ~seq (line ^ "\n");
+  Telemetry.incr c_ok
 
 let error_reply id code msg = { P.rep_id = id; body = Error (code, msg) }
-
-(* Read one '\n'-terminated line, refusing to buffer more than the
-   protocol's request cap.  [take_line] runs before the size check and the
-   check is strict, so a line of exactly [max_request_bytes] always reaches
-   the decoder (which accepts it — its bound is strict too); anything
-   longer is rejected, either here as [`Too_long] or, when the terminating
-   newline lands in the same read, by the decoder's own size message.
-   Both paths answer [bad_request]. *)
-let read_line_bounded (c : conn) : [ `Line of string | `Too_long | `Eof ] =
-  let chunk = Bytes.create 4096 in
-  let take_line () =
-    let s = Buffer.contents c.pending in
-    match String.index_opt s '\n' with
-    | Some i ->
-      Buffer.clear c.pending;
-      Buffer.add_string c.pending
-        (String.sub s (i + 1) (String.length s - i - 1));
-      Some (String.sub s 0 i)
-    | None -> None
-  in
-  let rec loop () =
-    match take_line () with
-    | Some line -> `Line line
-    | None ->
-      if Buffer.length c.pending > P.max_request_bytes then `Too_long
-      else if Fault.fire fp_read then `Eof (* injected connection reset *)
-      else begin
-        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-        | 0 -> `Eof
-        | n ->
-          Buffer.add_subbytes c.pending chunk 0 n;
-          loop ()
-        | exception Unix.Unix_error ((Unix.EBADF | Unix.ECONNRESET), _, _) ->
-          `Eof
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      end
-  in
-  loop ()
 
 (* ---------- request dispatch ---------- *)
 
 let initiate_shutdown t =
   if not (Atomic.exchange t.shutdown_requested true) then
-    (* wake the accept loop; the pipe write is the only async-signal-ish
-       operation, safe from both signal handlers and connection threads *)
-    try ignore (Unix.write_substring t.wake_w "x" 0 1) with _ -> ()
+    Acceptor.request_stop t.acc
 
 let exn_message = function
   | Failure m -> m
@@ -460,134 +455,223 @@ let exn_message = function
   | Fault.Injected p -> Printf.sprintf "injected fault at point %S" p
   | e -> Printexc.to_string e
 
-let handle_line t (c : conn) (line : string) =
-  Atomic.incr t.requests;
-  Telemetry.incr c_requests;
+(* Run one analysis op under full supervision (breaker check, worker
+   fault point, session eviction + breaker charge on raise) and return a
+   typed outcome as an already-encoded result object.  Shared by the
+   single-op job and each batch item, so a batch exercises exactly the
+   same failure machinery per item.
+
+   Analysis results go through the reply cache: the checks (deadline,
+   breaker, worker fault point) run before the lookup, so an expired or
+   breaker-blocked request is refused even when the answer is cached,
+   and armed faults keep firing per item.  Only successful results are
+   stored — a raising builder leaves the key absent. *)
+let exec_op t ~deadline (op : P.op) : (string, P.error_code * string) result =
+  match op with
+  | P.Status -> Ok (P.encode_result (P.R_status (status_body t)))
+  | P.Health -> Ok (P.encode_result (P.R_health (health_body t)))
+  | P.Shutdown -> Error (P.Bad_request, "shutdown is not allowed inside a batch")
+  | P.Batch _ -> Error (P.Bad_request, "batch items cannot nest")
+  | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op ->
+    let skey = breaker_key_of op in
+    let breaker_open =
+      match skey with
+      | Some k -> Breaker.check t.breaker k = `Open
+      | None -> false
+    in
+    if breaker_open then
+      Error
+        ( P.Unavailable,
+          "circuit breaker open for this target; retry after cooldown" )
+    else begin
+      match
+        check_deadline deadline;
+        Fault.trip fp_worker;
+        Cache.find_or_add t.reply_cache (P.encode_op op) (fun () ->
+            P.encode_result (analyze t ~deadline op))
+      with
+      | encoded ->
+        Option.iter (fun k -> Breaker.success t.breaker k) skey;
+        Ok encoded
+      | exception Bad msg -> Error (P.Bad_request, msg)
+      | exception Deadline -> Error (P.Deadline_exceeded, "deadline elapsed")
+      | exception e ->
+        (* supervision: the raise must not poison later requests — evict
+           the session so a retry rebuilds it, and charge the failure to
+           this target's breaker *)
+        Option.iter
+          (fun k ->
+            ignore (Cache.remove t.session_cache k);
+            Breaker.failure t.breaker k)
+          skey;
+        (* a charged failure may have tripped this target's breaker:
+           drop every memoized frame so no frame naming the target can
+           dodge the breaker's fail-fast answer.  (Frames cannot be
+           purged per-target — the key is opaque text — and failures
+           are rare enough that a full drop is cheap.) *)
+        ignore (Cache.trim t.frame_cache ~keep:0);
+        Error (P.Internal, exn_message e)
+    end
+
+let span_attrs (op : P.op) =
+  match op with
+  | P.Breakdown { target; _ } | P.Icost { target; _ } | P.Graph_stats { target }
+    ->
+    [
+      ("op", (match op with
+              | P.Breakdown _ -> "breakdown"
+              | P.Icost _ -> "icost"
+              | _ -> "graph-stats"));
+      ("workload", target.P.workload);
+      ("engine", target.P.engine);
+    ]
+  | P.Batch { ops } ->
+    [ ("op", "batch"); ("items", string_of_int (List.length ops)) ]
+  | P.Status | P.Health | P.Shutdown -> []
+
+exception Frame_miss
+
+(* Probe the frame cache without populating: the raising builder leaves
+   the key absent.  [None] when the frame is not in canonical form or
+   the fast path must step aside (armed faults change per-item outcomes;
+   a draining server must answer [Shutting_down]). *)
+let frame_fast_path t (line : string) : (int * string * string option) option =
+  match P.split_frame_id line with
+  | None -> None
+  | Some (id, pos) ->
+    if Fault.enabled () || Atomic.get t.shutdown_requested then None
+    else begin
+      let key = String.sub line pos (String.length line - pos) in
+      match Cache.find_or_add t.frame_cache key (fun () -> raise Frame_miss) with
+      | frag -> Some (id, key, Some frag)
+      | exception Frame_miss -> Some (id, key, None)
+    end
+
+let handle_decoded t (c : Acceptor.conn) ~seq ~fkey (line : string) =
   let decoded =
     if Fault.fire fp_decode then Error "injected decode fault"
     else P.decode_request line
   in
   match decoded with
-  | Error msg -> write_reply c (error_reply 0 P.Bad_request msg)
+  | Error msg -> write_reply c ~seq (error_reply 0 P.Bad_request msg)
   | Ok req ->
     let id = req.P.req_id in
     (match req.P.op with
-     | P.Status -> write_reply c { P.rep_id = id; body = Ok (P.R_status (status_body t)) }
+     | P.Status ->
+       write_reply c ~seq { P.rep_id = id; body = Ok (P.R_status (status_body t)) }
      | P.Health ->
-       write_reply c { P.rep_id = id; body = Ok (P.R_health (health_body t)) }
+       write_reply c ~seq { P.rep_id = id; body = Ok (P.R_health (health_body t)) }
      | P.Shutdown ->
-       write_reply c { P.rep_id = id; body = Ok P.R_shutdown };
+       write_reply c ~seq { P.rep_id = id; body = Ok P.R_shutdown };
        initiate_shutdown t
-     | (P.Breakdown { target; _ } | P.Icost { target; _ } | P.Graph_stats { target })
-       as op ->
+     | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Batch _) as op ->
        check_pressure t;
-       let skey = breaker_key_of op in
-       let breaker_open =
-         match skey with
-         | Some k -> Breaker.check t.breaker k = `Open
-         | None -> false
+       let deadline =
+         Option.map
+           (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1e3))
+           req.P.deadline_ms
        in
-       if breaker_open then
-         write_reply c
-           (error_reply id P.Unavailable
-              "circuit breaker open for this target; retry after cooldown")
-       else begin
-         let deadline =
-           Option.map
-             (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1e3))
-             req.P.deadline_ms
-         in
-         let job () =
-           let reply =
-             Telemetry.with_span "service.request"
-               ~attrs:
-                 [
-                   ("op", (match op with
-                           | P.Breakdown _ -> "breakdown"
-                           | P.Icost _ -> "icost"
-                           | _ -> "graph-stats"));
-                   ("workload", target.P.workload);
-                   ("engine", target.P.engine);
-                 ]
-             @@ fun () ->
-             match (Fault.trip fp_worker; analyze t ~deadline op) with
-             | body ->
-               Option.iter (fun k -> Breaker.success t.breaker k) skey;
-               { P.rep_id = id; body = Ok body }
-             | exception Bad msg -> error_reply id P.Bad_request msg
-             | exception Deadline ->
-               error_reply id P.Deadline_exceeded "deadline elapsed"
-             | exception e ->
-               (* supervision: the raise must not poison later requests —
-                  evict the session so a retry rebuilds it, and charge the
-                  failure to this target's breaker *)
-               Option.iter
-                 (fun k ->
-                   ignore (Cache.remove t.session_cache k);
-                   Breaker.failure t.breaker k)
-                 skey;
-               error_reply id P.Internal (exn_message e)
-           in
-           write_reply c reply
-         in
-         match Scheduler.submit t.sched job with
-         | `Accepted -> ()
-         | `Overloaded ->
-           write_reply c
-             (error_reply id P.Overloaded
-                (Printf.sprintf "queue full (limit %d); retry later"
-                   t.opts.queue_limit))
-         | `Draining ->
-           write_reply c (error_reply id P.Shutting_down "server is draining")
-       end)
+       (* One scheduler slot per frame — a batch amortizes queueing the
+          way it amortizes decoding.  The shared deadline is checked
+          between items, so items after expiry answer deadline_exceeded
+          individually instead of losing the whole frame. *)
+       (* Memoize the whole frame's result fragment when every item is a
+          pure analysis query that succeeded (status/health are
+          time-varying; failures must stay re-executable).  The armed-
+          faults/draining bypass happened before [fkey] was produced. *)
+       let memo_frame frag =
+         match fkey with
+         | None -> ()
+         | Some key ->
+           ignore (Cache.find_or_add t.frame_cache key (fun () -> frag))
+       in
+       let analysis_only ops =
+         List.for_all
+           (function
+             | P.Breakdown _ | P.Icost _ | P.Graph_stats _ -> true
+             | _ -> false)
+           ops
+       in
+       let job () =
+         Telemetry.with_span "service.request" ~attrs:(span_attrs op)
+         @@ fun () ->
+         match op with
+         | P.Batch { ops } ->
+           let results = List.map (fun o -> exec_op t ~deadline o) ops in
+           let frag = P.encode_batch_result ~results in
+           if analysis_only ops && List.for_all Result.is_ok results then
+             memo_frame frag;
+           write_ok_line c ~seq (P.encode_ok_reply ~rep_id:id ~result:frag)
+         | op ->
+           (match exec_op t ~deadline op with
+            | Ok result ->
+              memo_frame result;
+              write_ok_line c ~seq (P.encode_ok_reply ~rep_id:id ~result)
+            | Error (code, msg) -> write_reply c ~seq (error_reply id code msg))
+       in
+       (match Scheduler.submit t.sched job with
+        | `Accepted -> ()
+        | `Overloaded ->
+          write_reply c ~seq
+            (error_reply id P.Overloaded
+               (Printf.sprintf "queue full (limit %d); retry later"
+                  t.opts.queue_limit))
+        | `Draining ->
+          write_reply c ~seq
+            (error_reply id P.Shutting_down "server is draining")))
 
-let conn_loop t (c : conn) =
+let handle_line t (c : Acceptor.conn) ~seq (line : string) =
+  Atomic.incr t.requests;
+  Telemetry.incr c_requests;
+  match frame_fast_path t line with
+  | Some (id, _, Some frag) ->
+    write_ok_line c ~seq (P.encode_ok_reply ~rep_id:id ~result:frag)
+  | fast ->
+    let fkey = match fast with Some (_, key, None) -> Some key | _ -> None in
+    handle_decoded t c ~seq ~fkey line
+
+let conn_loop t (c : Acceptor.conn) =
   let rec loop () =
-    match read_line_bounded c with
+    match Acceptor.read_line_bounded c ~max:P.max_request_bytes with
     | `Eof -> ()
     | `Too_long ->
       (* the stream cannot be re-synchronized after an oversized request:
          answer with a typed error, then drop the connection *)
-      write_reply c
+      write_reply c ~seq:(Acceptor.next_seq c)
         (error_reply 0 P.Bad_request
            (Printf.sprintf "request exceeds %d bytes" P.max_request_bytes))
     | `Line line ->
-      if String.trim line <> "" then handle_line t c line;
+      if String.trim line <> "" then
+        handle_line t c ~seq:(Acceptor.next_seq c) line;
       loop ()
   in
-  (try loop () with _ -> ());
-  Mutex.lock c.wmutex;
-  c.alive <- false;
-  Mutex.unlock c.wmutex;
-  (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  loop ()
 
 (* ---------- lifecycle ---------- *)
-
-let setup_socket path =
-  if Sys.file_exists path then begin
-    (* distinguish a live daemon from a stale file left by a crash *)
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let live =
-      match Unix.connect probe (Unix.ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error _ -> false
-    in
-    (try Unix.close probe with Unix.Unix_error _ -> ());
-    if live then failwith (Printf.sprintf "socket %s is already served" path)
-    else Unix.unlink path
-  end;
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 64;
-  fd
 
 let run (opts : opts) : stats =
   (* a client that disconnects mid-reply must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (* validate the socket before spawning any worker threads, so a
-     "already served" failure leaks nothing *)
-  let listen_fd = setup_socket opts.socket in
-  let wake_r, wake_w = Unix.pipe () in
+  (* validate the endpoints before spawning any worker threads, so an
+     "already served" / "cannot listen" failure leaks nothing *)
+  let unix_listener = Endpoint.listen (Endpoint.Unix_path opts.socket) in
+  let tcp_listener =
+    match opts.tcp with
+    | None -> None
+    | Some (host, port) -> (
+        match Endpoint.listen (Endpoint.Tcp (host, port)) with
+        | l ->
+          Option.iter
+            (fun f -> Option.iter f (Endpoint.bound_port l))
+            opts.on_tcp_port;
+          Some l
+        | exception e ->
+          Endpoint.close_listener unix_listener;
+          raise e)
+  in
+  let listeners =
+    unix_listener :: (match tcp_listener with None -> [] | Some l -> [ l ])
+  in
   let t =
     {
       opts;
@@ -596,6 +680,10 @@ let run (opts : opts) : stats =
       prep_cache = Cache.create ~name:"prep" ~cap:opts.cache_cap;
       baseline_cache = Cache.create ~name:"baseline" ~cap:opts.cache_cap;
       session_cache = Cache.create ~name:"session" ~cap:opts.cache_cap;
+      (* encoded replies are ~1 KB each, so the cap can be far more
+         generous than for sessions *)
+      reply_cache = Cache.create ~name:"replies" ~cap:(32 * opts.cache_cap);
+      frame_cache = Cache.create ~name:"frames" ~cap:(8 * opts.cache_cap);
       requests = Atomic.make 0;
       shutdown_requested = Atomic.make false;
       breaker =
@@ -606,9 +694,7 @@ let run (opts : opts) : stats =
       snap_hits = Atomic.make 0;
       snap_misses = Atomic.make 0;
       snap_rejects = Atomic.make 0;
-      wake_w;
-      conns_mutex = Mutex.create ();
-      conns = [];
+      acc = Acceptor.create listeners;
     }
   in
   if opts.handle_signals then begin
@@ -617,47 +703,9 @@ let run (opts : opts) : stats =
     (try Sys.set_signal Sys.sigterm h with Invalid_argument _ -> ())
   end;
   Option.iter (fun f -> f ()) opts.on_ready;
-  let rec accept_loop () =
-    if not (Atomic.get t.shutdown_requested) then begin
-      match Unix.select [ listen_fd; wake_r ] [] [] (-1.) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | readable, _, _ ->
-        if List.mem listen_fd readable && not (Atomic.get t.shutdown_requested)
-        then begin
-          (match Unix.accept listen_fd with
-           | fd, _ when Fault.fire fp_accept ->
-             (* injected accept-time reset: drop the connection unserved *)
-             (try Unix.close fd with Unix.Unix_error _ -> ())
-           | fd, _ ->
-             let c =
-               { fd; wmutex = Mutex.create (); pending = Buffer.create 256;
-                 alive = true }
-             in
-             let th = Thread.create (conn_loop t) c in
-             Mutex.lock t.conns_mutex;
-             t.conns <- (c, th) :: t.conns;
-             Mutex.unlock t.conns_mutex
-           | exception Unix.Unix_error _ -> ());
-          accept_loop ()
-        end
-    end
-  in
-  accept_loop ();
-  (* --- graceful shutdown: drain, then dismantle --- *)
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Acceptor.serve t.acc ~on_conn:(conn_loop t);
+  (* --- graceful shutdown: listeners are closed; drain, then dismantle --- *)
   Scheduler.drain t.sched;
-  Mutex.lock t.conns_mutex;
-  let conns = t.conns in
-  t.conns <- [];
-  Mutex.unlock t.conns_mutex;
-  List.iter
-    (fun ((c : conn), _) ->
-      (* a blocked reader does not wake on [close] alone *)
-      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-    conns;
-  List.iter (fun (_, th) -> Thread.join th) conns;
-  (try Unix.close wake_r with Unix.Unix_error _ -> ());
-  (try Unix.close wake_w with Unix.Unix_error _ -> ());
-  (try Unix.unlink opts.socket with Unix.Unix_error _ -> ());
+  Acceptor.finish t.acc;
   { uptime_s = Unix.gettimeofday () -. t.started;
     requests_total = Atomic.get t.requests }

@@ -1,7 +1,12 @@
 (** The resident icost analysis daemon ([icost serve]).
 
-    Listens on a Unix domain socket and answers [icost.rpc.v1] requests
-    ({!Protocol}).  The expensive per-query work of the one-shot CLI —
+    Listens on a Unix domain socket — and, with [opts.tcp], a TCP
+    endpoint sharing the same accept loop and connection bookkeeping
+    ({!Acceptor}) — and answers [icost.rpc.v1] requests ({!Protocol}).
+    Pipelined requests on one connection are answered in request order
+    (the acceptor's sequence-ordered writer), and a [batch] frame runs
+    its items under per-item supervision in one scheduler slot.
+    The expensive per-query work of the one-shot CLI —
     interpreting the workload, annotating events, running the baseline
     simulation, compiling the dependence graph, building a memoized cost
     oracle — is done once per session key and then served from three
@@ -50,6 +55,9 @@
 
 type opts = {
   socket : string;  (** Unix domain socket path *)
+  tcp : (string * int) option;
+      (** additional TCP listener (host, port); port [0] binds an
+          ephemeral port, reported through [on_tcp_port] *)
   workers : int;  (** scheduler worker threads (see {!Scheduler}) *)
   queue_limit : int;  (** accepted-but-not-running bound *)
   cache_cap : int;  (** max entries per cache layer *)
@@ -67,12 +75,15 @@ type opts = {
           (the CLI wants this; in-process tests do not) *)
   on_ready : (unit -> unit) option;
       (** called once the socket is listening, before the accept loop *)
+  on_tcp_port : (int -> unit) option;
+      (** called with the bound TCP port once listening (before
+          [on_ready]); never called when [tcp] is [None] *)
 }
 
 val default_opts : opts
-(** socket ["icostd.sock"], 4 workers, queue limit 64, cache cap 8,
-    breaker threshold 3 / cooldown 5s, memory high-water 4096 MiB,
-    no cache dir, signals handled, no ready hook. *)
+(** socket ["icostd.sock"], no TCP listener, 4 workers, queue limit 64,
+    cache cap 8, breaker threshold 3 / cooldown 5s, memory high-water
+    4096 MiB, no cache dir, signals handled, no ready hook. *)
 
 val session_key :
   Protocol.target ->
@@ -92,4 +103,5 @@ val run : opts -> stats
     (connection readers, scheduler workers) runs on threads spawned here
     and is joined before returning.
     @raise Failure if the socket path is already served by a live daemon
-    (a stale socket file left by a crash is silently replaced). *)
+    (a stale socket file left by a crash is silently replaced), or the
+    TCP endpoint cannot be bound. *)

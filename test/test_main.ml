@@ -3,6 +3,9 @@
 let () =
   Alcotest.run "icostlib"
     [
+      (* first: the router suite forks a daemon process, and Unix.fork is
+         forbidden once any other suite has spawned a domain (Pool) *)
+      Test_router.suite;
       Test_prng.suite;
       Test_stats.suite;
       Test_pool.suite;

@@ -1,0 +1,263 @@
+(* Tests for the shard router: deterministic key hashing (golden values
+   that must never drift — a shard reshuffle would orphan every snapshot
+   directory), routing-key construction, and a forked two-shard daemon
+   exercised end to end: per-shard preparation, aggregate status, batch
+   scatter-gather ordering, bit-identical passthrough and shutdown
+   fan-out. *)
+
+module P = Icost_service.Protocol
+module Server = Icost_service.Server
+module Router = Icost_service.Router
+module Client = Icost_service.Client
+
+let sigpipe_off () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+let tmp_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "icost-router-%s-%d" tag (Unix.getpid ()))
+
+(* ---------- hashing and routing keys ---------- *)
+
+(* Golden FNV-1a placements, cross-checked against an independent
+   implementation.  These values are load-bearing: the shard of a key
+   decides which shard's prep cache and snapshot directory own a
+   workload, so the mapping must be stable across restarts, processes
+   and releases. *)
+let test_shard_hash_golden () =
+  let cases =
+    [
+      ("gcc|w2000|m800", 2, 0);
+      ("gzip|w2000|m800", 2, 1);
+      ("go|w2000|m800", 2, 1);
+      ("vortex|w2000|m800", 2, 1);
+      ("gcc|w2000|m900", 2, 1);
+      ("gcc|w2000|m800", 4, 0);
+      ("gzip|w2000|m800", 4, 3);
+      ("go|w2000|m800", 4, 1);
+      ("gcc|w2000|m800", 3, 0);
+      ("vortex|w2000|m800", 3, 2);
+    ]
+  in
+  List.iter
+    (fun (key, shards, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s mod %d" key shards)
+        expect
+        (Router.shard_of_key ~shards key))
+    cases;
+  (* stability: the same key re-hashed in the same process agrees *)
+  List.iter
+    (fun (key, shards, _) ->
+      Alcotest.(check int) "re-hash is deterministic"
+        (Router.shard_of_key ~shards key)
+        (Router.shard_of_key ~shards key))
+    cases;
+  (* degenerate shard counts collapse to shard 0 *)
+  Alcotest.(check int) "single shard" 0 (Router.shard_of_key ~shards:1 "x")
+
+let test_route_key () =
+  let tg =
+    { P.workload = "gcc"; variant = "dl1"; engine = "multisim"; warmup = 2000;
+      measure = 800; seed = 789 }
+  in
+  Alcotest.(check string) "prep key shape" "gcc|w2000|m800" (Router.route_key tg);
+  (* variant / engine / seed are intentionally not part of the routing
+     key: every session of one prepared workload shares a shard (and so
+     its prep cache) *)
+  List.iter
+    (fun tg' ->
+      Alcotest.(check string) "variant-independent" (Router.route_key tg)
+        (Router.route_key tg'))
+    [
+      { tg with P.variant = "bmisp" };
+      { tg with P.engine = "graph" };
+      { tg with P.seed = 1 };
+    ];
+  (* ...while the prep parameters are *)
+  Alcotest.(check bool) "measure routes" true
+    (Router.route_key tg <> Router.route_key { tg with P.measure = 900 })
+
+let test_shard_socket () =
+  Alcotest.(check string) "shard socket naming" "/tmp/d.sock.shard1"
+    (Router.shard_socket "/tmp/d.sock" 1)
+
+(* ---------- forked two-shard daemon ---------- *)
+
+let req ?(id = 1) ?deadline_ms op = { P.req_id = id; deadline_ms; op }
+
+let norm_body body = P.encode_reply { P.rep_id = 0; body }
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* These two targets hash to different shards under shards = 2 (see the
+   golden table above), so their preparations must happen in different
+   processes with disjoint caches. *)
+let target_a =
+  { P.default_target with P.workload = "gcc"; warmup = 2000; measure = 800 }
+
+let target_b =
+  { P.default_target with P.workload = "gzip"; warmup = 2000; measure = 800 }
+
+let test_router_end_to_end () =
+  sigpipe_off ();
+  Alcotest.(check bool) "targets land on different shards" true
+    (Router.shard_of_key ~shards:2 (Router.route_key target_a)
+     <> Router.shard_of_key ~shards:2 (Router.route_key target_b));
+  let socket = tmp_path "e2e.sock" in
+  let cache_dir = tmp_path "e2e.cache" in
+  rm_rf cache_dir;
+  if Sys.file_exists socket then Sys.remove socket;
+  (* The router forks its shard fleet, so it must run in a process of its
+     own rather than a thread of the (multi-threaded) test binary. *)
+  let child =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         ignore
+           (Router.run
+              {
+                Router.socket;
+                tcp = None;
+                shards = 2;
+                shard =
+                  { Server.default_opts with
+                    workers = 2;
+                    cache_dir = Some cache_dir };
+                handle_signals = true;
+                on_ready = None;
+                on_tcp_port = None;
+              });
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill child Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (try Unix.waitpid [] child with Unix.Unix_error _ -> (0, Unix.WEXITED 0));
+      rm_rf cache_dir)
+  @@ fun () ->
+  let s = Client.connect_session ~retry_for:30.0 ~socket () in
+  let op_a = P.Breakdown { target = target_a; focus = "dl1" } in
+  let op_b = P.Breakdown { target = target_b; focus = "dl1" } in
+
+  (* status before any analysis: the aggregate must name both shards *)
+  let status () =
+    match (Client.call_with_retry s (req ~id:2 P.Status)).P.body with
+    | Ok (P.R_status st) -> st
+    | _ -> Alcotest.fail "status not answered"
+  in
+  let st0 = status () in
+  Alcotest.(check int) "aggregate reports the shard count" 2 st0.P.shards;
+  Alcotest.(check int) "no sessions yet" 0 st0.P.sessions;
+
+  (* cold prep on shard A, then measure its cache misses so the check on
+     shard B is self-calibrating rather than tied to cache layering *)
+  let single_a =
+    match (Client.call_with_retry s (req ~id:3 op_a)).P.body with
+    | Ok b -> b
+    | Error (c, m) ->
+      Alcotest.fail
+        (Printf.sprintf "shard A query failed: %s %s" (P.error_code_name c) m)
+  in
+  let st1 = status () in
+  let misses_one = st1.P.cache_misses - st0.P.cache_misses in
+  Alcotest.(check bool) "cold prep misses" true (misses_one > 0);
+
+  (* concurrent clients on the two shards: each prepares independently *)
+  let results = Array.make 2 None in
+  let threads =
+    List.mapi
+      (fun i op ->
+        Thread.create
+          (fun () ->
+            Client.with_client ~retry_for:10.0 ~socket (fun c ->
+                results.(i) <- Some (Client.call c (req ~id:(10 + i) op))))
+          ())
+      [ op_a; op_b ]
+  in
+  List.iter Thread.join threads;
+  (match results.(0) with
+   | Some { P.body = Ok b; _ } ->
+     Alcotest.(check string) "shard A warm answer bit-identical"
+       (norm_body (Ok single_a)) (norm_body (Ok b))
+   | _ -> Alcotest.fail "concurrent shard A query failed");
+  let single_b =
+    match results.(1) with
+    | Some { P.body = Ok b; _ } -> b
+    | _ -> Alcotest.fail "concurrent shard B query failed"
+  in
+  let st2 = status () in
+  Alcotest.(check int) "shard B prepared on its own (same cold cost)"
+    (st1.P.cache_misses + misses_one) st2.P.cache_misses;
+  Alcotest.(check int) "one session per shard" 2 st2.P.sessions;
+
+  (* batch scatter-gather: items split across both shards plus a router-
+     answered status and a per-item failure, stitched back in order *)
+  let bad =
+    P.Breakdown { target = { target_a with P.workload = "nope" }; focus = "dl1" }
+  in
+  let reply =
+    Client.call_with_retry s
+      (req ~id:20 (P.Batch { ops = [ op_b; bad; op_a; P.Status ] }))
+  in
+  (match reply.P.body with
+   | Ok (P.R_batch { results }) ->
+     Alcotest.(check int) "one result per batch item" 4 (List.length results);
+     (match List.nth results 0 with
+      | Ok b ->
+        Alcotest.(check string) "batch item 0 = shard B single"
+          (norm_body (Ok single_b)) (norm_body (Ok b))
+      | Error _ -> Alcotest.fail "batch item 0 failed");
+     (match List.nth results 1 with
+      | Error (P.Bad_request, _) -> ()
+      | _ -> Alcotest.fail "bad batch item must fail alone");
+     (match List.nth results 2 with
+      | Ok b ->
+        Alcotest.(check string) "batch item 2 = shard A single"
+          (norm_body (Ok single_a)) (norm_body (Ok b))
+      | Error _ -> Alcotest.fail "batch item 2 failed");
+     (match List.nth results 3 with
+      | Ok (P.R_status st) ->
+        Alcotest.(check int) "batched status is the aggregate" 2 st.P.shards
+      | _ -> Alcotest.fail "batched status not answered")
+   | Ok _ -> Alcotest.fail "expected a batch reply"
+   | Error (c, m) ->
+     Alcotest.fail
+       (Printf.sprintf "batch failed: %s %s" (P.error_code_name c) m));
+
+  (* shutdown fans out: router exits cleanly, children are reaped, and
+     every socket (public and per-shard) is removed *)
+  (match (Client.call_with_retry s (req ~id:99 P.Shutdown)).P.body with
+   | Ok P.R_shutdown -> ()
+   | _ -> Alcotest.fail "shutdown not acknowledged");
+  Client.close_session s;
+  let _, exit_status = Unix.waitpid [] child in
+  (match exit_status with
+   | Unix.WEXITED 0 -> ()
+   | Unix.WEXITED n ->
+     Alcotest.fail (Printf.sprintf "router exited with %d" n)
+   | _ -> Alcotest.fail "router killed by signal");
+  Alcotest.(check bool) "public socket removed" false (Sys.file_exists socket);
+  Alcotest.(check bool) "shard sockets removed" false
+    (Sys.file_exists (Router.shard_socket socket 0)
+     || Sys.file_exists (Router.shard_socket socket 1))
+
+let suite =
+  ( "router",
+    [
+      Alcotest.test_case "hash: golden shard placements" `Quick
+        test_shard_hash_golden;
+      Alcotest.test_case "hash: routing key shape" `Quick test_route_key;
+      Alcotest.test_case "hash: shard socket naming" `Quick test_shard_socket;
+      Alcotest.test_case "router: two-shard end-to-end" `Slow
+        test_router_end_to_end;
+    ] )
