@@ -4,24 +4,30 @@
 # load benchmark (1-shard sequential vs 2-shard pipelined batches) and fail
 # (exit 1) if any row regressed more than 25% against its committed baseline —
 # BENCH_engines.json for micro, BENCH_service.json for service,
-# BENCH_load.json for load — or if a baseline row was not measured at all.
+# BENCH_load.json for load, BENCH_sweep.json for the sensitivity sweep —
+# or if a baseline row was not measured at all.
 # The gate is direction-aware: "-qps" rows regress by dropping, latency rows
 # by rising.  On failure the harness prints a per-row delta table of the
 # offending benchmarks before exiting nonzero.
 #
 # Timing is pinned to one domain by default (ICOST_JOBS=1) so the gate
 # measures engine speed, not scheduler luck on a shared runner; export
-# ICOST_JOBS yourself to override.  Set BENCH_JSON / BENCH_SERVICE_JSON /
-# BENCH_LOAD_JSON to also dump the fresh measurements (e.g. for a CI
-# artifact upload).  The load phase additionally enforces its own absolute
-# gate (2-shard batched >= 2x 1-shard qps at equal-or-better p99 with
-# bit-identical replies); export ICOST_LOAD_GATE=0 to keep only the
-# relative-to-baseline check on noisy runners.
+# ICOST_JOBS yourself to override.  (The sweep phase manages its own job
+# counts — it times 1 pool job against 4 inside one process.)  Set
+# BENCH_JSON / BENCH_SERVICE_JSON / BENCH_LOAD_JSON / BENCH_SWEEP_JSON to
+# also dump the fresh measurements (e.g. for a CI artifact upload).  The
+# load phase additionally enforces its own absolute gate (2-shard batched
+# >= 2x 1-shard qps at equal-or-better p99 with bit-identical replies),
+# and the sweep phase enforces parallel grid evaluation >= 2x sequential
+# on machines with at least 4 cores; export ICOST_LOAD_GATE=0 /
+# ICOST_SWEEP_GATE=0 to keep only the relative-to-baseline checks on
+# noisy runners.
 #
 # Refresh the baselines after an intentional change with:
 #   dune exec bench/main.exe -- micro --json BENCH_engines.json
 #   dune exec bench/main.exe -- service --json BENCH_service.json
 #   dune exec bench/main.exe -- load --json BENCH_load.json
+#   dune exec bench/main.exe -- sweep --json BENCH_sweep.json
 set -e
 cd "$(dirname "$0")/.."
 ICOST_JOBS="${ICOST_JOBS:-1}"
@@ -40,4 +46,9 @@ if [ -n "${BENCH_LOAD_JSON:-}" ]; then
   dune exec bench/main.exe -- load --baseline BENCH_load.json --json "$BENCH_LOAD_JSON"
 else
   dune exec bench/main.exe -- load --baseline BENCH_load.json
+fi
+if [ -n "${BENCH_SWEEP_JSON:-}" ]; then
+  dune exec bench/main.exe -- sweep --baseline BENCH_sweep.json --json "$BENCH_SWEEP_JSON"
+else
+  dune exec bench/main.exe -- sweep --baseline BENCH_sweep.json
 fi

@@ -27,6 +27,14 @@
                                                  via ICOST_LOAD_* env vars;
                                                  cannot combine with other
                                                  modes — it forks daemons)
+     dune exec bench/main.exe -- sweep        -- parametric sensitivity grid,
+                                                 sequential vs 4 pool jobs
+                                                 (BENCH_sweep.json is the
+                                                 committed record; >= 2x
+                                                 speedup gate when >= 4 cores,
+                                                 ICOST_SWEEP_GATE=0 to skip;
+                                                 cannot combine with other
+                                                 modes — it re-pins the pool)
 
    Micro-benchmark flags (see also bench/check_regression.sh):
      --json FILE        dump the measured times as JSON (BENCH_engines.json
@@ -830,6 +838,126 @@ let run_check () : (string * float) list =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* parametric sensitivity sweep: sequential vs pool-parallel           *)
+(* ------------------------------------------------------------------ *)
+
+(* One prepared gcc execution, a ~21-distinct-point grid over the window
+   and memory-latency axes, priced once per point.  The same sweep is
+   timed at 1 pool job and at 4; grid evaluation is embarrassingly
+   parallel (independent baseline re-simulations), so with enough cores
+   the 4-job run must be at least 2x the sequential one — that absolute
+   gate is enforced here (skipped with a notice when the machine has
+   fewer than 4 cores, or with ICOST_SWEEP_GATE=0), while the committed
+   BENCH_sweep.json row times are gated relatively by
+   check_regression.sh like every other baseline. *)
+let sweep_bench_specs = [ "window=16..512"; "mem_lat=10..160:10" ]
+
+let run_sweep_bench () : (string * float) list =
+  let module Sweep = Icost_sensitivity.Sweep in
+  let module Sparam = Icost_sensitivity.Param in
+  let prepared =
+    Runner.prepare
+      { Runner.warmup = 20_000; measure = 4_000; benches = [ "gcc" ] }
+      (Workload.find_exn "gcc")
+  in
+  let axes =
+    match Sparam.parse_axes sweep_bench_specs with
+    | Ok a -> a
+    | Error msg -> failwith msg
+  in
+  let sweep () =
+    Sweep.run ~engine:Sweep.Sim ~cfg:Config.default ~prepared ~axes ()
+  in
+  let time_best () =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = sweep () in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      if ms < !best then best := ms;
+      result := Some r
+    done;
+    match !result with
+    | Some r -> (!best, r)
+    | None -> assert false
+  in
+  let jobs0 = Pool.jobs () in
+  Fun.protect ~finally:(fun () -> Pool.set_jobs jobs0) @@ fun () ->
+  Pool.set_jobs 1;
+  let seq_ms, r_seq = time_best () in
+  Pool.set_jobs 4;
+  let par_ms, r_par = time_best () in
+  (* parallel evaluation must not change a single bit of the answer *)
+  if
+    List.exists2
+      (fun (a : Sweep.curve) (b : Sweep.curve) ->
+        not
+          (List.for_all2
+             (fun (pa : Sweep.point) (pb : Sweep.point) ->
+               match (pa.Sweep.pt_outcome, pb.Sweep.pt_outcome) with
+               | Ok ca, Ok cb ->
+                 Int64.equal (Int64.bits_of_float ca) (Int64.bits_of_float cb)
+               | _ -> false)
+             a.Sweep.cv_points b.Sweep.cv_points))
+      r_seq.Sweep.sw_curves r_par.Sweep.sw_curves
+  then failwith "sweep: parallel run diverged from sequential";
+  let speedup = seq_ms /. par_ms in
+  Printf.printf "\nsensitivity sweep (%d distinct points, gcc 4k):\n"
+    r_seq.Sweep.sw_points;
+  Printf.printf "  sweep/gcc-seq-ms   %10.1f ms\n" seq_ms;
+  Printf.printf "  sweep/gcc-par4-ms  %10.1f ms   (%.2fx)\n" par_ms speedup;
+  let cores = Stdlib.Domain.recommended_domain_count () in
+  let gate = Sys.getenv_opt "ICOST_SWEEP_GATE" <> Some "0" in
+  if not gate then
+    Printf.printf "  parallel >= 2x gate: SKIPPED (ICOST_SWEEP_GATE=0)\n"
+  else if cores < 4 then
+    Printf.printf
+      "  parallel >= 2x gate: SKIPPED (%d core(s) < 4, nothing to win)\n"
+      cores
+  else if speedup >= 2.0 then
+    Printf.printf "  parallel >= 2x gate: PASS (%.2fx)\n" speedup
+  else begin
+    Printf.printf "  parallel >= 2x gate: FAIL (%.2fx < 2x)\n" speedup;
+    exit 1
+  end;
+  [ ("sweep/gcc-seq-ms", seq_ms); ("sweep/gcc-par4-ms", par_ms) ]
+
+(* BENCH_sweep.json: the committed sweep-timing baseline, same row
+   format as the other records plus the grid and the run manifest. *)
+let write_sweep_json file (rows : (string * float) list) =
+  let manifest =
+    Icost_report.Telemetry_export.manifest
+      ~config_digest:(Icost_report.Telemetry_export.digest Config.default)
+      ~seed:Icost_profiler.Sampler.default_opts.seed ~workloads:[ "gcc" ] ()
+  in
+  let oc = open_out file in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"icost.sweep-bench.v1\",\n";
+  output_string oc
+    "  \"generated-by\": \"dune exec bench/main.exe -- sweep --json\",\n";
+  output_string oc "  \"unit\": \"ms/sweep\",\n";
+  Printf.fprintf oc "  \"settings\": {\n";
+  Printf.fprintf oc "    \"params\": [%s],\n"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%S") sweep_bench_specs));
+  Printf.fprintf oc "    \"warmup\": 20000,\n";
+  Printf.fprintf oc "    \"measure\": 4000\n";
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"manifest\": %s,\n"
+    (Icost_report.Telemetry_export.manifest_json manifest);
+  output_string oc "  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    %S: %.4f%s\n" name v
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -888,6 +1016,17 @@ let () =
       failwith "-- load cannot be combined with other bench modes";
     let rows = run_load () in
     Option.iter (fun f -> write_load_json f rows) !json_file;
+    Option.iter (fun f -> check_regressions ~baseline_file:f rows) !baseline_file;
+    exit 0
+  end;
+  (* [-- sweep] also owns its invocation: it overrides the pool job
+     count (1 then 4) for the comparison, which would skew any other
+     timing sharing the process, and it writes its own JSON record. *)
+  if List.mem "sweep" ids then begin
+    if List.exists (fun i -> i <> "sweep") ids then
+      failwith "-- sweep cannot be combined with other bench modes";
+    let rows = run_sweep_bench () in
+    Option.iter (fun f -> write_sweep_json f rows) !json_file;
     Option.iter (fun f -> check_regressions ~baseline_file:f rows) !baseline_file;
     exit 0
   end;

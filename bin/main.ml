@@ -5,6 +5,7 @@
      breakdown    parallelism-aware breakdown for one workload
      icost        costs/icosts of chosen category sets
      graph        dump a dependence graph (text or DOT)
+     sweep        d(cycles)/d(param) sensitivity curves, knees, resize ROI
      experiment   regenerate a paper table/figure (or "all")
      check        cross-engine conformance laws on kernels + fuzzed programs
      serve        resident analysis daemon on a Unix socket (icost.rpc.v1)
@@ -36,6 +37,9 @@ module Snapshot = Icost_service.Snapshot
 module Client = Icost_service.Client
 module Harness = Icost_check.Harness
 module Laws = Icost_check.Laws
+module Sparam = Icost_sensitivity.Param
+module Sweep = Icost_sensitivity.Sweep
+module Json = Icost_service.Json
 open Cmdliner
 
 let version = "1.0.0"
@@ -354,6 +358,154 @@ let advise_cmd =
     Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ warmup_arg $ measure_arg
           $ common_term)
 
+(* --- sweep --- *)
+
+(* The icost.sweep.v1 document: run manifest + settings + one curve
+   object per axis, points in ascending value order.  CI smoke-validates
+   this shape (sorted points, knee within the grid, manifest present). *)
+let sweep_json ~bench ~variant ~cfg ~warmup ~measure (r : Sweep.result) =
+  let point deltas (pt : Sweep.point) =
+    match pt.Sweep.pt_outcome with
+    | Ok cycles ->
+      Json.Obj
+        [ ("value", Json.Int pt.pt_value); ("cycles", Json.Float cycles);
+          ("delta",
+           Json.Float (Option.value ~default:0. (List.assoc_opt pt.pt_value deltas)));
+        ]
+    | Error exn ->
+      Json.Obj
+        [ ("value", Json.Int pt.pt_value);
+          ("error", Json.Str (Printexc.to_string exn));
+        ]
+  in
+  let curve (c : Sweep.curve) =
+    Json.Obj
+      ([ ("param", Json.Str c.Sweep.cv_param.Sparam.p_name);
+         ("unit", Json.Str c.cv_param.Sparam.p_unit);
+         ("base_value", Json.Int c.cv_base_value);
+         ("points", Json.Arr (List.map (point c.cv_deltas) c.cv_points));
+       ]
+      @
+      match c.cv_knee with
+      | None -> []
+      | Some k ->
+        [ ("knee",
+           Json.Obj
+             [ ("value", Json.Int k.Sweep.kn_value);
+               ("marginal", Json.Float k.kn_marginal);
+               ("saturated", Json.Bool k.kn_saturated);
+             ]);
+        ])
+  in
+  let body =
+    Json.Obj
+      [ ("workload", Json.Str bench);
+        ("variant", Json.Str (variant_name variant));
+        ("engine", Json.Str (Sweep.engine_name r.Sweep.sw_engine));
+        ("settings",
+         Json.Obj [ ("warmup", Json.Int warmup); ("measure", Json.Int measure) ]);
+        ("baseline", Json.Float r.sw_baseline);
+        ("points", Json.Int r.sw_points);
+        ("cache_hits", Json.Int r.sw_cache_hits);
+        ("curves", Json.Arr (List.map curve r.sw_curves));
+      ]
+  in
+  let m =
+    Texport.manifest ~version ~config_digest:(Texport.digest cfg)
+      ~seed:Icost_profiler.Sampler.default_opts.seed ~workloads:[ bench ] ()
+  in
+  (* splice the pre-rendered manifest into the encoded body object *)
+  let rest = Json.encode body in
+  Printf.sprintf "{\"schema\":\"icost.sweep.v1\",\"manifest\":%s,%s\n"
+    (Texport.manifest_json m)
+    (String.sub rest 1 (String.length rest - 1))
+
+let sweep_csv (r : Sweep.result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "param,value,cycles,delta\n";
+  List.iter
+    (fun (c : Sweep.curve) ->
+      List.iter
+        (fun (pt : Sweep.point) ->
+          match pt.Sweep.pt_outcome with
+          | Ok cycles ->
+            Printf.bprintf b "%s,%d,%.17g,%.17g\n"
+              c.Sweep.cv_param.Sparam.p_name pt.pt_value cycles
+              (Option.value ~default:0.
+                 (List.assoc_opt pt.pt_value c.cv_deltas))
+          | Error _ -> ())
+        c.cv_points)
+    r.Sweep.sw_curves;
+  Buffer.contents b
+
+let sweep_cmd =
+  let param_arg =
+    let doc =
+      "Axis grid spec, NAME=LO..HI (geometric doubling from LO, HI always \
+       included) or NAME=LO..HI:STEP (arithmetic).  Repeatable; one \
+       sensitivity curve per axis.  Known names: window, issue_width, \
+       fetch_bw, commit_bw, dl1_lat, l2_lat, mem_lat, int_alu, int_mul, \
+       fp_alu, fp_mul, mem_ports."
+    in
+    Arg.(value & opt_all string [] & info [ "p"; "param" ] ~docv:"SPEC" ~doc)
+  in
+  let knee_arg =
+    let doc =
+      "Saturation threshold: a relaxation step is past the knee when it \
+       saves less than this fraction of the axis' best observed \
+       cycles-per-unit."
+    in
+    Arg.(value & opt float Sweep.default_knee_frac
+         & info [ "knee-frac" ] ~docv:"FRAC" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the icost.sweep.v1 JSON document (embeds the run \
+               manifest) instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let csv_arg =
+    let doc = "Emit param,value,cycles,delta CSV instead of the table." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run bench variant oracle params knee_frac json csv warmup measure telem =
+    let cfg = config_of_variant variant in
+    with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
+    if json && csv then failwith "--json and --csv are mutually exclusive";
+    let engine =
+      match Sweep.engine_of_string (Runner.oracle_kind_name oracle) with
+      | Ok e -> e
+      | Error msg -> failwith msg
+    in
+    let axes =
+      match Sparam.parse_axes params with
+      | Ok axes -> axes
+      | Error msg -> failwith msg
+    in
+    let s = settings ~warmup ~measure ~benches:(Some bench) in
+    let p = Runner.prepare s (Workload.find_exn bench) in
+    let r = Sweep.run ~knee_frac ~engine ~cfg ~prepared:p ~axes () in
+    if json then
+      print_string (sweep_json ~bench ~variant ~cfg ~warmup ~measure r)
+    else if csv then print_string (sweep_csv r)
+    else begin
+      Printf.printf "%s on %s machine (%s engine), %.0f cycles baseline:\n"
+        bench (variant_name variant)
+        (Sweep.engine_name r.Sweep.sw_engine)
+        r.Sweep.sw_baseline;
+      print_string (Sweep.to_string r)
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Parametric sensitivity: evaluate a grid along machine-parameter \
+          axes against one prepared execution, report d(cycles)/d(param) \
+          curves, saturation knees and resize recommendations ranked by \
+          cycles-per-unit ROI")
+    Term.(const run $ bench_arg $ variant_arg $ oracle_arg $ param_arg
+          $ knee_arg $ json_arg $ csv_arg $ warmup_arg $ measure_arg
+          $ common_term)
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -538,8 +690,8 @@ let serve_cmd =
 let query_cmd =
   let op_arg =
     let doc =
-      "Request type: breakdown, icost, graph-stats, status, health or \
-       shutdown."
+      "Request type: breakdown, icost, graph-stats, sweep, status, health \
+       or shutdown."
     in
     Arg.(value & pos 0 string "status" & info [] ~docv:"OP" ~doc)
   in
@@ -558,6 +710,11 @@ let query_cmd =
   let focus_arg =
     let doc = "Focus category for op breakdown." in
     Arg.(value & opt string "dl1" & info [ "focus" ] ~doc)
+  in
+  let params_arg =
+    let doc = "Axis grid spec for op sweep, e.g. window=16..256:16 \
+               (repeatable; see `icost sweep`)." in
+    Arg.(value & opt_all string [] & info [ "param" ] ~docv:"SPEC" ~doc)
   in
   let deadline_arg =
     let doc = "Per-request deadline in milliseconds (server-side)." in
@@ -595,8 +752,8 @@ let query_cmd =
     Arg.(value & opt int Client.default_retry_opts.budget_ms
          & info [ "retry-budget-ms" ] ~doc)
   in
-  let run socket tcp_spec op bench variant engine sets focus warmup measure
-      seed deadline_ms wait batch retries budget_ms telem =
+  let run socket tcp_spec op bench variant engine sets focus params warmup
+      measure seed deadline_ms wait batch retries budget_ms telem =
     Option.iter Icost_util.Pool.set_jobs telem.jobs;
     let target =
       {
@@ -613,6 +770,7 @@ let query_cmd =
       | "breakdown" -> Protocol.Breakdown { target; focus }
       | "icost" -> Protocol.Icost { target; sets }
       | "graph-stats" -> Protocol.Graph_stats { target }
+      | "sweep" -> Protocol.Sweep { target; params }
       | "status" -> Protocol.Status
       | "health" -> Protocol.Health
       | "shutdown" -> Protocol.Shutdown
@@ -666,14 +824,40 @@ let query_cmd =
       | Protocol.R_graph_stats { instrs; nodes; edges; critical_path } ->
         Printf.printf "%s: %d instructions, %d nodes, %d edges, CP %d cycles\n"
           bench instrs nodes edges critical_path
+      | Protocol.R_sweep { baseline; curves } ->
+        Printf.printf "%s: baseline %.0f cycles\n" bench baseline;
+        List.iter
+          (fun (c : Protocol.sweep_curve) ->
+            Printf.printf "  %s (base %d):\n" c.curve_param c.curve_base;
+            List.iter
+              (fun (p : Protocol.sweep_point) ->
+                match p.sp_outcome with
+                | Ok (cycles, delta) ->
+                  Printf.printf "    %6d  %10.0f cycles  d %+9.2f%s\n"
+                    p.sp_value cycles delta
+                    (if p.sp_value = c.curve_base then "  *base*" else "")
+                | Error (code, msg) ->
+                  Printf.printf "    %6d  error (%s): %s\n" p.sp_value
+                    (Protocol.error_code_name code) msg)
+              c.curve_points;
+            Option.iter
+              (fun (k : Protocol.sweep_knee) ->
+                Printf.printf "    knee at %d (%.2f cycles/unit%s)\n"
+                  k.kn_value k.kn_marginal
+                  (if k.kn_saturated then ""
+                   else ", still paying off at the grid edge"))
+              c.curve_knee)
+          curves
       | Protocol.R_status s ->
         Printf.printf
           "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
            cache: %d hit(s), %d miss(es), %d eviction(s); snapshot: %d \
-           hit(s), %d miss(es), %d reject(s); %d pool job(s); %shealth %s%s\n"
+           hit(s), %d miss(es), %d reject(s); sweep: %d point(s), %d \
+           cached; %d pool job(s); %shealth %s%s\n"
           s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
           s.cache_hits s.cache_misses s.cache_evictions s.snapshot_hits
-          s.snapshot_misses s.snapshot_rejects s.pool_jobs
+          s.snapshot_misses s.snapshot_rejects s.sweep_points
+          s.sweep_cache_hits s.pool_jobs
           (if s.shards > 0 then Printf.sprintf "%d shard(s); " s.shards
            else "")
           s.health
@@ -710,9 +894,9 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Send one icost.rpc.v1 request to a running 'icost serve' daemon")
     Term.(const run $ socket_arg $ tcp_arg $ op_arg $ bench_arg
-          $ variant_str_arg $ engine_arg $ sets_arg $ focus_arg $ warmup_arg
-          $ measure_arg $ seed_arg $ deadline_arg $ wait_arg $ batch_arg
-          $ retries_arg $ budget_arg $ common_term)
+          $ variant_str_arg $ engine_arg $ sets_arg $ focus_arg $ params_arg
+          $ warmup_arg $ measure_arg $ seed_arg $ deadline_arg $ wait_arg
+          $ batch_arg $ retries_arg $ budget_arg $ common_term)
 
 (* --- check: cross-engine conformance --- *)
 
@@ -864,4 +1048,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; breakdown_cmd; icost_cmd; graph_cmd; advise_cmd;
-         experiment_cmd; check_cmd; serve_cmd; query_cmd ]))
+         sweep_cmd; experiment_cmd; check_cmd; serve_cmd; query_cmd ]))

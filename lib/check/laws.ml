@@ -13,6 +13,8 @@ module Graph = Icost_depgraph.Graph
 module Sampler = Icost_profiler.Sampler
 module Profile = Icost_profiler.Profile
 module Runner = Icost_experiments.Runner
+module Sparam = Icost_sensitivity.Param
+module Sweep = Icost_sensitivity.Sweep
 module Set = Category.Set
 
 type ctx = {
@@ -393,6 +395,83 @@ let law_relax_monotone =
             relaxed)
         (relaxations ctx.cfg))
 
+let law_sweep_baseline_identity =
+  let tol = Exact in
+  mk "sweep-baseline-identity" Differential tol
+    "a sweep's unperturbed point reproduces its engine's baseline bit-exactly"
+    (fun ctx ->
+      let p = Sparam.find_exn "window" in
+      let axes = [ Sparam.axis p [ p.Sparam.p_get ctx.cfg ] ] in
+      let sweep engine =
+        (Sweep.run ~engine ~cfg:ctx.cfg ~prepared:ctx.prepared ~axes ())
+          .Sweep.sw_baseline
+      in
+      [
+        eq_outcome ~tol ~scale:(scale_of ctx) ~engine:"multisim"
+          ~detail:"sweep-baseline" (sweep Sweep.Sim)
+          (float_of_int ctx.baseline.Ooo.cycles);
+        eq_outcome ~tol ~scale:(scale_of ctx) ~engine:"fullgraph"
+          ~detail:"sweep-baseline" (sweep Sweep.Graph_cp)
+          (float_of_int (Graph.critical_length ctx.graph));
+      ])
+
+let law_sweep_relax_monotone =
+  let tol = Rel (0.02, 5.0) in
+  mk "sweep-relax-monotone" Metamorphic tol
+    "sweep curves are monotone non-increasing in the relaxation direction"
+    (fun ctx ->
+      let axis_of name values =
+        let p = Sparam.find_exn name in
+        Sparam.axis p
+          (List.sort_uniq compare
+             (List.filter (fun v -> v >= p.Sparam.p_min) values))
+      in
+      let value name = (Sparam.find_exn name).Sparam.p_get ctx.cfg in
+      let w = value "window"
+      and f = value "fetch_bw"
+      and ml = value "mem_lat" in
+      let axes =
+        [
+          axis_of "window" [ w; 2 * w ];
+          axis_of "fetch_bw" [ f; f + 2 ];
+          axis_of "mem_lat" [ ml / 2; ml ];
+        ]
+      in
+      let r =
+        Sweep.run ~engine:Sweep.Sim ~cfg:ctx.cfg ~prepared:ctx.prepared ~axes
+          ()
+      in
+      List.concat_map
+        (fun (c : Sweep.curve) ->
+          let evaluated =
+            List.filter_map
+              (fun (pt : Sweep.point) ->
+                match pt.Sweep.pt_outcome with
+                | Ok cy -> Some (pt.pt_value, cy)
+                | Error _ -> None)
+              c.Sweep.cv_points
+          in
+          let ordered =
+            match c.cv_param.Sparam.p_dir with
+            | Sparam.More_is_better -> evaluated
+            | Sparam.Less_is_better -> List.rev evaluated
+          in
+          (* cycles at each step of relaxation must not grow *)
+          let rec pairs acc = function
+            | (v1, c1) :: ((v2, c2) :: _ as tl) ->
+              pairs
+                (ge_outcome ~tol ~scale:(scale_of ctx) ~engine:"multisim"
+                   ~detail:
+                     (Printf.sprintf "%s %d->%d" c.cv_param.Sparam.p_name v1
+                        v2)
+                   c1 c2
+                :: acc)
+                tl
+            | _ -> List.rev acc
+          in
+          pairs [] ordered)
+        r.Sweep.sw_curves)
+
 let law_determinism =
   let tol = Exact in
   mk "determinism" Determinism tol
@@ -576,6 +655,8 @@ let all =
     law_cost_monotone_sim;
     law_idle_resource_noop;
     law_relax_monotone;
+    law_sweep_baseline_identity;
+    law_sweep_relax_monotone;
     law_determinism;
     law_sim_empty_exact;
     law_graph_reeval_exact;

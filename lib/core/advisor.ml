@@ -29,6 +29,13 @@ type recommendation =
     }  (** serial interaction: improving [partner] also hides [cat] *)
   | Deoptimize of { cat : Category.t; cost_pct : float }
       (** near-zero cost and interactions: candidate for shrinking *)
+  | Resize of {
+      resource : string;
+      from_units : int;
+      to_units : int;
+      cycles_saved : float;
+      cycles_per_unit : float;
+    }  (** quantified resize from a sensitivity sweep (see the .mli) *)
 
 type report = {
   baseline : float;
@@ -132,6 +139,11 @@ let recommendation_to_string = function
       "DE-OPTIMIZE %s: cost %.1f%% and no significant interactions; the \
        resource can shrink to save area/energy"
       (Category.name cat) cost_pct
+  | Resize { resource; from_units; to_units; cycles_saved; cycles_per_unit } ->
+    Printf.sprintf
+      "RESIZE %s %d -> %d: saves %.0f cycles (%.2f cycles per unit of %s); \
+       marginal benefit saturates beyond the knee"
+      resource from_units to_units cycles_saved cycles_per_unit resource
 
 let report_to_string (r : report) : string =
   let buf = Buffer.create 1024 in

@@ -10,6 +10,18 @@ type recommendation =
       (** serial interaction: improving [partner] also hides [cat] *)
   | Deoptimize of { cat : Category.t; cost_pct : float }
       (** near-zero cost and interactions: candidate for shrinking *)
+  | Resize of {
+      resource : string;  (** a sweepable machine parameter, e.g. ["window"] *)
+      from_units : int;  (** the baseline provisioning *)
+      to_units : int;  (** the saturation knee of the sweep curve *)
+      cycles_saved : float;  (** baseline cycles minus cycles at the knee *)
+      cycles_per_unit : float;  (** marginal ROI of the resize, [cycles_saved] per unit *)
+    }
+      (** quantified hardware resize from a parametric sensitivity sweep
+          ({!Icost_sensitivity.Sweep}): grow (or shrink, when [to_units] is
+          on the baseline's constrained side) the resource to its saturation
+          knee.  Constructed by the sweep engine, not by {!analyze} — the
+          cost oracle alone cannot price partial provisioning. *)
 
 type report = {
   baseline : float;

@@ -1,0 +1,201 @@
+(* Registry of sweepable machine parameters.  See the .mli for why only
+   non-structural fields appear: preparation (interpret + annotate) must
+   stay valid across every grid point. *)
+
+module Config = Icost_uarch.Config
+
+type direction = More_is_better | Less_is_better
+
+type t = {
+  p_name : string;
+  p_doc : string;
+  p_unit : string;
+  p_dir : direction;
+  p_min : int;
+  p_get : Config.t -> int;
+  p_apply : Config.t -> int -> Config.t;
+}
+
+(* Keep [p_apply] physically lazy: the baseline point of every axis maps
+   to the very same config record, so digest-keyed caches see one entry. *)
+let mk name doc unit_ dir min_ get set =
+  {
+    p_name = name;
+    p_doc = doc;
+    p_unit = unit_;
+    p_dir = dir;
+    p_min = min_;
+    p_get = get;
+    p_apply = (fun c v -> if get c = v then c else set c v);
+  }
+
+let all =
+  [
+    mk "window" "instruction window (ROB) entries" "entries" More_is_better 1
+      (fun c -> c.Config.window_size)
+      (fun c v -> { c with Config.window_size = v });
+    mk "issue_width" "instructions issued per cycle" "instrs/cycle"
+      More_is_better 1
+      (fun c -> c.Config.issue_width)
+      (fun c v -> { c with Config.issue_width = v });
+    mk "fetch_bw" "instructions fetched per cycle" "instrs/cycle"
+      More_is_better 1
+      (fun c -> c.Config.fetch_bw)
+      (fun c v -> { c with Config.fetch_bw = v });
+    mk "commit_bw" "instructions committed per cycle" "instrs/cycle"
+      More_is_better 1
+      (fun c -> c.Config.commit_bw)
+      (fun c v -> { c with Config.commit_bw = v });
+    mk "dl1_lat" "level-one D-cache hit latency" "cycles" Less_is_better 0
+      (fun c -> c.Config.dl1_lat)
+      (fun c v -> { c with Config.dl1_lat = v });
+    mk "l2_lat" "unified L2 hit latency" "cycles" Less_is_better 1
+      (fun c -> c.Config.l2_lat)
+      (fun c v -> { c with Config.l2_lat = v });
+    mk "mem_lat" "main-memory access latency" "cycles" Less_is_better 1
+      (fun c -> c.Config.mem_lat)
+      (fun c v -> { c with Config.mem_lat = v });
+    mk "int_alu" "short integer ALUs" "units" More_is_better 1
+      (fun c -> c.Config.num_int_alu)
+      (fun c v -> { c with Config.num_int_alu = v });
+    mk "int_mul" "integer multiply/divide units" "units" More_is_better 1
+      (fun c -> c.Config.num_int_mul)
+      (fun c v -> { c with Config.num_int_mul = v });
+    mk "fp_alu" "FP add/compare units" "units" More_is_better 1
+      (fun c -> c.Config.num_fp_alu)
+      (fun c v -> { c with Config.num_fp_alu = v });
+    mk "fp_mul" "FP multiply/divide units" "units" More_is_better 1
+      (fun c -> c.Config.num_fp_mul)
+      (fun c v -> { c with Config.num_fp_mul = v });
+    mk "mem_ports" "cache read/write ports" "units" More_is_better 1
+      (fun c -> c.Config.num_mem_ports)
+      (fun c v -> { c with Config.num_mem_ports = v });
+  ]
+
+let names = List.map (fun p -> p.p_name) all
+let find name = List.find_opt (fun p -> p.p_name = name) all
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown sweep parameter %S (known: %s)" name
+         (String.concat ", " names))
+
+type axis = { ax_param : t; ax_values : int list }
+
+let max_points_per_axis = 64
+
+let axis p values =
+  if values = [] then
+    invalid_arg (Printf.sprintf "axis %s: no grid values" p.p_name);
+  List.iter
+    (fun v ->
+      if v < p.p_min then
+        invalid_arg
+          (Printf.sprintf "axis %s: value %d below minimum %d" p.p_name v
+             p.p_min))
+    values;
+  let values = List.sort_uniq compare values in
+  if List.length values > max_points_per_axis then
+    invalid_arg
+      (Printf.sprintf "axis %s: %d grid points exceed the limit of %d"
+         p.p_name (List.length values) max_points_per_axis);
+  { ax_param = p; ax_values = values }
+
+(* "name=lo..hi" (geometric doubling) or "name=lo..hi:step" (arithmetic);
+   hi is always included so the spec's stated range is honored exactly. *)
+let parse_axis spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt spec '=' with
+  | None -> fail "bad axis %S: expected name=lo..hi[:step]" spec
+  | Some eq -> (
+    let name = String.sub spec 0 eq in
+    let rest = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    match find name with
+    | None ->
+      fail "unknown sweep parameter %S (known: %s)" name
+        (String.concat ", " names)
+    | Some p -> (
+      let range, step =
+        match String.index_opt rest ':' with
+        | None -> (rest, None)
+        | Some c ->
+          ( String.sub rest 0 c,
+            Some (String.sub rest (c + 1) (String.length rest - c - 1)) )
+      in
+      let int_of s = int_of_string_opt (String.trim s) in
+      let bounds =
+        (* split on the ".." separator *)
+        let n = String.length range in
+        let rec dots i =
+          if i + 1 >= n then None
+          else if range.[i] = '.' && range.[i + 1] = '.' then Some i
+          else dots (i + 1)
+        in
+        match dots 0 with
+        | None -> None
+        | Some i -> (
+          match
+            ( int_of (String.sub range 0 i),
+              int_of (String.sub range (i + 2) (n - i - 2)) )
+          with
+          | Some lo, Some hi -> Some (lo, hi)
+          | _ -> None)
+      in
+      match bounds with
+      | None -> fail "bad axis %S: expected name=lo..hi[:step]" spec
+      | Some (lo, hi) -> (
+        if lo < p.p_min then
+          fail "axis %s: lower bound %d below minimum %d" p.p_name lo p.p_min
+        else if hi < lo then fail "axis %s: empty range %d..%d" p.p_name lo hi
+        else
+          let add_values next =
+            let rec go acc v =
+              if v >= hi then List.rev (hi :: acc)
+              else
+                let n = next v in
+                if n <= v then List.rev (hi :: acc) (* paranoia: no progress *)
+                else go (v :: acc) n
+            in
+            go [] lo
+          in
+          match step with
+          | None ->
+            (* geometric doubling; lo = 0 cannot double, fall back to +1 *)
+            let values = add_values (fun v -> if v <= 0 then 1 else 2 * v) in
+            if List.length values > max_points_per_axis then
+              fail "axis %s: %d grid points exceed the limit of %d" p.p_name
+                (List.length values) max_points_per_axis
+            else Ok (axis p values)
+          | Some s -> (
+            match int_of s with
+            | None | Some 0 -> fail "bad axis %S: step must be a nonzero int" spec
+            | Some s when s < 0 -> fail "bad axis %S: step must be positive" spec
+            | Some s ->
+              if (hi - lo) / s + 2 > max_points_per_axis then
+                fail "axis %s: %d grid points exceed the limit of %d" p.p_name
+                  ((hi - lo) / s + 2)
+                  max_points_per_axis
+              else Ok (axis p (add_values (fun v -> v + s)))))))
+
+let parse_axes specs =
+  if specs = [] then Error "no sweep axes given"
+  else
+    let rec go acc seen = function
+      | [] -> Ok (List.rev acc)
+      | spec :: tl -> (
+        match parse_axis spec with
+        | Error _ as e -> e
+        | Ok a ->
+          if List.mem a.ax_param.p_name seen then
+            Error
+              (Printf.sprintf "duplicate sweep parameter %S" a.ax_param.p_name)
+          else go (a :: acc) (a.ax_param.p_name :: seen) tl)
+    in
+    go [] [] specs
+
+let axis_to_string a =
+  Printf.sprintf "%s=%s" a.ax_param.p_name
+    (String.concat "," (List.map string_of_int a.ax_values))

@@ -1,0 +1,77 @@
+(** Sweepable machine parameters.
+
+    The interaction-cost analyses answer "what if this resource were
+    {e ideal}?"; the sensitivity engine ({!Sweep}) asks the complementary
+    question "how much of this resource is {e enough}?" by evaluating a
+    grid of concrete provisionings.  This module is the registry of
+    parameters a sweep may vary: each entry knows how to read and write
+    its field of {!Icost_uarch.Config.t}, which direction counts as
+    {e relaxation} (more entries for a window, {e fewer} cycles for a
+    latency), and its lower bound.
+
+    Only non-structural parameters are sweepable on purpose: event
+    annotation depends solely on the structural configuration (cache and
+    predictor geometry), so one {!Icost_experiments.Runner.prepared}
+    execution is reusable across every point of every axis here — the
+    property the whole sweep engine (and the service's prep cache) leans
+    on.  Cache {e sizes}, TLBs and predictor tables are therefore absent;
+    cache {e latencies} are present. *)
+
+module Config = Icost_uarch.Config
+
+(** Which way relaxation points.  Cycles are expected to be monotone
+    non-increasing as the parameter moves in this direction (the
+    [sweep-relax-monotone] conformance law). *)
+type direction = More_is_better | Less_is_better
+
+type t = {
+  p_name : string;  (** CLI/wire name, e.g. ["window"] *)
+  p_doc : string;
+  p_unit : string;  (** e.g. ["entries"], ["cycles"], ["instrs/cycle"] *)
+  p_dir : direction;
+  p_min : int;  (** smallest legal value *)
+  p_get : Config.t -> int;
+  p_apply : Config.t -> int -> Config.t;
+      (** functional update; returns the config {e physically unchanged}
+          when the value already matches, so the baseline point of every
+          axis shares one config (and one digest, one cache entry) *)
+}
+
+val all : t list
+val names : string list
+val find : string -> t option
+
+val find_exn : string -> t
+(** @raise Invalid_argument for unknown names (the message lists the
+    known ones). *)
+
+(** One sweep axis: a parameter and the grid values to evaluate
+    (ascending, deduplicated, all [>= p_min]).  Built by {!axis} or
+    {!parse_axis} — not by hand — so the invariants hold. *)
+type axis = private { ax_param : t; ax_values : int list }
+
+val max_points_per_axis : int
+(** 64 — an axis requesting more grid points is rejected at parse time
+    (each point is a full baseline re-simulation). *)
+
+val axis : t -> int list -> axis
+(** @raise Invalid_argument on an empty list, a value below [p_min], or
+    more than {!max_points_per_axis} values. *)
+
+val parse_axis : string -> (axis, string) result
+(** Grid-spec grammar (the [--param] flag and the service [sweep] op):
+
+    {v spec ::= NAME "=" LO ".." HI            geometric: LO, 2*LO, ... , HI
+       | NAME "=" LO ".." HI ":" STEP   arithmetic: LO, LO+STEP, ..., HI v}
+
+    [HI] is always included.  Values, not the baseline, define the grid;
+    {!Sweep.run} inserts the session config's own value as an extra point
+    so every curve contains its baseline. *)
+
+val parse_axes : string list -> (axis list, string) result
+(** All-or-nothing {!parse_axis} over a spec list; also rejects an empty
+    list and duplicate parameter names. *)
+
+val axis_to_string : axis -> string
+(** Canonical spec-like rendering, ["window=16,32,64"] (explicit values —
+    round-tripping the original spec text is not attempted). *)

@@ -4,6 +4,7 @@ let version = "icost.rpc.v1"
 
 let max_request_bytes = 65536
 let max_batch_items = 256
+let max_sweep_axes = 8
 
 type target = {
   workload : string;
@@ -28,6 +29,7 @@ type op =
   | Breakdown of { target : target; focus : string }
   | Icost of { target : target; sets : string list }
   | Graph_stats of { target : target }
+  | Sweep of { target : target; params : string list }
   | Batch of { ops : op list }
   | Status
   | Health
@@ -61,6 +63,8 @@ type status_body = {
   snapshot_hits : int;
   snapshot_misses : int;
   snapshot_rejects : int;
+  sweep_points : int;
+  sweep_cache_hits : int;
   pool_jobs : int;
   shards : int;
   health : string;
@@ -81,10 +85,29 @@ type error_code =
   | Shutting_down
   | Internal
 
+(* One grid point of a sweep curve: cycles and the first difference
+   d(cycles)/d(param) against the previous evaluated point in
+   ascending-value order (0 for the lowest point), or a typed per-point
+   error that — like a batch item's — does not poison its siblings. *)
+type sweep_point = {
+  sp_value : int;
+  sp_outcome : (float * float, error_code * string) result;
+}
+
+type sweep_knee = { kn_value : int; kn_marginal : float; kn_saturated : bool }
+
+type sweep_curve = {
+  curve_param : string;
+  curve_base : int;
+  curve_knee : sweep_knee option;
+  curve_points : sweep_point list;
+}
+
 type result_body =
   | R_breakdown of { baseline : float; rows : breakdown_row list }
   | R_icost of { baseline : float; rows : icost_row list }
   | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
+  | R_sweep of { baseline : float; curves : sweep_curve list }
   | R_batch of { results : (result_body, error_code * string) result list }
   | R_status of status_body
   | R_health of health_body
@@ -137,6 +160,9 @@ let rec op_fields (op : op) =
     @ [ ("sets", Json.Arr (List.map (fun s -> Json.Str s) sets)) ]
   | Graph_stats { target } ->
     ("op", Json.Str "graph-stats") :: target_fields target
+  | Sweep { target; params } ->
+    (("op", Json.Str "sweep") :: target_fields target)
+    @ [ ("params", Json.Arr (List.map (fun s -> Json.Str s) params)) ]
   | Batch { ops } ->
     [
       ("op", Json.Str "batch");
@@ -203,6 +229,55 @@ let rec result_json = function
         ("edges", Json.Int edges);
         ("critical_path", Json.Int critical_path);
       ]
+  | R_sweep { baseline; curves } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "sweep");
+        ("baseline", Json.Float baseline);
+        ( "curves",
+          Json.Arr
+            (List.map
+               (fun c ->
+                 Json.Obj
+                   (("param", Json.Str c.curve_param)
+                    :: ("base_value", Json.Int c.curve_base)
+                    :: (match c.curve_knee with
+                       | None -> []
+                       | Some k ->
+                         [
+                           ( "knee",
+                             Json.Obj
+                               [
+                                 ("value", Json.Int k.kn_value);
+                                 ("marginal", Json.Float k.kn_marginal);
+                                 ("saturated", Json.Bool k.kn_saturated);
+                               ] );
+                         ])
+                   @ [
+                       ( "points",
+                         Json.Arr
+                           (List.map
+                              (fun p ->
+                                match p.sp_outcome with
+                                | Ok (cycles, delta) ->
+                                  Json.Obj
+                                    [
+                                      ("ok", Json.Bool true);
+                                      ("value", Json.Int p.sp_value);
+                                      ("cycles", Json.Float cycles);
+                                      ("delta", Json.Float delta);
+                                    ]
+                                | Error (code, msg) ->
+                                  Json.Obj
+                                    [
+                                      ("ok", Json.Bool false);
+                                      ("value", Json.Int p.sp_value);
+                                      ("error", error_json code msg);
+                                    ])
+                              c.curve_points) );
+                     ]))
+               curves) );
+      ]
   | R_batch { results } ->
     Json.Obj
       [
@@ -234,6 +309,8 @@ let rec result_json = function
         ("snapshot_hits", Json.Int s.snapshot_hits);
         ("snapshot_misses", Json.Int s.snapshot_misses);
         ("snapshot_rejects", Json.Int s.snapshot_rejects);
+        ("sweep_points", Json.Int s.sweep_points);
+        ("sweep_cache_hits", Json.Int s.sweep_cache_hits);
         ("pool_jobs", Json.Int s.pool_jobs);
         ("shards", Json.Int s.shards);
         ("health", Json.Str s.health);
@@ -401,6 +478,24 @@ let rec decode_op j =
   | "graph-stats" ->
     let* target = decode_target j in
     Ok (Graph_stats { target })
+  | "sweep" ->
+    let* target = decode_target j in
+    let* params =
+      required "params"
+        (fun v ->
+          match Json.get_arr v with
+          | None -> None
+          | Some items ->
+            let strs = List.filter_map Json.get_str items in
+            if List.length strs = List.length items then Some strs else None)
+        j
+    in
+    if params = [] then Error "params must be non-empty"
+    else if List.length params > max_sweep_axes then
+      Error
+        (Printf.sprintf "sweep exceeds %d axes (%d)" max_sweep_axes
+           (List.length params))
+    else Ok (Sweep { target; params })
   | "batch" ->
     (match Json.member "reqs" j with
      | None -> Error "missing field \"reqs\""
@@ -504,6 +599,45 @@ let rec decode_result j =
     let* edges = required "edges" Json.get_int j in
     let* critical_path = required "critical_path" Json.get_int j in
     Ok (R_graph_stats { instrs; nodes; edges; critical_path })
+  | "sweep" ->
+    let* baseline = required "baseline" Json.get_float j in
+    let* curves =
+      match Json.member "curves" j with
+      | None -> Error "missing curves"
+      | Some curves ->
+        decode_rows curves ~of_obj:(fun c ->
+            let* curve_param = required "param" Json.get_str c in
+            let* curve_base = required "base_value" Json.get_int c in
+            let* curve_knee =
+              match Json.member "knee" c with
+              | None -> Ok None
+              | Some k ->
+                let* kn_value = required "value" Json.get_int k in
+                let* kn_marginal = required "marginal" Json.get_float k in
+                let* kn_saturated = required "saturated" Json.get_bool k in
+                Ok (Some { kn_value; kn_marginal; kn_saturated })
+            in
+            let* curve_points =
+              match Json.member "points" c with
+              | None -> Error "missing points"
+              | Some points ->
+                decode_rows points ~of_obj:(fun p ->
+                    let* ok = required "ok" Json.get_bool p in
+                    let* sp_value = required "value" Json.get_int p in
+                    if ok then
+                      let* cycles = required "cycles" Json.get_float p in
+                      let* delta = required "delta" Json.get_float p in
+                      Ok { sp_value; sp_outcome = Ok (cycles, delta) }
+                    else
+                      match Json.member "error" p with
+                      | None -> Error "missing error"
+                      | Some e ->
+                        let* code, msg = decode_error e in
+                        Ok { sp_value; sp_outcome = Error (code, msg) })
+            in
+            Ok { curve_param; curve_base; curve_knee; curve_points })
+    in
+    Ok (R_sweep { baseline; curves })
   | "batch" ->
     (match Json.member "results" j with
      | None -> Error "missing results"
@@ -530,6 +664,9 @@ let rec decode_result j =
     let* snapshot_hits = required "snapshot_hits" Json.get_int j in
     let* snapshot_misses = required "snapshot_misses" Json.get_int j in
     let* snapshot_rejects = required "snapshot_rejects" Json.get_int j in
+    (* absent in pre-sweep frames: default 0 keeps old captures decodable *)
+    let* sweep_points = field_or "sweep_points" 0 Json.get_int j in
+    let* sweep_cache_hits = field_or "sweep_cache_hits" 0 Json.get_int j in
     let* pool_jobs = required "pool_jobs" Json.get_int j in
     (* absent in pre-batch frames: default 0 keeps old captures decodable *)
     let* shards = field_or "shards" 0 Json.get_int j in
@@ -549,6 +686,8 @@ let rec decode_result j =
            snapshot_hits;
            snapshot_misses;
            snapshot_rejects;
+           sweep_points;
+           sweep_cache_hits;
            pool_jobs;
            shards;
            health;

@@ -30,6 +30,11 @@ val max_batch_items : int
 (** Upper bound on the number of sub-queries in one [Batch] frame (256);
     larger batches are rejected whole as [Bad_request]. *)
 
+val max_sweep_axes : int
+(** Upper bound on the number of parameter axes in one [Sweep] frame (8);
+    each axis is further capped at {!Icost_sensitivity.Param.max_points_per_axis}
+    grid points by the spec parser. *)
+
 (** What to analyze.  Defaults (applied by {!decode_request} for missing
     fields) mirror the CLI: variant [base], engine [graph], the standard
     warm-up/measure window, the profiler's default seed. *)
@@ -52,6 +57,16 @@ type op =
       (** Cost + interaction cost of each category set, e.g. ["dl1,win"]. *)
   | Graph_stats of { target : target }
       (** Dependence-graph shape (always uses the graph engine). *)
+  | Sweep of { target : target; params : string list }
+      (** Parametric sensitivity sweep ({!Icost_sensitivity.Sweep}): each
+          element of [params] is one axis grid spec
+          (["window=16..256:16"], see {!Icost_sensitivity.Param.parse_axis}).
+          The target's engine selects how points are priced (graph
+          critical path or re-simulated cycles; the profiler is
+          rejected); points are evaluated against the target's prepared
+          workload and cached per config digest.  A point whose
+          evaluation fails yields a typed per-point error, mirroring
+          batch items.  At most {!max_sweep_axes} axes. *)
   | Batch of { ops : op list }
       (** N sub-queries in one frame: one decode, one queue slot, one
           reply ([R_batch]) with per-item results in request order.  A
@@ -90,6 +105,8 @@ type status_body = {
   snapshot_hits : int;  (** persistent graph-snapshot store; all 0 without --cache-dir *)
   snapshot_misses : int;
   snapshot_rejects : int;
+  sweep_points : int;  (** sweep grid points evaluated or served since start *)
+  sweep_cache_hits : int;  (** of which the sweep-point cache already held *)
   pool_jobs : int;
   shards : int;
       (** worker shards behind this endpoint: 0 for a standalone server,
@@ -114,10 +131,37 @@ type error_code =
   | Shutting_down  (** server is draining; no new work accepted *)
   | Internal  (** analysis raised; message carries the exception text *)
 
+(** One grid point of a sweep curve, in ascending [sp_value] order within
+    its curve: [Ok (cycles, delta)] where [delta] is the first difference
+    d(cycles)/d(param) against the previous evaluated point (0 for the
+    lowest point), or a typed per-point error that does not poison the
+    rest of the sweep (the batch-item error model). *)
+type sweep_point = {
+  sp_value : int;
+  sp_outcome : (float * float, error_code * string) result;
+}
+
+type sweep_knee = {
+  kn_value : int;  (** the saturation knee on this axis *)
+  kn_marginal : float;  (** cycles saved per unit over the step reaching it *)
+  kn_saturated : bool;
+      (** false when the curve was still paying off at the grid edge *)
+}
+
+type sweep_curve = {
+  curve_param : string;  (** axis name, e.g. ["window"] *)
+  curve_base : int;  (** the session config's own value on this axis *)
+  curve_knee : sweep_knee option;  (** absent with fewer than two points *)
+  curve_points : sweep_point list;
+}
+
 type result_body =
   | R_breakdown of { baseline : float; rows : breakdown_row list }
   | R_icost of { baseline : float; rows : icost_row list }
   | R_graph_stats of { instrs : int; nodes : int; edges : int; critical_path : int }
+  | R_sweep of { baseline : float; curves : sweep_curve list }
+      (** [baseline] is the unperturbed session config's cycles — always
+          bit-identical to the same target's [R_breakdown.baseline] *)
   | R_batch of { results : (result_body, error_code * string) result list }
       (** per-item outcomes, positionally matching the batch's [ops] *)
   | R_status of status_body

@@ -66,7 +66,8 @@ let shard_of_op t (op : P.op) =
   let tg =
     match op with
     | P.Breakdown { target; _ } | P.Icost { target; _ }
-    | P.Graph_stats { target } ->
+    | P.Graph_stats { target }
+    | P.Sweep { target; _ } ->
       target
     | P.Batch _ | P.Status | P.Health | P.Shutdown -> assert false
   in
@@ -151,6 +152,8 @@ let agg_status t links : P.status_body =
     snapshot_hits = sum (fun s -> s.P.snapshot_hits);
     snapshot_misses = sum (fun s -> s.P.snapshot_misses);
     snapshot_rejects = sum (fun s -> s.P.snapshot_rejects);
+    sweep_points = sum (fun s -> s.P.sweep_points);
+    sweep_cache_hits = sum (fun s -> s.P.sweep_cache_hits);
     pool_jobs = sum (fun s -> s.P.pool_jobs);
     shards = t.shards;
     health = health_of t ~unreachable ~worst;
@@ -222,7 +225,7 @@ let forward_single t links c ~seq ~id ~line op =
 let single_shard_batch t (ops : P.op list) : int option =
   let rec go acc = function
     | [] -> acc
-    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op :: rest -> (
+    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _) as op :: rest -> (
       let sh = shard_of_op t op in
       match acc with
       | None -> go (Some sh) rest
@@ -246,7 +249,7 @@ let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
   List.iteri
     (fun idx op ->
       match op with
-      | P.Breakdown _ | P.Icost _ | P.Graph_stats _ ->
+      | P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _ ->
         let sh = shard_of_op t op in
         let prev = try Hashtbl.find by_shard sh with Not_found -> [] in
         Hashtbl.replace by_shard sh ((idx, op) :: prev)
@@ -318,7 +321,8 @@ let route_decision t line : int =
   | Error _ -> raise Unrouted
   | Ok req -> (
     match req.P.op with
-    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op -> shard_of_op t op
+    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _) as op ->
+      shard_of_op t op
     | P.Batch { ops } -> (
       match single_shard_batch t ops with
       | Some sh -> sh
@@ -350,7 +354,7 @@ let handle_decoded t links c ~seq line =
           handle_batch t links ~deadline_ms:req.P.deadline_ms ~id ops
         in
         write_reply c ~seq { P.rep_id = id; body = Ok body })
-    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op ->
+    | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _) as op ->
       forward_single t links c ~seq ~id ~line op)
 
 let handle_line t links c ~seq line =

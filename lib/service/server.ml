@@ -15,6 +15,8 @@ module Sampler = Icost_profiler.Sampler
 module Workload = Icost_workloads.Workload
 module Runner = Icost_experiments.Runner
 module Texport = Icost_report.Telemetry_export
+module Sparam = Icost_sensitivity.Param
+module Sweep = Icost_sensitivity.Sweep
 module P = Protocol
 
 type opts = {
@@ -56,6 +58,12 @@ exception Bad of string
 (* a request's deadline elapsed (checked between oracle evaluations) *)
 exception Deadline
 
+(* a sweep completed but at least one grid point reported a per-point
+   error: the body is a valid success reply, yet it must bypass the
+   reply/frame memos — point failures are transient by design (injected
+   faults, mid-sweep deadlines), so re-asking must re-evaluate *)
+exception Partial_sweep of P.result_body
+
 (* A session keeps the full establishment record (not just the oracle):
    the memo handle and session key are what [Snapshot.persist] needs to
    re-save a grown memo table after each successful analysis. *)
@@ -83,6 +91,13 @@ type t = {
          re-encoding the floats.  Failures are never cached (the builder
          raises), and the breaker/fault/deadline checks run before the
          lookup so supervision semantics are unchanged on hits. *)
+  sweep_cache : float Cache.t;
+      (* priced sweep grid points keyed by prep key + config digest of
+         the perturbed point + engine (see [sweep_point_key]): the unit
+         of reuse is one (workload window, config point) evaluation, so
+         two sweeps over overlapping grids — or one sweep re-issued with
+         a wider range — only pay for the new points.  Values are bare
+         cycle counts, so the cap can be generous. *)
   frame_cache : string Cache.t;
       (* the same idea one level up: encoded result fragments of whole
          frames, keyed by the frame text minus its request id
@@ -102,6 +117,9 @@ type t = {
   snap_hits : int Atomic.t;
   snap_misses : int Atomic.t;
   snap_rejects : int Atomic.t;
+  (* sweep tallies for the status op, same rationale *)
+  sweep_points : int Atomic.t;
+  sweep_hits : int Atomic.t;
   acc : Acceptor.t;  (* accept loop + connection bookkeeping + ordered writes *)
 }
 
@@ -157,23 +175,35 @@ let set_of_spec spec =
 let prep_key (tg : P.target) =
   Printf.sprintf "%s|w%d|m%d" tg.workload tg.warmup tg.measure
 
-(* Every config reaching a cache key is one of the variant constants
-   (config_of_variant), so digest each physical value once instead of
-   marshalling it on every request — the digest sits on the per-item hot
-   path twice (breaker key + session lookup).  Physical-identity misses
-   just recompute, so a lost racing update is merely a duplicate entry. *)
+(* The four variant constants cover every non-sweep request, so their
+   digests are precomputed once — the digest sits on the per-item hot
+   path twice (breaker key + session lookup).  Anything else (sweep
+   points carry fresh perturbed configs) falls through to a real
+   marshalled digest: the digest covers every field of the record, so
+   any swept parameter separates the keys, and unknown configs must not
+   be memoized by physical identity or a long sweep would grow the memo
+   without bound. *)
 let cfg_digest =
-  let tbl = Atomic.make [] in
+  let known =
+    List.map
+      (fun c -> (c, Texport.digest c))
+      [ Config.default; Config.loop_dl1; Config.loop_wakeup; Config.loop_bmisp ]
+  in
   fun cfg ->
-    match List.assq_opt cfg (Atomic.get tbl) with
+    match List.assq_opt cfg known with
     | Some d -> d
-    | None ->
-      let d = Texport.digest cfg in
-      Atomic.set tbl ((cfg, d) :: Atomic.get tbl);
-      d
+    | None -> Texport.digest cfg
 
 let baseline_key (tg : P.target) cfg =
   Printf.sprintf "%s|%s" (prep_key tg) (cfg_digest cfg)
+
+(* One priced grid point of a sweep: workload window + the digest of the
+   whole perturbed config + pricing engine.  Deliberately *not* derived
+   from the variant name — two sweep points must never alias each other
+   (or a prep/baseline entry) even when every human-visible field
+   matches, so the digest does the separating. *)
+let sweep_point_key (tg : P.target) cfg ~engine =
+  Printf.sprintf "%s|%s|%s" (prep_key tg) (cfg_digest cfg) engine
 
 let session_key (tg : P.target) cfg kind =
   let seed = match kind with Runner.Profiler -> tg.seed | _ -> 0 in
@@ -270,6 +300,49 @@ let guard deadline (oracle : Cost.oracle) : Cost.oracle =
         oracle.Cost.batch;
   }
 
+(* Render a sweep engine result into wire shape, mapping each failed
+   point's exception to the same typed codes a failed batch item gets. *)
+let sweep_body (res : Sweep.result) : P.result_body =
+  let code_of = function
+    | Deadline -> (P.Deadline_exceeded, "deadline elapsed")
+    | Bad msg -> (P.Bad_request, msg)
+    | Fault.Injected p ->
+      (P.Internal, Printf.sprintf "injected fault at point %S" p)
+    | Failure m | Invalid_argument m -> (P.Internal, m)
+    | e -> (P.Internal, Printexc.to_string e)
+  in
+  let curve (cv : Sweep.curve) =
+    {
+      P.curve_param = cv.Sweep.cv_param.Sparam.p_name;
+      curve_base = cv.Sweep.cv_base_value;
+      curve_knee =
+        Option.map
+          (fun (k : Sweep.knee) ->
+            {
+              P.kn_value = k.Sweep.kn_value;
+              kn_marginal = k.Sweep.kn_marginal;
+              kn_saturated = k.Sweep.kn_saturated;
+            })
+          cv.Sweep.cv_knee;
+      curve_points =
+        List.map
+          (fun (pt : Sweep.point) ->
+            match pt.Sweep.pt_outcome with
+            | Ok cycles ->
+              let delta =
+                Option.value ~default:0.
+                  (List.assoc_opt pt.Sweep.pt_value cv.Sweep.cv_deltas)
+              in
+              { P.sp_value = pt.Sweep.pt_value; sp_outcome = Ok (cycles, delta) }
+            | Error e ->
+              { P.sp_value = pt.Sweep.pt_value; sp_outcome = Error (code_of e) })
+          cv.Sweep.cv_points;
+    }
+  in
+  P.R_sweep
+    { baseline = res.Sweep.sw_baseline;
+      curves = List.map curve res.Sweep.sw_curves }
+
 let analyze t ~deadline (op : P.op) : P.result_body =
   match op with
   | P.Breakdown { target; focus } ->
@@ -338,6 +411,57 @@ let analyze t ~deadline (op : P.op) : P.result_body =
           Atomic.set session.gstats (Some body);
           body
         | None -> raise (Bad "graph engine produced no graph")))
+  | P.Sweep { target; params } ->
+    (* Per-point evaluation reuses the target's prepared execution (the
+       prep cache) and goes through the digest-keyed sweep-point cache;
+       the deadline is honored between points (an expired point answers
+       deadline_exceeded individually, like a batch item after expiry).
+       The baseline point failing is fatal and propagates — the curves
+       are meaningless without their reference. *)
+    let cfg = config_of_variant target.variant in
+    let engine =
+      match Sweep.engine_of_string target.engine with
+      | Ok e -> e
+      | Error m -> raise (Bad m)
+    in
+    let axes =
+      match Sparam.parse_axes params with
+      | Ok a -> a
+      | Error m -> raise (Bad m)
+    in
+    if List.length axes > P.max_sweep_axes then
+      raise
+        (Bad
+           (Printf.sprintf "sweep exceeds %d axes (%d)" P.max_sweep_axes
+              (List.length axes)));
+    let prepared = prepared_of t target in
+    check_deadline deadline;
+    let ename = Sweep.engine_name engine in
+    let point_cache cfg_pt build =
+      let fresh = ref false in
+      let v =
+        Cache.find_or_add t.sweep_cache
+          (sweep_point_key target cfg_pt ~engine:ename)
+          (fun () ->
+            fresh := true;
+            check_deadline deadline;
+            build ())
+      in
+      (v, not !fresh)
+    in
+    let res = Sweep.run ~point_cache ~engine ~cfg ~prepared ~axes () in
+    ignore (Atomic.fetch_and_add t.sweep_points res.Sweep.sw_points);
+    ignore (Atomic.fetch_and_add t.sweep_hits res.Sweep.sw_cache_hits);
+    let body = sweep_body res in
+    let clean =
+      List.for_all
+        (fun cv ->
+          List.for_all
+            (fun pt -> Result.is_ok pt.Sweep.pt_outcome)
+            cv.Sweep.cv_points)
+        res.Sweep.sw_curves
+    in
+    if clean then body else raise (Partial_sweep body)
   | P.Batch _ | P.Status | P.Health | P.Shutdown ->
     assert false (* batch items are dispatched individually; the rest are
                     handled inline, never queued *)
@@ -368,6 +492,7 @@ let check_pressure t =
       + Cache.trim t.baseline_cache ~keep
       + Cache.trim t.reply_cache ~keep:(16 * t.opts.cache_cap)
       + Cache.trim t.frame_cache ~keep:(4 * t.opts.cache_cap)
+      + Cache.trim t.sweep_cache ~keep:(32 * t.opts.cache_cap)
     in
     if shed > 0 then begin
       ignore (Atomic.fetch_and_add t.shed_tally shed);
@@ -387,7 +512,8 @@ let breaker_key_of (op : P.op) : string option =
     | exception Bad _ -> None
   in
   match op with
-  | P.Breakdown { target; _ } | P.Icost { target; _ } -> of_target target
+  | P.Breakdown { target; _ } | P.Icost { target; _ } | P.Sweep { target; _ } ->
+    of_target target
   | P.Graph_stats { target } -> of_target { target with P.engine = "graph" }
   | P.Batch _ | P.Status | P.Health | P.Shutdown -> None
 
@@ -396,6 +522,7 @@ let status_body t : P.status_body =
     f (Cache.stats t.prep_cache)
     + f (Cache.stats t.baseline_cache)
     + f (Cache.stats t.session_cache)
+    + f (Cache.stats t.sweep_cache)
     + f (Cache.stats t.reply_cache)
   in
   {
@@ -410,6 +537,8 @@ let status_body t : P.status_body =
     snapshot_hits = Atomic.get t.snap_hits;
     snapshot_misses = Atomic.get t.snap_misses;
     snapshot_rejects = Atomic.get t.snap_rejects;
+    sweep_points = Atomic.get t.sweep_points;
+    sweep_cache_hits = Atomic.get t.sweep_hits;
     pool_jobs = Pool.jobs ();
     shards = 0;
     health = health_of t;
@@ -465,14 +594,21 @@ let exn_message = function
    breaker, worker fault point) run before the lookup, so an expired or
    breaker-blocked request is refused even when the answer is cached,
    and armed faults keep firing per item.  Only successful results are
-   stored — a raising builder leaves the key absent. *)
-let exec_op t ~deadline (op : P.op) : (string, P.error_code * string) result =
+   stored — a raising builder leaves the key absent.
+
+   The second component of the return value says whether the result may
+   be memoized one level up (the frame cache): true everywhere except a
+   sweep that carries per-point errors, whose failures are transient and
+   must stay re-executable. *)
+let exec_op t ~deadline (op : P.op) :
+    (string, P.error_code * string) result * bool =
   match op with
-  | P.Status -> Ok (P.encode_result (P.R_status (status_body t)))
-  | P.Health -> Ok (P.encode_result (P.R_health (health_body t)))
-  | P.Shutdown -> Error (P.Bad_request, "shutdown is not allowed inside a batch")
-  | P.Batch _ -> Error (P.Bad_request, "batch items cannot nest")
-  | (P.Breakdown _ | P.Icost _ | P.Graph_stats _) as op ->
+  | P.Status -> (Ok (P.encode_result (P.R_status (status_body t))), true)
+  | P.Health -> (Ok (P.encode_result (P.R_health (health_body t))), true)
+  | P.Shutdown ->
+    (Error (P.Bad_request, "shutdown is not allowed inside a batch"), true)
+  | P.Batch _ -> (Error (P.Bad_request, "batch items cannot nest"), true)
+  | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _) as op ->
     let skey = breaker_key_of op in
     let breaker_open =
       match skey with
@@ -480,9 +616,10 @@ let exec_op t ~deadline (op : P.op) : (string, P.error_code * string) result =
       | None -> false
     in
     if breaker_open then
-      Error
-        ( P.Unavailable,
-          "circuit breaker open for this target; retry after cooldown" )
+      ( Error
+          ( P.Unavailable,
+            "circuit breaker open for this target; retry after cooldown" ),
+        true )
     else begin
       match
         check_deadline deadline;
@@ -492,9 +629,15 @@ let exec_op t ~deadline (op : P.op) : (string, P.error_code * string) result =
       with
       | encoded ->
         Option.iter (fun k -> Breaker.success t.breaker k) skey;
-        Ok encoded
-      | exception Bad msg -> Error (P.Bad_request, msg)
-      | exception Deadline -> Error (P.Deadline_exceeded, "deadline elapsed")
+        (Ok encoded, true)
+      | exception Partial_sweep body ->
+        (* a degraded-but-valid answer: success to the client and the
+           breaker, invisible to the reply and frame memos *)
+        Option.iter (fun k -> Breaker.success t.breaker k) skey;
+        (Ok (P.encode_result body), false)
+      | exception Bad msg -> (Error (P.Bad_request, msg), true)
+      | exception Deadline ->
+        (Error (P.Deadline_exceeded, "deadline elapsed"), true)
       | exception e ->
         (* supervision: the raise must not poison later requests — evict
            the session so a retry rebuilds it, and charge the failure to
@@ -510,17 +653,18 @@ let exec_op t ~deadline (op : P.op) : (string, P.error_code * string) result =
            purged per-target — the key is opaque text — and failures
            are rare enough that a full drop is cheap.) *)
         ignore (Cache.trim t.frame_cache ~keep:0);
-        Error (P.Internal, exn_message e)
+        (Error (P.Internal, exn_message e), true)
     end
 
 let span_attrs (op : P.op) =
   match op with
   | P.Breakdown { target; _ } | P.Icost { target; _ } | P.Graph_stats { target }
-    ->
+  | P.Sweep { target; _ } ->
     [
       ("op", (match op with
               | P.Breakdown _ -> "breakdown"
               | P.Icost _ -> "icost"
+              | P.Sweep _ -> "sweep"
               | _ -> "graph-stats"));
       ("workload", target.P.workload);
       ("engine", target.P.engine);
@@ -564,7 +708,8 @@ let handle_decoded t (c : Acceptor.conn) ~seq ~fkey (line : string) =
      | P.Shutdown ->
        write_reply c ~seq { P.rep_id = id; body = Ok P.R_shutdown };
        initiate_shutdown t
-     | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Batch _) as op ->
+     | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _ | P.Batch _) as
+       op ->
        check_pressure t;
        let deadline =
          Option.map
@@ -588,7 +733,7 @@ let handle_decoded t (c : Acceptor.conn) ~seq ~fkey (line : string) =
        let analysis_only ops =
          List.for_all
            (function
-             | P.Breakdown _ | P.Icost _ | P.Graph_stats _ -> true
+             | P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _ -> true
              | _ -> false)
            ops
        in
@@ -597,17 +742,22 @@ let handle_decoded t (c : Acceptor.conn) ~seq ~fkey (line : string) =
          @@ fun () ->
          match op with
          | P.Batch { ops } ->
-           let results = List.map (fun o -> exec_op t ~deadline o) ops in
+           let outcomes = List.map (fun o -> exec_op t ~deadline o) ops in
+           let results = List.map fst outcomes in
            let frag = P.encode_batch_result ~results in
-           if analysis_only ops && List.for_all Result.is_ok results then
-             memo_frame frag;
+           if
+             analysis_only ops
+             && List.for_all Result.is_ok results
+             && List.for_all snd outcomes
+           then memo_frame frag;
            write_ok_line c ~seq (P.encode_ok_reply ~rep_id:id ~result:frag)
          | op ->
            (match exec_op t ~deadline op with
-            | Ok result ->
-              memo_frame result;
+            | Ok result, memoizable ->
+              if memoizable then memo_frame result;
               write_ok_line c ~seq (P.encode_ok_reply ~rep_id:id ~result)
-            | Error (code, msg) -> write_reply c ~seq (error_reply id code msg))
+            | Error (code, msg), _ ->
+              write_reply c ~seq (error_reply id code msg))
        in
        (match Scheduler.submit t.sched job with
         | `Accepted -> ()
@@ -684,6 +834,8 @@ let run (opts : opts) : stats =
          generous than for sessions *)
       reply_cache = Cache.create ~name:"replies" ~cap:(32 * opts.cache_cap);
       frame_cache = Cache.create ~name:"frames" ~cap:(8 * opts.cache_cap);
+      (* bare floats: even a generous cap costs next to nothing *)
+      sweep_cache = Cache.create ~name:"sweep" ~cap:(64 * opts.cache_cap);
       requests = Atomic.make 0;
       shutdown_requested = Atomic.make false;
       breaker =
@@ -694,6 +846,8 @@ let run (opts : opts) : stats =
       snap_hits = Atomic.make 0;
       snap_misses = Atomic.make 0;
       snap_rejects = Atomic.make 0;
+      sweep_points = Atomic.make 0;
+      sweep_hits = Atomic.make 0;
       acc = Acceptor.create listeners;
     }
   in

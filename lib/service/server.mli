@@ -85,6 +85,15 @@ val default_opts : opts
     cache cap 8, breaker threshold 3 / cooldown 5s, memory high-water
     4096 MiB, no cache dir, signals handled, no ready hook. *)
 
+val sweep_point_key :
+  Protocol.target -> Icost_uarch.Config.t -> engine:string -> string
+(** The sweep-point cache key for one priced grid point:
+    [workload|warmup|measure|config-digest(point)|engine].  The digest
+    marshals the whole config record, so two points differing in {e any}
+    swept field get distinct keys (asserted by the test suite), and a
+    sweep point can never alias a prep entry ([prep_key] has no digest
+    segment). *)
+
 val session_key :
   Protocol.target ->
   Icost_uarch.Config.t ->

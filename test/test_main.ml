@@ -29,6 +29,7 @@ let () =
       Test_check.suite;
       Test_integration.suite;
       Test_parallel.suite;
+      Test_sensitivity.suite;
       Test_snapshot.suite;
       Test_service.suite;
     ]

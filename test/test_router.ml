@@ -251,6 +251,146 @@ let test_router_end_to_end () =
     (Sys.file_exists (Router.shard_socket socket 0)
      || Sys.file_exists (Router.shard_socket socket 1))
 
+(* Sweeps route like any other analysis op — by preparation key — so the
+   two targets land on different shards, each pricing its grid in its
+   own process, and the router's answers stay bit-identical to what the
+   sensitivity library computes directly.  The aggregate status sums the
+   per-shard sweep tallies; a batch mixing both shards' sweeps comes
+   back in request order. *)
+let test_router_sweep () =
+  sigpipe_off ();
+  let module Sweep = Icost_sensitivity.Sweep in
+  let module Sparam = Icost_sensitivity.Param in
+  let module Runner = Icost_experiments.Runner in
+  let module Workload = Icost_workloads.Workload in
+  let module Config = Icost_uarch.Config in
+  let socket = tmp_path "sweep.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let child =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         ignore
+           (Router.run
+              {
+                Router.socket;
+                tcp = None;
+                shards = 2;
+                shard = { Server.default_opts with workers = 2 };
+                handle_signals = true;
+                on_ready = None;
+                on_tcp_port = None;
+              });
+         Unix._exit 0
+       with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill child Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore
+        (try Unix.waitpid [] child
+         with Unix.Unix_error _ -> (0, Unix.WEXITED 0)))
+  @@ fun () ->
+  let specs = [ "window=16..64" ] in
+  let sweep_of tg = P.Sweep { target = tg; params = specs } in
+  (* the expected reply body, computed in this process *)
+  let expected tg =
+    let prepared =
+      Runner.prepare
+        { Runner.warmup = tg.P.warmup; measure = tg.P.measure;
+          benches = [ tg.P.workload ] }
+        (Workload.find_exn tg.P.workload)
+    in
+    let axes =
+      match Sparam.parse_axes specs with
+      | Ok a -> a
+      | Error msg -> Alcotest.fail msg
+    in
+    let r =
+      Sweep.run ~engine:Sweep.Sim ~cfg:Config.default ~prepared ~axes ()
+    in
+    P.R_sweep
+      {
+        baseline = r.Sweep.sw_baseline;
+        curves =
+          List.map
+            (fun (c : Sweep.curve) ->
+              {
+                P.curve_param = c.Sweep.cv_param.Sparam.p_name;
+                curve_base = c.cv_base_value;
+                curve_knee =
+                  Option.map
+                    (fun (k : Sweep.knee) ->
+                      { P.kn_value = k.Sweep.kn_value;
+                        kn_marginal = k.kn_marginal;
+                        kn_saturated = k.kn_saturated })
+                    c.cv_knee;
+                curve_points =
+                  List.map
+                    (fun (pt : Sweep.point) ->
+                      match pt.Sweep.pt_outcome with
+                      | Ok cycles ->
+                        { P.sp_value = pt.pt_value;
+                          sp_outcome =
+                            Ok
+                              (cycles,
+                               Option.value ~default:0.
+                                 (List.assoc_opt pt.pt_value c.cv_deltas)) }
+                      | Error e -> Alcotest.fail (Printexc.to_string e))
+                    c.cv_points;
+              })
+            r.Sweep.sw_curves;
+      }
+  in
+  let tg_a = { target_a with P.engine = "multisim" } in
+  let tg_b = { target_b with P.engine = "multisim" } in
+  let s = Client.connect_session ~retry_for:30.0 ~socket () in
+  let ask op =
+    match (Client.call_with_retry s (req ~id:5 op)).P.body with
+    | Ok b -> b
+    | Error (c, m) ->
+      Alcotest.fail
+        (Printf.sprintf "sweep failed: %s %s" (P.error_code_name c) m)
+  in
+  let got_a = ask (sweep_of tg_a) in
+  let got_b = ask (sweep_of tg_b) in
+  Alcotest.(check string) "shard A sweep bit-identical to the library"
+    (norm_body (Ok (expected tg_a)))
+    (norm_body (Ok got_a));
+  Alcotest.(check string) "shard B sweep bit-identical to the library"
+    (norm_body (Ok (expected tg_b)))
+    (norm_body (Ok got_b));
+  (* the aggregate status sums both shards' tallies: 3 grid points each *)
+  (match (Client.call_with_retry s (req ~id:6 P.Status)).P.body with
+  | Ok (P.R_status st) ->
+    Alcotest.(check int) "aggregate sweep points" 6 st.P.sweep_points
+  | _ -> Alcotest.fail "status not answered");
+  (* a batch mixing both shards' sweeps preserves request order *)
+  (match
+     (Client.call_with_retry s
+        (req ~id:7 (P.Batch { ops = [ sweep_of tg_b; sweep_of tg_a ] })))
+       .P.body
+   with
+  | Ok (P.R_batch { results = [ Ok b; Ok a ] }) ->
+    Alcotest.(check string) "batch item 0 is shard B's sweep"
+      (norm_body (Ok got_b)) (norm_body (Ok b));
+    Alcotest.(check string) "batch item 1 is shard A's sweep"
+      (norm_body (Ok got_a)) (norm_body (Ok a))
+  | Ok _ -> Alcotest.fail "expected a two-item batch reply"
+  | Error (c, m) ->
+    Alcotest.fail
+      (Printf.sprintf "batch failed: %s %s" (P.error_code_name c) m));
+  (match (Client.call_with_retry s (req ~id:99 P.Shutdown)).P.body with
+  | Ok P.R_shutdown -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Client.close_session s;
+  match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n ->
+    Alcotest.fail (Printf.sprintf "router exited with %d" n)
+  | _ -> Alcotest.fail "router killed by signal"
+
 let suite =
   ( "router",
     [
@@ -260,4 +400,6 @@ let suite =
       Alcotest.test_case "hash: shard socket naming" `Quick test_shard_socket;
       Alcotest.test_case "router: two-shard end-to-end" `Slow
         test_router_end_to_end;
+      Alcotest.test_case "router: sweeps route, aggregate and batch" `Slow
+        test_router_sweep;
     ] )

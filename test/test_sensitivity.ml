@@ -1,0 +1,368 @@
+(* Tests for the parametric-sensitivity subsystem: the parameter
+   registry and grid-spec parser, config-digest distinctness across
+   every swept field (the no-aliasing property the server's sweep-point
+   cache leans on), and the sweep engine itself — baseline identity,
+   monotone window curve, knee detection, cross-axis deduplication,
+   point-cache interposition, parallel determinism and per-point
+   supervision. *)
+
+module Config = Icost_uarch.Config
+module Runner = Icost_experiments.Runner
+module Workload = Icost_workloads.Workload
+module Graph = Icost_depgraph.Graph
+module Texport = Icost_report.Telemetry_export
+module Pool = Icost_util.Pool
+module Fault = Icost_util.Fault
+module Advisor = Icost_core.Advisor
+module Param = Icost_sensitivity.Param
+module Sweep = Icost_sensitivity.Sweep
+
+let bits = Int64.bits_of_float
+let check_feq what a b = Alcotest.(check int64) what (bits a) (bits b)
+
+let values axis = axis.Param.ax_values
+
+(* ---------- parameter registry ---------- *)
+
+let test_registry () =
+  Alcotest.(check bool) "a dozen parameters" true (List.length Param.all >= 12);
+  let uniq = List.sort_uniq compare Param.names in
+  Alcotest.(check int) "names unique" (List.length Param.names)
+    (List.length uniq);
+  List.iter
+    (fun (p : Param.t) ->
+      let cfg = Config.default in
+      let v = p.Param.p_get cfg in
+      Alcotest.(check bool)
+        (p.Param.p_name ^ " default above its minimum")
+        true (v >= p.Param.p_min);
+      (* writing the current value back must be physically lazy: every
+         axis' baseline point then shares one config and one digest *)
+      Alcotest.(check bool)
+        (p.Param.p_name ^ " identical write is physically lazy")
+        true
+        (p.Param.p_apply cfg v == cfg);
+      let cfg' = p.Param.p_apply cfg (v + 1) in
+      Alcotest.(check int)
+        (p.Param.p_name ^ " apply/get round-trip")
+        (v + 1)
+        (p.Param.p_get cfg'))
+    Param.all;
+  (match Param.find "window" with
+  | Some p -> Alcotest.(check string) "find window" "window" p.Param.p_name
+  | None -> Alcotest.fail "window not registered");
+  Alcotest.(check bool) "find unknown" true (Param.find "nope" = None);
+  match Param.find_exn "nope" with
+  | _ -> Alcotest.fail "find_exn should reject unknown names"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "message lists known names" true
+      (let rec contains i =
+         i + 6 <= String.length msg
+         && (String.sub msg i 6 = "window" || contains (i + 1))
+       in
+       contains 0)
+
+(* Each parameter writes a distinct config field, and the marshalled
+   digest sees every one of them: perturbing any single parameter moves
+   the digest, and no two perturbations collide.  This is what keys the
+   server's sweep-point cache, so it is the aliasing test for the whole
+   grid. *)
+let test_digest_distinct_per_param () =
+  let cfg = Config.default in
+  let base = Texport.digest cfg in
+  let digests =
+    List.map
+      (fun (p : Param.t) ->
+        let d =
+          Texport.digest (p.Param.p_apply cfg (p.Param.p_get cfg + 1))
+        in
+        Alcotest.(check bool)
+          (p.Param.p_name ^ " perturbation moves the digest")
+          true (d <> base);
+        d)
+      Param.all
+  in
+  let uniq = List.sort_uniq compare digests in
+  Alcotest.(check int) "perturbed digests pairwise distinct"
+    (List.length digests) (List.length uniq)
+
+(* ---------- grid-spec parsing ---------- *)
+
+let parse_ok spec =
+  match Param.parse_axis spec with
+  | Ok a -> a
+  | Error msg -> Alcotest.fail (spec ^ ": " ^ msg)
+
+let test_parse_axis () =
+  let a = parse_ok "window=16..256" in
+  Alcotest.(check (list int)) "geometric doubling, hi included"
+    [ 16; 32; 64; 128; 256 ] (values a);
+  Alcotest.(check (list int)) "geometric with off-grid hi"
+    [ 16; 32; 64; 100 ]
+    (values (parse_ok "window=16..100"));
+  Alcotest.(check (list int)) "arithmetic step"
+    [ 25; 50; 75; 100 ]
+    (values (parse_ok "mem_lat=25..100:25"));
+  Alcotest.(check (list int)) "arithmetic off-grid hi included"
+    [ 10; 40; 70; 90 ]
+    (values (parse_ok "mem_lat=10..90:30"));
+  Alcotest.(check (list int)) "single point"
+    [ 64 ]
+    (values (parse_ok "window=64..64"));
+  List.iter
+    (fun spec ->
+      match Param.parse_axis spec with
+      | Ok _ -> Alcotest.fail ("accepted bad spec " ^ spec)
+      | Error msg ->
+        Alcotest.(check bool) (spec ^ " rejected with a message") true
+          (String.length msg > 0))
+    [
+      "nope=1..4";          (* unknown parameter *)
+      "window";             (* no grid *)
+      "window=8..4";        (* empty range *)
+      "window=16..256:0";   (* zero step *)
+      "window=16..256:-4";  (* negative step *)
+      "window=0..64";       (* below p_min *)
+      "window=1..100000:1"; (* over max_points_per_axis *)
+      "window=a..b";        (* not numbers *)
+    ]
+
+let test_parse_axes () =
+  (match Param.parse_axes [ "window=16..64"; "mem_lat=25..100:25" ] with
+  | Ok axes -> Alcotest.(check int) "two axes" 2 (List.length axes)
+  | Error msg -> Alcotest.fail msg);
+  (match Param.parse_axes [] with
+  | Ok _ -> Alcotest.fail "empty axis list accepted"
+  | Error _ -> ());
+  (match Param.parse_axes [ "window=16..64"; "window=16..32" ] with
+  | Ok _ -> Alcotest.fail "duplicate parameter accepted"
+  | Error msg ->
+    Alcotest.(check bool) "duplicate named" true
+      (let rec contains i =
+         i + 6 <= String.length msg
+         && (String.sub msg i 6 = "window" || contains (i + 1))
+       in
+       contains 0));
+  match Param.parse_axes [ "window=16..64"; "mem_lat=25..0:25" ] with
+  | Ok _ -> Alcotest.fail "all-or-nothing violated"
+  | Error _ -> ()
+
+(* ---------- the sweep engine ---------- *)
+
+let prepared_gcc =
+  lazy
+    (Runner.prepare
+       { Runner.warmup = 2000; measure = 800; benches = [ "gcc" ] }
+       (Workload.find_exn "gcc"))
+
+let run_sweep ?knee_frac ?point_cache ~engine specs =
+  let prepared = Lazy.force prepared_gcc in
+  let axes =
+    match Param.parse_axes specs with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  Sweep.run ?knee_frac ?point_cache ~engine ~cfg:Config.default ~prepared
+    ~axes ()
+
+let curve_cycles (c : Sweep.curve) =
+  List.map
+    (fun (pt : Sweep.point) ->
+      match pt.Sweep.pt_outcome with
+      | Ok cy -> (pt.pt_value, cy)
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    c.Sweep.cv_points
+
+let test_sweep_window_curve () =
+  let r = run_sweep ~engine:Sweep.Sim [ "window=16..256" ] in
+  let prepared = Lazy.force prepared_gcc in
+  let base =
+    float_of_int (Runner.baseline_run Config.default prepared).Icost_sim.Ooo.cycles
+  in
+  check_feq "baseline bit-identical to Runner.baseline_run" base
+    r.Sweep.sw_baseline;
+  let c = List.hd r.Sweep.sw_curves in
+  Alcotest.(check int) "base value recorded"
+    ((Param.find_exn "window").Param.p_get Config.default)
+    c.Sweep.cv_base_value;
+  let pts = curve_cycles c in
+  Alcotest.(check (list int)) "points ascending, baseline inserted"
+    [ 16; 32; 64; 128; 256 ] (List.map fst pts);
+  check_feq "baseline point equals sweep baseline" r.Sweep.sw_baseline
+    (List.assoc c.cv_base_value pts);
+  (* more window is never slower on this kernel *)
+  let rec mono = function
+    | (_, c1) :: ((_, c2) :: _ as tl) ->
+      Alcotest.(check bool) "monotone non-increasing" true (c1 >= c2);
+      mono tl
+    | _ -> ()
+  in
+  mono pts;
+  Alcotest.(check int) "one delta per step" 4
+    (List.length c.Sweep.cv_deltas);
+  List.iter
+    (fun (_, d) ->
+      Alcotest.(check bool) "deltas non-positive" true (d <= 0.))
+    c.Sweep.cv_deltas;
+  match c.Sweep.cv_knee with
+  | None -> Alcotest.fail "no knee on a 5-point curve"
+  | Some k ->
+    Alcotest.(check bool) "knee within the grid" true
+      (List.mem_assoc k.Sweep.kn_value pts)
+
+let test_sweep_graph_engine_identity () =
+  let r = run_sweep ~engine:Sweep.Graph_cp [ "window=64..64" ] in
+  let prepared = Lazy.force prepared_gcc in
+  let baseline = Runner.baseline_run Config.default prepared in
+  let g = Runner.graph_of ~baseline Config.default prepared in
+  check_feq "graph engine baseline is the critical path"
+    (float_of_int (Graph.critical_length g))
+    r.Sweep.sw_baseline
+
+(* Two axes both contain the session config's own point; a third value
+   repeats across axes only via its digest.  Distinct configs are priced
+   once. *)
+let test_sweep_dedup_and_cache () =
+  let built = ref 0 and served = ref 0 in
+  let point_cache _cfg build =
+    (* a trivial interposed cache: build everything, count calls *)
+    incr built;
+    (build (), !served > 0)
+  in
+  let r =
+    run_sweep ~engine:Sweep.Sim ~point_cache
+      [ "window=16..64"; "mem_lat=25..100:25" ]
+  in
+  (* window axis: 16 32 64(base); mem_lat axis: 25 50 75 100(base=100).
+     mem_lat's baseline value 100 is on its own grid, so the distinct
+     configs are 16,32,64-base,25,50,75 = 6; the base config is shared
+     by both axes. *)
+  Alcotest.(check int) "distinct points priced once" 6 r.Sweep.sw_points;
+  Alcotest.(check int) "every distinct point hit the cache" 6 !built;
+  Alcotest.(check int) "no hits reported by this cache" 0
+    r.Sweep.sw_cache_hits;
+  Alcotest.(check int) "two curves" 2 (List.length r.Sweep.sw_curves);
+  let mem = List.nth r.Sweep.sw_curves 1 in
+  Alcotest.(check (list int)) "mem_lat grid with baseline shared"
+    [ 25; 50; 75; 100 ]
+    (List.map fst (curve_cycles mem));
+  (* the same sweep again, with the cache claiming every entry existed *)
+  served := 1;
+  let r2 =
+    run_sweep ~engine:Sweep.Sim ~point_cache
+      [ "window=16..64"; "mem_lat=25..100:25" ]
+  in
+  Alcotest.(check int) "all points reported cached" 6 r2.Sweep.sw_cache_hits
+
+let test_sweep_parallel_deterministic () =
+  let jobs0 = Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_jobs jobs0)
+    (fun () ->
+      Pool.set_jobs 1;
+      let r1 = run_sweep ~engine:Sweep.Sim [ "window=16..256" ] in
+      Pool.set_jobs 4;
+      let r2 = run_sweep ~engine:Sweep.Sim [ "window=16..256" ] in
+      check_feq "baseline identical across job counts" r1.Sweep.sw_baseline
+        r2.Sweep.sw_baseline;
+      List.iter2
+        (fun (v1, c1) (v2, c2) ->
+          Alcotest.(check int) "same grid" v1 v2;
+          check_feq "same cycles" c1 c2)
+        (curve_cycles (List.hd r1.Sweep.sw_curves))
+        (curve_cycles (List.hd r2.Sweep.sw_curves)))
+
+(* A poisoned point is confined to its own grid entry; the baseline
+   raising is fatal.  Job order is deterministic at jobs=1 (values
+   ascending), so the @2 trigger always lands on window=32. *)
+let test_sweep_point_supervision () =
+  let jobs0 = Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Pool.set_jobs jobs0)
+    (fun () ->
+      Pool.set_jobs 1;
+      Fault.configure_exn "sweep_point:@2";
+      let r = run_sweep ~engine:Sweep.Sim [ "window=16..64" ] in
+      let c = List.hd r.Sweep.sw_curves in
+      List.iter
+        (fun (pt : Sweep.point) ->
+          match (pt.Sweep.pt_value, pt.Sweep.pt_outcome) with
+          | 32, Error (Fault.Injected "sweep_point") -> ()
+          | 32, Error e ->
+            Alcotest.fail ("unexpected poison: " ^ Printexc.to_string e)
+          | 32, Ok _ -> Alcotest.fail "poisoned point evaluated"
+          | _, Ok _ -> ()
+          | v, Error e ->
+            Alcotest.fail
+              (Printf.sprintf "healthy point %d failed: %s" v
+                 (Printexc.to_string e)))
+        c.Sweep.cv_points;
+      (* the delta chain skips the hole: one step 16->64 *)
+      Alcotest.(check (list int)) "deltas bridge the failed point" [ 64 ]
+        (List.map fst c.Sweep.cv_deltas);
+      (* baseline poisoned: fatal *)
+      Fault.configure_exn "sweep_point:@3";
+      match run_sweep ~engine:Sweep.Sim [ "window=16..64" ] with
+      | _ -> Alcotest.fail "baseline failure should re-raise"
+      | exception Fault.Injected "sweep_point" -> ())
+
+let test_sweep_recommendations () =
+  let r =
+    run_sweep ~engine:Sweep.Sim [ "window=16..256"; "mem_lat=25..100:25" ]
+  in
+  let recs = Sweep.recommendations r in
+  Alcotest.(check bool) "at least one resize recommendation" true
+    (recs <> []);
+  let rois =
+    List.map
+      (function
+        | Advisor.Resize { cycles_per_unit; _ } -> cycles_per_unit
+        | _ -> Alcotest.fail "sweep recommends only resizes")
+      recs
+  in
+  let rec sorted = function
+    | a :: (b :: _ as tl) -> a >= b && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "ranked by descending cycles-per-unit" true
+    (sorted rois);
+  List.iter
+    (function
+      | Advisor.Resize { resource; from_units; to_units; cycles_saved; _ } ->
+        Alcotest.(check bool) (resource ^ " moves the resource") true
+          (from_units <> to_units);
+        Alcotest.(check bool) (resource ^ " saves cycles") true
+          (cycles_saved >= 0.)
+      | _ -> ())
+    recs;
+  (* rendering mentions the knee semantics *)
+  let rendered = List.map Advisor.recommendation_to_string recs in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "rendered as RESIZE" true
+        (String.length s >= 6 && String.sub s 0 6 = "RESIZE"))
+    rendered
+
+let suite =
+  ( "sensitivity",
+    [
+      Alcotest.test_case "param: registry invariants" `Quick test_registry;
+      Alcotest.test_case "param: digests distinct across every field" `Quick
+        test_digest_distinct_per_param;
+      Alcotest.test_case "param: axis spec grammar" `Quick test_parse_axis;
+      Alcotest.test_case "param: multi-axis parsing" `Quick test_parse_axes;
+      Alcotest.test_case "sweep: window curve, baseline identity, knee" `Slow
+        test_sweep_window_curve;
+      Alcotest.test_case "sweep: graph engine prices the critical path" `Slow
+        test_sweep_graph_engine_identity;
+      Alcotest.test_case "sweep: cross-axis dedup and point cache" `Slow
+        test_sweep_dedup_and_cache;
+      Alcotest.test_case "sweep: parallel evaluation is deterministic" `Slow
+        test_sweep_parallel_deterministic;
+      Alcotest.test_case "sweep: poisoned point stays confined" `Slow
+        test_sweep_point_supervision;
+      Alcotest.test_case "sweep: resize recommendations ranked by ROI" `Slow
+        test_sweep_recommendations;
+    ] )

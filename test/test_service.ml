@@ -72,6 +72,11 @@ let test_request_roundtrip () =
       P.Icost { target = P.{ default_target with workload = "gzip" };
                 sets = [ "dl1"; "dl1,win"; "bw" ] };
       P.Graph_stats { target = sample_target };
+      P.Sweep
+        {
+          target = sample_target;
+          params = [ "window=16..256"; "mem_lat=25..100:25" ];
+        };
       P.Status;
       P.Health;
       P.Shutdown;
@@ -142,6 +147,8 @@ let test_reply_roundtrip () =
              snapshot_hits = 2;
              snapshot_misses = 1;
              snapshot_rejects = 1;
+             sweep_points = 7;
+             sweep_cache_hits = 3;
              pool_jobs = 8;
              shards = 2;
              health = "degraded";
@@ -158,6 +165,38 @@ let test_reply_roundtrip () =
                        { instrs = 1; nodes = 2; edges = 3; critical_path = 4 });
                  Error (P.Bad_request, "unknown workload \"nope\"");
                  Ok P.R_shutdown;
+               ];
+           });
+      Ok
+        (P.R_sweep
+           {
+             baseline = 9885.;
+             curves =
+               [
+                 {
+                   P.curve_param = "window";
+                   curve_base = 64;
+                   curve_knee =
+                     Some
+                       { P.kn_value = 128; kn_marginal = 1. /. 3.;
+                         kn_saturated = true };
+                   curve_points =
+                     [
+                       { P.sp_value = 16; sp_outcome = Ok (12000.25, 0.) };
+                       { P.sp_value = 32;
+                         sp_outcome = Error (P.Internal, "injected fault") };
+                       { P.sp_value = 64;
+                         sp_outcome = Ok (9885., -.(1. /. 7.)) };
+                     ];
+                 };
+                 (* a flat single-point curve: no knee field on the wire *)
+                 {
+                   P.curve_param = "mem_ports";
+                   curve_base = 2;
+                   curve_knee = None;
+                   curve_points =
+                     [ { P.sp_value = 2; sp_outcome = Ok (9885., 0.) } ];
+                 };
                ];
            });
       Error (P.Bad_request, "unknown workload \"nope\"");
@@ -210,6 +249,22 @@ let test_decode_rejects () =
                 { ops =
                     List.init (P.max_batch_items + 1) (fun _ -> P.Status) } }
       );
+      ( "sweep without params",
+        {|{"v":"icost.rpc.v1","id":1,"op":"sweep","workload":"gcc"}|} );
+      ( "sweep params not an array",
+        {|{"v":"icost.rpc.v1","id":1,"op":"sweep","workload":"gcc","params":"window=16..64"}|}
+      );
+      ( "sweep with empty params",
+        {|{"v":"icost.rpc.v1","id":1,"op":"sweep","workload":"gcc","params":[]}|}
+      );
+      ( "sweep with too many axes",
+        P.encode_request
+          { P.req_id = 1; deadline_ms = None;
+            op = P.Sweep
+                { target = sample_target;
+                  params =
+                    List.init (P.max_sweep_axes + 1)
+                      (fun i -> Printf.sprintf "p%d=1..2" i) } } );
     ]
   in
   List.iter
@@ -1327,6 +1382,227 @@ let test_serve_snapshot_warm_restart () =
 
 (* Chaos: several fault points armed at once under a deterministic seed.
    Every query must still come back correct through the retry layer. *)
+(* ---------- sweep op ---------- *)
+
+module Pool = Icost_util.Pool
+module Sweep = Icost_sensitivity.Sweep
+module Sparam = Icost_sensitivity.Param
+
+(* The server's R_sweep, recomputed directly against the sensitivity
+   library: same prepared execution, same engine, same grid. *)
+let expected_sweep_body tg specs =
+  let settings =
+    { Runner.warmup = tg.P.warmup; measure = tg.P.measure;
+      benches = [ tg.P.workload ] }
+  in
+  let prepared = Runner.prepare settings (Workload.find_exn tg.P.workload) in
+  let engine =
+    match Sweep.engine_of_string tg.P.engine with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let axes =
+    match Sparam.parse_axes specs with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  let r = Sweep.run ~engine ~cfg:Config.default ~prepared ~axes () in
+  let curve (c : Sweep.curve) =
+    {
+      P.curve_param = c.Sweep.cv_param.Sparam.p_name;
+      curve_base = c.cv_base_value;
+      curve_knee =
+        Option.map
+          (fun (k : Sweep.knee) ->
+            { P.kn_value = k.Sweep.kn_value; kn_marginal = k.kn_marginal;
+              kn_saturated = k.kn_saturated })
+          c.cv_knee;
+      curve_points =
+        List.map
+          (fun (pt : Sweep.point) ->
+            match pt.Sweep.pt_outcome with
+            | Ok cycles ->
+              { P.sp_value = pt.pt_value;
+                sp_outcome =
+                  Ok
+                    (cycles,
+                     Option.value ~default:0.
+                       (List.assoc_opt pt.pt_value c.cv_deltas)) }
+            | Error e -> Alcotest.fail (Printexc.to_string e))
+          c.cv_points;
+    }
+  in
+  P.R_sweep
+    { baseline = r.Sweep.sw_baseline;
+      curves = List.map curve r.Sweep.sw_curves }
+
+(* No sweep point may alias a prep cache entry, and any two points
+   differing in any swept field get distinct keys. *)
+let test_sweep_point_keys () =
+  let tg = { small_target with P.engine = "multisim" } in
+  let cfg = Config.default in
+  let keys =
+    Server.sweep_point_key tg cfg ~engine:"multisim"
+    :: List.map
+         (fun (p : Sparam.t) ->
+           Server.sweep_point_key tg
+             (p.Sparam.p_apply cfg (p.Sparam.p_get cfg + 1))
+             ~engine:"multisim")
+         Sparam.all
+  in
+  let uniq = List.sort_uniq compare keys in
+  Alcotest.(check int) "point keys pairwise distinct" (List.length keys)
+    (List.length uniq);
+  (* the prep key is the target's workload|warmup|measure prefix with no
+     digest or engine segment: every point key must extend, never equal,
+     it *)
+  let prep_prefix =
+    Printf.sprintf "%s|w%d|m%d" tg.P.workload tg.P.warmup tg.P.measure
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "point key extends the prep key" true
+        (String.length k > String.length prep_prefix
+        && String.sub k 0 (String.length prep_prefix) = prep_prefix))
+    keys
+
+let test_serve_sweep () =
+  sigpipe_off ();
+  let socket = tmp_socket "sweep" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let opts =
+    { Server.default_opts with
+      socket; workers = 2; handle_signals = false }
+  in
+  let srv = start_server opts in
+  let tg = { small_target with P.engine = "multisim" } in
+  let specs = [ "window=16..64"; "mem_lat=25..100:25" ] in
+  let sweep_op = P.Sweep { target = tg; params = specs } in
+  let s = Client.connect_session ~retry_for:10.0 ~socket () in
+  let status () =
+    match (Client.call_with_retry s (req ~id:9 P.Status)).P.body with
+    | Ok (P.R_status st) -> st
+    | _ -> Alcotest.fail "status reply malformed"
+  in
+  let first = Client.call_with_retry s (req ~id:1 sweep_op) in
+  (* bit-identical to the direct library computation *)
+  Alcotest.(check string) "served sweep bit-identical to library"
+    (P.encode_reply
+       { P.rep_id = 0; body = Ok (expected_sweep_body tg specs) })
+    (norm first);
+  (* window 16,32,64(base) + mem_lat 25,50,75 (100 is the base config,
+     shared): 6 distinct points, all cold *)
+  let st = status () in
+  Alcotest.(check int) "6 points evaluated" 6 st.P.sweep_points;
+  Alcotest.(check int) "no point cached yet" 0 st.P.sweep_cache_hits;
+  (* exact repeat: the reply cache answers, point tallies unchanged *)
+  let again = Client.call_with_retry s (req ~id:2 sweep_op) in
+  Alcotest.(check string) "repeat identical" (norm first) (norm again);
+  Alcotest.(check int) "repeat served without re-evaluating" 6
+    (status ()).P.sweep_points;
+  (* a sub-grid sweep: every point already sits in the sweep-point
+     cache *)
+  let sub = P.Sweep { target = tg; params = [ "window=16..64" ] } in
+  (match (Client.call_with_retry s (req ~id:3 sub)).P.body with
+  | Ok (P.R_sweep { baseline; curves }) ->
+    (match first.P.body with
+    | Ok (P.R_sweep { baseline = b0; _ }) ->
+      check_feq "baselines agree across sweeps" b0 baseline
+    | _ -> Alcotest.fail "first sweep reply malformed");
+    (match curves with
+    | [ c ] ->
+      Alcotest.(check int) "three points" 3 (List.length c.P.curve_points)
+    | _ -> Alcotest.fail "one curve expected")
+  | _ -> Alcotest.fail "sub-grid sweep failed");
+  let st = status () in
+  Alcotest.(check int) "3 more points" 9 st.P.sweep_points;
+  Alcotest.(check int) "all served from the point cache" 3
+    st.P.sweep_cache_hits;
+  (* typed rejections: profiler engine, unknown parameter *)
+  List.iter
+    (fun (what, op) ->
+      match (Client.call_with_retry s (req ~id:4 op)).P.body with
+      | Error (P.Bad_request, _) -> ()
+      | _ -> Alcotest.fail (what ^ " should be a bad request"))
+    [
+      ("profiler sweep",
+       P.Sweep
+         { target = { tg with P.engine = "profiler" };
+           params = [ "window=16..64" ] });
+      ("unknown param",
+       P.Sweep { target = tg; params = [ "frobnicate=1..2" ] });
+    ];
+  shutdown_server s srv
+
+(* A fault-poisoned grid point must surface as a typed per-point error
+   without failing the sweep — and the degraded reply must not be
+   memoized: once the fault clears, the same request heals. *)
+let test_serve_sweep_poisoned () =
+  sigpipe_off ();
+  let socket = tmp_socket "sweep-poison" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let jobs0 = Pool.jobs () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Pool.set_jobs jobs0)
+  @@ fun () ->
+  (* jobs=1 makes the grid evaluation order deterministic (values
+     ascending), pinning the @2 trigger to window=32 *)
+  Pool.set_jobs 1;
+  let opts =
+    { Server.default_opts with
+      socket; workers = 1; handle_signals = false }
+  in
+  let srv = start_server opts in
+  let tg = { small_target with P.engine = "multisim" } in
+  let sweep_op = P.Sweep { target = tg; params = [ "window=16..64" ] } in
+  let s = Client.connect_session ~retry_for:10.0 ~socket () in
+  Fault.configure_exn "sweep_point:@2";
+  (match (Client.call_with_retry s (req ~id:1 sweep_op)).P.body with
+  | Ok (P.R_sweep { curves = [ c ]; _ }) ->
+    List.iter
+      (fun (pt : P.sweep_point) ->
+        match (pt.P.sp_value, pt.sp_outcome) with
+        | 32, Error (P.Internal, msg) ->
+          Alcotest.(check bool) "error names the fault" true
+            (contains msg "injected")
+        | 32, _ -> Alcotest.fail "window=32 should carry the injected fault"
+        | _, Ok _ -> ()
+        | v, Error (_, msg) ->
+          Alcotest.fail (Printf.sprintf "healthy point %d failed: %s" v msg))
+      c.P.curve_points
+  | Ok _ -> Alcotest.fail "unexpected reply kind"
+  | Error (code, msg) ->
+    Alcotest.fail
+      (Printf.sprintf "poisoned sweep should still succeed: %s %s"
+         (P.error_code_name code) msg));
+  (* fault cleared: the identical request is re-evaluated (the partial
+     reply was never cached) and comes back fully clean, with the two
+     healthy points served from the point cache *)
+  Fault.disable ();
+  (match (Client.call_with_retry s (req ~id:2 sweep_op)).P.body with
+  | Ok (P.R_sweep { curves = [ c ]; _ }) ->
+    List.iter
+      (fun (pt : P.sweep_point) ->
+        match pt.P.sp_outcome with
+        | Ok _ -> ()
+        | Error (_, msg) ->
+          Alcotest.fail
+            (Printf.sprintf "point %d still poisoned after heal: %s"
+               pt.P.sp_value msg))
+      c.P.curve_points
+  | _ -> Alcotest.fail "healed sweep failed");
+  let st =
+    match (Client.call_with_retry s (req ~id:3 P.Status)).P.body with
+    | Ok (P.R_status st) -> st
+    | _ -> Alcotest.fail "status reply malformed"
+  in
+  Alcotest.(check int) "3 + 3 points attempted" 6 st.P.sweep_points;
+  Alcotest.(check int) "healthy points re-served from the cache" 2
+    st.P.sweep_cache_hits;
+  shutdown_server s srv
+
 let test_serve_chaos () =
   sigpipe_off ();
   Fun.protect ~finally:(fun () -> Fault.disable ()) @@ fun () ->
@@ -1410,6 +1686,12 @@ let suite =
         `Slow test_serve_pipelining_order;
       Alcotest.test_case "serve: batch mixes per-item success and failure"
         `Slow test_serve_batch;
+      Alcotest.test_case "sweep: point keys never alias the prep cache"
+        `Quick test_sweep_point_keys;
+      Alcotest.test_case "serve: sweep bit-identical to the library" `Slow
+        test_serve_sweep;
+      Alcotest.test_case "serve: poisoned sweep point stays typed and \
+                          uncached" `Slow test_serve_sweep_poisoned;
       Alcotest.test_case "serve: TCP endpoint bit-identical to Unix" `Slow
         test_serve_tcp;
       Alcotest.test_case "serve: crash during cache build recovers" `Slow
