@@ -1,7 +1,9 @@
 #!/bin/sh
 # Engine performance gate: re-measure the micro-benchmarks, the service
 # benchmarks (daemon warm queries + snapshot cold starts) and the closed-loop
-# load benchmark (1-shard sequential vs 2-shard pipelined batches) and fail
+# load benchmark (1-shard sequential vs 2-shard pipelined batches, then the
+# kill -9 chaos soak — its soak/ rows are informational here, gated
+# absolutely inside the load run itself) and fail
 # (exit 1) if any row regressed more than 25% against its committed baseline —
 # BENCH_engines.json for micro, BENCH_service.json for service,
 # BENCH_load.json for load, BENCH_sweep.json for the sensitivity sweep —

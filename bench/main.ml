@@ -22,11 +22,18 @@
                                                  class (kernel + generated)
      dune exec bench/main.exe -- load         -- closed-loop load: 2-shard
                                                  pipelined batches vs 1-shard
-                                                 one-at-a-time (BENCH_load.json
-                                                 is the committed record; knobs
-                                                 via ICOST_LOAD_* env vars;
-                                                 cannot combine with other
-                                                 modes — it forks daemons)
+                                                 one-at-a-time, then a chaos
+                                                 soak (kill -9 a random shard
+                                                 every ~250 ms under load;
+                                                 zero client-visible failures,
+                                                 bit-identical replies,
+                                                 bounded worst-case latency)
+                                                 (BENCH_load.json is the
+                                                 committed record; knobs via
+                                                 ICOST_LOAD_* / ICOST_SOAK_*
+                                                 env vars; cannot combine with
+                                                 other modes — it forks
+                                                 daemons)
      dune exec bench/main.exe -- sweep        -- parametric sensitivity grid,
                                                  sequential vs 4 pool jobs
                                                  (BENCH_sweep.json is the
@@ -345,6 +352,7 @@ let run_service () : (string * float) list =
 (* ------------------------------------------------------------------ *)
 
 module Router = Icost_service.Router
+module Supervise = Icost_service.Supervise
 
 (* Environment knobs so CI can run a seconds-long smoke with the same
    code path that produces the committed BENCH_load.json. *)
@@ -436,6 +444,21 @@ let closed_loop ~conns ~depth ~duration_s ~connect ~send ~reap =
     (fun (n, s, el) (n', s', el') -> (n + n', s' @ s, Float.max el el'))
     (0, [], 0.) results
 
+(* The shard pids live two forks down (router -> supervisor -> shards);
+   Linux exposes the chain in /proc, which is how the chaos soak finds
+   its victims without any cooperation from the fleet. *)
+let children_of pid =
+  let path = Printf.sprintf "/proc/%d/task/%d/children" pid pid in
+  match In_channel.with_open_text path In_channel.input_all with
+  | s ->
+    String.split_on_char ' ' (String.trim s) |> List.filter_map int_of_string_opt
+  | exception Sys_error _ -> []
+
+let shard_pids_of router =
+  match children_of router with
+  | [ supervisor ] -> children_of supervisor
+  | _ -> []
+
 let run_load () : (string * float) list =
   let conns = env_int "ICOST_LOAD_CONNS" 16 in
   (* Batch shape: deep pipelines and big frames buy qps but stack frames
@@ -452,8 +475,16 @@ let run_load () : (string * float) list =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "icost-load-%s-%d" tag (Unix.getpid ()))
   in
+  let soak_duration_s = env_float "ICOST_SOAK_DURATION_S" 3. in
+  let soak_kill_every_s = env_float "ICOST_SOAK_KILL_EVERY_S" 0.25 in
+  let soak_conns = env_int "ICOST_SOAK_CONNS" 4 in
+  let soak_max_lat_ms = env_float "ICOST_SOAK_MAX_LAT_MS" 5000. in
+  let soak_gate = Sys.getenv_opt "ICOST_SOAK_GATE" <> Some "0" in
   let socket1 = tmp "one.sock" and socket2 = tmp "two.sock" in
-  List.iter (fun s -> if Sys.file_exists s then Sys.remove s) [ socket1; socket2 ];
+  let socket3 = tmp "soak.sock" in
+  List.iter
+    (fun s -> if Sys.file_exists s then Sys.remove s)
+    [ socket1; socket2; socket3 ];
   (* two workloads that hash to different shards under shards = 2, so
      the sharded run actually exercises both processes *)
   let target w =
@@ -487,6 +518,19 @@ let run_load () : (string * float) list =
           (Router.run
              { Router.default_opts with socket = socket2; shards = 2;
                shard = { Server.default_opts with workers = 2 } }))
+  in
+  (* the soak fleet gets an unlimited storm budget: a kill every 250 ms
+     is exactly the restart storm the breaker exists to refuse, and the
+     point here is to measure respawn, not to trip it *)
+  let pid3 =
+    fork_daemon (fun () ->
+        ignore
+          (Router.run
+             { Router.default_opts with socket = socket3; shards = 2;
+               shard = { Server.default_opts with workers = 2 };
+               supervise =
+                 { Router.default_opts.supervise with
+                   Supervise.storm_budget = max_int } }))
   in
   Printf.printf
     "\nclosed-loop load (%g s per phase): 1-shard one-at-a-time (%d conns) \
@@ -587,6 +631,112 @@ let run_load () : (string * float) list =
   in
   shutdown_daemon ~socket:socket1 pid1;
   shutdown_daemon ~socket:socket2 pid2;
+  (* phase 3: chaos soak.  A killer thread SIGKILLs a random live shard
+     of the third fleet every ~[soak_kill_every_s] while closed-loop
+     sessions (client retries on) hammer both shards with the compact
+     query.  The supervision layer must absorb every kill: parked
+     requests re-deliver to the respawned shard, so the clients see zero
+     failures, every reply byte-identical to the pre-kill expectation,
+     and the worst-case latency stays bounded by detect+backoff+respawn
+     rather than a timeout. *)
+  Printf.printf
+    "  chaos soak (%g s, kill -9 a random shard every %g s, %d conns):\n%!"
+    soak_duration_s soak_kill_every_s soak_conns;
+  let soak_expected = [| Atomic.make None; Atomic.make None |] in
+  Client.with_client ~retry_for:30.0 ~socket:socket3 (fun c ->
+      Array.iteri
+        (fun idx slot ->
+          let r = Client.call c (req ~id:(100 + idx) (op_of idx)) in
+          match r.Protocol.body with
+          | Ok _ ->
+            Atomic.set slot
+              (Some
+                 (Protocol.encode_reply { r with Protocol.rep_id = 0 }))
+          | Error (_, m) -> failwith ("soak prime: " ^ m))
+        soak_expected);
+  let kills = Atomic.make 0 in
+  let stop_killer = Atomic.make false in
+  let killer =
+    Thread.create
+      (fun () ->
+        (* deterministic victim choice; Unix.kill on a pid that just
+           died between the /proc walk and the signal is a no-op race,
+           not an error *)
+        let lcg = ref 0x2545f491 in
+        while not (Atomic.get stop_killer) do
+          ignore (Unix.select [] [] [] soak_kill_every_s);
+          if not (Atomic.get stop_killer) then begin
+            match shard_pids_of pid3 with
+            | [] -> ()
+            | pids ->
+              lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+              let victim = List.nth pids (!lcg mod List.length pids) in
+              (try
+                 Unix.kill victim Sys.sigkill;
+                 Atomic.incr kills
+               with Unix.Unix_error _ -> ())
+          end
+        done)
+      ()
+  in
+  let mismatches = Atomic.make 0 in
+  let soak_results = Array.make soak_conns (0, 0, [], 0.) in
+  let soak_threads =
+    List.init soak_conns (fun i ->
+        Thread.create
+          (fun () ->
+            let opts =
+              { Client.retries = 10; budget_ms = 20_000;
+                base_backoff_ms = 5.; max_backoff_ms = 100. }
+            in
+            let s =
+              Client.connect_session ~opts ~retry_for:10.0 ~socket:socket3 ()
+            in
+            Fun.protect ~finally:(fun () -> Client.close_session s)
+            @@ fun () ->
+            let t0 = Unix.gettimeofday () in
+            let t_end = t0 +. soak_duration_s in
+            let ok = ref 0 and failed = ref 0 and samples = ref [] in
+            let flip = ref (i mod 2) in
+            while Unix.gettimeofday () < t_end do
+              let idx = !flip in
+              flip := 1 - !flip;
+              let sent = Unix.gettimeofday () in
+              (match Client.call_with_retry s (req ~id:(100 + idx) (op_of idx)) with
+               | { Protocol.body = Ok _; _ } as r ->
+                 let norm =
+                   Protocol.encode_reply { r with Protocol.rep_id = 0 }
+                 in
+                 (match Atomic.get soak_expected.(idx) with
+                  | Some exp when String.equal exp norm -> incr ok
+                  | Some _ ->
+                    Atomic.incr mismatches;
+                    incr ok
+                  | None -> incr ok)
+               | { Protocol.body = Error _; _ } -> incr failed
+               | exception _ -> incr failed);
+              samples := ((Unix.gettimeofday () -. sent) *. 1e3, 1) :: !samples
+            done;
+            soak_results.(i) <- (!ok, !failed, !samples, Unix.gettimeofday () -. t0))
+          ())
+  in
+  List.iter Thread.join soak_threads;
+  Atomic.set stop_killer true;
+  Thread.join killer;
+  let soak_ok, soak_failed, soak_samples, soak_elapsed =
+    Array.fold_left
+      (fun (n, f, s, el) (n', f', s', el') ->
+        (n + n', f + f', s' @ s, Float.max el el'))
+      (0, 0, [], 0.) soak_results
+  in
+  let soak_respawns, soak_failovers =
+    Client.with_client ~retry_for:10.0 ~socket:socket3 (fun c ->
+        match (Client.call c (req ~id:2 Protocol.Status)).Protocol.body with
+        | Ok (Protocol.R_status st) ->
+          (st.Protocol.respawns, st.Protocol.failovers)
+        | _ -> (0, 0))
+  in
+  shutdown_daemon ~socket:socket3 pid3;
   let qps1 = Float.of_int n1 /. elapsed1 in
   let qps2 = Float.of_int n2 /. elapsed2 in
   let p50_1 = percentile samples1 0.5 and p99_1 = percentile samples1 0.99 in
@@ -598,6 +748,20 @@ let run_load () : (string * float) list =
     "  2shard-batch  %8.0f q/s  p50 %7.3f ms  p99 %7.3f ms  (%d requests, \
      per-frame latency)\n"
     qps2 p50_2 p99_2 n2;
+  let soak_qps = Float.of_int (soak_ok + soak_failed) /. soak_elapsed in
+  let soak_p50 = percentile soak_samples 0.5 in
+  let soak_p99 = percentile soak_samples 0.99 in
+  let soak_max =
+    List.fold_left (fun m (lat, _) -> Float.max m lat) 0. soak_samples
+  in
+  Printf.printf
+    "  soak          %8.0f q/s  p50 %7.3f ms  p99 %7.3f ms  max %8.1f ms\n"
+    soak_qps soak_p50 soak_p99 soak_max;
+  Printf.printf
+    "  soak          %d kill(s), %d respawn(s), %d failover(s), %d request(s), \
+     %d failed, %d diverged\n"
+    (Atomic.get kills) soak_respawns soak_failovers (soak_ok + soak_failed)
+    soak_failed (Atomic.get mismatches);
   let speedup = qps2 /. qps1 in
   let pass = (not gate) || (speedup >= 2. && p99_2 <= p99_1 && !identical) in
   Printf.printf
@@ -606,7 +770,22 @@ let run_load () : (string * float) list =
     (if not gate then "SKIPPED (ICOST_LOAD_GATE=0)"
      else if pass then "PASS"
      else "FAIL");
-  if not pass then exit 1;
+  let soak_pass =
+    (not soak_gate)
+    || (soak_failed = 0
+        && Atomic.get mismatches = 0
+        && Atomic.get kills >= 1
+        && soak_respawns >= 2
+        && soak_max <= soak_max_lat_ms)
+  in
+  Printf.printf
+    "  soak gate (zero failures, bit-identical, >= 1 kill, >= 2 respawns, \
+     max <= %g ms): %s\n"
+    soak_max_lat_ms
+    (if not soak_gate then "SKIPPED (ICOST_SOAK_GATE=0)"
+     else if soak_pass then "PASS"
+     else "FAIL");
+  if not (pass && soak_pass) then exit 1;
   [
     ("load/1shard-seq-qps", qps1);
     ("load/1shard-seq-p50-ms", p50_1);
@@ -614,6 +793,17 @@ let run_load () : (string * float) list =
     ("load/2shard-batch-qps", qps2);
     ("load/2shard-batch-p50-ms", p50_2);
     ("load/2shard-batch-p99-ms", p99_2);
+    (* soak rows are informational in the relative regression gate (the
+       absolute gate above is the contract): kill counts and chaos tail
+       latencies are not comparable run to run *)
+    ("soak/qps", soak_qps);
+    ("soak/p50-ms", soak_p50);
+    ("soak/p99-ms", soak_p99);
+    ("soak/max-lat-ms", soak_max);
+    ("soak/kills", Float.of_int (Atomic.get kills));
+    ("soak/respawns", Float.of_int soak_respawns);
+    ("soak/failovers", Float.of_int soak_failovers);
+    ("soak/failed", Float.of_int soak_failed);
   ]
 
 (* BENCH_load.json: same row format as the other committed baselines,
@@ -638,8 +828,13 @@ let write_load_json file (rows : (string * float) list) =
   Printf.fprintf oc "    \"batch-conns\": %d,\n"
     (env_int "ICOST_LOAD_BATCH_CONNS" 2);
   Printf.fprintf oc "    \"depth\": %d,\n" (env_int "ICOST_LOAD_DEPTH" 1);
-  Printf.fprintf oc "    \"duration-s\": %g\n"
+  Printf.fprintf oc "    \"duration-s\": %g,\n"
     (env_float "ICOST_LOAD_DURATION_S" 3.);
+  Printf.fprintf oc "    \"soak-duration-s\": %g,\n"
+    (env_float "ICOST_SOAK_DURATION_S" 3.);
+  Printf.fprintf oc "    \"soak-kill-every-s\": %g,\n"
+    (env_float "ICOST_SOAK_KILL_EVERY_S" 0.25);
+  Printf.fprintf oc "    \"soak-conns\": %d\n" (env_int "ICOST_SOAK_CONNS" 4);
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"manifest\": %s,\n"
     (Icost_report.Telemetry_export.manifest_json manifest);
@@ -733,6 +928,12 @@ let check_regressions ~baseline_file (rows : (string * float) list) =
   let is_load name =
     String.length name >= 5 && String.sub name 0 5 = "load/"
   in
+  (* chaos-soak rows record what one run's kill storm happened to cost;
+     the soak's own absolute gate (zero failures, bounded max latency)
+     is the contract, so run-to-run deltas are reported but never fail *)
+  let is_soak name =
+    String.length name >= 5 && String.sub name 0 5 = "soak/"
+  in
   let baseline = read_json baseline_file in
   let regressions = ref [] in
   Printf.printf "\nregression check vs %s (tolerance +%.0f%% or +%.2f ms; \
@@ -745,7 +946,8 @@ let check_regressions ~baseline_file (rows : (string * float) list) =
       | Some base ->
         let delta = (ms -. base) /. base *. 100. in
         let regressed, improved =
-          if is_qps name then (ms < base *. (1. -. tolerance), delta > 5.)
+          if is_soak name then (false, false)
+          else if is_qps name then (ms < base *. (1. -. tolerance), delta > 5.)
           else begin
             let slack = if is_load name then load_slack_ms else slack_ms in
             ( ms > base *. (1. +. tolerance) && ms > base +. slack,
@@ -757,6 +959,7 @@ let check_regressions ~baseline_file (rows : (string * float) list) =
             regressions := (name, base, ms) :: !regressions;
             "REGRESSION"
           end
+          else if is_soak name then "informational"
           else if improved then "improved"
           else "ok"
         in

@@ -665,6 +665,8 @@ let serve_cmd =
               shard =
                 { Server.default_opts with workers; queue_limit; cache_cap;
                   cache_dir };
+              supervise = Router.default_opts.supervise;
+              failover_budget_s = Router.default_opts.failover_budget_s;
               handle_signals = true;
               on_ready = Some on_ready;
               on_tcp_port = Some on_tcp_port;
@@ -690,8 +692,8 @@ let serve_cmd =
 let query_cmd =
   let op_arg =
     let doc =
-      "Request type: breakdown, icost, graph-stats, sweep, status, health \
-       or shutdown."
+      "Request type: breakdown, icost, graph-stats, sweep, status, health, \
+       drain (rolling restart of a sharded daemon) or shutdown."
     in
     Arg.(value & pos 0 string "status" & info [] ~docv:"OP" ~doc)
   in
@@ -773,6 +775,7 @@ let query_cmd =
       | "sweep" -> Protocol.Sweep { target; params }
       | "status" -> Protocol.Status
       | "health" -> Protocol.Health
+      | "drain" -> Protocol.Drain
       | "shutdown" -> Protocol.Shutdown
       | other -> failwith (Printf.sprintf "unknown op %S" other)
     in
@@ -781,7 +784,7 @@ let query_cmd =
       if batch = 1 then op
       else
         match op with
-        | Protocol.Shutdown | Protocol.Batch _ ->
+        | Protocol.Shutdown | Protocol.Drain | Protocol.Batch _ ->
           failwith "this op cannot be batched"
         | _ -> Protocol.Batch { ops = List.init batch (fun _ -> op) }
     in
@@ -858,7 +861,9 @@ let query_cmd =
           s.cache_hits s.cache_misses s.cache_evictions s.snapshot_hits
           s.snapshot_misses s.snapshot_rejects s.sweep_points
           s.sweep_cache_hits s.pool_jobs
-          (if s.shards > 0 then Printf.sprintf "%d shard(s); " s.shards
+          (if s.shards > 0 then
+             Printf.sprintf "%d shard(s), %d respawn(s), %d failover(s); "
+               s.shards s.respawns s.failovers
            else "")
           s.health
           (if s.draining then "; draining" else "")
@@ -866,6 +871,9 @@ let query_cmd =
         Printf.printf "health %s; %d breaker(s) open; %d entr(ies) shed\n"
           h.h_health h.h_breakers_open h.h_shed
       | Protocol.R_shutdown -> Printf.printf "server is shutting down\n"
+      | Protocol.R_drain { restarted } ->
+        Printf.printf "rolling restart complete: %d shard(s) cycled\n"
+          restarted
       | Protocol.R_batch { results } ->
         let n = List.length results in
         let failed = ref 0 in

@@ -22,6 +22,8 @@ type manifest = {
   service : (float * int) option;
   faults : string;  (* active Fault spec, or "none" *)
   retries : int;  (* client re-sends this run (service.retries) *)
+  respawns : int;  (* supervisor shard respawns (service.respawns) *)
+  failovers : int;  (* re-delivered in-flight requests (service.failovers) *)
 }
 
 let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
@@ -53,6 +55,8 @@ let manifest ?(version = "1.0.0") ?(config_digest = "") ?(seed = 0) ?service
        | Some spec -> spec
        | None -> "none");
     retries = Telemetry.value (Telemetry.counter "service.retries");
+    respawns = Telemetry.value (Telemetry.counter "service.respawns");
+    failovers = Telemetry.value (Telemetry.counter "service.failovers");
   }
 
 (* ---------- JSON emission ---------- *)
@@ -99,6 +103,8 @@ let manifest_json (m : manifest) =
          match m.icost_jobs_env with None -> "null" | Some s -> jstr s );
        ("faults", jstr m.faults);
        ("retries", string_of_int m.retries);
+       ("respawns", string_of_int m.respawns);
+       ("failovers", string_of_int m.failovers);
      ]
     @
     match m.service with

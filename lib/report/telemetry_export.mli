@@ -37,6 +37,12 @@ type manifest = {
           its artifacts alone *)
   retries : int;
       (** client re-sends recorded by the [service.retries] counter *)
+  respawns : int;
+      (** dead shards respawned by the supervisor ([service.respawns]);
+          0 outside a sharded router process *)
+  failovers : int;
+      (** in-flight requests re-delivered after a shard death or drain
+          ([service.failovers]); 0 outside a sharded router process *)
 }
 
 val digest : 'a -> string

@@ -179,13 +179,18 @@ let count_retry s =
 
 (* Decorrelated jitter (AWS architecture-blog variant): each sleep is
    uniform in [base, 3 * previous], capped, and clamped to whatever is
-   left of the per-call budget so the last retry never oversleeps it. *)
-let backoff_sleep s ~prev ~deadline =
+   left of the per-call budget so the last retry never oversleeps it.
+   [floor_ms] is the server's retry hint ([retry_after_ms], e.g. from a
+   breaker refusal): sleeping less would burn a retry on a refusal the
+   server already promised, so the hint floors the jittered sleep —
+   still clamped to the budget. *)
+let backoff_sleep ?(floor_ms = 0.) s ~prev ~deadline =
   let o = s.opts in
   let base = o.base_backoff_ms /. 1e3 in
   let cap = o.max_backoff_ms /. 1e3 in
   let span = Float.max 0. ((3. *. prev) -. base) in
   let sleep = Float.min cap (base +. (Prng.float s.prng *. span)) in
+  let sleep = Float.max sleep (floor_ms /. 1e3) in
   let remaining = deadline -. Unix.gettimeofday () in
   let sleep = Float.min sleep (Float.max 0. remaining) in
   if sleep > 0. then ignore (Unix.select [] [] [] sleep);
@@ -211,10 +216,15 @@ let call_with_retry s (req : P.request) : P.reply =
     in
     match outcome with
     | `Reply ({ P.body = Ok _; _ } as reply) -> reply
-    | `Reply ({ P.body = Error (code, _); _ } as reply) ->
+    | `Reply ({ P.body = Error (code, msg); _ } as reply) ->
       if P.retryable code && may_retry attempt then begin
         count_retry s;
-        let slept = backoff_sleep s ~prev:prev_sleep ~deadline in
+        let floor_ms =
+          match P.retry_after_of_msg msg with
+          | Some ms -> float_of_int ms
+          | None -> 0.
+        in
+        let slept = backoff_sleep ~floor_ms s ~prev:prev_sleep ~deadline in
         go (attempt + 1) slept
       end
       else reply

@@ -24,6 +24,13 @@ val parse_tcp : string -> (string * int, string) result
 (** Parse a ["HOST:PORT"] endpoint spec (the [--tcp] flag).  The host may
     be a name or a numeric address; the port must be in [0, 65535]. *)
 
+val probe_unix_socket : string -> [ `Absent | `Stale | `Live ]
+(** Classify a Unix socket path with a probe connect: no file, a stale
+    file left by a dead process (connection refused — safe to unlink and
+    rebind), or a live listener.  {!listen} uses this to replace stale
+    sockets; the shard supervisor uses it to clear a crashed
+    predecessor's socket before respawning its replacement. *)
+
 type listener
 
 val listen : addr -> listener

@@ -33,10 +33,11 @@ type op =
   | Batch of { ops : op list }
   | Status
   | Health
+  | Drain
   | Shutdown
 
 let rec idempotent = function
-  | Shutdown -> false
+  | Shutdown | Drain -> false
   | Batch { ops } -> List.for_all idempotent ops
   | _ -> true
 
@@ -67,6 +68,8 @@ type status_body = {
   sweep_cache_hits : int;
   pool_jobs : int;
   shards : int;
+  respawns : int;
+  failovers : int;
   health : string;
   draining : bool;
 }
@@ -111,6 +114,7 @@ type result_body =
   | R_batch of { results : (result_body, error_code * string) result list }
   | R_status of status_body
   | R_health of health_body
+  | R_drain of { restarted : int }
   | R_shutdown
 
 let error_code_name = function
@@ -170,6 +174,7 @@ let rec op_fields (op : op) =
     ]
   | Status -> [ ("op", Json.Str "status") ]
   | Health -> [ ("op", Json.Str "health") ]
+  | Drain -> [ ("op", Json.Str "drain") ]
   | Shutdown -> [ ("op", Json.Str "shutdown") ]
 
 let encode_request (r : request) : string =
@@ -183,6 +188,52 @@ let encode_request (r : request) : string =
 
 let error_json code msg =
   Json.Obj [ ("code", Json.Str (error_code_name code)); ("msg", Json.Str msg) ]
+
+(* ---------- retry hints ----------
+
+   A fail-fast error produced by supervision (a shard's restart-storm
+   breaker) carries how long the condition is expected to last.  On the
+   wire it is a structured ["retry_after_ms"] field next to code/msg;
+   inside the OCaml types the error stays [(code, msg)], so the hint is
+   also embedded in the message text as ["retry_after_ms=N"] where
+   {!retry_after_of_msg} can recover it (the client's backoff uses it as
+   a sleep floor). *)
+
+let retry_after_clause ms = Printf.sprintf "retry_after_ms=%d" (max 0 ms)
+
+let retry_after_of_msg msg =
+  let tag = "retry_after_ms=" in
+  let tl = String.length tag in
+  let n = String.length msg in
+  let rec find i =
+    if i + tl > n then None
+    else if String.sub msg i tl = tag then begin
+      let e = ref (i + tl) in
+      while !e < n && msg.[!e] >= '0' && msg.[!e] <= '9' do incr e done;
+      if !e = i + tl then find (i + 1)
+      else int_of_string_opt (String.sub msg (i + tl) (!e - (i + tl)))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let error_json_retry code msg ~retry_after_ms =
+  Json.Obj
+    [
+      ("code", Json.Str (error_code_name code));
+      ("msg", Json.Str msg);
+      ("retry_after_ms", Json.Int (max 0 retry_after_ms));
+    ]
+
+let encode_error_reply ~rep_id code msg ~retry_after_ms : string =
+  Json.encode
+    (Json.Obj
+       [
+         ("v", Json.Str version);
+         ("id", Json.Int rep_id);
+         ("ok", Json.Bool false);
+         ("error", error_json_retry code msg ~retry_after_ms);
+       ])
 
 let rec result_json = function
   | R_breakdown { baseline; rows } ->
@@ -313,6 +364,8 @@ let rec result_json = function
         ("sweep_cache_hits", Json.Int s.sweep_cache_hits);
         ("pool_jobs", Json.Int s.pool_jobs);
         ("shards", Json.Int s.shards);
+        ("respawns", Json.Int s.respawns);
+        ("failovers", Json.Int s.failovers);
         ("health", Json.Str s.health);
         ("draining", Json.Bool s.draining);
       ]
@@ -324,6 +377,8 @@ let rec result_json = function
         ("breakers_open", Json.Int h.h_breakers_open);
         ("shed", Json.Int h.h_shed);
       ]
+  | R_drain { restarted } ->
+    Json.Obj [ ("kind", Json.Str "drain"); ("restarted", Json.Int restarted) ]
   | R_shutdown -> Json.Obj [ ("kind", Json.Str "shutdown") ]
 
 let encode_reply (r : reply) : string =
@@ -517,6 +572,7 @@ let rec decode_op j =
           go [] items))
   | "status" -> Ok Status
   | "health" -> Ok Health
+  | "drain" -> Ok Drain
   | "shutdown" -> Ok Shutdown
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
@@ -670,6 +726,9 @@ let rec decode_result j =
     let* pool_jobs = required "pool_jobs" Json.get_int j in
     (* absent in pre-batch frames: default 0 keeps old captures decodable *)
     let* shards = field_or "shards" 0 Json.get_int j in
+    (* absent in pre-supervision frames, same rationale *)
+    let* respawns = field_or "respawns" 0 Json.get_int j in
+    let* failovers = field_or "failovers" 0 Json.get_int j in
     let* health = required "health" Json.get_str j in
     let* draining = required "draining" Json.get_bool j in
     Ok
@@ -690,6 +749,8 @@ let rec decode_result j =
            sweep_cache_hits;
            pool_jobs;
            shards;
+           respawns;
+           failovers;
            health;
            draining;
          })
@@ -698,6 +759,9 @@ let rec decode_result j =
     let* h_breakers_open = required "breakers_open" Json.get_int j in
     let* h_shed = required "shed" Json.get_int j in
     Ok (R_health { h_health; h_breakers_open; h_shed })
+  | "drain" ->
+    let* restarted = field_or "restarted" 0 Json.get_int j in
+    Ok (R_drain { restarted })
   | "shutdown" -> Ok R_shutdown
   | other -> Error (Printf.sprintf "unknown result kind %S" other)
 

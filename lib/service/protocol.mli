@@ -77,6 +77,15 @@ type op =
   | Health
       (** cheap liveness/degradation probe, answered inline even under
           full load: ok | degraded | draining, open breakers, shed count *)
+  | Drain
+      (** rolling restart.  A standalone server (or a shard) acks with
+          [R_drain], finishes in-flight work, persists its snapshots and
+          exits — the supervisor respawns it.  A router restarts its
+          shard fleet one shard at a time, parking traffic bound for the
+          shard being cycled, and answers [R_drain] with the number of
+          shards restarted once the whole fleet has been cycled with zero
+          failed requests.  Not idempotent (a retry restarts the fleet
+          again), so the client never auto-retries it. *)
   | Shutdown  (** graceful drain-then-exit *)
 
 type request = { req_id : int; deadline_ms : int option; op : op }
@@ -111,6 +120,13 @@ type status_body = {
   shards : int;
       (** worker shards behind this endpoint: 0 for a standalone server,
           K for a router aggregating K shard processes *)
+  respawns : int;
+      (** shard processes respawned by the supervisor since start (death
+          detected by waitpid/probe, or cycled by a [Drain]); 0 for a
+          standalone server *)
+  failovers : int;
+      (** relayed frames that hit a dead or restarting shard and were
+          transparently re-delivered after its respawn; 0 standalone *)
   health : string;  (** ok | degraded | draining (see [doc/protocol.md]) *)
   draining : bool;
 }
@@ -166,6 +182,9 @@ type result_body =
       (** per-item outcomes, positionally matching the batch's [ops] *)
   | R_status of status_body
   | R_health of health_body
+  | R_drain of { restarted : int }
+      (** shards cycled by a router's rolling restart; 0 from a
+          standalone server or shard (it acks, then exits itself) *)
   | R_shutdown
 
 val error_code_name : error_code -> string
@@ -185,6 +204,29 @@ val retryable : error_code -> bool
     identically again. *)
 
 type reply = { rep_id : int; body : (result_body, error_code * string) result }
+
+(** {2 Retry hints}
+
+    A fail-fast [Unavailable] produced by shard supervision (the
+    restart-storm breaker) tells the client how long the condition is
+    expected to last.  On the wire the hint is a structured
+    ["retry_after_ms"] integer next to [code]/[msg] (decoders that
+    predate it ignore unknown fields); in the OCaml [(code, msg)] error
+    it is embedded in the message text, where {!retry_after_of_msg}
+    recovers it and the client's backoff uses it as a sleep floor. *)
+
+val retry_after_clause : int -> string
+(** ["retry_after_ms=N"] — splice into an error message. *)
+
+val retry_after_of_msg : string -> int option
+(** Recover the first ["retry_after_ms=N"] clause of a message. *)
+
+val encode_error_reply :
+  rep_id:int -> error_code -> string -> retry_after_ms:int -> string
+(** A full error reply line whose error object carries the structured
+    ["retry_after_ms"] field.  {!decode_reply} still yields the plain
+    [(code, msg)] pair — embed the clause in [msg] too when the OCaml
+    client must see it. *)
 
 val encode_request : request -> string
 (** One line, no trailing newline. *)

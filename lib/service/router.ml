@@ -1,5 +1,6 @@
 (* Shard router process.  See router.mli for the architecture. *)
 
+module Telemetry = Icost_util.Telemetry
 module P = Protocol
 
 type opts = {
@@ -7,6 +8,8 @@ type opts = {
   tcp : (string * int) option;
   shards : int;
   shard : Server.opts;
+  supervise : Supervise.opts;
+  failover_budget_s : float;
   handle_signals : bool;
   on_ready : (unit -> unit) option;
   on_tcp_port : (int -> unit) option;
@@ -18,12 +21,17 @@ let default_opts =
     tcp = None;
     shards = 2;
     shard = Server.default_opts;
+    supervise = Supervise.default_opts;
+    failover_budget_s = 8.;
     handle_signals = true;
     on_ready = None;
     on_tcp_port = None;
   }
 
 type stats = { uptime_s : float; requests_total : int }
+
+let c_respawns = Telemetry.counter "service.respawns"
+let c_failovers = Telemetry.counter "service.failovers"
 
 (* ---------- routing ---------- *)
 
@@ -47,19 +55,37 @@ let route_key (tg : P.target) =
 
 let shard_socket public i = Printf.sprintf "%s.shard%d" public i
 
+(* What the supervisor last told us about a shard.  [Sh_down] parks
+   traffic until the respawn completes; an open breaker fails fast with a
+   retry hint.  An expired breaker whose respawn has not reported [Up]
+   yet behaves like [Sh_down]. *)
+type shard_state = Sh_up | Sh_down | Sh_breaker of { until : float }
+
 type t = {
   opts : opts;
   shards : int;
   started : float;
   requests : int Atomic.t;
   draining : bool Atomic.t;
-  shards_notified : bool Atomic.t;  (* shutdown already broadcast *)
   acc : Acceptor.t;
   routes : int Cache.t;
       (* frame text (minus the request id) -> destination shard, for
          frames relayed whole.  Routing is a pure function of the frame
          text, so a repeated query skips the full JSON decode — the
          dominant per-frame cost for large relayed batches. *)
+  (* --- supervision --- *)
+  sstate : shard_state Atomic.t array;
+  up_count : int Atomic.t array;  (* [Up] events seen; first is startup *)
+  drain_flag : bool Atomic.t array;  (* rolling restart is cycling this shard *)
+  cmd_w : Unix.file_descr;  (* commands to the supervisor *)
+  drain_lock : Mutex.t;  (* serializes rolling restarts *)
+  respawns : int Atomic.t;
+  failovers : int Atomic.t;
+  respawn_max_ms : int Atomic.t;
+  sup_gone : bool Atomic.t;
+      (* the supervisor died without the [Stopped] handshake: no more
+         respawns will ever happen, and the shards it owned are orphans
+         the router must sweep itself at shutdown *)
 }
 
 let shard_of_op t (op : P.op) =
@@ -69,9 +95,53 @@ let shard_of_op t (op : P.op) =
     | P.Graph_stats { target }
     | P.Sweep { target; _ } ->
       target
-    | P.Batch _ | P.Status | P.Health | P.Shutdown -> assert false
+    | P.Batch _ | P.Status | P.Health | P.Drain | P.Shutdown -> assert false
   in
   shard_of_key ~shards:t.shards (route_key tg)
+
+let sleep_s s = ignore (Unix.select [] [] [] s)
+
+let send_command_fd cmd_w cmd =
+  let line = Supervise.command_to_line cmd ^ "\n" in
+  let b = Bytes.of_string line in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write cmd_w b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let send_command t cmd = send_command_fd t.cmd_w cmd
+
+(* Park until shard [sh] accepts traffic again: up and not being cycled
+   by a rolling restart.  Fail-fast on an open breaker (the caller turns
+   the hint into a typed [unavailable]); give up at [deadline] or once
+   the router itself is draining. *)
+let await_shard t sh ~deadline =
+  let rec go () =
+    match Atomic.get t.sstate.(sh) with
+    | Sh_breaker { until } when Unix.gettimeofday () < until ->
+      `Breaker
+        (int_of_float (Float.ceil ((until -. Unix.gettimeofday ()) *. 1e3)))
+    | Sh_up when not (Atomic.get t.drain_flag.(sh)) -> `Ready
+    | _ ->
+      (* no supervisor, no respawn: parking would just burn the budget *)
+      if
+        Atomic.get t.draining || Atomic.get t.sup_gone
+        || Unix.gettimeofday () >= deadline
+      then `Gave_up
+      else begin
+        sleep_s 0.01;
+        go ()
+      end
+  in
+  go ()
+
+let count_failover t =
+  Atomic.incr t.failovers;
+  Telemetry.incr c_failovers
 
 (* ---------- per-connection shard links ----------
 
@@ -90,7 +160,10 @@ let link t (links : links) i =
   match links.(i) with
   | Some c -> c
   | None ->
-    let c = Client.connect ~retry_for:2.0 ~socket:(shard_socket t.opts.socket i) () in
+    (* short connect retry only: waiting out a respawn is the failover
+       loop's job (it parks on supervisor state instead of polling a
+       dead socket) *)
+    let c = Client.connect ~retry_for:0.5 ~socket:(shard_socket t.opts.socket i) () in
     links.(i) <- Some c;
     c
 
@@ -106,7 +179,7 @@ let try_shard t links i f =
 
 (* One transparent reconnect: the shard may have restarted between
    requests.  Only idempotent traffic flows through here (analysis ops
-   and the shutdown broadcast), so a re-send is safe. *)
+   and aggregation queries), so a re-send is safe. *)
 let with_shard t links i f =
   match try_shard t links i f with
   | Ok v -> Ok v
@@ -114,17 +187,23 @@ let with_shard t links i f =
 
 (* ---------- aggregation ---------- *)
 
+let shard_up t i = match Atomic.get t.sstate.(i) with Sh_up -> true | _ -> false
+
 let query_shard t links i op =
-  match
-    with_shard t links i (fun c ->
-        Client.call c { P.req_id = 0; deadline_ms = None; op })
-  with
-  | Ok reply -> Some reply
-  | Error _ -> None
+  (* a down or breaker-parked shard is unreachable by definition; asking
+     would stall the aggregation behind a connect retry *)
+  if not (shard_up t i) then None
+  else
+    match
+      with_shard t links i (fun c ->
+          Client.call c { P.req_id = 0; deadline_ms = None; op })
+    with
+    | Ok reply -> Some reply
+    | Error _ -> None
 
 let health_of t ~unreachable ~worst =
   if Atomic.get t.draining then "draining"
-  else if unreachable > 0 || worst then "degraded"
+  else if unreachable > 0 || worst || Atomic.get t.sup_gone then "degraded"
   else "ok"
 
 let agg_status t links : P.status_body =
@@ -156,6 +235,8 @@ let agg_status t links : P.status_body =
     sweep_cache_hits = sum (fun s -> s.P.sweep_cache_hits);
     pool_jobs = sum (fun s -> s.P.pool_jobs);
     shards = t.shards;
+    respawns = Atomic.get t.respawns;
+    failovers = Atomic.get t.failovers;
     health = health_of t ~unreachable ~worst;
     draining = Atomic.get t.draining;
   }
@@ -179,14 +260,6 @@ let agg_health t links : P.health_body =
     h_shed = sum (fun h -> h.P.h_shed);
   }
 
-let broadcast_shutdown t links =
-  if not (Atomic.exchange t.shards_notified true) then
-    for i = 0 to t.shards - 1 do
-      ignore
-        (with_shard t links i (fun c ->
-             Client.call c { P.req_id = 0; deadline_ms = None; op = P.Shutdown }))
-    done
-
 (* ---------- dispatch ---------- *)
 
 let write_reply c ~seq (reply : P.reply) =
@@ -197,18 +270,77 @@ let error_reply id code msg = { P.rep_id = id; body = Error (code, msg) }
 let unreachable_error i msg =
   (P.Unavailable, Printf.sprintf "shard %d unreachable: %s" i msg)
 
+let breaker_error sh retry_after_ms =
+  ( P.Unavailable,
+    Printf.sprintf "shard %d breaker open after restart storm; %s" sh
+      (P.retry_after_clause retry_after_ms) )
+
+let write_breaker_reply c ~seq ~id sh retry_after_ms =
+  let code, msg = breaker_error sh retry_after_ms in
+  Acceptor.write_line c ~seq
+    (P.encode_error_reply ~rep_id:id code msg ~retry_after_ms ^ "\n")
+
+let has_substring line needle =
+  let n = String.length line and m = String.length needle in
+  let i = ref 0 and found = ref false in
+  while (not !found) && !i + m <= n do
+    let j = ref 0 in
+    while !j < m && line.[!i + !j] = needle.[!j] do
+      incr j
+    done;
+    if !j = m then found := true else incr i
+  done;
+  !found
+
+(* A relayed frame only comes back [shutting_down] when the shard itself
+   is draining — and a shard drains for exactly two reasons: the whole
+   service is going down (don't retry), or the supervisor is cycling it
+   and a replacement is seconds away (park and re-deliver).  Detected
+   textually: the reply is relayed verbatim, never decoded. *)
+let is_shutting_down_line line = has_substring line "\"code\":\"shutting_down\""
+
 (* Forward one frame verbatim to shard [sh] and relay the shard's reply
-   line untouched — byte-identical to asking the shard directly. *)
+   line untouched — byte-identical to asking the shard directly.  A dead,
+   restarting or draining shard does not fail the frame: the loop parks
+   on supervisor state and re-delivers to the respawned shard within the
+   failover budget (frames on this path are idempotent by construction),
+   so a crash or rolling restart costs latency, not an error. *)
 let forward_to t links c ~seq ~id ~sh line =
-  match
-    with_shard t links sh (fun sc ->
-        Client.send_line sc line;
-        Client.recv_line sc)
-  with
-  | Ok reply_line -> Acceptor.write_line c ~seq (reply_line ^ "\n")
-  | Error msg ->
-    let code, emsg = unreachable_error sh msg in
-    write_reply c ~seq (error_reply id code emsg)
+  let deadline = Unix.gettimeofday () +. t.opts.failover_budget_s in
+  let rec attempt ~failing_over =
+    match await_shard t sh ~deadline with
+    | `Breaker retry_after_ms -> write_breaker_reply c ~seq ~id sh retry_after_ms
+    | `Ready | `Gave_up -> (
+      match
+        try_shard t links sh (fun sc ->
+            Client.send_line sc line;
+            Client.recv_line sc)
+      with
+      | Ok reply_line
+        when is_shutting_down_line reply_line
+             && (not (Atomic.get t.draining))
+             && Unix.gettimeofday () < deadline ->
+        drop_link links sh;
+        sleep_s 0.02;
+        attempt ~failing_over:true
+      | Ok reply_line ->
+        if failing_over then count_failover t;
+        Acceptor.write_line c ~seq (reply_line ^ "\n")
+      | Error msg ->
+        if
+          (not (Atomic.get t.draining))
+          && (not (Atomic.get t.sup_gone))
+          && Unix.gettimeofday () < deadline
+        then begin
+          sleep_s 0.02;
+          attempt ~failing_over:true
+        end
+        else begin
+          let code, emsg = unreachable_error sh msg in
+          write_reply c ~seq (error_reply id code emsg)
+        end)
+  in
+  attempt ~failing_over:false
 
 let forward_single t links c ~seq ~id ~line op =
   forward_to t links c ~seq ~id ~sh:(shard_of_op t op) line
@@ -231,17 +363,25 @@ let single_shard_batch t (ops : P.op list) : int option =
       | None -> go (Some sh) rest
       | Some sh' when sh' = sh -> go acc rest
       | Some _ -> raise Exit)
-    (* status/health need aggregation, shutdown/batch per-item errors:
-       the slow path answers those without involving a shard *)
-    | (P.Status | P.Health | P.Shutdown | P.Batch _) :: _ -> raise Exit
+    (* status/health need aggregation, shutdown/drain/batch per-item
+       errors: the slow path answers those without involving a shard *)
+    | (P.Status | P.Health | P.Drain | P.Shutdown | P.Batch _) :: _ -> raise Exit
   in
   try go None ops with Exit -> None
 
 (* Scatter-gather: partition items by shard (preserving order inside each
    group), send every sub-batch before reading any reply, then stitch the
    per-item results back into the frame's original item order.  Items the
-   router can answer itself (status/health, nested batch, shutdown) never
-   leave the process. *)
+   router can answer itself (status/health, nested batch, drain,
+   shutdown) never leave the process.
+
+   Failure semantics per sub-batch: a shard being cycled by a rolling
+   restart ([drain_flag]) is waited out and its sub-batch re-delivered to
+   the replacement — a drain must cost zero failed requests.  An
+   {e uncommanded} crash between send and reply instead degrades to
+   per-item typed [unavailable] errors: the frame as a whole survives,
+   the client retries just those items (or the frame — it is idempotent)
+   against the respawned shard. *)
 let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
   let n = List.length ops in
   let slots = Array.make n (Error (P.Internal, "unrouted batch item")) in
@@ -255,6 +395,8 @@ let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
         Hashtbl.replace by_shard sh ((idx, op) :: prev)
       | P.Status -> slots.(idx) <- Ok (P.R_status (agg_status t links))
       | P.Health -> slots.(idx) <- Ok (P.R_health (agg_health t links))
+      | P.Drain ->
+        slots.(idx) <- Error (P.Bad_request, "drain is not allowed inside a batch")
       | P.Shutdown ->
         slots.(idx) <- Error (P.Bad_request, "shutdown is not allowed inside a batch")
       | P.Batch _ -> slots.(idx) <- Error (P.Bad_request, "batch items cannot nest"))
@@ -263,25 +405,54 @@ let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
     Hashtbl.fold (fun sh items acc -> (sh, List.rev items) :: acc) by_shard []
     |> List.sort compare
   in
-  (* scatter: the shards compute their sub-batches concurrently *)
+  let deadline = Unix.gettimeofday () +. t.opts.failover_budget_s in
+  let sub_of items =
+    { P.req_id = id; deadline_ms; op = P.Batch { ops = List.map snd items } }
+  in
+  (* scatter: the shards compute their sub-batches concurrently.  A shard
+     with an open breaker is refused up front (fail-fast, with the retry
+     hint in each item's message). *)
   let sent =
     List.map
       (fun (sh, items) ->
-        let sub =
-          { P.req_id = id; deadline_ms; op = P.Batch { ops = List.map snd items } }
-        in
-        (sh, items, with_shard t links sh (fun sc -> Client.send sc sub)))
+        match await_shard t sh ~deadline with
+        | `Breaker retry_after_ms ->
+          (sh, items, `Refused (breaker_error sh retry_after_ms))
+        | `Ready | `Gave_up ->
+          (sh, items, `Sent (with_shard t links sh (fun sc -> Client.send sc (sub_of items)))))
       groups
   in
-  (* gather: no re-send here — a link that dies between send and reply
-     only fails its own shard's items (the frame is idempotent, the
-     client may retry it whole) *)
+  (* one full re-delivery of a sub-batch to a respawned shard *)
+  let redeliver sh items fill =
+    match await_shard t sh ~deadline with
+    | `Breaker retry_after_ms -> fill (breaker_error sh retry_after_ms)
+    | `Ready | `Gave_up -> (
+      match with_shard t links sh (fun sc -> Client.call sc (sub_of items)) with
+      | Ok { P.body = Ok (P.R_batch { results }); _ }
+        when List.length results = List.length items ->
+        count_failover t;
+        List.iter2 (fun (idx, _) r -> slots.(idx) <- r) items results
+      | Ok { P.body = Error (code, msg); _ } -> fill (code, msg)
+      | Ok _ -> fill (P.Internal, Printf.sprintf "shard %d: malformed batch reply" sh)
+      | Error msg -> fill (unreachable_error sh msg))
+  in
   List.iter
     (fun (sh, items, sent_ok) ->
       let fill err = List.iter (fun (idx, _) -> slots.(idx) <- Error err) items in
+      (* A sub-batch lost to a {e commanded} drain (rolling restart) is
+         re-delivered to the replacement — a drain must cost zero failed
+         requests.  One lost to an uncommanded crash instead degrades to
+         per-item typed errors, deterministically: the client retries
+         those items against the respawned shard. *)
+      let failover_or fill_err =
+        if Atomic.get t.drain_flag.(sh) && not (Atomic.get t.draining) then
+          redeliver sh items fill
+        else fill fill_err
+      in
       match sent_ok with
-      | Error msg -> fill (unreachable_error sh msg)
-      | Ok () -> (
+      | `Refused err -> fill err
+      | `Sent (Error msg) -> failover_or (unreachable_error sh msg)
+      | `Sent (Ok ()) -> (
         let recv () =
           match links.(sh) with
           | Some sc -> Client.recv sc
@@ -291,6 +462,12 @@ let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
         | { P.body = Ok (P.R_batch { results }); _ }
           when List.length results = List.length items ->
           List.iter2 (fun (idx, _) r -> slots.(idx) <- r) items results
+        | { P.body = Error (P.Shutting_down, _); _ }
+          when not (Atomic.get t.draining) ->
+          (* the shard is draining for a restart, not the service: wait
+             for the replacement and re-deliver *)
+          drop_link links sh;
+          redeliver sh items fill
         | { P.body = Error (code, msg); _ } ->
           (* whole sub-batch refused (overloaded / draining / breaker):
              every item of this shard inherits the typed error *)
@@ -298,12 +475,68 @@ let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
         | _ -> fill (P.Internal, Printf.sprintf "shard %d: malformed batch reply" sh)
         | exception Client.Disconnected msg ->
           drop_link links sh;
-          fill (unreachable_error sh msg)
+          failover_or (unreachable_error sh msg)
         | exception Failure msg ->
           drop_link links sh;
-          fill (unreachable_error sh msg)))
+          failover_or (unreachable_error sh msg)))
     sent;
   P.R_batch { results = Array.to_list slots }
+
+(* ---------- rolling restart ---------- *)
+
+(* Cycle the fleet one shard at a time: park the shard's traffic, ask the
+   supervisor to drain it (the shard finishes in-flight work, persists
+   its snapshots and exits; the supervisor respawns it immediately), wait
+   for the replacement to come up, unpark, move on.  Requests bound for
+   the cycling shard meanwhile wait in {!forward_to}/{!handle_batch}
+   rather than failing, so a rolling restart is invisible to clients
+   beyond latency. *)
+let rolling_restart t : (int, P.error_code * string) result =
+  if Atomic.get t.sup_gone then
+    Error
+      ( P.Unavailable,
+        "rolling restart refused: the supervisor process is gone, nothing \
+         can respawn a drained shard" )
+  else if not (Mutex.try_lock t.drain_lock) then
+    Error (P.Unavailable, "a rolling restart is already in progress")
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.drain_lock)
+      (fun () ->
+        let failed = ref None in
+        let restarted = ref 0 in
+        for sh = 0 to t.shards - 1 do
+          if !failed = None && not (Atomic.get t.draining) then begin
+            let ups_before = Atomic.get t.up_count.(sh) in
+            Atomic.set t.drain_flag.(sh) true;
+            send_command t (Supervise.Drain sh);
+            let deadline =
+              Unix.gettimeofday () +. t.opts.supervise.Supervise.spawn_wait_s
+              +. 30.
+            in
+            let rec wait () =
+              if Atomic.get t.up_count.(sh) > ups_before && shard_up t sh then
+                incr restarted
+              else if
+                Unix.gettimeofday () >= deadline || Atomic.get t.draining
+              then failed := Some sh
+              else begin
+                sleep_s 0.02;
+                wait ()
+              end
+            in
+            wait ();
+            Atomic.set t.drain_flag.(sh) false
+          end
+        done;
+        match !failed with
+        | None -> Ok !restarted
+        | Some sh ->
+          Error
+            ( P.Internal,
+              Printf.sprintf
+                "rolling restart aborted: shard %d did not respawn (restarted %d)"
+                sh !restarted ))
 
 (* ---------- route cache ----------
 
@@ -314,7 +547,8 @@ let handle_batch t links ~deadline_ms ~id (ops : P.op list) : P.result_body =
 
 exception Unrouted
 (* the frame needs the aggregating/stitching slow path (status, health,
-   shutdown, mixed-shard or malformed batches) and must not be cached *)
+   drain, shutdown, mixed-shard or malformed batches) and must not be
+   cached *)
 
 let route_decision t line : int =
   match P.decode_request line with
@@ -327,7 +561,7 @@ let route_decision t line : int =
       match single_shard_batch t ops with
       | Some sh -> sh
       | None -> raise Unrouted)
-    | P.Status | P.Health | P.Shutdown -> raise Unrouted)
+    | P.Status | P.Health | P.Drain | P.Shutdown -> raise Unrouted)
 
 let handle_decoded t links c ~seq line =
   match P.decode_request line with
@@ -340,12 +574,16 @@ let handle_decoded t links c ~seq line =
     | P.Health ->
       write_reply c ~seq { P.rep_id = id; body = Ok (P.R_health (agg_health t links)) }
     | P.Shutdown ->
-      broadcast_shutdown t links;
       write_reply c ~seq { P.rep_id = id; body = Ok P.R_shutdown };
       Atomic.set t.draining true;
       Acceptor.request_stop t.acc
     | _ when Atomic.get t.draining ->
       write_reply c ~seq (error_reply id P.Shutting_down "server is draining")
+    | P.Drain -> (
+      match rolling_restart t with
+      | Ok restarted ->
+        write_reply c ~seq { P.rep_id = id; body = Ok (P.R_drain { restarted }) }
+      | Error (code, msg) -> write_reply c ~seq (error_reply id code msg))
     | P.Batch { ops } -> (
       match single_shard_batch t ops with
       | Some sh -> forward_to t links c ~seq ~id ~sh line
@@ -397,7 +635,14 @@ let rec mkdirs dir =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let spawn_shard (opts : opts) i =
+(* Fork one shard server.  Runs inside the supervisor process (which is
+   single-threaded for its whole life, so forking is always safe there);
+   [close_in_child] are the supervisor's pipe ends, which the shard must
+   not hold open or the router would never see EOF when the supervisor
+   dies.  Shards always handle SIGTERM themselves: the supervisor's stop
+   path terminates the fleet with signals, and graceful handling is what
+   unlinks the shard's socket file on the way out. *)
+let spawn_shard (opts : opts) ~close_in_child i =
   let sock = shard_socket opts.socket i in
   let cache_dir =
     Option.map
@@ -408,13 +653,16 @@ let spawn_shard (opts : opts) i =
   match Unix.fork () with
   | 0 ->
     (* child: a full private server; never returns to the caller's code *)
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      close_in_child;
     let sopts =
       {
         opts.shard with
         Server.socket = sock;
         tcp = None;
         cache_dir;
-        handle_signals = opts.handle_signals;
+        handle_signals = true;
         on_ready = None;
         on_tcp_port = None;
       }
@@ -423,27 +671,127 @@ let spawn_shard (opts : opts) i =
     Unix._exit code
   | pid -> pid
 
-let reap pids =
-  List.iter
-    (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-    pids
+(* the public, escalating reap (see router.mli); shutdown uses it on the
+   supervisor, tests use it on daemon processes *)
+let reap ?grace_s pids = Supervise.reap ?grace_s pids
+
+let take_line buf =
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+    Buffer.clear buf;
+    Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+    Some (String.sub s 0 i)
 
 let run (opts : opts) : stats =
   if opts.shards < 1 then invalid_arg "Router.run: shards must be >= 1";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  (* fork the shard fleet before any listener or thread exists in this
-     process — fork and threads do not mix *)
-  let pids = List.init opts.shards (spawn_shard opts) in
+  (* Fork the supervisor before any listener or thread exists in this
+     process — fork and threads do not mix, and every later fork (the
+     respawns) happens inside the still-single-threaded supervisor. *)
+  let cmd_r, cmd_w = Unix.pipe () in
+  let evt_r, evt_w = Unix.pipe () in
+  let sup_pid =
+    match Unix.fork () with
+    | 0 -> (
+      (try Unix.close cmd_w with Unix.Unix_error _ -> ());
+      (try Unix.close evt_r with Unix.Unix_error _ -> ());
+      try
+        Supervise.run_supervisor opts.supervise ~shards:opts.shards
+          ~spawn:(spawn_shard opts ~close_in_child:[ cmd_r; evt_w ])
+          ~socket_of:(shard_socket opts.socket)
+          ~cmd:cmd_r ~evt:evt_w ~handle_signals:opts.handle_signals
+      with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  (try Unix.close cmd_r with Unix.Unix_error _ -> ());
+  (try Unix.close evt_w with Unix.Unix_error _ -> ());
+  let sstate = Array.init opts.shards (fun _ -> Atomic.make Sh_down) in
+  let up_count = Array.init opts.shards (fun _ -> Atomic.make 0) in
+  let respawns = Atomic.make 0 in
+  let failovers = Atomic.make 0 in
+  let respawn_max_ms = Atomic.make 0 in
+  let sup_stopped = Atomic.make false in
+  let sup_gone = Atomic.make false in
+  let apply_event = function
+    | Supervise.Stopped -> Atomic.set sup_stopped true
+    | Supervise.Up { shard; latency_ms; _ } when shard >= 0 && shard < opts.shards
+      ->
+      let seen = Atomic.fetch_and_add up_count.(shard) 1 in
+      if seen > 0 then begin
+        (* not the initial startup: a real respawn *)
+        Atomic.incr respawns;
+        Telemetry.incr c_respawns;
+        let rec bump () =
+          let cur = Atomic.get respawn_max_ms in
+          if
+            latency_ms > cur
+            && not (Atomic.compare_and_set respawn_max_ms cur latency_ms)
+          then bump ()
+        in
+        bump ()
+      end;
+      Atomic.set sstate.(shard) Sh_up
+    | Supervise.Down { shard; _ } when shard >= 0 && shard < opts.shards ->
+      Atomic.set sstate.(shard) Sh_down
+    | Supervise.Breaker_open { shard; retry_after_ms }
+      when shard >= 0 && shard < opts.shards ->
+      Atomic.set sstate.(shard)
+        (Sh_breaker
+           {
+             until = Unix.gettimeofday () +. (float_of_int retry_after_ms /. 1e3);
+           })
+    | Supervise.Up _ | Supervise.Down _ | Supervise.Breaker_open _ -> ()
+  in
+  let ebuf = Buffer.create 256 in
+  let read_evt_chunk ~timeout =
+    match Unix.select [ evt_r ] [] [] timeout with
+    | [ _ ], _, _ -> (
+      let chunk = Bytes.create 512 in
+      match Unix.read evt_r chunk 0 (Bytes.length chunk) with
+      | 0 -> `Eof
+      | n ->
+        Buffer.add_subbytes ebuf chunk 0 n;
+        `Data
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Timeout
+      | exception Unix.Unix_error _ -> `Eof)
+    | _ -> `Timeout
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Timeout
+  in
   let teardown e =
-    List.iter (fun pid -> try Unix.kill pid Sys.sigterm with _ -> ()) pids;
-    reap pids;
+    send_command_fd cmd_w Supervise.Stop;
+    Supervise.reap ~grace_s:opts.supervise.Supervise.grace_s [ sup_pid ];
+    (try Unix.close cmd_w with Unix.Unix_error _ -> ());
+    (try Unix.close evt_r with Unix.Unix_error _ -> ());
     raise e
   in
-  (* a shard is up when its socket accepts *)
+  (* readiness: the supervisor reports [Up] per shard as each socket
+     starts accepting; consume events on this (still threadless) thread
+     until the whole fleet is up *)
+  let ready_deadline =
+    Unix.gettimeofday () +. 30. +. opts.supervise.Supervise.spawn_wait_s
+  in
+  let all_up () =
+    Array.for_all (fun a -> Atomic.get a = Sh_up) sstate
+  in
   (try
-     for i = 0 to opts.shards - 1 do
-       Client.close (Client.connect ~retry_for:30. ~socket:(shard_socket opts.socket i) ())
-     done
+     let rec wait_ready () =
+       if all_up () then ()
+       else
+         match take_line ebuf with
+         | Some line ->
+           Option.iter apply_event (Supervise.event_of_line line);
+           wait_ready ()
+         | None ->
+           if Unix.gettimeofday () >= ready_deadline then
+             failwith "shards failed to start"
+           else (
+             match read_evt_chunk ~timeout:0.25 with
+             | `Data | `Timeout -> wait_ready ()
+             | `Eof -> failwith "supervisor exited during startup")
+     in
+     wait_ready ()
    with e -> teardown e);
   let listeners =
     try
@@ -469,10 +817,41 @@ let run (opts : opts) : stats =
       started = Unix.gettimeofday ();
       requests = Atomic.make 0;
       draining = Atomic.make false;
-      shards_notified = Atomic.make false;
       acc = Acceptor.create listeners;
       routes = Cache.create ~name:"routes" ~cap:256;
+      sstate;
+      up_count;
+      drain_flag = Array.init opts.shards (fun _ -> Atomic.make false);
+      cmd_w;
+      drain_lock = Mutex.create ();
+      respawns;
+      failovers;
+      respawn_max_ms;
+      sup_gone;
     }
+  in
+  (* from here on the supervisor's events are consumed by a dedicated
+     thread (EOF — the supervisor exiting — ends it) *)
+  let evt_thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match take_line ebuf with
+          | Some line ->
+            Option.iter apply_event (Supervise.event_of_line line);
+            loop ()
+          | None -> (
+            match read_evt_chunk ~timeout:0.5 with
+            | `Data | `Timeout -> loop ()
+            | `Eof ->
+              (* pipe EOF before the [Stopped] handshake means the
+                 supervisor itself died — it never exits on its own.
+                 The fleet keeps serving, but health degrades (self-
+                 healing is lost) and shutdown must sweep the orphans. *)
+              if not (Atomic.get sup_stopped) then Atomic.set sup_gone true)
+        in
+        loop ())
+      ()
   in
   if opts.handle_signals then begin
     let h =
@@ -487,14 +866,38 @@ let run (opts : opts) : stats =
   Option.iter (fun f -> f ()) opts.on_ready;
   Acceptor.serve t.acc ~on_conn:(conn_loop t);
   Atomic.set t.draining true;
-  (* shutdown may have arrived as a signal rather than an rpc: make sure
-     the shards are told before we wait for them *)
-  if not (Atomic.get t.shards_notified) then begin
-    let links : links = Array.make t.shards None in
-    broadcast_shutdown t links;
-    Array.iteri (fun i _ -> drop_link links i) links
-  end;
+  (* stop-the-fleet: the supervisor SIGTERMs the shards (graceful drain:
+     they finish in-flight work, persist snapshots, unlink sockets),
+     escalates to SIGKILL on a wedged one, reaps them all and exits;
+     EOF on the event pipe then ends the reader thread. *)
+  send_command t Supervise.Stop;
   Acceptor.finish t.acc;
-  reap pids;
+  Supervise.reap ~grace_s:(3. *. opts.supervise.Supervise.grace_s) [ sup_pid ];
+  Thread.join evt_thread;
+  (* If the supervisor was killed out from under us (no [Stopped]
+     handshake), the shards it forked were re-parented to init when it
+     died: nobody is left to signal or reap them, and they would leak
+     past our own exit still holding their sockets.  They are not our
+     children, so the sweep goes over the wire instead of via signals:
+     a live shard answers [shutdown] by draining, persisting its
+     snapshots, unlinking its socket and exiting on its own. *)
+  if not (Atomic.get sup_stopped) then
+    for i = 0 to opts.shards - 1 do
+      let sock = shard_socket opts.socket i in
+      match Endpoint.probe_unix_socket sock with
+      | `Live -> (
+        try
+          let c = Client.connect ~retry_for:0.5 ~socket:sock () in
+          Fun.protect
+            ~finally:(fun () -> try Client.close c with _ -> ())
+            (fun () ->
+              ignore
+                (Client.call c
+                   { P.req_id = 0; deadline_ms = None; op = P.Shutdown }))
+        with _ -> ())
+      | `Absent | `Stale -> ()
+    done;
+  (try Unix.close cmd_w with Unix.Unix_error _ -> ());
+  (try Unix.close evt_r with Unix.Unix_error _ -> ());
   { uptime_s = Unix.gettimeofday () -. t.started;
     requests_total = Atomic.get t.requests }

@@ -136,6 +136,31 @@ let fp_decode = Fault.point "decode_fail"
 let fp_worker = Fault.point "worker_raise"
 let fp_deadline = Fault.point "deadline_expire"
 
+let fp_shard_exit = Fault.point "shard_exit"
+(* simulates kill -9 mid-request: the process vanishes without draining,
+   flushing or unlinking its socket — the supervisor's job is to make
+   this invisible to clients.  Only analysis traffic advances the hit
+   count: the supervisor's own health probes (and other control frames)
+   must not perturb a deterministic @K schedule. *)
+
+let has_sub line needle =
+  let n = String.length line and m = String.length needle in
+  let i = ref 0 and found = ref false in
+  while (not !found) && !i + m <= n do
+    let j = ref 0 in
+    while !j < m && line.[!i + !j] = needle.[!j] do
+      incr j
+    done;
+    if !j = m then found := true else incr i
+  done;
+  !found
+
+let control_frame line =
+  has_sub line "\"op\":\"health\""
+  || has_sub line "\"op\":\"status\""
+  || has_sub line "\"op\":\"drain\""
+  || has_sub line "\"op\":\"shutdown\""
+
 (* ---------- request validation ---------- *)
 
 let config_of_variant = function
@@ -462,7 +487,7 @@ let analyze t ~deadline (op : P.op) : P.result_body =
         res.Sweep.sw_curves
     in
     if clean then body else raise (Partial_sweep body)
-  | P.Batch _ | P.Status | P.Health | P.Shutdown ->
+  | P.Batch _ | P.Status | P.Health | P.Drain | P.Shutdown ->
     assert false (* batch items are dispatched individually; the rest are
                     handled inline, never queued *)
 
@@ -515,7 +540,7 @@ let breaker_key_of (op : P.op) : string option =
   | P.Breakdown { target; _ } | P.Icost { target; _ } | P.Sweep { target; _ } ->
     of_target target
   | P.Graph_stats { target } -> of_target { target with P.engine = "graph" }
-  | P.Batch _ | P.Status | P.Health | P.Shutdown -> None
+  | P.Batch _ | P.Status | P.Health | P.Drain | P.Shutdown -> None
 
 let status_body t : P.status_body =
   let sum_caches f =
@@ -541,6 +566,8 @@ let status_body t : P.status_body =
     sweep_cache_hits = Atomic.get t.sweep_hits;
     pool_jobs = Pool.jobs ();
     shards = 0;
+    respawns = 0;
+    failovers = 0;
     health = health_of t;
     draining = Atomic.get t.shutdown_requested;
   }
@@ -607,6 +634,8 @@ let exec_op t ~deadline (op : P.op) :
   | P.Health -> (Ok (P.encode_result (P.R_health (health_body t))), true)
   | P.Shutdown ->
     (Error (P.Bad_request, "shutdown is not allowed inside a batch"), true)
+  | P.Drain ->
+    (Error (P.Bad_request, "drain is not allowed inside a batch"), true)
   | P.Batch _ -> (Error (P.Bad_request, "batch items cannot nest"), true)
   | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _) as op ->
     let skey = breaker_key_of op in
@@ -671,7 +700,7 @@ let span_attrs (op : P.op) =
     ]
   | P.Batch { ops } ->
     [ ("op", "batch"); ("items", string_of_int (List.length ops)) ]
-  | P.Status | P.Health | P.Shutdown -> []
+  | P.Status | P.Health | P.Drain | P.Shutdown -> []
 
 exception Frame_miss
 
@@ -707,6 +736,14 @@ let handle_decoded t (c : Acceptor.conn) ~seq ~fkey (line : string) =
        write_reply c ~seq { P.rep_id = id; body = Ok (P.R_health (health_body t)) }
      | P.Shutdown ->
        write_reply c ~seq { P.rep_id = id; body = Ok P.R_shutdown };
+       initiate_shutdown t
+     | P.Drain ->
+       (* drain-for-restart: finish in-flight work and exit.  Snapshots
+          are already on disk (persisted after every analysis), so the
+          ack can go out before the shutdown sequence starts.  A
+          standalone server restarts nothing itself — [restarted] counts
+          shards, and only the router has those. *)
+       write_reply c ~seq { P.rep_id = id; body = Ok (P.R_drain { restarted = 0 }) };
        initiate_shutdown t
      | (P.Breakdown _ | P.Icost _ | P.Graph_stats _ | P.Sweep _ | P.Batch _) as
        op ->
@@ -771,6 +808,8 @@ let handle_decoded t (c : Acceptor.conn) ~seq ~fkey (line : string) =
             (error_reply id P.Shutting_down "server is draining")))
 
 let handle_line t (c : Acceptor.conn) ~seq (line : string) =
+  if Fault.enabled () && (not (control_frame line)) && Fault.fire fp_shard_exit
+  then Unix._exit 70;
   Atomic.incr t.requests;
   Telemetry.incr c_requests;
   match frame_fast_path t line with

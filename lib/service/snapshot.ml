@@ -25,6 +25,7 @@ type payload = {
 let c_hits = Telemetry.counter "graph.snapshot_hits"
 let c_misses = Telemetry.counter "graph.snapshot_misses"
 let c_rejects = Telemetry.counter "graph.snapshot_rejects"
+let c_quarantined = Telemetry.counter "graph.snapshot_quarantined"
 
 let file_of ~dir ~key = Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".snap")
 
@@ -120,7 +121,19 @@ let load ~dir ~key : [ `Hit of payload | `Miss | `Reject of string ] =
     in
     (match result with
      | `Hit _ -> Telemetry.incr c_hits
-     | `Reject _ -> Telemetry.incr c_rejects
+     | `Reject _ ->
+       Telemetry.incr c_rejects;
+       (* quarantine: move the corrupt file aside so the next load is a
+          plain miss that rebuilds and overwrites, instead of re-reading
+          and re-rejecting the same bytes on every restart.  The rename
+          is atomic and keeps the evidence for post-mortems; a racing
+          writer that just replaced the file with a good snapshot loses
+          it to the quarantine and rebuilds once — correct, merely
+          wasteful, and only possible while the file is actively torn. *)
+       (try
+          Sys.rename file (file ^ ".quarantined");
+          Telemetry.incr c_quarantined
+        with Sys_error _ -> ())
      | `Miss -> ());
     result
   end

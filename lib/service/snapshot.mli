@@ -25,10 +25,17 @@
     partial snapshot.  Any rejection ([`Reject]) or absence ([`Miss])
     falls back to a clean rebuild; a snapshot is never load-bearing.
 
+    A rejected file is additionally {b quarantined}: renamed to
+    [<file>.quarantined] (atomic, evidence kept for post-mortems) so the
+    next load of the same key is a plain [`Miss] that rebuilds and
+    overwrites — a crash-corrupted snapshot costs one rejection ever,
+    not one per restart.
+
     Loads and saves tick the [graph.snapshot_hits] /
-    [graph.snapshot_misses] / [graph.snapshot_rejects] telemetry
-    counters (live while the sink is enabled); the server additionally
-    tallies them into its [status] reply. *)
+    [graph.snapshot_misses] / [graph.snapshot_rejects] /
+    [graph.snapshot_quarantined] telemetry counters (live while the sink
+    is enabled); the server additionally tallies them into its [status]
+    reply. *)
 
 type payload = {
   engine : string;  (** {!Icost_experiments.Runner.oracle_kind_name} *)
@@ -53,7 +60,9 @@ val save : dir:string -> key:string -> payload -> unit
 val load : dir:string -> key:string -> [ `Hit of payload | `Miss | `Reject of string ]
 (** [`Miss] when no snapshot exists for the key; [`Reject reason] for a
     bad magic/version, truncated or corrupted sections, a key mismatch,
-    or an engine/shape mismatch.  Never raises on malformed input. *)
+    or an engine/shape mismatch.  A rejected file is quarantined (see
+    module doc): renamed [*.quarantined], so asking again is [`Miss].
+    Never raises on malformed input. *)
 
 (** {2 Session establishment}
 

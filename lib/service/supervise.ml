@@ -1,0 +1,439 @@
+(* Shard supervisor.  See supervise.mli for the architecture. *)
+
+module Fault = Icost_util.Fault
+module Prng = Icost_util.Prng
+module P = Protocol
+
+type opts = {
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  storm_budget : int;
+  storm_window_s : float;
+  breaker_cooldown_s : float;
+  probe_interval_s : float;
+  probe_timeout_s : float;
+  probe_fails : int;
+  spawn_wait_s : float;
+  grace_s : float;
+  seed : int;
+}
+
+let default_opts =
+  {
+    backoff_base_ms = 25.;
+    backoff_cap_ms = 1000.;
+    storm_budget = 5;
+    storm_window_s = 10.;
+    breaker_cooldown_s = 3.;
+    probe_interval_s = 0.5;
+    probe_timeout_s = 1.0;
+    probe_fails = 3;
+    spawn_wait_s = 10.;
+    grace_s = 2.;
+    seed = 0x51ee7;
+  }
+
+(* a wedged probe can be forced deterministically: ICOST_FAULTS=probe_timeout:@K *)
+let fp_probe_timeout = Fault.point "probe_timeout"
+
+(* ---------- router <-> supervisor wire ---------- *)
+
+type event =
+  | Up of { shard : int; pid : int; latency_ms : int }
+  | Down of { shard : int; reason : string }
+  | Breaker_open of { shard : int; retry_after_ms : int }
+  | Stopped
+
+type command = Drain of int | Stop
+
+let event_to_line = function
+  | Up { shard; pid; latency_ms } -> Printf.sprintf "up %d %d %d" shard pid latency_ms
+  | Down { shard; reason } ->
+    (* reason is free text and comes last, so it may contain spaces (but
+       never a newline: one event per line) *)
+    Printf.sprintf "down %d %s" shard
+      (String.map (function '\n' | '\r' -> ' ' | ch -> ch) reason)
+  | Breaker_open { shard; retry_after_ms } ->
+    Printf.sprintf "breaker %d %d" shard retry_after_ms
+  | Stopped -> "stopped"
+
+let split_words line = String.split_on_char ' ' line
+
+let event_of_line line =
+  match split_words line with
+  | [ "up"; sh; pid; lat ] -> (
+    match (int_of_string_opt sh, int_of_string_opt pid, int_of_string_opt lat) with
+    | Some shard, Some pid, Some latency_ms -> Some (Up { shard; pid; latency_ms })
+    | _ -> None)
+  | "down" :: sh :: rest -> (
+    match int_of_string_opt sh with
+    | Some shard -> Some (Down { shard; reason = String.concat " " rest })
+    | None -> None)
+  | [ "breaker"; sh; ms ] -> (
+    match (int_of_string_opt sh, int_of_string_opt ms) with
+    | Some shard, Some retry_after_ms ->
+      Some (Breaker_open { shard; retry_after_ms })
+    | _ -> None)
+  | [ "stopped" ] -> Some Stopped
+  | _ -> None
+
+let command_to_line = function
+  | Drain i -> Printf.sprintf "drain %d" i
+  | Stop -> "stop"
+
+let command_of_line line =
+  match split_words line with
+  | [ "drain"; sh ] -> Option.map (fun i -> Drain i) (int_of_string_opt sh)
+  | [ "stop" ] -> Some Stop
+  | _ -> None
+
+(* ---------- pure pieces ---------- *)
+
+(* Decorrelated jitter (the same AWS variant as the client's retry
+   backoff): each delay is uniform in [base, 3 * previous], so a fleet of
+   shards crashing together respawns spread out instead of in lockstep. *)
+let backoff_ms o ~prng ~prev_ms =
+  let span = Float.max 0. ((3. *. prev_ms) -. o.backoff_base_ms) in
+  Float.min o.backoff_cap_ms (o.backoff_base_ms +. (Prng.float prng *. span))
+
+type storm = float list ref (* crash times, most recent first *)
+
+let storm_make () : storm = ref []
+
+let storm_record o (s : storm) ~now =
+  let cutoff = now -. o.storm_window_s in
+  let recent = now :: List.filter (fun t -> t > cutoff) !s in
+  s := recent;
+  if List.length recent >= o.storm_budget then
+    `Tripped (now +. o.breaker_cooldown_s)
+  else `Ok
+
+(* ---------- escalating reap ---------- *)
+
+let kill_quiet signal pid = try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap ?(grace_s = 2.0) pids =
+  let started = Unix.gettimeofday () in
+  let term_at = started +. grace_s in
+  let kill_at = term_at +. grace_s in
+  (* a SIGKILLed process that still does not exit is wedged in the kernel
+     (uninterruptible sleep); abandon the zombie to init instead of
+     hanging shutdown on it *)
+  let abandon_at = kill_at +. (5. *. Float.max 1. grace_s) in
+  let termed = ref false in
+  let killed = ref false in
+  let rec loop alive =
+    let alive =
+      List.filter
+        (fun pid ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _ -> false
+          | exception Unix.Unix_error _ -> false)
+        alive
+    in
+    if alive <> [] then begin
+      let now = Unix.gettimeofday () in
+      if now >= abandon_at then ()
+      else begin
+        if now >= kill_at && not !killed then begin
+          killed := true;
+          List.iter (kill_quiet Sys.sigkill) alive
+        end
+        else if now >= term_at && not !termed then begin
+          termed := true;
+          List.iter (kill_quiet Sys.sigterm) alive
+        end;
+        ignore (Unix.select [] [] [] 0.02);
+        loop alive
+      end
+    end
+  in
+  loop pids
+
+(* ---------- supervisor process ---------- *)
+
+type slot = {
+  mutable pid : int;  (* 0 = down *)
+  mutable draining : bool;  (* commanded drain in flight: free respawn *)
+  mutable down_since : float;  (* death-detection time *)
+  mutable next_attempt : float;
+  mutable prev_backoff_ms : float;
+  mutable probe_failures : int;
+  mutable last_probe : float;
+  storm : storm;
+}
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let probe_frame =
+  P.encode_request { P.req_id = 0; deadline_ms = None; op = P.Health } ^ "\n"
+
+(* One liveness probe: connect, send a health frame, wait for any reply
+   bytes within the budget.  The server answers health inline on the
+   connection thread even under full load, so this measures "is the
+   process serving its socket", not "is it idle". *)
+let probe_ok o ~socket =
+  if Fault.fire fp_probe_timeout then false
+  else
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> false
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            write_all fd probe_frame
+          with
+          | () -> (
+            match Unix.select [ fd ] [] [] o.probe_timeout_s with
+            | [ _ ], _, _ -> (
+              match Unix.read fd (Bytes.create 1) 0 1 with
+              | n -> n > 0
+              | exception Unix.Unix_error _ -> false)
+            | _ -> false)
+          | exception Unix.Unix_error _ -> false)
+
+let send_drain_op o ~socket =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          write_all fd
+            (P.encode_request { P.req_id = 0; deadline_ms = None; op = P.Drain }
+             ^ "\n");
+          (* wait for the ack (or EOF) so the drain was at least
+             delivered; the exit itself is observed via waitpid *)
+          ignore (Unix.select [ fd ] [] [] o.probe_timeout_s)
+        with Unix.Unix_error _ -> ())
+
+let run_supervisor o ~shards ~spawn ~socket_of ~cmd:cmd_r ~evt:evt_w
+    ~handle_signals =
+  let prng = Prng.create (o.seed lxor 0x5e4f5e4f) in
+  let stop_flag = ref false in
+  if handle_signals then begin
+    let h = Sys.Signal_handle (fun _ -> stop_flag := true) in
+    (try Sys.set_signal Sys.sigterm h with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint h with Invalid_argument _ -> ())
+  end;
+  let slots =
+    Array.init shards (fun _ ->
+        {
+          pid = 0;
+          draining = false;
+          down_since = Unix.gettimeofday ();
+          next_attempt = 0.;
+          prev_backoff_ms = 0.;
+          probe_failures = 0;
+          last_probe = 0.;
+          storm = storm_make ();
+        })
+  in
+  let emit ev =
+    try write_all evt_w (event_to_line ev ^ "\n")
+    with Unix.Unix_error _ -> stop_flag := true
+    (* the router is gone; fall through to the stop path *)
+  in
+  let unlink_stale i =
+    match Endpoint.probe_unix_socket (socket_of i) with
+    | `Stale -> ( try Unix.unlink (socket_of i) with Unix.Unix_error _ -> ())
+    | `Absent | `Live -> ()
+  in
+  (* fork shard [i] and wait for its socket to accept; false when the
+     child died or never came up within the budget *)
+  let respawn i =
+    let slot = slots.(i) in
+    let t0 = Unix.gettimeofday () in
+    let since = if slot.down_since > 0. then slot.down_since else t0 in
+    unlink_stale i;
+    let pid = spawn i in
+    let deadline = t0 +. o.spawn_wait_s in
+    let rec wait () =
+      if Endpoint.probe_unix_socket (socket_of i) = `Live then true
+      else if
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+         | 0, _ -> false
+         | _ -> true
+         | exception Unix.Unix_error _ -> true)
+        || Unix.gettimeofday () >= deadline
+      then false
+      else begin
+        ignore (Unix.select [] [] [] 0.01);
+        wait ()
+      end
+    in
+    if wait () then begin
+      slot.pid <- pid;
+      slot.draining <- false;
+      slot.probe_failures <- 0;
+      slot.last_probe <- Unix.gettimeofday ();
+      emit
+        (Up
+           {
+             shard = i;
+             pid;
+             latency_ms =
+               int_of_float (Float.round ((Unix.gettimeofday () -. since) *. 1e3));
+           });
+      true
+    end
+    else begin
+      kill_quiet Sys.sigkill pid;
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      false
+    end
+  in
+  (* a crash (or failed respawn) charges the storm window and schedules
+     the next attempt; a drain respawns immediately for free *)
+  let schedule_retry i ~now =
+    let slot = slots.(i) in
+    if slot.draining then begin
+      (* commanded drain: respawn immediately, no storm charge.  The
+         flag is consumed here so a failing respawn falls back to the
+         ordinary backoff path instead of retrying in a hot loop. *)
+      slot.draining <- false;
+      slot.next_attempt <- now
+    end
+    else begin
+      match storm_record o slot.storm ~now with
+      | `Ok ->
+        let ms = backoff_ms o ~prng ~prev_ms:slot.prev_backoff_ms in
+        slot.prev_backoff_ms <- ms;
+        slot.next_attempt <- now +. (ms /. 1e3)
+      | `Tripped until ->
+        slot.prev_backoff_ms <- o.backoff_base_ms;
+        slot.next_attempt <- until;
+        emit
+          (Breaker_open
+             {
+               shard = i;
+               retry_after_ms =
+                 int_of_float (Float.ceil ((until -. now) *. 1e3));
+             })
+    end
+  in
+  let stop () =
+    let alive =
+      Array.to_list slots |> List.filter_map (fun s -> if s.pid > 0 then Some s.pid else None)
+    in
+    List.iter (kill_quiet Sys.sigterm) alive;
+    reap ~grace_s:o.grace_s alive;
+    emit Stopped;
+    Unix._exit 0
+  in
+  let cmdbuf = Buffer.create 256 in
+  let read_commands timeout =
+    match Unix.select [ cmd_r ] [] [] timeout with
+    | [ _ ], _, _ -> (
+      let chunk = Bytes.create 512 in
+      match Unix.read cmd_r chunk 0 (Bytes.length chunk) with
+      | 0 -> stop_flag := true (* router closed its end *)
+      | n ->
+        Buffer.add_subbytes cmdbuf chunk 0 n;
+        let text = Buffer.contents cmdbuf in
+        let parts = String.split_on_char '\n' text in
+        let rec go = function
+          | [] -> ()
+          | [ tail ] ->
+            Buffer.clear cmdbuf;
+            Buffer.add_string cmdbuf tail
+          | line :: rest ->
+            (match command_of_line line with
+             | Some (Drain i) when i >= 0 && i < shards ->
+               let slot = slots.(i) in
+               if slot.pid > 0 && not slot.draining then begin
+                 slot.draining <- true;
+                 send_drain_op o ~socket:(socket_of i)
+               end
+             | Some Stop -> stop_flag := true
+             | Some (Drain _) | None -> ());
+            go rest
+        in
+        go parts
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> stop_flag := true)
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  (* initial fleet: one attempt each here; a shard that fails to come up
+     enters the ordinary retry/backoff path below, and the router's
+     readiness wait decides how long to tolerate that *)
+  Array.iteri
+    (fun i slot ->
+      slot.down_since <- 0.;
+      if not (respawn i) then begin
+        slot.down_since <- Unix.gettimeofday ();
+        emit (Down { shard = i; reason = "failed to start" });
+        schedule_retry i ~now:slot.down_since
+      end)
+    slots;
+  let rec loop () =
+    if !stop_flag then stop ();
+    read_commands 0.02;
+    if !stop_flag then stop ();
+    let now = Unix.gettimeofday () in
+    Array.iteri
+      (fun i slot ->
+        (* death detection *)
+        if slot.pid > 0 then begin
+          match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+          | 0, _ -> ()
+          | _, status ->
+            slot.pid <- 0;
+            slot.down_since <- now;
+            let reason =
+              if slot.draining then "drained"
+              else
+                match status with
+                | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+            in
+            emit (Down { shard = i; reason });
+            schedule_retry i ~now
+          | exception Unix.Unix_error _ ->
+            slot.pid <- 0;
+            slot.down_since <- now;
+            emit (Down { shard = i; reason = "lost" });
+            schedule_retry i ~now
+        end;
+        (* respawn when due *)
+        if slot.pid = 0 && now >= slot.next_attempt then
+          if not (respawn i) then begin
+            emit (Down { shard = i; reason = "respawn failed" });
+            schedule_retry i ~now:(Unix.gettimeofday ())
+          end;
+        (* liveness probe *)
+        if
+          slot.pid > 0 && not slot.draining
+          && now -. slot.last_probe >= o.probe_interval_s
+        then begin
+          slot.last_probe <- now;
+          if probe_ok o ~socket:(socket_of i) then slot.probe_failures <- 0
+          else begin
+            slot.probe_failures <- slot.probe_failures + 1;
+            if slot.probe_failures >= o.probe_fails then begin
+              (* alive but not serving: kill it into the respawn path *)
+              kill_quiet Sys.sigkill slot.pid;
+              slot.probe_failures <- 0
+            end
+          end
+        end)
+      slots;
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,126 @@
+(** Shard supervision: death detection, respawn, failure budgets.
+
+    The router forks one {b supervisor} — a dedicated single-threaded
+    child process — before it creates any thread, and the supervisor in
+    turn forks and owns the shard fleet.  This sidesteps the classic
+    fork-after-threads trap: a respawn happens while the router is full
+    of acceptor and connection threads, so the router itself must never
+    fork again; the supervisor stays thread-free for its whole life and
+    can fork safely at any time.
+
+    {2 Monitor loop}
+
+    The supervisor's loop, a few dozen times per second:
+
+    - {b reap}: [waitpid WNOHANG] over the fleet.  A dead shard is
+      reported [Down] and scheduled for respawn — immediately after a
+      commanded drain, after a decorrelated-jitter backoff
+      ([uniform(base, 3*previous)], capped) for a crash.
+    - {b storm budget}: crash times are kept in a sliding window; when
+      [storm_budget] deaths land inside [storm_window_s] the shard's
+      breaker trips — the supervisor stops respawning for
+      [breaker_cooldown_s] and reports [Breaker_open] with the
+      remaining time, which the router converts into fail-fast
+      [unavailable] replies carrying [retry_after_ms].  The respawn at
+      cooldown's end is the half-open trial: another quick death
+      re-trips, a surviving shard lets the window drain.
+    - {b probe}: every [probe_interval_s] each live shard's socket is
+      health-probed with a [probe_timeout_s] budget; [probe_fails]
+      consecutive failures mean the process is wedged (alive but not
+      serving) and it is SIGKILLed into the ordinary respawn path.
+    - {b respawn}: the predecessor's socket file is probed and, if
+      stale, unlinked ({!Endpoint.probe_unix_socket}) before the
+      replacement is forked; the respawn is reported [Up] once the new
+      socket accepts, with the death-to-live latency.  The replacement
+      warm-starts from the shard's snapshot directory (it inherits the
+      same [--cache-dir] subdir).
+
+    The router talks to the supervisor over two pipes of
+    newline-delimited text: commands in ({!command}), events out
+    ({!event}).  EOF on the command pipe (the router died) is treated
+    as {!Stop}, so a crashed router never leaves orphan shards behind.
+
+    Fault points: [probe_timeout] forces a probe to time out
+    deterministically ([ICOST_FAULTS=probe_timeout:@1+]); the
+    complementary [shard_exit] point (in {!Server}) makes a shard exit
+    abruptly on a chosen request. *)
+
+type opts = {
+  backoff_base_ms : float;  (** respawn backoff floor (default 25) *)
+  backoff_cap_ms : float;  (** respawn backoff ceiling (default 1000) *)
+  storm_budget : int;
+      (** crashes within [storm_window_s] that trip the breaker (5) *)
+  storm_window_s : float;  (** sliding crash-counting window (10) *)
+  breaker_cooldown_s : float;  (** no-respawn period once tripped (3) *)
+  probe_interval_s : float;  (** health-probe period per shard (0.5) *)
+  probe_timeout_s : float;  (** reply budget per probe (1.0) *)
+  probe_fails : int;  (** consecutive failures before SIGKILL (3) *)
+  spawn_wait_s : float;  (** socket-live budget after a fork (10) *)
+  grace_s : float;  (** stop escalation step: poll, SIGTERM, SIGKILL (2) *)
+  seed : int;  (** backoff-jitter PRNG seed *)
+}
+
+val default_opts : opts
+
+(** {2 Wire protocol between router and supervisor} *)
+
+type event =
+  | Up of { shard : int; pid : int; latency_ms : int }
+      (** shard's socket accepts; [latency_ms] measures spawn-start (or
+          death-detection, for a respawn) to socket-live *)
+  | Down of { shard : int; reason : string }
+  | Breaker_open of { shard : int; retry_after_ms : int }
+  | Stopped  (** the whole fleet is reaped; the supervisor exits next *)
+
+type command =
+  | Drain of int
+      (** send the shard an [icost.rpc.v1] [drain] op and respawn it the
+          moment it exits — no backoff, no storm charge *)
+  | Stop
+      (** stop respawning, SIGTERM the fleet, escalate to SIGKILL after
+          [grace_s], emit [Stopped], exit *)
+
+val event_to_line : event -> string
+val event_of_line : string -> event option
+val command_to_line : command -> string
+val command_of_line : string -> command option
+
+(** {2 Pure pieces (unit-tested in isolation)} *)
+
+val backoff_ms : opts -> prng:Icost_util.Prng.t -> prev_ms:float -> float
+(** Decorrelated jitter: uniform in [[base, max base (3*prev)]], capped
+    at [backoff_cap_ms].  Always >= base, <= cap. *)
+
+type storm
+(** Sliding window of crash timestamps for one shard. *)
+
+val storm_make : unit -> storm
+
+val storm_record :
+  opts -> storm -> now:float -> [ `Ok | `Tripped of float ]
+(** Record a crash at [now]; [`Tripped until] once [storm_budget]
+    crashes landed within the trailing [storm_window_s]. *)
+
+val reap : ?grace_s:float -> int list -> unit
+(** Escalating reap: poll [waitpid WNOHANG]; send SIGTERM to survivors
+    after [grace_s], SIGKILL after [2 * grace_s], abandon (leaving a
+    zombie for init) after an additional hard deadline rather than hang
+    forever.  Never blocks on a wedged process. *)
+
+(** {2 The supervisor process} *)
+
+val run_supervisor :
+  opts ->
+  shards:int ->
+  spawn:(int -> int) ->
+  socket_of:(int -> string) ->
+  cmd:Unix.file_descr ->
+  evt:Unix.file_descr ->
+  handle_signals:bool ->
+  'a
+(** Main loop of the supervisor child.  [spawn i] must fork shard [i]
+    and return its pid (the child must exec the server and close the
+    supervisor's pipe ends); [socket_of i] is the shard's socket path.
+    Spawns the whole fleet first (reporting [Up] per shard), then
+    monitors until {!Stop} or command-pipe EOF.  Never returns — exits
+    the process. *)

@@ -3,9 +3,11 @@
 let () =
   Alcotest.run "icostlib"
     [
-      (* first: the router suite forks a daemon process, and Unix.fork is
-         forbidden once any other suite has spawned a domain (Pool) *)
+      (* first: the router and supervisor suites fork processes, and
+         Unix.fork is forbidden once any other suite has spawned a
+         domain (Pool) *)
       Test_router.suite;
+      Test_supervise.suite;
       Test_prng.suite;
       Test_stats.suite;
       Test_pool.suite;

@@ -9,6 +9,9 @@ module P = Icost_service.Protocol
 module Server = Icost_service.Server
 module Router = Icost_service.Router
 module Client = Icost_service.Client
+module Supervise = Icost_service.Supervise
+module Endpoint = Icost_service.Endpoint
+module Fault = Icost_util.Fault
 
 let sigpipe_off () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -131,6 +134,8 @@ let test_router_end_to_end () =
                   { Server.default_opts with
                     workers = 2;
                     cache_dir = Some cache_dir };
+                supervise = Router.default_opts.supervise;
+                failover_budget_s = Router.default_opts.failover_budget_s;
                 handle_signals = true;
                 on_ready = None;
                 on_tcp_port = None;
@@ -277,6 +282,8 @@ let test_router_sweep () =
                 tcp = None;
                 shards = 2;
                 shard = { Server.default_opts with workers = 2 };
+                supervise = Router.default_opts.supervise;
+                failover_budget_s = Router.default_opts.failover_budget_s;
                 handle_signals = true;
                 on_ready = None;
                 on_tcp_port = None;
@@ -391,6 +398,427 @@ let test_router_sweep () =
     Alcotest.fail (Printf.sprintf "router exited with %d" n)
   | _ -> Alcotest.fail "router killed by signal"
 
+(* ---------- self-healing: supervision, failover, rolling restart ---------- *)
+
+(* Fork a router daemon with the given options; returns its pid. *)
+let fork_router opts =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       ignore (Router.run opts);
+       Unix._exit 0
+     with _ -> Unix._exit 1)
+  | pid -> pid
+
+let router_opts ?cache_dir ?(supervise = Router.default_opts.supervise) socket =
+  {
+    Router.socket;
+    tcp = None;
+    shards = 2;
+    shard = { Server.default_opts with workers = 2; cache_dir };
+    supervise;
+    failover_budget_s = Router.default_opts.failover_budget_s;
+    handle_signals = true;
+    on_ready = None;
+    on_tcp_port = None;
+  }
+
+let stop_router child =
+  (try Unix.kill child Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore
+    (try Unix.waitpid [] child with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+
+(* The shard pids live two forks down: router -> supervisor -> shards.
+   Linux exposes the chain in /proc. *)
+let children_of pid =
+  let path = Printf.sprintf "/proc/%d/task/%d/children" pid pid in
+  match In_channel.with_open_text path In_channel.input_all with
+  | s ->
+    String.split_on_char ' ' (String.trim s) |> List.filter_map int_of_string_opt
+  | exception Sys_error _ -> []
+
+let rec shard_pids_of ~router ~attempts =
+  let pids =
+    match children_of router with
+    | [ supervisor ] -> children_of supervisor
+    | _ -> []
+  in
+  if List.length pids >= 2 || attempts <= 0 then pids
+  else begin
+    ignore (Unix.select [] [] [] 0.05);
+    shard_pids_of ~router ~attempts:(attempts - 1)
+  end
+
+let ask ?id s op =
+  match (Client.call_with_retry s (req ?id op)).P.body with
+  | Ok b -> b
+  | Error (c, m) ->
+    Alcotest.fail
+      (Printf.sprintf "query failed: %s %s" (P.error_code_name c) m)
+
+let status_of s =
+  match (Client.call_with_retry s (req ~id:2 P.Status)).P.body with
+  | Ok (P.R_status st) -> st
+  | _ -> Alcotest.fail "status not answered"
+
+(* The respawn path's stale-socket cleanup reuses the endpoint probe;
+   pin its classification of the three states a crashed shard's socket
+   path can be in. *)
+let test_probe_unix_socket () =
+  let path = tmp_path "probe.sock" in
+  if Sys.file_exists path then Sys.remove path;
+  let check name expect =
+    Alcotest.(check bool) name true (Endpoint.probe_unix_socket path = expect)
+  in
+  check "no file is absent" `Absent;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 1;
+  check "bound and listening is live" `Live;
+  Unix.close fd;
+  (* the file survives the process; nothing listens behind it *)
+  check "file without a listener is stale" `Stale;
+  Sys.remove path
+
+(* kill -9 both shards under a warm fleet: the supervisor respawns them
+   (clearing the stale socket files the SIGKILL left behind), the
+   replacements warm-start from their snapshot directories, parked
+   requests are delivered to them, and the answers stay bit-identical —
+   a crash costs latency, never an error or a changed result. *)
+let test_kill9_respawn () =
+  sigpipe_off ();
+  let socket = tmp_path "kill9.sock" in
+  let cache_dir = tmp_path "kill9.cache" in
+  rm_rf cache_dir;
+  if Sys.file_exists socket then Sys.remove socket;
+  let child = fork_router (router_opts ~cache_dir socket) in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_router child;
+      rm_rf cache_dir)
+  @@ fun () ->
+  let s = Client.connect_session ~retry_for:30.0 ~socket () in
+  let op_a = P.Breakdown { target = target_a; focus = "dl1" } in
+  let op_b = P.Breakdown { target = target_b; focus = "dl1" } in
+  let warm_a = ask ~id:3 s op_a in
+  let warm_b = ask ~id:4 s op_b in
+  let st0 = status_of s in
+  Alcotest.(check int) "no respawns yet" 0 st0.P.respawns;
+  let pids = shard_pids_of ~router:child ~attempts:40 in
+  Alcotest.(check int) "found both shard pids" 2 (List.length pids);
+  List.iter (fun pid -> Unix.kill pid Sys.sigkill) pids;
+  (* both shards are dead; the very next queries must still succeed *)
+  let again_a = ask ~id:3 s op_a in
+  let again_b = ask ~id:4 s op_b in
+  Alcotest.(check string) "shard A answer survives the kill bit-identically"
+    (norm_body (Ok warm_a)) (norm_body (Ok again_a));
+  Alcotest.(check string) "shard B answer survives the kill bit-identically"
+    (norm_body (Ok warm_b)) (norm_body (Ok again_b));
+  let st1 = status_of s in
+  Alcotest.(check bool) "both respawns counted" true (st1.P.respawns >= 2);
+  Alcotest.(check string) "fleet is healthy again" "ok" st1.P.health;
+  (match (Client.call_with_retry s (req ~id:99 P.Shutdown)).P.body with
+   | Ok P.R_shutdown -> ()
+   | _ -> Alcotest.fail "shutdown not acknowledged");
+  Client.close_session s;
+  (match Unix.waitpid [] child with
+   | _, Unix.WEXITED 0 -> ()
+   | _, Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "router exited with %d" n)
+   | _ -> Alcotest.fail "router killed by signal");
+  Alcotest.(check bool) "respawned shard sockets removed at shutdown" false
+    (Sys.file_exists (Router.shard_socket socket 0)
+     || Sys.file_exists (Router.shard_socket socket 1))
+
+(* One shard dies mid-scatter-gather (the shard_exit fault point: the
+   process _exits on its 4th analysis frame, as if SIGKILLed while
+   holding the sub-batch).  The frame must survive: the dead shard's
+   items come back as per-item typed [unavailable] errors in their
+   original positions, the other shard's items succeed, and retrying the
+   failed work against the respawned shard gives bit-identical answers. *)
+let test_mid_batch_crash () =
+  sigpipe_off ();
+  let socket = tmp_path "midbatch.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  (* configured before the fork so every process in the tree inherits
+     the schedule; only analysis frames advance the count, so shard A
+     dies exactly on its 4th (its scatter sub-batch below) *)
+  Fault.configure_exn "shard_exit:@4";
+  let child = fork_router (router_opts socket) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      stop_router child)
+  @@ fun () ->
+  let s = Client.connect_session ~retry_for:30.0 ~socket () in
+  let op_a = P.Breakdown { target = target_a; focus = "dl1" } in
+  let op_b = P.Breakdown { target = target_b; focus = "dl1" } in
+  (* shard A: analysis frames 1-3; shard B: frame 1 *)
+  let warm_a = ask ~id:3 s op_a in
+  let _ = ask ~id:3 s op_a in
+  let _ = ask ~id:3 s op_a in
+  let warm_b = ask ~id:4 s op_b in
+  (* the mixed batch scatters one sub-batch per shard: A's 4th frame
+     kills it mid-batch, B answers normally *)
+  let reply =
+    Client.call_with_retry s (req ~id:20 (P.Batch { ops = [ op_a; op_b ] }))
+  in
+  (match reply.P.body with
+   | Ok (P.R_batch { results = [ item_a; item_b ] }) ->
+     (match item_a with
+      | Error (P.Unavailable, msg) ->
+        Alcotest.(check bool) "error names the dead shard" true
+          (String.length msg > 0)
+      | Error (c, m) ->
+        Alcotest.fail
+          (Printf.sprintf "dead shard's item: expected unavailable, got %s %s"
+             (P.error_code_name c) m)
+      | Ok _ -> Alcotest.fail "dead shard's item cannot have succeeded");
+     (match item_b with
+      | Ok b ->
+        Alcotest.(check string) "surviving shard's item is unaffected"
+          (norm_body (Ok warm_b)) (norm_body (Ok b))
+      | Error _ -> Alcotest.fail "surviving shard's item failed")
+   | Ok (P.R_batch { results }) ->
+     Alcotest.fail
+       (Printf.sprintf "expected 2 batch items, got %d" (List.length results))
+   | Ok _ -> Alcotest.fail "expected a batch reply"
+   | Error (c, m) ->
+     Alcotest.fail
+       (Printf.sprintf "mid-batch crash tore the whole frame: %s %s"
+          (P.error_code_name c) m));
+  (* the retry lands on shard A's respawned replacement (its fault
+     counter restarts, so frame 1 survives) and matches the original *)
+  let retry_a = ask ~id:3 s op_a in
+  Alcotest.(check string) "retried item bit-identical after respawn"
+    (norm_body (Ok warm_a)) (norm_body (Ok retry_a));
+  (match (Client.call_with_retry s (req ~id:99 P.Shutdown)).P.body with
+   | Ok P.R_shutdown -> ()
+   | _ -> Alcotest.fail "shutdown not acknowledged");
+  Client.close_session s;
+  match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "router exited with %d" n)
+  | _ -> Alcotest.fail "router killed by signal"
+
+(* Rolling restart under load: a drain op cycles both shards while a
+   client hammers analysis queries.  Zero failed requests — parked and
+   re-delivered around each shard's drain window — and the fleet reports
+   the two respawns. *)
+let test_rolling_drain_under_load () =
+  sigpipe_off ();
+  let socket = tmp_path "drain.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let child = fork_router (router_opts socket) in
+  Fun.protect
+    ~finally:(fun () -> stop_router child)
+  @@ fun () ->
+  let s = Client.connect_session ~retry_for:30.0 ~socket () in
+  let op_a = P.Breakdown { target = target_a; focus = "dl1" } in
+  let op_b = P.Breakdown { target = target_b; focus = "dl1" } in
+  let warm_a = ask ~id:3 s op_a in
+  let warm_b = ask ~id:4 s op_b in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let successes = Atomic.make 0 in
+  let hammer =
+    Thread.create
+      (fun () ->
+        let hs = Client.connect_session ~retry_for:10.0 ~socket () in
+        let rec loop flip =
+          if not (Atomic.get stop) then begin
+            (match
+               (Client.call_with_retry hs
+                  (req ~id:7 (if flip then op_a else op_b)))
+                 .P.body
+             with
+             | Ok _ -> Atomic.incr successes
+             | Error _ -> Atomic.incr failures
+             | exception _ -> Atomic.incr failures);
+            loop (not flip)
+          end
+        in
+        loop true;
+        Client.close_session hs)
+      ()
+  in
+  (* let the hammer get going, then cycle the fleet *)
+  ignore (Unix.select [] [] [] 0.2);
+  (match (Client.call_with_retry s (req ~id:50 P.Drain)).P.body with
+   | Ok (P.R_drain { restarted }) ->
+     Alcotest.(check int) "both shards cycled" 2 restarted
+   | Ok _ -> Alcotest.fail "expected a drain reply"
+   | Error (c, m) ->
+     Alcotest.fail
+       (Printf.sprintf "drain failed: %s %s" (P.error_code_name c) m));
+  ignore (Unix.select [] [] [] 0.2);
+  Atomic.set stop true;
+  Thread.join hammer;
+  Alcotest.(check int) "zero failed requests through the rolling restart" 0
+    (Atomic.get failures);
+  Alcotest.(check bool) "the hammer actually ran" true
+    (Atomic.get successes > 0);
+  (* the replacements answer identically (rebuilt, not corrupted) *)
+  Alcotest.(check string) "shard A identical after the cycle"
+    (norm_body (Ok warm_a)) (norm_body (Ok (ask ~id:3 s op_a)));
+  Alcotest.(check string) "shard B identical after the cycle"
+    (norm_body (Ok warm_b)) (norm_body (Ok (ask ~id:4 s op_b)));
+  let st = status_of s in
+  Alcotest.(check bool) "drain respawns counted" true (st.P.respawns >= 2);
+  (match (Client.call_with_retry s (req ~id:99 P.Shutdown)).P.body with
+   | Ok P.R_shutdown -> ()
+   | _ -> Alcotest.fail "shutdown not acknowledged");
+  Client.close_session s;
+  match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "router exited with %d" n)
+  | _ -> Alcotest.fail "router killed by signal"
+
+(* A shard that crashes on every request blows its storm budget: the
+   supervisor stops respawning it, and its requests fail fast with a
+   typed [unavailable] carrying a machine-readable retry_after_ms hint
+   instead of burning the whole failover budget per call.  The other
+   shard keeps serving. *)
+let test_storm_breaker_fails_fast () =
+  sigpipe_off ();
+  let socket = tmp_path "storm.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  Fault.configure_exn "shard_exit:@1+";
+  let supervise =
+    { Router.default_opts.supervise with
+      Supervise.storm_budget = 2;
+      breaker_cooldown_s = 5.;
+    }
+  in
+  let child = fork_router (router_opts ~supervise socket) in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      stop_router child)
+  @@ fun () ->
+  let op_a = P.Breakdown { target = target_a; focus = "dl1" } in
+  Client.with_client ~retry_for:30.0 ~socket (fun c ->
+      (* every delivery kills the shard; after the 2nd crash the breaker
+         trips and this call must come back as a typed refusal *)
+      match (Client.call c (req ~id:5 op_a)).P.body with
+      | Error (P.Unavailable, msg) -> (
+        match P.retry_after_of_msg msg with
+        | Some ms ->
+          Alcotest.(check bool)
+            (Printf.sprintf "retry hint within the cooldown (%d ms)" ms)
+            true
+            (ms > 0 && ms <= 5100)
+        | None ->
+          Alcotest.fail ("breaker refusal carries no retry_after_ms: " ^ msg))
+      | Error (c', m) ->
+        Alcotest.fail
+          (Printf.sprintf "expected unavailable, got %s %s"
+             (P.error_code_name c') m)
+      | Ok _ -> Alcotest.fail "a crashing shard cannot have answered");
+  (* the healthy shard is untouched by its sibling's breaker; status
+     (aggregated over reachable shards only) keeps flowing *)
+  Client.with_client ~retry_for:5.0 ~socket (fun c ->
+      match (Client.call c (req ~id:6 P.Status)).P.body with
+      | Ok (P.R_status st) ->
+        Alcotest.(check bool) "crashes counted as respawns" true
+          (st.P.respawns >= 1)
+      | _ -> Alcotest.fail "status not answered");
+  Client.with_client ~retry_for:5.0 ~socket (fun c ->
+      match (Client.call c (req ~id:99 P.Shutdown)).P.body with
+      | Ok P.R_shutdown -> ()
+      | _ -> Alcotest.fail "shutdown not acknowledged");
+  match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.fail (Printf.sprintf "router exited with %d" n)
+  | _ -> Alcotest.fail "router killed by signal"
+
+(* SIGKILL the supervisor itself — the reliability anchor.  The fleet
+   must keep answering (the shards are untouched), but health degrades
+   (nothing can respawn anymore), a rolling restart is refused with a
+   typed error rather than draining a shard nobody will bring back, and
+   router shutdown sweeps the orphaned shards over their sockets so no
+   processes leak past exit (they were re-parented to init when the
+   supervisor died: signals and waitpid can't reach them). *)
+let test_supervisor_killed () =
+  sigpipe_off ();
+  let socket = tmp_path "supkill.sock" in
+  if Sys.file_exists socket then Sys.remove socket;
+  let child = fork_router (router_opts socket) in
+  Fun.protect ~finally:(fun () -> stop_router child)
+  @@ fun () ->
+  let s = Client.connect_session ~retry_for:30.0 ~socket () in
+  let op_a = P.Breakdown { target = target_a; focus = "dl1" } in
+  let warm_a = ask ~id:3 s op_a in
+  (* capture the chain before the kill: it is unreadable afterwards *)
+  let shard_pids = shard_pids_of ~router:child ~attempts:40 in
+  Alcotest.(check int) "found both shard pids" 2 (List.length shard_pids);
+  let supervisor =
+    match children_of child with
+    | [ sup ] -> sup
+    | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected one supervisor child, found %d"
+           (List.length l))
+  in
+  Unix.kill supervisor Sys.sigkill;
+  (* pipe EOF marks the supervisor gone; poll status until it shows *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_degraded () =
+    let st = status_of s in
+    if st.P.health = "degraded" then ()
+    else if Unix.gettimeofday () >= deadline then
+      Alcotest.fail
+        (Printf.sprintf "health never degraded (still %S)" st.P.health)
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      wait_degraded ()
+    end
+  in
+  wait_degraded ();
+  (* the shards themselves are untouched and keep answering *)
+  let fresh = ask ~id:5 s op_a in
+  Alcotest.(check string) "fleet keeps serving bit-identically"
+    (norm_body (Ok warm_a)) (norm_body (Ok fresh));
+  let contains msg needle =
+    let n = String.length msg and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub msg i m = needle || go (i + 1)) in
+    go 0
+  in
+  (match (Client.call_with_retry s (req ~id:6 P.Drain)).P.body with
+  | Error (P.Unavailable, msg) ->
+    Alcotest.(check bool) "drain refusal names the supervisor" true
+      (contains msg "supervisor")
+  | Ok _ -> Alcotest.fail "drain must be refused without a supervisor"
+  | Error (c, m) ->
+    Alcotest.fail
+      (Printf.sprintf "expected unavailable, got %s %s" (P.error_code_name c)
+         m));
+  (match (Client.call_with_retry s (req ~id:99 P.Shutdown)).P.body with
+  | Ok P.R_shutdown -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  (match Unix.waitpid [] child with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n ->
+    Alcotest.fail (Printf.sprintf "router exited with %d" n)
+  | _ -> Alcotest.fail "router killed by signal");
+  (* the orphans must be gone shortly after the router's sweep *)
+  let gone pid =
+    match Unix.kill pid 0 with
+    | () -> false
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+    | exception Unix.Unix_error _ -> true
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_gone () =
+    if List.for_all gone shard_pids then ()
+    else if Unix.gettimeofday () >= deadline then
+      Alcotest.fail "orphaned shards leaked past router shutdown"
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      wait_gone ()
+    end
+  in
+  wait_gone ()
+
 let suite =
   ( "router",
     [
@@ -402,4 +830,16 @@ let suite =
         test_router_end_to_end;
       Alcotest.test_case "router: sweeps route, aggregate and batch" `Slow
         test_router_sweep;
+      Alcotest.test_case "heal: socket probe classification" `Quick
+        test_probe_unix_socket;
+      Alcotest.test_case "heal: kill -9 both shards, respawn bit-identical"
+        `Slow test_kill9_respawn;
+      Alcotest.test_case "heal: mid-batch crash gives per-item errors" `Slow
+        test_mid_batch_crash;
+      Alcotest.test_case "heal: rolling drain under load, zero failures" `Slow
+        test_rolling_drain_under_load;
+      Alcotest.test_case "heal: storm breaker fails fast with retry hint"
+        `Slow test_storm_breaker_fails_fast;
+      Alcotest.test_case "heal: supervisor killed, orphans swept at exit"
+        `Slow test_supervisor_killed;
     ] )

@@ -79,6 +79,7 @@ let test_request_roundtrip () =
         };
       P.Status;
       P.Health;
+      P.Drain;
       P.Shutdown;
       P.Batch
         {
@@ -151,11 +152,14 @@ let test_reply_roundtrip () =
              sweep_cache_hits = 3;
              pool_jobs = 8;
              shards = 2;
+             respawns = 1;
+             failovers = 2;
              health = "degraded";
              draining = false;
            });
       Ok (P.R_health { P.h_health = "ok"; h_breakers_open = 2; h_shed = 5 });
       Ok P.R_shutdown;
+      Ok (P.R_drain { restarted = 3 });
       Ok
         (P.R_batch
            {
@@ -298,6 +302,9 @@ let test_retry_classification () =
       (P.Status, true);
       (P.Health, true);
       (P.Shutdown, false);
+      (* drain restarts the fleet: blindly re-sending one on a dropped
+         connection could cycle the shards twice *)
+      (P.Drain, false);
       (P.Batch { ops = [ P.Status; P.Health ] }, true);
       (P.Batch { ops = [ P.Status; P.Shutdown ] }, false);
     ];
@@ -314,6 +321,43 @@ let test_retry_classification () =
       (P.Deadline_exceeded, false);
       (P.Shutting_down, false);
     ]
+
+(* The retry hint travels two ways: a structured [retry_after_ms] field
+   on the error object (ignored by pre-supervision decoders) and a
+   [retry_after_ms=N] clause inside the message text, which survives any
+   relay that only preserves the message.  Status replies from
+   pre-supervision servers lack the respawn tallies and must decode with
+   zeros. *)
+let test_retry_hints_and_compat () =
+  let line =
+    P.encode_error_reply ~rep_id:7 P.Unavailable
+      (Printf.sprintf "shard 1 breaker open after restart storm; %s"
+         (P.retry_after_clause 1234))
+      ~retry_after_ms:1234
+  in
+  (match P.decode_reply line with
+   | Ok { P.rep_id = 7; body = Error (P.Unavailable, msg) } ->
+     Alcotest.(check (option int)) "hint recoverable from message"
+       (Some 1234) (P.retry_after_of_msg msg)
+   | _ -> Alcotest.fail "typed error reply did not decode");
+  Alcotest.(check (option int)) "no hint" None
+    (P.retry_after_of_msg "shard 1 unreachable: connection refused");
+  Alcotest.(check (option int)) "clause round-trips alone" (Some 250)
+    (P.retry_after_of_msg (P.retry_after_clause 250));
+  (* a pre-supervision status frame: no respawns/failovers fields *)
+  let legacy =
+    "{\"v\":\"icost.rpc.v1\",\"id\":3,\"ok\":true,\"result\":{\"kind\":\
+     \"status\",\"uptime_s\":1.5,\"requests_total\":2,\"inflight\":0,\
+     \"queue_depth\":0,\"sessions\":0,\"cache_hits\":0,\"cache_misses\":0,\
+     \"cache_evictions\":0,\"snapshot_hits\":0,\"snapshot_misses\":0,\
+     \"snapshot_rejects\":0,\"sweep_points\":0,\"sweep_cache_hits\":0,\
+     \"pool_jobs\":1,\"shards\":2,\"health\":\"ok\",\"draining\":false}}"
+  in
+  match P.decode_reply legacy with
+  | Ok { P.body = Ok (P.R_status st); _ } ->
+    Alcotest.(check int) "legacy respawns default" 0 st.P.respawns;
+    Alcotest.(check int) "legacy failovers default" 0 st.P.failovers
+  | _ -> Alcotest.fail "legacy status frame did not decode"
 
 (* ---------- json ---------- *)
 
@@ -1657,6 +1701,8 @@ let suite =
         test_decode_rejects;
       Alcotest.test_case "protocol: error code names" `Quick
         test_error_code_names;
+      Alcotest.test_case "protocol: retry hints and status compat" `Quick
+        test_retry_hints_and_compat;
       Alcotest.test_case "protocol: idempotency and retryability" `Quick
         test_retry_classification;
       Alcotest.test_case "json: float bit round-trip" `Quick

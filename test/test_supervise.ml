@@ -1,0 +1,207 @@
+(* Tests for the shard supervisor's pure pieces — backoff jitter bounds
+   and determinism, the storm breaker's sliding window, the router <->
+   supervisor line codecs — and for the escalating reap, exercised
+   against real children including one that ignores SIGTERM.  The
+   supervisor's full monitor loop is covered end to end (kill -9,
+   rolling drain, storm breaker) through the router in test_router. *)
+
+module Supervise = Icost_service.Supervise
+module Prng = Icost_util.Prng
+
+let o = Supervise.default_opts
+
+(* ---------- backoff ---------- *)
+
+let test_backoff_bounds () =
+  let prng = Prng.create 42 in
+  (* first delay (prev = 0): the span collapses and the delay is exactly
+     the base — a single crash respawns as fast as allowed *)
+  Alcotest.(check (float 1e-9)) "first delay is the base"
+    o.Supervise.backoff_base_ms
+    (Supervise.backoff_ms o ~prng ~prev_ms:0.);
+  (* decorrelated jitter stays within [base, min cap (3*prev)] *)
+  let prev = ref o.Supervise.backoff_base_ms in
+  for _ = 1 to 200 do
+    let ms = Supervise.backoff_ms o ~prng ~prev_ms:!prev in
+    Alcotest.(check bool) "above base" true (ms >= o.Supervise.backoff_base_ms);
+    Alcotest.(check bool) "below cap" true (ms <= o.Supervise.backoff_cap_ms);
+    Alcotest.(check bool) "within 3x previous" true
+      (ms <= Float.max o.Supervise.backoff_base_ms (3. *. !prev) +. 1e-9);
+    prev := ms
+  done
+
+let test_backoff_deterministic () =
+  let sequence seed =
+    let prng = Prng.create seed in
+    let prev = ref 0. in
+    List.init 50 (fun _ ->
+        let ms = Supervise.backoff_ms o ~prng ~prev_ms:!prev in
+        prev := ms;
+        ms)
+  in
+  Alcotest.(check (list (float 1e-9))) "same seed, same schedule"
+    (sequence 7) (sequence 7);
+  Alcotest.(check bool) "different seeds decorrelate" true
+    (sequence 7 <> sequence 8)
+
+(* ---------- storm breaker ---------- *)
+
+let test_storm_trips_at_budget () =
+  let s = Supervise.storm_make () in
+  let t0 = 1000. in
+  (* budget - 1 crashes inside the window: still respawning *)
+  for k = 0 to o.Supervise.storm_budget - 2 do
+    match Supervise.storm_record o s ~now:(t0 +. float_of_int k) with
+    | `Ok -> ()
+    | `Tripped _ -> Alcotest.fail "tripped before the budget"
+  done;
+  (* the budget-th crash trips, with the cooldown measured from now *)
+  let now = t0 +. float_of_int o.Supervise.storm_budget in
+  (match Supervise.storm_record o s ~now with
+   | `Tripped until ->
+     Alcotest.(check (float 1e-9)) "cooldown from the tripping crash"
+       (now +. o.Supervise.breaker_cooldown_s) until
+   | `Ok -> Alcotest.fail "did not trip at the budget");
+  (* another quick death re-trips immediately: the window still holds
+     the storm *)
+  match Supervise.storm_record o s ~now:(now +. 0.5) with
+  | `Tripped _ -> ()
+  | `Ok -> Alcotest.fail "half-open crash must re-trip"
+
+let test_storm_window_slides () =
+  let s = Supervise.storm_make () in
+  (* crashes spaced wider than the window never accumulate *)
+  for k = 0 to (3 * o.Supervise.storm_budget) - 1 do
+    let now = float_of_int k *. (o.Supervise.storm_window_s +. 1.) in
+    match Supervise.storm_record o s ~now with
+    | `Ok -> ()
+    | `Tripped _ -> Alcotest.fail "spread-out crashes must not trip"
+  done;
+  (* a quiet period after a near-trip drains the window *)
+  let s = Supervise.storm_make () in
+  for k = 0 to o.Supervise.storm_budget - 2 do
+    ignore (Supervise.storm_record o s ~now:(float_of_int k))
+  done;
+  let later = (2. *. o.Supervise.storm_window_s) +. 100. in
+  match Supervise.storm_record o s ~now:later with
+  | `Ok -> ()
+  | `Tripped _ -> Alcotest.fail "window must slide off old crashes"
+
+(* ---------- wire codecs ---------- *)
+
+let test_event_codec () =
+  let cases =
+    [
+      Supervise.Up { shard = 3; pid = 4242; latency_ms = 87 };
+      Supervise.Down { shard = 0; reason = "exit 70" };
+      Supervise.Down { shard = 1; reason = "signal 9" };
+      Supervise.Down { shard = 2; reason = "" };
+      Supervise.Breaker_open { shard = 1; retry_after_ms = 2750 };
+      Supervise.Stopped;
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let line = Supervise.event_to_line ev in
+      Alcotest.(check bool) "one event per line" false (String.contains line '\n');
+      match Supervise.event_of_line line with
+      | Some ev' -> Alcotest.(check bool) ("round-trip: " ^ line) true (ev = ev')
+      | None -> Alcotest.fail ("event did not parse: " ^ line))
+    cases;
+  (* a reason with embedded newlines must not forge a second event *)
+  (match
+     Supervise.event_of_line
+       (Supervise.event_to_line
+          (Supervise.Down { shard = 0; reason = "a\nstopped" }))
+   with
+   | Some (Supervise.Down { reason; _ }) ->
+     Alcotest.(check string) "newlines flattened" "a stopped" reason
+   | _ -> Alcotest.fail "hostile reason did not parse");
+  List.iter
+    (fun junk ->
+      Alcotest.(check bool) ("rejected: " ^ junk) true
+        (Supervise.event_of_line junk = None))
+    [ ""; "up"; "up x 1 2"; "breaker 1"; "nonsense 1 2 3" ]
+
+let test_command_codec () =
+  List.iter
+    (fun cmd ->
+      match Supervise.command_of_line (Supervise.command_to_line cmd) with
+      | Some cmd' -> Alcotest.(check bool) "round-trip" true (cmd = cmd')
+      | None -> Alcotest.fail "command did not parse")
+    [ Supervise.Drain 0; Supervise.Drain 7; Supervise.Stop ];
+  List.iter
+    (fun junk ->
+      Alcotest.(check bool) ("rejected: " ^ junk) true
+        (Supervise.command_of_line junk = None))
+    [ ""; "drain"; "drain x"; "halt" ]
+
+(* ---------- escalating reap ---------- *)
+
+(* Three children: one exits on its own, one dies on SIGTERM, one
+   ignores SIGTERM and must be SIGKILLed.  The reap must collect all
+   three, never block forever, and not take the full SIGKILL escalation
+   time for the cooperative ones. *)
+let test_reap_escalates () =
+  let fork_child ~ignore_term ~linger_s =
+    match Unix.fork () with
+    | 0 ->
+      if ignore_term then Sys.set_signal Sys.sigterm Sys.Signal_ignore;
+      let stop = Unix.gettimeofday () +. linger_s in
+      while Unix.gettimeofday () < stop do
+        ignore (Unix.select [] [] [] 0.05)
+      done;
+      Unix._exit 0
+    | pid -> pid
+  in
+  let prompt = fork_child ~ignore_term:false ~linger_s:0.1 in
+  let termable = fork_child ~ignore_term:false ~linger_s:60. in
+  let stubborn = fork_child ~ignore_term:true ~linger_s:60. in
+  let t0 = Unix.gettimeofday () in
+  Supervise.reap ~grace_s:0.3 [ prompt; termable; stubborn ];
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* all three are really gone: waitpid says "no such child" *)
+  List.iter
+    (fun pid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d reaped" pid)
+        true
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+         | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+         | _ -> false))
+    [ prompt; termable; stubborn ];
+  (* poll+SIGTERM+SIGKILL at 0.3s grace steps: well under the 60s the
+     lingering children wanted, and under the abandon deadline *)
+  Alcotest.(check bool)
+    (Printf.sprintf "escalation bounded (%.2fs)" elapsed)
+    true (elapsed < 5.)
+
+let test_reap_empty_and_gone () =
+  (* no pids: a no-op *)
+  Supervise.reap ~grace_s:0.1 [];
+  (* an already-reaped pid (not our child anymore) must not hang *)
+  let pid =
+    match Unix.fork () with 0 -> Unix._exit 0 | pid -> pid
+  in
+  ignore (Unix.waitpid [] pid);
+  let t0 = Unix.gettimeofday () in
+  Supervise.reap ~grace_s:0.1 [ pid ];
+  Alcotest.(check bool) "gone pid returns immediately" true
+    (Unix.gettimeofday () -. t0 < 1.)
+
+let suite =
+  ( "supervise",
+    [
+      Alcotest.test_case "backoff: jitter bounds" `Quick test_backoff_bounds;
+      Alcotest.test_case "backoff: deterministic per seed" `Quick
+        test_backoff_deterministic;
+      Alcotest.test_case "storm: trips at the budget" `Quick
+        test_storm_trips_at_budget;
+      Alcotest.test_case "storm: window slides" `Quick test_storm_window_slides;
+      Alcotest.test_case "wire: event codec" `Quick test_event_codec;
+      Alcotest.test_case "wire: command codec" `Quick test_command_codec;
+      Alcotest.test_case "reap: escalates TERM to KILL" `Slow
+        test_reap_escalates;
+      Alcotest.test_case "reap: empty and already-gone pids" `Quick
+        test_reap_empty_and_gone;
+    ] )

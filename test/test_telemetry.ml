@@ -272,9 +272,19 @@ let check_manifest m =
   | _ -> Alcotest.fail "manifest.jobs not a number");
   (* faults are off in this test, so the manifest marks a clean run *)
   Alcotest.(check string) "manifest.faults" "none" (str_field m "faults");
-  match field m "retries" with
+  (match field m "retries" with
   | Num f -> Alcotest.(check bool) "manifest.retries >= 0" true (f >= 0.)
-  | _ -> Alcotest.fail "manifest.retries not a number"
+  | _ -> Alcotest.fail "manifest.retries not a number");
+  (* supervision tallies: present in every manifest (0 when the process
+     runs no shard fleet), so chaos artifacts are self-describing *)
+  List.iter
+    (fun k ->
+      match field m k with
+      | Num f ->
+        Alcotest.(check bool) (Printf.sprintf "manifest.%s >= 0" k) true
+          (f >= 0.)
+      | _ -> Alcotest.failf "manifest.%s not a number" k)
+    [ "respawns"; "failovers" ]
 
 let test_artifacts_roundtrip () =
   with_clean_sink @@ fun () ->
