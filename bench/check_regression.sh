@@ -6,7 +6,8 @@
 # absolutely inside the load run itself) and fail
 # (exit 1) if any row regressed more than 25% against its committed baseline —
 # BENCH_engines.json for micro, BENCH_service.json for service,
-# BENCH_load.json for load, BENCH_sweep.json for the sensitivity sweep —
+# BENCH_load.json for load, BENCH_sweep.json for the sensitivity sweep,
+# BENCH_stream.json for the bounded-memory streaming analysis —
 # or if a baseline row was not measured at all.
 # The gate is direction-aware: "-qps" rows regress by dropping, latency rows
 # by rising.  On failure the harness prints a per-row delta table of the
@@ -25,11 +26,18 @@
 # ICOST_SWEEP_GATE=0 to keep only the relative-to-baseline checks on
 # noisy runners.
 #
+# The stream phase's row values are normalized per million instructions,
+# so ICOST_STREAM_INSNS (default 10M) can scale the run down on slow
+# runners while still comparing against the committed baseline; its
+# absolute gates (bit-identity, bounded peak heap) are skipped with
+# ICOST_STREAM_GATE=0.
+#
 # Refresh the baselines after an intentional change with:
 #   dune exec bench/main.exe -- micro --json BENCH_engines.json
 #   dune exec bench/main.exe -- service --json BENCH_service.json
 #   dune exec bench/main.exe -- load --json BENCH_load.json
 #   dune exec bench/main.exe -- sweep --json BENCH_sweep.json
+#   dune exec bench/main.exe -- stream --json BENCH_stream.json
 set -e
 cd "$(dirname "$0")/.."
 ICOST_JOBS="${ICOST_JOBS:-1}"
@@ -53,4 +61,9 @@ if [ -n "${BENCH_SWEEP_JSON:-}" ]; then
   dune exec bench/main.exe -- sweep --baseline BENCH_sweep.json --json "$BENCH_SWEEP_JSON"
 else
   dune exec bench/main.exe -- sweep --baseline BENCH_sweep.json
+fi
+if [ -n "${BENCH_STREAM_JSON:-}" ]; then
+  dune exec bench/main.exe -- stream --baseline BENCH_stream.json --json "$BENCH_STREAM_JSON"
+else
+  dune exec bench/main.exe -- stream --baseline BENCH_stream.json
 fi

@@ -42,6 +42,18 @@
                                                  ICOST_SWEEP_GATE=0 to skip;
                                                  cannot combine with other
                                                  modes — it re-pins the pool)
+     dune exec bench/main.exe -- stream       -- bounded-memory streaming
+                                                 analysis of a 10M-instruction
+                                                 run plus a 10x-smaller one
+                                                 (BENCH_stream.json is the
+                                                 committed record; gates:
+                                                 bit-identical to monolithic
+                                                 on one window, big run's
+                                                 peak heap <= 2x small run's;
+                                                 ICOST_STREAM_INSNS scales it
+                                                 down for CI smokes,
+                                                 ICOST_STREAM_GATE=0 skips
+                                                 the absolute gates)
 
    Micro-benchmark flags (see also bench/check_regression.sh):
      --json FILE        dump the measured times as JSON (BENCH_engines.json
@@ -1161,6 +1173,139 @@ let write_sweep_json file (rows : (string * float) list) =
   Printf.printf "wrote %s\n" file
 
 (* ------------------------------------------------------------------ *)
+(* Streaming mode: bounded-memory analysis of a 10M-instruction run    *)
+(* ------------------------------------------------------------------ *)
+
+module Stream_core = Icost_stream.Core
+module Stream_source = Icost_stream.Source
+
+(* [-- stream]: push ICOST_STREAM_INSNS (default 10M) instructions of
+   gcc — three orders of magnitude past the monolithic window — through
+   the segmented core, and also a run one tenth the size.  Two absolute
+   gates make the phase self-verifying:
+
+   - bounded memory: the big run's peak heap may be at most
+     ICOST_STREAM_MEM_FACTOR (default 2.0) times the small run's, even
+     though it analyzes 10x the instructions;
+   - exactness: the streamed aggregate over one monolithic-size window
+     must be bit-identical to [Graph.eval_subsets] on all 256 subsets
+     (the in-process twin of the [stream-matches-monolithic] law).
+
+   Row values are normalized per million instructions, so a CI smoke at
+   a smaller ICOST_STREAM_INSNS still compares against the committed
+   BENCH_stream.json (ICOST_STREAM_GATE=0 keeps only the relative
+   check). *)
+let stream_bench = "gcc"
+let stream_warmup = 20_000
+
+let run_stream () : (string * float) list =
+  let insns = env_int "ICOST_STREAM_INSNS" 10_000_000 in
+  let small = max 100_000 (insns / 10) in
+  let mem_factor = env_float "ICOST_STREAM_MEM_FACTOR" 2.0 in
+  let gate = Sys.getenv_opt "ICOST_STREAM_GATE" <> Some "0" in
+  let w = Workload.find_exn stream_bench in
+  let cfg = Config.default in
+  let analyze n =
+    let src =
+      Stream_source.of_program cfg (w.Workload.build ())
+        ~warmup:stream_warmup ~max_insns:n
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Stream_core.analyze cfg src in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  (* bit-identity spot check on one monolithic-size window *)
+  let p =
+    Runner.prepare
+      { Runner.warmup = stream_warmup; measure = 30_000;
+        benches = [ stream_bench ] }
+      w
+  in
+  let all_subsets = Array.init 256 (fun s -> s) in
+  let mono =
+    Graph.eval_subsets
+      (Build.of_sim cfg p.trace p.evts (Runner.baseline_run cfg p))
+      all_subsets
+  in
+  let streamed =
+    Stream_core.analyze cfg (Stream_source.of_arrays p.trace.Icost_isa.Trace.instrs p.evts)
+  in
+  let identical = streamed.Stream_core.times = mono in
+  (* warm the allocator and the domain pool so the small run's peak heap
+     is a fair yardstick rather than the GC's opening ramp *)
+  ignore (analyze 100_000);
+  let r_small, small_ms = analyze small in
+  let r_big, big_ms = analyze insns in
+  let peak_small = Stream_core.peak_mb r_small in
+  let peak_big = Stream_core.peak_mb r_big in
+  let per_m ms n = ms /. (Float.of_int n /. 1e6) in
+  Printf.printf
+    "\nstreaming analysis (%s, %d-instruction segments):\n" stream_bench
+    r_big.Stream_core.segment_insns;
+  Printf.printf
+    "  %8dk instructions  %8.0f ms  (%7.1f ms/M)  %4d segments  peak %6.1f MB\n"
+    (small / 1000) small_ms (per_m small_ms small)
+    r_small.Stream_core.segments peak_small;
+  Printf.printf
+    "  %8dk instructions  %8.0f ms  (%7.1f ms/M)  %4d segments  peak %6.1f MB\n"
+    (insns / 1000) big_ms (per_m big_ms insns) r_big.Stream_core.segments
+    peak_big;
+  Printf.printf "  window aggregate bit-identical to monolithic graph: %s\n"
+    (if identical then "yes" else "NO");
+  let complete =
+    r_big.Stream_core.instrs = insns && r_small.Stream_core.instrs = small
+  in
+  let bounded = peak_big <= peak_small *. mem_factor in
+  let pass = (not gate) || (identical && complete && bounded) in
+  Printf.printf
+    "  stream gate (bit-identical, all instructions analyzed, 10x run <= \
+     %.1fx small-run heap): %s\n"
+    mem_factor
+    (if not gate then "SKIPPED (ICOST_STREAM_GATE=0)"
+     else if pass then "PASS"
+     else "FAIL");
+  if not pass then exit 1;
+  [
+    ("stream/analyze-ms-per-minsn", per_m big_ms insns);
+    ("stream/analyze-small-ms-per-minsn", per_m small_ms small);
+    ("stream/peak-mb", peak_big);
+    ("stream/peak-mb-small", peak_small);
+  ]
+
+(* BENCH_stream.json: the committed streaming baseline, same row format
+   as the other records plus the run settings and manifest. *)
+let write_stream_json file (rows : (string * float) list) =
+  let manifest =
+    Icost_report.Telemetry_export.manifest
+      ~config_digest:(Icost_report.Telemetry_export.digest Config.default)
+      ~seed:Icost_profiler.Sampler.default_opts.seed
+      ~workloads:[ stream_bench ] ()
+  in
+  let oc = open_out file in
+  output_string oc "{\n";
+  output_string oc "  \"schema\": \"icost.stream-bench.v1\",\n";
+  output_string oc
+    "  \"generated-by\": \"dune exec bench/main.exe -- stream --json\",\n";
+  output_string oc "  \"unit\": \"ms per million instructions / MB\",\n";
+  Printf.fprintf oc "  \"settings\": {\n";
+  Printf.fprintf oc "    \"insns\": %d,\n" (env_int "ICOST_STREAM_INSNS" 10_000_000);
+  Printf.fprintf oc "    \"segment-insns\": %d,\n" Stream_core.default_segment_insns;
+  Printf.fprintf oc "    \"warmup\": %d\n" stream_warmup;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"manifest\": %s,\n"
+    (Icost_report.Telemetry_export.manifest_json manifest);
+  output_string oc "  \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    %S: %.4f%s\n" name v
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1230,6 +1375,16 @@ let () =
       failwith "-- sweep cannot be combined with other bench modes";
     let rows = run_sweep_bench () in
     Option.iter (fun f -> write_sweep_json f rows) !json_file;
+    Option.iter (fun f -> check_regressions ~baseline_file:f rows) !baseline_file;
+    exit 0
+  end;
+  (* [-- stream] owns its invocation too: its wall-clock dwarfs the other
+     modes (a 10M-instruction analysis), and it writes its own record. *)
+  if List.mem "stream" ids then begin
+    if List.exists (fun i -> i <> "stream") ids then
+      failwith "-- stream cannot be combined with other bench modes";
+    let rows = run_stream () in
+    Option.iter (fun f -> write_stream_json f rows) !json_file;
     Option.iter (fun f -> check_regressions ~baseline_file:f rows) !baseline_file;
     exit 0
   end;

@@ -6,6 +6,7 @@
      icost        costs/icosts of chosen category sets
      graph        dump a dependence graph (text or DOT)
      sweep        d(cycles)/d(param) sensitivity curves, knees, resize ROI
+     stream       bounded-memory streaming analysis of arbitrarily long runs
      experiment   regenerate a paper table/figure (or "all")
      check        cross-engine conformance laws on kernels + fuzzed programs
      serve        resident analysis daemon on a Unix socket (icost.rpc.v1)
@@ -39,6 +40,8 @@ module Harness = Icost_check.Harness
 module Laws = Icost_check.Laws
 module Sparam = Icost_sensitivity.Param
 module Sweep = Icost_sensitivity.Sweep
+module Stream = Icost_stream.Core
+module Stream_source = Icost_stream.Source
 module Json = Icost_service.Json
 open Cmdliner
 
@@ -141,10 +144,11 @@ let variant_arg =
        & info [ "variant" ] ~doc)
 
 let oracle_arg =
-  let doc = "Cost oracle: graph, multisim or profiler." in
+  let doc = "Cost oracle: graph, multisim, profiler or stream." in
   Arg.(value
        & opt (enum [ ("graph", Runner.Fullgraph); ("multisim", Runner.Multisim);
-                     ("profiler", Runner.Profiler) ]) Runner.Fullgraph
+                     ("profiler", Runner.Profiler); ("stream", Runner.Streamed) ])
+           Runner.Fullgraph
        & info [ "oracle" ] ~doc)
 
 let seed_arg =
@@ -506,6 +510,123 @@ let sweep_cmd =
           $ knee_arg $ json_arg $ csv_arg $ warmup_arg $ measure_arg
           $ common_term)
 
+(* --- stream --- *)
+
+(* The icost.stream.v1 document: run manifest + totals + one telemetry
+   object per segment, in segment order.  CI smoke-validates this shape
+   (manifest present, segment count consistent, ids monotone). *)
+let stream_json ~bench ~variant ~cfg ~warmup (r : Stream.result) =
+  let seg (st : Stream.seg_stat) =
+    Json.Obj
+      [ ("id", Json.Int st.Stream.seg_id);
+        ("start", Json.Int st.Stream.seg_start);
+        ("len", Json.Int st.Stream.seg_len);
+        ("cum_cycles", Json.Int st.Stream.cum_cycles);
+        ("heap_words", Json.Int st.Stream.heap_words);
+      ]
+  in
+  let o = Cost.memoize (Stream.oracle r) in
+  let base = Cost.query o Category.Set.empty in
+  let costs =
+    List.map
+      (fun c ->
+        ( Category.name c,
+          Json.Obj
+            [ ("cost", Json.Float (Cost.cost o (Category.Set.singleton c)));
+              ("percent",
+               Json.Float
+                 (if base > 0. then
+                    100. *. Cost.cost o (Category.Set.singleton c) /. base
+                  else 0.));
+            ] ))
+      Category.all
+  in
+  let body =
+    Json.Obj
+      [ ("workload", Json.Str bench);
+        ("variant", Json.Str (variant_name variant));
+        ("settings",
+         Json.Obj
+           [ ("warmup", Json.Int warmup);
+             ("segment_insns", Json.Int r.Stream.segment_insns);
+           ]);
+        ("instructions", Json.Int r.Stream.instrs);
+        ("cycles", Json.Int r.Stream.cycles);
+        ("ipc",
+         Json.Float
+           (if r.Stream.cycles > 0 then
+              float_of_int r.Stream.instrs /. float_of_int r.Stream.cycles
+            else 0.));
+        ("segments", Json.Int r.Stream.segments);
+        ("peak_mb", Json.Float (Stream.peak_mb r));
+        ("costs", Json.Obj costs);
+        ("segment_stats", Json.Arr (List.map seg r.Stream.seg_stats));
+      ]
+  in
+  let m =
+    Texport.manifest ~version ~config_digest:(Texport.digest cfg)
+      ~seed:Icost_profiler.Sampler.default_opts.seed ~workloads:[ bench ] ()
+  in
+  let rest = Json.encode body in
+  Printf.sprintf "{\"schema\":\"icost.stream.v1\",\"manifest\":%s,%s\n"
+    (Texport.manifest_json m)
+    (String.sub rest 1 (String.length rest - 1))
+
+let stream_cmd =
+  let segment_arg =
+    let doc = "Instructions per streamed segment (bounded-memory unit of \
+               work)." in
+    Arg.(value & opt int Stream.default_segment_insns
+         & info [ "segment-insns" ] ~docv:"N" ~doc)
+  in
+  let max_insns_arg =
+    let doc = "Instructions to analyze after warm-up.  Unlike the \
+               monolithic commands, memory stays O(segment + window) \
+               however large this is." in
+    Arg.(value & opt int 1_000_000 & info [ "max-insns" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the icost.stream.v1 JSON document (with run manifest) \
+               instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run bench variant segment_insns max_insns warmup json telem =
+    let cfg = config_of_variant variant in
+    with_telemetry telem ~cfg ~benches:[ bench ] @@ fun () ->
+    let w = Workload.find_exn bench in
+    let src =
+      Stream_source.of_program cfg (w.Workload.build ()) ~warmup
+        ~max_insns
+    in
+    let r = Stream.analyze ~segment_insns cfg src in
+    if json then print_string (stream_json ~bench ~variant ~cfg ~warmup r)
+    else begin
+      Printf.printf
+        "%s (%s machine): %d instructions in %d cycles (IPC %.2f)\n" bench
+        (variant_name variant) r.Stream.instrs r.Stream.cycles
+        (if r.Stream.cycles > 0 then
+           float_of_int r.Stream.instrs /. float_of_int r.Stream.cycles
+         else 0.);
+      Printf.printf
+        "  %d segments of %d instructions, peak heap %.1f MB\n"
+        r.Stream.segments r.Stream.segment_insns (Stream.peak_mb r);
+      let o = Cost.memoize (Stream.oracle r) in
+      let base = Cost.query o Category.Set.empty in
+      List.iter
+        (fun c ->
+          let cost = Cost.cost o (Category.Set.singleton c) in
+          Printf.printf "  %-8s cost %10.0f cycles (%5.1f%%)\n"
+            (Category.name c) cost
+            (if base > 0. then 100. *. cost /. base else 0.))
+        Category.all
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Bounded-memory streaming analysis of arbitrarily long runs")
+    Term.(const run $ bench_arg $ variant_arg $ segment_arg $ max_insns_arg
+          $ warmup_arg $ json_arg $ common_term)
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -702,7 +823,9 @@ let query_cmd =
     Arg.(value & opt string "base" & info [ "variant" ] ~doc)
   in
   let engine_arg =
-    let doc = "Cost engine: graph, multisim or profiler." in
+    let doc = "Cost engine: graph, multisim, profiler or stream \
+               (segmented bounded-memory re-analysis, bit-identical to \
+               graph on the same window)." in
     Arg.(value & opt string "graph" & info [ "oracle"; "engine" ] ~doc)
   in
   let sets_arg =
@@ -856,11 +979,12 @@ let query_cmd =
           "uptime %.1f s, %d request(s), %d running, queue %d, %d session(s)\n\
            cache: %d hit(s), %d miss(es), %d eviction(s); snapshot: %d \
            hit(s), %d miss(es), %d reject(s); sweep: %d point(s), %d \
-           cached; %d pool job(s); %shealth %s%s\n"
+           cached; stream: %d segment(s), peak %.1f MB; %d pool job(s); \
+           %shealth %s%s\n"
           s.uptime_s s.requests_total s.inflight s.queue_depth s.sessions
           s.cache_hits s.cache_misses s.cache_evictions s.snapshot_hits
           s.snapshot_misses s.snapshot_rejects s.sweep_points
-          s.sweep_cache_hits s.pool_jobs
+          s.sweep_cache_hits s.segments s.stream_peak_mb s.pool_jobs
           (if s.shards > 0 then
              Printf.sprintf "%d shard(s), %d respawn(s), %d failover(s); "
                s.shards s.respawns s.failovers
@@ -922,8 +1046,8 @@ let check_cmd =
          & info [ "gen-cases" ] ~docv:"N" ~doc)
   in
   let laws_arg =
-    let doc = "Comma-separated law ids to evaluate (default: the whole \
-               table; see --list-laws)." in
+    let doc = "Comma-separated law ids or family names (e.g. 'streaming') \
+               to evaluate (default: the whole table; see --list-laws)." in
     Arg.(value & opt (some string) None & info [ "laws" ] ~docv:"IDS" ~doc)
   in
   let list_laws_arg =
@@ -994,18 +1118,25 @@ let check_cmd =
         | None ->
           let only =
             Option.map
-              (fun s -> String.split_on_char ',' s |> List.map String.trim)
+              (fun s ->
+                String.split_on_char ',' s |> List.map String.trim
+                |> List.concat_map (fun tok ->
+                       if Laws.find tok <> None then [ tok ]
+                       else
+                         match
+                           List.filter
+                             (fun (l : Laws.law) ->
+                               Laws.family_name l.Laws.family = tok)
+                             Laws.all
+                         with
+                         | [] ->
+                           failwith
+                             (Printf.sprintf
+                                "unknown law or family %S (see --list-laws)"
+                                tok)
+                         | ls -> List.map (fun (l : Laws.law) -> l.Laws.id) ls))
               laws
           in
-          Option.iter
-            (fun ids ->
-              List.iter
-                (fun id ->
-                  if Laws.find id = None then
-                    failwith
-                      (Printf.sprintf "unknown law %S (see --list-laws)" id))
-                ids)
-            only;
           let benches =
             match benches with
             | None -> []
@@ -1056,4 +1187,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; breakdown_cmd; icost_cmd; graph_cmd; advise_cmd;
-         sweep_cmd; experiment_cmd; check_cmd; serve_cmd; query_cmd ]))
+         sweep_cmd; stream_cmd; experiment_cmd; check_cmd; serve_cmd;
+         query_cmd ]))

@@ -15,6 +15,8 @@ module Profile = Icost_profiler.Profile
 module Runner = Icost_experiments.Runner
 module Sparam = Icost_sensitivity.Param
 module Sweep = Icost_sensitivity.Sweep
+module Stream_core = Icost_stream.Core
+module Stream_source = Icost_stream.Source
 module Set = Category.Set
 
 type ctx = {
@@ -204,13 +206,14 @@ let relaxations (cfg : Config.t) =
 
 (* --- the table --- *)
 
-type family = Algebraic | Metamorphic | Differential | Determinism
+type family = Algebraic | Metamorphic | Differential | Determinism | Streaming
 
 let family_name = function
   | Algebraic -> "algebraic"
   | Metamorphic -> "metamorphic"
   | Differential -> "differential"
   | Determinism -> "determinism"
+  | Streaming -> "streaming"
 
 type law = {
   id : string;
@@ -642,6 +645,50 @@ let law_diff_share_prof_graph =
                      ~detail:(Category.name c) share_pr share_fg))
             Category.all)
 
+(* --- streaming laws --- *)
+
+(* Feed the streaming core exactly the window the monolithic engines saw.
+   A segment size well below the ROB window forces every seam kind
+   (pinned structural edges, carried data/line floors, split miss
+   windows). *)
+let stream_over ctx ~segment_insns =
+  Stream_core.analyze ~segment_insns ctx.cfg
+    (Stream_source.of_arrays ctx.prepared.Runner.trace.Trace.instrs
+       ctx.prepared.Runner.evts)
+
+let law_stream_matches_monolithic =
+  let tol = Exact in
+  mk "stream-matches-monolithic" Streaming tol
+    "segmented streaming aggregate is bit-identical to the fullgraph on \
+     every subset" (fun ctx ->
+      let r = stream_over ctx ~segment_insns:512 in
+      let scale = scale_of ctx in
+      List.map
+        (fun s ->
+          eq_outcome ~tol ~scale ~engine:"fullgraph" ~detail:(Set.name s)
+            (float_of_int r.Stream_core.times.(s))
+            (Cost.query ctx.fg s))
+        (Set.subsets Set.full))
+
+let law_stream_segment_invariance =
+  let tol = Exact in
+  mk "stream-segment-invariance" Streaming tol
+    "halving or doubling the segment size leaves the streamed aggregate \
+     bit-identical" (fun ctx ->
+      let r0 = stream_over ctx ~segment_insns:512 in
+      let scale = scale_of ctx in
+      List.concat_map
+        (fun seg ->
+          let r = stream_over ctx ~segment_insns:seg in
+          List.map
+            (fun s ->
+              eq_outcome ~tol ~scale ~engine:"stream"
+                ~detail:(Printf.sprintf "seg=%d %s" seg (Set.name s))
+                (float_of_int r.Stream_core.times.(s))
+                (float_of_int r0.Stream_core.times.(s)))
+            (Set.subsets pow_set))
+        [ 256; 1024 ])
+
 let all =
   [
     law_empty_zero;
@@ -665,6 +712,8 @@ let all =
     law_diff_cost_graph_sim;
     law_sliced_eval_exact;
     law_diff_share_prof_graph;
+    law_stream_matches_monolithic;
+    law_stream_segment_invariance;
   ]
 
 let find id = List.find_opt (fun l -> l.id = id) all

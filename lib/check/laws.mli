@@ -73,7 +73,7 @@ type outcome = {
 
 (** {1 The law table} *)
 
-type family = Algebraic | Metamorphic | Differential | Determinism
+type family = Algebraic | Metamorphic | Differential | Determinism | Streaming
 
 val family_name : family -> string
 

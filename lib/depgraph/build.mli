@@ -52,6 +52,20 @@ val exec_decomposition :
 
 val info_of_sim : Config.t -> Trace.dyn -> Events.evt -> Ooo.slot -> instr_info
 
+val emit :
+  params ->
+  Graph.Builder.b ->
+  prev_mispredict:bool ->
+  taken_limit_src:int option ->
+  seq:int ->
+  instr_info ->
+  unit
+(** Emit all edges of one instruction into a builder (calls
+    [Builder.note_instr] itself).  [taken_limit_src] is the dispatch of the
+    (m - fetch_taken_limit)-th taken branch for the m-th.  Exposed so the
+    streaming core can grow segment fragments with the exact same
+    edge-emission logic as the monolithic graph. *)
+
 val of_infos : params -> instr_info array -> Graph.t
 
 val of_sim : Config.t -> Trace.t -> Events.evt array -> Ooo.result -> Graph.t

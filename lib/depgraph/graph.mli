@@ -159,6 +159,34 @@ val eval_slices : ?lanes:int -> t -> Category.Set.t array -> int array
     lane the max-plus recurrence is identical to the scalar pass, so the
     result is invariant under [lanes] and the pool job count. *)
 
+val eval_lanes_pinned :
+  t ->
+  Category.Set.t array ->
+  lo:int ->
+  nl:int ->
+  n_pinned:int ->
+  pinned:int array ->
+  pin_stride:int ->
+  ext_floors:(int * int array) array ->
+  latbuf:int array ->
+  lset:int array ->
+  ktab:int array array ->
+  slab:int array ->
+  unit
+(** Bit-sliced pass over a streaming segment fragment: the first
+    [n_pinned] nodes are boundary nodes loaded verbatim from [pinned]
+    (node-major, stride [pin_stride], lane offset [lo]) instead of
+    evaluated, and [ext_floors] (sorted by node, rows offset by [lo])
+    injects per-lane lower bounds for producers older than the pinned
+    prefix.  Evaluates lanes [sets.(lo) .. sets.(lo + nl - 1)]
+    ([nl <= max_lanes]) into the caller's [slab] (node-major, stride
+    [nl]), which is retained so the caller can extract the next segment's
+    boundary carries.  [latbuf]/[lset] are scratch of length >= [nl];
+    [ktab] must have 256 rows of length >= [nl] with row 0 all [-1].
+    Since every edge satisfies [src < dst], continuing the recurrence from
+    pinned absolute times is exactly the monolithic evaluation restarted
+    mid-graph (bit-exact). *)
+
 val cost_of_edges : ?ideal:Category.Set.t -> t -> (edge -> bool) -> int
 (** Speedup from zeroing every matching edge (Tune et al.). *)
 

@@ -28,6 +28,8 @@ module Profile = Icost_profiler.Profile
 module Sampler = Icost_profiler.Sampler
 module Workload = Icost_workloads.Workload
 module Cost = Icost_core.Cost
+module Stream_core = Icost_stream.Core
+module Stream_source = Icost_stream.Source
 
 type settings = { warmup : int; measure : int; benches : string list }
 
@@ -113,12 +115,27 @@ let profiler_oracle ?opts ?baseline (cfg : Config.t) (p : prepared) :
     Cost.oracle =
   Cost.memoize (Profile.oracle (profiler_run ?opts ?baseline cfg p))
 
-type oracle_kind = Multisim | Fullgraph | Profiler
+(* The streaming engine re-analyzes the prepared window in bounded-memory
+   segments; on an already-sliced window it is bit-identical to the
+   fullgraph on every subset (the [stream-matches-monolithic] law), so a
+   resident server can offer it as a drop-in engine whose memory stays
+   O(segment) however long the measure window grows. *)
+let stream_run ?segment_insns (cfg : Config.t) (p : prepared) :
+    Stream_core.result =
+  Stream_core.analyze ?segment_insns cfg
+    (Stream_source.of_arrays p.trace.Trace.instrs p.evts)
+
+let stream_oracle ?segment_insns (cfg : Config.t) (p : prepared) : Cost.oracle
+    =
+  Cost.memoize (Stream_core.oracle (stream_run ?segment_insns cfg p))
+
+type oracle_kind = Multisim | Fullgraph | Profiler | Streamed
 
 let oracle_kind_name = function
   | Multisim -> "multisim"
   | Fullgraph -> "fullgraph"
   | Profiler -> "profiler"
+  | Streamed -> "stream"
 
 (* [?seed] re-seeds the profiler's sampling PRNG (the only source of
    randomness past preparation; interpretation and annotation are
@@ -134,3 +151,4 @@ let oracle_of_kind ?opts ?seed ?baseline kind cfg p =
   | Multisim -> multisim_oracle cfg p
   | Fullgraph -> graph_oracle ?baseline cfg p
   | Profiler -> profiler_oracle ?opts:(sampler_opts ?opts ?seed ()) ?baseline cfg p
+  | Streamed -> stream_oracle cfg p

@@ -66,93 +66,131 @@ let eval_cond cond a b =
   | Isa.Lt -> a < b
   | Isa.Ge -> a >= b
 
-(** [run ?config program] executes [program] and returns its trace. *)
-let run ?(config = default_config) (p : Program.t) : Trace.t =
-  let st = init_state p in
-  let out = ref [] in
-  let count = ref 0 in
-  let halted = ref false in
+(* Stateful stepper: the run loop body factored out so callers can pull
+   dynamic instructions one at a time (the streaming pipeline interprets
+   unbounded traces without materializing them).  [run] below is a thin
+   wrapper, so both paths share one source of truth. *)
+type stepper = {
+  s_cfg : config;
+  s_program : Program.t;
+  s_len : int;
+  s_st : state;
   (* last_writer.(r) = seq of the most recent dynamic instruction that wrote
      register r, or -1 if none yet. *)
-  let last_writer = Array.make Isa.num_regs (-1) in
+  s_last_writer : int array;
   (* last_store maps byte address -> seq of most recent store to it. *)
-  let last_store : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let n = Program.length p in
-  (try
-     while !count < config.max_instrs do
-       let ix = st.pc_ix in
-       if ix < 0 || ix >= n then
-         raise (Stuck (Printf.sprintf "PC fell off the program at index %d" ix));
-       let instr = Program.fetch p ix in
-       let seq = !count in
-       let pc = Isa.pc_of_index ix in
-       let reg_deps =
-         List.filter_map
-           (fun r ->
-             let w = last_writer.(r) in
-             if w >= 0 then Some (r, w) else None)
-           (Isa.sources instr)
-       in
-       let mem_addr = ref None in
-       let mem_dep = ref None in
-       let taken = ref false in
-       let next_ix = ref (ix + 1) in
-       (match instr with
-        | Isa.Alu { op; rd; rs1; src2 } ->
-          let a = read_reg st rs1 in
-          let b = match src2 with Isa.Reg r -> read_reg st r | Isa.Imm v -> v in
-          write_reg st rd (eval_alu config op a b)
-        | Isa.Fpu { op; rd; rs1; rs2 } ->
-          write_reg st rd (eval_fpu op (read_reg st rs1) (read_reg st rs2))
-        | Isa.Load { rd; base; offset } ->
-          let addr = read_reg st base + offset in
-          mem_addr := Some addr;
-          mem_dep := Hashtbl.find_opt last_store addr;
-          write_reg st rd (read_mem st addr)
-        | Isa.Store { rs; base; offset } ->
-          let addr = read_reg st base + offset in
-          mem_addr := Some addr;
-          write_mem st addr (read_reg st rs);
-          Hashtbl.replace last_store addr seq
-        | Isa.Branch { cond; rs1; rs2; target } ->
-          if eval_cond cond (read_reg st rs1) (read_reg st rs2) then begin
-            taken := true;
-            next_ix := target
-          end
-        | Isa.Jump { target } ->
-          taken := true;
-          next_ix := target
-        | Isa.Call { target } ->
-          taken := true;
-          write_reg st Isa.reg_ra (Isa.pc_of_index (ix + 1));
-          next_ix := target
-        | Isa.Ret ->
-          taken := true;
-          next_ix := Isa.index_of_pc (read_reg st Isa.reg_ra)
-        | Isa.Jump_reg { rs } ->
-          taken := true;
-          next_ix := Isa.index_of_pc (read_reg st rs)
-        | Isa.Halt ->
-          halted := true;
-          raise Exit);
-       (match Isa.dest instr with
-        | Some rd -> last_writer.(rd) <- seq
-        | None -> ());
-       st.pc_ix <- !next_ix;
-       out :=
-         {
-           Trace.seq;
-           static_ix = ix;
-           pc;
-           instr;
-           reg_deps;
-           mem_addr = !mem_addr;
-           mem_dep = !mem_dep;
-           taken = !taken;
-           next_pc = Isa.pc_of_index !next_ix;
-         }
-         :: !out;
-       incr count
-     done
-   with Exit -> ());
-  { Trace.program = p; instrs = Array.of_list (List.rev !out); halted = !halted }
+  s_last_store : (int, int) Hashtbl.t;
+  mutable s_count : int;
+  mutable s_halted : bool;
+}
+
+let stepper ?(config = default_config) (p : Program.t) : stepper =
+  {
+    s_cfg = config;
+    s_program = p;
+    s_len = Program.length p;
+    s_st = init_state p;
+    s_last_writer = Array.make Isa.num_regs (-1);
+    s_last_store = Hashtbl.create 1024;
+    s_count = 0;
+    s_halted = false;
+  }
+
+let step (s : stepper) : Trace.dyn option =
+  if s.s_halted || s.s_count >= s.s_cfg.max_instrs then None
+  else begin
+    let st = s.s_st in
+    let ix = st.pc_ix in
+    if ix < 0 || ix >= s.s_len then
+      raise (Stuck (Printf.sprintf "PC fell off the program at index %d" ix));
+    let instr = Program.fetch s.s_program ix in
+    let seq = s.s_count in
+    let pc = Isa.pc_of_index ix in
+    let reg_deps =
+      List.filter_map
+        (fun r ->
+          let w = s.s_last_writer.(r) in
+          if w >= 0 then Some (r, w) else None)
+        (Isa.sources instr)
+    in
+    let mem_addr = ref None in
+    let mem_dep = ref None in
+    let taken = ref false in
+    let next_ix = ref (ix + 1) in
+    match instr with
+    | Isa.Halt ->
+      s.s_halted <- true;
+      None
+    | _ ->
+      (match instr with
+       | Isa.Alu { op; rd; rs1; src2 } ->
+         let a = read_reg st rs1 in
+         let b = match src2 with Isa.Reg r -> read_reg st r | Isa.Imm v -> v in
+         write_reg st rd (eval_alu s.s_cfg op a b)
+       | Isa.Fpu { op; rd; rs1; rs2 } ->
+         write_reg st rd (eval_fpu op (read_reg st rs1) (read_reg st rs2))
+       | Isa.Load { rd; base; offset } ->
+         let addr = read_reg st base + offset in
+         mem_addr := Some addr;
+         mem_dep := Hashtbl.find_opt s.s_last_store addr;
+         write_reg st rd (read_mem st addr)
+       | Isa.Store { rs; base; offset } ->
+         let addr = read_reg st base + offset in
+         mem_addr := Some addr;
+         write_mem st addr (read_reg st rs);
+         Hashtbl.replace s.s_last_store addr seq
+       | Isa.Branch { cond; rs1; rs2; target } ->
+         if eval_cond cond (read_reg st rs1) (read_reg st rs2) then begin
+           taken := true;
+           next_ix := target
+         end
+       | Isa.Jump { target } ->
+         taken := true;
+         next_ix := target
+       | Isa.Call { target } ->
+         taken := true;
+         write_reg st Isa.reg_ra (Isa.pc_of_index (ix + 1));
+         next_ix := target
+       | Isa.Ret ->
+         taken := true;
+         next_ix := Isa.index_of_pc (read_reg st Isa.reg_ra)
+       | Isa.Jump_reg { rs } ->
+         taken := true;
+         next_ix := Isa.index_of_pc (read_reg st rs)
+       | Isa.Halt -> assert false);
+      (match Isa.dest instr with
+       | Some rd -> s.s_last_writer.(rd) <- seq
+       | None -> ());
+      st.pc_ix <- !next_ix;
+      s.s_count <- s.s_count + 1;
+      Some
+        {
+          Trace.seq;
+          static_ix = ix;
+          pc;
+          instr;
+          reg_deps;
+          mem_addr = !mem_addr;
+          mem_dep = !mem_dep;
+          taken = !taken;
+          next_pc = Isa.pc_of_index !next_ix;
+        }
+  end
+
+let stepped s = s.s_count
+
+let halted s = s.s_halted
+
+(** [run ?config program] executes [program] and returns its trace. *)
+let run ?(config = default_config) (p : Program.t) : Trace.t =
+  let s = stepper ~config p in
+  let out = ref [] in
+  let rec loop () =
+    match step s with
+    | Some d ->
+      out := d :: !out;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  { Trace.program = p; instrs = Array.of_list (List.rev !out); halted = s.s_halted }

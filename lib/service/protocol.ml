@@ -66,6 +66,8 @@ type status_body = {
   snapshot_rejects : int;
   sweep_points : int;
   sweep_cache_hits : int;
+  segments : int;
+  stream_peak_mb : float;
   pool_jobs : int;
   shards : int;
   respawns : int;
@@ -362,6 +364,8 @@ let rec result_json = function
         ("snapshot_rejects", Json.Int s.snapshot_rejects);
         ("sweep_points", Json.Int s.sweep_points);
         ("sweep_cache_hits", Json.Int s.sweep_cache_hits);
+        ("segments", Json.Int s.segments);
+        ("stream_peak_mb", Json.Float s.stream_peak_mb);
         ("pool_jobs", Json.Int s.pool_jobs);
         ("shards", Json.Int s.shards);
         ("respawns", Json.Int s.respawns);
@@ -723,6 +727,9 @@ let rec decode_result j =
     (* absent in pre-sweep frames: default 0 keeps old captures decodable *)
     let* sweep_points = field_or "sweep_points" 0 Json.get_int j in
     let* sweep_cache_hits = field_or "sweep_cache_hits" 0 Json.get_int j in
+    (* absent in pre-stream frames: default 0 keeps old captures decodable *)
+    let* segments = field_or "segments" 0 Json.get_int j in
+    let* stream_peak_mb = field_or "stream_peak_mb" 0. Json.get_float j in
     let* pool_jobs = required "pool_jobs" Json.get_int j in
     (* absent in pre-batch frames: default 0 keeps old captures decodable *)
     let* shards = field_or "shards" 0 Json.get_int j in
@@ -747,6 +754,8 @@ let rec decode_result j =
            snapshot_rejects;
            sweep_points;
            sweep_cache_hits;
+           segments;
+           stream_peak_mb;
            pool_jobs;
            shards;
            respawns;

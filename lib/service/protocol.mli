@@ -41,7 +41,10 @@ val max_sweep_axes : int
 type target = {
   workload : string;  (** required; a {!Icost_workloads.Workload} name *)
   variant : string;  (** base | dl1 | wakeup | bmisp *)
-  engine : string;  (** graph | multisim | profiler *)
+  engine : string;
+      (** graph | multisim | profiler | stream (segmented bounded-memory
+          re-analysis; answers are bit-identical to [graph] on the same
+          window) *)
   warmup : int;
   measure : int;
   seed : int;  (** profiler sampling seed (see module doc) *)
@@ -116,6 +119,12 @@ type status_body = {
   snapshot_rejects : int;
   sweep_points : int;  (** sweep grid points evaluated or served since start *)
   sweep_cache_hits : int;  (** of which the sweep-point cache already held *)
+  segments : int;
+      (** streaming segments analyzed since start (stream-engine
+          preparations); 0 when the stream engine was never used *)
+  stream_peak_mb : float;
+      (** largest peak heap observed by any stream-engine preparation,
+          in MB; 0 when the stream engine was never used *)
   pool_jobs : int;
   shards : int;
       (** worker shards behind this endpoint: 0 for a standalone server,

@@ -233,6 +233,11 @@ let agg_status t links : P.status_body =
     snapshot_rejects = sum (fun s -> s.P.snapshot_rejects);
     sweep_points = sum (fun s -> s.P.sweep_points);
     sweep_cache_hits = sum (fun s -> s.P.sweep_cache_hits);
+    segments = sum (fun s -> s.P.segments);
+    stream_peak_mb =
+      List.fold_left
+        (fun a (s : P.status_body) -> Float.max a s.P.stream_peak_mb)
+        0. reachable;
     pool_jobs = sum (fun s -> s.P.pool_jobs);
     shards = t.shards;
     respawns = Atomic.get t.respawns;

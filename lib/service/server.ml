@@ -13,6 +13,7 @@ module Build = Icost_depgraph.Build
 module Graph = Icost_depgraph.Graph
 module Sampler = Icost_profiler.Sampler
 module Workload = Icost_workloads.Workload
+module Stream_core = Icost_stream.Core
 module Runner = Icost_experiments.Runner
 module Texport = Icost_report.Telemetry_export
 module Sparam = Icost_sensitivity.Param
@@ -174,6 +175,7 @@ let kind_of_engine = function
   | "graph" | "fullgraph" -> Runner.Fullgraph
   | "multisim" -> Runner.Multisim
   | "profiler" -> Runner.Profiler
+  | "stream" -> Runner.Streamed
   | other -> raise (Bad (Printf.sprintf "unknown engine %S" other))
 
 let workload_of_name name =
@@ -564,6 +566,8 @@ let status_body t : P.status_body =
     snapshot_rejects = Atomic.get t.snap_rejects;
     sweep_points = Atomic.get t.sweep_points;
     sweep_cache_hits = Atomic.get t.sweep_hits;
+    segments = Stream_core.segments_total ();
+    stream_peak_mb = Stream_core.peak_mb_hwm ();
     pool_jobs = Pool.jobs ();
     shards = 0;
     respawns = 0;

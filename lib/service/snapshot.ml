@@ -10,6 +10,7 @@ module Build = Icost_depgraph.Build
 module Graph = Icost_depgraph.Graph
 module Profile = Icost_profiler.Profile
 module Sampler = Icost_profiler.Sampler
+module Stream_core = Icost_stream.Core
 module Runner = Icost_experiments.Runner
 
 let magic = "icost.graphcache.v1\n"
@@ -232,6 +233,11 @@ let establish ?cache_dir ~key ~(kind : Runner.oracle_kind) ~(cfg : Config.t)
               (Runner.profiler_run
                  ~opts:{ Sampler.default_opts with seed }
                  ~baseline:(baseline p.prepared) cfg p.prepared))
+      | Runner.Streamed ->
+        (* segmented re-analysis is cheap relative to a cold prepare and
+           needs no persistent image; defer it past the seeded memo *)
+        lazy_oracle (fun () ->
+            Stream_core.oracle (Runner.stream_run cfg p.prepared))
     in
     let memo = Cost.memo_make underlying in
     Cost.memo_seed memo p.memo;
@@ -260,6 +266,8 @@ let establish ?cache_dir ~key ~(kind : Runner.oracle_kind) ~(cfg : Config.t)
             (Runner.profiler_run
                ~opts:{ Sampler.default_opts with seed }
                ~baseline:(baseline prepared) cfg prepared) )
+      | Runner.Streamed ->
+        (None, Stream_core.oracle (Runner.stream_run cfg prepared))
     in
     let graph_bytes = Option.map Graph.marshal graph in
     let memo = Cost.memo_make underlying in

@@ -311,6 +311,253 @@ let run (cfg : Config.t) (trace : Trace.t) (evts : Events.evt array) : result =
 (** Convenience: total cycles only. *)
 let cycles cfg trace evts = (run cfg trace evts).cycles
 
+(** Streaming twin of [simulate]: identical timing semantics, bounded
+    state.  Because every stage time of instruction [i] depends only on the
+    last [max (window, fetch queue, fetch/commit bandwidth)] slots, the
+    last completion per architectural register / store address / missing
+    cache line, and a handful of scalar fetch-stage variables, the whole
+    simulator state fits in a fixed-size ring plus footprint-bounded maps —
+    so arbitrarily long traces can be timed without materializing their
+    slots.  [step] is a line-for-line transcription of the [simulate] loop
+    body; the bit-identity of the two is pinned by tests. *)
+module Stream = struct
+  type t = {
+    cfg : Config.t;
+    window : int;
+    fetch_bw : int;
+    commit_bw : int;
+    issue : Issue_table.t;
+    int_alu : Fu_pool.t;
+    int_mul : Fu_pool.t;
+    fp_alu : Fu_pool.t;
+    fp_mul : Fu_pool.t;
+    mem_port : Fu_pool.t;
+    store_commits : (int, int) Hashtbl.t;
+    ring : slot array;  (** last [ring_cap] slots, indexed by [seq mod ring_cap] *)
+    ring_cap : int;
+    reg_complete : int array;
+        (** completion cycle of the last writer of each register: the trace
+            invariant that a reg dep always names the most recent writer
+            makes this equivalent to [slots.(p).complete] *)
+    store_complete : (int, int) Hashtbl.t;  (** byte address -> last store completion *)
+    line_complete : (int, int) Hashtbl.t;
+        (** data line -> completion of the last load that missed on it
+            (mirrors the annotator's [last_line_miss] keying) *)
+    mutable count : int;
+    mutable fetch_cycle : int;
+    mutable fetched_this_cycle : int;
+    mutable taken_this_cycle : int;
+    mutable redirect_complete : int;
+        (** completion cycle of a pending mispredicted branch (always the
+            immediately preceding instruction), or -1 *)
+    mutable next_prune : int;
+  }
+
+  let zero_slot =
+    { fetch = 0; dispatch = 0; ready = 0; exec_start = 0; complete = 0;
+      commit = 0; exec_lat = 0; fu_wait = 0; imiss_delay = 0; store_wait = 0 }
+
+  (* The cycle-keyed contention tables grow with simulated time; entries
+     below the (monotone) dispatch/commit frontiers can never be probed or
+     reserved again, so they are dropped periodically. *)
+  let prune_period = 4096
+
+  let create (cfg : Config.t) : t =
+    let window = Config.effective_window cfg in
+    let fetch_bw = Config.effective_fetch_bw cfg in
+    let commit_bw = Config.effective_commit_bw cfg in
+    let ring_cap =
+      max window
+        (max fetch_queue_size
+           (max
+              (if fetch_bw < Config.huge_bw then fetch_bw else 1)
+              (if commit_bw < Config.huge_bw then commit_bw else 1)))
+    in
+    {
+      cfg;
+      window;
+      fetch_bw;
+      commit_bw;
+      issue = Issue_table.create (Config.effective_issue_width cfg);
+      int_alu = Fu_pool.create cfg.num_int_alu;
+      int_mul = Fu_pool.create cfg.num_int_mul;
+      fp_alu = Fu_pool.create cfg.num_fp_alu;
+      fp_mul = Fu_pool.create cfg.num_fp_mul;
+      mem_port = Fu_pool.create cfg.num_mem_ports;
+      store_commits = Hashtbl.create 1024;
+      ring = Array.make ring_cap zero_slot;
+      ring_cap;
+      reg_complete = Array.make Isa.num_regs 0;
+      store_complete = Hashtbl.create 1024;
+      line_complete = Hashtbl.create 1024;
+      count = 0;
+      fetch_cycle = 0;
+      fetched_this_cycle = 0;
+      taken_this_cycle = 0;
+      redirect_complete = -1;
+      next_prune = prune_period;
+    }
+
+  (* slot of instruction [count - k]; valid for 1 <= k <= min count ring_cap *)
+  let back t k = t.ring.((t.count - k) mod t.ring_cap)
+
+  let prune t ~dispatch ~commit =
+    let drop tbl pred =
+      let dead = Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) tbl [] in
+      List.iter (Hashtbl.remove tbl) dead
+    in
+    (* issue slots and FU cycles are only ever probed from ready >=
+       dispatch + 1 of a later instruction, and dispatch is monotone *)
+    drop t.issue.Issue_table.counts (fun c -> c <= dispatch);
+    List.iter
+      (fun (p : Fu_pool.t) -> drop p.Fu_pool.used (fun c -> c <= dispatch))
+      [ t.int_alu; t.int_mul; t.fp_alu; t.fp_mul; t.mem_port ];
+    (* store-commit cycles are probed from the (monotone) commit frontier *)
+    drop t.store_commits (fun c -> c < commit);
+    (* completed-producer tables are probed into [ready] (respectively
+       [complete]), both >= dispatch + 1 of a later instruction: entries
+       at or below the dispatch frontier can never win a max again, so
+       the tables track the live data footprint, not the cumulative one *)
+    let drop_v tbl pred =
+      let dead =
+        Hashtbl.fold (fun k v acc -> if pred v then k :: acc else acc) tbl []
+      in
+      List.iter (Hashtbl.remove tbl) dead
+    in
+    let wake = t.cfg.wakeup_latency - 1 in
+    drop_v t.store_complete (fun c -> c + wake <= dispatch);
+    drop_v t.line_complete (fun c -> c <= dispatch)
+
+  let step (t : t) (d : Trace.dyn) (e : Events.evt) : slot =
+    let cfg = t.cfg in
+    let i = t.count in
+    let pool_of c =
+      match Config.fu_pool_of_class c with
+      | Config.Int_alu_pool -> t.int_alu
+      | Config.Int_mul_pool -> t.int_mul
+      | Config.Fp_alu_pool -> t.fp_alu
+      | Config.Fp_mul_pool -> t.fp_mul
+      | Config.Mem_port_pool -> t.mem_port
+    in
+    (* ---- fetch ---- *)
+    let stall_floor = ref 0 in
+    if t.redirect_complete >= 0 then begin
+      stall_floor :=
+        max !stall_floor (t.redirect_complete + cfg.branch_recovery - cfg.frontend_depth);
+      t.redirect_complete <- -1
+    end;
+    if i >= fetch_queue_size then
+      stall_floor := max !stall_floor ((back t fetch_queue_size).dispatch - cfg.frontend_depth);
+    if !stall_floor > t.fetch_cycle then begin
+      t.fetch_cycle <- !stall_floor;
+      t.fetched_this_cycle <- 0;
+      t.taken_this_cycle <- 0
+    end;
+    if t.fetched_this_cycle >= t.fetch_bw
+       || (t.fetch_bw < Config.huge_bw && t.taken_this_cycle >= cfg.fetch_taken_limit)
+    then begin
+      t.fetch_cycle <- t.fetch_cycle + 1;
+      t.fetched_this_cycle <- 0;
+      t.taken_this_cycle <- 0
+    end;
+    let imiss = imiss_delay cfg e in
+    if imiss > 0 then begin
+      t.fetch_cycle <- t.fetch_cycle + imiss;
+      t.fetched_this_cycle <- 0;
+      t.taken_this_cycle <- 0
+    end;
+    let fetch = t.fetch_cycle in
+    t.fetched_this_cycle <- t.fetched_this_cycle + 1;
+    if Isa.is_branch d.instr && d.taken then t.taken_this_cycle <- t.taken_this_cycle + 1;
+    (* ---- dispatch ---- *)
+    let dispatch = ref (fetch + cfg.frontend_depth) in
+    if i > 0 then dispatch := max !dispatch (back t 1).dispatch;
+    if t.fetch_bw < Config.huge_bw && i >= t.fetch_bw then
+      dispatch := max !dispatch ((back t t.fetch_bw).dispatch + 1);
+    if i >= t.window then dispatch := max !dispatch (back t t.window).commit;
+    let dispatch = !dispatch in
+    (* ---- ready: operands ---- *)
+    let ready = ref (dispatch + 1) in
+    List.iter
+      (fun (r, p) ->
+        if p >= 0 then ready := max !ready (t.reg_complete.(r) + (cfg.wakeup_latency - 1)))
+      d.reg_deps;
+    (match d.mem_dep with
+     | Some p when p >= 0 ->
+       let c =
+         match d.mem_addr with
+         | Some a -> Option.value ~default:0 (Hashtbl.find_opt t.store_complete a)
+         | None -> 0
+       in
+       ready := max !ready (c + (cfg.wakeup_latency - 1))
+     | _ -> ());
+    let ready = !ready in
+    (* ---- issue: issue slot + functional unit ---- *)
+    let cls = Isa.class_of d.instr in
+    let pool = pool_of cls in
+    let exec_lat = exec_latency cfg d e in
+    let busy =
+      match cls with Isa.Int_div | Isa.Fp_div -> max 1 exec_lat | _ -> 1
+    in
+    let rec find c =
+      let c' = Fu_pool.earliest pool ~busy c in
+      let c'' = Issue_table.first_free t.issue c' in
+      if c'' = c' then c' else find c''
+    in
+    let exec_start = find ready in
+    Issue_table.reserve t.issue exec_start;
+    Fu_pool.reserve pool ~from:exec_start ~busy;
+    if exec_start > ready then pool.Fu_pool.contended <- pool.Fu_pool.contended + 1;
+    (* ---- complete, with cache-line sharing (partial misses) ---- *)
+    let complete = ref (exec_start + exec_lat) in
+    (match e.share_src with
+     | Some _ when not cfg.ideal.perfect_dcache -> (
+       match Hashtbl.find_opt t.line_complete e.line with
+       | Some c -> complete := max !complete c
+       | None -> ())
+     | _ -> ());
+    let complete = !complete in
+    (* ---- commit ---- *)
+    let commit = ref (complete + 1) in
+    if i > 0 then commit := max !commit (back t 1).commit;
+    if t.commit_bw < Config.huge_bw && i >= t.commit_bw then
+      commit := max !commit ((back t t.commit_bw).commit + 1);
+    let store_wait = ref 0 in
+    if Isa.is_store d.instr && t.commit_bw < Config.huge_bw then begin
+      let stores_at c = Option.value ~default:0 (Hashtbl.find_opt t.store_commits c) in
+      let rec free c = if stores_at c < cfg.store_commit_bw then c else free (c + 1) in
+      let c = free !commit in
+      store_wait := c - !commit;
+      commit := c;
+      Hashtbl.replace t.store_commits c (stores_at c + 1)
+    end;
+    let commit = !commit in
+    let slot =
+      { fetch; dispatch; ready; exec_start; complete; commit; exec_lat;
+        fu_wait = exec_start - ready; imiss_delay = imiss; store_wait = !store_wait }
+    in
+    t.ring.(i mod t.ring_cap) <- slot;
+    (match Isa.dest d.instr with
+     | Some rd -> t.reg_complete.(rd) <- complete
+     | None -> ());
+    if Isa.is_store d.instr then (
+      match d.mem_addr with
+      | Some a -> Hashtbl.replace t.store_complete a complete
+      | None -> ());
+    if Isa.is_load d.instr && e.dl1_miss then Hashtbl.replace t.line_complete e.line complete;
+    if mispredicts cfg e then t.redirect_complete <- complete;
+    t.count <- i + 1;
+    if t.count >= t.next_prune then begin
+      prune t ~dispatch ~commit;
+      t.next_prune <- t.count + prune_period
+    end;
+    slot
+
+  let processed t = t.count
+
+  let cycles t = if t.count = 0 then 0 else (back t 1).commit + 1
+end
+
 (** Instructions per cycle of a result. *)
 let ipc r =
   if r.cycles = 0 then 0. else float_of_int (Array.length r.slots) /. float_of_int r.cycles

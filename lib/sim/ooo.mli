@@ -52,3 +52,25 @@ val run : Config.t -> Trace.t -> Events.evt array -> result
 
 val cycles : Config.t -> Trace.t -> Events.evt array -> int
 val ipc : result -> float
+
+(** Streaming twin of {!run}: identical timing semantics over bounded
+    state (a fixed ring of recent slots plus footprint-bounded completion
+    maps), so arbitrarily long traces can be timed one instruction at a
+    time.  Feeding the instructions of a trace in order yields slots
+    bit-identical to {!run} on that trace. *)
+module Stream : sig
+  type t
+
+  val create : Config.t -> t
+  (** Fresh simulator state (cycle 0, empty window). *)
+
+  val step : t -> Trace.dyn -> Events.evt -> slot
+  (** Time the next committed instruction; must be fed strictly in trace
+      order with its matching annotation. *)
+
+  val processed : t -> int
+  (** Instructions timed so far. *)
+
+  val cycles : t -> int
+  (** Commit cycle of the last instruction plus one (0 before any). *)
+end

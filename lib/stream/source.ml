@@ -1,0 +1,68 @@
+(** Streaming item sources: a pull interface over the committed dynamic
+    stream, pairing each instruction with its event annotation.
+
+    [of_program] chains the interpreter stepper and the event annotator so
+    an unbounded run is produced one instruction at a time — no
+    {!Icost_isa.Trace.t} is ever materialized.  The warm-up prefix is
+    interpreted and classified (warming caches, TLBs and the branch
+    predictor) but not yielded, and the measured window is renumbered from
+    0 with dangling producer references dropped — exactly the semantics of
+    [Trace.slice]/[Events.slice], so downstream consumers see the same
+    stream the monolithic pipeline would. *)
+
+module Trace = Icost_isa.Trace
+module Interp = Icost_isa.Interp
+module Program = Icost_isa.Program
+module Config = Icost_uarch.Config
+module Events = Icost_uarch.Events
+
+type t = unit -> (Trace.dyn * Events.evt) option
+
+let of_arrays (instrs : Trace.dyn array) (evts : Events.evt array) : t =
+  let n = min (Array.length instrs) (Array.length evts) in
+  let i = ref 0 in
+  fun () ->
+    if !i >= n then None
+    else begin
+      let k = !i in
+      incr i;
+      Some (instrs.(k), evts.(k))
+    end
+
+(* Renumbering matching [Trace.slice]: measured seq from 0, producer
+   references into the warm-up prefix dropped (their effects are warmed
+   state, not modeled dependences). *)
+let renumber_dyn ~start (d : Trace.dyn) : Trace.dyn =
+  let remap j = if j >= start then Some (j - start) else None in
+  {
+    d with
+    seq = d.seq - start;
+    reg_deps =
+      List.filter_map (fun (r, p) -> Option.map (fun p -> (r, p)) (remap p)) d.reg_deps;
+    mem_dep = Option.bind d.mem_dep remap;
+  }
+
+let renumber_evt ~start (e : Events.evt) : Events.evt =
+  let remap j = if j >= start then Some (j - start) else None in
+  { e with share_src = Option.bind e.share_src remap }
+
+let of_program ?prefetch (cfg : Config.t) (p : Program.t) ~warmup ~max_insns : t =
+  let warmup = max 0 warmup in
+  let icfg = { Interp.default_config with max_instrs = warmup + max_insns } in
+  let stepper = Interp.stepper ~config:icfg p in
+  let ann = Events.annotator ?prefetch cfg in
+  let rec burn k =
+    if k > 0 then
+      match Interp.step stepper with
+      | Some d ->
+        ignore (Events.annotate_next ann d);
+        burn (k - 1)
+      | None -> ()
+  in
+  burn warmup;
+  fun () ->
+    match Interp.step stepper with
+    | None -> None
+    | Some d ->
+      let e = Events.annotate_next ann d in
+      Some (renumber_dyn ~start:warmup d, renumber_evt ~start:warmup e)

@@ -79,143 +79,159 @@ let no_prefetch = { stride_loads = false; next_line_icache = false }
 (* Per-static-load stride predictor state. *)
 type stride_entry = { mutable last : int; mutable stride : int; mutable conf : int }
 
+(* Stateful annotator: the per-instruction classification factored out so
+   streaming callers can feed dynamic instructions one at a time; [annotate]
+   below is a thin wrapper, so both paths warm identical structures in
+   identical order. *)
+type annotator = {
+  a_cfg : Config.t;
+  a_prefetch : prefetch;
+  a_il1 : Cache.t;
+  a_dl1 : Cache.t;
+  a_l2 : Cache.t;
+  a_itlb : Cache.t;
+  a_dtlb : Cache.t;
+  a_bp : Bpred.t;
+  (* last load that missed on a given line *)
+  a_last_line_miss : (int, int) Hashtbl.t;
+  a_strides : (int, stride_entry) Hashtbl.t;
+  mutable a_il2_misses : int;
+  mutable a_dl2_misses : int;
+  mutable a_mispredicts : int;
+  mutable a_cond_branches : int;
+  mutable a_loads : int;
+  mutable a_stores : int;
+}
+
+let annotator ?(prefetch = no_prefetch) (cfg : Config.t) : annotator =
+  {
+    a_cfg = cfg;
+    a_prefetch = prefetch;
+    a_il1 =
+      Cache.create_bytes ~name:"il1" ~size:cfg.il1_size ~ways:cfg.il1_ways
+        ~line_size:cfg.line_size;
+    a_dl1 =
+      Cache.create_bytes ~name:"dl1" ~size:cfg.dl1_size ~ways:cfg.dl1_ways
+        ~line_size:cfg.line_size;
+    a_l2 =
+      Cache.create_bytes ~name:"l2" ~size:cfg.l2_size ~ways:cfg.l2_ways
+        ~line_size:cfg.line_size;
+    a_itlb =
+      Cache.create ~name:"itlb" ~lines:cfg.itlb_entries ~ways:cfg.itlb_entries
+        ~line_size:cfg.page_size;
+    a_dtlb =
+      Cache.create ~name:"dtlb" ~lines:cfg.dtlb_entries ~ways:cfg.dtlb_entries
+        ~line_size:cfg.page_size;
+    a_bp = Bpred.create cfg;
+    a_last_line_miss = Hashtbl.create 1024;
+    a_strides = Hashtbl.create 256;
+    a_il2_misses = 0;
+    a_dl2_misses = 0;
+    a_mispredicts = 0;
+    a_cond_branches = 0;
+    a_loads = 0;
+    a_stores = 0;
+  }
+
+(* a confident stride predictor fills the next expected line ahead of the
+   access, so the later demand access hits *)
+let stride_prefetch (a : annotator) d_static addr =
+  if a.a_prefetch.stride_loads then begin
+    let entry =
+      match Hashtbl.find_opt a.a_strides d_static with
+      | Some e -> e
+      | None ->
+        let e = { last = addr; stride = 0; conf = 0 } in
+        Hashtbl.add a.a_strides d_static e;
+        e
+    in
+    let observed = addr - entry.last in
+    if observed = entry.stride && observed <> 0 then entry.conf <- min 3 (entry.conf + 1)
+    else begin
+      entry.stride <- observed;
+      entry.conf <- 0
+    end;
+    entry.last <- addr;
+    if entry.conf >= 2 then begin
+      let target = addr + entry.stride in
+      ignore (Cache.access a.a_l2 target);
+      ignore (Cache.access a.a_dl1 target)
+    end
+  end
+
+let annotate_next (a : annotator) (d : Trace.dyn) : evt =
+  let cfg = a.a_cfg in
+  (* --- instruction-side accesses --- *)
+  let itlb_miss = not (Cache.access a.a_itlb d.pc) in
+  let il1_miss = not (Cache.access a.a_il1 d.pc) in
+  let il2_miss = il1_miss && not (Cache.access a.a_l2 d.pc) in
+  if a.a_prefetch.next_line_icache && il1_miss then begin
+    let next = d.pc + cfg.line_size in
+    ignore (Cache.access a.a_l2 next);
+    ignore (Cache.access a.a_il1 next)
+  end;
+  (* --- data-side accesses --- *)
+  let dl1_miss, dl2_miss, dtlb_miss, line, share_src =
+    match d.mem_addr with
+    | None -> (false, false, false, -1, None)
+    | Some addr ->
+      let dtlb_miss = not (Cache.access a.a_dtlb addr) in
+      let dl1_miss = not (Cache.access a.a_dl1 addr) in
+      let dl2_miss = dl1_miss && not (Cache.access a.a_l2 addr) in
+      if Isa.is_load d.instr then stride_prefetch a d.static_ix addr;
+      let line = addr / cfg.line_size in
+      let share_src =
+        if Isa.is_load d.instr then
+          if dl1_miss then begin
+            Hashtbl.replace a.a_last_line_miss line d.seq;
+            None
+          end
+          else Hashtbl.find_opt a.a_last_line_miss line
+        else None
+      in
+      if Isa.is_load d.instr then a.a_loads <- a.a_loads + 1
+      else a.a_stores <- a.a_stores + 1;
+      (dl1_miss, dl2_miss, dtlb_miss, line, share_src)
+  in
+  (* --- branch prediction --- *)
+  let mispredict =
+    match d.instr with
+    | Isa.Branch _ ->
+      a.a_cond_branches <- a.a_cond_branches + 1;
+      let correct = Bpred.update_cond a.a_bp ~pc:d.pc ~taken:d.taken in
+      not correct
+    | Isa.Jump _ -> false
+    | Isa.Call _ ->
+      Bpred.ras_push a.a_bp ~return_pc:(d.pc + 4);
+      false
+    | Isa.Ret -> not (Bpred.ras_pop_check a.a_bp ~target:d.next_pc)
+    | Isa.Jump_reg _ -> not (Bpred.update_indirect a.a_bp ~pc:d.pc ~target:d.next_pc)
+    | _ -> false
+  in
+  if mispredict then a.a_mispredicts <- a.a_mispredicts + 1;
+  if il2_miss then a.a_il2_misses <- a.a_il2_misses + 1;
+  if dl2_miss then a.a_dl2_misses <- a.a_dl2_misses + 1;
+  { il1_miss; il2_miss; itlb_miss; dl1_miss; dl2_miss; dtlb_miss; line; share_src; mispredict }
+
+let annotator_summary (a : annotator) : summary =
+  {
+    il1_misses = snd (Cache.stats a.a_il1);
+    il2_misses = a.a_il2_misses;
+    dl1_misses = snd (Cache.stats a.a_dl1);
+    dl2_misses = a.a_dl2_misses;
+    itlb_misses = snd (Cache.stats a.a_itlb);
+    dtlb_misses = snd (Cache.stats a.a_dtlb);
+    mispredicts = a.a_mispredicts;
+    cond_branches = a.a_cond_branches;
+    loads = a.a_loads;
+    stores = a.a_stores;
+  }
+
 (** [annotate ?prefetch cfg trace] classifies every instruction of [trace].
     The same structures are warmed in trace order, so the result is
     deterministic. *)
 let annotate ?(prefetch = no_prefetch) (cfg : Config.t) (trace : Trace.t) :
     evt array * summary =
-  let n = Trace.length trace in
-  let il1 =
-    Cache.create_bytes ~name:"il1" ~size:cfg.il1_size ~ways:cfg.il1_ways
-      ~line_size:cfg.line_size
-  in
-  let dl1 =
-    Cache.create_bytes ~name:"dl1" ~size:cfg.dl1_size ~ways:cfg.dl1_ways
-      ~line_size:cfg.line_size
-  in
-  let l2 =
-    Cache.create_bytes ~name:"l2" ~size:cfg.l2_size ~ways:cfg.l2_ways
-      ~line_size:cfg.line_size
-  in
-  let itlb =
-    Cache.create ~name:"itlb" ~lines:cfg.itlb_entries ~ways:cfg.itlb_entries
-      ~line_size:cfg.page_size
-  in
-  let dtlb =
-    Cache.create ~name:"dtlb" ~lines:cfg.dtlb_entries ~ways:cfg.dtlb_entries
-      ~line_size:cfg.page_size
-  in
-  let bp = Bpred.create cfg in
-  (* last load that missed on a given line *)
-  let last_line_miss : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let strides : (int, stride_entry) Hashtbl.t = Hashtbl.create 256 in
-  (* a confident stride predictor fills the next expected line ahead of the
-     access, so the later demand access hits *)
-  let stride_prefetch d_static addr dl1 l2 =
-    if prefetch.stride_loads then begin
-      let entry =
-        match Hashtbl.find_opt strides d_static with
-        | Some e -> e
-        | None ->
-          let e = { last = addr; stride = 0; conf = 0 } in
-          Hashtbl.add strides d_static e;
-          e
-      in
-      let observed = addr - entry.last in
-      if observed = entry.stride && observed <> 0 then
-        entry.conf <- min 3 (entry.conf + 1)
-      else begin
-        entry.stride <- observed;
-        entry.conf <- 0
-      end;
-      entry.last <- addr;
-      if entry.conf >= 2 then begin
-        let target = addr + entry.stride in
-        ignore (Cache.access l2 target);
-        ignore (Cache.access dl1 target)
-      end
-    end
-  in
-  let mispredicts = ref 0 and cond_branches = ref 0 in
-  let loads = ref 0 and stores = ref 0 in
-  let evts =
-    Array.init n (fun i ->
-        let d = Trace.get trace i in
-        (* --- instruction-side accesses --- *)
-        let itlb_miss = not (Cache.access itlb d.pc) in
-        let il1_miss = not (Cache.access il1 d.pc) in
-        let il2_miss = il1_miss && not (Cache.access l2 d.pc) in
-        if prefetch.next_line_icache && il1_miss then begin
-          let next = d.pc + cfg.line_size in
-          ignore (Cache.access l2 next);
-          ignore (Cache.access il1 next)
-        end;
-        (* --- data-side accesses --- *)
-        let dl1_miss, dl2_miss, dtlb_miss, line, share_src =
-          match d.mem_addr with
-          | None -> (false, false, false, -1, None)
-          | Some addr ->
-            let dtlb_miss = not (Cache.access dtlb addr) in
-            let dl1_miss = not (Cache.access dl1 addr) in
-            let dl2_miss = dl1_miss && not (Cache.access l2 addr) in
-            if Isa.is_load d.instr then stride_prefetch d.static_ix addr dl1 l2;
-            let line = addr / cfg.line_size in
-            let share_src =
-              if Isa.is_load d.instr then
-                if dl1_miss then begin
-                  Hashtbl.replace last_line_miss line d.seq;
-                  None
-                end
-                else Hashtbl.find_opt last_line_miss line
-              else None
-            in
-            if Isa.is_load d.instr then incr loads else incr stores;
-            (dl1_miss, dl2_miss, dtlb_miss, line, share_src)
-        in
-        (* --- branch prediction --- *)
-        let mispredict =
-          match d.instr with
-          | Isa.Branch _ ->
-            incr cond_branches;
-            let correct = Bpred.update_cond bp ~pc:d.pc ~taken:d.taken in
-            not correct
-          | Isa.Jump _ -> false
-          | Isa.Call _ ->
-            Bpred.ras_push bp ~return_pc:(d.pc + 4);
-            false
-          | Isa.Ret -> not (Bpred.ras_pop_check bp ~target:d.next_pc)
-          | Isa.Jump_reg _ -> not (Bpred.update_indirect bp ~pc:d.pc ~target:d.next_pc)
-          | _ -> false
-        in
-        if mispredict then incr mispredicts;
-        {
-          il1_miss;
-          il2_miss;
-          itlb_miss;
-          dl1_miss;
-          dl2_miss;
-          dtlb_miss;
-          line;
-          share_src;
-          mispredict;
-        })
-  in
-  let il1_misses = snd (Cache.stats il1) in
-  let dl1_misses = snd (Cache.stats dl1) in
-  let itlb_misses = snd (Cache.stats itlb) in
-  let dtlb_misses = snd (Cache.stats dtlb) in
-  let il2_misses = Array.fold_left (fun a e -> if e.il2_miss then a + 1 else a) 0 evts in
-  let dl2_misses = Array.fold_left (fun a e -> if e.dl2_miss then a + 1 else a) 0 evts in
-  ( evts,
-    {
-      il1_misses;
-      il2_misses;
-      dl1_misses;
-      dl2_misses;
-      itlb_misses;
-      dtlb_misses;
-      mispredicts = !mispredicts;
-      cond_branches = !cond_branches;
-      loads = !loads;
-      stores = !stores;
-    } )
+  let a = annotator ~prefetch cfg in
+  let evts = Array.init (Trace.length trace) (fun i -> annotate_next a (Trace.get trace i)) in
+  (evts, annotator_summary a)

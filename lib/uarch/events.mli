@@ -61,3 +61,20 @@ val annotate :
   ?prefetch:prefetch -> Config.t -> Trace.t -> evt array * summary
 (** Classify every instruction of the trace.  The structures are warmed in
     trace order, so the result is deterministic. *)
+
+(** {1 Streaming}
+
+    A stateful annotator over the same classification pass, for callers
+    that feed the dynamic stream one instruction at a time ([annotate] is
+    implemented on top of it, so the two are bit-identical). *)
+
+type annotator
+
+val annotator : ?prefetch:prefetch -> Config.t -> annotator
+(** Fresh cold caches, TLBs and branch predictor. *)
+
+val annotate_next : annotator -> Trace.dyn -> evt
+(** Classify the next instruction; must be fed strictly in trace order. *)
+
+val annotator_summary : annotator -> summary
+(** Event totals over everything fed so far. *)

@@ -32,6 +32,7 @@ let () =
       Test_integration.suite;
       Test_parallel.suite;
       Test_sensitivity.suite;
+      Test_stream.suite;
       Test_snapshot.suite;
       Test_service.suite;
     ]

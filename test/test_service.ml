@@ -150,6 +150,8 @@ let test_reply_roundtrip () =
              snapshot_rejects = 1;
              sweep_points = 7;
              sweep_cache_hits = 3;
+             segments = 11;
+             stream_peak_mb = 24.5;
              pool_jobs = 8;
              shards = 2;
              respawns = 1;
@@ -902,6 +904,39 @@ let test_serve_end_to_end () =
          check_feq "profiler baseline bit-identical to direct oracle"
            (Cost.query po Category.Set.empty) pbase
        | _ -> Alcotest.fail "profiler reply malformed");
+
+      (* stream engine: the segmented session answers bit-identically to
+         a direct streaming oracle over the same prepared window, and the
+         status body tallies its segments and peak heap *)
+      let stg = { tg with P.engine = "stream" } in
+      let streply =
+        Client.call c (req ~id:57 (P.Icost { target = stg; sets }))
+      in
+      let so = Runner.stream_oracle cfg prepared in
+      let expected_stream =
+        P.R_icost
+          {
+            baseline = Cost.query so Category.Set.empty;
+            rows =
+              List.map
+                (fun spec ->
+                  let set = set_of_spec spec in
+                  let ic = Cost.icost_ie so set in
+                  { P.set_name = Category.Set.name set;
+                    set_cost = Cost.cost so set;
+                    set_icost = ic;
+                    set_class = Cost.interaction_name (Cost.classify ic) })
+                sets;
+          }
+      in
+      Alcotest.(check string) "served stream icost bit-identical to direct"
+        (P.encode_reply { P.rep_id = 0; body = Ok expected_stream })
+        (norm streply);
+      let s = status () in
+      Alcotest.(check bool) "status tallies stream segments" true
+        (s.P.segments > 0);
+      Alcotest.(check bool) "status tallies stream peak heap" true
+        (s.P.stream_peak_mb > 0.);
 
       (* an already-expired deadline is refused with the typed error *)
       (match (Client.call c (req ~id:55 ~deadline_ms:0 breakdown_op)).P.body with
